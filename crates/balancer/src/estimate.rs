@@ -1,0 +1,134 @@
+//! Whole-program cost estimation `t(Q, B)` (paper Sec. 3.2).
+
+use hap_cluster::VirtualDevice;
+use hap_collectives::CommProfile;
+use hap_graph::Graph;
+use hap_synthesis::{CostModel, DistInstr, DistProgram, ShardingRatios};
+
+/// Cost breakdown of one synchronization stage.
+#[derive(Clone, Debug)]
+pub struct StageCost {
+    /// Model segment the stage belongs to.
+    pub segment: usize,
+    /// Communication time of the stage-opening collective (0 for stage 0).
+    pub comm: f64,
+    /// Per-device computation seconds.
+    pub comp: Vec<f64>,
+}
+
+impl StageCost {
+    /// The stage's contribution to the iteration time.
+    pub fn total(&self) -> f64 {
+        self.comm + self.comp.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Computes the per-stage cost breakdown of a program under ratios `B`.
+pub fn stage_breakdown(
+    graph: &Graph,
+    program: &DistProgram,
+    devices: &[VirtualDevice],
+    profile: &CommProfile,
+    ratios: &ShardingRatios,
+) -> Vec<StageCost> {
+    let cm = CostModel::new(graph, devices, profile, ratios);
+    let m = devices.len();
+    let mut stages: Vec<StageCost> = Vec::new();
+    let mut cur = StageCost { segment: 0, comm: 0.0, comp: vec![0.0; m] };
+    let mut cur_has_segment = false;
+    for instr in &program.instrs {
+        match instr {
+            DistInstr::Leaf { .. } => {}
+            DistInstr::Compute { node, rule } => {
+                let per_dev = cm.compute_seconds(*node, rule);
+                for (s, d) in cur.comp.iter_mut().zip(per_dev.iter()) {
+                    *s += d;
+                }
+                if !cur_has_segment {
+                    cur.segment = graph.node(*node).segment;
+                    cur_has_segment = true;
+                }
+            }
+            DistInstr::Collective { node, kind } => {
+                stages.push(cur);
+                cur = StageCost {
+                    segment: graph.node(*node).segment,
+                    comm: cm.collective_seconds(*node, kind),
+                    comp: vec![0.0; m],
+                };
+                cur_has_segment = true;
+            }
+        }
+    }
+    stages.push(cur);
+    stages
+}
+
+/// The estimated per-iteration time `t(Q, B)`: the sum over stages of
+/// communication plus the per-stage computation makespan.
+pub fn estimate_time(
+    graph: &Graph,
+    program: &DistProgram,
+    devices: &[VirtualDevice],
+    profile: &CommProfile,
+    ratios: &ShardingRatios,
+) -> f64 {
+    stage_breakdown(graph, program, devices, profile, ratios)
+        .iter()
+        .map(StageCost::total)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_cluster::{ClusterSpec, Granularity};
+    use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+    use hap_graph::GraphBuilder;
+    use hap_synthesis::{synthesize, SynthConfig};
+
+    fn setup() -> (Graph, DistProgram, Vec<VirtualDevice>, CommProfile, ShardingRatios) {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![65536, 512]);
+        let w = g.parameter("w", vec![512, 512]);
+        let labels = g.label("y", vec![65536]);
+        let h = g.matmul(x, w);
+        let loss = g.cross_entropy(h, labels);
+        let graph = g.build_training(loss).unwrap();
+        let cluster = ClusterSpec::fig17_cluster();
+        let devices = cluster.virtual_devices(Granularity::PerGpu);
+        let profile = profile_collectives(
+            &GroundTruthNet::new(NetworkParams::paper_cloud()),
+            devices.len(),
+        );
+        let ratios = vec![cluster.proportional_ratios(Granularity::PerGpu)];
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default())
+            .unwrap();
+        (graph, q, devices, profile, ratios)
+    }
+
+    #[test]
+    fn estimate_matches_synthesizer_cost() {
+        let (graph, q, devices, profile, ratios) = setup();
+        let t = estimate_time(&graph, &q, &devices, &profile, &ratios);
+        let rel = (t - q.estimated_time).abs() / q.estimated_time;
+        assert!(rel < 1e-9, "estimate {t} vs synthesizer {}", q.estimated_time);
+    }
+
+    #[test]
+    fn stage_count_matches_collectives() {
+        let (graph, q, devices, profile, ratios) = setup();
+        let stages = stage_breakdown(&graph, &q, &devices, &profile, &ratios);
+        assert_eq!(stages.len(), q.collective_count() + 1);
+        assert_eq!(stages[0].comm, 0.0);
+    }
+
+    #[test]
+    fn even_ratios_change_the_estimate() {
+        let (graph, q, devices, profile, ratios) = setup();
+        let even = vec![vec![0.25; 4]];
+        let t_prop = estimate_time(&graph, &q, &devices, &profile, &ratios);
+        let t_even = estimate_time(&graph, &q, &devices, &profile, &even);
+        assert!((t_prop - t_even).abs() > 1e-12, "ratios must matter");
+    }
+}

@@ -1,0 +1,28 @@
+//! The load balancer: optimal sharding ratios via linear programming
+//! (paper Sec. 5).
+//!
+//! For a fixed distributed program `Q`, the balancer solves
+//! `argmin_B t(Q, B)` where
+//!
+//! ```text
+//! t(Q, B) = Σ_i  comm_i(B) + max_j comp_ij(B_j)
+//! ```
+//!
+//! per synchronization stage `i` and device `j` (paper Sec. 3.2). Because
+//! every `comp_ij` is linear in `B_j` and every `comm_i` is linear in
+//! `max_j B_j`, the problem linearizes with one auxiliary variable per stage
+//! plus one max-ratio variable, and is solved exactly with the `hap-lp`
+//! simplex (the paper uses CBC).
+//!
+//! With `g > 1` model segments the balancer solves one LP per segment
+//! (Sec. 5.2), accounting for the All-To-All re-sharding inserted at segment
+//! boundaries. Fractional ratios are rounded to integer shard sizes with the
+//! smallest-rounding-error correction loop of Sec. 5.1.
+
+mod estimate;
+mod optimize;
+mod rounding;
+
+pub use estimate::{estimate_time, stage_breakdown, StageCost};
+pub use optimize::{optimize_ratios, BalanceError};
+pub use rounding::round_shards;

@@ -1,0 +1,347 @@
+//! LP formulation of the sharding-ratio optimization (paper Sec. 5).
+
+use hap_cluster::VirtualDevice;
+use hap_collectives::{CollKind, CommProfile};
+use hap_graph::{CompScaling, Graph};
+use hap_lp::{LpError, Problem, Relation};
+use hap_synthesis::{CollectiveInstr, DistInstr, DistProgram, ShardingRatios};
+
+/// Balancer failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BalanceError {
+    /// The underlying LP failed (infeasible LPs indicate a bug; unbounded
+    /// cannot happen because ratios live on the probability simplex).
+    Lp(LpError),
+}
+
+impl std::fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BalanceError::Lp(e) => write!(f, "sharding-ratio LP failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {}
+
+impl From<LpError> for BalanceError {
+    fn from(e: LpError) -> Self {
+        BalanceError::Lp(e)
+    }
+}
+
+/// Per-stage linear data extracted from the program.
+struct StageData {
+    segment: usize,
+    /// Per-device coefficient of `B_j` in the stage's computation time.
+    sharded: Vec<f64>,
+    /// Per-device constant computation time (replicated ops).
+    replicated: Vec<f64>,
+    /// Coefficient of the segment's max-ratio variable `u` in the stage's
+    /// communication time (the constant part of comm time does not affect
+    /// the argmin and is dropped).
+    comm_u: f64,
+}
+
+/// Computes the optimal sharding ratios `B` for a fixed program `Q`
+/// (Eqn. (2) / problem (3) of the paper), one LP per model segment.
+///
+/// Returns a `g x m` ratio matrix where `g = graph.segment_count()`.
+pub fn optimize_ratios(
+    graph: &Graph,
+    program: &DistProgram,
+    devices: &[VirtualDevice],
+    profile: &CommProfile,
+) -> Result<ShardingRatios, BalanceError> {
+    let m = devices.len();
+    let segments = graph.segment_count().max(1);
+    let stages = collect_stages(graph, program, devices, profile, segments);
+
+    let mut ratios = Vec::with_capacity(segments);
+    for seg in 0..segments {
+        let seg_stages: Vec<&StageData> = stages.iter().filter(|s| s.segment == seg).collect();
+        if seg_stages.iter().all(|s| s.sharded.iter().all(|&a| a == 0.0)) {
+            // Nothing sharded in this segment: ratios are irrelevant; use
+            // compute-proportional as a neutral choice.
+            let total: f64 = devices.iter().map(|d| d.flops).sum();
+            ratios.push(devices.iter().map(|d| d.flops / total).collect());
+            continue;
+        }
+        ratios.push(solve_segment(&seg_stages, m)?);
+    }
+    Ok(ratios)
+}
+
+/// Builds and solves one segment's LP.
+///
+/// Variables: `[B_0..B_{m-1}, u, t_0..t_{k-1}]`; minimize
+/// `Σ_i w_i t_i + (Σ_i comm_u_i) · u` subject to `Σ B = 1`, `u ≥ B_j`, and
+/// `t_i ≥ Σ_j a_ij B_j + c_ij` per stage and device. Stages with identical
+/// coefficient vectors (repeated layers) are merged into one variable with
+/// weight `w_i`, which keeps the tableau small and non-degenerate.
+fn solve_segment(all_stages: &[&StageData], m: usize) -> Result<Vec<f64>, BalanceError> {
+    // Merge identical stages.
+    let mut stages: Vec<&StageData> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut comm_u_total = 0.0;
+    'outer: for s in all_stages {
+        comm_u_total += s.comm_u;
+        for (i, existing) in stages.iter().enumerate() {
+            let same = existing
+                .sharded
+                .iter()
+                .zip(s.sharded.iter())
+                .all(|(a, b)| (a - b).abs() < 1e-12)
+                && existing
+                    .replicated
+                    .iter()
+                    .zip(s.replicated.iter())
+                    .all(|(a, b)| (a - b).abs() < 1e-12);
+            if same {
+                weights[i] += 1.0;
+                continue 'outer;
+            }
+        }
+        stages.push(s);
+        weights.push(1.0);
+    }
+
+    let k = stages.len();
+    let n = m + 1 + k;
+    let mut objective = vec![0.0; n];
+    for (i, _) in stages.iter().enumerate() {
+        objective[m + 1 + i] = weights[i];
+    }
+    objective[m] = comm_u_total;
+    let mut p = Problem::minimize(objective);
+
+    // Ratios form a probability simplex.
+    let mut simplex = vec![0.0; n];
+    simplex[..m].fill(1.0);
+    p.constrain(simplex, Relation::Eq, 1.0);
+
+    // u >= B_j.
+    for j in 0..m {
+        let mut row = vec![0.0; n];
+        row[j] = 1.0;
+        row[m] = -1.0;
+        p.constrain(row, Relation::Le, 0.0);
+    }
+
+    // t_i >= a_ij * B_j + c_ij. The constant is homogenized through the
+    // simplex constraint (c_ij * Σ_k B_k == c_ij), which keeps every row's
+    // right-hand side at zero — no artificial variables, no phase-1
+    // degeneracy.
+    for (i, s) in stages.iter().enumerate() {
+        for j in 0..m {
+            if s.sharded[j] == 0.0 && s.replicated[j] == 0.0 {
+                continue;
+            }
+            let mut row = vec![s.replicated[j]; n];
+            row[j] += s.sharded[j];
+            for cell in row.iter_mut().skip(m) {
+                *cell = 0.0;
+            }
+            row[m + 1 + i] = -1.0;
+            p.constrain(row, Relation::Le, 0.0);
+        }
+    }
+
+    let sol = p.solve()?;
+    Ok(sol.x[..m].to_vec())
+}
+
+/// Extracts per-stage linear coefficients from the program, attributing the
+/// All-To-All re-sharding at segment boundaries (Sec. 5.2) to the consuming
+/// segment.
+fn collect_stages(
+    graph: &Graph,
+    program: &DistProgram,
+    devices: &[VirtualDevice],
+    profile: &CommProfile,
+    segments: usize,
+) -> Vec<StageData> {
+    let m = devices.len();
+    let mut stages: Vec<StageData> = Vec::new();
+    let mut cur = StageData {
+        segment: 0,
+        sharded: vec![0.0; m],
+        replicated: vec![0.0; m],
+        comm_u: 0.0,
+    };
+    let mut cur_has_segment = false;
+    for instr in &program.instrs {
+        match instr {
+            DistInstr::Leaf { .. } => {}
+            DistInstr::Compute { node, rule } => {
+                let flops = graph.node_flops(*node);
+                match rule.comp_scaling() {
+                    CompScaling::Sharded => {
+                        for (j, d) in devices.iter().enumerate() {
+                            cur.sharded[j] += flops / d.flops;
+                            cur.replicated[j] += hap_synthesis::LAUNCH_OVERHEAD;
+                        }
+                    }
+                    CompScaling::Replicated => {
+                        for (j, d) in devices.iter().enumerate() {
+                            cur.replicated[j] += flops / d.flops + hap_synthesis::LAUNCH_OVERHEAD;
+                        }
+                    }
+                }
+                if !cur_has_segment {
+                    cur.segment = graph.node(*node).segment;
+                    cur_has_segment = true;
+                }
+            }
+            DistInstr::Collective { node, kind } => {
+                stages.push(cur);
+                let bytes = graph.node_bytes(*node) as f64;
+                let (comm_u, _const) = linearize_collective(kind, bytes, profile);
+                cur = StageData {
+                    segment: graph.node(*node).segment,
+                    sharded: vec![0.0; m],
+                    replicated: vec![0.0; m],
+                    comm_u,
+                };
+                cur_has_segment = true;
+            }
+        }
+    }
+    stages.push(cur);
+
+    // Segment-boundary All-To-Alls: tensors produced sharded in one segment
+    // and consumed in another get an A2A charged to the consuming segment.
+    if segments > 1 {
+        let mut boundary_bytes = vec![0f64; segments];
+        let mut produced_sharded = vec![false; graph.len()];
+        for instr in &program.instrs {
+            if let DistInstr::Compute { node, rule } = instr {
+                if rule.output.shard_dim().is_some() {
+                    produced_sharded[*node] = true;
+                }
+            }
+        }
+        for node in graph.nodes() {
+            for &input in &node.inputs {
+                let (sa, sb) = (graph.node(input).segment, node.segment);
+                if sa != sb && produced_sharded[input] {
+                    boundary_bytes[sb.min(segments - 1)] += graph.node_bytes(input) as f64;
+                }
+            }
+        }
+        if let Some(model) = profile.model(CollKind::AllToAll) {
+            for (seg, &bytes) in boundary_bytes.iter().enumerate() {
+                if bytes > 0.0 {
+                    stages.push(StageData {
+                        segment: seg,
+                        sharded: vec![0.0; m],
+                        replicated: vec![0.0; m],
+                        comm_u: model.sec_per_byte * bytes,
+                    });
+                }
+            }
+        }
+    }
+    stages
+}
+
+/// Decomposes a collective's estimated time into `coef_u * u + const` where
+/// `u = max_j B_j` (the largest shard carries `bytes * u`).
+fn linearize_collective(
+    kind: &CollectiveInstr,
+    bytes: f64,
+    profile: &CommProfile,
+) -> (f64, f64) {
+    match kind {
+        CollectiveInstr::AllReduce => {
+            (0.0, profile.estimate(CollKind::AllReduce, bytes, bytes))
+        }
+        CollectiveInstr::AllGather { grouped: true, .. } => {
+            (0.0, profile.estimate(CollKind::GroupedBroadcast, bytes, bytes))
+        }
+        CollectiveInstr::AllGather { grouped: false, .. } => {
+            linear_of(profile, CollKind::AllGatherPadded, bytes)
+        }
+        CollectiveInstr::ReduceScatter { .. } => {
+            linear_of(profile, CollKind::ReduceScatter, bytes)
+        }
+        CollectiveInstr::AllToAll { .. } => linear_of(profile, CollKind::AllToAll, bytes),
+    }
+}
+
+fn linear_of(profile: &CommProfile, kind: CollKind, bytes: f64) -> (f64, f64) {
+    match profile.model(kind) {
+        Some(model) => (model.sec_per_byte * bytes, model.latency),
+        None => (0.0, 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::estimate_time;
+    use hap_cluster::{ClusterSpec, Granularity};
+    use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+    use hap_graph::GraphBuilder;
+    use hap_synthesis::{synthesize, SynthConfig};
+
+    fn setup(
+        batch: usize,
+        width: usize,
+    ) -> (Graph, DistProgram, Vec<VirtualDevice>, CommProfile, ShardingRatios) {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![batch, width]);
+        let w = g.parameter("w", vec![width, width]);
+        let labels = g.label("y", vec![batch]);
+        let h = g.matmul(x, w);
+        let loss = g.cross_entropy(h, labels);
+        let graph = g.build_training(loss).unwrap();
+        let cluster = ClusterSpec::fig17_cluster();
+        let devices = cluster.virtual_devices(Granularity::PerGpu);
+        let profile = profile_collectives(
+            &GroundTruthNet::new(NetworkParams::paper_cloud()),
+            devices.len(),
+        );
+        let ratios = vec![cluster.proportional_ratios(Granularity::PerGpu)];
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default())
+            .unwrap();
+        (graph, q, devices, profile, ratios)
+    }
+
+    #[test]
+    fn optimized_ratios_never_worse() {
+        let (graph, q, devices, profile, initial) = setup(262144, 256);
+        let before = estimate_time(&graph, &q, &devices, &profile, &initial);
+        let ratios = optimize_ratios(&graph, &q, &devices, &profile).unwrap();
+        let after = estimate_time(&graph, &q, &devices, &profile, &ratios);
+        assert!(after <= before + 1e-9, "LP must not worsen: {after} vs {before}");
+        let sum: f64 = ratios[0].iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_bound_ratios_track_device_speed() {
+        // Huge compute, trivial communication: the optimum approaches
+        // compute-proportional ratios (the CP end of Fig. 2).
+        let (graph, q, devices, profile, _) = setup(1 << 20, 128);
+        let ratios = optimize_ratios(&graph, &q, &devices, &profile).unwrap();
+        let r = &ratios[0];
+        // A100s (0,1) must receive more than P100s (2,3).
+        assert!(r[0] > r[2], "ratios {r:?}");
+        assert!(r[1] > r[3], "ratios {r:?}");
+    }
+
+    #[test]
+    fn ratios_are_nonnegative_and_normalized() {
+        let (graph, q, devices, profile, _) = setup(65536, 512);
+        let ratios = optimize_ratios(&graph, &q, &devices, &profile).unwrap();
+        for row in &ratios {
+            assert_eq!(row.len(), devices.len());
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            for &b in row {
+                assert!(b >= -1e-9);
+            }
+        }
+    }
+}

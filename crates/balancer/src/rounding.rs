@@ -1,0 +1,97 @@
+//! Integer rounding of fractional shard sizes (paper Sec. 5.1).
+
+/// Rounds fractional shard sizes `ratio * extent` to integers summing to
+/// `extent`.
+///
+/// "We first set the sharded sizes to their nearest integers. If the sum is
+/// larger or smaller than the original size, we repeatedly reduce/increase
+/// the size by one for a shard that introduces smallest rounding errors,
+/// until the sizes of the sharded tensors sum to the original tensor."
+///
+/// Zero-sized shards are allowed (a slow device can receive nothing, as in
+/// the uneven expert placement of Fig. 17).
+pub fn round_shards(extent: usize, ratios: &[f64]) -> Vec<usize> {
+    if ratios.is_empty() {
+        return Vec::new();
+    }
+    let targets: Vec<f64> = ratios.iter().map(|&r| r.max(0.0) * extent as f64).collect();
+    let mut sizes: Vec<usize> = targets.iter().map(|&t| t.round() as usize).collect();
+    let mut sum: i64 = sizes.iter().map(|&s| s as i64).sum();
+    let extent_i = extent as i64;
+    while sum > extent_i {
+        // Decrement the shard whose decrement introduces the smallest error:
+        // the one with the largest (size - target) and size > 0.
+        let j = (0..sizes.len())
+            .filter(|&j| sizes[j] > 0)
+            .max_by(|&a, &b| {
+                let ea = sizes[a] as f64 - targets[a];
+                let eb = sizes[b] as f64 - targets[b];
+                ea.partial_cmp(&eb).expect("finite errors")
+            })
+            .expect("sum > extent implies some shard > 0");
+        sizes[j] -= 1;
+        sum -= 1;
+    }
+    while sum < extent_i {
+        let j = (0..sizes.len())
+            .min_by(|&a, &b| {
+                let ea = sizes[a] as f64 - targets[a];
+                let eb = sizes[b] as f64 - targets[b];
+                ea.partial_cmp(&eb).expect("finite errors")
+            })
+            .expect("non-empty ratios");
+        sizes[j] += 1;
+        sum += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_ratios_round_exactly() {
+        assert_eq!(round_shards(8, &[0.5, 0.25, 0.25]), vec![4, 2, 2]);
+    }
+
+    #[test]
+    fn sums_always_match() {
+        for extent in [1usize, 5, 7, 100, 2048] {
+            for ratios in [
+                vec![0.33, 0.33, 0.34],
+                vec![0.9, 0.05, 0.05],
+                vec![0.25; 4],
+                vec![1.0],
+                vec![0.5, 0.5, 0.0],
+            ] {
+                let sizes = round_shards(extent, &ratios);
+                assert_eq!(sizes.iter().sum::<usize>(), extent, "{extent} {ratios:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_small_extents_allow_zero_shards() {
+        // 6 experts over 4 devices with A100-heavy ratios (the Fig. 17 case).
+        let sizes = round_shards(6, &[0.35, 0.35, 0.15, 0.15]);
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert!(sizes[0] >= sizes[2]);
+        // 1 unit over many devices: exactly one gets it.
+        let one = round_shards(1, &[0.3, 0.3, 0.2, 0.2]);
+        assert_eq!(one.iter().sum::<usize>(), 1);
+        assert_eq!(one.iter().filter(|&&s| s > 0).count(), 1);
+    }
+
+    #[test]
+    fn empty_ratios() {
+        assert!(round_shards(10, &[]).is_empty());
+    }
+
+    #[test]
+    fn rounding_error_is_minimal() {
+        let ratios = [0.4, 0.3, 0.3];
+        let sizes = round_shards(10, &ratios);
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+}

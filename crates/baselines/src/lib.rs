@@ -1,0 +1,32 @@
+//! Baseline distributed training strategies (paper Sec. 7.1).
+//!
+//! HAP is compared against four systems; each is reproduced here as a
+//! *strategy generator* that emits a distributed program in the same
+//! instruction set HAP synthesizes, so all systems are priced by the same
+//! cost model and simulator:
+//!
+//! * **DP-EV** — PyTorch-DDP-style data parallelism with even sharding
+//!   ratios: batch-sharded activations, replicated parameters, all-reduced
+//!   gradients.
+//! * **DP-CP** — the same program with ratios proportional to device
+//!   compute power.
+//! * **DeepSpeed-like** — ZeRO-style data parallelism (gradients
+//!   reduce-scattered, updates sharded) plus expert parallelism for MoE
+//!   layers (expert weights sharded on the expert dimension with the
+//!   GShard All-To-All exchange). Even ratios: DeepSpeed is not
+//!   heterogeneity-aware.
+//! * **TAG-like** — heterogeneity-aware data parallelism that additionally
+//!   applies sufficient factor broadcasting per gradient when beneficial
+//!   (TAG's ILP decision, taken greedily per tensor with the same cost
+//!   model).
+//!
+//! Programs are built by [`propagate`], a deterministic sharding-propagation
+//! walker (in the spirit of GSPMD): each op picks the matching rule with
+//! the cheapest input conversions, inserting collectives where producer and
+//! consumer placements disagree.
+
+mod strategy;
+mod walker;
+
+pub use strategy::{build_baseline, Baseline, BaselinePlan, BaselineError};
+pub use walker::{propagate, GradSync, WalkOptions};

@@ -1,0 +1,154 @@
+//! The four baseline systems as strategy generators.
+
+use hap_cluster::{ClusterSpec, Granularity};
+use hap_graph::Graph;
+use hap_synthesis::{DistProgram, ShardingRatios};
+
+use crate::walker::{propagate, GradSync, WalkError, WalkOptions};
+
+/// The baseline systems of paper Sec. 7.1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Baseline {
+    /// Data parallelism, even sharding ratios (PyTorch DDP).
+    DpEv,
+    /// Data parallelism, compute-proportional sharding ratios.
+    DpCp,
+    /// DeepSpeed-like: ZeRO gradient sharding + expert parallelism, even
+    /// ratios.
+    DeepSpeed,
+    /// TAG-like: heterogeneity-aware DP with per-tensor SFB decisions.
+    Tag,
+}
+
+impl Baseline {
+    /// All baselines in paper order.
+    pub fn all() -> [Baseline; 4] {
+        [Baseline::DpEv, Baseline::DpCp, Baseline::DeepSpeed, Baseline::Tag]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::DpEv => "DP-EV",
+            Baseline::DpCp => "DP-CP",
+            Baseline::DeepSpeed => "DeepSpeed",
+            Baseline::Tag => "TAG",
+        }
+    }
+}
+
+/// A baseline's program and ratios, comparable to a HAP plan.
+#[derive(Clone, Debug)]
+pub struct BaselinePlan {
+    /// The strategy's distributed program.
+    pub program: DistProgram,
+    /// Its sharding-ratio matrix (one row per model segment).
+    pub ratios: ShardingRatios,
+}
+
+/// Baseline construction failures.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// The propagation walker got stuck.
+    Walk(WalkError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Walk(e) => write!(f, "baseline program construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<WalkError> for BaselineError {
+    fn from(e: WalkError) -> Self {
+        BaselineError::Walk(e)
+    }
+}
+
+/// Builds the program and ratios of a baseline system for `graph` on
+/// `cluster`.
+pub fn build_baseline(
+    baseline: Baseline,
+    graph: &Graph,
+    cluster: &ClusterSpec,
+    granularity: Granularity,
+) -> Result<BaselinePlan, BaselineError> {
+    let segments = graph.segment_count().max(1);
+    let even = cluster.even_ratios(granularity);
+    let prop = cluster.proportional_ratios(granularity);
+    let (opts, row) = match baseline {
+        Baseline::DpEv => (WalkOptions::default(), even),
+        Baseline::DpCp => (WalkOptions::default(), prop),
+        Baseline::DeepSpeed => (
+            WalkOptions {
+                grad_sync: GradSync::ReduceScatter,
+                expert_parallel: Some("expert_w".into()),
+                sfb_flop_cost: None,
+            },
+            even,
+        ),
+        Baseline::Tag => {
+            // TAG compares SFB against all-reduce with a cost model; the
+            // flop-to-bytes rate uses the slowest device in the cluster.
+            let slowest = cluster
+                .virtual_devices(granularity)
+                .iter()
+                .map(|d| d.flops)
+                .fold(f64::INFINITY, f64::min);
+            let bw = cluster.inter_bandwidth;
+            (
+                WalkOptions {
+                    grad_sync: GradSync::AllReduce,
+                    expert_parallel: None,
+                    sfb_flop_cost: Some(bw / slowest),
+                },
+                prop,
+            )
+        }
+    };
+    let program = propagate(graph, &opts)?;
+    Ok(BaselinePlan { program, ratios: vec![row; segments] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_models::{bert_moe, mlp, MlpConfig, MoeConfig};
+
+    #[test]
+    fn all_baselines_build_for_mlp() {
+        let graph = mlp(&MlpConfig::tiny());
+        let cluster = ClusterSpec::fig17_cluster();
+        for b in Baseline::all() {
+            let plan = build_baseline(b, &graph, &cluster, Granularity::PerGpu).unwrap();
+            assert!(plan.program.is_complete(&graph), "{} incomplete", b.name());
+            let sum: f64 = plan.ratios[0].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dp_ev_and_cp_differ_only_in_ratios() {
+        let graph = mlp(&MlpConfig::tiny());
+        let cluster = ClusterSpec::fig17_cluster();
+        let ev = build_baseline(Baseline::DpEv, &graph, &cluster, Granularity::PerGpu).unwrap();
+        let cp = build_baseline(Baseline::DpCp, &graph, &cluster, Granularity::PerGpu).unwrap();
+        assert_eq!(ev.program.instrs.len(), cp.program.instrs.len());
+        assert_ne!(ev.ratios, cp.ratios);
+        // On the heterogeneous cluster CP weights the A100s more.
+        assert!(cp.ratios[0][0] > cp.ratios[0][2]);
+    }
+
+    #[test]
+    fn deepspeed_builds_for_moe() {
+        let graph = bert_moe(&MoeConfig::tiny(4));
+        let cluster = ClusterSpec::fig17_cluster();
+        let plan =
+            build_baseline(Baseline::DeepSpeed, &graph, &cluster, Granularity::PerGpu).unwrap();
+        assert!(plan.program.is_complete(&graph));
+    }
+}

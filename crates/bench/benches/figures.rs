@@ -1,0 +1,20 @@
+//! `cargo bench` target that regenerates every table and figure.
+//!
+//! Not a criterion harness: the "benchmark" here is the paper's evaluation
+//! itself. Output is the same series the `fig*` binaries print.
+use hap_bench::figures as f;
+
+fn main() {
+    // `cargo bench` passes --bench; ignore arguments.
+    f::table1();
+    f::fig02();
+    f::fig04();
+    f::fig11();
+    f::fig13();
+    f::fig14();
+    f::fig15();
+    f::fig16();
+    f::fig17();
+    f::fig18();
+    f::fig19();
+}

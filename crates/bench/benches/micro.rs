@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks for HAP's building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hap_balancer::{estimate_time, optimize_ratios, round_shards};
+use hap_cluster::{ClusterSpec, Granularity};
+use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+use hap_lp::{Problem, Relation};
+use hap_models::{transformer_layer, TransformerConfig};
+use hap_synthesis::{synthesize, SynthConfig, Theory};
+use hap_tensor::Tensor;
+
+fn bench_tensor(c: &mut Criterion) {
+    let a = Tensor::randn(vec![64, 64], 1);
+    let b = Tensor::randn(vec![64, 64], 2);
+    c.bench_function("tensor/matmul_64", |bench| {
+        bench.iter(|| black_box(&a).matmul(black_box(&b)).unwrap())
+    });
+    let t = Tensor::randn(vec![1024, 64], 3);
+    c.bench_function("tensor/split_concat_1024x64", |bench| {
+        bench.iter(|| {
+            let parts = black_box(&t).split_sizes(0, &[300, 500, 224]).unwrap();
+            Tensor::concat(&parts, 0).unwrap()
+        })
+    });
+}
+
+fn bench_lp(c: &mut Criterion) {
+    c.bench_function("lp/balancer_shaped_8dev_6stage", |bench| {
+        bench.iter(|| {
+            let m = 8;
+            let stages = 6;
+            let n = m + 1 + stages;
+            let mut obj = vec![0.0; n];
+            obj[m] = 3.0;
+            for i in 0..stages {
+                obj[m + 1 + i] = 1.0;
+            }
+            let mut p = Problem::minimize(obj);
+            let mut simplex = vec![0.0; n];
+            simplex[..m].fill(1.0);
+            p.constrain(simplex, Relation::Eq, 1.0);
+            for j in 0..m {
+                let mut row = vec![0.0; n];
+                row[j] = 1.0;
+                row[m] = -1.0;
+                p.constrain(row, Relation::Le, 0.0);
+            }
+            for i in 0..stages {
+                for j in 0..m {
+                    let mut row = vec![0.0; n];
+                    row[j] = 1.0 + (i + j) as f64 * 0.1;
+                    row[m + 1 + i] = -1.0;
+                    p.constrain(row, Relation::Le, 0.0);
+                }
+            }
+            black_box(p.solve().unwrap())
+        })
+    });
+    c.bench_function("lp/round_shards_64dev", |bench| {
+        let ratios: Vec<f64> = (0..64).map(|i| 1.0 + (i % 7) as f64).collect();
+        let total: f64 = ratios.iter().sum();
+        let ratios: Vec<f64> = ratios.iter().map(|r| r / total).collect();
+        bench.iter(|| black_box(round_shards(2048, black_box(&ratios))))
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let graph = transformer_layer(&TransformerConfig {
+        batch: 512,
+        seq: 128,
+        hidden: 256,
+        heads: 8,
+        ffn: 1024,
+    });
+    let cluster = ClusterSpec::paper_heterogeneous(1);
+    let devices = cluster.virtual_devices(Granularity::PerMachine);
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    let profile = profile_collectives(&net, devices.len());
+    let ratios =
+        vec![cluster.proportional_ratios(Granularity::PerMachine); graph.segment_count()];
+
+    c.bench_function("synthesis/theory_build_transformer", |bench| {
+        bench.iter(|| black_box(Theory::build(black_box(&graph))))
+    });
+    let cfg = SynthConfig { time_budget_secs: 0.0, ..SynthConfig::default() };
+    c.bench_function("synthesis/greedy_program_transformer", |bench| {
+        bench.iter(|| {
+            black_box(synthesize(&graph, &devices, &profile, &ratios, &cfg).unwrap())
+        })
+    });
+    let q = synthesize(&graph, &devices, &profile, &ratios, &cfg).unwrap();
+    c.bench_function("balancer/lp_ratios_transformer", |bench| {
+        bench.iter(|| black_box(optimize_ratios(&graph, &q, &devices, &profile).unwrap()))
+    });
+    c.bench_function("balancer/estimate_transformer", |bench| {
+        bench.iter(|| black_box(estimate_time(&graph, &q, &devices, &profile, &ratios)))
+    });
+}
+
+criterion_group!(benches, bench_tensor, bench_lp, bench_synthesis);
+criterion_main!(benches);

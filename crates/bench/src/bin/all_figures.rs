@@ -1,0 +1,16 @@
+//! Regenerates every table and figure of the paper in one run.
+use hap_bench::figures as f;
+
+fn main() {
+    f::table1();
+    f::fig02();
+    f::fig04();
+    f::fig11();
+    f::fig13();
+    f::fig14();
+    f::fig15();
+    f::fig16();
+    f::fig17();
+    f::fig18();
+    f::fig19();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 13 series; see EXPERIMENTS.md.
+fn main() {
+    hap_bench::figures::fig13();
+}

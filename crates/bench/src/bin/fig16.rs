@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 16 series; see EXPERIMENTS.md.
+fn main() {
+    hap_bench::figures::fig16();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 19 series; see EXPERIMENTS.md.
+fn main() {
+    hap_bench::figures::fig19();
+}

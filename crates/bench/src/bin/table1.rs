@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 series; see EXPERIMENTS.md.
+fn main() {
+    hap_bench::figures::table1();
+}

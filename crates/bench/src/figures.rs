@@ -1,0 +1,445 @@
+//! One function per table/figure of the paper's evaluation (Sec. 7).
+//!
+//! Model depths are reduced relative to the paper (4 encoder layers instead
+//! of 12, 64-pixel VGG inputs instead of 224) so a full sweep finishes in
+//! minutes on a laptop; per-layer structure, batch scaling and cluster
+//! shapes follow the paper exactly, and Fig. 19 covers depth scaling
+//! explicitly. EXPERIMENTS.md records paper-vs-measured for every series.
+
+use std::time::Instant;
+
+use hap::prelude::*;
+use hap_balancer::estimate_time;
+use hap_baselines::Baseline;
+use hap_cluster::ClusterSpec;
+use hap_collectives::{profile_collectives, CollKind, GroundTruthNet, NetworkParams};
+use hap_graph::Graph;
+use hap_models::{
+    bert_base, bert_moe, transformer_layer, vgg19, vit, Benchmark, BertConfig, MoeConfig,
+    TransformerConfig, VggConfig, VitConfig,
+};
+
+use crate::{harness_options, net_for, print_row, run_baseline, run_hap, run_hap_with, sim_options};
+
+/// Harness-scale variant of a benchmark model (paper shapes, reduced depth).
+pub fn harness_model(b: Benchmark, gpus: usize) -> Graph {
+    let batch = b.per_device_batch() * gpus;
+    match b {
+        Benchmark::Vgg19 => vgg19(&VggConfig { batch, image: 64, ..VggConfig::paper() }),
+        Benchmark::Vit => vit(&VitConfig { batch, layers: 4, ..VitConfig::paper() }),
+        Benchmark::BertBase => bert_base(&BertConfig { batch, layers: 4, ..BertConfig::paper() }),
+        // Every layer carries an MoE block so the harness-depth model keeps
+        // the paper's expert-parameter share (12-layer / 6-MoE at full depth).
+        Benchmark::BertMoe => bert_moe(&MoeConfig {
+            bert: BertConfig { batch, layers: 4, ..BertConfig::paper() },
+            experts: gpus.max(2),
+            expert_hidden: 3900,
+            moe_every: 1,
+        }),
+    }
+}
+
+/// Table 1: benchmark models and parameter counts.
+pub fn table1() {
+    println!("== Table 1: benchmark models ==");
+    println!("{:<12} {:>22} {:>18}", "model", "task", "params (M)");
+    let rows: [(&str, &str, f64); 4] = [
+        ("VGG19", "Image Classification", vgg19(&VggConfig::paper()).parameter_count() as f64),
+        ("ViT", "Image Classification", vit(&VitConfig::paper()).parameter_count() as f64),
+        ("BERT-Base", "Language Model", bert_base(&BertConfig::paper()).parameter_count() as f64),
+        (
+            "BERT-MoE(m=8)",
+            "Language Model",
+            bert_moe(&MoeConfig::paper_scaled(8)).parameter_count() as f64,
+        ),
+    ];
+    for (name, task, p) in rows {
+        println!("{name:<12} {task:>22} {:>18.1}", p / 1e6);
+    }
+    println!("paper: VGG19 133M, ViT 54M, BERT-Base 102M, BERT-MoE 84+36m M\n");
+}
+
+/// Fig. 2: CP vs EV sharding under different computation-to-communication
+/// ratios (Transformer layer on 2xP100 + 2xA100, hidden width swept).
+pub fn fig02() {
+    println!("== Fig. 2: CP vs EV sharding ratios (Transformer, 2xP100 + 2xA100) ==");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "batch", "comp/comm", "CP (ms)", "EV (ms)", "winner"
+    );
+    let cluster = ClusterSpec::fig2_cluster();
+    let devices = cluster.virtual_devices(Granularity::PerGpu);
+    let net = net_for(&cluster);
+    let profile = profile_collectives(&net, devices.len());
+    // The paper sweeps the computation-to-communication ratio by changing
+    // the hidden width; under our network calibration both computation and
+    // gradient bytes scale quadratically with the width, so the batch size
+    // is the lever that actually moves the ratio (computation scales with
+    // it, parameter synchronization does not).
+    for batch in [4usize, 8, 16, 32, 64, 128, 256] {
+        let graph = transformer_layer(&TransformerConfig {
+            batch,
+            ..TransformerConfig::fig2(768)
+        });
+        // The paper's motivating setup shards tensors across the GPUs
+        // (intra-op parallelism with All-Gather/Reduce-Scatter, whose time
+        // follows the largest shard). The ZeRO-style baseline program has
+        // exactly that shape.
+        let Ok(plan) = hap_baselines::build_baseline(
+            hap_baselines::Baseline::DeepSpeed,
+            &graph,
+            &cluster,
+            Granularity::PerGpu,
+        ) else {
+            continue;
+        };
+        let segs = graph.segment_count();
+        let cp = vec![cluster.proportional_ratios(Granularity::PerGpu); segs];
+        let ev = vec![cluster.even_ratios(Granularity::PerGpu); segs];
+        let t_cp = estimate_time(&graph, &plan.program, &devices, &profile, &cp);
+        let t_ev = estimate_time(&graph, &plan.program, &devices, &profile, &ev);
+        // Computation-to-communication ratio on the slowest device under EV.
+        let stages =
+            hap_balancer::stage_breakdown(&graph, &plan.program, &devices, &profile, &ev);
+        let comp: f64 = stages
+            .iter()
+            .map(|s| s.comp.iter().cloned().fold(0.0, f64::max))
+            .sum();
+        let comm: f64 = stages.iter().map(|s| s.comm).sum();
+        let ratio = if comm > 0.0 { comp / comm } else { f64::INFINITY };
+        println!(
+            "{batch:<8} {ratio:>12.2} {:>12.2} {:>12.2} {:>12}",
+            t_cp * 1e3,
+            t_ev * 1e3,
+            if t_cp < t_ev { "CP" } else { "EV" }
+        );
+    }
+    println!("paper: CP wins when computation dominates; EV wins when communication does\n");
+}
+
+/// Fig. 4: padded All-Gather vs grouped Broadcast bandwidth under skew.
+pub fn fig04() {
+    println!("== Fig. 4: All-Gather implementations on uneven shards (4 MB, 4 devices) ==");
+    println!("{:<10} {:>16} {:>18}", "max ratio", "padded (GB/s)", "grouped (GB/s)");
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    let total = 4.0 * 1024.0 * 1024.0;
+    let m = 4usize;
+    for step in 0..=14 {
+        let r = 0.3 + step as f64 * 0.05;
+        if r > 1.0 {
+            break;
+        }
+        let rest = total * (1.0 - r) / (m as f64 - 1.0);
+        let mut shards = vec![total * r];
+        shards.extend(std::iter::repeat_n(rest, m - 1));
+        let t_pad = net.collective_time(CollKind::AllGatherPadded, &shards);
+        let t_grp = net.collective_time(CollKind::GroupedBroadcast, &shards);
+        println!(
+            "{r:<10.2} {:>16.3} {:>18.3}",
+            total / t_pad / 1e9,
+            total / t_grp / 1e9
+        );
+    }
+    println!("paper: padded wins near-even; grouped wins under heavy skew (crossover ~0.5)\n");
+}
+
+/// Fig. 11: the A* walk-through example.
+pub fn fig11() {
+    println!("== Fig. 11: synthesis walk-through (loss = sum(x . w)) ==");
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("e1", vec![4096, 1024]);
+    let w = g.parameter("e2", vec![1024, 512]);
+    let y = g.matmul(x, w);
+    let loss = g.sum_all(y);
+    let graph = g.build_forward();
+    let _ = (x, w, y, loss);
+    let cluster = ClusterSpec::fig17_cluster();
+    let plan = hap::parallelize(
+        &graph,
+        &cluster,
+        &HapOptions { max_rounds: 1, ..harness_options(Granularity::PerGpu) },
+    )
+    .expect("fig11 synthesizes");
+    print!("{}", plan.listing());
+    println!("estimated time: {:.3} ms", plan.estimated_time * 1e3);
+    println!("paper: data-parallel program (placeholder-shard(0), parameter(), matmul, sum)\n");
+}
+
+fn speed_table(title: &str, clusters: &[(usize, ClusterSpec)], baselines: &[Baseline]) {
+    println!("{title}");
+    let granularity = Granularity::PerMachine;
+    for b in Benchmark::all() {
+        println!("--- {} (per-iteration seconds) ---", b.name());
+        let labels: Vec<String> =
+            clusters.iter().map(|(g, _)| format!("{g} GPUs")).collect();
+        print_row("system", &labels);
+        let mut hap_cells = Vec::new();
+        let mut base_cells: Vec<Vec<String>> = vec![Vec::new(); baselines.len()];
+        for (gpus, cluster) in clusters {
+            let graph = harness_model(b, *gpus);
+            hap_cells.push(run_hap(&graph, cluster, granularity).display());
+            for (i, &bl) in baselines.iter().enumerate() {
+                base_cells[i].push(run_baseline(bl, &graph, cluster, granularity).display());
+            }
+        }
+        print_row("HAP", &hap_cells);
+        for (i, &bl) in baselines.iter().enumerate() {
+            print_row(bl.name(), &base_cells[i]);
+        }
+    }
+    println!();
+}
+
+/// Fig. 13: per-iteration time on the heterogeneous cluster (8-64 GPUs).
+pub fn fig13() {
+    let clusters: Vec<(usize, ClusterSpec)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&k| (8 * k, ClusterSpec::paper_heterogeneous(k)))
+        .collect();
+    speed_table(
+        "== Fig. 13: heterogeneous cluster (2x V100-machines + 6x P100-machines) ==",
+        &clusters,
+        &Baseline::all(),
+    );
+    println!("paper: HAP wins everywhere; up to 2.41x over DP on VGG19; DP OOMs on BERT-MoE\n");
+}
+
+/// Fig. 14: per-iteration time on the homogeneous cluster (8-32 GPUs).
+pub fn fig14() {
+    let clusters: Vec<(usize, ClusterSpec)> = [2usize, 4, 6, 8]
+        .iter()
+        .map(|&k| (4 * k, ClusterSpec::paper_homogeneous(k)))
+        .collect();
+    speed_table(
+        "== Fig. 14: homogeneous cluster (4x P100-machines) ==",
+        &clusters,
+        &[Baseline::DpEv, Baseline::DeepSpeed, Baseline::Tag],
+    );
+    println!("paper: HAP still wins (217%/19%/22%/13% over best baseline per model)\n");
+}
+
+/// Fig. 15: ablation — DP-EV vs +Q (synthesizer) vs +B (balancer) vs +C
+/// (communication optimization), as throughput relative to full HAP.
+pub fn fig15() {
+    println!("== Fig. 15: ablation (throughput % of full HAP, heterogeneous 16 GPUs) ==");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "model", "DP-EV", "+Q", "+B", "+C(full)"
+    );
+    let cluster = ClusterSpec::paper_heterogeneous(2);
+    let granularity = Granularity::PerMachine;
+    for b in Benchmark::all() {
+        let graph = harness_model(b, 16);
+        let base = harness_options(granularity);
+        // +Q: synthesized program, no load balancing, no comm optimization.
+        let q = HapOptions {
+            balance: false,
+            synth: SynthConfig { grouped_broadcast: false, sfb: false, ..base.synth },
+            ..base.clone()
+        };
+        // +B: add the LP balancer.
+        let qb = HapOptions {
+            balance: true,
+            synth: SynthConfig { grouped_broadcast: false, sfb: false, ..base.synth },
+            ..base.clone()
+        };
+        // +C: full HAP (grouped broadcast + SFB rules).
+        let qbc = base.clone();
+        let t_dp = run_baseline(Baseline::DpEv, &graph, &cluster, granularity).iteration_time;
+        let t_q = run_hap_with(&graph, &cluster, &q).iteration_time;
+        let t_qb = run_hap_with(&graph, &cluster, &qb).iteration_time;
+        let t_qbc = run_hap_with(&graph, &cluster, &qbc).iteration_time;
+        let full = t_qbc.unwrap_or(f64::NAN);
+        let pct = |t: Option<f64>| match t {
+            Some(t) if t > 0.0 => format!("{:.0}", full / t * 100.0),
+            _ => "OOM".into(),
+        };
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10}",
+            b.name(),
+            pct(t_dp),
+            pct(t_q),
+            pct(t_qb),
+            "100"
+        );
+    }
+    println!("paper: the synthesizer (Q) contributes most; C is small at mild heterogeneity\n");
+}
+
+/// Fig. 16: HAP on the whole heterogeneous cluster vs training two models
+/// concurrently on its homogeneous halves.
+pub fn fig16() {
+    println!("== Fig. 16: HAP vs concurrent homogeneous subclusters ==");
+    println!(
+        "{:<12} {:>16} {:>16} {:>12}",
+        "model", "conc V100 (%)", "conc P100 (%)", "HAP (%)"
+    );
+    let k = 2usize; // GPUs per machine
+    let whole = ClusterSpec::paper_heterogeneous(k);
+    let v100s = ClusterSpec::new(
+        (0..2).map(|_| hap::cluster::Machine::nvlink(hap::cluster::DeviceType::v100(), k)).collect(),
+        whole.inter_bandwidth,
+        whole.inter_latency,
+    );
+    let p100s = ClusterSpec::new(
+        (0..6).map(|_| hap::cluster::Machine::pcie(hap::cluster::DeviceType::p100(), k)).collect(),
+        whole.inter_bandwidth,
+        whole.inter_latency,
+    );
+    let granularity = Granularity::PerMachine;
+    for b in Benchmark::all() {
+        let thr = |cluster: &ClusterSpec, gpus: usize| -> f64 {
+            let graph = harness_model(b, gpus);
+            let samples = (b.per_device_batch() * gpus) as f64;
+            match run_hap(&graph, cluster, granularity).iteration_time {
+                Some(t) => samples / t,
+                None => 0.0,
+            }
+        };
+        let t_v = thr(&v100s, 2 * k);
+        let t_p = thr(&p100s, 6 * k);
+        let t_h = thr(&whole, 8 * k);
+        let total = t_v + t_p;
+        println!(
+            "{:<12} {:>16.1} {:>16.1} {:>12.1}",
+            b.name(),
+            t_v / total * 100.0,
+            t_p / total * 100.0,
+            t_h / total * 100.0
+        );
+    }
+    println!("paper: HAP reaches 64-96% of the concurrent total while training ONE model\n");
+}
+
+/// Fig. 17: BERT-MoE with uneven expert placement vs padded experts.
+pub fn fig17() {
+    println!("== Fig. 17: uneven expert placement (2xA100 + 2xP100) ==");
+    println!("{:<10} {:>14} {:>16}", "experts", "HAP (s)", "DeepSpeed (s)");
+    let cluster = ClusterSpec::fig17_cluster();
+    let granularity = Granularity::PerGpu;
+    let devices = 4usize;
+    for experts in (4..=32).step_by(4) {
+        let small = |experts: usize| MoeConfig {
+            bert: BertConfig {
+                batch: experts * 2, // tokens proportional to experts
+                layers: 2,
+                ..BertConfig::paper()
+            },
+            experts,
+            expert_hidden: 3900,
+            moe_every: 2,
+        };
+        let hap_graph = bert_moe(&small(experts));
+        let hap_t = run_hap(&hap_graph, &cluster, granularity);
+        // DeepSpeed pads the expert count to a multiple of the device count,
+        // with the same token load.
+        let padded = experts.div_ceil(devices) * devices;
+        let mut ds_cfg = small(padded);
+        ds_cfg.bert.batch = experts * 2;
+        let ds_graph = bert_moe(&ds_cfg);
+        let ds_t = run_baseline(Baseline::DeepSpeed, &ds_graph, &cluster, granularity);
+        println!("{experts:<10} {:>14} {:>16}", hap_t.display(), ds_t.display());
+    }
+    println!("paper: HAP is smooth in the expert count and up to 64% faster; DeepSpeed steps\n");
+}
+
+/// Fig. 18: cost-model estimated vs simulated ("actual") time.
+pub fn fig18() {
+    println!("== Fig. 18: cost model accuracy (BERT variants) ==");
+    println!("{:<26} {:>14} {:>14}", "config", "estimated (s)", "actual (s)");
+    let cluster = ClusterSpec::paper_heterogeneous(2);
+    let granularity = Granularity::PerMachine;
+    let mut points = Vec::new();
+    for layers in [2usize, 3, 4] {
+        for hidden in [384usize, 768] {
+            for seq in [64usize, 128] {
+                let graph = bert_base(&BertConfig {
+                    batch: 64 * 16,
+                    layers,
+                    hidden,
+                    heads: 12,
+                    ffn: hidden * 4,
+                    seq,
+                    vocab: 11264,
+                });
+                let r = run_hap(&graph, &cluster, granularity);
+                if let Some(actual) = r.iteration_time {
+                    println!(
+                        "{:<26} {:>14.4} {:>14.4}",
+                        format!("L{layers} h{hidden} s{seq}"),
+                        r.estimated_time,
+                        actual
+                    );
+                    points.push((r.estimated_time, actual));
+                }
+            }
+        }
+    }
+    let r = pearson(&points);
+    let under = points.iter().filter(|(e, a)| e <= a).count();
+    println!(
+        "Pearson r = {r:.3}; {under}/{} configs underestimated (paper: r = 0.970, \
+         systematic underestimation)\n",
+        points.len()
+    );
+}
+
+/// Fig. 19: program synthesis time vs model depth.
+pub fn fig19() {
+    println!("== Fig. 19: program synthesis time vs ViT depth ==");
+    println!("{:<8} {:>8} {:>14}", "layers", "nodes", "synth (s)");
+    let cluster = ClusterSpec::paper_heterogeneous(1);
+    for layers in [2usize, 4, 8, 12, 16, 24] {
+        let graph = vit(&VitConfig { batch: 64 * 8, layers, ..VitConfig::paper() });
+        let t0 = Instant::now();
+        let opts = HapOptions { max_rounds: 1, ..harness_options(Granularity::PerMachine) };
+        let ok = hap::parallelize(&graph, &cluster, &opts).is_ok();
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{layers:<8} {:>8} {:>14.2}{}",
+            graph.len(),
+            dt,
+            if ok { "" } else { "  (failed)" }
+        );
+    }
+    println!("paper: superlinear growth, a few seconds at 24 layers\n");
+}
+
+/// Pearson correlation coefficient of (x, y) pairs.
+pub fn pearson(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov: f64 = points.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = points.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
+    let vy: f64 = points.iter().map(|(_, y)| (y - my) * (y - my)).sum();
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// The deterministic simulated-vs-estimated options (re-exported for bins).
+pub fn options_note() {
+    let _ = (sim_options(), net_for(&ClusterSpec::fig17_cluster()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_of_perfect_line_is_one() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        assert!((pearson(&pts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harness_models_build() {
+        for b in Benchmark::all() {
+            let g = harness_model(b, 8);
+            g.validate().unwrap();
+            assert!(g.parameter_count() > 0);
+        }
+    }
+}

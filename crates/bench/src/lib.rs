@@ -1,0 +1,140 @@
+//! Shared harness for regenerating every table and figure of the HAP paper.
+//!
+//! Each `fig*`/`table1` binary prints the same rows/series the paper
+//! reports; `cargo bench` runs them all through the `figures` bench target.
+//! Absolute numbers come from the simulation substrate (see DESIGN.md §2),
+//! so the *shapes* — who wins, by what factor, where crossovers fall — are
+//! the reproduction targets, not the absolute milliseconds.
+
+pub mod figures;
+
+use hap::prelude::*;
+use hap_baselines::{build_baseline, Baseline};
+use hap_cluster::ClusterSpec;
+use hap_collectives::{GroundTruthNet, NetworkParams};
+use hap_graph::Graph;
+use hap_simulator::{memory_footprint, simulate_time, SimOptions, SimResult};
+
+/// Simulation noise/seed used across all figures (deterministic).
+pub fn sim_options() -> SimOptions {
+    SimOptions { noise: 0.03, seed: 2024, ..SimOptions::default() }
+}
+
+/// The ground-truth network for a cluster spec.
+pub fn net_for(cluster: &ClusterSpec) -> GroundTruthNet {
+    GroundTruthNet::new(NetworkParams {
+        latency: cluster.inter_latency,
+        bandwidth: cluster.inter_bandwidth,
+        ..NetworkParams::paper_cloud()
+    })
+}
+
+/// Synthesis options used by the harness: a tighter refinement budget so a
+/// full figure sweep stays in minutes.
+pub fn harness_options(granularity: Granularity) -> HapOptions {
+    HapOptions {
+        granularity,
+        max_rounds: 3,
+        synth: SynthConfig {
+            time_budget_secs: 2.0,
+            stall_expansions: 2_000,
+            ..Default::default()
+        },
+        ..HapOptions::default()
+    }
+}
+
+/// Result of running one system on one workload.
+#[derive(Clone, Debug)]
+pub struct SystemResult {
+    /// Simulated per-iteration seconds, or `None` on out-of-memory.
+    pub iteration_time: Option<f64>,
+    /// The cost-model estimate (HAP only; baselines report 0).
+    pub estimated_time: f64,
+}
+
+impl SystemResult {
+    /// Renders like the paper's bar charts: seconds or `OOM`.
+    pub fn display(&self) -> String {
+        match self.iteration_time {
+            Some(t) => format!("{t:.3}"),
+            None => "OOM".into(),
+        }
+    }
+}
+
+/// Runs HAP end to end on a workload and simulates the result.
+pub fn run_hap(graph: &Graph, cluster: &ClusterSpec, granularity: Granularity) -> SystemResult {
+    run_hap_with(graph, cluster, &harness_options(granularity))
+}
+
+/// Runs HAP with explicit options (used by the Fig. 15 ablation).
+pub fn run_hap_with(graph: &Graph, cluster: &ClusterSpec, opts: &HapOptions) -> SystemResult {
+    match hap::parallelize(graph, cluster, opts) {
+        Ok(plan) => {
+            let mem = plan.memory();
+            if !mem.fits() {
+                return SystemResult { iteration_time: None, estimated_time: plan.estimated_time };
+            }
+            let sim = plan.simulate(&net_for(cluster), &sim_options());
+            SystemResult {
+                iteration_time: Some(sim.iteration_time),
+                estimated_time: plan.estimated_time,
+            }
+        }
+        Err(_) => SystemResult { iteration_time: None, estimated_time: 0.0 },
+    }
+}
+
+/// Runs a baseline system on a workload and simulates the result.
+pub fn run_baseline(
+    baseline: Baseline,
+    graph: &Graph,
+    cluster: &ClusterSpec,
+    granularity: Granularity,
+) -> SystemResult {
+    let devices = cluster.virtual_devices(granularity);
+    match build_baseline(baseline, graph, cluster, granularity) {
+        Ok(plan) => {
+            let mem = memory_footprint(graph, &plan.program, &devices, &plan.ratios);
+            if !mem.fits() {
+                return SystemResult { iteration_time: None, estimated_time: 0.0 };
+            }
+            let sim: SimResult = simulate_time(
+                graph,
+                &plan.program,
+                &devices,
+                &net_for(cluster),
+                &plan.ratios,
+                &sim_options(),
+            );
+            SystemResult { iteration_time: Some(sim.iteration_time), estimated_time: 0.0 }
+        }
+        Err(_) => SystemResult { iteration_time: None, estimated_time: 0.0 },
+    }
+}
+
+/// Prints one formatted series row.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<14}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_models::Benchmark;
+
+    #[test]
+    fn harness_runs_one_cell() {
+        let graph = Benchmark::Vit.build_tiny(4);
+        let cluster = ClusterSpec::fig17_cluster();
+        let hap = run_hap(&graph, &cluster, Granularity::PerGpu);
+        assert!(hap.iteration_time.is_some());
+        let dp = run_baseline(Baseline::DpEv, &graph, &cluster, Granularity::PerGpu);
+        assert!(dp.iteration_time.is_some());
+    }
+}

@@ -1,0 +1,116 @@
+//! Device and machine descriptions.
+
+/// A GPU model with its published peak characteristics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceType {
+    /// Marketing name, e.g. `"V100"`.
+    pub name: &'static str,
+    /// Peak fp32 throughput in flops per second.
+    pub peak_flops: f64,
+    /// On-board memory in bytes.
+    pub memory_bytes: u64,
+    /// Achievable fraction of peak on DNN training kernels (MFU); the
+    /// synthetic profiler reports `peak_flops * utilization` plus noise.
+    pub utilization: f64,
+}
+
+impl DeviceType {
+    /// NVIDIA P100: 9.3 TFLOPS fp32, 16 GB.
+    pub fn p100() -> Self {
+        DeviceType {
+            name: "P100",
+            peak_flops: 9.3e12,
+            memory_bytes: 16 << 30,
+            utilization: 0.40,
+        }
+    }
+
+    /// NVIDIA V100: 15.7 TFLOPS fp32, 16 GB.
+    pub fn v100() -> Self {
+        DeviceType {
+            name: "V100",
+            peak_flops: 15.7e12,
+            memory_bytes: 16 << 30,
+            utilization: 0.45,
+        }
+    }
+
+    /// NVIDIA A100: 19.5 TFLOPS fp32, 40 GB.
+    pub fn a100() -> Self {
+        DeviceType {
+            name: "A100",
+            peak_flops: 19.5e12,
+            memory_bytes: 40u64 << 30,
+            utilization: 0.50,
+        }
+    }
+
+    /// NVIDIA T4: 8.1 TFLOPS fp32, 16 GB (extra heterogeneity for tests).
+    pub fn t4() -> Self {
+        DeviceType {
+            name: "T4",
+            peak_flops: 8.1e12,
+            memory_bytes: 16 << 30,
+            utilization: 0.35,
+        }
+    }
+
+    /// Effective (achievable) flops per second.
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops * self.utilization
+    }
+}
+
+/// A machine: a homogeneous group of GPUs with an internal interconnect.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Machine {
+    /// GPU model installed in this machine.
+    pub device: DeviceType,
+    /// Number of GPUs.
+    pub gpus: usize,
+    /// Intra-machine bandwidth in bytes/second (NVLink or PCIe).
+    pub intra_bandwidth: f64,
+    /// Intra-machine per-operation latency in seconds.
+    pub intra_latency: f64,
+}
+
+impl Machine {
+    /// A machine with NVLink-class interconnect (300 GB/s).
+    pub fn nvlink(device: DeviceType, gpus: usize) -> Self {
+        Machine { device, gpus, intra_bandwidth: 300e9, intra_latency: 10e-6 }
+    }
+
+    /// A machine with PCIe-class interconnect (12 GB/s).
+    pub fn pcie(device: DeviceType, gpus: usize) -> Self {
+        Machine { device, gpus, intra_bandwidth: 12e9, intra_latency: 20e-6 }
+    }
+
+    /// Aggregate effective flops of all GPUs in the machine.
+    pub fn effective_flops(&self) -> f64 {
+        self.device.effective_flops() * self.gpus as f64
+    }
+
+    /// Aggregate memory of all GPUs in the machine.
+    pub fn memory_bytes(&self) -> u64 {
+        self.device.memory_bytes * self.gpus as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_ordering_matches_generations() {
+        assert!(DeviceType::a100().effective_flops() > DeviceType::v100().effective_flops());
+        assert!(DeviceType::v100().effective_flops() > DeviceType::p100().effective_flops());
+        assert!(DeviceType::p100().effective_flops() > DeviceType::t4().effective_flops());
+    }
+
+    #[test]
+    fn machine_aggregates() {
+        let m = Machine::nvlink(DeviceType::v100(), 8);
+        assert_eq!(m.effective_flops(), 8.0 * 15.7e12 * 0.45);
+        assert_eq!(m.memory_bytes(), 8 * (16u64 << 30));
+    }
+}

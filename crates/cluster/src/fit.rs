@@ -1,0 +1,107 @@
+//! Least-squares fitting of latency/bandwidth linear models.
+//!
+//! "We run each collective operation on the cluster with tensors of
+//! different sizes and fit the latency and bandwidth in a linear model"
+//! (paper Sec. 3.2). The model is `time(bytes) = latency + bytes / bandwidth`.
+
+/// A fitted linear communication-time model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearModel {
+    /// Fixed per-operation latency in seconds.
+    pub latency: f64,
+    /// Seconds per byte (1 / bandwidth).
+    pub sec_per_byte: f64,
+}
+
+impl LinearModel {
+    /// Predicted time for a transfer of `bytes`.
+    pub fn time(&self, bytes: f64) -> f64 {
+        self.latency + bytes * self.sec_per_byte
+    }
+
+    /// Effective bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        if self.sec_per_byte > 0.0 {
+            1.0 / self.sec_per_byte
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Fits `time = latency + bytes * sec_per_byte` by ordinary least squares.
+///
+/// Negative fitted coefficients are clamped to zero: a profile dominated by
+/// noise must still produce a usable (monotone) model. Returns a zero model
+/// for fewer than two samples.
+pub fn fit_linear(samples: &[(f64, f64)]) -> LinearModel {
+    if samples.len() < 2 {
+        let latency = samples.first().map_or(0.0, |&(_, t)| t);
+        return LinearModel { latency: latency.max(0.0), sec_per_byte: 0.0 };
+    }
+    let n = samples.len() as f64;
+    let sum_x: f64 = samples.iter().map(|&(x, _)| x).sum();
+    let sum_y: f64 = samples.iter().map(|&(_, y)| y).sum();
+    let sum_xx: f64 = samples.iter().map(|&(x, _)| x * x).sum();
+    let sum_xy: f64 = samples.iter().map(|&(x, y)| x * y).sum();
+    let denom = n * sum_xx - sum_x * sum_x;
+    if denom.abs() < f64::EPSILON {
+        return LinearModel { latency: (sum_y / n).max(0.0), sec_per_byte: 0.0 };
+    }
+    let slope = (n * sum_xy - sum_x * sum_y) / denom;
+    let intercept = (sum_y - slope * sum_x) / n;
+    LinearModel { latency: intercept.max(0.0), sec_per_byte: slope.max(0.0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_recovers_parameters() {
+        let truth = LinearModel { latency: 1e-4, sec_per_byte: 1e-9 };
+        let samples: Vec<(f64, f64)> =
+            (1..=8).map(|i| (i as f64 * 1e6, truth.time(i as f64 * 1e6))).collect();
+        let fitted = fit_linear(&samples);
+        assert!((fitted.latency - truth.latency).abs() < 1e-9);
+        assert!((fitted.sec_per_byte - truth.sec_per_byte).abs() < 1e-15);
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let truth = LinearModel { latency: 5e-5, sec_per_byte: 7.7e-10 };
+        let samples: Vec<(f64, f64)> = (1..=32)
+            .map(|i| {
+                let x = i as f64 * 5e5;
+                let noise = 1.0 + 0.01 * ((i * 37 % 11) as f64 - 5.0) / 5.0;
+                (x, truth.time(x) * noise)
+            })
+            .collect();
+        let fitted = fit_linear(&samples);
+        assert!((fitted.sec_per_byte - truth.sec_per_byte).abs() / truth.sec_per_byte < 0.05);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(fit_linear(&[]).latency, 0.0);
+        let single = fit_linear(&[(1e6, 0.25)]);
+        assert_eq!(single.latency, 0.25);
+        // All-same-x samples cannot identify a slope.
+        let same = fit_linear(&[(1e6, 0.1), (1e6, 0.2)]);
+        assert_eq!(same.sec_per_byte, 0.0);
+    }
+
+    #[test]
+    fn clamps_negative_coefficients() {
+        // Decreasing times would fit a negative slope: clamp to zero.
+        let fitted = fit_linear(&[(1e6, 0.5), (2e6, 0.1)]);
+        assert!(fitted.sec_per_byte >= 0.0);
+        assert!(fitted.latency >= 0.0);
+    }
+
+    #[test]
+    fn bandwidth_inverse() {
+        let m = LinearModel { latency: 0.0, sec_per_byte: 1e-9 };
+        assert!((m.bandwidth() - 1e9).abs() < 1.0);
+    }
+}

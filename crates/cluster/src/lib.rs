@@ -1,0 +1,36 @@
+//! Heterogeneous cluster specification and profiling for HAP.
+//!
+//! The HAP paper's input is "a cluster specification comprising m virtual
+//! devices" (Sec. 3), where a virtual device is either a single GPU or a
+//! homogeneous machine that runs data parallelism internally. HAP's cost
+//! model consumes only *profiled* quantities: flops-per-second per device
+//! and fitted latency/bandwidth linear models per collective (Sec. 3.2).
+//!
+//! Because this reproduction has no physical GPUs, the profiler here is
+//! synthetic: device profiles use published peak fp32 throughput scaled by a
+//! utilization factor, and "measurements" add deterministic pseudo-random
+//! noise — so the profile→fit→estimate pipeline is exercised end to end
+//! exactly as on real hardware (see DESIGN.md §2 for the substitution
+//! rationale).
+//!
+//! # Examples
+//!
+//! ```
+//! use hap_cluster::{ClusterSpec, Granularity};
+//!
+//! // The paper's testbed: 2 machines of 8xV100 + 6 machines of 8xP100.
+//! let cluster = ClusterSpec::paper_heterogeneous(8);
+//! let devices = cluster.virtual_devices(Granularity::PerMachine);
+//! assert_eq!(devices.len(), 8);
+//! assert!(devices[0].flops > devices[7].flops); // V100 machines come first
+//! ```
+
+mod device;
+mod fit;
+mod profile;
+mod spec;
+
+pub use device::{DeviceType, Machine};
+pub use fit::{fit_linear, LinearModel};
+pub use profile::{profile_device_flops, DeviceProfile};
+pub use spec::{ClusterSpec, Granularity, VirtualDevice};

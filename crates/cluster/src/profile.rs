@@ -1,0 +1,68 @@
+//! Synthetic device profiling.
+//!
+//! On real hardware, HAP's artifact profiles each GPU type with
+//! `python profiler.py` and fills `device_flops` in the worker config
+//! (paper Appendix A.4.2). The synthetic equivalent "measures" a device by
+//! timing a known matmul workload under its effective-flops ground truth
+//! plus deterministic measurement noise.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::device::DeviceType;
+
+/// The profiled characteristics of one device type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceProfile {
+    /// Device name.
+    pub name: &'static str,
+    /// Measured flops per second.
+    pub flops: f64,
+}
+
+/// Profiles a device's achievable flops with `trials` noisy measurements.
+///
+/// Noise is ±2% multiplicative, deterministic in `seed`; the result is the
+/// trial mean, mirroring how the paper's profiler averages timed kernels.
+pub fn profile_device_flops(device: &DeviceType, trials: usize, seed: u64) -> DeviceProfile {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ device.peak_flops.to_bits());
+    let truth = device.effective_flops();
+    let trials = trials.max(1);
+    let mean = (0..trials)
+        .map(|_| truth * (1.0 + rng.random_range(-0.02..0.02)))
+        .sum::<f64>()
+        / trials as f64;
+    DeviceProfile { name: device.name, flops: mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_close_to_truth() {
+        let d = DeviceType::v100();
+        let p = profile_device_flops(&d, 16, 42);
+        let rel = (p.flops - d.effective_flops()).abs() / d.effective_flops();
+        assert!(rel < 0.02, "relative error {rel}");
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let d = DeviceType::p100();
+        assert_eq!(profile_device_flops(&d, 8, 7), profile_device_flops(&d, 8, 7));
+        assert_ne!(
+            profile_device_flops(&d, 8, 7).flops,
+            profile_device_flops(&d, 8, 8).flops
+        );
+    }
+
+    #[test]
+    fn profile_preserves_device_ordering() {
+        let a = profile_device_flops(&DeviceType::a100(), 8, 1);
+        let v = profile_device_flops(&DeviceType::v100(), 8, 1);
+        let p = profile_device_flops(&DeviceType::p100(), 8, 1);
+        assert!(a.flops > v.flops && v.flops > p.flops);
+    }
+}

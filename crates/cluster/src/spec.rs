@@ -1,0 +1,197 @@
+//! Cluster specifications and virtual devices.
+
+use crate::device::{DeviceType, Machine};
+
+/// At what granularity machines are exposed as SPMD virtual devices.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Granularity {
+    /// One virtual device per GPU.
+    PerGpu,
+    /// One virtual device per machine; GPUs inside a machine run data
+    /// parallelism and a three-step hierarchical collective (paper Sec. 6).
+    PerMachine,
+}
+
+/// One SPMD participant derived from the cluster spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VirtualDevice {
+    /// Display name, e.g. `"m0:V100x8"`.
+    pub name: String,
+    /// Effective aggregate flops per second.
+    pub flops: f64,
+    /// Aggregate memory in bytes.
+    pub memory_bytes: u64,
+    /// Number of physical GPUs represented.
+    pub gpus: usize,
+    /// Internal bandwidth (bytes/s) used for the three-step aggregation when
+    /// the device represents a whole machine; `f64::INFINITY` for single GPUs.
+    pub intra_bandwidth: f64,
+    /// Index of the machine this device belongs to.
+    pub machine: usize,
+}
+
+/// A heterogeneous GPU cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// The machines, in order.
+    pub machines: Vec<Machine>,
+    /// Inter-machine bottleneck bandwidth in bytes/second.
+    pub inter_bandwidth: f64,
+    /// Inter-machine per-collective latency in seconds.
+    pub inter_latency: f64,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster from machines with the given network characteristics.
+    pub fn new(machines: Vec<Machine>, inter_bandwidth: f64, inter_latency: f64) -> Self {
+        ClusterSpec { machines, inter_bandwidth, inter_latency }
+    }
+
+    /// The paper's heterogeneous testbed (Sec. 7.1): 2 machines with
+    /// `gpus_per_machine` V100s + NVLink and 6 machines with
+    /// `gpus_per_machine` P100s, 10.4 Gbps inter-machine bandwidth.
+    ///
+    /// Varying `gpus_per_machine` in {1, 2, 4, 8} reproduces the
+    /// 8/16/32/64-GPU points of Fig. 13.
+    pub fn paper_heterogeneous(gpus_per_machine: usize) -> Self {
+        let mut machines = Vec::new();
+        for _ in 0..2 {
+            machines.push(Machine::nvlink(DeviceType::v100(), gpus_per_machine));
+        }
+        for _ in 0..6 {
+            machines.push(Machine::pcie(DeviceType::p100(), gpus_per_machine));
+        }
+        ClusterSpec::new(machines, 10.4e9 / 8.0, 50e-6)
+    }
+
+    /// The paper's homogeneous subset (Sec. 7.3): 4 machines of P100s.
+    ///
+    /// Varying `gpus_per_machine` in {2, 4, 6, 8} reproduces the
+    /// 8/16/24/32-GPU points of Fig. 14.
+    pub fn paper_homogeneous(gpus_per_machine: usize) -> Self {
+        let machines =
+            (0..4).map(|_| Machine::pcie(DeviceType::p100(), gpus_per_machine)).collect();
+        ClusterSpec::new(machines, 10.4e9 / 8.0, 50e-6)
+    }
+
+    /// The motivation cluster of Fig. 2: one machine with two P100s and one
+    /// with two A100s.
+    pub fn fig2_cluster() -> Self {
+        ClusterSpec::new(
+            vec![Machine::pcie(DeviceType::p100(), 2), Machine::nvlink(DeviceType::a100(), 2)],
+            10.4e9 / 8.0,
+            50e-6,
+        )
+    }
+
+    /// The uneven-experts cluster of Fig. 17: one machine with two A100s and
+    /// one with two P100s, exposed per GPU.
+    pub fn fig17_cluster() -> Self {
+        ClusterSpec::new(
+            vec![Machine::nvlink(DeviceType::a100(), 2), Machine::pcie(DeviceType::p100(), 2)],
+            10.4e9 / 8.0,
+            50e-6,
+        )
+    }
+
+    /// Total number of GPUs.
+    pub fn total_gpus(&self) -> usize {
+        self.machines.iter().map(|m| m.gpus).sum()
+    }
+
+    /// Derives the SPMD virtual devices.
+    pub fn virtual_devices(&self, granularity: Granularity) -> Vec<VirtualDevice> {
+        let mut out = Vec::new();
+        for (mi, m) in self.machines.iter().enumerate() {
+            match granularity {
+                Granularity::PerMachine => out.push(VirtualDevice {
+                    name: format!("m{mi}:{}x{}", m.device.name, m.gpus),
+                    flops: m.effective_flops(),
+                    memory_bytes: m.memory_bytes(),
+                    gpus: m.gpus,
+                    intra_bandwidth: m.intra_bandwidth,
+                    machine: mi,
+                }),
+                Granularity::PerGpu => {
+                    for g in 0..m.gpus {
+                        out.push(VirtualDevice {
+                            name: format!("m{mi}g{g}:{}", m.device.name),
+                            flops: m.device.effective_flops(),
+                            memory_bytes: m.device.memory_bytes,
+                            gpus: 1,
+                            intra_bandwidth: f64::INFINITY,
+                            machine: mi,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sharding ratios proportional to device compute power (the paper's
+    /// initial ratios `B(0)`, Sec. 3.1, and the DP-CP baseline).
+    pub fn proportional_ratios(&self, granularity: Granularity) -> Vec<f64> {
+        let devices = self.virtual_devices(granularity);
+        let total: f64 = devices.iter().map(|d| d.flops).sum();
+        devices.iter().map(|d| d.flops / total).collect()
+    }
+
+    /// Even sharding ratios (the DP-EV baseline).
+    pub fn even_ratios(&self, granularity: Granularity) -> Vec<f64> {
+        let n = self.virtual_devices(granularity).len();
+        vec![1.0 / n as f64; n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_heterogeneous_structure() {
+        let c = ClusterSpec::paper_heterogeneous(8);
+        assert_eq!(c.total_gpus(), 64);
+        assert_eq!(c.machines.len(), 8);
+        let per_gpu = c.virtual_devices(Granularity::PerGpu);
+        assert_eq!(per_gpu.len(), 64);
+        let per_machine = c.virtual_devices(Granularity::PerMachine);
+        assert_eq!(per_machine.len(), 8);
+        assert!(per_machine[0].flops > per_machine[2].flops);
+    }
+
+    #[test]
+    fn ratios_sum_to_one() {
+        for c in [
+            ClusterSpec::paper_heterogeneous(4),
+            ClusterSpec::paper_homogeneous(8),
+            ClusterSpec::fig17_cluster(),
+        ] {
+            for g in [Granularity::PerGpu, Granularity::PerMachine] {
+                let p: f64 = c.proportional_ratios(g).iter().sum();
+                let e: f64 = c.even_ratios(g).iter().sum();
+                assert!((p - 1.0).abs() < 1e-9);
+                assert!((e - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_favors_fast_devices() {
+        let c = ClusterSpec::fig17_cluster();
+        let r = c.proportional_ratios(Granularity::PerGpu);
+        // A100s (devices 0,1) should get more than P100s (2,3).
+        assert!(r[0] > r[2]);
+        assert!((r[0] - r[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_even_equals_proportional() {
+        let c = ClusterSpec::paper_homogeneous(8);
+        let p = c.proportional_ratios(Granularity::PerMachine);
+        let e = c.even_ratios(Granularity::PerMachine);
+        for (a, b) in p.iter().zip(e.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Collective operation categories.
+
+use std::fmt;
+
+/// The collective communication categories HAP schedules (paper Fig. 1 plus
+/// the grouped-Broadcast alternative of Sec. 2.5.1).
+///
+/// Sharding dimensions are not part of the category: communication time
+/// depends only on the participating byte counts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CollKind {
+    /// Elementwise sum of same-sized replicas on all devices.
+    AllReduce,
+    /// Concatenation of shards using the NCCL-style padded implementation
+    /// (shards are padded to the largest shard, then trimmed).
+    AllGatherPadded,
+    /// Concatenation of shards using one Broadcast per shard inside a group
+    /// call: no padding, but one kernel launch per participant.
+    GroupedBroadcast,
+    /// All-Reduce followed by sharding, implemented efficiently (padded to
+    /// even chunks like the padded All-Gather).
+    ReduceScatter,
+    /// Re-shards a tensor from one dimension to another.
+    AllToAll,
+}
+
+impl CollKind {
+    /// All categories, for profiling sweeps.
+    pub fn all() -> [CollKind; 5] {
+        [
+            CollKind::AllReduce,
+            CollKind::AllGatherPadded,
+            CollKind::GroupedBroadcast,
+            CollKind::ReduceScatter,
+            CollKind::AllToAll,
+        ]
+    }
+}
+
+impl fmt::Display for CollKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollKind::AllReduce => "all-reduce",
+            CollKind::AllGatherPadded => "all-gather(padded)",
+            CollKind::GroupedBroadcast => "all-gather(grouped-broadcast)",
+            CollKind::ReduceScatter => "reduce-scatter",
+            CollKind::AllToAll => "all-to-all",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_every_kind() {
+        let kinds = CollKind::all();
+        assert_eq!(kinds.len(), 5);
+        let mut names: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

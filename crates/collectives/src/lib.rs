@@ -1,0 +1,28 @@
+//! Collective communication for HAP: cost models and data movement.
+//!
+//! Two views of the same collectives (paper Secs. 2.2, 2.5.1, 3.2):
+//!
+//! * a **ground-truth time model** ([`GroundTruthNet`]) with per-message
+//!   latency, kernel-launch overhead and bandwidth saturation — the
+//!   stand-in for NCCL on the 10.4 Gbps testbed. The discrete-event
+//!   simulator treats this as "reality";
+//! * a **fitted linear model** ([`CommProfile`]) obtained by running each
+//!   collective at several sizes and least-squares fitting
+//!   `time = latency + bytes/bandwidth`, exactly the paper's profiling
+//!   step. The synthesizer and load balancer only ever see the fitted
+//!   model, which is why the cost model can (and does, Fig. 18)
+//!   systematically underestimate reality.
+//!
+//! The functional implementations in [`data`] actually move tensor shards
+//! between simulated devices so synthesized programs can be executed and
+//! checked for semantic equivalence.
+
+mod data;
+mod kinds;
+mod profile;
+mod time;
+
+pub use data::{all_gather, all_reduce, all_to_all, reduce_scatter};
+pub use kinds::CollKind;
+pub use profile::{profile_collectives, CommProfile};
+pub use time::{GroundTruthNet, NetworkParams};

@@ -1,0 +1,187 @@
+//! Ground-truth collective timing.
+//!
+//! This is the reproduction's stand-in for NCCL on a real fabric: ring-based
+//! algorithms with per-message latency, per-kernel launch overhead, and a
+//! saturating bandwidth curve. It is deliberately *nonlinear* in message
+//! size — the linear model HAP fits over it (paper Sec. 3.2) then exhibits
+//! the same systematic underestimation the paper reports in Fig. 18.
+
+use crate::kinds::CollKind;
+
+/// Physical characteristics of the bottleneck link between participants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkParams {
+    /// Per-message latency in seconds.
+    pub latency: f64,
+    /// Peak bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Message size (bytes) at which half the peak bandwidth is achieved.
+    pub saturation_bytes: f64,
+    /// Kernel-launch overhead per collective call in seconds.
+    pub launch_overhead: f64,
+}
+
+impl NetworkParams {
+    /// Parameters matching the paper's 10.4 Gbps public-cloud fabric.
+    pub fn paper_cloud() -> Self {
+        NetworkParams {
+            latency: 50e-6,
+            bandwidth: 10.4e9 / 8.0,
+            saturation_bytes: 256.0 * 1024.0,
+            launch_overhead: 30e-6,
+        }
+    }
+
+    /// Parameters for an NVLink-class intra-machine link.
+    pub fn nvlink() -> Self {
+        NetworkParams {
+            latency: 10e-6,
+            bandwidth: 300e9,
+            saturation_bytes: 1024.0 * 1024.0,
+            launch_overhead: 10e-6,
+        }
+    }
+
+    /// Effective bandwidth for a message of `bytes` (saturating curve).
+    pub fn effective_bandwidth(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return self.bandwidth;
+        }
+        self.bandwidth * bytes / (bytes + self.saturation_bytes)
+    }
+
+    /// Time to move one message of `bytes` point to point.
+    pub fn message_time(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return self.latency;
+        }
+        self.latency + bytes / self.effective_bandwidth(bytes)
+    }
+}
+
+/// Ground-truth timing of collectives over a given link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroundTruthNet {
+    /// Link characteristics.
+    pub params: NetworkParams,
+}
+
+impl GroundTruthNet {
+    /// Creates a ground-truth net over the given link parameters.
+    pub fn new(params: NetworkParams) -> Self {
+        GroundTruthNet { params }
+    }
+
+    /// Time for a collective of the given kind over per-device shard sizes.
+    ///
+    /// For [`CollKind::AllReduce`], `shard_bytes` holds the (equal) replica
+    /// size on each device; for the shard-oriented collectives it holds each
+    /// device's shard in bytes. `shard_bytes.len()` is the participant count.
+    pub fn collective_time(&self, kind: CollKind, shard_bytes: &[f64]) -> f64 {
+        let m = shard_bytes.len();
+        if m <= 1 {
+            return 0.0;
+        }
+        let p = &self.params;
+        let total: f64 = shard_bytes.iter().sum();
+        let max = shard_bytes.iter().cloned().fold(0.0, f64::max);
+        match kind {
+            CollKind::AllReduce => {
+                // Ring all-reduce: 2(m-1) steps, chunks of S/m.
+                let s = max; // replicas are equal; use the largest defensively
+                let chunk = s / m as f64;
+                p.launch_overhead + 2.0 * (m as f64 - 1.0) * p.message_time(chunk)
+            }
+            CollKind::AllGatherPadded => {
+                // Shards padded to the max: ring of (m-1) steps moving `max`.
+                p.launch_overhead + (m as f64 - 1.0) * p.message_time(max)
+            }
+            CollKind::ReduceScatter => {
+                // Padded ring reduce-scatter: (m-1) steps of the padded chunk.
+                p.launch_overhead + (m as f64 - 1.0) * p.message_time(max)
+            }
+            CollKind::GroupedBroadcast => {
+                // One broadcast per shard inside a group call; each pays a
+                // launch but transfers only its own bytes (no padding).
+                shard_bytes
+                    .iter()
+                    .map(|&s| p.launch_overhead + p.message_time(s))
+                    .sum::<f64>()
+            }
+            CollKind::AllToAll => {
+                // Pairwise exchange: (m-1) rounds; each round moves roughly
+                // max_shard/m from the most loaded device.
+                let chunk = max / m as f64;
+                let _ = total;
+                p.launch_overhead + (m as f64 - 1.0) * p.message_time(chunk)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> GroundTruthNet {
+        GroundTruthNet::new(NetworkParams::paper_cloud())
+    }
+
+    #[test]
+    fn single_participant_is_free() {
+        assert_eq!(net().collective_time(CollKind::AllReduce, &[1e6]), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_moves_twice_the_data_of_all_gather() {
+        let shards = [4e6, 4e6, 4e6, 4e6];
+        let ar = net().collective_time(CollKind::AllReduce, &shards);
+        let ag = net().collective_time(CollKind::AllGatherPadded, &[1e6, 1e6, 1e6, 1e6]);
+        // All-reduce of the replicated 4 MB tensor should be roughly twice an
+        // all-gather whose shards reassemble the same tensor.
+        assert!(ar > 1.5 * ag, "ar {ar} vs ag {ag}");
+        assert!(ar < 3.0 * ag, "ar {ar} vs ag {ag}");
+    }
+
+    #[test]
+    fn padded_wins_when_even_grouped_wins_when_skewed() {
+        // The Fig. 4 crossover: 4 MB tensor over 4 devices.
+        let total = 4.0 * 1024.0 * 1024.0;
+        let even = [total / 4.0; 4];
+        let padded_even = net().collective_time(CollKind::AllGatherPadded, &even);
+        let grouped_even = net().collective_time(CollKind::GroupedBroadcast, &even);
+        assert!(padded_even < grouped_even, "even shards should favor padded");
+
+        let rest = total * 0.04 / 3.0;
+        let skewed = [total * 0.96, rest, rest, rest];
+        let padded_skew = net().collective_time(CollKind::AllGatherPadded, &skewed);
+        let grouped_skew = net().collective_time(CollKind::GroupedBroadcast, &skewed);
+        assert!(grouped_skew < padded_skew, "skewed shards should favor grouped broadcast");
+    }
+
+    #[test]
+    fn bandwidth_saturates() {
+        let p = NetworkParams::paper_cloud();
+        assert!(p.effective_bandwidth(1e3) < 0.1 * p.bandwidth);
+        assert!(p.effective_bandwidth(1e9) > 0.99 * p.bandwidth);
+    }
+
+    #[test]
+    fn times_monotone_in_size() {
+        let n = net();
+        for kind in CollKind::all() {
+            let small = n.collective_time(kind, &[1e5; 4]);
+            let large = n.collective_time(kind, &[1e7; 4]);
+            assert!(large > small, "{kind} not monotone");
+        }
+    }
+
+    #[test]
+    fn empty_shards_still_pay_latency_in_grouped() {
+        let n = net();
+        let t = n.collective_time(CollKind::GroupedBroadcast, &[4e6, 0.0, 0.0, 0.0]);
+        let single = n.collective_time(CollKind::GroupedBroadcast, &[4e6]);
+        let _ = single;
+        assert!(t > n.params.launch_overhead * 3.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! # HAP: SPMD DNN training on heterogeneous GPU clusters
+//!
+//! A from-scratch Rust reproduction of *HAP: SPMD DNN Training on
+//! Heterogeneous GPU Clusters with Automated Program Synthesis* (EuroSys
+//! 2024). HAP takes a single-device training graph and a heterogeneous
+//! cluster specification, and jointly optimizes:
+//!
+//! * the **tensor sharding strategy**, by synthesizing a distributed program
+//!   from scratch on a distributed instruction set with an A\*-guided
+//!   syntax-guided synthesis (paper Sec. 4);
+//! * the **sharding ratios** across devices of different speeds, with an
+//!   exact linear program per model segment (Sec. 5);
+//! * the **communication methods** — padded All-Gather vs grouped
+//!   Broadcast, and sufficient factor broadcasting — folded into the same
+//!   search (Sec. 4.4).
+//!
+//! The two optimizations alternate until convergence or oscillation
+//! (Sec. 3.1); the best `(Q, B)` pair becomes the [`Plan`].
+//!
+//! The user API mirrors the spirit of the paper's PyTorch-DDP-like entry
+//! point: one call, [`parallelize`], returns an executable plan.
+//!
+//! # Examples
+//!
+//! ```
+//! use hap::prelude::*;
+//!
+//! // A toy model on the paper's A100+P100 cluster.
+//! let graph = hap_models::mlp(&hap_models::MlpConfig {
+//!     batch: 4096,
+//!     input: 64,
+//!     hidden: vec![128, 128],
+//!     classes: 10,
+//! });
+//! let cluster = ClusterSpec::fig17_cluster();
+//! let plan = hap::parallelize(&graph, &cluster, &HapOptions::default()).unwrap();
+//! assert!(plan.program.is_complete(&graph));
+//! assert!(plan.estimated_time > 0.0);
+//! ```
+
+mod optimizer;
+mod plan;
+
+pub use optimizer::{parallelize, HapError, HapOptions};
+pub use plan::Plan;
+
+/// Convenient re-exports for building models, clusters and plans.
+pub mod prelude {
+    pub use crate::{parallelize, HapError, HapOptions, Plan};
+    pub use hap_cluster::{ClusterSpec, DeviceType, Granularity, Machine, VirtualDevice};
+    pub use hap_graph::{Graph, GraphBuilder, NodeId, Op, Placement, Role};
+    pub use hap_synthesis::{DistInstr, DistProgram, SynthConfig};
+}
+
+pub use hap_balancer as balancer;
+pub use hap_baselines as baselines;
+pub use hap_cluster as cluster;
+pub use hap_collectives as collectives;
+pub use hap_graph as graph;
+pub use hap_lp as lp;
+pub use hap_models as models;
+pub use hap_partition as partition;
+pub use hap_simulator as simulator;
+pub use hap_synthesis as synthesis;
+pub use hap_tensor as tensor;

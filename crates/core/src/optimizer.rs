@@ -1,0 +1,303 @@
+//! The alternating Q/B optimization loop (paper Sec. 3.1).
+
+use std::time::Instant;
+
+use hap_balancer::{estimate_time, optimize_ratios, BalanceError};
+use hap_baselines::{propagate, GradSync, WalkOptions};
+use hap_cluster::{ClusterSpec, Granularity};
+use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+use hap_graph::Graph;
+use hap_partition::{apply_partition, chain_partition};
+use hap_simulator::memory_footprint;
+use hap_synthesis::{
+    synthesize_with_theory, ShardingRatios, SynthConfig, SynthError, Theory,
+};
+
+use crate::plan::Plan;
+
+/// Top-level options for [`parallelize`].
+#[derive(Clone, Debug)]
+pub struct HapOptions {
+    /// Virtual-device granularity (paper Sec. 3: per GPU or per machine).
+    pub granularity: Granularity,
+    /// Maximum alternating-optimization rounds (each round = one program
+    /// synthesis + one load-balancing LP).
+    pub max_rounds: usize,
+    /// Synthesis configuration.
+    pub synth: SynthConfig,
+    /// When set and the graph has no user segments, auto-partition it into
+    /// this many segments (paper Sec. 5.2's METIS alternative).
+    pub auto_segments: Option<usize>,
+    /// Use the load balancer at all (disabled by the Fig. 15 "Q"-only
+    /// ablation, which keeps compute-proportional ratios).
+    pub balance: bool,
+}
+
+impl Default for HapOptions {
+    fn default() -> Self {
+        HapOptions {
+            granularity: Granularity::PerGpu,
+            max_rounds: 4,
+            synth: SynthConfig::default(),
+            auto_segments: None,
+            balance: true,
+        }
+    }
+}
+
+/// Failures of the end-to-end pipeline.
+#[derive(Debug)]
+pub enum HapError {
+    /// Program synthesis failed.
+    Synth(SynthError),
+    /// The sharding-ratio LP failed.
+    Balance(BalanceError),
+}
+
+impl std::fmt::Display for HapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HapError::Synth(e) => write!(f, "synthesis failed: {e}"),
+            HapError::Balance(e) => write!(f, "load balancing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HapError {}
+
+impl From<SynthError> for HapError {
+    fn from(e: SynthError) -> Self {
+        HapError::Synth(e)
+    }
+}
+
+impl From<BalanceError> for HapError {
+    fn from(e: BalanceError) -> Self {
+        HapError::Balance(e)
+    }
+}
+
+/// Runs HAP end to end: profile, then alternate program synthesis (Eqn. 1)
+/// and sharding-ratio optimization (Eqn. 2) until the solution converges or
+/// oscillates, returning the best plan found.
+pub fn parallelize(
+    graph: &Graph,
+    cluster: &ClusterSpec,
+    opts: &HapOptions,
+) -> Result<Plan, HapError> {
+    let mut graph = graph.clone();
+    if let Some(g) = opts.auto_segments {
+        if graph.segment_count() <= 1 && g > 1 {
+            let assignment = chain_partition(&graph, g);
+            apply_partition(&mut graph, &assignment);
+        }
+    }
+    let devices = cluster.virtual_devices(opts.granularity);
+    let m = devices.len();
+    let net = GroundTruthNet::new(NetworkParams {
+        latency: cluster.inter_latency,
+        bandwidth: cluster.inter_bandwidth,
+        ..NetworkParams::paper_cloud()
+    });
+    let profile = profile_collectives(&net, m);
+    let segments = graph.segment_count().max(1);
+
+    // B(0): proportional to computation power (Sec. 3.1).
+    let row = cluster.proportional_ratios(opts.granularity);
+    let mut ratios: ShardingRatios = vec![row; segments];
+
+    let theory = Theory::build_with(
+        &graph,
+        hap_synthesis::TheoryOptions {
+            grouped_broadcast: opts.synth.grouped_broadcast,
+            sfb: opts.synth.sfb,
+        },
+    );
+
+    let start = Instant::now();
+
+    // Portfolio warm start: the search space subsumes the classic rule-based
+    // strategies (DP, ZeRO-style sharded updates, expert parallelism, SFB),
+    // so their programs are valid synthesis outcomes. Evaluating them up
+    // front guarantees the returned plan never loses to a strategy HAP is
+    // supposed to subsume, even when the A* budget is tight.
+    let portfolio: Vec<_> = [
+        WalkOptions::default(),
+        WalkOptions { grad_sync: GradSync::ReduceScatter, ..WalkOptions::default() },
+        WalkOptions {
+            grad_sync: GradSync::ReduceScatter,
+            expert_parallel: Some("expert_w".into()),
+            ..WalkOptions::default()
+        },
+        WalkOptions {
+            sfb_flop_cost: Some(cluster.inter_bandwidth / {
+                let slowest = devices.iter().map(|d| d.flops).fold(f64::INFINITY, f64::min);
+                slowest
+            }),
+            ..WalkOptions::default()
+        },
+    ]
+    .into_iter()
+    .filter_map(|w| propagate(&graph, &w).ok())
+    .collect();
+
+    let mut best: Option<(f64, Plan)> = None;
+    let mut seen: Vec<Vec<u64>> = vec![quantize(&ratios)];
+    let mut rounds = 0usize;
+    for _ in 0..opts.max_rounds.max(1) {
+        rounds += 1;
+        // Q(s) = argmin_Q t(Q, B(s-1)) — the synthesized program, or a
+        // portfolio program when one evaluates cheaper under B(s-1).
+        let mut q =
+            synthesize_with_theory(&graph, &theory, &devices, &profile, &ratios, &opts.synth)?;
+        let mut q_cost = estimate_time(&graph, &q, &devices, &profile, &ratios);
+        for cand in &portfolio {
+            let c = estimate_time(&graph, cand, &devices, &profile, &ratios);
+            if c < q_cost {
+                q_cost = c;
+                q = cand.clone();
+                q.estimated_time = c;
+            }
+        }
+        // B(s) = argmin_B t(Q(s), B).
+        let next = if opts.balance {
+            optimize_ratios(&graph, &q, &devices, &profile)?
+        } else {
+            ratios.clone()
+        };
+        // Candidate ratio matrices for this round's program: the LP optimum
+        // plus an even-ratio rescue (memory-sensitive models can exceed
+        // per-GPU capacity under skewed ratios; even ratios minimize the
+        // largest shard). Prefer plans that fit in memory, then by time.
+        let even_row = cluster.even_ratios(opts.granularity);
+        let candidates = [next.clone(), vec![even_row; segments]];
+        for cand in candidates {
+            let t = estimate_time(&graph, &q, &devices, &profile, &cand);
+            let fits = memory_footprint(&graph, &q, &devices, &cand).fits();
+            let better = match &best {
+                None => true,
+                Some((bt, bp)) => {
+                    let best_fits = memory_footprint(&graph, &bp.program, &devices, &bp.ratios)
+                        .fits();
+                    (fits && !best_fits) || (fits == best_fits && t < *bt)
+                }
+            };
+            if better {
+                best = Some((
+                    t,
+                    Plan {
+                        program: q.clone(),
+                        ratios: cand,
+                        estimated_time: t,
+                        rounds,
+                        synthesis_time: start.elapsed(),
+                        devices: devices.clone(),
+                        graph: graph.clone(),
+                    },
+                ));
+            }
+        }
+        let key = quantize(&next);
+        let converged = max_delta(&ratios, &next) < 1e-6;
+        let oscillating = seen.contains(&key);
+        ratios = next;
+        if converged || oscillating {
+            // "until convergence or oscillation of the solutions is attained.
+            // In the case of oscillation, we use the pair ... achieving the
+            // lowest cost" (Sec. 3.1).
+            break;
+        }
+        seen.push(key);
+    }
+
+    let (_, mut plan) = best.expect("at least one round ran");
+    plan.synthesis_time = start.elapsed();
+    Ok(plan)
+}
+
+/// Quantizes a ratio matrix for oscillation detection.
+fn quantize(ratios: &ShardingRatios) -> Vec<u64> {
+    ratios
+        .iter()
+        .flat_map(|row| row.iter().map(|&b| (b * 1e9).round() as u64))
+        .collect()
+}
+
+/// Largest absolute difference between two ratio matrices.
+fn max_delta(a: &ShardingRatios, b: &ShardingRatios) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .flat_map(|(ra, rb)| ra.iter().zip(rb.iter()).map(|(x, y)| (x - y).abs()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_models::{mlp, transformer_layer, MlpConfig, TransformerConfig};
+
+    #[test]
+    fn parallelize_mlp_on_heterogeneous_cluster() {
+        let graph = mlp(&MlpConfig {
+            batch: 8192,
+            input: 128,
+            hidden: vec![256, 256],
+            classes: 16,
+        });
+        let cluster = ClusterSpec::fig17_cluster();
+        let plan = parallelize(&graph, &cluster, &HapOptions::default()).unwrap();
+        assert!(plan.program.is_complete(&graph));
+        assert!(plan.estimated_time > 0.0);
+        assert!(plan.rounds >= 1);
+        for row in &plan.ratios {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn balanced_plan_is_no_worse_than_proportional() {
+        let graph = transformer_layer(&TransformerConfig::fig2(256));
+        let cluster = ClusterSpec::fig2_cluster();
+        let with = parallelize(&graph, &cluster, &HapOptions::default()).unwrap();
+        let without = parallelize(
+            &graph,
+            &cluster,
+            &HapOptions { balance: false, max_rounds: 1, ..HapOptions::default() },
+        )
+        .unwrap();
+        assert!(with.estimated_time <= without.estimated_time + 1e-9);
+    }
+
+    #[test]
+    fn auto_segmentation_is_applied() {
+        let graph = mlp(&MlpConfig {
+            batch: 4096,
+            input: 64,
+            hidden: vec![64, 64, 64],
+            classes: 8,
+        });
+        assert_eq!(graph.segment_count(), 1);
+        let cluster = ClusterSpec::fig17_cluster();
+        let plan = parallelize(
+            &graph,
+            &cluster,
+            &HapOptions { auto_segments: Some(3), ..HapOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(plan.ratios.len(), 3);
+    }
+
+    #[test]
+    fn loop_terminates_within_round_budget() {
+        let graph = mlp(&MlpConfig { batch: 2048, input: 32, hidden: vec![64], classes: 8 });
+        let cluster = ClusterSpec::paper_heterogeneous(1);
+        let plan = parallelize(
+            &graph,
+            &cluster,
+            &HapOptions { max_rounds: 8, ..HapOptions::default() },
+        )
+        .unwrap();
+        assert!(plan.rounds <= 8);
+    }
+}

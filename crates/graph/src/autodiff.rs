@@ -1,0 +1,376 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! The distributed program synthesized by HAP covers a *full training
+//! iteration* — the paper's single-device program is the fx-captured
+//! forward+backward graph, and the SFB optimization (Sec. 2.5.2) explicitly
+//! targets backward `MatMul`s that compute weight gradients. This module
+//! appends the backward pass and SGD parameter updates to a forward graph.
+//!
+//! Gradients of the MoE gate tensor through `Dispatch`/`Combine` are treated
+//! as stop-gradients (the GShard-style models route gate-parameter learning
+//! through an auxiliary loss instead), a standard simplification.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId, Role};
+use crate::op::Op;
+use crate::GraphError;
+
+/// Appends backward and update nodes for the given loss to the graph.
+///
+/// The loss must be a `CrossEntropy` or `SumAll` node (possibly combined
+/// with `Add`/`Scale` of such scalars). Every parameter reachable from the
+/// loss receives a gradient and an [`Op::UpdateParam`] node; the updated
+/// parameters plus the loss become the iteration's required outputs.
+pub fn build_training(mut graph: Graph, loss: NodeId, lr: f32) -> Result<Graph, GraphError> {
+    if loss >= graph.len() {
+        return Err(GraphError::UnknownNode(loss));
+    }
+    // Gradient accumulator: node id -> id of its (partial) gradient node.
+    let mut grads: HashMap<NodeId, NodeId> = HashMap::new();
+    // Process nodes in reverse topological order starting from the loss.
+    // Reachability: only differentiate nodes that feed the loss.
+    let mut reachable = vec![false; graph.len()];
+    reachable[loss] = true;
+    for id in (0..graph.len()).rev() {
+        if reachable[id] {
+            for &i in &graph.node(id).inputs.clone() {
+                reachable[i] = true;
+            }
+        }
+    }
+
+    seed_loss(&mut graph, loss, &mut grads)?;
+
+    for id in (0..graph.len().min(loss + 1)).rev() {
+        if id == loss || !reachable[id] {
+            continue;
+        }
+        let Some(&g) = grads.get(&id) else { continue };
+        backprop_node(&mut graph, id, g, &mut grads)?;
+    }
+
+    // Emit parameter updates.
+    for p in graph.parameters() {
+        if let Some(&g) = grads.get(&p) {
+            let seg = graph.node(p).segment;
+            let name = format!("update_{}", graph.node(p).name);
+            let u = graph.add(Op::UpdateParam { lr }, vec![p, g], name, Role::Updated)?;
+            graph.set_segment(u, seg);
+        }
+    }
+    Ok(graph)
+}
+
+/// Seeds gradients at the loss root, descending through scalar `Add`/`Scale`
+/// combinations onto `CrossEntropy`/`SumAll` roots.
+fn seed_loss(
+    graph: &mut Graph,
+    loss: NodeId,
+    grads: &mut HashMap<NodeId, NodeId>,
+) -> Result<(), GraphError> {
+    let mut stack = vec![loss];
+    while let Some(id) = stack.pop() {
+        let node = graph.node(id).clone();
+        match node.op {
+            Op::CrossEntropy => {
+                let (logits, labels) = (node.inputs[0], node.inputs[1]);
+                let g = graph.add(
+                    Op::CrossEntropyGrad,
+                    vec![logits, labels],
+                    format!("d_{}", graph.node(logits).name),
+                    Role::Grad,
+                )?;
+                graph.set_segment(g, node.segment);
+                accumulate(graph, grads, logits, g)?;
+            }
+            Op::SumAll => {
+                let x = node.inputs[0];
+                let dims = graph.node(x).shape.dims().to_vec();
+                let g = graph.add_leaf(
+                    Op::Ones,
+                    dims,
+                    format!("d_{}", graph.node(x).name),
+                    Role::Const,
+                );
+                graph.set_segment(g, node.segment);
+                accumulate(graph, grads, x, g)?;
+            }
+            Op::Add => {
+                stack.push(node.inputs[0]);
+                stack.push(node.inputs[1]);
+            }
+            Op::Scale { .. } => {
+                // Scalar scaling of a loss term: descend (the scale factor is
+                // absorbed into the sub-loss seed; adequate for structural and
+                // performance modeling of auxiliary losses).
+                stack.push(node.inputs[0]);
+            }
+            ref op => return Err(GraphError::BadLossRoot(op.name())),
+        }
+    }
+    Ok(())
+}
+
+/// Adds `g` into the gradient accumulator of `target`, emitting an `Add` when
+/// a partial gradient already exists.
+fn accumulate(
+    graph: &mut Graph,
+    grads: &mut HashMap<NodeId, NodeId>,
+    target: NodeId,
+    g: NodeId,
+) -> Result<(), GraphError> {
+    if let Some(&old) = grads.get(&target) {
+        let seg = graph.node(g).segment;
+        let sum = graph.add(
+            Op::Add,
+            vec![old, g],
+            format!("d_{}_acc", graph.node(target).name),
+            Role::Grad,
+        )?;
+        graph.set_segment(sum, seg);
+        grads.insert(target, sum);
+    } else {
+        grads.insert(target, g);
+    }
+    Ok(())
+}
+
+/// Emits the gradients of one node's inputs given its output gradient `g`.
+fn backprop_node(
+    graph: &mut Graph,
+    id: NodeId,
+    g: NodeId,
+    grads: &mut HashMap<NodeId, NodeId>,
+) -> Result<(), GraphError> {
+    let node = graph.node(id).clone();
+    let seg = node.segment;
+    let emit = |graph: &mut Graph,
+                    grads: &mut HashMap<NodeId, NodeId>,
+                    op: Op,
+                    inputs: Vec<NodeId>,
+                    target: NodeId|
+     -> Result<(), GraphError> {
+        let name = format!("d_{}", graph.node(target).name);
+        let gi = graph.add(op, inputs, name, Role::Grad)?;
+        graph.set_segment(gi, seg);
+        accumulate(graph, grads, target, gi)
+    };
+    match node.op {
+        Op::Placeholder | Op::Label | Op::Parameter | Op::Ones => {}
+        Op::MatMul2 { ta, tb } => {
+            let (a, b) = (node.inputs[0], node.inputs[1]);
+            // dA' = dC · B'^T, transposed back when ta.
+            if ta {
+                emit(graph, grads, Op::MatMul2 { ta: tb, tb: true }, vec![b, g], a)?;
+            } else {
+                emit(graph, grads, Op::MatMul2 { ta: false, tb: !tb }, vec![g, b], a)?;
+            }
+            // dB' = A'^T · dC, transposed back when tb.
+            if tb {
+                emit(graph, grads, Op::MatMul2 { ta: true, tb: ta }, vec![g, a], b)?;
+            } else {
+                emit(graph, grads, Op::MatMul2 { ta: !ta, tb: false }, vec![a, g], b)?;
+            }
+        }
+        Op::Linear => {
+            let (x, w) = (node.inputs[0], node.inputs[1]);
+            emit(graph, grads, Op::LinearGradX, vec![g, w], x)?;
+            emit(graph, grads, Op::LinearGradW, vec![x, g], w)?;
+        }
+        Op::Bmm { ta, tb } => {
+            let (a, b) = (node.inputs[0], node.inputs[1]);
+            if ta {
+                emit(graph, grads, Op::Bmm { ta: tb, tb: true }, vec![b, g], a)?;
+            } else {
+                emit(graph, grads, Op::Bmm { ta: false, tb: !tb }, vec![g, b], a)?;
+            }
+            if tb {
+                emit(graph, grads, Op::Bmm { ta: true, tb: ta }, vec![g, a], b)?;
+            } else {
+                emit(graph, grads, Op::Bmm { ta: !ta, tb: false }, vec![a, g], b)?;
+            }
+        }
+        Op::Add => {
+            // Both inputs receive the upstream gradient unchanged.
+            accumulate(graph, grads, node.inputs[0], g)?;
+            accumulate(graph, grads, node.inputs[1], g)?;
+        }
+        Op::BiasAdd => {
+            let (x, b) = (node.inputs[0], node.inputs[1]);
+            accumulate(graph, grads, x, g)?;
+            emit(graph, grads, Op::ReduceLeading, vec![g], b)?;
+        }
+        Op::Scale { factor } => {
+            emit(graph, grads, Op::Scale { factor }, vec![g], node.inputs[0])?;
+        }
+        Op::Unary { kind } => {
+            emit(graph, grads, Op::UnaryGrad { kind }, vec![g, node.inputs[0]], node.inputs[0])?;
+        }
+        Op::Softmax => {
+            // SoftmaxGrad consumes (dy, y): y is this node's own output.
+            emit(graph, grads, Op::SoftmaxGrad, vec![g, id], node.inputs[0])?;
+        }
+        Op::LayerNorm => {
+            emit(graph, grads, Op::LayerNormGrad, vec![g, node.inputs[0]], node.inputs[0])?;
+        }
+        Op::Attention { heads } => {
+            let (q, k, v) = (node.inputs[0], node.inputs[1], node.inputs[2]);
+            for (which, t) in [(0usize, q), (1, k), (2, v)] {
+                emit(graph, grads, Op::AttentionGrad { heads, which }, vec![g, q, k, v], t)?;
+            }
+        }
+        Op::Conv2d { stride, pad } => {
+            let (x, w) = (node.inputs[0], node.inputs[1]);
+            emit(graph, grads, Op::Conv2dGradX { stride, pad }, vec![g, w], x)?;
+            emit(graph, grads, Op::Conv2dGradW { stride, pad }, vec![x, g], w)?;
+        }
+        Op::MaxPool2 { k } => {
+            emit(graph, grads, Op::MaxPoolGrad { k }, vec![g, node.inputs[0]], node.inputs[0])?;
+        }
+        Op::Flatten => {
+            let x = node.inputs[0];
+            let dims = graph.node(x).shape.dims()[1..].to_vec();
+            emit(graph, grads, Op::Unflatten { dims }, vec![g], x)?;
+        }
+        Op::Unflatten { .. } => {
+            emit(graph, grads, Op::Flatten, vec![g], node.inputs[0])?;
+        }
+        Op::Embedding => {
+            let (idx, table) = (node.inputs[0], node.inputs[1]);
+            let vocab = graph.node(table).shape.dims()[0];
+            emit(graph, grads, Op::EmbeddingGrad { vocab }, vec![g, idx], table)?;
+        }
+        Op::Dispatch { .. } => {
+            // Tokens get gradients; gates are stop-gradient (aux loss learns them).
+            let (x, gates) = (node.inputs[0], node.inputs[1]);
+            emit(graph, grads, Op::DispatchGrad, vec![g, gates], x)?;
+        }
+        Op::Combine => {
+            let (xe, gates) = (node.inputs[0], node.inputs[1]);
+            let dims = graph.node(xe).shape.dims().to_vec();
+            emit(
+                graph,
+                grads,
+                Op::CombineGrad { experts: dims[0], capacity: dims[1] },
+                vec![g, gates],
+                xe,
+            )?;
+        }
+        Op::CrossEntropy | Op::SumAll => {
+            // Only valid as loss roots; seeded in `seed_loss`.
+            return Err(GraphError::BadLossRoot(node.op.name()));
+        }
+        Op::LinearGradX
+        | Op::LinearGradW
+        | Op::UnaryGrad { .. }
+        | Op::SoftmaxGrad
+        | Op::LayerNormGrad
+        | Op::AttentionGrad { .. }
+        | Op::Conv2dGradX { .. }
+        | Op::Conv2dGradW { .. }
+        | Op::MaxPoolGrad { .. }
+        | Op::ReduceLeading
+        | Op::EmbeddingGrad { .. }
+        | Op::CrossEntropyGrad
+        | Op::DispatchGrad
+        | Op::CombineGrad { .. }
+        | Op::UpdateParam { .. } => {
+            // Second-order differentiation is out of scope.
+            return Err(GraphError::BadLossRoot(format!("cannot differentiate {}", node.op.name())));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::UnaryKind;
+
+    #[test]
+    fn mlp_backward_structure() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![8, 4]);
+        let w = g.parameter("w", vec![4, 2]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_training(l).unwrap();
+        // Expect: ones seed, dW matmul, update.
+        let names: Vec<_> = graph.nodes().iter().map(|n| n.op.name()).collect();
+        assert!(names.iter().any(|n| n == "ones"));
+        assert!(names.iter().any(|n| n == "update_param"));
+        // dW = x^T · dy.
+        assert!(graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, Op::MatMul2 { ta: true, tb: false })));
+        graph.validate().unwrap();
+    }
+
+    #[test]
+    fn shared_input_gradients_accumulate() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![4, 4]);
+        let w = g.parameter("w", vec![4, 4]);
+        let a = g.matmul(x, w);
+        let b = g.matmul(x, w);
+        let s = g.add(a, b);
+        let l = g.sum_all(s);
+        let graph = g.build_training(l).unwrap();
+        // w is consumed twice; its gradient must flow through an Add.
+        let adds = graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Add) && n.role == Role::Grad)
+            .count();
+        assert!(adds >= 1, "expected gradient accumulation Add nodes");
+    }
+
+    #[test]
+    fn transformer_block_differentiates() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![2, 8, 16]);
+        let wq = g.parameter("wq", vec![16, 16]);
+        let wk = g.parameter("wk", vec![16, 16]);
+        let wv = g.parameter("wv", vec![16, 16]);
+        let q = g.linear(x, wq);
+        let k = g.linear(x, wk);
+        let v = g.linear(x, wv);
+        let att = g.attention(q, k, v, 4);
+        let y = g.layer_norm(att);
+        let act = g.unary(y, UnaryKind::Gelu);
+        let l = g.sum_all(act);
+        let graph = g.build_training(l).unwrap();
+        assert_eq!(
+            graph.nodes().iter().filter(|n| n.role == Role::Updated).count(),
+            3
+        );
+        graph.validate().unwrap();
+    }
+
+    #[test]
+    fn unused_parameter_gets_no_update() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![4, 4]);
+        let w = g.parameter("w", vec![4, 4]);
+        let _unused = g.parameter("unused", vec![4, 4]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_training(l).unwrap();
+        assert_eq!(graph.nodes().iter().filter(|n| n.role == Role::Updated).count(), 1);
+    }
+
+    #[test]
+    fn double_backward_rejected() {
+        let mut graph = Graph::new();
+        let x = graph.add_leaf(Op::Placeholder, vec![4, 4], "x", Role::Input);
+        let r = graph
+            .add(Op::ReduceLeading, vec![x], "r", Role::Activation)
+            .unwrap();
+        let l = graph.add(Op::SumAll, vec![r], "l", Role::Loss).unwrap();
+        let err = build_training(graph, l, 0.1);
+        assert!(err.is_err());
+    }
+}

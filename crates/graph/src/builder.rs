@@ -1,0 +1,275 @@
+//! Ergonomic graph construction.
+
+use crate::autodiff::build_training;
+use crate::graph::{Graph, NodeId, Role};
+use crate::op::{Op, UnaryKind};
+use crate::GraphError;
+
+/// Builder for single-device training graphs.
+///
+/// Nodes added after [`GraphBuilder::begin_segment`] belong to the new model
+/// segment; the segmented load balancer (paper Sec. 5.2) optimizes sharding
+/// ratios per segment.
+///
+/// # Examples
+///
+/// ```
+/// use hap_graph::GraphBuilder;
+///
+/// let mut g = GraphBuilder::new();
+/// let x = g.placeholder("x", vec![16, 8]);
+/// let w = g.parameter("w", vec![8, 4]);
+/// let y = g.matmul(x, w);
+/// let loss = g.sum_all(y);
+/// let graph = g.build_training(loss).unwrap();
+/// assert!(graph.loss().is_some());
+/// ```
+#[derive(Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+    segment: usize,
+    learning_rate: f32,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder (learning rate 0.01).
+    pub fn new() -> Self {
+        GraphBuilder { graph: Graph::new(), segment: 0, learning_rate: 0.01 }
+    }
+
+    /// Sets the learning rate used by the generated parameter updates.
+    pub fn with_learning_rate(mut self, lr: f32) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Starts a new model segment; returns its index.
+    pub fn begin_segment(&mut self) -> usize {
+        self.segment += 1;
+        self.segment
+    }
+
+    /// Current segment index.
+    pub fn current_segment(&self) -> usize {
+        self.segment
+    }
+
+    fn leaf(&mut self, op: Op, dims: Vec<usize>, name: &str, role: Role) -> NodeId {
+        let id = self.graph.add_leaf(op, dims, name, role);
+        self.graph.set_segment(id, self.segment);
+        id
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<NodeId>, name: &str) -> NodeId {
+        let id = self
+            .graph
+            .add(op, inputs, name, Role::Activation)
+            .unwrap_or_else(|e| panic!("graph construction failed at {name}: {e}"));
+        self.graph.set_segment(id, self.segment);
+        id
+    }
+
+    /// Adds a model-input placeholder.
+    pub fn placeholder(&mut self, name: &str, dims: Vec<usize>) -> NodeId {
+        self.leaf(Op::Placeholder, dims, name, Role::Input)
+    }
+
+    /// Adds a label placeholder.
+    pub fn label(&mut self, name: &str, dims: Vec<usize>) -> NodeId {
+        self.leaf(Op::Label, dims, name, Role::Label)
+    }
+
+    /// Adds a trainable parameter.
+    pub fn parameter(&mut self, name: &str, dims: Vec<usize>) -> NodeId {
+        self.leaf(Op::Parameter, dims, name, Role::Param)
+    }
+
+    /// 2-D matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::MatMul2 { ta: false, tb: false }, vec![a, b], "matmul")
+    }
+
+    /// 2-D matrix product with transpose flags.
+    pub fn matmul_t(&mut self, a: NodeId, b: NodeId, ta: bool, tb: bool) -> NodeId {
+        self.push(Op::MatMul2 { ta, tb }, vec![a, b], "matmul_t")
+    }
+
+    /// Linear layer (`x · w`), x rank 2 or 3.
+    pub fn linear(&mut self, x: NodeId, w: NodeId) -> NodeId {
+        self.push(Op::Linear, vec![x, w], "linear")
+    }
+
+    /// Batched matrix product.
+    pub fn bmm(&mut self, a: NodeId, b: NodeId, ta: bool, tb: bool) -> NodeId {
+        self.push(Op::Bmm { ta, tb }, vec![a, b], "bmm")
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Add, vec![a, b], "add")
+    }
+
+    /// Adds a bias row vector.
+    pub fn bias_add(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        self.push(Op::BiasAdd, vec![x, bias], "bias_add")
+    }
+
+    /// Multiplies by a constant.
+    pub fn scale(&mut self, x: NodeId, factor: f32) -> NodeId {
+        self.push(Op::Scale { factor }, vec![x], "scale")
+    }
+
+    /// Elementwise activation.
+    pub fn unary(&mut self, x: NodeId, kind: UnaryKind) -> NodeId {
+        self.push(Op::Unary { kind }, vec![x], kind.name())
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        self.unary(x, UnaryKind::Relu)
+    }
+
+    /// GELU activation.
+    pub fn gelu(&mut self, x: NodeId) -> NodeId {
+        self.unary(x, UnaryKind::Gelu)
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        self.unary(x, UnaryKind::Sigmoid)
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax(&mut self, x: NodeId) -> NodeId {
+        self.push(Op::Softmax, vec![x], "softmax")
+    }
+
+    /// Layer normalization over the last dimension.
+    pub fn layer_norm(&mut self, x: NodeId) -> NodeId {
+        self.push(Op::LayerNorm, vec![x], "layer_norm")
+    }
+
+    /// Multi-head self-attention over `(q, k, v)`.
+    pub fn attention(&mut self, q: NodeId, k: NodeId, v: NodeId, heads: usize) -> NodeId {
+        self.push(Op::Attention { heads }, vec![q, k, v], "attention")
+    }
+
+    /// 2-D convolution.
+    pub fn conv2d(&mut self, x: NodeId, w: NodeId, stride: usize, pad: usize) -> NodeId {
+        self.push(Op::Conv2d { stride, pad }, vec![x, w], "conv2d")
+    }
+
+    /// Non-overlapping max pooling.
+    pub fn maxpool(&mut self, x: NodeId, k: usize) -> NodeId {
+        self.push(Op::MaxPool2 { k }, vec![x], "maxpool")
+    }
+
+    /// Flattens trailing dimensions.
+    pub fn flatten(&mut self, x: NodeId) -> NodeId {
+        self.push(Op::Flatten, vec![x], "flatten")
+    }
+
+    /// Embedding lookup.
+    pub fn embedding(&mut self, idx: NodeId, table: NodeId) -> NodeId {
+        self.push(Op::Embedding, vec![idx, table], "embedding")
+    }
+
+    /// Sum-reduced cross-entropy loss.
+    pub fn cross_entropy(&mut self, logits: NodeId, labels: NodeId) -> NodeId {
+        let id = self
+            .graph
+            .add(Op::CrossEntropy, vec![logits, labels], "cross_entropy", Role::Loss)
+            .unwrap_or_else(|e| panic!("graph construction failed at cross_entropy: {e}"));
+        self.graph.set_segment(id, self.segment);
+        id
+    }
+
+    /// Sum of all elements (scalar loss).
+    pub fn sum_all(&mut self, x: NodeId) -> NodeId {
+        let id = self
+            .graph
+            .add(Op::SumAll, vec![x], "sum", Role::Loss)
+            .unwrap_or_else(|e| panic!("graph construction failed at sum: {e}"));
+        self.graph.set_segment(id, self.segment);
+        id
+    }
+
+    /// MoE token dispatch into per-expert capacity buckets.
+    pub fn dispatch(
+        &mut self,
+        x: NodeId,
+        gates: NodeId,
+        experts: usize,
+        capacity: usize,
+    ) -> NodeId {
+        self.push(Op::Dispatch { experts, capacity }, vec![x, gates], "moe_dispatch")
+    }
+
+    /// MoE combine of expert outputs back to token order.
+    pub fn combine(&mut self, xe: NodeId, gates: NodeId) -> NodeId {
+        self.push(Op::Combine, vec![xe, gates], "moe_combine")
+    }
+
+    /// Shape of an already-added node.
+    pub fn shape(&self, id: NodeId) -> &hap_tensor::Shape {
+        &self.graph.node(id).shape
+    }
+
+    /// Finishes the forward graph without building a backward pass.
+    ///
+    /// Useful for inference-style experiments; the loss role must already be
+    /// set by [`GraphBuilder::cross_entropy`] or [`GraphBuilder::sum_all`].
+    pub fn build_forward(self) -> Graph {
+        self.graph
+    }
+
+    /// Appends the backward pass and parameter updates, producing the full
+    /// training-iteration graph.
+    pub fn build_training(self, loss: NodeId) -> Result<Graph, GraphError> {
+        build_training(self.graph, loss, self.learning_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Role;
+
+    #[test]
+    fn segments_are_applied() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![4, 4]);
+        g.begin_segment();
+        let w = g.parameter("w", vec![4, 4]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_training(l).unwrap();
+        assert_eq!(graph.node(x).segment, 0);
+        assert_eq!(graph.node(w).segment, 1);
+        assert_eq!(graph.node(y).segment, 1);
+    }
+
+    #[test]
+    fn training_graph_has_updates_for_all_params() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![8, 4]);
+        let w1 = g.parameter("w1", vec![4, 16]);
+        let b1 = g.parameter("b1", vec![16]);
+        let w2 = g.parameter("w2", vec![16, 10]);
+        let labels = g.label("y", vec![8]);
+        let h = g.matmul(x, w1);
+        let h = g.bias_add(h, b1);
+        let h = g.relu(h);
+        let logits = g.matmul(h, w2);
+        let loss = g.cross_entropy(logits, labels);
+        let graph = g.build_training(loss).unwrap();
+        let updated: Vec<_> = graph
+            .nodes()
+            .iter()
+            .filter(|n| n.role == Role::Updated)
+            .collect();
+        assert_eq!(updated.len(), 3);
+        assert!(graph.required_outputs().len() == 4);
+        graph.validate().unwrap();
+    }
+}

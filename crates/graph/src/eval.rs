@@ -1,0 +1,811 @@
+//! Reference single-device executor.
+//!
+//! Executes a graph on real CPU tensors. This is the ground truth against
+//! which the functional SPMD executor (in `hap-simulator`) checks that a
+//! synthesized distributed program "produces a result that is identical to
+//! that of a single-device program" (paper Sec. 2.1).
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId};
+use crate::op::{Op, UnaryKind};
+use hap_tensor::{Tensor, TensorError};
+
+/// Errors from functional execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A leaf node had no feed tensor.
+    MissingFeed(NodeId),
+    /// A feed had the wrong shape.
+    FeedShape(NodeId),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::MissingFeed(id) => write!(f, "missing feed for leaf node {id}"),
+            EvalError::FeedShape(id) => write!(f, "feed shape mismatch for node {id}"),
+            EvalError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<TensorError> for EvalError {
+    fn from(e: TensorError) -> Self {
+        EvalError::Tensor(e)
+    }
+}
+
+/// Executes every node of the graph, returning all node values.
+///
+/// `feeds` must contain a tensor for every `Placeholder`, `Label` and
+/// `Parameter` leaf; `Ones` leaves are generated.
+pub fn eval_single_device(
+    graph: &Graph,
+    feeds: &HashMap<NodeId, Tensor>,
+) -> Result<Vec<Tensor>, EvalError> {
+    let mut vals: Vec<Option<Tensor>> = vec![None; graph.len()];
+    for node in graph.nodes() {
+        let value = if node.op.is_leaf() {
+            match node.op {
+                Op::Ones => Tensor::ones(node.shape.dims().to_vec()),
+                _ => {
+                    let t = feeds.get(&node.id).ok_or(EvalError::MissingFeed(node.id))?;
+                    if t.shape() != &node.shape {
+                        return Err(EvalError::FeedShape(node.id));
+                    }
+                    t.clone()
+                }
+            }
+        } else {
+            let inputs: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|&i| vals[i].as_ref().expect("topological order"))
+                .collect();
+            eval_op(&node.op, &inputs)?
+        };
+        vals[node.id] = Some(value);
+    }
+    Ok(vals.into_iter().map(|v| v.expect("all nodes evaluated")).collect())
+}
+
+/// Evaluates one op on concrete inputs.
+///
+/// Exposed so the distributed functional executor can reuse the exact same
+/// kernels on local shards.
+pub fn eval_op(op: &Op, inputs: &[&Tensor]) -> Result<Tensor, EvalError> {
+    let t = match op {
+        Op::Placeholder | Op::Label | Op::Parameter | Op::Ones => {
+            unreachable!("leaves are handled by the caller")
+        }
+        Op::MatMul2 { ta, tb } => inputs[0].matmul_t(inputs[1], *ta, *tb)?,
+        Op::Linear => linear_like(inputs[0], inputs[1], false, false)?,
+        Op::LinearGradX => linear_like(inputs[0], inputs[1], false, true)?,
+        Op::LinearGradW => {
+            let x2 = flatten_leading(inputs[0])?;
+            let dy2 = flatten_leading(inputs[1])?;
+            x2.matmul_t(&dy2, true, false)?
+        }
+        Op::Bmm { ta, tb } => inputs[0].bmm_t(inputs[1], *ta, *tb)?,
+        Op::Add => inputs[0].add(inputs[1])?,
+        Op::BiasAdd => inputs[0].add_bias(inputs[1])?,
+        Op::ReduceLeading => {
+            let x2 = flatten_leading(inputs[0])?;
+            x2.sum_axis(0)?
+        }
+        Op::Scale { factor } => inputs[0].scale(*factor),
+        Op::Unary { kind } => apply_unary(*kind, inputs[0]),
+        Op::UnaryGrad { kind } => {
+            let deriv = unary_derivative(*kind, inputs[1]);
+            inputs[0].mul(&deriv)?
+        }
+        Op::Softmax => inputs[0].softmax_last()?,
+        Op::SoftmaxGrad => softmax_grad(inputs[0], inputs[1])?,
+        Op::LayerNorm => inputs[0].layer_norm_last(LN_EPS)?,
+        Op::LayerNormGrad => layer_norm_grad(inputs[0], inputs[1])?,
+        Op::Attention { heads } => attention(inputs[0], inputs[1], inputs[2], *heads)?,
+        Op::AttentionGrad { heads, which } => {
+            attention_grad(inputs[0], inputs[1], inputs[2], inputs[3], *heads, *which)?
+        }
+        Op::Conv2d { stride, pad } => conv2d(inputs[0], inputs[1], *stride, *pad)?,
+        Op::Conv2dGradX { stride, pad } => conv2d_grad_x(inputs[0], inputs[1], *stride, *pad)?,
+        Op::Conv2dGradW { stride, pad } => conv2d_grad_w(inputs[0], inputs[1], *stride, *pad)?,
+        Op::MaxPool2 { k } => maxpool(inputs[0], *k)?,
+        Op::MaxPoolGrad { k } => maxpool_grad(inputs[0], inputs[1], *k)?,
+        Op::Flatten => {
+            let dims = inputs[0].shape().dims();
+            inputs[0].reshape(vec![dims[0], dims[1..].iter().product()])?
+        }
+        Op::Unflatten { dims } => {
+            let mut d = vec![inputs[0].shape().dims()[0]];
+            d.extend_from_slice(dims);
+            inputs[0].reshape(d)?
+        }
+        Op::Embedding => embedding(inputs[0], inputs[1])?,
+        Op::EmbeddingGrad { vocab } => embedding_grad(inputs[0], inputs[1], *vocab)?,
+        Op::CrossEntropy => cross_entropy(inputs[0], inputs[1])?,
+        Op::CrossEntropyGrad => cross_entropy_grad(inputs[0], inputs[1])?,
+        Op::SumAll => inputs[0].sum_all(),
+        Op::Dispatch { experts, capacity } => {
+            moe_dispatch(inputs[0], inputs[1], *experts, *capacity)?
+        }
+        Op::DispatchGrad => moe_dispatch_grad(inputs[0], inputs[1])?,
+        Op::Combine => moe_combine(inputs[0], inputs[1])?,
+        Op::CombineGrad { experts, capacity } => {
+            moe_combine_grad(inputs[0], inputs[1], *experts, *capacity)?
+        }
+        Op::UpdateParam { lr } => inputs[0].zip(inputs[1], |p, g| p - lr * g)?,
+    };
+    Ok(t)
+}
+
+const LN_EPS: f32 = 1e-5;
+
+fn flatten_leading(t: &Tensor) -> Result<Tensor, TensorError> {
+    // Computed from the leading dims (not numel/last) so zero-size shards
+    // of unevenly sharded tensors reshape cleanly.
+    let dims = t.shape().dims();
+    let last = *dims.last().expect("rank >= 1");
+    let rows: usize = dims[..dims.len() - 1].iter().product();
+    t.reshape(vec![rows, last])
+}
+
+/// `x [.., h] · opt(w)` where `tw` multiplies by `w^T` instead.
+fn linear_like(x: &Tensor, w: &Tensor, _tx: bool, tw: bool) -> Result<Tensor, TensorError> {
+    let dims = x.shape().dims().to_vec();
+    let x2 = flatten_leading(x)?;
+    let y2 = x2.matmul_t(w, false, tw)?;
+    let out_cols = y2.shape().dims()[1];
+    let mut out_dims = dims;
+    *out_dims.last_mut().expect("rank >= 1") = out_cols;
+    y2.reshape(out_dims)
+}
+
+fn apply_unary(kind: UnaryKind, x: &Tensor) -> Tensor {
+    match kind {
+        UnaryKind::Relu => x.relu(),
+        UnaryKind::Gelu => x.gelu(),
+        UnaryKind::Sigmoid => x.sigmoid(),
+        UnaryKind::Tanh => x.tanh_elem(),
+    }
+}
+
+fn unary_derivative(kind: UnaryKind, x: &Tensor) -> Tensor {
+    match kind {
+        UnaryKind::Relu => x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+        UnaryKind::Gelu => x.map(|v| {
+            // d/dv of the tanh approximation.
+            let c = 0.797_884_6;
+            let inner = c * (v + 0.044_715 * v * v * v);
+            let t = inner.tanh();
+            let dinner = c * (1.0 + 3.0 * 0.044_715 * v * v);
+            0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner
+        }),
+        UnaryKind::Sigmoid => x.map(|v| {
+            let s = 1.0 / (1.0 + (-v).exp());
+            s * (1.0 - s)
+        }),
+        UnaryKind::Tanh => x.map(|v| 1.0 - v.tanh() * v.tanh()),
+    }
+}
+
+fn softmax_grad(dy: &Tensor, y: &Tensor) -> Result<Tensor, TensorError> {
+    // dx = y ∘ (dy - rowsum(dy ∘ y)).
+    let cols = *y.shape().dims().last().expect("rank >= 1");
+    let rows = y.numel() / cols;
+    let mut out = vec![0.0f32; y.numel()];
+    for r in 0..rows {
+        let yr = &y.data()[r * cols..(r + 1) * cols];
+        let dr = &dy.data()[r * cols..(r + 1) * cols];
+        let dot: f32 = yr.iter().zip(dr.iter()).map(|(a, b)| a * b).sum();
+        for j in 0..cols {
+            out[r * cols + j] = yr[j] * (dr[j] - dot);
+        }
+    }
+    Tensor::from_vec(y.shape().dims().to_vec(), out)
+}
+
+fn layer_norm_grad(dy: &Tensor, x: &Tensor) -> Result<Tensor, TensorError> {
+    let cols = *x.shape().dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    let mut out = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let xr = &x.data()[r * cols..(r + 1) * cols];
+        let dr = &dy.data()[r * cols..(r + 1) * cols];
+        let n = cols as f32;
+        let mean = xr.iter().sum::<f32>() / n;
+        let var = xr.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv = 1.0 / (var + LN_EPS).sqrt();
+        let xhat: Vec<f32> = xr.iter().map(|&v| (v - mean) * inv).collect();
+        let mean_dy = dr.iter().sum::<f32>() / n;
+        let mean_dy_xhat = dr.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum::<f32>() / n;
+        for j in 0..cols {
+            out[r * cols + j] = inv * (dr[j] - mean_dy - xhat[j] * mean_dy_xhat);
+        }
+    }
+    Tensor::from_vec(x.shape().dims().to_vec(), out)
+}
+
+/// Extracts head `h` of token-major `[b, s, heads*hd]` as `[s, hd]` for batch `bi`.
+fn head_slice(t: &Tensor, bi: usize, h: usize, hd: usize, s: usize) -> Tensor {
+    let dims = t.shape().dims();
+    let hidden = dims[2];
+    let mut out = vec![0.0f32; s * hd];
+    for si in 0..s {
+        let base = (bi * s + si) * hidden + h * hd;
+        out[si * hd..(si + 1) * hd].copy_from_slice(&t.data()[base..base + hd]);
+    }
+    Tensor::from_vec(vec![s, hd], out).expect("head slice shape")
+}
+
+fn write_head(out: &mut Tensor, src: &Tensor, bi: usize, h: usize, hd: usize, s: usize) {
+    let hidden = out.shape().dims()[2];
+    for si in 0..s {
+        let base = (bi * s + si) * hidden + h * hd;
+        let row = &src.data()[si * hd..(si + 1) * hd];
+        out.data_mut()[base..base + hd].copy_from_slice(row);
+    }
+}
+
+fn attention(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize) -> Result<Tensor, TensorError> {
+    let dims = q.shape().dims();
+    let (b, s, hidden) = (dims[0], dims[1], dims[2]);
+    let hd = hidden / heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut out = Tensor::zeros(vec![b, s, hidden]);
+    for bi in 0..b {
+        for h in 0..heads {
+            let qh = head_slice(q, bi, h, hd, s);
+            let kh = head_slice(k, bi, h, hd, s);
+            let vh = head_slice(v, bi, h, hd, s);
+            let scores = qh.matmul_t(&kh, false, true)?.scale(scale);
+            let probs = scores.softmax_last()?;
+            let oh = probs.matmul(&vh)?;
+            write_head(&mut out, &oh, bi, h, hd, s);
+        }
+    }
+    Ok(out)
+}
+
+fn attention_grad(
+    dy: &Tensor,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    which: usize,
+) -> Result<Tensor, TensorError> {
+    let dims = q.shape().dims();
+    let (b, s, hidden) = (dims[0], dims[1], dims[2]);
+    let hd = hidden / heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut out = Tensor::zeros(vec![b, s, hidden]);
+    for bi in 0..b {
+        for h in 0..heads {
+            let qh = head_slice(q, bi, h, hd, s);
+            let kh = head_slice(k, bi, h, hd, s);
+            let vh = head_slice(v, bi, h, hd, s);
+            let doh = head_slice(dy, bi, h, hd, s);
+            let scores = qh.matmul_t(&kh, false, true)?.scale(scale);
+            let probs = scores.softmax_last()?;
+            let grad = match which {
+                2 => probs.matmul_t(&doh, true, false)?,
+                _ => {
+                    let dp = doh.matmul_t(&vh, false, true)?;
+                    let ds = softmax_grad(&dp, &probs)?.scale(scale);
+                    if which == 0 {
+                        ds.matmul(&kh)?
+                    } else {
+                        ds.matmul_t(&qh, true, false)?
+                    }
+                }
+            };
+            write_head(&mut out, &grad, bi, h, hd, s);
+        }
+    }
+    Ok(out)
+}
+
+fn conv2d(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Result<Tensor, TensorError> {
+    let xd = x.shape().dims();
+    let wd = w.shape().dims();
+    let (b, ci, ih, iw) = (xd[0], xd[1], xd[2], xd[3]);
+    let (co, kh, kw) = (wd[0], wd[2], wd[3]);
+    let oh = (ih + 2 * pad - kh) / stride + 1;
+    let ow = (iw + 2 * pad - kw) / stride + 1;
+    let mut out = Tensor::zeros(vec![b, co, oh, ow]);
+    for bi in 0..b {
+        for o in 0..co {
+            for y in 0..oh {
+                for xx in 0..ow {
+                    let mut acc = 0.0f32;
+                    for c in 0..ci {
+                        for dy in 0..kh {
+                            for dx in 0..kw {
+                                let sy = y * stride + dy;
+                                let sx = xx * stride + dx;
+                                if sy < pad || sx < pad {
+                                    continue;
+                                }
+                                let (sy, sx) = (sy - pad, sx - pad);
+                                if sy >= ih || sx >= iw {
+                                    continue;
+                                }
+                                acc += x.at(&[bi, c, sy, sx]) * w.at(&[o, c, dy, dx]);
+                            }
+                        }
+                    }
+                    out.set(&[bi, o, y, xx], acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn conv2d_grad_x(dy: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Result<Tensor, TensorError> {
+    let dyd = dy.shape().dims();
+    let wd = w.shape().dims();
+    let (b, co, oh, ow) = (dyd[0], dyd[1], dyd[2], dyd[3]);
+    let (ci, kh, kw) = (wd[1], wd[2], wd[3]);
+    let ih = (oh - 1) * stride + kh - 2 * pad;
+    let iw = (ow - 1) * stride + kw - 2 * pad;
+    let mut out = Tensor::zeros(vec![b, ci, ih, iw]);
+    for bi in 0..b {
+        for o in 0..co {
+            for y in 0..oh {
+                for xx in 0..ow {
+                    let g = dy.at(&[bi, o, y, xx]);
+                    for c in 0..ci {
+                        for dyk in 0..kh {
+                            for dxk in 0..kw {
+                                let sy = y * stride + dyk;
+                                let sx = xx * stride + dxk;
+                                if sy < pad || sx < pad {
+                                    continue;
+                                }
+                                let (sy, sx) = (sy - pad, sx - pad);
+                                if sy >= ih || sx >= iw {
+                                    continue;
+                                }
+                                let cur = out.at(&[bi, c, sy, sx]);
+                                out.set(&[bi, c, sy, sx], cur + g * w.at(&[o, c, dyk, dxk]));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn conv2d_grad_w(x: &Tensor, dy: &Tensor, stride: usize, pad: usize) -> Result<Tensor, TensorError> {
+    let xd = x.shape().dims();
+    let dyd = dy.shape().dims();
+    let (b, ci, ih, iw) = (xd[0], xd[1], xd[2], xd[3]);
+    let (co, oh, ow) = (dyd[1], dyd[2], dyd[3]);
+    let kh = ih + 2 * pad - (oh - 1) * stride;
+    let kw = iw + 2 * pad - (ow - 1) * stride;
+    let mut out = Tensor::zeros(vec![co, ci, kh, kw]);
+    for bi in 0..b {
+        for o in 0..co {
+            for y in 0..oh {
+                for xx in 0..ow {
+                    let g = dy.at(&[bi, o, y, xx]);
+                    for c in 0..ci {
+                        for dyk in 0..kh {
+                            for dxk in 0..kw {
+                                let sy = y * stride + dyk;
+                                let sx = xx * stride + dxk;
+                                if sy < pad || sx < pad {
+                                    continue;
+                                }
+                                let (sy, sx) = (sy - pad, sx - pad);
+                                if sy >= ih || sx >= iw {
+                                    continue;
+                                }
+                                let cur = out.at(&[o, c, dyk, dxk]);
+                                out.set(&[o, c, dyk, dxk], cur + g * x.at(&[bi, c, sy, sx]));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn maxpool(x: &Tensor, k: usize) -> Result<Tensor, TensorError> {
+    let d = x.shape().dims();
+    let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(vec![b, c, oh, ow]);
+    for bi in 0..b {
+        for ci in 0..c {
+            for y in 0..oh {
+                for xx in 0..ow {
+                    let mut m = f32::NEG_INFINITY;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            m = m.max(x.at(&[bi, ci, y * k + dy, xx * k + dx]));
+                        }
+                    }
+                    out.set(&[bi, ci, y, xx], m);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn maxpool_grad(dy: &Tensor, x: &Tensor, k: usize) -> Result<Tensor, TensorError> {
+    let d = x.shape().dims();
+    let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(vec![b, c, h, w]);
+    for bi in 0..b {
+        for ci in 0..c {
+            for y in 0..oh {
+                for xx in 0..ow {
+                    // Route the gradient to the argmax position.
+                    let (mut my, mut mx, mut m) = (0, 0, f32::NEG_INFINITY);
+                    for dy_ in 0..k {
+                        for dx in 0..k {
+                            let v = x.at(&[bi, ci, y * k + dy_, xx * k + dx]);
+                            if v > m {
+                                m = v;
+                                my = dy_;
+                                mx = dx;
+                            }
+                        }
+                    }
+                    let g = dy.at(&[bi, ci, y, xx]);
+                    let cur = out.at(&[bi, ci, y * k + my, xx * k + mx]);
+                    out.set(&[bi, ci, y * k + my, xx * k + mx], cur + g);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn embedding(idx: &Tensor, table: &Tensor) -> Result<Tensor, TensorError> {
+    let id = idx.shape().dims();
+    let (b, s) = (id[0], id[1]);
+    let h = table.shape().dims()[1];
+    let v = table.shape().dims()[0];
+    let mut out = Tensor::zeros(vec![b, s, h]);
+    for bi in 0..b {
+        for si in 0..s {
+            let row = (idx.at(&[bi, si]).round() as usize).min(v - 1);
+            for j in 0..h {
+                out.set(&[bi, si, j], table.at(&[row, j]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn embedding_grad(dy: &Tensor, idx: &Tensor, vocab: usize) -> Result<Tensor, TensorError> {
+    let id = idx.shape().dims();
+    let (b, s) = (id[0], id[1]);
+    let h = dy.shape().dims()[2];
+    let mut out = Tensor::zeros(vec![vocab, h]);
+    for bi in 0..b {
+        for si in 0..s {
+            let row = (idx.at(&[bi, si]).round() as usize).min(vocab - 1);
+            for j in 0..h {
+                let cur = out.at(&[row, j]);
+                out.set(&[row, j], cur + dy.at(&[bi, si, j]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cross_entropy(logits: &Tensor, labels: &Tensor) -> Result<Tensor, TensorError> {
+    let cols = *logits.shape().dims().last().expect("rank >= 2");
+    let rows = logits.numel() / cols;
+    let probs = logits.softmax_last()?;
+    let mut loss = 0.0f32;
+    for r in 0..rows {
+        let label = (labels.data()[r].round() as usize).min(cols - 1);
+        loss -= probs.data()[r * cols + label].max(1e-12).ln();
+    }
+    Ok(Tensor::scalar(loss))
+}
+
+fn cross_entropy_grad(logits: &Tensor, labels: &Tensor) -> Result<Tensor, TensorError> {
+    let cols = *logits.shape().dims().last().expect("rank >= 2");
+    let rows = logits.numel() / cols;
+    let mut out = logits.softmax_last()?;
+    for r in 0..rows {
+        let label = (labels.data()[r].round() as usize).min(cols - 1);
+        let cur = out.data()[r * cols + label];
+        out.data_mut()[r * cols + label] = cur - 1.0;
+    }
+    Ok(out)
+}
+
+/// Deterministic top-1 routing shared by all MoE kernels.
+fn routing(gates: &Tensor) -> Vec<usize> {
+    let e = *gates.shape().dims().last().expect("rank >= 1");
+    let tokens = gates.numel() / e;
+    (0..tokens)
+        .map(|t| {
+            let row = &gates.data()[t * e..(t + 1) * e];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite gates"))
+                .map(|(i, _)| i)
+                .expect("non-empty gate row")
+        })
+        .collect()
+}
+
+fn moe_dispatch(
+    x: &Tensor,
+    gates: &Tensor,
+    experts: usize,
+    capacity: usize,
+) -> Result<Tensor, TensorError> {
+    let h = *x.shape().dims().last().expect("rank >= 1");
+    let route = routing(gates);
+    let mut out = Tensor::zeros(vec![experts, capacity, h]);
+    let mut counters = vec![0usize; experts];
+    for (t, &ex) in route.iter().enumerate() {
+        if counters[ex] < capacity {
+            let slot = counters[ex];
+            for j in 0..h {
+                out.set(&[ex, slot, j], x.data()[t * h + j]);
+            }
+            counters[ex] += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn moe_dispatch_grad(dxd: &Tensor, gates: &Tensor) -> Result<Tensor, TensorError> {
+    let d = dxd.shape().dims();
+    let (experts, capacity, h) = (d[0], d[1], d[2]);
+    let gd = gates.shape().dims();
+    let (b, s) = (gd[0], gd[1]);
+    let route = routing(gates);
+    let mut out = Tensor::zeros(vec![b, s, h]);
+    let mut counters = vec![0usize; experts];
+    for (t, &ex) in route.iter().enumerate() {
+        if counters[ex] < capacity {
+            let slot = counters[ex];
+            for j in 0..h {
+                out.data_mut()[t * h + j] = dxd.at(&[ex, slot, j]);
+            }
+            counters[ex] += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn moe_combine(xe: &Tensor, gates: &Tensor) -> Result<Tensor, TensorError> {
+    let d = xe.shape().dims();
+    let (experts, capacity, h) = (d[0], d[1], d[2]);
+    let gd = gates.shape().dims();
+    let (b, s, e) = (gd[0], gd[1], gd[2]);
+    debug_assert_eq!(e, experts);
+    let route = routing(gates);
+    let mut out = Tensor::zeros(vec![b, s, h]);
+    let mut counters = vec![0usize; experts];
+    for (t, &ex) in route.iter().enumerate() {
+        if counters[ex] < capacity {
+            let slot = counters[ex];
+            let gate = gates.data()[t * e + ex];
+            for j in 0..h {
+                out.data_mut()[t * h + j] = gate * xe.at(&[ex, slot, j]);
+            }
+            counters[ex] += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn moe_combine_grad(
+    dy: &Tensor,
+    gates: &Tensor,
+    experts: usize,
+    capacity: usize,
+) -> Result<Tensor, TensorError> {
+    let h = *dy.shape().dims().last().expect("rank >= 1");
+    let e = *gates.shape().dims().last().expect("rank >= 1");
+    let route = routing(gates);
+    let mut out = Tensor::zeros(vec![experts, capacity, h]);
+    let mut counters = vec![0usize; experts];
+    for (t, &ex) in route.iter().enumerate() {
+        if counters[ex] < capacity {
+            let slot = counters[ex];
+            let gate = gates.data()[t * e + ex];
+            for j in 0..h {
+                out.set(&[ex, slot, j], gate * dy.data()[t * h + j]);
+            }
+            counters[ex] += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::Role;
+
+    fn feeds_for(graph: &Graph, seed: u64) -> HashMap<NodeId, Tensor> {
+        let mut feeds = HashMap::new();
+        for n in graph.nodes() {
+            match n.role {
+                Role::Input | Role::Param => {
+                    feeds.insert(n.id, Tensor::randn(n.shape.dims().to_vec(), seed + n.id as u64));
+                }
+                Role::Label => {
+                    // Integer labels in [0, 4).
+                    let t = Tensor::randn(n.shape.dims().to_vec(), seed + n.id as u64)
+                        .map(|v| ((v + 0.5) * 4.0).floor().clamp(0.0, 3.0));
+                    feeds.insert(n.id, t);
+                }
+                _ => {}
+            }
+        }
+        feeds
+    }
+
+    #[test]
+    fn mlp_forward_backward_runs() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![8, 6]);
+        let w1 = g.parameter("w1", vec![6, 12]);
+        let w2 = g.parameter("w2", vec![12, 4]);
+        let labels = g.label("y", vec![8]);
+        let h = g.matmul(x, w1);
+        let h = g.relu(h);
+        let logits = g.matmul(h, w2);
+        let loss = g.cross_entropy(logits, labels);
+        let graph = g.build_training(loss).unwrap();
+        let feeds = feeds_for(&graph, 11);
+        let vals = eval_single_device(&graph, &feeds).unwrap();
+        assert!(vals[loss].at(&[]) > 0.0);
+    }
+
+    /// Finite-difference check of the full backward pass through a small MLP.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![4, 3]);
+        let w = g.parameter("w", vec![3, 5]);
+        let b = g.parameter("b", vec![5]);
+        let labels = g.label("y", vec![4]);
+        let h = g.matmul(x, w);
+        let h = g.bias_add(h, b);
+        let act = g.sigmoid(h);
+        let w2 = g.parameter("w2", vec![5, 4]);
+        let logits = g.matmul(act, w2);
+        let loss = g.cross_entropy(logits, labels);
+        let graph = g.build_training(loss).unwrap();
+
+        let feeds = feeds_for(&graph, 3);
+        let vals = eval_single_device(&graph, &feeds).unwrap();
+
+        // Locate w's gradient: the input of its update node.
+        let upd = graph
+            .nodes()
+            .iter()
+            .find(|n| n.role == Role::Updated && n.inputs[0] == w)
+            .expect("w update");
+        let grad_w = &vals[upd.inputs[1]];
+
+        let eps = 1e-2f32;
+        for probe in [(0usize, 0usize), (1, 2), (2, 4)] {
+            let mut feeds_plus = feeds.clone();
+            let mut wp = feeds[&w].clone();
+            let off = wp.shape().offset(&[probe.0, probe.1]);
+            wp.data_mut()[off] += eps;
+            feeds_plus.insert(w, wp);
+            let mut feeds_minus = feeds.clone();
+            let mut wm = feeds[&w].clone();
+            wm.data_mut()[off] -= eps;
+            feeds_minus.insert(w, wm);
+            let lp = eval_single_device(&graph, &feeds_plus).unwrap()[loss].at(&[]);
+            let lm = eval_single_device(&graph, &feeds_minus).unwrap()[loss].at(&[]);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grad_w.at(&[probe.0, probe.1]);
+            assert!(
+                (fd - an).abs() < 2e-2 + 0.05 * an.abs(),
+                "finite diff {fd} vs analytic {an} at {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_grad_finite_difference() {
+        let mut g = GraphBuilder::new();
+        let q = g.placeholder("q", vec![1, 4, 6]);
+        let wv = g.parameter("wv", vec![6, 6]);
+        let v = g.linear(q, wv);
+        let att = g.attention(q, q, v, 2);
+        let loss = g.sum_all(att);
+        let graph = g.build_training(loss).unwrap();
+        let feeds = feeds_for(&graph, 21);
+        let vals = eval_single_device(&graph, &feeds).unwrap();
+        let upd = graph
+            .nodes()
+            .iter()
+            .find(|n| n.role == Role::Updated)
+            .expect("wv update");
+        let grad = &vals[upd.inputs[1]];
+        let eps = 1e-2f32;
+        let off = 7usize;
+        let mut fp = feeds.clone();
+        let mut t = feeds[&wv].clone();
+        t.data_mut()[off] += eps;
+        fp.insert(wv, t);
+        let mut fm = feeds.clone();
+        let mut t2 = feeds[&wv].clone();
+        t2.data_mut()[off] -= eps;
+        fm.insert(wv, t2);
+        let lp = eval_single_device(&graph, &fp).unwrap()[loss].at(&[]);
+        let lm = eval_single_device(&graph, &fm).unwrap()[loss].at(&[]);
+        let fd = (lp - lm) / (2.0 * eps);
+        let an = grad.data()[off];
+        assert!((fd - an).abs() < 2e-2 + 0.05 * an.abs(), "fd {fd} vs an {an}");
+    }
+
+    #[test]
+    fn conv_grad_finite_difference() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![1, 2, 4, 4]);
+        let w = g.parameter("w", vec![3, 2, 3, 3]);
+        let y = g.conv2d(x, w, 1, 1);
+        let p = g.maxpool(y, 2);
+        let f = g.flatten(p);
+        let loss = g.sum_all(f);
+        let graph = g.build_training(loss).unwrap();
+        let feeds = feeds_for(&graph, 31);
+        let vals = eval_single_device(&graph, &feeds).unwrap();
+        let upd = graph.nodes().iter().find(|n| n.role == Role::Updated).unwrap();
+        let grad = &vals[upd.inputs[1]];
+        let eps = 1e-2f32;
+        for off in [0usize, 5, 17] {
+            let mut fp = feeds.clone();
+            let mut t = feeds[&w].clone();
+            t.data_mut()[off] += eps;
+            fp.insert(w, t);
+            let mut fm = feeds.clone();
+            let mut t2 = feeds[&w].clone();
+            t2.data_mut()[off] -= eps;
+            fm.insert(w, t2);
+            let lp = eval_single_device(&graph, &fp).unwrap()[loss].at(&[]);
+            let lm = eval_single_device(&graph, &fm).unwrap()[loss].at(&[]);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grad.data()[off];
+            assert!((fd - an).abs() < 5e-2 + 0.05 * an.abs(), "fd {fd} vs an {an} at {off}");
+        }
+    }
+
+    #[test]
+    fn moe_dispatch_combine_roundtrip() {
+        // With capacity == tokens, dispatch followed by combine with one-hot
+        // gates reproduces the input scaled by the gate value.
+        let x = Tensor::randn(vec![1, 4, 3], 7);
+        let mut gates = Tensor::zeros(vec![1, 4, 2]);
+        for (t, ex) in [(0usize, 0usize), (1, 1), (2, 0), (3, 1)] {
+            gates.set(&[0, t, ex], 1.0);
+        }
+        let xd = moe_dispatch(&x, &gates, 2, 4).unwrap();
+        let y = moe_combine(&xd, &gates).unwrap();
+        assert!(y.allclose(&x, 1e-6));
+    }
+}

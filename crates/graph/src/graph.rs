@@ -1,0 +1,274 @@
+//! The computation graph: nodes, roles and traversal helpers.
+
+use crate::op::Op;
+use crate::placement::Rule;
+use crate::GraphError;
+use hap_tensor::Shape;
+
+/// Identifier of a node (== reference tensor) in the graph.
+///
+/// Node ids double as the paper's reference tensors `e ∈ E`: every node
+/// produces exactly one tensor.
+pub type NodeId = usize;
+
+/// What role a node's tensor plays in the training iteration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Model input batch.
+    Input,
+    /// Training labels.
+    Label,
+    /// Trainable parameter.
+    Param,
+    /// Constant (e.g. gradient seed).
+    Const,
+    /// Forward intermediate.
+    Activation,
+    /// Backward intermediate or parameter gradient.
+    Grad,
+    /// Updated parameter (a required output of the iteration).
+    Updated,
+    /// The scalar training loss (a required output of the iteration).
+    Loss,
+}
+
+/// One node of the computation graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// The operation.
+    pub op: Op,
+    /// Ids of the input nodes, in op order.
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub shape: Shape,
+    /// Human-readable name.
+    pub name: String,
+    /// Role of the produced tensor.
+    pub role: Role,
+    /// Model segment this node belongs to (used by the segmented load
+    /// balancer, paper Sec. 5.2). Defaults to 0.
+    pub segment: usize,
+}
+
+/// A single-device computation graph `(V, E)`.
+///
+/// Nodes are stored in topological order by construction: every input id is
+/// smaller than the node's own id.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a leaf node (placeholder/label/parameter/constant) with an
+    /// explicit shape.
+    pub fn add_leaf(
+        &mut self,
+        op: Op,
+        dims: Vec<usize>,
+        name: impl Into<String>,
+        role: Role,
+    ) -> NodeId {
+        debug_assert!(op.is_leaf(), "add_leaf requires a leaf op");
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            op,
+            inputs: Vec::new(),
+            shape: Shape::new(dims),
+            name: name.into(),
+            role,
+            segment: 0,
+        });
+        id
+    }
+
+    /// Adds a compute node, inferring its shape.
+    pub fn add(
+        &mut self,
+        op: Op,
+        inputs: Vec<NodeId>,
+        name: impl Into<String>,
+        role: Role,
+    ) -> Result<NodeId, GraphError> {
+        let mut shapes = Vec::with_capacity(inputs.len());
+        for &i in &inputs {
+            shapes.push(&self.nodes.get(i).ok_or(GraphError::UnknownNode(i))?.shape);
+        }
+        let shape = op.infer_shape(&shapes)?;
+        let id = self.nodes.len();
+        self.nodes.push(Node { id, op, inputs, shape, name: name.into(), role, segment: 0 });
+        Ok(id)
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range; ids come from this graph's builders.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Sets the segment of a node (see [`Role`] and paper Sec. 5.2).
+    pub fn set_segment(&mut self, id: NodeId, segment: usize) {
+        self.nodes[id].segment = segment;
+    }
+
+    /// Number of distinct segments (max segment id + 1).
+    pub fn segment_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.segment).max().map_or(0, |m| m + 1)
+    }
+
+    /// Ids of consumers of each node.
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut cons = vec![Vec::new(); self.nodes.len()];
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                cons[i].push(n.id);
+            }
+        }
+        cons
+    }
+
+    /// Total number of trainable parameters (elements of `Param` leaves).
+    pub fn parameter_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == Role::Param)
+            .map(|n| n.shape.numel())
+            .sum()
+    }
+
+    /// Ids of all parameter leaves.
+    pub fn parameters(&self) -> Vec<NodeId> {
+        self.nodes.iter().filter(|n| n.role == Role::Param).map(|n| n.id).collect()
+    }
+
+    /// Id of the loss node, if the graph has one.
+    pub fn loss(&self) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.role == Role::Loss).map(|n| n.id)
+    }
+
+    /// Ids of the iteration's required outputs: the loss plus every updated
+    /// parameter (paper Sec. 4.2 uses the loss; we extend the semantic
+    /// constraint to the whole training iteration).
+    pub fn required_outputs(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.role, Role::Loss | Role::Updated))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Total single-device flops of one iteration.
+    pub fn total_flops(&self) -> f64 {
+        self.nodes.iter().map(|n| self.node_flops(n.id)).sum()
+    }
+
+    /// Flops of a single node.
+    pub fn node_flops(&self, id: NodeId) -> f64 {
+        let n = &self.nodes[id];
+        if n.op.is_leaf() {
+            return 0.0;
+        }
+        let shapes: Vec<&Shape> = n.inputs.iter().map(|&i| &self.nodes[i].shape).collect();
+        n.op.flops(&shapes, &n.shape)
+    }
+
+    /// Output bytes of a node (f32 storage).
+    pub fn node_bytes(&self, id: NodeId) -> usize {
+        self.nodes[id].shape.numel() * std::mem::size_of::<f32>()
+    }
+
+    /// Sharding rules of a node's op, instantiated on its actual shapes.
+    pub fn placement_rules(&self, id: NodeId) -> Vec<Rule> {
+        let n = &self.nodes[id];
+        let shapes: Vec<&Shape> = n.inputs.iter().map(|&i| &self.nodes[i].shape).collect();
+        n.op.rules(&shapes, &n.shape)
+    }
+
+    /// Validates topological ordering (inputs precede nodes).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                if i >= n.id {
+                    return Err(GraphError::UnknownNode(i));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn build_small_graph() {
+        let mut g = Graph::new();
+        let x = g.add_leaf(Op::Placeholder, vec![8, 4], "x", Role::Input);
+        let w = g.add_leaf(Op::Parameter, vec![4, 2], "w", Role::Param);
+        let y = g
+            .add(Op::MatMul2 { ta: false, tb: false }, vec![x, w], "y", Role::Activation)
+            .unwrap();
+        let l = g.add(Op::SumAll, vec![y], "loss", Role::Loss).unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.node(y).shape.dims(), &[8, 2]);
+        assert_eq!(g.loss(), Some(l));
+        assert_eq!(g.parameter_count(), 8);
+        assert_eq!(g.total_flops(), 2.0 * 8.0 * 4.0 * 2.0 + 16.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn consumers_are_tracked() {
+        let mut g = Graph::new();
+        let x = g.add_leaf(Op::Placeholder, vec![4, 4], "x", Role::Input);
+        let a = g.add(Op::Unary { kind: crate::UnaryKind::Relu }, vec![x], "a", Role::Activation).unwrap();
+        let b = g.add(Op::Add, vec![a, a], "b", Role::Activation).unwrap();
+        let cons = g.consumers();
+        assert_eq!(cons[x], vec![a]);
+        assert_eq!(cons[a], vec![b, b]);
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut g = Graph::new();
+        let err = g.add(Op::SumAll, vec![42], "bad", Role::Activation);
+        assert!(matches!(err, Err(GraphError::UnknownNode(42))));
+    }
+
+    #[test]
+    fn segments_default_and_update() {
+        let mut g = Graph::new();
+        let x = g.add_leaf(Op::Placeholder, vec![2, 2], "x", Role::Input);
+        assert_eq!(g.segment_count(), 1);
+        g.set_segment(x, 3);
+        assert_eq!(g.segment_count(), 4);
+    }
+}

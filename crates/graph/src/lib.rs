@@ -1,0 +1,75 @@
+//! Single-device computation graph IR for HAP.
+//!
+//! The HAP paper (EuroSys'24, Sec. 3) takes as input "a single-device DNN
+//! model ... represented as a computation graph (V, E)". This crate is that
+//! representation: a typed op set with shape inference, a flops model used by
+//! the cost estimator, per-op *placement rules* (the mathematical sharding
+//! characteristics from which the synthesizer derives its Hoare triples,
+//! paper Fig. 9), reverse-mode automatic differentiation (so the synthesized
+//! program covers a full training iteration: forward, backward and parameter
+//! update), and a reference single-device executor used as ground truth by
+//! the functional equivalence checker.
+//!
+//! # Examples
+//!
+//! ```
+//! use hap_graph::GraphBuilder;
+//!
+//! // The 4-instruction example of paper Fig. 11: loss = sum(x · w).
+//! let mut g = GraphBuilder::new();
+//! let x = g.placeholder("x", vec![8, 4]);
+//! let w = g.parameter("w", vec![4, 2]);
+//! let y = g.matmul(x, w);
+//! let loss = g.sum_all(y);
+//! let graph = g.build_training(loss).unwrap();
+//! assert!(graph.parameter_count() > 0);
+//! assert!(!graph.placement_rules(y).is_empty());
+//! ```
+
+mod autodiff;
+mod builder;
+mod eval;
+mod graph;
+mod op;
+mod placement;
+
+pub use autodiff::build_training;
+pub use builder::GraphBuilder;
+pub use eval::{eval_op, eval_single_device, EvalError};
+pub use graph::{Graph, Node, NodeId, Role};
+pub use op::{Op, UnaryKind};
+pub use placement::{CompScaling, Placement, Rule};
+
+pub use hap_tensor::{Shape, Tensor};
+
+/// Errors produced while constructing or analyzing graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An input node id was out of range.
+    UnknownNode(usize),
+    /// Shape inference failed for an op.
+    ShapeInference {
+        /// The op's display name.
+        op: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Autodiff was asked to differentiate through an unsupported root.
+    BadLossRoot(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            GraphError::ShapeInference { op, reason } => {
+                write!(f, "shape inference failed for {op}: {reason}")
+            }
+            GraphError::BadLossRoot(op) => {
+                write!(f, "training graphs must end in CrossEntropy or SumAll, got {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

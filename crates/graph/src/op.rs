@@ -1,0 +1,1097 @@
+//! The op set: shape inference, flops accounting and sharding rules.
+//!
+//! Each op knows three things the rest of HAP needs:
+//!
+//! 1. its output shape given input shapes (used when building graphs);
+//! 2. its flop count (the linear cost model of paper Sec. 3.2 divides these
+//!    by profiled device flops-per-second);
+//! 3. its [`Rule`]s — the mathematically valid distributed executions from
+//!    which the synthesizer derives Hoare triples (paper Sec. 4.2, Fig. 9).
+//!
+//! The rule tables deliberately mirror the paper: MatMul carries the three
+//! classic parallelisms (row, column, reduction) plus the fully replicated
+//! rule that enables sufficient factor broadcasting (Sec. 4.4); convolutions
+//! carry the AccPar-style batch/channel/reduction partitionings; MoE dispatch
+//! and combine carry the GShard-style token/expert exchanges.
+
+use crate::placement::{Placement, Rule};
+use crate::GraphError;
+use hap_tensor::Shape;
+
+/// Elementwise activation kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum UnaryKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl UnaryKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryKind::Relu => "relu",
+            UnaryKind::Gelu => "gelu",
+            UnaryKind::Sigmoid => "sigmoid",
+            UnaryKind::Tanh => "tanh",
+        }
+    }
+}
+
+/// A computation-graph operation.
+///
+/// Grad ops take the upstream gradient plus whatever forward tensors the
+/// derivative needs; they are emitted by [`crate::build_training`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum Op {
+    /// Model input batch (leaf).
+    Placeholder,
+    /// Training labels (leaf).
+    Label,
+    /// Trainable parameter (leaf).
+    Parameter,
+    /// All-ones constant with the given shape (leaf; the gradient seed of
+    /// `SumAll` roots).
+    Ones,
+    /// 2-D matrix product with optional transposes: `op(A) · op(B)`.
+    MatMul2 {
+        /// Transpose the first operand.
+        ta: bool,
+        /// Transpose the second operand.
+        tb: bool,
+    },
+    /// Linear layer: `x [.., h] · w [h, f] -> [.., f]` (x rank 2 or 3).
+    Linear,
+    /// Gradient of [`Op::Linear`] w.r.t. its input: `(dy [.., f], w [h, f]) -> dx [.., h]`.
+    LinearGradX,
+    /// Gradient of [`Op::Linear`] w.r.t. its weight: `(x [.., h], dy [.., f]) -> dw [h, f]`.
+    LinearGradW,
+    /// Batched matrix product over the leading dimension, with transposes on
+    /// the trailing two dimensions.
+    Bmm {
+        /// Transpose the trailing dims of the first operand.
+        ta: bool,
+        /// Transpose the trailing dims of the second operand.
+        tb: bool,
+    },
+    /// Elementwise addition of same-shaped tensors.
+    Add,
+    /// Adds a `[c]` bias vector to the last dimension of `x [.., c]`.
+    BiasAdd,
+    /// Sums over all leading dimensions: `x [.., c] -> [c]` (bias gradient).
+    ReduceLeading,
+    /// Multiplies by a compile-time scalar.
+    Scale {
+        /// The scale factor.
+        factor: f32,
+    },
+    /// Elementwise activation.
+    Unary {
+        /// Which activation.
+        kind: UnaryKind,
+    },
+    /// Gradient of [`Op::Unary`]: `(dy, x) -> dx` elementwise.
+    UnaryGrad {
+        /// Which activation.
+        kind: UnaryKind,
+    },
+    /// Softmax over the last dimension.
+    Softmax,
+    /// Gradient of [`Op::Softmax`]: `(dy, y) -> dx`.
+    SoftmaxGrad,
+    /// Layer normalization over the last dimension (no affine parameters).
+    LayerNorm,
+    /// Gradient of [`Op::LayerNorm`]: `(dy, x) -> dx`.
+    LayerNormGrad,
+    /// Multi-head self-attention: `(q, k, v)`, each `[b, s, h]`, `-> [b, s, h]`.
+    Attention {
+        /// Number of attention heads (`h % heads == 0`).
+        heads: usize,
+    },
+    /// Gradient of [`Op::Attention`] w.r.t. operand `which`:
+    /// `(dy, q, k, v) -> d{q,k,v}`.
+    AttentionGrad {
+        /// Number of attention heads.
+        heads: usize,
+        /// Which operand's gradient this node produces (0 = q, 1 = k, 2 = v).
+        which: usize,
+    },
+    /// 2-D convolution: `(x [b, ci, ih, iw], w [co, ci, kh, kw]) -> [b, co, oh, ow]`.
+    Conv2d {
+        /// Stride (same in both spatial dims).
+        stride: usize,
+        /// Zero padding (same on all sides).
+        pad: usize,
+    },
+    /// Gradient of [`Op::Conv2d`] w.r.t. the input: `(dy, w) -> dx`.
+    Conv2dGradX {
+        /// Stride of the forward convolution.
+        stride: usize,
+        /// Padding of the forward convolution.
+        pad: usize,
+    },
+    /// Gradient of [`Op::Conv2d`] w.r.t. the weight: `(x, dy) -> dw`.
+    Conv2dGradW {
+        /// Stride of the forward convolution.
+        stride: usize,
+        /// Padding of the forward convolution.
+        pad: usize,
+    },
+    /// Non-overlapping 2-D max pooling with window and stride `k`.
+    MaxPool2 {
+        /// Window/stride size.
+        k: usize,
+    },
+    /// Gradient of [`Op::MaxPool2`]: `(dy, x) -> dx`.
+    MaxPoolGrad {
+        /// Window/stride size of the forward pool.
+        k: usize,
+    },
+    /// Flattens all dimensions after the first: `[b, ...] -> [b, n]`.
+    Flatten,
+    /// Inverse of [`Op::Flatten`] back to the stored trailing dims.
+    Unflatten {
+        /// Trailing dimensions after the batch dim.
+        dims: Vec<usize>,
+    },
+    /// Embedding lookup: `(idx [b, s], table [v, h]) -> [b, s, h]`.
+    Embedding,
+    /// Gradient of [`Op::Embedding`] w.r.t. the table: `(dy, idx) -> [v, h]`.
+    EmbeddingGrad {
+        /// Vocabulary size `v` of the table.
+        vocab: usize,
+    },
+    /// Sum-reduced cross-entropy loss: `(logits [.., v], labels [..]) -> scalar`.
+    CrossEntropy,
+    /// Gradient of [`Op::CrossEntropy`]: `(logits, labels) -> dlogits`.
+    CrossEntropyGrad,
+    /// Sum of all elements to a scalar.
+    SumAll,
+    /// MoE token dispatch: `(x [b, s, h], gates [b, s, e]) -> [e, cap, h]`.
+    Dispatch {
+        /// Number of experts `e`.
+        experts: usize,
+        /// Per-expert capacity `cap`.
+        capacity: usize,
+    },
+    /// Gradient of [`Op::Dispatch`] w.r.t. the tokens: `(dxd, gates) -> dx`.
+    DispatchGrad,
+    /// MoE combine: `(xe [e, cap, h], gates [b, s, e]) -> [b, s, h]`.
+    Combine,
+    /// Gradient of [`Op::Combine`] w.r.t. the expert outputs:
+    /// `(dy, gates) -> dxe`.
+    CombineGrad {
+        /// Number of experts `e`.
+        experts: usize,
+        /// Per-expert capacity `cap`.
+        capacity: usize,
+    },
+    /// SGD parameter update: `(p, g) -> p - lr * g`.
+    UpdateParam {
+        /// Learning rate.
+        lr: f32,
+    },
+}
+
+impl Op {
+    /// Display name for diagnostics and program listings.
+    pub fn name(&self) -> String {
+        match self {
+            Op::Placeholder => "placeholder".into(),
+            Op::Label => "label".into(),
+            Op::Parameter => "parameter".into(),
+            Op::Ones => "ones".into(),
+            Op::MatMul2 { ta, tb } => format!("matmul(ta={ta},tb={tb})"),
+            Op::Linear => "linear".into(),
+            Op::LinearGradX => "linear_grad_x".into(),
+            Op::LinearGradW => "linear_grad_w".into(),
+            Op::Bmm { ta, tb } => format!("bmm(ta={ta},tb={tb})"),
+            Op::Add => "add".into(),
+            Op::BiasAdd => "bias_add".into(),
+            Op::ReduceLeading => "reduce_leading".into(),
+            Op::Scale { factor } => format!("scale({factor})"),
+            Op::Unary { kind } => kind.name().into(),
+            Op::UnaryGrad { kind } => format!("{}_grad", kind.name()),
+            Op::Softmax => "softmax".into(),
+            Op::SoftmaxGrad => "softmax_grad".into(),
+            Op::LayerNorm => "layer_norm".into(),
+            Op::LayerNormGrad => "layer_norm_grad".into(),
+            Op::Attention { heads } => format!("attention(h={heads})"),
+            Op::AttentionGrad { heads, which } => format!("attention_grad(h={heads},w={which})"),
+            Op::Conv2d { stride, pad } => format!("conv2d(s={stride},p={pad})"),
+            Op::Conv2dGradX { stride, pad } => format!("conv2d_grad_x(s={stride},p={pad})"),
+            Op::Conv2dGradW { stride, pad } => format!("conv2d_grad_w(s={stride},p={pad})"),
+            Op::MaxPool2 { k } => format!("maxpool({k})"),
+            Op::MaxPoolGrad { k } => format!("maxpool_grad({k})"),
+            Op::Flatten => "flatten".into(),
+            Op::Unflatten { .. } => "unflatten".into(),
+            Op::Embedding => "embedding".into(),
+            Op::EmbeddingGrad { .. } => "embedding_grad".into(),
+            Op::CrossEntropy => "cross_entropy".into(),
+            Op::CrossEntropyGrad => "cross_entropy_grad".into(),
+            Op::SumAll => "sum".into(),
+            Op::Dispatch { .. } => "moe_dispatch".into(),
+            Op::DispatchGrad => "moe_dispatch_grad".into(),
+            Op::Combine => "moe_combine".into(),
+            Op::CombineGrad { .. } => "moe_combine_grad".into(),
+            Op::UpdateParam { .. } => "update_param".into(),
+        }
+    }
+
+    /// True for graph leaves (no inputs; produced by specialized distributed
+    /// instructions like `Placeholder-Shard`, paper Sec. 4.1).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Op::Placeholder | Op::Label | Op::Parameter | Op::Ones)
+    }
+
+    /// Infers the output shape from input shapes.
+    pub fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape, GraphError> {
+        let fail = |reason: String| GraphError::ShapeInference { op: self.name(), reason };
+        let need = |n: usize| -> Result<(), GraphError> {
+            if inputs.len() != n {
+                Err(fail(format!("expected {n} inputs, got {}", inputs.len())))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            Op::Placeholder | Op::Label | Op::Parameter | Op::Ones => {
+                Err(fail("leaf shapes are given at construction".into()))
+            }
+            Op::MatMul2 { ta, tb } => {
+                need(2)?;
+                let (a, b) = (inputs[0], inputs[1]);
+                if a.rank() != 2 || b.rank() != 2 {
+                    return Err(fail(format!("need rank-2 operands, got {a} x {b}")));
+                }
+                let (m, ka) = if *ta { (a.dims()[1], a.dims()[0]) } else { (a.dims()[0], a.dims()[1]) };
+                let (kb, n) = if *tb { (b.dims()[1], b.dims()[0]) } else { (b.dims()[0], b.dims()[1]) };
+                if ka != kb {
+                    return Err(fail(format!("contraction mismatch {a} x {b}")));
+                }
+                Ok(Shape::new(vec![m, n]))
+            }
+            Op::Linear => {
+                need(2)?;
+                let (x, w) = (inputs[0], inputs[1]);
+                if w.rank() != 2 || !(x.rank() == 2 || x.rank() == 3) {
+                    return Err(fail(format!("linear needs x rank 2/3, w rank 2; got {x} x {w}")));
+                }
+                let h = *x.dims().last().expect("rank >= 2");
+                if h != w.dims()[0] {
+                    return Err(fail(format!("feature mismatch {x} x {w}")));
+                }
+                let mut dims = x.dims().to_vec();
+                *dims.last_mut().expect("rank >= 2") = w.dims()[1];
+                Ok(Shape::new(dims))
+            }
+            Op::LinearGradX => {
+                need(2)?;
+                let (dy, w) = (inputs[0], inputs[1]);
+                if w.rank() != 2 || !(dy.rank() == 2 || dy.rank() == 3) {
+                    return Err(fail(format!("grad_x needs dy rank 2/3, w rank 2; got {dy} x {w}")));
+                }
+                if *dy.dims().last().expect("rank >= 2") != w.dims()[1] {
+                    return Err(fail(format!("feature mismatch {dy} x {w}")));
+                }
+                let mut dims = dy.dims().to_vec();
+                *dims.last_mut().expect("rank >= 2") = w.dims()[0];
+                Ok(Shape::new(dims))
+            }
+            Op::LinearGradW => {
+                need(2)?;
+                let (x, dy) = (inputs[0], inputs[1]);
+                if x.rank() != dy.rank() || !(x.rank() == 2 || x.rank() == 3) {
+                    return Err(fail(format!("grad_w needs matching rank 2/3; got {x} x {dy}")));
+                }
+                if x.dims()[..x.rank() - 1] != dy.dims()[..dy.rank() - 1] {
+                    return Err(fail(format!("leading dims mismatch {x} x {dy}")));
+                }
+                Ok(Shape::new(vec![*x.dims().last().expect("rank >= 2"), *dy.dims().last().expect("rank >= 2")]))
+            }
+            Op::Bmm { ta, tb } => {
+                need(2)?;
+                let (a, b) = (inputs[0], inputs[1]);
+                if a.rank() != 3 || b.rank() != 3 || a.dims()[0] != b.dims()[0] {
+                    return Err(fail(format!("bmm needs matching rank-3 batches; got {a} x {b}")));
+                }
+                let (m, ka) = if *ta { (a.dims()[2], a.dims()[1]) } else { (a.dims()[1], a.dims()[2]) };
+                let (kb, n) = if *tb { (b.dims()[2], b.dims()[1]) } else { (b.dims()[1], b.dims()[2]) };
+                if ka != kb {
+                    return Err(fail(format!("contraction mismatch {a} x {b}")));
+                }
+                Ok(Shape::new(vec![a.dims()[0], m, n]))
+            }
+            Op::Add => {
+                need(2)?;
+                if inputs[0] != inputs[1] {
+                    return Err(fail(format!("shape mismatch {} x {}", inputs[0], inputs[1])));
+                }
+                Ok(inputs[0].clone())
+            }
+            Op::BiasAdd => {
+                need(2)?;
+                let (x, b) = (inputs[0], inputs[1]);
+                if b.rank() != 1 || x.rank() == 0 || *x.dims().last().expect("rank >= 1") != b.dims()[0] {
+                    return Err(fail(format!("bias mismatch {x} + {b}")));
+                }
+                Ok(x.clone())
+            }
+            Op::ReduceLeading => {
+                need(1)?;
+                let x = inputs[0];
+                if x.rank() == 0 {
+                    return Err(fail("cannot reduce a scalar".into()));
+                }
+                Ok(Shape::new(vec![*x.dims().last().expect("rank >= 1")]))
+            }
+            Op::Scale { .. } | Op::Unary { .. } | Op::Softmax | Op::LayerNorm => {
+                need(1)?;
+                Ok(inputs[0].clone())
+            }
+            Op::UnaryGrad { .. } | Op::SoftmaxGrad | Op::LayerNormGrad => {
+                need(2)?;
+                if inputs[0] != inputs[1] {
+                    return Err(fail(format!("shape mismatch {} x {}", inputs[0], inputs[1])));
+                }
+                Ok(inputs[0].clone())
+            }
+            Op::Attention { heads } => {
+                need(3)?;
+                let q = inputs[0];
+                if q.rank() != 3 || inputs[1] != q || inputs[2] != q {
+                    return Err(fail(format!("attention needs equal rank-3 q/k/v; got {q}")));
+                }
+                if q.dims()[2] % heads != 0 {
+                    return Err(fail(format!("hidden {} not divisible by {heads} heads", q.dims()[2])));
+                }
+                Ok(q.clone())
+            }
+            Op::AttentionGrad { heads, which } => {
+                need(4)?;
+                if *which > 2 {
+                    return Err(fail(format!("which = {which} out of range")));
+                }
+                let dy = inputs[0];
+                if dy.rank() != 3 || dy.dims()[2] % heads != 0 {
+                    return Err(fail(format!("bad dy shape {dy}")));
+                }
+                Ok(dy.clone())
+            }
+            Op::Conv2d { stride, pad } => {
+                need(2)?;
+                let (x, w) = (inputs[0], inputs[1]);
+                if x.rank() != 4 || w.rank() != 4 || x.dims()[1] != w.dims()[1] {
+                    return Err(fail(format!("conv2d needs [b,ci,h,w] x [co,ci,kh,kw]; got {x} x {w}")));
+                }
+                let oh = conv_out(x.dims()[2], w.dims()[2], *stride, *pad, &self.name())?;
+                let ow = conv_out(x.dims()[3], w.dims()[3], *stride, *pad, &self.name())?;
+                Ok(Shape::new(vec![x.dims()[0], w.dims()[0], oh, ow]))
+            }
+            Op::Conv2dGradX { stride, pad } => {
+                need(2)?;
+                let (dy, w) = (inputs[0], inputs[1]);
+                if dy.rank() != 4 || w.rank() != 4 || dy.dims()[1] != w.dims()[0] {
+                    return Err(fail(format!("grad_x needs [b,co,oh,ow] x [co,ci,kh,kw]; got {dy} x {w}")));
+                }
+                let ih = (dy.dims()[2] - 1) * stride + w.dims()[2] - 2 * pad;
+                let iw = (dy.dims()[3] - 1) * stride + w.dims()[3] - 2 * pad;
+                Ok(Shape::new(vec![dy.dims()[0], w.dims()[1], ih, iw]))
+            }
+            Op::Conv2dGradW { stride, pad } => {
+                need(2)?;
+                let (x, dy) = (inputs[0], inputs[1]);
+                if x.rank() != 4 || dy.rank() != 4 || x.dims()[0] != dy.dims()[0] {
+                    return Err(fail(format!("grad_w needs matching batches; got {x} x {dy}")));
+                }
+                let kh = x.dims()[2] + 2 * pad - (dy.dims()[2] - 1) * stride;
+                let kw = x.dims()[3] + 2 * pad - (dy.dims()[3] - 1) * stride;
+                Ok(Shape::new(vec![dy.dims()[1], x.dims()[1], kh, kw]))
+            }
+            Op::MaxPool2 { k } => {
+                need(1)?;
+                let x = inputs[0];
+                if x.rank() != 4 || x.dims()[2] % k != 0 || x.dims()[3] % k != 0 {
+                    return Err(fail(format!("maxpool({k}) needs divisible [b,c,h,w]; got {x}")));
+                }
+                Ok(Shape::new(vec![x.dims()[0], x.dims()[1], x.dims()[2] / k, x.dims()[3] / k]))
+            }
+            Op::MaxPoolGrad { .. } => {
+                need(2)?;
+                Ok(inputs[1].clone())
+            }
+            Op::Flatten => {
+                need(1)?;
+                let x = inputs[0];
+                if x.rank() < 2 {
+                    return Err(fail(format!("flatten needs rank >= 2; got {x}")));
+                }
+                Ok(Shape::new(vec![x.dims()[0], x.dims()[1..].iter().product()]))
+            }
+            Op::Unflatten { dims } => {
+                need(1)?;
+                let x = inputs[0];
+                if x.rank() != 2 || x.dims()[1] != dims.iter().product::<usize>() {
+                    return Err(fail(format!("unflatten to {dims:?} mismatches {x}")));
+                }
+                let mut d = vec![x.dims()[0]];
+                d.extend_from_slice(dims);
+                Ok(Shape::new(d))
+            }
+            Op::Embedding => {
+                need(2)?;
+                let (idx, table) = (inputs[0], inputs[1]);
+                if idx.rank() != 2 || table.rank() != 2 {
+                    return Err(fail(format!("embedding needs [b,s] x [v,h]; got {idx} x {table}")));
+                }
+                Ok(Shape::new(vec![idx.dims()[0], idx.dims()[1], table.dims()[1]]))
+            }
+            Op::EmbeddingGrad { vocab } => {
+                need(2)?;
+                let dy = inputs[0];
+                if dy.rank() != 3 {
+                    return Err(fail(format!("embedding_grad needs rank-3 dy; got {dy}")));
+                }
+                Ok(Shape::new(vec![*vocab, dy.dims()[2]]))
+            }
+            Op::CrossEntropy => {
+                need(2)?;
+                let (logits, labels) = (inputs[0], inputs[1]);
+                if logits.rank() < 2 || labels.rank() != logits.rank() - 1 {
+                    return Err(fail(format!("cross_entropy needs [.., v] x [..]; got {logits} x {labels}")));
+                }
+                if logits.dims()[..logits.rank() - 1] != *labels.dims() {
+                    return Err(fail(format!("leading dims mismatch {logits} x {labels}")));
+                }
+                Ok(Shape::scalar())
+            }
+            Op::CrossEntropyGrad => {
+                need(2)?;
+                Ok(inputs[0].clone())
+            }
+            Op::SumAll => {
+                need(1)?;
+                Ok(Shape::scalar())
+            }
+            Op::Dispatch { experts, capacity } => {
+                need(2)?;
+                let (x, gates) = (inputs[0], inputs[1]);
+                if x.rank() != 3 || gates.rank() != 3 || gates.dims()[2] != *experts {
+                    return Err(fail(format!("dispatch needs [b,s,h] x [b,s,{experts}]; got {x} x {gates}")));
+                }
+                Ok(Shape::new(vec![*experts, *capacity, x.dims()[2]]))
+            }
+            Op::DispatchGrad => {
+                need(2)?;
+                let (dxd, gates) = (inputs[0], inputs[1]);
+                if dxd.rank() != 3 || gates.rank() != 3 {
+                    return Err(fail(format!("dispatch_grad needs rank-3; got {dxd} x {gates}")));
+                }
+                Ok(Shape::new(vec![gates.dims()[0], gates.dims()[1], dxd.dims()[2]]))
+            }
+            Op::Combine => {
+                need(2)?;
+                let (xe, gates) = (inputs[0], inputs[1]);
+                if xe.rank() != 3 || gates.rank() != 3 {
+                    return Err(fail(format!("combine needs rank-3; got {xe} x {gates}")));
+                }
+                Ok(Shape::new(vec![gates.dims()[0], gates.dims()[1], xe.dims()[2]]))
+            }
+            Op::CombineGrad { experts, capacity } => {
+                need(2)?;
+                let dy = inputs[0];
+                if dy.rank() != 3 {
+                    return Err(fail(format!("combine_grad needs rank-3 dy; got {dy}")));
+                }
+                Ok(Shape::new(vec![*experts, *capacity, dy.dims()[2]]))
+            }
+            Op::UpdateParam { .. } => {
+                need(2)?;
+                if inputs[0] != inputs[1] {
+                    return Err(fail(format!("param/grad mismatch {} x {}", inputs[0], inputs[1])));
+                }
+                Ok(inputs[0].clone())
+            }
+        }
+    }
+
+    /// Total floating-point operations of the single-device op.
+    pub fn flops(&self, inputs: &[&Shape], output: &Shape) -> f64 {
+        let vol = |s: &Shape| s.numel() as f64;
+        match self {
+            Op::Placeholder | Op::Label | Op::Parameter | Op::Ones => 0.0,
+            Op::MatMul2 { ta, .. } => {
+                let a = inputs[0];
+                let k = if *ta { a.dims()[0] } else { a.dims()[1] } as f64;
+                2.0 * vol(output) * k
+            }
+            Op::Linear | Op::LinearGradX => {
+                let contraction = inputs[1].numel() as f64
+                    / *output.dims().last().expect("non-scalar output") as f64;
+                2.0 * vol(output) * contraction
+            }
+            Op::LinearGradW => {
+                let leading: f64 =
+                    inputs[0].dims()[..inputs[0].rank() - 1].iter().product::<usize>() as f64;
+                2.0 * vol(output) * leading
+            }
+            Op::Bmm { ta, .. } => {
+                let a = inputs[0];
+                let k = if *ta { a.dims()[1] } else { a.dims()[2] } as f64;
+                2.0 * vol(output) * k
+            }
+            Op::Add | Op::BiasAdd | Op::ReduceLeading | Op::Scale { .. } => vol(inputs[0]),
+            Op::Unary { .. } => 4.0 * vol(inputs[0]),
+            Op::UnaryGrad { .. } => 6.0 * vol(inputs[0]),
+            Op::Softmax => 5.0 * vol(inputs[0]),
+            Op::SoftmaxGrad => 8.0 * vol(inputs[0]),
+            Op::LayerNorm => 8.0 * vol(inputs[0]),
+            Op::LayerNormGrad => 14.0 * vol(inputs[0]),
+            Op::Attention { .. } => {
+                let q = inputs[0];
+                let (b, s, h) = (q.dims()[0] as f64, q.dims()[1] as f64, q.dims()[2] as f64);
+                4.0 * b * s * s * h
+            }
+            Op::AttentionGrad { .. } => {
+                let dy = inputs[0];
+                let (b, s, h) = (dy.dims()[0] as f64, dy.dims()[1] as f64, dy.dims()[2] as f64);
+                8.0 / 3.0 * b * s * s * h
+            }
+            Op::Conv2d { .. } => {
+                let w = inputs[1];
+                2.0 * vol(output) * (w.dims()[1] * w.dims()[2] * w.dims()[3]) as f64
+            }
+            Op::Conv2dGradX { .. } => {
+                let w = inputs[1];
+                2.0 * vol(inputs[0]) * (w.dims()[1] * w.dims()[2] * w.dims()[3]) as f64
+            }
+            Op::Conv2dGradW { .. } => {
+                let dy = inputs[1];
+                2.0 * vol(output) * (dy.dims()[0] * dy.dims()[2] * dy.dims()[3]) as f64
+            }
+            Op::MaxPool2 { .. } | Op::MaxPoolGrad { .. } => vol(inputs[0]),
+            Op::Flatten | Op::Unflatten { .. } => 0.0,
+            Op::Embedding => vol(output),
+            Op::EmbeddingGrad { .. } => vol(inputs[0]),
+            Op::CrossEntropy | Op::CrossEntropyGrad => 5.0 * vol(inputs[0]),
+            Op::SumAll => vol(inputs[0]),
+            Op::Dispatch { .. } | Op::DispatchGrad | Op::Combine | Op::CombineGrad { .. } => {
+                2.0 * vol(inputs[0]).max(vol(output))
+            }
+            Op::UpdateParam { .. } => 2.0 * vol(inputs[0]),
+        }
+    }
+
+    /// The sharding rules for this op given its input shapes.
+    ///
+    /// Leaves return an empty list; the synthesizer emits their specialized
+    /// `*-Shard` instructions instead. Dimensions of extent < 2 are never
+    /// offered for sharding.
+    pub fn rules(&self, inputs: &[&Shape], output: &Shape) -> Vec<Rule> {
+        use Placement::{PartialSum, Replicated as R, Shard};
+        let mut rules = Vec::new();
+        // Only offer to shard dimensions that can actually be split.
+        let ok = |s: &Shape, d: usize| s.dims().get(d).is_some_and(|&e| e >= 2);
+        match self {
+            Op::Placeholder | Op::Label | Op::Parameter | Op::Ones => {}
+            Op::MatMul2 { ta, tb } => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let a_m = usize::from(*ta);
+                let a_k = 1 - a_m;
+                let b_k = usize::from(*tb);
+                let b_n = 1 - b_k;
+                if ok(a, a_m) {
+                    rules.push(Rule::new(vec![Shard(a_m), R], Shard(0)));
+                }
+                if ok(b, b_n) {
+                    rules.push(Rule::new(vec![R, Shard(b_n)], Shard(1)));
+                }
+                if ok(a, a_k) {
+                    rules.push(Rule::new(vec![Shard(a_k), Shard(b_k)], PartialSum));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::Linear => {
+                let (x, w) = (inputs[0], inputs[1]);
+                let r = x.rank();
+                for d in 0..r - 1 {
+                    if ok(x, d) {
+                        rules.push(Rule::new(vec![Shard(d), R], Shard(d)));
+                    }
+                }
+                if ok(w, 1) {
+                    rules.push(Rule::new(vec![R, Shard(1)], Shard(r - 1)));
+                }
+                if ok(x, r - 1) {
+                    rules.push(Rule::new(vec![Shard(r - 1), Shard(0)], PartialSum));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::LinearGradX => {
+                let (dy, w) = (inputs[0], inputs[1]);
+                let r = dy.rank();
+                for d in 0..r - 1 {
+                    if ok(dy, d) {
+                        rules.push(Rule::new(vec![Shard(d), R], Shard(d)));
+                    }
+                }
+                if ok(w, 0) {
+                    rules.push(Rule::new(vec![R, Shard(0)], Shard(r - 1)));
+                }
+                if ok(dy, r - 1) {
+                    rules.push(Rule::new(vec![Shard(r - 1), Shard(1)], PartialSum));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::LinearGradW => {
+                let (x, dy) = (inputs[0], inputs[1]);
+                let r = x.rank();
+                for d in 0..r - 1 {
+                    if ok(x, d) {
+                        rules.push(Rule::new(vec![Shard(d), Shard(d)], PartialSum));
+                    }
+                }
+                if ok(x, r - 1) {
+                    rules.push(Rule::new(vec![Shard(r - 1), R], Shard(0)));
+                }
+                if ok(dy, r - 1) {
+                    rules.push(Rule::new(vec![R, Shard(r - 1)], Shard(1)));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::Bmm { ta, tb } => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let a_m = if *ta { 2 } else { 1 };
+                let a_k = if *ta { 1 } else { 2 };
+                let b_k = if *tb { 2 } else { 1 };
+                let b_n = if *tb { 1 } else { 2 };
+                if ok(a, 0) {
+                    rules.push(Rule::new(vec![Shard(0), Shard(0)], Shard(0)));
+                }
+                if ok(a, a_m) {
+                    rules.push(Rule::new(vec![Shard(a_m), R], Shard(1)));
+                }
+                if ok(b, b_n) {
+                    rules.push(Rule::new(vec![R, Shard(b_n)], Shard(2)));
+                }
+                if ok(a, a_k) {
+                    rules.push(Rule::new(vec![Shard(a_k), Shard(b_k)], PartialSum));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::Add => {
+                for d in 0..inputs[0].rank() {
+                    if ok(inputs[0], d) {
+                        rules.push(Rule::new(vec![Shard(d), Shard(d)], Shard(d)));
+                    }
+                }
+                rules.push(Rule::new(vec![PartialSum, PartialSum], PartialSum));
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::BiasAdd => {
+                let x = inputs[0];
+                let r = x.rank();
+                for d in 0..r - 1 {
+                    if ok(x, d) {
+                        rules.push(Rule::new(vec![Shard(d), R], Shard(d)));
+                    }
+                }
+                if ok(x, r - 1) {
+                    rules.push(Rule::new(vec![Shard(r - 1), Shard(0)], Shard(r - 1)));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::ReduceLeading => {
+                let x = inputs[0];
+                let r = x.rank();
+                for d in 0..r - 1 {
+                    if ok(x, d) {
+                        rules.push(Rule::new(vec![Shard(d)], PartialSum));
+                    }
+                }
+                if ok(x, r - 1) {
+                    rules.push(Rule::new(vec![Shard(r - 1)], Shard(0)));
+                }
+                rules.push(Rule::new(vec![PartialSum], PartialSum));
+                rules.push(Rule::new(vec![R], R));
+            }
+            Op::Scale { .. } => {
+                for d in 0..inputs[0].rank() {
+                    if ok(inputs[0], d) {
+                        rules.push(Rule::new(vec![Shard(d)], Shard(d)));
+                    }
+                }
+                rules.push(Rule::new(vec![PartialSum], PartialSum));
+                rules.push(Rule::new(vec![R], R));
+            }
+            Op::Unary { .. } => {
+                for d in 0..inputs[0].rank() {
+                    if ok(inputs[0], d) {
+                        rules.push(Rule::new(vec![Shard(d)], Shard(d)));
+                    }
+                }
+                rules.push(Rule::new(vec![R], R));
+            }
+            Op::UnaryGrad { .. } => {
+                for d in 0..inputs[0].rank() {
+                    if ok(inputs[0], d) {
+                        rules.push(Rule::new(vec![Shard(d), Shard(d)], Shard(d)));
+                    }
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::Softmax | Op::LayerNorm => {
+                let x = inputs[0];
+                for d in 0..x.rank().saturating_sub(1) {
+                    if ok(x, d) {
+                        rules.push(Rule::new(vec![Shard(d)], Shard(d)));
+                    }
+                }
+                rules.push(Rule::new(vec![R], R));
+            }
+            Op::SoftmaxGrad | Op::LayerNormGrad => {
+                let x = inputs[0];
+                for d in 0..x.rank().saturating_sub(1) {
+                    if ok(x, d) {
+                        rules.push(Rule::new(vec![Shard(d), Shard(d)], Shard(d)));
+                    }
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::Attention { .. } => {
+                let q = inputs[0];
+                if ok(q, 0) {
+                    rules.push(Rule::new(vec![Shard(0), Shard(0), Shard(0)], Shard(0)));
+                }
+                if ok(q, 2) {
+                    rules.push(Rule::new(vec![Shard(2), Shard(2), Shard(2)], Shard(2)));
+                }
+                rules.push(Rule::new(vec![R, R, R], R));
+            }
+            Op::AttentionGrad { .. } => {
+                let dy = inputs[0];
+                if ok(dy, 0) {
+                    rules.push(Rule::new(vec![Shard(0); 4], Shard(0)));
+                }
+                if ok(dy, 2) {
+                    rules.push(Rule::new(vec![Shard(2); 4], Shard(2)));
+                }
+                rules.push(Rule::new(vec![R; 4], R));
+            }
+            Op::Conv2d { .. } => {
+                let (x, w) = (inputs[0], inputs[1]);
+                if ok(x, 0) {
+                    rules.push(Rule::new(vec![Shard(0), R], Shard(0)));
+                }
+                if ok(w, 0) {
+                    rules.push(Rule::new(vec![R, Shard(0)], Shard(1)));
+                }
+                if ok(x, 1) {
+                    rules.push(Rule::new(vec![Shard(1), Shard(1)], PartialSum));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::Conv2dGradX { .. } => {
+                let (dy, w) = (inputs[0], inputs[1]);
+                if ok(dy, 0) {
+                    rules.push(Rule::new(vec![Shard(0), R], Shard(0)));
+                }
+                if ok(w, 1) {
+                    rules.push(Rule::new(vec![R, Shard(1)], Shard(1)));
+                }
+                if ok(dy, 1) {
+                    rules.push(Rule::new(vec![Shard(1), Shard(0)], PartialSum));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::Conv2dGradW { .. } => {
+                let (x, dy) = (inputs[0], inputs[1]);
+                if ok(x, 0) {
+                    rules.push(Rule::new(vec![Shard(0), Shard(0)], PartialSum));
+                }
+                if ok(x, 1) {
+                    rules.push(Rule::new(vec![Shard(1), R], Shard(1)));
+                }
+                if ok(dy, 1) {
+                    rules.push(Rule::new(vec![R, Shard(1)], Shard(0)));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::MaxPool2 { .. } => {
+                let x = inputs[0];
+                if ok(x, 0) {
+                    rules.push(Rule::new(vec![Shard(0)], Shard(0)));
+                }
+                if ok(x, 1) {
+                    rules.push(Rule::new(vec![Shard(1)], Shard(1)));
+                }
+                rules.push(Rule::new(vec![R], R));
+            }
+            Op::MaxPoolGrad { .. } => {
+                let dy = inputs[0];
+                if ok(dy, 0) {
+                    rules.push(Rule::new(vec![Shard(0), Shard(0)], Shard(0)));
+                }
+                if ok(dy, 1) {
+                    rules.push(Rule::new(vec![Shard(1), Shard(1)], Shard(1)));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::Flatten | Op::Unflatten { .. } => {
+                let x = inputs[0];
+                if ok(x, 0) && ok(output, 0) {
+                    rules.push(Rule::new(vec![Shard(0)], Shard(0)));
+                }
+                if ok(x, 1) && ok(output, 1) {
+                    rules.push(Rule::new(vec![Shard(1)], Shard(1)));
+                }
+                rules.push(Rule::new(vec![PartialSum], PartialSum));
+                rules.push(Rule::new(vec![R], R));
+            }
+            Op::Embedding => {
+                let (idx, table) = (inputs[0], inputs[1]);
+                if ok(idx, 0) {
+                    rules.push(Rule::new(vec![Shard(0), R], Shard(0)));
+                }
+                if ok(idx, 1) {
+                    rules.push(Rule::new(vec![Shard(1), R], Shard(1)));
+                }
+                if ok(table, 1) {
+                    rules.push(Rule::new(vec![R, Shard(1)], Shard(2)));
+                }
+                if ok(table, 0) {
+                    rules.push(Rule::new(vec![R, Shard(0)], PartialSum));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::EmbeddingGrad { .. } => {
+                let dy = inputs[0];
+                if ok(dy, 0) {
+                    rules.push(Rule::new(vec![Shard(0), Shard(0)], PartialSum));
+                }
+                if ok(dy, 1) {
+                    rules.push(Rule::new(vec![Shard(1), Shard(1)], PartialSum));
+                }
+                if ok(dy, 2) {
+                    rules.push(Rule::new(vec![Shard(2), R], Shard(1)));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::CrossEntropy => {
+                let logits = inputs[0];
+                for d in 0..logits.rank() - 1 {
+                    if ok(logits, d) {
+                        rules.push(Rule::new(vec![Shard(d), Shard(d)], PartialSum));
+                    }
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::CrossEntropyGrad => {
+                let logits = inputs[0];
+                for d in 0..logits.rank() - 1 {
+                    if ok(logits, d) {
+                        rules.push(Rule::new(vec![Shard(d), Shard(d)], Shard(d)));
+                    }
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::SumAll => {
+                let x = inputs[0];
+                for d in 0..x.rank() {
+                    if ok(x, d) {
+                        rules.push(Rule::new(vec![Shard(d)], PartialSum));
+                    }
+                }
+                rules.push(Rule::new(vec![PartialSum], PartialSum));
+                rules.push(Rule::new(vec![R], R));
+            }
+            Op::Dispatch { .. } => {
+                let x = inputs[0];
+                if ok(x, 0) && ok(output, 1) {
+                    rules.push(Rule::new(vec![Shard(0), Shard(0)], Shard(1)));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::DispatchGrad => {
+                let dxd = inputs[0];
+                if ok(dxd, 1) {
+                    rules.push(Rule::new(vec![Shard(1), Shard(0)], Shard(0)));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::Combine => {
+                let xe = inputs[0];
+                if ok(xe, 1) {
+                    rules.push(Rule::new(vec![Shard(1), Shard(0)], Shard(0)));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::CombineGrad { .. } => {
+                let dy = inputs[0];
+                if ok(dy, 0) && ok(output, 1) {
+                    rules.push(Rule::new(vec![Shard(0), Shard(0)], Shard(1)));
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+            Op::UpdateParam { .. } => {
+                for d in 0..inputs[0].rank() {
+                    if ok(inputs[0], d) {
+                        rules.push(Rule::new(vec![Shard(d), Shard(d)], Shard(d)));
+                    }
+                }
+                rules.push(Rule::new(vec![R, R], R));
+            }
+        }
+        rules
+    }
+}
+
+/// Output extent of a convolution along one spatial dimension.
+fn conv_out(i: usize, k: usize, stride: usize, pad: usize, op: &str) -> Result<usize, GraphError> {
+    let padded = i + 2 * pad;
+    if padded < k {
+        return Err(GraphError::ShapeInference {
+            op: op.to_string(),
+            reason: format!("kernel {k} larger than padded input {padded}"),
+        });
+    }
+    Ok((padded - k) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec())
+    }
+
+    #[test]
+    fn matmul_shapes_and_transposes() {
+        let op = Op::MatMul2 { ta: false, tb: false };
+        assert_eq!(op.infer_shape(&[&s(&[4, 8]), &s(&[8, 2])]).unwrap().dims(), &[4, 2]);
+        let op_t = Op::MatMul2 { ta: true, tb: true };
+        assert_eq!(op_t.infer_shape(&[&s(&[8, 4]), &s(&[2, 8])]).unwrap().dims(), &[4, 2]);
+        assert!(op.infer_shape(&[&s(&[4, 8]), &s(&[7, 2])]).is_err());
+    }
+
+    #[test]
+    fn matmul_rules_cover_three_parallelisms_plus_replicated() {
+        let op = Op::MatMul2 { ta: false, tb: false };
+        let a = s(&[4, 8]);
+        let b = s(&[8, 2]);
+        let out = op.infer_shape(&[&a, &b]).unwrap();
+        let rules = op.rules(&[&a, &b], &out);
+        assert_eq!(rules.len(), 4);
+        assert!(rules.iter().any(|r| r.output == Placement::Shard(0)));
+        assert!(rules.iter().any(|r| r.output == Placement::Shard(1)));
+        assert!(rules.iter().any(|r| r.output == Placement::PartialSum));
+        assert!(rules.iter().any(|r| r.output == Placement::Replicated));
+    }
+
+    #[test]
+    fn transposed_matmul_rules_follow_logical_dims() {
+        // A^T: m lives in physical dim 1.
+        let op = Op::MatMul2 { ta: true, tb: false };
+        let a = s(&[8, 4]);
+        let b = s(&[8, 2]);
+        let out = op.infer_shape(&[&a, &b]).unwrap();
+        let rules = op.rules(&[&a, &b], &out);
+        let row = rules.iter().find(|r| r.output == Placement::Shard(0)).unwrap();
+        assert_eq!(row.inputs[0], Placement::Shard(1));
+        let red = rules.iter().find(|r| r.output == Placement::PartialSum).unwrap();
+        assert_eq!(red.inputs[0], Placement::Shard(0));
+        assert_eq!(red.inputs[1], Placement::Shard(0));
+    }
+
+    #[test]
+    fn linear_rank3_rules() {
+        let op = Op::Linear;
+        let x = s(&[8, 16, 32]);
+        let w = s(&[32, 64]);
+        let out = op.infer_shape(&[&x, &w]).unwrap();
+        assert_eq!(out.dims(), &[8, 16, 64]);
+        let rules = op.rules(&[&x, &w], &out);
+        // batch, seq, column, reduction, replicated.
+        assert_eq!(rules.len(), 5);
+    }
+
+    #[test]
+    fn conv_shapes_vgg_style() {
+        let op = Op::Conv2d { stride: 1, pad: 1 };
+        let x = s(&[8, 64, 32, 32]);
+        let w = s(&[128, 64, 3, 3]);
+        assert_eq!(op.infer_shape(&[&x, &w]).unwrap().dims(), &[8, 128, 32, 32]);
+        // Backward shapes round-trip.
+        let dy = s(&[8, 128, 32, 32]);
+        let gx = Op::Conv2dGradX { stride: 1, pad: 1 };
+        assert_eq!(gx.infer_shape(&[&dy, &w]).unwrap().dims(), x.dims());
+        let gw = Op::Conv2dGradW { stride: 1, pad: 1 };
+        assert_eq!(gw.infer_shape(&[&x, &dy]).unwrap().dims(), w.dims());
+    }
+
+    #[test]
+    fn flops_scale_with_volume() {
+        let op = Op::Linear;
+        let x = s(&[4, 8]);
+        let w = s(&[8, 16]);
+        let out = op.infer_shape(&[&x, &w]).unwrap();
+        assert_eq!(op.flops(&[&x, &w], &out), 2.0 * 4.0 * 8.0 * 16.0);
+        let gw = Op::LinearGradW;
+        let dy = s(&[4, 16]);
+        let dw = gw.infer_shape(&[&x, &dy]).unwrap();
+        assert_eq!(gw.flops(&[&x, &dy], &dw), 2.0 * 8.0 * 16.0 * 4.0);
+    }
+
+    #[test]
+    fn degenerate_dims_not_offered_for_sharding() {
+        let op = Op::MatMul2 { ta: false, tb: false };
+        let a = s(&[1, 8]);
+        let b = s(&[8, 2]);
+        let out = op.infer_shape(&[&a, &b]).unwrap();
+        let rules = op.rules(&[&a, &b], &out);
+        // Row parallelism on a batch of 1 is gone.
+        assert!(!rules.iter().any(|r| r.output == Placement::Shard(0)));
+    }
+
+    #[test]
+    fn dispatch_combine_shapes() {
+        let x = s(&[2, 8, 16]);
+        let gates = s(&[2, 8, 4]);
+        let d = Op::Dispatch { experts: 4, capacity: 4 };
+        let xd = d.infer_shape(&[&x, &gates]).unwrap();
+        assert_eq!(xd.dims(), &[4, 4, 16]);
+        let c = Op::Combine;
+        assert_eq!(c.infer_shape(&[&xd, &gates]).unwrap().dims(), x.dims());
+    }
+
+    #[test]
+    fn embedding_rules_include_vocab_partial() {
+        let idx = s(&[4, 8]);
+        let table = s(&[100, 32]);
+        let op = Op::Embedding;
+        let out = op.infer_shape(&[&idx, &table]).unwrap();
+        let rules = op.rules(&[&idx, &table], &out);
+        assert!(rules
+            .iter()
+            .any(|r| r.inputs[1] == Placement::Shard(0) && r.output == Placement::PartialSum));
+    }
+
+    #[test]
+    fn cross_entropy_is_scalar_partial_sum() {
+        let logits = s(&[8, 10]);
+        let labels = s(&[8]);
+        let op = Op::CrossEntropy;
+        let out = op.infer_shape(&[&logits, &labels]).unwrap();
+        assert_eq!(out.rank(), 0);
+        let rules = op.rules(&[&logits, &labels], &out);
+        assert!(rules
+            .iter()
+            .any(|r| r.inputs[0] == Placement::Shard(0) && r.output == Placement::PartialSum));
+    }
+}

@@ -1,0 +1,155 @@
+//! Tensor placements and per-op sharding rules.
+//!
+//! A *placement* describes how the instances of a distributed tensor relate
+//! to the reference tensor of the single-device graph. It maps one-to-one to
+//! the property language of the paper (Sec. 4.2):
+//!
+//! * [`Placement::Replicated`] — every device holds the full reference
+//!   tensor; the paper writes this as `e | Identity`.
+//! * [`Placement::Shard(d)`] — every device holds a contiguous slice along
+//!   dimension `d`; concatenating them recovers the reference tensor, written
+//!   `e | All-Gather(d)`.
+//! * [`Placement::PartialSum`] — every device holds a same-shaped partial
+//!   result whose elementwise sum is the reference tensor, written
+//!   `e | All-Reduce`.
+//!
+//! A [`Rule`] is one mathematically valid way to execute an op over
+//! distributed inputs (the "pre-defined rules that encode mathematical
+//! characteristics of common tensor operations" of Sec. 4.2, Fig. 9). The
+//! synthesizer turns rules into Hoare triples.
+
+use std::fmt;
+
+/// How a distributed tensor's per-device instances relate to the reference
+/// tensor in the single-device graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Placement {
+    /// Full replica on every device (`e | Identity`).
+    Replicated,
+    /// Sharded along the given dimension (`e | All-Gather(d)`).
+    Shard(usize),
+    /// Elementwise partial sums (`e | All-Reduce`).
+    PartialSum,
+}
+
+impl Placement {
+    /// True when devices hold the full tensor.
+    pub fn is_replicated(self) -> bool {
+        matches!(self, Placement::Replicated)
+    }
+
+    /// The shard dimension, when sharded.
+    pub fn shard_dim(self) -> Option<usize> {
+        match self {
+            Placement::Shard(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::Replicated => write!(f, "Identity"),
+            Placement::Shard(d) => write!(f, "All-Gather({d})"),
+            Placement::PartialSum => write!(f, "All-Reduce"),
+        }
+    }
+}
+
+/// How per-device computation cost scales under a rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompScaling {
+    /// Per-device flops are proportional to the device's sharding ratio.
+    ///
+    /// "If one of these dimensions are sharded, the number of flops of this
+    /// operation on a device is proportional to the sharding ratio of this
+    /// device" (paper Sec. 3.2).
+    Sharded,
+    /// Every device performs the full computation (replicated execution, the
+    /// situation SFB trades communication for; paper Secs. 2.5.2, 4.4).
+    Replicated,
+}
+
+/// One valid distributed execution of an op.
+///
+/// If every input `i` of the op is available under `inputs[i]`, executing the
+/// op instruction on all devices yields the output tensor under `output`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Required placement for each op input, in op input order.
+    pub inputs: Vec<Placement>,
+    /// Placement of the produced distributed tensor.
+    pub output: Placement,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(inputs: Vec<Placement>, output: Placement) -> Self {
+        Rule { inputs, output }
+    }
+
+    /// Computation scaling implied by the rule.
+    ///
+    /// A rule whose inputs and output are all replicated duplicates the full
+    /// computation on every device; any sharded/partial placement means each
+    /// device only processes its portion.
+    pub fn comp_scaling(&self) -> CompScaling {
+        let all_replicated = self.inputs.iter().all(|p| p.is_replicated())
+            && self.output.is_replicated();
+        if all_replicated {
+            CompScaling::Replicated
+        } else {
+            CompScaling::Sharded
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "in{i} | {p}")?;
+        }
+        write!(f, "}} -> {}", self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicated_rule_scaling() {
+        let r = Rule::new(vec![Placement::Replicated, Placement::Replicated], Placement::Replicated);
+        assert_eq!(r.comp_scaling(), CompScaling::Replicated);
+    }
+
+    #[test]
+    fn sharded_rule_scaling() {
+        let r = Rule::new(vec![Placement::Shard(0), Placement::Replicated], Placement::Shard(0));
+        assert_eq!(r.comp_scaling(), CompScaling::Sharded);
+        let r2 = Rule::new(
+            vec![Placement::Shard(1), Placement::Shard(0)],
+            Placement::PartialSum,
+        );
+        assert_eq!(r2.comp_scaling(), CompScaling::Sharded);
+    }
+
+    #[test]
+    fn placement_display_matches_paper() {
+        assert_eq!(Placement::Replicated.to_string(), "Identity");
+        assert_eq!(Placement::Shard(1).to_string(), "All-Gather(1)");
+        assert_eq!(Placement::PartialSum.to_string(), "All-Reduce");
+    }
+
+    #[test]
+    fn shard_dim_accessor() {
+        assert_eq!(Placement::Shard(2).shard_dim(), Some(2));
+        assert_eq!(Placement::Replicated.shard_dim(), None);
+        assert_eq!(Placement::PartialSum.shard_dim(), None);
+    }
+}

@@ -1,0 +1,27 @@
+//! A self-contained linear programming solver for HAP's load balancer.
+//!
+//! The paper solves the sharding-ratio optimization (Sec. 5) "optimally with
+//! off-the-shelf solvers" (CBC). This crate replaces CBC with a dense
+//! two-phase primal simplex implementation: minimize `c·x` subject to linear
+//! constraints with `x ≥ 0`, using Bland's rule for cycle-free pivoting.
+//!
+//! The LPs HAP produces are small (a handful of ratio variables plus one
+//! auxiliary variable per stage), so a dense tableau is the right tool.
+//!
+//! # Examples
+//!
+//! ```
+//! use hap_lp::{Problem, Relation};
+//!
+//! // minimize x + 2y  s.t.  x + y >= 1, y <= 0.4, x,y >= 0.
+//! let mut p = Problem::minimize(vec![1.0, 2.0]);
+//! p.constrain(vec![1.0, 1.0], Relation::Ge, 1.0);
+//! p.constrain(vec![0.0, 1.0], Relation::Le, 0.4);
+//! let sol = p.solve().unwrap();
+//! assert!((sol.x[0] - 1.0).abs() < 1e-9);
+//! assert!(sol.x[1].abs() < 1e-9);
+//! ```
+
+mod simplex;
+
+pub use simplex::{LpError, Problem, Relation, Solution};

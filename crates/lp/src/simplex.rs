@@ -1,0 +1,390 @@
+//! Dense two-phase primal simplex.
+
+/// Relation of a linear constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Relation {
+    /// `coeffs · x <= rhs`
+    Le,
+    /// `coeffs · x == rhs`
+    Eq,
+    /// `coeffs · x >= rhs`
+    Ge,
+}
+
+/// Errors from the solver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// A constraint's coefficient vector had the wrong length.
+    Dimension,
+    /// Pivot limit exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible"),
+            LpError::Unbounded => write!(f, "unbounded"),
+            LpError::Dimension => write!(f, "dimension mismatch"),
+            LpError::IterationLimit => write!(f, "iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+struct Constraint {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// A minimization LP over non-negative variables.
+pub struct Problem {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+const EPS: f64 = 1e-9;
+const MAX_PIVOTS: usize = 50_000;
+
+impl Problem {
+    /// Creates `minimize objective · x` over `x ≥ 0`.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Problem { objective, constraints: Vec::new() }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds a constraint `coeffs · x <relation> rhs`.
+    pub fn constrain(&mut self, coeffs: Vec<f64>, relation: Relation, rhs: f64) {
+        self.constraints.push(Constraint { coeffs, relation, rhs });
+    }
+
+    /// Solves the problem.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        let n = self.objective.len();
+        for c in &self.constraints {
+            if c.coeffs.len() != n {
+                return Err(LpError::Dimension);
+            }
+        }
+        let m = self.constraints.len();
+
+        // Normalize rows to rhs >= 0 and count auxiliary columns.
+        let mut slacks = 0usize;
+        let mut artificials = 0usize;
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(m);
+        for c in &self.constraints {
+            let (mut coeffs, mut relation, mut rhs) =
+                (c.coeffs.clone(), c.relation, c.rhs);
+            if rhs < 0.0 {
+                for v in &mut coeffs {
+                    *v = -*v;
+                }
+                rhs = -rhs;
+                relation = match relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+            match relation {
+                Relation::Le => slacks += 1,
+                Relation::Ge => {
+                    slacks += 1;
+                    artificials += 1;
+                }
+                Relation::Eq => artificials += 1,
+            }
+            // Deterministic epsilon-perturbation: breaks the ties of highly
+            // degenerate problems (HAP's LPs repeat identical layer rows), so
+            // the ratio test cannot cycle. The perturbation is far below the
+            // 1e-6 tolerance consumers of the ratios use.
+            let idx = rows.len() as f64;
+            let rhs = rhs + (idx + 1.0) * 1e-10 * (1.0 + rhs.abs());
+            rows.push((coeffs, relation, rhs));
+        }
+
+        let total = n + slacks + artificials;
+        let art_start = n + slacks;
+        // Tableau: m rows x (total + 1) columns (rhs last).
+        let mut t = vec![vec![0.0f64; total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut next_slack = n;
+        let mut next_art = art_start;
+        for (i, (coeffs, relation, rhs)) in rows.iter().enumerate() {
+            t[i][..n].copy_from_slice(coeffs);
+            t[i][total] = *rhs;
+            match relation {
+                Relation::Le => {
+                    t[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    t[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        if artificials > 0 {
+            // Phase 1: minimize the sum of artificials.
+            let mut cost = vec![0.0f64; total];
+            for c in cost.iter_mut().skip(art_start) {
+                *c = 1.0;
+            }
+            let z = run_simplex(&mut t, &mut basis, &cost, total, None)?;
+            if z > 1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            // Drive remaining artificials out of the basis where possible.
+            for i in 0..m {
+                if basis[i] >= art_start {
+                    if let Some(col) = (0..art_start).find(|&j| t[i][j].abs() > EPS) {
+                        pivot(&mut t, &mut basis, i, col);
+                    }
+                    // Otherwise the row is redundant; the artificial stays
+                    // basic at value 0, which is harmless.
+                }
+            }
+        }
+
+        // Phase 2: original objective, artificials barred from entering.
+        // Primal simplex keeps the tableau feasible, so if the pivot budget
+        // runs out the incumbent basis is still a valid (if suboptimal)
+        // solution — prefer it over failing.
+        let mut cost = vec![0.0f64; total];
+        cost[..n].copy_from_slice(&self.objective);
+        match run_simplex(&mut t, &mut basis, &cost, art_start, None) {
+            Ok(_) | Err(LpError::IterationLimit) => {}
+            Err(e) => return Err(e),
+        }
+
+        let mut x = vec![0.0f64; n];
+        for (i, &b) in basis.iter().enumerate() {
+            if b < n {
+                x[b] = t[i][total];
+            }
+        }
+        let objective = x.iter().zip(self.objective.iter()).map(|(a, b)| a * b).sum();
+        Ok(Solution { x, objective })
+    }
+}
+
+/// Runs primal simplex on the tableau; returns the final objective value.
+///
+/// Only columns `< allowed_cols` may enter the basis. `cost` is the full
+/// cost vector; reduced costs are recomputed from the basis each iteration
+/// (O(m·total) per pivot, fine at HAP's problem sizes and immune to drift).
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    allowed_cols: usize,
+    _unused: Option<()>,
+) -> Result<f64, LpError> {
+    let m = t.len();
+    let total = cost.len();
+    for _ in 0..MAX_PIVOTS {
+        // Reduced costs: r_j = c_j - c_B · B^-1 A_j; with the tableau kept in
+        // canonical form, B^-1 A_j is just column j.
+        let mut entering = None;
+        for j in 0..allowed_cols {
+            let mut r = cost[j];
+            for i in 0..m {
+                r -= cost[basis[i]] * t[i][j];
+            }
+            if r < -EPS {
+                entering = Some(j); // Bland's rule: first improving index.
+                break;
+            }
+        }
+        let Some(col) = entering else {
+            let z = (0..m).map(|i| cost[basis[i]] * t[i][total]).sum();
+            return Ok(z);
+        };
+        // Ratio test with Bland tie-breaking on basis index. The tie branch
+        // must never *raise* the accepted ratio, or the anti-cycling
+        // guarantee is lost on degenerate problems.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][col] > EPS {
+                let ratio = t[i][total] / t[i][col];
+                match leave {
+                    None => {
+                        leave = Some(i);
+                        best = ratio;
+                    }
+                    Some(l) => {
+                        if ratio < best - EPS {
+                            leave = Some(i);
+                            best = ratio;
+                        } else if (ratio - best).abs() <= EPS && basis[i] < basis[l] {
+                            leave = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(row) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(t, basis, row, col);
+    }
+    Err(LpError::IterationLimit)
+}
+
+/// Gauss-Jordan pivot on (row, col).
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let m = t.len();
+    let width = t[0].len();
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on a (near-)zero element");
+    for v in t[row].iter_mut() {
+        *v /= p;
+    }
+    for i in 0..m {
+        if i != row {
+            let f = t[i][col];
+            if f.abs() > EPS {
+                for j in 0..width {
+                    let delta = f * t[row][j];
+                    t[i][j] -= delta;
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_maximization_as_min() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18  ==  min -3x -5y.
+        let mut p = Problem::minimize(vec![-3.0, -5.0]);
+        p.constrain(vec![1.0, 0.0], Relation::Le, 4.0);
+        p.constrain(vec![0.0, 2.0], Relation::Le, 12.0);
+        p.constrain(vec![3.0, 2.0], Relation::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert!((s.x[0] - 2.0).abs() < 1e-8);
+        assert!((s.x[1] - 6.0).abs() < 1e-8);
+        assert!((s.objective + 36.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min 2x + 3y s.t. x + y == 10, x >= 3.
+        let mut p = Problem::minimize(vec![2.0, 3.0]);
+        p.constrain(vec![1.0, 1.0], Relation::Eq, 10.0);
+        p.constrain(vec![1.0, 0.0], Relation::Ge, 3.0);
+        let s = p.solve().unwrap();
+        assert!((s.x[0] - 10.0).abs() < 1e-8, "x = {}", s.x[0]);
+        assert!(s.x[1].abs() < 1e-8);
+        assert!((s.objective - 20.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::minimize(vec![1.0]);
+        p.constrain(vec![1.0], Relation::Le, 1.0);
+        p.constrain(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::minimize(vec![-1.0]);
+        p.constrain(vec![-1.0], Relation::Le, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x s.t. -x <= -5  (i.e. x >= 5).
+        let mut p = Problem::minimize(vec![1.0]);
+        p.constrain(vec![-1.0], Relation::Le, -5.0);
+        let s = p.solve().unwrap();
+        assert!((s.x[0] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let mut p = Problem::minimize(vec![1.0, 1.0]);
+        p.constrain(vec![1.0], Relation::Le, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Dimension);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Classic degenerate vertex: multiple constraints active at origin.
+        let mut p = Problem::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        p.constrain(vec![0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0);
+        p.constrain(vec![0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0);
+        p.constrain(vec![0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert!((s.objective + 0.05).abs() < 1e-6, "objective {}", s.objective);
+    }
+
+    /// The exact shape HAP's balancer produces: ratios on a simplex, an
+    /// auxiliary max-ratio variable and per-stage makespan variables.
+    #[test]
+    fn balancer_shaped_lp() {
+        // Devices with speeds 4 and 1; one stage with comp coefficients
+        // a_j = flops/speed_j = [1, 4]; comm cost 2*u. Variables
+        // [b0, b1, u, t]: min t + 2u.
+        let mut p = Problem::minimize(vec![0.0, 0.0, 2.0, 1.0]);
+        p.constrain(vec![1.0, 1.0, 0.0, 0.0], Relation::Eq, 1.0);
+        p.constrain(vec![1.0, 0.0, -1.0, 0.0], Relation::Le, 0.0); // u >= b0
+        p.constrain(vec![0.0, 1.0, -1.0, 0.0], Relation::Le, 0.0); // u >= b1
+        p.constrain(vec![1.0, 0.0, 0.0, -1.0], Relation::Le, 0.0); // t >= 1*b0
+        p.constrain(vec![0.0, 4.0, 0.0, -1.0], Relation::Le, 0.0); // t >= 4*b1
+        let s = p.solve().unwrap();
+        let (b0, b1, u, t) = (s.x[0], s.x[1], s.x[2], s.x[3]);
+        assert!((b0 + b1 - 1.0).abs() < 1e-8);
+        assert!(u >= b0 - 1e-9 && u >= b1 - 1e-9);
+        assert!(t >= b0 - 1e-9 && t >= 4.0 * b1 - 1e-9);
+        // Optimal trade-off: d/db of (max(b0,4b1) + 2*max(b0,b1)) pushes b0 up
+        // until b0 = 4*b1 => b0 = 0.8. Then objective = 0.8 + 2*0.8 = 2.4.
+        assert!((b0 - 0.8).abs() < 1e-6, "b0 = {b0}");
+        assert!((s.objective - 2.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        let mut p = Problem::minimize(vec![1.0, 1.0]);
+        p.constrain(vec![1.0, 1.0], Relation::Eq, 2.0);
+        p.constrain(vec![2.0, 2.0], Relation::Eq, 4.0); // redundant
+        let s = p.solve().unwrap();
+        assert!((s.x[0] + s.x[1] - 2.0).abs() < 1e-8);
+    }
+}

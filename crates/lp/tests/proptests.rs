@@ -1,0 +1,75 @@
+//! Property-based tests for the simplex solver.
+
+use hap_lp::{Problem, Relation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Box LPs have a closed-form optimum: each variable goes to its upper
+    /// bound iff its cost is negative.
+    #[test]
+    fn box_lp_matches_closed_form(
+        costs in prop::collection::vec(-10.0f64..10.0, 1..6),
+        bounds in prop::collection::vec(0.1f64..5.0, 6),
+    ) {
+        let n = costs.len();
+        let mut p = Problem::minimize(costs.clone());
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            p.constrain(row, Relation::Le, bounds[i]);
+        }
+        let s = p.solve().unwrap();
+        let expect: f64 = (0..n)
+            .map(|i| if costs[i] < 0.0 { costs[i] * bounds[i] } else { 0.0 })
+            .sum();
+        prop_assert!((s.objective - expect).abs() < 1e-6,
+            "objective {} vs closed form {}", s.objective, expect);
+        for (i, &xi) in s.x.iter().enumerate() {
+            // The solver applies a deterministic 1e-10-scale anti-cycling
+            // perturbation to constraint right-hand sides.
+            prop_assert!(xi >= -1e-7 && xi <= bounds[i] + 1e-7);
+        }
+    }
+
+    /// Simplex-constrained LPs put all mass on the cheapest coordinate.
+    #[test]
+    fn probability_simplex_lp(costs in prop::collection::vec(-5.0f64..5.0, 2..8)) {
+        let n = costs.len();
+        let mut p = Problem::minimize(costs.clone());
+        p.constrain(vec![1.0; n], Relation::Eq, 1.0);
+        let s = p.solve().unwrap();
+        let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((s.objective - best).abs() < 1e-6);
+        let total: f64 = s.x.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Any returned solution satisfies every constraint it was given.
+    #[test]
+    fn solutions_are_feasible(
+        costs in prop::collection::vec(-3.0f64..3.0, 2..5),
+        rows in prop::collection::vec(
+            (prop::collection::vec(-2.0f64..2.0, 5), 0.5f64..4.0), 1..6),
+    ) {
+        let n = costs.len();
+        let mut p = Problem::minimize(costs);
+        // `<=` constraints with positive rhs are always feasible (x = 0).
+        for (coeffs, rhs) in &rows {
+            p.constrain(coeffs[..n].to_vec(), Relation::Le, *rhs);
+        }
+        p.constrain(vec![1.0; n], Relation::Le, 10.0); // keep it bounded enough
+        match p.solve() {
+            Ok(s) => {
+                for (coeffs, rhs) in &rows {
+                    let lhs: f64 = coeffs[..n].iter().zip(s.x.iter()).map(|(a, b)| a * b).sum();
+                    prop_assert!(lhs <= rhs + 1e-6, "violated: {lhs} > {rhs}");
+                }
+                for &xi in &s.x {
+                    prop_assert!(xi >= -1e-9);
+                }
+            }
+            Err(hap_lp::LpError::Unbounded) => { /* negative costs + weak rows: fine */ }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! BERT-Base and BERT-MoE language models.
+
+use hap_graph::{Graph, GraphBuilder, NodeId};
+
+use crate::micro::{append_transformer_layer, TransformerConfig};
+
+/// BERT configuration.
+#[derive(Clone, Debug)]
+pub struct BertConfig {
+    /// Global batch size (sequences).
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward width.
+    pub ffn: usize,
+    /// Encoder depth.
+    pub layers: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+impl BertConfig {
+    /// Paper-scale BERT-Base (~102 M parameters, matching Table 1: a
+    /// 12-layer, 768-wide encoder with an 11264-token vocabulary for
+    /// WikiText-2, equal-size input embedding and output head).
+    pub fn paper() -> Self {
+        BertConfig {
+            batch: 64,
+            seq: 128,
+            hidden: 768,
+            heads: 12,
+            ffn: 3072,
+            layers: 12,
+            vocab: 11264,
+        }
+    }
+
+    /// Tiny BERT for tests.
+    pub fn tiny() -> Self {
+        BertConfig { batch: 4, seq: 6, hidden: 8, heads: 8, ffn: 16, layers: 2, vocab: 32 }
+    }
+}
+
+/// MoE configuration: BERT with every `moe_every`-th feed-forward replaced
+/// by a GShard-style MoE layer.
+#[derive(Clone, Debug)]
+pub struct MoeConfig {
+    /// The base encoder.
+    pub bert: BertConfig,
+    /// Experts per MoE layer.
+    pub experts: usize,
+    /// Expert feed-forward width.
+    pub expert_hidden: usize,
+    /// Replace one in every `moe_every` layers (2 in the paper, following
+    /// GShard).
+    pub moe_every: usize,
+}
+
+impl MoeConfig {
+    /// The paper's device-scaled BERT-MoE: experts per layer = device count,
+    /// 6 MoE layers, ~36 M parameters per device (Table 1's `84 + 36m`), and
+    /// per-device batch 32 under weak scaling.
+    pub fn paper_scaled(devices: usize) -> Self {
+        MoeConfig {
+            bert: BertConfig { batch: 32 * devices, ..BertConfig::paper() },
+            experts: devices.max(2),
+            expert_hidden: 3900,
+            moe_every: 2,
+        }
+    }
+
+    /// Paper-scale MoE with an explicit expert count, keeping the token
+    /// count proportional to the expert count (the Fig. 17 protocol: "to
+    /// maintain the same load of each expert, we keep the number of tokens
+    /// proportional to the number of experts").
+    pub fn with_experts(experts: usize, tokens_per_expert: usize) -> Self {
+        let seq = 128;
+        let batch = (experts * tokens_per_expert).div_ceil(seq).max(1);
+        MoeConfig {
+            bert: BertConfig { batch, ..BertConfig::paper() },
+            experts,
+            expert_hidden: 3900,
+            moe_every: 2,
+        }
+    }
+
+    /// Tiny MoE for tests.
+    pub fn tiny(experts: usize) -> Self {
+        MoeConfig { bert: BertConfig::tiny(), experts, expert_hidden: 16, moe_every: 2 }
+    }
+}
+
+/// Builds the BERT-Base training graph (masked-LM-style objective: token
+/// embeddings -> encoder -> vocabulary logits -> cross-entropy).
+pub fn bert_base(cfg: &BertConfig) -> Graph {
+    build_bert(cfg, None)
+}
+
+/// Builds the BERT-MoE training graph.
+///
+/// MoE layers follow GShard: a softmax gate routes each token to its top
+/// expert, tokens are dispatched into per-expert capacity buckets
+/// (`capacity = tokens / experts`), expert FFNs run as batched matmuls over
+/// the expert dimension, and outputs are combined back. Gates are
+/// stop-gradient through dispatch/combine (the standard simplification), so
+/// gate projections participate in the forward pass but are frozen.
+pub fn bert_moe(cfg: &MoeConfig) -> Graph {
+    build_bert(&cfg.bert, Some(cfg))
+}
+
+fn build_bert(cfg: &BertConfig, moe: Option<&MoeConfig>) -> Graph {
+    let mut g = GraphBuilder::new();
+    let ids = g.placeholder("tokens", vec![cfg.batch, cfg.seq]);
+    let labels = g.label("labels", vec![cfg.batch, cfg.seq]);
+    let table = g.parameter("embedding", vec![cfg.vocab, cfg.hidden]);
+    let mut h = g.embedding(ids, table);
+    let tcfg = TransformerConfig {
+        batch: cfg.batch,
+        seq: cfg.seq,
+        hidden: cfg.hidden,
+        heads: cfg.heads,
+        ffn: cfg.ffn,
+    };
+    for layer in 0..cfg.layers {
+        let use_moe = moe.is_some_and(|m| (layer + 1) % m.moe_every == 0);
+        if let (true, Some(m)) = (use_moe, moe) {
+            h = append_attention_block(&mut g, h, &tcfg, layer);
+            h = moe_ffn(&mut g, h, &tcfg, layer, m.experts, m.expert_hidden);
+        } else {
+            h = append_transformer_layer(&mut g, h, &tcfg, layer);
+        }
+    }
+    g.begin_segment();
+    let norm = g.layer_norm(h);
+    let w_head = g.parameter("lm_head", vec![cfg.hidden, cfg.vocab]);
+    let logits = g.linear(norm, w_head);
+    let loss = g.cross_entropy(logits, labels);
+    g.build_training(loss).expect("bert differentiates")
+}
+
+/// The attention half of a Transformer layer (used when the FFN half is
+/// replaced by an MoE layer).
+fn append_attention_block(
+    g: &mut GraphBuilder,
+    x: NodeId,
+    cfg: &TransformerConfig,
+    layer: usize,
+) -> NodeId {
+    let h = cfg.hidden;
+    g.begin_segment();
+    let ln1 = g.layer_norm(x);
+    let wq = g.parameter(&format!("l{layer}.wq"), vec![h, h]);
+    let wk = g.parameter(&format!("l{layer}.wk"), vec![h, h]);
+    let wv = g.parameter(&format!("l{layer}.wv"), vec![h, h]);
+    let q = g.linear(ln1, wq);
+    let k = g.linear(ln1, wk);
+    let v = g.linear(ln1, wv);
+    let att = g.attention(q, k, v, cfg.heads);
+    let wo = g.parameter(&format!("l{layer}.wo"), vec![h, h]);
+    let proj = g.linear(att, wo);
+    g.add(x, proj)
+}
+
+/// A GShard-style MoE feed-forward block.
+fn moe_ffn(
+    g: &mut GraphBuilder,
+    x: NodeId,
+    cfg: &TransformerConfig,
+    layer: usize,
+    experts: usize,
+    expert_hidden: usize,
+) -> NodeId {
+    let h = cfg.hidden;
+    let tokens = cfg.batch * cfg.seq;
+    let capacity = (tokens / experts).max(1);
+    let ln = g.layer_norm(x);
+    let wg = g.parameter(&format!("l{layer}.gate"), vec![h, experts]);
+    let gate_logits = g.linear(ln, wg);
+    let gates = g.softmax(gate_logits);
+    let xd = g.dispatch(ln, gates, experts, capacity);
+    let w1 = g.parameter(&format!("l{layer}.expert_w1"), vec![experts, h, expert_hidden]);
+    let w2 = g.parameter(&format!("l{layer}.expert_w2"), vec![experts, expert_hidden, h]);
+    let he = g.bmm(xd, w1, false, false);
+    let he = g.gelu(he);
+    let ye = g.bmm(he, w2, false, false);
+    let y = g.combine(ye, gates);
+    g.add(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_paper_params() {
+        let g = bert_base(&BertConfig::paper());
+        let p = g.parameter_count() as f64;
+        // 12 x 7.08M encoder + 2 x 8.65M embedding/head ~ 102.4M.
+        assert!((p - 102e6).abs() / 102e6 < 0.05, "params {p}");
+    }
+
+    #[test]
+    fn moe_has_expert_parameters() {
+        let g = bert_moe(&MoeConfig::tiny(4));
+        let experts: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.role == hap_graph::Role::Param && n.name.contains("expert_w"))
+            .collect();
+        assert_eq!(experts.len(), 2, "one MoE layer in a 2-layer tiny model");
+        assert_eq!(experts[0].shape.dims()[0], 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn moe_contains_dispatch_and_combine() {
+        let g = bert_moe(&MoeConfig::tiny(2));
+        assert!(g.nodes().iter().any(|n| matches!(n.op, hap_graph::Op::Dispatch { .. })));
+        assert!(g.nodes().iter().any(|n| matches!(n.op, hap_graph::Op::Combine)));
+    }
+
+    #[test]
+    fn fig17_token_scaling() {
+        let a = MoeConfig::with_experts(4, 256);
+        let b = MoeConfig::with_experts(8, 256);
+        assert_eq!(b.bert.batch, 2 * a.bert.batch);
+    }
+
+    #[test]
+    fn frozen_gates_get_no_updates() {
+        let g = bert_moe(&MoeConfig::tiny(2));
+        let gate_updates = g
+            .nodes()
+            .iter()
+            .filter(|n| n.role == hap_graph::Role::Updated)
+            .filter(|n| g.node(n.inputs[0]).name.contains("gate"))
+            .count();
+        assert_eq!(gate_updates, 0);
+        // But expert weights do learn.
+        let expert_updates = g
+            .nodes()
+            .iter()
+            .filter(|n| n.role == hap_graph::Role::Updated)
+            .filter(|n| g.node(n.inputs[0]).name.contains("expert"))
+            .count();
+        assert_eq!(expert_updates, 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Micro-models: MLP and a single Transformer layer.
+//!
+//! Used by the Fig. 2 motivation experiment (a Transformer layer on a 2x
+//! P100 + 2x A100 cluster with varying hidden width), by examples, and by
+//! functional-equivalence tests.
+
+use hap_graph::{Graph, GraphBuilder, NodeId};
+
+/// Configuration of a small multi-layer perceptron.
+#[derive(Clone, Debug)]
+pub struct MlpConfig {
+    /// Batch size.
+    pub batch: usize,
+    /// Input feature width.
+    pub input: usize,
+    /// Hidden widths, one per layer.
+    pub hidden: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl MlpConfig {
+    /// A tiny configuration for tests.
+    pub fn tiny() -> Self {
+        MlpConfig { batch: 16, input: 8, hidden: vec![16, 12], classes: 4 }
+    }
+}
+
+/// Builds an MLP classifier training graph.
+pub fn mlp(cfg: &MlpConfig) -> Graph {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", vec![cfg.batch, cfg.input]);
+    let labels = g.label("labels", vec![cfg.batch]);
+    let mut h = x;
+    let mut width = cfg.input;
+    for (i, &next) in cfg.hidden.iter().enumerate() {
+        let w = g.parameter(&format!("w{i}"), vec![width, next]);
+        let b = g.parameter(&format!("b{i}"), vec![next]);
+        h = g.matmul(h, w);
+        h = g.bias_add(h, b);
+        h = g.relu(h);
+        width = next;
+    }
+    let w_out = g.parameter("w_out", vec![width, cfg.classes]);
+    let logits = g.matmul(h, w_out);
+    let loss = g.cross_entropy(logits, labels);
+    g.build_training(loss).expect("mlp differentiates")
+}
+
+/// Configuration of a Transformer encoder stack.
+#[derive(Clone, Debug)]
+pub struct TransformerConfig {
+    /// Batch size.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward width.
+    pub ffn: usize,
+}
+
+impl TransformerConfig {
+    /// The Fig. 2 motivation workload at a given hidden width.
+    pub fn fig2(hidden: usize) -> Self {
+        TransformerConfig { batch: 64, seq: 128, hidden, heads: 8, ffn: 4 * hidden }
+    }
+
+    /// A tiny configuration for tests (heads == hidden so any head-dim
+    /// shard is aligned).
+    pub fn tiny() -> Self {
+        TransformerConfig { batch: 4, seq: 6, hidden: 8, heads: 8, ffn: 16 }
+    }
+}
+
+/// Appends one pre-norm Transformer encoder layer to the builder, returning
+/// the output node.
+///
+/// Shared by the ViT and BERT builders; each call starts a new model
+/// segment so the segmented load balancer can assign per-layer ratios.
+pub fn append_transformer_layer(
+    g: &mut GraphBuilder,
+    x: NodeId,
+    cfg: &TransformerConfig,
+    layer: usize,
+) -> NodeId {
+    let h = cfg.hidden;
+    g.begin_segment();
+    let ln1 = g.layer_norm(x);
+    let wq = g.parameter(&format!("l{layer}.wq"), vec![h, h]);
+    let wk = g.parameter(&format!("l{layer}.wk"), vec![h, h]);
+    let wv = g.parameter(&format!("l{layer}.wv"), vec![h, h]);
+    let q = g.linear(ln1, wq);
+    let k = g.linear(ln1, wk);
+    let v = g.linear(ln1, wv);
+    let att = g.attention(q, k, v, cfg.heads);
+    let wo = g.parameter(&format!("l{layer}.wo"), vec![h, h]);
+    let proj = g.linear(att, wo);
+    let res1 = g.add(x, proj);
+    let ln2 = g.layer_norm(res1);
+    let w1 = g.parameter(&format!("l{layer}.ffn1"), vec![h, cfg.ffn]);
+    let b1 = g.parameter(&format!("l{layer}.ffn1b"), vec![cfg.ffn]);
+    let w2 = g.parameter(&format!("l{layer}.ffn2"), vec![cfg.ffn, h]);
+    let ff = g.linear(ln2, w1);
+    let ff = g.bias_add(ff, b1);
+    let ff = g.gelu(ff);
+    let ff = g.linear(ff, w2);
+    g.add(res1, ff)
+}
+
+/// Builds a single-layer Transformer training graph (Fig. 2 workload).
+pub fn transformer_layer(cfg: &TransformerConfig) -> Graph {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", vec![cfg.batch, cfg.seq, cfg.hidden]);
+    let labels = g.label("labels", vec![cfg.batch, cfg.seq]);
+    let y = append_transformer_layer(&mut g, x, cfg, 0);
+    let w_out = g.parameter("w_out", vec![cfg.hidden, 32]);
+    let logits = g.linear(y, w_out);
+    let loss = g.cross_entropy(logits, labels);
+    g.build_training(loss).expect("transformer differentiates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_builds() {
+        let g = mlp(&MlpConfig::tiny());
+        g.validate().unwrap();
+        assert_eq!(g.parameters().len(), 5);
+        assert_eq!(g.required_outputs().len(), 6);
+    }
+
+    #[test]
+    fn transformer_layer_builds_with_segments() {
+        let g = transformer_layer(&TransformerConfig::tiny());
+        g.validate().unwrap();
+        assert_eq!(g.segment_count(), 2); // embedding segment + layer segment
+        assert_eq!(g.parameters().len(), 8);
+    }
+
+    #[test]
+    fn fig2_hidden_width_scales_params() {
+        let small = transformer_layer(&TransformerConfig::fig2(256));
+        let large = transformer_layer(&TransformerConfig::fig2(512));
+        assert!(large.parameter_count() > 3 * small.parameter_count());
+    }
+}

@@ -1,0 +1,130 @@
+//! VGG19 (Simonyan & Zisserman) for image classification.
+
+use hap_graph::{Graph, GraphBuilder};
+
+/// VGG19 configuration.
+#[derive(Clone, Debug)]
+pub struct VggConfig {
+    /// Global batch size.
+    pub batch: usize,
+    /// Input image side (images are square).
+    pub image: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Width multiplier base (64 for the real network).
+    pub width: usize,
+    /// Classifier hidden width (4096 for the real network).
+    pub fc_width: usize,
+}
+
+impl VggConfig {
+    /// Paper-scale VGG19 (~139 M parameters; the paper's Table 1 reports
+    /// 133 M — the difference is the unspecified classifier head, here
+    /// `flatten -> 4096 -> 4096 -> 10` on 224x224 inputs as in the original
+    /// network with a CIFAR-10 class count).
+    pub fn paper() -> Self {
+        VggConfig { batch: 64, image: 224, channels: 3, classes: 10, width: 64, fc_width: 4096 }
+    }
+
+    /// Tiny VGG-shaped network for tests (8x8 inputs, 2 blocks).
+    pub fn tiny() -> Self {
+        VggConfig { batch: 4, image: 8, channels: 3, classes: 4, width: 4, fc_width: 16 }
+    }
+}
+
+/// Builds the VGG19 training graph.
+///
+/// The 16 convolution layers follow the standard
+/// `[2x64, 2x128, 4x256, 4x512, 4x512]` block structure with 3x3 kernels and
+/// 2x2 max-pooling between blocks; blocks are model segments. The `tiny`
+/// configuration shrinks to two blocks so the spatial size stays positive.
+pub fn vgg19(cfg: &VggConfig) -> Graph {
+    let mut g = GraphBuilder::new();
+    let mut x = g.placeholder("image", vec![cfg.batch, cfg.channels, cfg.image, cfg.image]);
+    let labels = g.label("labels", vec![cfg.batch]);
+
+    let full_blocks: Vec<Vec<usize>> = vec![
+        vec![cfg.width; 2],
+        vec![cfg.width * 2; 2],
+        vec![cfg.width * 4; 4],
+        vec![cfg.width * 8; 4],
+        vec![cfg.width * 8; 4],
+    ];
+    // Shrink for small inputs: each block halves the spatial size.
+    let max_blocks = (cfg.image as f64).log2().floor() as usize;
+    let blocks: Vec<Vec<usize>> = full_blocks.into_iter().take(max_blocks.max(1)).collect();
+
+    let mut in_ch = cfg.channels;
+    let mut side = cfg.image;
+    for (bi, block) in blocks.iter().enumerate() {
+        g.begin_segment();
+        for (ci, &out_ch) in block.iter().enumerate() {
+            let w = g.parameter(&format!("b{bi}.conv{ci}"), vec![out_ch, in_ch, 3, 3]);
+            x = g.conv2d(x, w, 1, 1);
+            x = g.relu(x);
+            in_ch = out_ch;
+        }
+        x = g.maxpool(x, 2);
+        side /= 2;
+    }
+
+    g.begin_segment();
+    let flat = g.flatten(x);
+    let flat_width = in_ch * side * side;
+    let w1 = g.parameter("fc1", vec![flat_width, cfg.fc_width]);
+    let b1 = g.parameter("fc1b", vec![cfg.fc_width]);
+    let w2 = g.parameter("fc2", vec![cfg.fc_width, cfg.fc_width]);
+    let b2 = g.parameter("fc2b", vec![cfg.fc_width]);
+    let w3 = g.parameter("fc3", vec![cfg.fc_width, cfg.classes]);
+    let mut h = g.matmul(flat, w1);
+    h = g.bias_add(h, b1);
+    h = g.relu(h);
+    h = g.matmul(h, w2);
+    h = g.bias_add(h, b2);
+    h = g.relu(h);
+    let logits = g.matmul(h, w3);
+    let loss = g.cross_entropy(logits, labels);
+    g.build_training(loss).expect("vgg differentiates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_parameter_count() {
+        let g = vgg19(&VggConfig::paper());
+        let p = g.parameter_count() as f64;
+        // Convs ~20M + fc 25088*4096 + 4096^2 + 4096*10 ~ 139.6M.
+        assert!(p > 130e6 && p < 145e6, "params {p}");
+    }
+
+    #[test]
+    fn tiny_builds_and_has_conv_structure() {
+        let g = vgg19(&VggConfig::tiny());
+        g.validate().unwrap();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, hap_graph::Op::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 8, "three tiny blocks: 2 + 2 + 4 convs");
+        assert!(g.segment_count() >= 3);
+    }
+
+    #[test]
+    fn fc_layers_dominate_parameters() {
+        // The communication-heavy fully-connected layers the paper discusses
+        // in Sec. 7.2 hold most of VGG19's parameters.
+        let g = vgg19(&VggConfig::paper());
+        let fc: usize = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("fc"))
+            .map(|n| n.shape.numel())
+            .sum();
+        assert!(fc as f64 / g.parameter_count() as f64 > 0.8);
+    }
+}

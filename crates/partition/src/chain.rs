@@ -1,0 +1,191 @@
+//! Balanced min-cut chain partitioning.
+
+use hap_graph::Graph;
+
+/// Statistics of a computed partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionStats {
+    /// Bytes of tensors crossing segment boundaries.
+    pub cut_bytes: u64,
+    /// Per-segment flops.
+    pub segment_flops: Vec<f64>,
+}
+
+/// Partitions the graph's nodes into `g` contiguous topological intervals.
+///
+/// Returns a segment id per node. The dynamic program minimizes
+/// `cut_bytes / total_bytes + imbalance / average_segment_flops`, i.e. it
+/// prefers cutting where few/small tensors are live while keeping segment
+/// flops balanced (the METIS-style objective of paper Sec. 5.2).
+///
+/// `g` is clamped to the node count; `g == 1` returns all zeros.
+pub fn chain_partition(graph: &Graph, g: usize) -> Vec<usize> {
+    let n = graph.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let g = g.clamp(1, n);
+    if g == 1 {
+        return vec![0; n];
+    }
+
+    // Boundary cut bytes: tensors produced before `b` consumed at/after `b`.
+    let mut cut = vec![0f64; n + 1];
+    for node in graph.nodes() {
+        for &input in &node.inputs {
+            // The edge (input -> node) crosses boundaries input+1 ..= node.id.
+            let bytes = graph.node_bytes(input) as f64;
+            for b in (input + 1)..=node.id {
+                cut[b] += bytes;
+            }
+        }
+    }
+    let total_bytes: f64 = cut.iter().sum::<f64>().max(1.0);
+
+    // Prefix flops for balance scoring.
+    let mut prefix = vec![0f64; n + 1];
+    for i in 0..n {
+        prefix[i + 1] = prefix[i] + graph.node_flops(i);
+    }
+    let avg = (prefix[n] / g as f64).max(1.0);
+
+    let score = |from: usize, to: usize| -> f64 {
+        // Segment covering nodes [from, to): boundary cut at `from` (free for
+        // from == 0) plus flops-imbalance penalty.
+        let cut_term = if from == 0 { 0.0 } else { cut[from] / total_bytes };
+        let flops = prefix[to] - prefix[from];
+        cut_term + (flops - avg).abs() / avg / g as f64
+    };
+
+    // dp[k][i]: best cost splitting nodes [0, i) into k+1 segments.
+    const INF: f64 = f64::INFINITY;
+    let mut dp = vec![vec![INF; n + 1]; g];
+    let mut back = vec![vec![0usize; n + 1]; g];
+    for i in 1..=n {
+        dp[0][i] = score(0, i);
+    }
+    for k in 1..g {
+        for i in (k + 1)..=n {
+            for j in k..i {
+                if dp[k - 1][j] < INF {
+                    let c = dp[k - 1][j] + score(j, i);
+                    if c < dp[k][i] {
+                        dp[k][i] = c;
+                        back[k][i] = j;
+                    }
+                }
+            }
+        }
+    }
+
+    // Reconstruct boundaries.
+    let mut bounds = vec![n];
+    let mut i = n;
+    for k in (1..g).rev() {
+        i = back[k][i];
+        bounds.push(i);
+    }
+    bounds.reverse();
+
+    let mut assignment = vec![0usize; n];
+    let mut seg = 0usize;
+    let mut next_bound = bounds[0];
+    let mut bound_iter = bounds.iter().skip(1);
+    for (id, a) in assignment.iter_mut().enumerate() {
+        while id >= next_bound {
+            seg += 1;
+            next_bound = *bound_iter.next().unwrap_or(&n.saturating_add(1));
+        }
+        *a = seg;
+    }
+    assignment
+}
+
+/// Applies an assignment to the graph and reports partition statistics.
+pub fn apply_partition(graph: &mut Graph, assignment: &[usize]) -> PartitionStats {
+    for (id, &seg) in assignment.iter().enumerate() {
+        graph.set_segment(id, seg);
+    }
+    let segments = assignment.iter().max().map_or(1, |m| m + 1);
+    let mut segment_flops = vec![0f64; segments];
+    for node in graph.nodes() {
+        segment_flops[assignment[node.id]] += graph.node_flops(node.id);
+    }
+    let mut cut_bytes = 0u64;
+    for node in graph.nodes() {
+        for &input in &node.inputs {
+            if assignment[input] != assignment[node.id] {
+                cut_bytes += graph.node_bytes(input) as u64;
+            }
+        }
+    }
+    PartitionStats { cut_bytes, segment_flops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::GraphBuilder;
+
+    fn deep_mlp(layers: usize, width: usize) -> Graph {
+        let mut g = GraphBuilder::new();
+        let mut x = g.placeholder("x", vec![64, width]);
+        for i in 0..layers {
+            let w = g.parameter(&format!("w{i}"), vec![width, width]);
+            x = g.matmul(x, w);
+            x = g.relu(x);
+        }
+        let l = g.sum_all(x);
+        g.build_training(l).unwrap()
+    }
+
+    #[test]
+    fn single_segment_is_trivial() {
+        let g = deep_mlp(3, 16);
+        let a = chain_partition(&g, 1);
+        assert!(a.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn segments_are_contiguous_and_complete() {
+        let g = deep_mlp(6, 16);
+        let a = chain_partition(&g, 4);
+        assert_eq!(a.len(), g.len());
+        // Contiguity: segment ids are non-decreasing along topo order.
+        for w in a.windows(2) {
+            assert!(w[1] == w[0] || w[1] == w[0] + 1);
+        }
+        assert_eq!(*a.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn flops_are_roughly_balanced() {
+        let mut g = deep_mlp(8, 32);
+        let a = chain_partition(&g, 4);
+        let stats = apply_partition(&mut g, &a);
+        let total: f64 = stats.segment_flops.iter().sum();
+        let avg = total / 4.0;
+        for &f in &stats.segment_flops {
+            assert!(f < 2.5 * avg, "segment flops {f} vs avg {avg}");
+        }
+    }
+
+    #[test]
+    fn more_segments_than_nodes_is_clamped() {
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", vec![4, 4]);
+        let l = b.sum_all(x);
+        let g = b.build_training(l).unwrap();
+        let a = chain_partition(&g, 100);
+        assert_eq!(a.len(), g.len());
+        assert!(*a.iter().max().unwrap() < g.len());
+    }
+
+    #[test]
+    fn applied_partition_updates_graph_segments() {
+        let mut g = deep_mlp(4, 16);
+        let a = chain_partition(&g, 2);
+        apply_partition(&mut g, &a);
+        assert_eq!(g.segment_count(), 2);
+    }
+}

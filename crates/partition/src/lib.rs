@@ -1,0 +1,18 @@
+//! Model segmentation for per-segment sharding ratios (paper Sec. 5.2).
+//!
+//! "We partition the tensors in the model, E, into g segments ... The
+//! segment division can be either specified by the user (such as using the
+//! layers of the model) or determined using a partition algorithm such as
+//! METIS (which minimizes the tensor size on the cuts while balancing the
+//! size of partitions)."
+//!
+//! User-specified segmentation is provided by
+//! `hap_graph::GraphBuilder::begin_segment`; this crate provides the
+//! automatic alternative: a dynamic program over the topological order that
+//! minimizes cut tensor bytes while balancing per-segment flops — the same
+//! objective METIS pursues, specialized to the chain-like structure of DNN
+//! training graphs.
+
+mod chain;
+
+pub use chain::{chain_partition, apply_partition, PartitionStats};

@@ -1,0 +1,31 @@
+//! Execution substrates for HAP: functional verification and performance
+//! simulation.
+//!
+//! Two executors over synthesized distributed programs:
+//!
+//! * [`exec`] — a **functional SPMD executor** that runs the program on `m`
+//!   simulated devices holding real CPU tensors, moving shards through real
+//!   collective data paths, and checks bit-level (up to float tolerance)
+//!   equivalence against the single-device program. This realizes the
+//!   paper's semantic-correctness contract (Sec. 4.2): the distributed
+//!   program "produces a result that is identical to that of a single-device
+//!   program".
+//! * [`devent`] — a **discrete-event performance simulator** standing in for
+//!   the physical 64-GPU testbed (see DESIGN.md §2). It prices computation
+//!   with per-kernel launch overheads and a size-dependent efficiency curve,
+//!   and communication with the nonlinear ground-truth network model —
+//!   so the linear cost model used inside HAP underestimates it in exactly
+//!   the way Fig. 18 reports.
+//!
+//! [`memory`] accounts per-device memory (parameters + optimizer state +
+//! activations) and flags out-of-memory configurations, reproducing the
+//! paper's observation that replicating BERT-MoE under plain data
+//! parallelism does not fit.
+
+mod devent;
+mod exec;
+mod memory;
+
+pub use devent::{simulate_time, SimOptions, SimResult};
+pub use exec::{execute_functional, verify_equivalence, EquivReport, ExecError};
+pub use memory::{memory_footprint, MemoryReport};

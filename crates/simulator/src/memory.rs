@@ -1,0 +1,188 @@
+//! Per-device memory accounting and OOM detection.
+//!
+//! The paper reports that "due to replicating the whole model on all
+//! devices, DP-CP and DP-EV causes out-of-memory errors when training
+//! BERT-MoE" (Sec. 7.1). This module reproduces that check: each device's
+//! footprint is the sum of its parameter shards (times an optimizer-state
+//! multiplier), its gradient storage, and its activation shards.
+
+use hap_balancer::round_shards;
+use hap_cluster::VirtualDevice;
+use hap_graph::{Graph, Placement, Role};
+use hap_synthesis::{DistInstr, DistProgram, ShardingRatios};
+
+/// Bytes held per parameter byte: the parameter, its gradient, and one
+/// optimizer state slot (SGD momentum).
+const PARAM_STATE_MULTIPLIER: f64 = 3.0;
+
+/// Memory accounting result.
+#[derive(Clone, Debug)]
+pub struct MemoryReport {
+    /// Peak bytes per device.
+    pub per_device: Vec<f64>,
+    /// Devices whose footprint exceeds their capacity.
+    pub oom_devices: Vec<usize>,
+}
+
+impl MemoryReport {
+    /// True when every device fits.
+    pub fn fits(&self) -> bool {
+        self.oom_devices.is_empty()
+    }
+}
+
+/// Computes the per-GPU memory footprint of a program.
+///
+/// A virtual device may represent a whole machine running data parallelism
+/// internally (paper Sec. 3). In that case every GPU in the machine holds
+/// replicated tensors in full, while the machine's shard of a sharded
+/// tensor is further split across its GPUs — so footprints are accounted
+/// per GPU against per-GPU memory.
+pub fn memory_footprint(
+    graph: &Graph,
+    program: &DistProgram,
+    devices: &[VirtualDevice],
+    ratios: &ShardingRatios,
+) -> MemoryReport {
+    let m = devices.len();
+    let mut per_device = vec![0f64; m];
+    let row_for = |node: usize| -> &[f64] {
+        let seg = graph.node(node).segment.min(ratios.len() - 1);
+        &ratios[seg]
+    };
+
+    for instr in &program.instrs {
+        let (node, placement, multiplier) = match instr {
+            DistInstr::Leaf { node, placement } => {
+                let mult = if graph.node(*node).role == Role::Param {
+                    PARAM_STATE_MULTIPLIER
+                } else {
+                    1.0
+                };
+                (*node, *placement, mult)
+            }
+            DistInstr::Compute { node, rule } => (*node, rule.output, 1.0),
+            // Collectives transform existing tensors; count the output.
+            DistInstr::Collective { node, kind } => (*node, kind.output_placement(), 1.0),
+        };
+        let bytes = graph.node_bytes(node) as f64 * multiplier;
+        match placement {
+            Placement::Replicated | Placement::PartialSum => {
+                // Every GPU of every machine holds the full tensor.
+                for b in per_device.iter_mut() {
+                    *b += bytes;
+                }
+            }
+            Placement::Shard(d) => {
+                let extent = graph.node(node).shape.dims()[d].max(1);
+                let sizes = round_shards(extent, row_for(node));
+                for (j, (b, &s)) in per_device.iter_mut().zip(sizes.iter()).enumerate() {
+                    // The machine's shard splits across its internal GPUs.
+                    *b += bytes * s as f64 / extent as f64 / devices[j].gpus.max(1) as f64;
+                }
+            }
+        }
+    }
+
+    let oom_devices = (0..m)
+        .filter(|&j| {
+            per_device[j] > devices[j].memory_bytes as f64 / devices[j].gpus.max(1) as f64
+        })
+        .collect();
+    MemoryReport { per_device, oom_devices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::{GraphBuilder, Rule};
+
+    fn two_devices(memory_gb: u64) -> Vec<VirtualDevice> {
+        (0..2)
+            .map(|i| VirtualDevice {
+                name: format!("d{i}"),
+                flops: 1e12,
+                memory_bytes: memory_gb << 30,
+                gpus: 1,
+                intra_bandwidth: f64::INFINITY,
+                machine: i,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replicated_params_count_fully_everywhere() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![4, 1024]);
+        let w = g.parameter("w", vec![1024, 1024]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_forward();
+        let _ = l;
+        let program = DistProgram {
+            instrs: vec![
+                DistInstr::Leaf { node: x, placement: Placement::Replicated },
+                DistInstr::Leaf { node: w, placement: Placement::Replicated },
+                DistInstr::Compute {
+                    node: y,
+                    rule: Rule::new(
+                        vec![Placement::Replicated, Placement::Replicated],
+                        Placement::Replicated,
+                    ),
+                },
+            ],
+            estimated_time: 0.0,
+        };
+        let devices = two_devices(16);
+        let ratios = vec![vec![0.5, 0.5]];
+        let report = memory_footprint(&graph, &program, &devices, &ratios);
+        let w_bytes = 1024.0 * 1024.0 * 4.0;
+        assert!(report.per_device[0] >= w_bytes * 3.0);
+        assert!((report.per_device[0] - report.per_device[1]).abs() < 1.0);
+        assert!(report.fits());
+    }
+
+    #[test]
+    fn sharded_params_split_the_footprint() {
+        let mut g = GraphBuilder::new();
+        let w = g.parameter("w", vec![1024, 1024]);
+        let x = g.placeholder("x", vec![4, 1024]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_forward();
+        let _ = (y, l);
+        let sharded = DistProgram {
+            instrs: vec![DistInstr::Leaf { node: w, placement: Placement::Shard(1) }],
+            estimated_time: 0.0,
+        };
+        let replicated = DistProgram {
+            instrs: vec![DistInstr::Leaf { node: w, placement: Placement::Replicated }],
+            estimated_time: 0.0,
+        };
+        let devices = two_devices(16);
+        let ratios = vec![vec![0.5, 0.5]];
+        let rs = memory_footprint(&graph, &sharded, &devices, &ratios);
+        let rr = memory_footprint(&graph, &replicated, &devices, &ratios);
+        assert!((rs.per_device[0] * 2.0 - rr.per_device[0]).abs() < 1.0);
+    }
+
+    #[test]
+    fn oom_detected_when_model_exceeds_memory() {
+        let mut g = GraphBuilder::new();
+        // 2^30 floats = 4 GiB of parameters; x3 states = 12 GiB > 8 GiB cap.
+        let w = g.parameter("w", vec![32768, 32768]);
+        let x = g.placeholder("x", vec![4, 32768]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_forward();
+        let _ = (y, l);
+        let program = DistProgram {
+            instrs: vec![DistInstr::Leaf { node: w, placement: Placement::Replicated }],
+            estimated_time: 0.0,
+        };
+        let devices = two_devices(8);
+        let report = memory_footprint(&graph, &program, &devices, &vec![vec![0.5, 0.5]]);
+        assert!(!report.fits());
+        assert_eq!(report.oom_devices, vec![0, 1]);
+    }
+}

@@ -1,0 +1,676 @@
+//! A\*-based distributed program search (paper Sec. 4.3, Fig. 10).
+//!
+//! States are canonical property sets; the score of a partial program is
+//! `cost + ecost`, where `cost` is the time of all closed stages plus the
+//! running stage's per-device computation, and `ecost` is the admissible
+//! remaining-work bound assuming infinite bandwidth and perfect balance.
+//! Dominance pruning keeps, per property set, only the cheapest program
+//! (the hash-map realization of Fig. 10 lines 9–14), and redundant
+//! properties are dropped from states as soon as no live triple can use
+//! them (Sec. 4.5, optimization 3).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+use hap_cluster::VirtualDevice;
+use hap_collectives::CommProfile;
+use hap_graph::Graph;
+
+use crate::cost::{CostModel, ShardingRatios};
+use crate::instr::{DistInstr, DistProgram};
+use crate::property::PropSet;
+use crate::theory::{Theory, TheoryOptions, Triple};
+
+/// Synthesis options.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthConfig {
+    /// Maximum number of A\* expansions before giving up.
+    pub max_expansions: usize,
+    /// Optional beam width: when set, the open list is pruned to the best
+    /// `N` states whenever it doubles past `N` (trades optimality for time).
+    pub beam_width: Option<usize>,
+    /// Wall-clock budget in seconds for the A\* refinement; when it runs
+    /// out the best complete program found so far (at least the greedy
+    /// incumbent) is returned.
+    pub time_budget_secs: f64,
+    /// Stop refining after this many expansions without improving the
+    /// incumbent (diminishing-returns cutoff).
+    pub stall_expansions: usize,
+    /// Include grouped-Broadcast rules (ablation toggle "C", Fig. 15).
+    pub grouped_broadcast: bool,
+    /// Include the SFB-enabling replicated gradient rules (Sec. 4.4).
+    pub sfb: bool,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            max_expansions: 2_000_000,
+            beam_width: Some(20_000),
+            time_budget_secs: 5.0,
+            stall_expansions: 5_000,
+            grouped_broadcast: true,
+            sfb: true,
+        }
+    }
+}
+
+/// Synthesis failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// The search space was exhausted without a complete program.
+    NoProgram,
+    /// The expansion budget ran out before completion.
+    ExpansionLimit(usize),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::NoProgram => write!(f, "no semantically equivalent program exists"),
+            SynthError::ExpansionLimit(n) => {
+                write!(f, "expansion limit of {n} reached without a complete program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Persistent program list node (programs share prefixes).
+struct ProgNode {
+    instr: DistInstr,
+    parent: Option<Rc<ProgNode>>,
+}
+
+struct State {
+    props: PropSet,
+    /// Time of closed stages plus nothing of the running stage.
+    closed: f64,
+    /// Per-device computation accumulated in the running stage.
+    stage: Vec<f64>,
+    /// Single-device flops of not-yet-produced compute nodes.
+    remaining_flops: f64,
+    /// Required outputs not yet produced.
+    remaining_required: usize,
+    program: Option<Rc<ProgNode>>,
+}
+
+impl State {
+    fn cost(&self) -> f64 {
+        self.closed + self.stage.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    score: f64,
+    seq: u64,
+    idx: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on score (BinaryHeap is a max-heap, so reverse); ties go
+        // to the newer state — a depth-first bias that reaches complete
+        // programs (and therefore pruning bounds) quickly.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+const EPS: f64 = 1e-12;
+
+/// Synthesizes the optimal distributed program for `graph` under sharding
+/// ratios `ratios` on the given devices.
+pub fn synthesize(
+    graph: &Graph,
+    devices: &[VirtualDevice],
+    profile: &CommProfile,
+    ratios: &ShardingRatios,
+    config: &SynthConfig,
+) -> Result<DistProgram, SynthError> {
+    let theory = Theory::build_with(
+        graph,
+        TheoryOptions { grouped_broadcast: config.grouped_broadcast, sfb: config.sfb },
+    );
+    synthesize_with_theory(graph, &theory, devices, profile, ratios, config)
+}
+
+/// Synthesizes against a pre-built theory (lets callers reuse the theory
+/// across iterations of the alternating optimization).
+pub fn synthesize_with_theory(
+    graph: &Graph,
+    theory: &Theory,
+    devices: &[VirtualDevice],
+    profile: &CommProfile,
+    ratios: &ShardingRatios,
+    config: &SynthConfig,
+) -> Result<DistProgram, SynthError> {
+    let cm = CostModel::new(graph, devices, profile, ratios);
+    let m = cm.num_devices();
+
+    let total_remaining: f64 = graph
+        .nodes()
+        .iter()
+        .filter(|n| !n.op.is_leaf() && theory.live[n.id])
+        .map(|n| graph.node_flops(n.id))
+        .sum();
+    let required_count = theory.required.len();
+
+    let mut states: Vec<State> = vec![State {
+        props: PropSet::new(),
+        closed: 0.0,
+        stage: vec![0.0; m],
+        remaining_flops: total_remaining,
+        remaining_required: required_count,
+        program: None,
+    }];
+    let mut best_by_key: HashMap<PropSet, f64> = HashMap::new();
+    best_by_key.insert(states[0].props.clone(), 0.0);
+
+    let mut open = BinaryHeap::new();
+    open.push(HeapEntry { score: cm.best_case_seconds(total_remaining), seq: 0, idx: 0 });
+    let mut seq = 1u64;
+
+    // Seed the incumbent with a greedy descent: every later state whose
+    // score cannot beat it is pruned, which bounds the exploration
+    // (branch-and-bound on top of A*).
+    let greedy_t0 = std::time::Instant::now();
+    let mut best_complete: Option<(f64, Option<Rc<ProgNode>>)> =
+        greedy_seed(&states[0], theory, &cm, graph);
+    if std::env::var_os("HAP_SYNTH_DEBUG").is_some() {
+        eprintln!(
+            "greedy: {:?}, incumbent = {:?}",
+            greedy_t0.elapsed(),
+            best_complete.as_ref().map(|(c, _)| *c)
+        );
+    }
+    let mut last_improvement = 0usize;
+    let mut expansions = 0usize;
+    let deadline = std::time::Instant::now()
+        + std::time::Duration::from_secs_f64(config.time_budget_secs.max(0.0));
+
+    let mut pops = 0usize;
+    while let Some(entry) = open.pop() {
+        pops += 1;
+        if pops % 256 == 0 && std::time::Instant::now() >= deadline {
+            // Budget exhausted: fall back to the incumbent (paper-style
+            // "seconds of overhead" guarantee).
+            if let Some(done) = finish(best_complete.clone(), graph) {
+                return Ok(done);
+            }
+            return Err(SynthError::ExpansionLimit(expansions));
+        }
+        if let Some((best_cost, _)) = &best_complete {
+            if entry.score >= *best_cost - EPS {
+                break; // A* optimality: no open state can beat the incumbent.
+            }
+            if expansions.saturating_sub(last_improvement) > config.stall_expansions {
+                break; // diminishing returns: keep the incumbent
+            }
+        }
+        // Stale check against the dominance map.
+        {
+            let s = &states[entry.idx];
+            match best_by_key.get(&s.props) {
+                Some(&c) if c < s.cost() - EPS => continue,
+                _ => {}
+            }
+        }
+        expansions += 1;
+        if expansions > config.max_expansions {
+            return finish(best_complete, graph)
+                .ok_or(SynthError::ExpansionLimit(config.max_expansions));
+        }
+
+        for triple in &theory.triples {
+            let cur = &states[entry.idx];
+            if let Some(e) = triple.comm_node {
+                if cur.props.is_communicated(e) {
+                    continue;
+                }
+            }
+            if !cur.props.contains_all(&triple.pre) {
+                continue;
+            }
+            if triple.post.iter().all(|p| cur.props.contains(p)) {
+                continue;
+            }
+            if let Some((best_cost, _)) = &best_complete {
+                let (pcost, premaining) = preview(cur, triple, &cm, theory);
+                if pcost + cm.best_case_seconds(premaining) >= *best_cost - EPS {
+                    continue; // cannot beat the incumbent: skip without allocating
+                }
+            }
+            let succ = apply(cur, triple, &cm, theory, graph);
+            let cost = succ.cost();
+            if let Some((best_cost, _)) = &best_complete {
+                if cost >= *best_cost - EPS {
+                    continue;
+                }
+            }
+            if succ.remaining_required == 0 {
+                best_complete = Some((cost, succ.program.clone()));
+                last_improvement = expansions;
+                continue;
+            }
+            match best_by_key.get(&succ.props) {
+                Some(&c) if c <= cost + EPS => continue,
+                _ => {}
+            }
+            let score = cost + cm.best_case_seconds(succ.remaining_flops);
+            if let Some((best_cost, _)) = &best_complete {
+                if score >= *best_cost - EPS {
+                    continue; // admissible score cannot beat the incumbent
+                }
+            }
+            best_by_key.insert(succ.props.clone(), cost);
+            let idx = states.len();
+            states.push(succ);
+            open.push(HeapEntry { score, seq, idx });
+            seq += 1;
+        }
+
+        if let Some(beam) = config.beam_width {
+            if open.len() > beam * 2 {
+                let mut kept: Vec<HeapEntry> = Vec::with_capacity(beam);
+                for _ in 0..beam {
+                    match open.pop() {
+                        Some(e) => kept.push(e),
+                        None => break,
+                    }
+                }
+                open = BinaryHeap::from(kept);
+            }
+        }
+    }
+
+    finish(best_complete, graph).ok_or(SynthError::NoProgram)
+}
+
+/// Greedy descent to an initial complete program: from the empty state,
+/// repeatedly apply the successor with the best score. Returns `None` when
+/// the descent stalls (the A\* then runs unseeded).
+fn greedy_seed(
+    initial: &State,
+    theory: &Theory,
+    cm: &CostModel,
+    graph: &Graph,
+) -> Option<(f64, Option<Rc<ProgNode>>)> {
+    let mut cur = clone_state(initial);
+    let mut seen_keys: Vec<PropSet> = Vec::new();
+    let debug = std::env::var_os("HAP_SYNTH_DEBUG").is_some();
+    let mut trace: Vec<String> = Vec::new();
+    for _ in 0..graph.len().saturating_mul(8).max(64) {
+        if cur.remaining_required == 0 {
+            return Some((cur.cost(), cur.program));
+        }
+        // Progress-first: prefer the cheapest successor that produces a
+        // node not yet computed; only when none applies fall back to
+        // "filler" moves (collectives and alternative placements) that can
+        // unblock one. Candidates are scored with the cheap preview; only
+        // the winner's state is constructed.
+        let mut best_progress: Option<(f64, &Triple)> = None;
+        let mut best_filler: Option<(f64, &Triple)> = None;
+        for triple in &theory.triples {
+            if let Some(e) = triple.comm_node {
+                if cur.props.is_communicated(e) {
+                    continue;
+                }
+            }
+            if !cur.props.contains_all(&triple.pre) {
+                continue;
+            }
+            if triple.post.iter().all(|p| cur.props.contains(p)) {
+                continue;
+            }
+            let progress = theory.live[triple.output] && !cur.props.has_node(triple.output);
+            if !progress && best_progress.is_some() {
+                continue; // filler can't win once progress exists
+            }
+            let (pcost, premaining) = preview(&cur, triple, cm, theory);
+            let score = pcost + cm.best_case_seconds(premaining);
+            if progress {
+                if best_progress.as_ref().is_none_or(|(bs, _)| score < *bs) {
+                    best_progress = Some((score, triple));
+                }
+            } else {
+                let cheaper = best_filler.as_ref().is_none_or(|(bs, _)| score < *bs);
+                if cheaper {
+                    let succ = apply(&cur, triple, cm, theory, graph);
+                    // One-step lookahead: a filler is only useful if it
+                    // unblocks the computation of an unproduced node.
+                    if !seen_keys.contains(&succ.props) && enables_progress(&succ, theory) {
+                        best_filler = Some((score, triple));
+                    }
+                }
+            }
+        }
+        let next = match best_progress.or(best_filler) {
+            Some((_, triple)) => apply(&cur, triple, cm, theory, graph),
+            None => {
+                if debug {
+                    eprintln!(
+                        "greedy stalled: {} required outputs missing; props = {:?}",
+                        cur.remaining_required,
+                        cur.props.props()
+                    );
+                }
+                return None;
+            }
+        };
+        if debug {
+            if let Some(pn) = &next.program {
+                trace.push(format!("{:?}", pn.instr));
+            }
+        }
+        seen_keys.push(next.props.clone());
+        cur = next;
+    }
+    if debug {
+        eprintln!(
+            "greedy ran out of steps: {} required missing, {} props",
+            cur.remaining_required,
+            cur.props.len()
+        );
+        eprintln!("missing required: {:?}",
+            theory.required.iter().filter(|&&r| !cur.props.has_node(r)).collect::<Vec<_>>());
+        for (i, line) in trace.iter().enumerate() {
+            eprintln!("  step {i}: {line}");
+        }
+    }
+    None
+}
+
+/// True if some not-yet-produced node's triple becomes applicable in `s`.
+fn enables_progress(s: &State, theory: &Theory) -> bool {
+    theory.triples.iter().any(|t| {
+        theory.live[t.output]
+            && !s.props.has_node(t.output)
+            && t.comm_node.is_none_or(|e| !s.props.is_communicated(e))
+            && s.props.contains_all(&t.pre)
+    })
+}
+
+fn clone_state(s: &State) -> State {
+    State {
+        props: s.props.clone(),
+        closed: s.closed,
+        stage: s.stage.clone(),
+        remaining_flops: s.remaining_flops,
+        remaining_required: s.remaining_required,
+        program: s.program.clone(),
+    }
+}
+
+/// Cheaply previews the cost and remaining-work bound of applying a triple,
+/// without constructing the successor state.
+fn preview(
+    cur: &State,
+    triple: &Triple,
+    cm: &CostModel,
+    theory: &Theory,
+) -> (f64, f64) {
+    let mut closed = cur.closed;
+    let mut stage_max = cur.stage.iter().cloned().fold(0.0, f64::max);
+    // Per-device stage vector is only needed when computes follow a
+    // collective inside one triple; triples hold at most one collective.
+    let mut stage = None::<Vec<f64>>;
+    for instr in &triple.instrs {
+        match instr {
+            DistInstr::Leaf { .. } => {}
+            DistInstr::Compute { node, rule } => {
+                let per_dev = cm.compute_seconds(*node, rule);
+                let base = stage.get_or_insert_with(|| cur.stage.clone());
+                for (s, d) in base.iter_mut().zip(per_dev.iter()) {
+                    *s += d;
+                }
+                stage_max = base.iter().cloned().fold(0.0, f64::max);
+            }
+            DistInstr::Collective { node, kind } => {
+                closed += stage_max + cm.collective_seconds(*node, kind);
+                stage = Some(vec![0.0; cur.stage.len()]);
+                stage_max = 0.0;
+            }
+        }
+    }
+    let mut remaining = cur.remaining_flops;
+    for &(n, _) in &triple.post {
+        if !cur.props.has_node(n) && theory.live[n] {
+            remaining = (remaining - cm.node_flops(n)).max(0.0);
+        }
+    }
+    (closed + stage_max, remaining)
+}
+
+/// Applies a triple to a state, producing the successor.
+fn apply(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory, graph: &Graph) -> State {
+    let mut props = cur.props.clone();
+    let mut closed = cur.closed;
+    let mut stage = cur.stage.clone();
+    let mut remaining_flops = cur.remaining_flops;
+    let mut remaining_required = cur.remaining_required;
+    let mut program = cur.program.clone();
+
+    for instr in &triple.instrs {
+        match instr {
+            DistInstr::Leaf { node, placement } => {
+                // Re-materializing an already-available leaf is skipped.
+                if props.contains(&(*node, *placement)) {
+                    continue;
+                }
+                program = Some(Rc::new(ProgNode { instr: instr.clone(), parent: program }));
+            }
+            DistInstr::Compute { node, rule } => {
+                let per_dev = cm.compute_seconds(*node, rule);
+                for (s, d) in stage.iter_mut().zip(per_dev.iter()) {
+                    *s += d;
+                }
+                program = Some(Rc::new(ProgNode { instr: instr.clone(), parent: program }));
+            }
+            DistInstr::Collective { node, kind } => {
+                // A collective closes the running stage (paper Fig. 6).
+                closed += stage.iter().cloned().fold(0.0, f64::max);
+                stage.iter_mut().for_each(|s| *s = 0.0);
+                closed += cm.collective_seconds(*node, kind);
+                props.mark_communicated(*node);
+                program = Some(Rc::new(ProgNode { instr: instr.clone(), parent: program }));
+            }
+        }
+    }
+
+    for &p in &triple.post {
+        let newly_produced = !props.has_node(p.0);
+        if props.insert(p) && newly_produced {
+            if !graph.node(p.0).op.is_leaf() && theory.live[p.0] {
+                remaining_flops = (remaining_flops - cm.node_flops(p.0)).max(0.0);
+            }
+            if theory.required.contains(&p.0) {
+                remaining_required = remaining_required.saturating_sub(1);
+            }
+        }
+    }
+
+    State { props, closed, stage, remaining_flops, remaining_required, program }
+}
+
+/// Converts the winning linked program into a `DistProgram`.
+fn finish(
+    best: Option<(f64, Option<Rc<ProgNode>>)>,
+    _graph: &Graph,
+) -> Option<DistProgram> {
+    let (cost, chain) = best?;
+    let mut instrs = Vec::new();
+    let mut cur = chain;
+    while let Some(node) = cur {
+        instrs.push(node.instr.clone());
+        cur = node.parent.clone();
+    }
+    instrs.reverse();
+    Some(DistProgram { instrs, estimated_time: cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_cluster::{ClusterSpec, Granularity};
+    use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+    use hap_graph::{GraphBuilder, Placement, Role};
+
+    fn cluster_setup(m: usize) -> (Vec<VirtualDevice>, CommProfile, ShardingRatios) {
+        let cluster = match m {
+            4 => ClusterSpec::fig17_cluster(),
+            _ => ClusterSpec::paper_heterogeneous(1),
+        };
+        let devices = cluster.virtual_devices(Granularity::PerGpu);
+        let profile =
+            profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
+        let ratios = vec![cluster.proportional_ratios(Granularity::PerGpu)];
+        (devices, profile, ratios)
+    }
+
+    #[test]
+    fn fig11_example_synthesizes_data_parallelism() {
+        // loss = sum(x . w): the classic result is x sharded on batch, w
+        // replicated, no communication at all (loss stays partial).
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("e1", vec![4096, 1024]);
+        let w = g.parameter("e2", vec![1024, 512]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_forward();
+        let (devices, profile, ratios) = cluster_setup(4);
+        let q =
+            synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
+        assert!(q.is_complete(&graph));
+        assert_eq!(q.collective_count(), 0, "program: {}", q.listing(&graph));
+        // x must be shard-materialized on its batch dimension.
+        assert!(q.instrs.iter().any(|i| matches!(
+            i,
+            DistInstr::Leaf { node, placement: Placement::Shard(0) } if *node == x
+        )));
+        let _ = (y, l);
+    }
+
+    #[test]
+    fn training_iteration_synchronizes_gradients() {
+        // With a big batch and a small model, replicating the forward pass is
+        // far too expensive, so the optimal program shards the batch — and
+        // then the weight gradient must be aggregated: expect at least one
+        // collective (all-reduce or reduce-scatter).
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![262144, 256]);
+        let w = g.parameter("w", vec![256, 256]);
+        let labels = g.label("y", vec![262144]);
+        let h = g.matmul(x, w);
+        let loss = g.cross_entropy(h, labels);
+        let _ = x;
+        let graph = g.build_training(loss).unwrap();
+        let (devices, profile, ratios) = cluster_setup(4);
+        let q =
+            synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
+        assert!(q.is_complete(&graph), "program:\n{}", q.listing(&graph));
+        assert!(
+            q.collective_count() >= 1,
+            "gradient sync requires communication:\n{}",
+            q.listing(&graph)
+        );
+        // Every required output is produced.
+        for o in graph.required_outputs() {
+            assert!(q.instrs.iter().any(
+                |i| matches!(i, DistInstr::Compute { node, .. } if *node == o)
+            ));
+        }
+    }
+
+    #[test]
+    fn tiny_batch_prefers_sfb() {
+        // Fig. 5: with a small global batch, gathering the sufficient factors
+        // (activations + output grads) is cheaper than all-reducing the
+        // f x h gradient. Make f, h huge and b tiny.
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![8, 4096]);
+        let w = g.parameter("w", vec![4096, 4096]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_training(l).unwrap();
+        let (devices, profile, ratios) = cluster_setup(4);
+        let q =
+            synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
+        // The gradient of w must NOT be all-reduced; instead the factors are
+        // gathered and the gradient computed replicated.
+        let grad_w_node = graph
+            .nodes()
+            .iter()
+            .find(|n| n.role == Role::Grad && matches!(n.op, hap_graph::Op::MatMul2 { ta: true, .. }))
+            .map(|n| n.id)
+            .expect("weight gradient node");
+        let allreduced_grad = q.instrs.iter().any(|i| {
+            matches!(i, DistInstr::Collective { node, kind: crate::CollectiveInstr::AllReduce } if *node == grad_w_node)
+        });
+        assert!(
+            !allreduced_grad,
+            "SFB should avoid all-reducing the huge gradient:\n{}",
+            q.listing(&graph)
+        );
+        let _ = (x, w, y, l);
+    }
+
+    #[test]
+    fn disabling_sfb_changes_the_plan() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![8, 4096]);
+        let w = g.parameter("w", vec![4096, 4096]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_training(l).unwrap();
+        let (devices, profile, ratios) = cluster_setup(4);
+        let with = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default())
+            .unwrap();
+        let without = synthesize(
+            &graph,
+            &devices,
+            &profile,
+            &ratios,
+            &SynthConfig { sfb: false, ..SynthConfig::default() },
+        )
+        .unwrap();
+        assert!(with.estimated_time <= without.estimated_time + 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_still_returns_the_greedy_incumbent() {
+        // With a zero expansion budget the A* cannot refine, but the greedy
+        // descent still seeds a complete (if suboptimal) program.
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![64, 8]);
+        let w = g.parameter("w", vec![8, 8]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_forward();
+        let _ = (x, w, y, l);
+        let (devices, profile, ratios) = cluster_setup(4);
+        let q = synthesize(
+            &graph,
+            &devices,
+            &profile,
+            &ratios,
+            &SynthConfig { max_expansions: 0, ..SynthConfig::default() },
+        )
+        .expect("greedy incumbent");
+        assert!(q.is_complete(&graph));
+    }
+}

@@ -1,0 +1,203 @@
+//! Instruction-level cost evaluation for the synthesizer (paper Sec. 3.2).
+
+use hap_cluster::VirtualDevice;
+use hap_collectives::{CollKind, CommProfile};
+use hap_graph::{CompScaling, Graph, NodeId, Rule};
+
+use crate::instr::CollectiveInstr;
+
+/// Per-segment, per-device sharding ratios `B` (the `g x m` matrix of paper
+/// Sec. 5.2; single-segment models use one row).
+pub type ShardingRatios = Vec<Vec<f64>>;
+
+/// Evaluates per-device computation times and collective times for a fixed
+/// graph, cluster and sharding-ratio matrix.
+pub struct CostModel<'a> {
+    graph: &'a Graph,
+    device_flops: Vec<f64>,
+    profile: &'a CommProfile,
+    ratios: &'a ShardingRatios,
+    total_flops: f64,
+    /// Seconds per byte for the three-step intra-machine aggregation when a
+    /// virtual device is a whole machine (paper Sec. 6); zero for single-GPU
+    /// virtual devices.
+    intra_sec_per_byte: f64,
+}
+
+/// Per-kernel launch overhead priced into every computation (matches the
+/// simulator's default; real schedulers pay this per op too).
+pub const LAUNCH_OVERHEAD: f64 = 8e-6;
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratios` is empty or a row's length differs from the device
+    /// count — both are programming errors in the optimization loop.
+    pub fn new(
+        graph: &'a Graph,
+        devices: &[VirtualDevice],
+        profile: &'a CommProfile,
+        ratios: &'a ShardingRatios,
+    ) -> Self {
+        assert!(!ratios.is_empty(), "need at least one ratio row");
+        for row in ratios {
+            assert_eq!(row.len(), devices.len(), "ratio row width != device count");
+        }
+        let device_flops: Vec<f64> = devices.iter().map(|d| d.flops).collect();
+        let total_flops = device_flops.iter().sum();
+        // Gather/Reduce to GPU 0 before the global collective, then
+        // Scatter/Broadcast back: two intra-machine traversals.
+        let intra_sec_per_byte = devices
+            .iter()
+            .filter(|d| d.gpus > 1 && d.intra_bandwidth.is_finite())
+            .map(|d| 2.0 / d.intra_bandwidth)
+            .fold(0.0, f64::max);
+        CostModel { graph, device_flops, profile, ratios, total_flops, intra_sec_per_byte }
+    }
+
+    /// Seconds per byte of the hierarchical intra-machine aggregation.
+    pub fn intra_sec_per_byte(&self) -> f64 {
+        self.intra_sec_per_byte
+    }
+
+    /// Number of virtual devices.
+    pub fn num_devices(&self) -> usize {
+        self.device_flops.len()
+    }
+
+    /// The ratio row governing a node (its segment, clamped to the matrix).
+    pub fn ratio_row(&self, node: NodeId) -> &[f64] {
+        let seg = self.graph.node(node).segment.min(self.ratios.len() - 1);
+        &self.ratios[seg]
+    }
+
+    /// Per-device seconds added by computing `node` under `rule`.
+    pub fn compute_seconds(&self, node: NodeId, rule: &Rule) -> Vec<f64> {
+        let flops = self.graph.node_flops(node);
+        match rule.comp_scaling() {
+            CompScaling::Replicated => {
+                self.device_flops.iter().map(|&f| LAUNCH_OVERHEAD + flops / f).collect()
+            }
+            CompScaling::Sharded => {
+                let row = self.ratio_row(node);
+                self.device_flops
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(&f, &b)| LAUNCH_OVERHEAD + flops * b / f)
+                    .collect()
+            }
+        }
+    }
+
+    /// Estimated seconds of a collective on `node`'s distributed tensor.
+    pub fn collective_seconds(&self, node: NodeId, kind: &CollectiveInstr) -> f64 {
+        let bytes = self.graph.node_bytes(node) as f64;
+        let max_ratio =
+            self.ratio_row(node).iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+        let intra = bytes * self.intra_sec_per_byte;
+        intra + match kind {
+            CollectiveInstr::AllReduce => {
+                self.profile.estimate(CollKind::AllReduce, bytes, bytes)
+            }
+            CollectiveInstr::AllGather { grouped: false, .. } => {
+                self.profile.estimate(CollKind::AllGatherPadded, bytes * max_ratio, bytes)
+            }
+            CollectiveInstr::AllGather { grouped: true, .. } => {
+                self.profile.estimate(CollKind::GroupedBroadcast, bytes * max_ratio, bytes)
+            }
+            CollectiveInstr::ReduceScatter { .. } => {
+                self.profile.estimate(CollKind::ReduceScatter, bytes * max_ratio, bytes)
+            }
+            CollectiveInstr::AllToAll { .. } => {
+                self.profile.estimate(CollKind::AllToAll, bytes * max_ratio, bytes)
+            }
+        }
+    }
+
+    /// Admissible lower bound on the remaining time to compute `flops` more
+    /// work: perfect load balance across the whole cluster with free
+    /// communication (the paper's infinite-bandwidth `ecost`).
+    pub fn best_case_seconds(&self, flops: f64) -> f64 {
+        flops / self.total_flops
+    }
+
+    /// Single-device flops of a node (re-exported for the search).
+    pub fn node_flops(&self, node: NodeId) -> f64 {
+        self.graph.node_flops(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_cluster::{ClusterSpec, Granularity};
+    use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+    use hap_graph::{GraphBuilder, Placement};
+
+    fn setup() -> (Graph, Vec<VirtualDevice>, CommProfile) {
+        // The matmul output (node 2) is 64 MB so that bandwidth, not message
+        // latency, dominates the collective estimates under test.
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![16384, 32]);
+        let w = g.parameter("w", vec![32, 1024]);
+        let y = g.matmul(x, w);
+        let _ = g.sum_all(y);
+        let graph = g.build_forward();
+        let cluster = ClusterSpec::fig17_cluster();
+        let devices = cluster.virtual_devices(Granularity::PerGpu);
+        let profile =
+            profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
+        (graph, devices, profile)
+    }
+
+    #[test]
+    fn sharded_compute_scales_with_ratio() {
+        let (graph, devices, profile) = setup();
+        let ratios = vec![vec![0.4, 0.4, 0.1, 0.1]];
+        let cm = CostModel::new(&graph, &devices, &profile, &ratios);
+        let rule =
+            Rule::new(vec![Placement::Shard(0), Placement::Replicated], Placement::Shard(0));
+        let secs = cm.compute_seconds(2, &rule);
+        // Device 0 (A100, ratio 0.4) does 4x the flops of device 2 (P100, 0.1)
+        // at ~2.6x the speed: it must take longer.
+        assert!(secs[0] > secs[2]);
+    }
+
+    #[test]
+    fn replicated_compute_ignores_ratios() {
+        let (graph, devices, profile) = setup();
+        let ratios = vec![vec![0.7, 0.1, 0.1, 0.1]];
+        let cm = CostModel::new(&graph, &devices, &profile, &ratios);
+        let rule = Rule::new(
+            vec![Placement::Replicated, Placement::Replicated],
+            Placement::Replicated,
+        );
+        let secs = cm.compute_seconds(2, &rule);
+        assert!((secs[0] - secs[1]).abs() < 1e-15, "same device type, same time");
+        assert!(secs[2] > secs[0], "P100 slower than A100 on the full op");
+    }
+
+    #[test]
+    fn skewed_ratios_make_grouped_broadcast_win() {
+        let (graph, devices, profile) = setup();
+        let even = vec![vec![0.25; 4]];
+        let skewed = vec![vec![0.94, 0.02, 0.02, 0.02]];
+        let cm_even = CostModel::new(&graph, &devices, &profile, &even);
+        let cm_skew = CostModel::new(&graph, &devices, &profile, &skewed);
+        let padded = CollectiveInstr::AllGather { dim: 0, grouped: false };
+        let grouped = CollectiveInstr::AllGather { dim: 0, grouped: true };
+        assert!(cm_even.collective_seconds(2, &padded) < cm_even.collective_seconds(2, &grouped));
+        assert!(cm_skew.collective_seconds(2, &grouped) < cm_skew.collective_seconds(2, &padded));
+    }
+
+    #[test]
+    fn best_case_uses_aggregate_flops() {
+        let (graph, devices, profile) = setup();
+        let ratios = vec![vec![0.25; 4]];
+        let cm = CostModel::new(&graph, &devices, &profile, &ratios);
+        let total: f64 = devices.iter().map(|d| d.flops).sum();
+        assert!((cm.best_case_seconds(total) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,271 @@
+//! The distributed instruction set and programs (paper Sec. 4.1, Fig. 8).
+
+use std::fmt;
+
+use hap_graph::{Graph, NodeId, Placement, Role, Rule};
+
+/// A collective communication instruction on a distributed tensor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CollectiveInstr {
+    /// Sums partial replicas: `e | All-Reduce  ->  e | Identity`.
+    AllReduce,
+    /// Concatenates shards: `e | All-Gather(d)  ->  e | Identity`.
+    ///
+    /// `grouped` selects the grouped-Broadcast implementation for uneven
+    /// shards (paper Sec. 2.5.1); `false` is the NCCL-style padded one.
+    AllGather {
+        /// Sharding dimension being gathered.
+        dim: usize,
+        /// Use grouped Broadcast instead of padded All-Gather.
+        grouped: bool,
+    },
+    /// Sums partial replicas and shards the result:
+    /// `e | All-Reduce  ->  e | All-Gather(d)`.
+    ReduceScatter {
+        /// Output sharding dimension.
+        dim: usize,
+    },
+    /// Re-shards: `e | All-Gather(d1)  ->  e | All-Gather(d2)`.
+    AllToAll {
+        /// Current sharding dimension.
+        from: usize,
+        /// Target sharding dimension.
+        to: usize,
+    },
+}
+
+impl CollectiveInstr {
+    /// The placement this collective consumes.
+    pub fn input_placement(&self) -> Placement {
+        match self {
+            CollectiveInstr::AllReduce | CollectiveInstr::ReduceScatter { .. } => {
+                Placement::PartialSum
+            }
+            CollectiveInstr::AllGather { dim, .. } => Placement::Shard(*dim),
+            CollectiveInstr::AllToAll { from, .. } => Placement::Shard(*from),
+        }
+    }
+
+    /// The placement this collective produces.
+    pub fn output_placement(&self) -> Placement {
+        match self {
+            CollectiveInstr::AllReduce | CollectiveInstr::AllGather { .. } => {
+                Placement::Replicated
+            }
+            CollectiveInstr::ReduceScatter { dim } => Placement::Shard(*dim),
+            CollectiveInstr::AllToAll { to, .. } => Placement::Shard(*to),
+        }
+    }
+}
+
+impl fmt::Display for CollectiveInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveInstr::AllReduce => write!(f, "all-reduce"),
+            CollectiveInstr::AllGather { dim, grouped: false } => {
+                write!(f, "all-gather({dim})")
+            }
+            CollectiveInstr::AllGather { dim, grouped: true } => {
+                write!(f, "grouped-broadcast({dim})")
+            }
+            CollectiveInstr::ReduceScatter { dim } => write!(f, "reduce-scatter({dim})"),
+            CollectiveInstr::AllToAll { from, to } => write!(f, "all-to-all({from},{to})"),
+        }
+    }
+}
+
+/// One instruction of a distributed program.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DistInstr {
+    /// Materializes a leaf tensor (`Placeholder`, `Parameter`, `Label`,
+    /// `Ones`) replicated or directly sharded — the specialized
+    /// `Placeholder-Shard` / `Parameter-Shard` instructions of Sec. 4.1.
+    Leaf {
+        /// The graph leaf being materialized.
+        node: NodeId,
+        /// Replicated or `Shard(d)`.
+        placement: Placement,
+    },
+    /// Executes a compute op on all devices under one of its rules.
+    Compute {
+        /// The graph node whose op runs.
+        node: NodeId,
+        /// The placement rule it runs under.
+        rule: Rule,
+    },
+    /// Communicates the distributed tensor of a reference node.
+    Collective {
+        /// The reference tensor.
+        node: NodeId,
+        /// Which collective.
+        kind: CollectiveInstr,
+    },
+}
+
+impl DistInstr {
+    /// The reference node this instruction produces or communicates.
+    pub fn node(&self) -> NodeId {
+        match self {
+            DistInstr::Leaf { node, .. }
+            | DistInstr::Compute { node, .. }
+            | DistInstr::Collective { node, .. } => *node,
+        }
+    }
+
+    /// True for collectives (stage boundaries, paper Fig. 6).
+    pub fn is_collective(&self) -> bool {
+        matches!(self, DistInstr::Collective { .. })
+    }
+}
+
+/// A synthesized SPMD program: the same instruction sequence runs on every
+/// device (paper Fig. 7).
+#[derive(Clone, Debug, Default)]
+pub struct DistProgram {
+    /// Instructions in execution order.
+    pub instrs: Vec<DistInstr>,
+    /// The synthesizer's estimated per-iteration time in seconds.
+    pub estimated_time: f64,
+}
+
+/// One synchronization stage: a leading collective (absent for the first
+/// stage) followed by computation (paper Fig. 6).
+#[derive(Clone, Debug)]
+pub struct Stage<'p> {
+    /// The collective that opens the stage, if any.
+    pub collective: Option<&'p DistInstr>,
+    /// Compute/leaf instructions in the stage.
+    pub computes: Vec<&'p DistInstr>,
+}
+
+impl DistProgram {
+    /// Splits the program into synchronization stages.
+    pub fn stages(&self) -> Vec<Stage<'_>> {
+        let mut stages = vec![Stage { collective: None, computes: Vec::new() }];
+        for instr in &self.instrs {
+            if instr.is_collective() {
+                stages.push(Stage { collective: Some(instr), computes: Vec::new() });
+            } else {
+                stages.last_mut().expect("at least one stage").computes.push(instr);
+            }
+        }
+        stages
+    }
+
+    /// Number of collective instructions.
+    pub fn collective_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_collective()).count()
+    }
+
+    /// True when every required output of the graph is produced by some
+    /// instruction (the semantic-constraint check; see paper Sec. 4.2).
+    pub fn is_complete(&self, graph: &Graph) -> bool {
+        graph.required_outputs().iter().all(|&o| {
+            self.instrs.iter().any(|i| match i {
+                DistInstr::Compute { node, .. } => *node == o,
+                _ => false,
+            })
+        })
+    }
+
+    /// Renders the program like the listings in paper Fig. 11.
+    pub fn listing(&self, graph: &Graph) -> String {
+        let mut out = String::new();
+        for instr in &self.instrs {
+            let line = match instr {
+                DistInstr::Leaf { node, placement } => {
+                    let n = graph.node(*node);
+                    let base = match n.role {
+                        Role::Input => "placeholder",
+                        Role::Label => "label",
+                        Role::Param => "parameter",
+                        _ => "ones",
+                    };
+                    match placement {
+                        Placement::Shard(d) => format!("{} = {base}-shard({d})", n.name),
+                        _ => format!("{} = {base}()", n.name),
+                    }
+                }
+                DistInstr::Compute { node, rule } => {
+                    let n = graph.node(*node);
+                    format!("{} = {}()  # out: {}", n.name, n.op.name(), rule.output)
+                }
+                DistInstr::Collective { node, kind } => {
+                    let n = graph.node(*node);
+                    format!("{} = {kind}({})", n.name, n.name)
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::GraphBuilder;
+
+    fn fig11_program() -> (Graph, DistProgram) {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("e1", vec![8, 4]);
+        let w = g.parameter("e2", vec![4, 2]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_forward();
+        let prog = DistProgram {
+            instrs: vec![
+                DistInstr::Leaf { node: x, placement: Placement::Shard(0) },
+                DistInstr::Leaf { node: w, placement: Placement::Replicated },
+                DistInstr::Compute {
+                    node: y,
+                    rule: Rule::new(
+                        vec![Placement::Shard(0), Placement::Replicated],
+                        Placement::Shard(0),
+                    ),
+                },
+                DistInstr::Collective {
+                    node: y,
+                    kind: CollectiveInstr::AllGather { dim: 0, grouped: false },
+                },
+                DistInstr::Compute {
+                    node: l,
+                    rule: Rule::new(vec![Placement::Replicated], Placement::Replicated),
+                },
+            ],
+            estimated_time: 0.0,
+        };
+        (graph, prog)
+    }
+
+    #[test]
+    fn stages_split_on_collectives() {
+        let (_, prog) = fig11_program();
+        let stages = prog.stages();
+        assert_eq!(stages.len(), 2);
+        assert!(stages[0].collective.is_none());
+        assert_eq!(stages[0].computes.len(), 3);
+        assert!(stages[1].collective.is_some());
+        assert_eq!(stages[1].computes.len(), 1);
+    }
+
+    #[test]
+    fn collective_placements() {
+        let c = CollectiveInstr::ReduceScatter { dim: 1 };
+        assert_eq!(c.input_placement(), Placement::PartialSum);
+        assert_eq!(c.output_placement(), Placement::Shard(1));
+        let a = CollectiveInstr::AllToAll { from: 0, to: 2 };
+        assert_eq!(a.input_placement(), Placement::Shard(0));
+        assert_eq!(a.output_placement(), Placement::Shard(2));
+    }
+
+    #[test]
+    fn listing_mentions_shard_instructions() {
+        let (graph, prog) = fig11_program();
+        let listing = prog.listing(&graph);
+        assert!(listing.contains("placeholder-shard(0)"));
+        assert!(listing.contains("parameter()"));
+        assert!(listing.contains("all-gather(0)"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Tensor properties and canonical property sets (paper Sec. 4.2).
+
+use hap_graph::{NodeId, Placement};
+
+/// A property `e | I` of a distributed tensor: executing instruction `I`
+/// (identity / all-gather(d) / all-reduce) on the distributed tensor of
+/// reference node `e` recovers `e` on every device.
+pub type Prop = (NodeId, Placement);
+
+/// A canonical (sorted, deduplicated) set of properties plus the set of
+/// already-communicated reference tensors (the `Communicated` markers of
+/// paper Sec. 4.5, optimization 2).
+///
+/// Equality/hashing of `PropSet`s is exactly program-state identity for the
+/// A\* dominance pruning.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PropSet {
+    props: Vec<Prop>,
+    communicated: Vec<NodeId>,
+}
+
+impl PropSet {
+    /// The empty property set.
+    pub fn new() -> Self {
+        PropSet::default()
+    }
+
+    /// The properties, sorted.
+    pub fn props(&self) -> &[Prop] {
+        &self.props
+    }
+
+    /// Nodes already communicated, sorted.
+    pub fn communicated(&self) -> &[NodeId] {
+        &self.communicated
+    }
+
+    /// True if the set contains `p`.
+    pub fn contains(&self, p: &Prop) -> bool {
+        self.props.binary_search(p).is_ok()
+    }
+
+    /// True if every property in `pre` is present.
+    pub fn contains_all(&self, pre: &[Prop]) -> bool {
+        pre.iter().all(|p| self.contains(p))
+    }
+
+    /// True if any property of node `e` is present (the node is "produced").
+    pub fn has_node(&self, e: NodeId) -> bool {
+        let idx = self.props.partition_point(|&(n, _)| n < e);
+        self.props.get(idx).is_some_and(|&(n, _)| n == e)
+    }
+
+    /// True if node `e` has already been communicated.
+    pub fn is_communicated(&self, e: NodeId) -> bool {
+        self.communicated.binary_search(&e).is_ok()
+    }
+
+    /// Inserts a property; returns false if it was already present.
+    pub fn insert(&mut self, p: Prop) -> bool {
+        match self.props.binary_search(&p) {
+            Ok(_) => false,
+            Err(idx) => {
+                self.props.insert(idx, p);
+                true
+            }
+        }
+    }
+
+    /// Marks a node as communicated.
+    pub fn mark_communicated(&mut self, e: NodeId) {
+        if let Err(idx) = self.communicated.binary_search(&e) {
+            self.communicated.insert(idx, e);
+        }
+    }
+
+    /// Removes properties not satisfying `keep`, along with communicated
+    /// markers of nodes that no longer carry any property.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Prop) -> bool) {
+        self.props.retain(|p| keep(p));
+        let props = &self.props;
+        self.communicated.retain(|&e| {
+            props.iter().any(|&(n, _)| n == e)
+        });
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// True when no properties are present.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut s = PropSet::new();
+        assert!(s.insert((3, Placement::Shard(0))));
+        assert!(s.insert((1, Placement::Replicated)));
+        assert!(!s.insert((3, Placement::Shard(0))));
+        assert!(s.contains(&(1, Placement::Replicated)));
+        assert!(s.contains_all(&[(1, Placement::Replicated), (3, Placement::Shard(0))]));
+        assert!(!s.contains(&(3, Placement::Shard(1))));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn has_node_any_placement() {
+        let mut s = PropSet::new();
+        s.insert((5, Placement::PartialSum));
+        assert!(s.has_node(5));
+        assert!(!s.has_node(4));
+        s.insert((4, Placement::Shard(1)));
+        assert!(s.has_node(4));
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let mut a = PropSet::new();
+        a.insert((2, Placement::Shard(1)));
+        a.insert((1, Placement::Replicated));
+        let mut b = PropSet::new();
+        b.insert((1, Placement::Replicated));
+        b.insert((2, Placement::Shard(1)));
+        assert_eq!(a, b);
+        b.mark_communicated(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn retain_cleans_communicated() {
+        let mut s = PropSet::new();
+        s.insert((7, Placement::Shard(0)));
+        s.insert((8, Placement::Replicated));
+        s.mark_communicated(7);
+        assert!(s.is_communicated(7));
+        s.retain(|&(n, _)| n != 7);
+        assert!(!s.is_communicated(7));
+        assert!(s.has_node(8));
+    }
+}

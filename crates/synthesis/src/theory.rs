@@ -1,0 +1,340 @@
+//! Background theory construction (paper Sec. 4.2).
+//!
+//! The theory `T` is a set of Hoare triples `{pre} instr {post}` obtained by
+//! matching per-op placement rules against the single-device graph, plus the
+//! collective triples of Fig. 9 and the grouped-Broadcast rule of Sec. 4.4.
+//!
+//! Two of the paper's search-time optimizations (Sec. 4.5) are realized at
+//! theory-construction time:
+//!
+//! * **Fusion of empty-precondition triples**: leaf instructions
+//!   (`Placeholder-Shard`, `Parameter-Shard`, ...) never exist standalone;
+//!   they are inlined into each consuming compute triple, so they always
+//!   appear directly before their first consumer.
+//! * **Single communication per tensor**: leaves get no communication
+//!   triples at all (they can be materialized in any placement directly),
+//!   and each comm triple carries its reference node so the search can
+//!   enforce the at-most-once rule via `Communicated` markers.
+
+use std::collections::HashMap;
+
+use hap_graph::{Graph, NodeId, Placement, Role};
+
+use crate::instr::{CollectiveInstr, DistInstr};
+use crate::property::Prop;
+
+/// A Hoare triple of the background theory.
+#[derive(Clone, Debug)]
+pub struct Triple {
+    /// Properties required before the instructions can run.
+    pub pre: Vec<Prop>,
+    /// Instructions appended when the triple fires (leaf materializations
+    /// fused in front of their consumer).
+    pub instrs: Vec<DistInstr>,
+    /// Properties established afterwards.
+    pub post: Vec<Prop>,
+    /// `Some(e)` when this triple communicates reference tensor `e`
+    /// (enforces the at-most-one-communication rule).
+    pub comm_node: Option<NodeId>,
+    /// The graph node this triple primarily produces (the compute output,
+    /// or the communicated tensor).
+    pub output: NodeId,
+}
+
+/// The background theory for one graph.
+#[derive(Debug)]
+pub struct Theory {
+    /// All triples.
+    pub triples: Vec<Triple>,
+    /// Index: property -> compute-triple indices with it in `pre`.
+    pre_index: HashMap<Prop, Vec<usize>>,
+    /// Consumers of each node.
+    pub consumers: Vec<Vec<NodeId>>,
+    /// Required-output nodes (loss + updated parameters).
+    pub required: Vec<NodeId>,
+    /// Live nodes: those from which a required output is reachable. Dead
+    /// nodes (e.g. input gradients nothing consumes) are excluded from the
+    /// admissible remaining-work bound and never count as search progress.
+    pub live: Vec<bool>,
+}
+
+/// Options controlling which optional rules enter the theory (used by the
+/// Fig. 15 ablation).
+#[derive(Clone, Copy, Debug)]
+pub struct TheoryOptions {
+    /// Include the grouped-Broadcast implementation of All-Gather.
+    pub grouped_broadcast: bool,
+    /// Include fully-replicated compute rules for gradient nodes (the rules
+    /// that enable sufficient factor broadcasting, Sec. 2.5.2/4.4).
+    pub sfb: bool,
+}
+
+impl Default for TheoryOptions {
+    fn default() -> Self {
+        TheoryOptions { grouped_broadcast: true, sfb: true }
+    }
+}
+
+impl Theory {
+    /// Builds the background theory for `graph` with default options.
+    pub fn build(graph: &Graph) -> Self {
+        Theory::build_with(graph, TheoryOptions::default())
+    }
+
+    /// Builds the background theory with explicit options.
+    pub fn build_with(graph: &Graph, opts: TheoryOptions) -> Self {
+        let mut triples = Vec::new();
+        let consumers = graph.consumers();
+
+        // Demanded placements per tensor: the placements that appear for it
+        // in some consumer rule's precondition. Because each reference
+        // tensor may be communicated at most once (Sec. 4.5, optimization
+        // 2), a collective's output placement must directly satisfy a
+        // consumer rule — so communication triples targeting undemanded
+        // placements can be dropped without losing any complete program.
+        let mut demanded: Vec<Vec<Placement>> = vec![Vec::new(); graph.len()];
+        for node in graph.nodes() {
+            if node.op.is_leaf() {
+                continue;
+            }
+            for rule in graph.placement_rules(node.id) {
+                for (&input, &placement) in node.inputs.iter().zip(rule.inputs.iter()) {
+                    if !demanded[input].contains(&placement) {
+                        demanded[input].push(placement);
+                    }
+                }
+            }
+        }
+
+        for node in graph.nodes() {
+            if node.op.is_leaf() {
+                continue;
+            }
+            // Compute triples, one per applicable rule, with leaf inputs fused.
+            'rules: for rule in graph.placement_rules(node.id) {
+                if !opts.sfb
+                    && node.role == Role::Grad
+                    && rule.inputs.iter().all(|p| p.is_replicated())
+                    && rule.output.is_replicated()
+                    && node.inputs.iter().any(|&i| !graph.node(i).op.is_leaf())
+                {
+                    continue;
+                }
+                let mut pre: Vec<Prop> = Vec::new();
+                let mut post: Vec<Prop> = Vec::new();
+                let mut instrs: Vec<DistInstr> = Vec::new();
+                for (&input, &placement) in node.inputs.iter().zip(rule.inputs.iter()) {
+                    if graph.node(input).op.is_leaf() {
+                        match placement {
+                            Placement::PartialSum => continue 'rules, // unsatisfiable
+                            p => {
+                                let instr = DistInstr::Leaf { node: input, placement: p };
+                                if !instrs.contains(&instr) {
+                                    instrs.push(instr);
+                                }
+                                post.push((input, p));
+                            }
+                        }
+                    } else {
+                        pre.push((input, placement));
+                    }
+                }
+                pre.sort_unstable();
+                pre.dedup();
+                post.push((node.id, rule.output));
+                post.sort_unstable();
+                post.dedup();
+                instrs.push(DistInstr::Compute { node: node.id, rule: rule.clone() });
+                triples.push(Triple { pre, instrs, post, comm_node: None, output: node.id });
+            }
+
+            // Communication triples (never for leaves: optimization 2),
+            // restricted to placements some consumer actually demands.
+            let dims = node.shape.dims();
+            let shardable: Vec<usize> =
+                (0..dims.len()).filter(|&d| dims[d] >= 2).collect();
+            let want = &demanded[node.id];
+            let wants = |p: Placement| want.contains(&p);
+            let mut comm = |kind: CollectiveInstr| {
+                let pre = vec![(node.id, kind.input_placement())];
+                let post = vec![(node.id, kind.output_placement())];
+                triples.push(Triple {
+                    pre,
+                    instrs: vec![DistInstr::Collective { node: node.id, kind }],
+                    post,
+                    comm_node: Some(node.id),
+                    output: node.id,
+                });
+            };
+            if wants(Placement::Replicated) {
+                comm(CollectiveInstr::AllReduce);
+            }
+            for &d in &shardable {
+                if wants(Placement::Shard(d)) {
+                    comm(CollectiveInstr::ReduceScatter { dim: d });
+                    for &d2 in &shardable {
+                        if d2 != d {
+                            comm(CollectiveInstr::AllToAll { from: d2, to: d });
+                        }
+                    }
+                }
+                if wants(Placement::Replicated) {
+                    comm(CollectiveInstr::AllGather { dim: d, grouped: false });
+                    if opts.grouped_broadcast {
+                        comm(CollectiveInstr::AllGather { dim: d, grouped: true });
+                    }
+                }
+            }
+        }
+
+        let mut pre_index: HashMap<Prop, Vec<usize>> = HashMap::new();
+        for (i, t) in triples.iter().enumerate() {
+            if t.comm_node.is_none() {
+                for &p in &t.pre {
+                    pre_index.entry(p).or_default().push(i);
+                }
+            }
+        }
+
+        let required = graph.required_outputs();
+        let mut live = vec![false; graph.len()];
+        for &r in &required {
+            live[r] = true;
+        }
+        for id in (0..graph.len()).rev() {
+            if live[id] {
+                for &input in &graph.node(id).inputs {
+                    live[input] = true;
+                }
+            }
+        }
+
+        Theory { triples, pre_index, consumers, required, live }
+    }
+
+    /// Compute triples that need property `p` in their precondition.
+    pub fn consumers_of_prop(&self, p: &Prop) -> &[usize] {
+        self.pre_index.get(p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of triples (reported by the Fig. 19 overhead experiment).
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when the theory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_graph::GraphBuilder;
+
+    fn fig11_graph() -> Graph {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("e1", vec![8, 4]);
+        let w = g.parameter("e2", vec![4, 2]);
+        let y = g.matmul(x, w);
+        let _l = g.sum_all(y);
+        g.build_forward()
+    }
+
+    #[test]
+    fn leaf_instructions_are_fused() {
+        let t = Theory::build(&fig11_graph());
+        // No triple should have an empty instruction list, and matmul triples
+        // must carry their leaf materializations inline.
+        let matmul_triples: Vec<&Triple> = t
+            .triples
+            .iter()
+            .filter(|tr| {
+                tr.instrs.iter().any(|i| matches!(i, DistInstr::Compute { node: 2, .. }))
+            })
+            .collect();
+        assert!(!matmul_triples.is_empty());
+        for tr in &matmul_triples {
+            assert!(tr.pre.is_empty(), "both inputs are leaves; pre must be empty");
+            assert!(tr.instrs.len() >= 2, "leaf instrs must be fused in");
+        }
+    }
+
+    #[test]
+    fn no_communication_triples_for_leaves() {
+        let t = Theory::build(&fig11_graph());
+        for tr in &t.triples {
+            if let Some(e) = tr.comm_node {
+                assert!(e >= 2, "leaves must not be communicated, got node {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_broadcast_toggle() {
+        let g = fig11_graph();
+        let with = Theory::build_with(&g, TheoryOptions::default());
+        let without =
+            Theory::build_with(&g, TheoryOptions { grouped_broadcast: false, sfb: true });
+        let count = |t: &Theory| {
+            t.triples
+                .iter()
+                .filter(|tr| {
+                    tr.instrs.iter().any(|i| {
+                        matches!(
+                            i,
+                            DistInstr::Collective {
+                                kind: CollectiveInstr::AllGather { grouped: true, .. },
+                                ..
+                            }
+                        )
+                    })
+                })
+                .count()
+        };
+        assert!(count(&with) > 0);
+        assert_eq!(count(&without), 0);
+    }
+
+    #[test]
+    fn undemanded_tensors_get_no_communication_triples() {
+        // The loss has no consumers, so no placement of it is demanded and
+        // no communication triple is generated (with at most one collective
+        // per tensor, a collective no consumer rule can use is dead code).
+        let g = fig11_graph();
+        let t = Theory::build(&g);
+        let loss = g.loss().unwrap();
+        let loss_comms: Vec<&Triple> =
+            t.triples.iter().filter(|tr| tr.comm_node == Some(loss)).collect();
+        assert!(loss_comms.is_empty());
+        // The matmul output feeds `sum`, which demands every placement that
+        // its rules mention, so it does get communication triples.
+        let y_comms = t.triples.iter().filter(|tr| tr.comm_node == Some(2)).count();
+        assert!(y_comms > 0);
+    }
+
+    #[test]
+    fn required_outputs_cover_loss_and_updates() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![8, 4]);
+        let w = g.parameter("w", vec![4, 2]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_training(l).unwrap();
+        let t = Theory::build(&graph);
+        assert_eq!(t.required.len(), 2); // loss + update_w
+    }
+
+    #[test]
+    fn pre_index_finds_consumers() {
+        let g = fig11_graph();
+        let t = Theory::build(&g);
+        // The matmul output (node 2) sharded on dim 0 is consumed by sum.
+        let hits = t.consumers_of_prop(&(2, Placement::Shard(0)));
+        assert!(!hits.is_empty());
+        for &i in hits {
+            assert_eq!(t.triples[i].output, 3);
+        }
+    }
+}

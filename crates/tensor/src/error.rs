@@ -1,0 +1,83 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the dimensions.
+    DataLength {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that were required to match do not.
+    ShapeMismatch {
+        /// Left-hand shape rendered as `[d0, d1, ...]`.
+        lhs: String,
+        /// Right-hand shape rendered as `[d0, d1, ...]`.
+        rhs: String,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// A slice range fell outside the dimension extent.
+    RangeOutOfBounds {
+        /// Requested start offset.
+        start: usize,
+        /// Requested length.
+        len: usize,
+        /// Extent of the sliced dimension.
+        dim: usize,
+    },
+    /// The operation requires a specific rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// Split sizes do not add up to the dimension extent.
+    BadSplit {
+        /// Sum of requested split sizes.
+        total: usize,
+        /// Extent of the split dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLength { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::RangeOutOfBounds { start, len, dim } => {
+                write!(f, "range {start}..{} out of bounds for dimension {dim}", start + len)
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "{op} requires rank {expected}, got {actual}")
+            }
+            TensorError::BadSplit { total, dim } => {
+                write!(f, "split sizes sum to {total}, dimension is {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,38 @@
+//! Dense f32 N-D tensor substrate for HAP's functional executor.
+//!
+//! The HAP paper (EuroSys'24) verifies that a synthesized distributed program
+//! is semantically equivalent to the given single-device program. This crate
+//! provides the minimal tensor algebra needed to *actually execute* both
+//! programs on the CPU and compare their results: shaped dense storage,
+//! (batched/transposed) matrix multiplication, elementwise maps, reductions,
+//! and the split/concatenate/pad family used by the simulated collectives.
+//!
+//! The implementation favours clarity over raw speed: functional equivalence
+//! checks run on deliberately small shapes, while performance questions are
+//! answered by the analytic cost models in `hap-collectives`/`hap-balancer`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hap_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert!(c.allclose(&a, 1e-6));
+//! ```
+
+mod error;
+mod ops;
+mod random;
+mod shape;
+mod slicing;
+mod tensor;
+
+pub use error::TensorError;
+pub use random::rng_for;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,432 @@
+//! Tensor algebra: elementwise maps, matrix products, reductions.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl Tensor {
+    /// Applies a unary function to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(self.shape().dims().to_vec(), data)
+            .expect("map preserves element count")
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", self.shape()),
+                rhs: format!("{}", other.shape()),
+                op: "zip",
+            });
+        }
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor::from_vec(self.shape().dims().to_vec(), data)
+            .expect("zip preserves element count"))
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh_elem(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise GELU (tanh approximation, as used by BERT/ViT).
+    pub fn gelu(&self) -> Tensor {
+        self.map(|x| {
+            0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh())
+        })
+    }
+
+    /// Adds a row vector `bias` (shape `[cols]`) to every row of a matrix-like
+    /// tensor whose last dimension equals `cols`.
+    pub fn add_bias(&self, bias: &Tensor) -> Result<Tensor> {
+        if bias.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: bias.rank(),
+                op: "add_bias",
+            });
+        }
+        let cols = bias.numel();
+        let last = *self.shape().dims().last().ok_or(TensorError::RankMismatch {
+            expected: 1,
+            actual: 0,
+            op: "add_bias",
+        })?;
+        if last != cols {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", self.shape()),
+                rhs: format!("{}", bias.shape()),
+                op: "add_bias",
+            });
+        }
+        let data = self
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + bias.data()[i % cols])
+            .collect();
+        Tensor::from_vec(self.shape().dims().to_vec(), data)
+    }
+
+    /// 2-D matrix product with optional transposes: `op(A) · op(B)`.
+    ///
+    /// `A` must be `[m, k]` (or `[k, m]` when `ta`), `B` must be `[k, n]`
+    /// (or `[n, k]` when `tb`).
+    pub fn matmul_t(&self, other: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank().max(other.rank()),
+                op: "matmul",
+            });
+        }
+        let (ad0, ad1) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let (bd0, bd1) = (other.shape().dims()[0], other.shape().dims()[1]);
+        let (m, ka) = if ta { (ad1, ad0) } else { (ad0, ad1) };
+        let (kb, n) = if tb { (bd1, bd0) } else { (bd0, bd1) };
+        if ka != kb {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", self.shape()),
+                rhs: format!("{}", other.shape()),
+                op: "matmul",
+            });
+        }
+        let k = ka;
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = other.data();
+        for i in 0..m {
+            for p in 0..k {
+                let av = if ta { a[p * m + i] } else { a[i * k + p] };
+                if av == 0.0 {
+                    continue;
+                }
+                let row = &mut out[i * n..(i + 1) * n];
+                if tb {
+                    for (j, o) in row.iter_mut().enumerate() {
+                        *o += av * b[j * k + p];
+                    }
+                } else {
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in row.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Plain 2-D matrix product `A · B`.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        self.matmul_t(other, false, false)
+    }
+
+    /// Batched matrix product over the leading dimension.
+    ///
+    /// `A` is `[b, m, k]`, `B` is `[b, k, n]` (transpose flags apply to the
+    /// trailing two dimensions); the result is `[b, m, n]`.
+    pub fn bmm_t(&self, other: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
+        if self.rank() != 3 || other.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: self.rank().max(other.rank()),
+                op: "bmm",
+            });
+        }
+        let ab = self.shape().dims()[0];
+        let bb = other.shape().dims()[0];
+        if ab != bb {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", self.shape()),
+                rhs: format!("{}", other.shape()),
+                op: "bmm",
+            });
+        }
+        let asz = self.numel() / ab;
+        let bsz = other.numel() / ab;
+        let adims = vec![self.shape().dims()[1], self.shape().dims()[2]];
+        let bdims = vec![other.shape().dims()[1], other.shape().dims()[2]];
+        let mut slices = Vec::with_capacity(ab);
+        for i in 0..ab {
+            let a2 = Tensor::from_vec(adims.clone(), self.data()[i * asz..(i + 1) * asz].to_vec())?;
+            let b2 =
+                Tensor::from_vec(bdims.clone(), other.data()[i * bsz..(i + 1) * bsz].to_vec())?;
+            slices.push(a2.matmul_t(&b2, ta, tb)?);
+        }
+        let (m, n) = (slices[0].shape().dims()[0], slices[0].shape().dims()[1]);
+        let mut data = Vec::with_capacity(ab * m * n);
+        for s in &slices {
+            data.extend_from_slice(s.data());
+        }
+        Tensor::from_vec(vec![ab, m, n], data)
+    }
+
+    /// Sum of all elements as a scalar tensor.
+    pub fn sum_all(&self) -> Tensor {
+        Tensor::scalar(self.data().iter().sum())
+    }
+
+    /// Mean of all elements as a scalar tensor.
+    pub fn mean_all(&self) -> Tensor {
+        Tensor::scalar(self.data().iter().sum::<f32>() / self.numel() as f32)
+    }
+
+    /// Sums over `axis`, removing that dimension.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        let rank = self.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let dims = self.shape().dims();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out = vec![0.0f32; outer * inner];
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for i in 0..inner {
+                    out[o * inner + i] += self.data()[base + i];
+                }
+            }
+        }
+        let mut newdims: Vec<usize> = dims[..axis].to_vec();
+        newdims.extend_from_slice(&dims[axis + 1..]);
+        Tensor::from_vec(newdims, out)
+    }
+
+    /// Softmax along the last dimension.
+    pub fn softmax_last(&self) -> Result<Tensor> {
+        let rank = self.rank();
+        if rank == 0 {
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0, op: "softmax" });
+        }
+        let cols = self.shape().dims()[rank - 1];
+        let rows = self.numel() / cols;
+        let mut out = vec![0.0f32; self.numel()];
+        for r in 0..rows {
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (j, &x) in row.iter().enumerate() {
+                let e = (x - max).exp();
+                out[r * cols + j] = e;
+                denom += e;
+            }
+            for v in &mut out[r * cols..(r + 1) * cols] {
+                *v /= denom;
+            }
+        }
+        Tensor::from_vec(self.shape().dims().to_vec(), out)
+    }
+
+    /// Layer normalization over the last dimension (no affine parameters).
+    pub fn layer_norm_last(&self, eps: f32) -> Result<Tensor> {
+        let rank = self.rank();
+        if rank == 0 {
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0, op: "layer_norm" });
+        }
+        let cols = self.shape().dims()[rank - 1];
+        let rows = self.numel() / cols;
+        let mut out = vec![0.0f32; self.numel()];
+        for r in 0..rows {
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (j, &x) in row.iter().enumerate() {
+                out[r * cols + j] = (x - mean) * inv;
+            }
+        }
+        Tensor::from_vec(self.shape().dims().to_vec(), out)
+    }
+
+    /// Transposes a 2-D tensor.
+    pub fn transpose2(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose2",
+            });
+        }
+        let (r, c) = (self.shape().dims()[0], self.shape().dims()[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data()[i * c + j];
+            }
+        }
+        Tensor::from_vec(vec![c, r], out)
+    }
+
+    /// Permutes dimensions according to `perm` (a permutation of `0..rank`).
+    pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
+        let rank = self.rank();
+        if perm.len() != rank {
+            return Err(TensorError::RankMismatch {
+                expected: rank,
+                actual: perm.len(),
+                op: "permute",
+            });
+        }
+        let mut seen = vec![false; rank];
+        for &p in perm {
+            if p >= rank || seen[p] {
+                return Err(TensorError::AxisOutOfRange { axis: p, rank });
+            }
+            seen[p] = true;
+        }
+        let old_dims = self.shape().dims();
+        let new_dims: Vec<usize> = perm.iter().map(|&p| old_dims[p]).collect();
+        let new_shape = Shape::new(new_dims.clone());
+        let old_strides = self.shape().strides();
+        let mut out = vec![0.0f32; self.numel()];
+        let mut index = vec![0usize; rank];
+        for (flat, o) in out.iter_mut().enumerate() {
+            // Decompose `flat` into the new multi-index.
+            let mut rem = flat;
+            let new_strides = new_shape.strides();
+            for (d, &st) in new_strides.iter().enumerate() {
+                index[d] = rem / st;
+                rem %= st;
+            }
+            let mut old_off = 0;
+            for (d, &p) in perm.iter().enumerate() {
+                old_off += index[d] * old_strides[p];
+            }
+            *o = self.data()[old_off];
+        }
+        Tensor::from_vec(new_dims, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transposes_agree() {
+        let a = Tensor::randn(vec![3, 4], 1);
+        let b = Tensor::randn(vec![4, 5], 2);
+        let c = a.matmul(&b).unwrap();
+        let c_ta = a.transpose2().unwrap().matmul_t(&b, true, false).unwrap();
+        let c_tb = a.matmul_t(&b.transpose2().unwrap(), false, true).unwrap();
+        assert!(c.allclose(&c_ta, 1e-5));
+        assert!(c.allclose(&c_tb, 1e-5));
+    }
+
+    #[test]
+    fn bmm_matches_per_slice_matmul() {
+        let a = Tensor::randn(vec![2, 3, 4], 3);
+        let b = Tensor::randn(vec![2, 4, 5], 4);
+        let c = a.bmm_t(&b, false, false).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 3, 5]);
+        // Check slice 1 by hand.
+        let a1 = Tensor::from_vec(vec![3, 4], a.data()[12..24].to_vec()).unwrap();
+        let b1 = Tensor::from_vec(vec![4, 5], b.data()[20..40].to_vec()).unwrap();
+        let c1 = a1.matmul(&b1).unwrap();
+        assert_eq!(&c.data()[15..30], c1.data());
+    }
+
+    #[test]
+    fn sum_axis_known() {
+        let t = Tensor::arange(vec![2, 3]);
+        assert_eq!(t.sum_axis(0).unwrap().data(), &[3., 5., 7.]);
+        assert_eq!(t.sum_axis(1).unwrap().data(), &[3., 12.]);
+        assert!(t.sum_axis(2).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::randn(vec![4, 8], 5);
+        let s = t.softmax_last().unwrap();
+        for r in 0..4 {
+            let sum: f32 = s.data()[r * 8..(r + 1) * 8].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let t = Tensor::randn(vec![3, 16], 6);
+        let n = t.layer_norm_last(1e-5).unwrap();
+        for r in 0..3 {
+            let row = &n.data()[r * 16..(r + 1) * 16];
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let t = Tensor::arange(vec![2, 3, 4]);
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.shape().dims(), &[4, 2, 3]);
+        let back = p.permute(&[1, 2, 0]).unwrap();
+        assert!(back.allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn add_bias_broadcasts_rows() {
+        let t = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::from_vec(vec![3], vec![1., 2., 3.]).unwrap();
+        let r = t.add_bias(&b).unwrap();
+        assert_eq!(r.data(), &[1., 2., 3., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn transpose2_involution() {
+        let t = Tensor::randn(vec![3, 5], 9);
+        assert!(t.transpose2().unwrap().transpose2().unwrap().allclose(&t, 0.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Tensor shapes: dimension lists with volume and stride helpers.
+
+use std::fmt;
+
+use crate::error::TensorError;
+
+/// The shape of a tensor: an ordered list of dimension extents.
+///
+/// # Examples
+///
+/// ```
+/// use hap_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.dim(1).unwrap(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension list. A scalar is `Shape::new(vec![])`.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The dimension list as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `axis`, or an error if out of range.
+    pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// The stride of the last dimension is 1; a scalar has no strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-index into a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds; indexing is an internal invariant, not a user input path.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let strides = self.strides();
+        for (i, (&ix, &st)) in index.iter().zip(strides.iter()).enumerate() {
+            assert!(ix < self.0[i], "index {ix} out of bounds for dim {i} ({})", self.0[i]);
+            off += ix * st;
+        }
+        off
+    }
+
+    /// Returns a copy with dimension `axis` replaced by `extent`.
+    pub fn with_dim(&self, axis: usize, extent: usize) -> Result<Shape, TensorError> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+        }
+        let mut dims = self.0.clone();
+        dims[axis] = extent;
+        Ok(Shape(dims))
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert!(s.strides().is_empty());
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    fn dim_out_of_range() {
+        let s = Shape::new(vec![2]);
+        assert!(matches!(s.dim(1), Err(TensorError::AxisOutOfRange { axis: 1, rank: 1 })));
+    }
+
+    #[test]
+    fn with_dim_replaces() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(s.with_dim(1, 7).unwrap().dims(), &[2, 7]);
+        assert!(s.with_dim(2, 7).is_err());
+    }
+}

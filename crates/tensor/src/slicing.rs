@@ -1,0 +1,183 @@
+//! Splitting, concatenation and padding along arbitrary dimensions.
+//!
+//! These are the data-movement primitives behind the simulated collectives:
+//! `All-Gather` concatenates shards, `Reduce-Scatter` splits a summed tensor,
+//! and the padded `All-Gather` implementation pads shards to a common size
+//! before communication and trims afterwards (paper Sec. 2.5.1).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl Tensor {
+    /// Extracts `len` consecutive slices starting at `start` along `axis`.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Result<Tensor> {
+        let rank = self.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let dims = self.shape().dims();
+        let extent = dims[axis];
+        if start + len > extent {
+            return Err(TensorError::RangeOutOfBounds { start, len, dim: extent });
+        }
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = (o * extent + start) * inner;
+            out.extend_from_slice(&self.data()[base..base + len * inner]);
+        }
+        let mut newdims = dims.to_vec();
+        newdims[axis] = len;
+        Tensor::from_vec(newdims, out)
+    }
+
+    /// Splits the tensor along `axis` into shards with the given sizes.
+    ///
+    /// The sizes must sum to the dimension extent; zero-sized shards are
+    /// allowed (a device holding an empty shard still participates in the
+    /// collective, mirroring uneven sharding with skewed ratios).
+    pub fn split_sizes(&self, axis: usize, sizes: &[usize]) -> Result<Vec<Tensor>> {
+        let extent = self.shape().dim(axis)?;
+        let total: usize = sizes.iter().sum();
+        if total != extent {
+            return Err(TensorError::BadSplit { total, dim: extent });
+        }
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut start = 0;
+        for &len in sizes {
+            out.push(self.narrow(axis, start, len)?);
+            start += len;
+        }
+        Ok(out)
+    }
+
+    /// Splits the tensor along `axis` into `n` near-equal shards.
+    ///
+    /// The first `extent % n` shards get one extra slice, matching the usual
+    /// even-sharding convention.
+    pub fn split_even(&self, axis: usize, n: usize) -> Result<Vec<Tensor>> {
+        let extent = self.shape().dim(axis)?;
+        let base = extent / n;
+        let rem = extent % n;
+        let sizes: Vec<usize> = (0..n).map(|i| base + usize::from(i < rem)).collect();
+        self.split_sizes(axis, &sizes)
+    }
+
+    /// Concatenates tensors along `axis`; all other dimensions must agree.
+    pub fn concat(parts: &[Tensor], axis: usize) -> Result<Tensor> {
+        let first = parts.first().ok_or(TensorError::BadSplit { total: 0, dim: 0 })?;
+        let rank = first.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let dims = first.shape().dims();
+        let mut cat_extent = 0;
+        for p in parts {
+            if p.rank() != rank {
+                return Err(TensorError::RankMismatch { expected: rank, actual: p.rank(), op: "concat" });
+            }
+            for (d, (&a, &b)) in dims.iter().zip(p.shape().dims().iter()).enumerate() {
+                if d != axis && a != b {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: format!("{}", first.shape()),
+                        rhs: format!("{}", p.shape()),
+                        op: "concat",
+                    });
+                }
+            }
+            cat_extent += p.shape().dims()[axis];
+        }
+        let outer: usize = dims[..axis].iter().product();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out = Vec::with_capacity(outer * cat_extent * inner);
+        for o in 0..outer {
+            for p in parts {
+                let ext = p.shape().dims()[axis];
+                let base = o * ext * inner;
+                out.extend_from_slice(&p.data()[base..base + ext * inner]);
+            }
+        }
+        let mut newdims = dims.to_vec();
+        newdims[axis] = cat_extent;
+        Tensor::from_vec(newdims, out)
+    }
+
+    /// Pads the tensor with zeros along `axis` up to `target` slices.
+    ///
+    /// Returns the tensor unchanged when it already has `target` slices; this
+    /// models the padding step of NCCL-style `All-Gather` on uneven shards.
+    pub fn pad_to(&self, axis: usize, target: usize) -> Result<Tensor> {
+        let extent = self.shape().dim(axis)?;
+        if extent > target {
+            return Err(TensorError::RangeOutOfBounds { start: 0, len: target, dim: extent });
+        }
+        if extent == target {
+            return Ok(self.clone());
+        }
+        let mut pad_dims = self.shape().dims().to_vec();
+        pad_dims[axis] = target - extent;
+        let pad = Tensor::zeros(pad_dims);
+        Tensor::concat(&[self.clone(), pad], axis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_middle_axis() {
+        let t = Tensor::arange(vec![2, 4, 3]);
+        let n = t.narrow(1, 1, 2).unwrap();
+        assert_eq!(n.shape().dims(), &[2, 2, 3]);
+        assert_eq!(n.at(&[0, 0, 0]), t.at(&[0, 1, 0]));
+        assert_eq!(n.at(&[1, 1, 2]), t.at(&[1, 2, 2]));
+    }
+
+    #[test]
+    fn split_concat_roundtrip() {
+        let t = Tensor::arange(vec![5, 3]);
+        let parts = t.split_sizes(0, &[2, 0, 3]).unwrap();
+        assert_eq!(parts[1].numel(), 0);
+        let back = Tensor::concat(&parts, 0).unwrap();
+        assert!(back.allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn split_even_distributes_remainder() {
+        let t = Tensor::arange(vec![7]);
+        let parts = t.split_even(0, 3).unwrap();
+        let sizes: Vec<usize> = parts.iter().map(|p| p.numel()).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn bad_split_reports_error() {
+        let t = Tensor::arange(vec![4]);
+        assert!(matches!(
+            t.split_sizes(0, &[1, 1]),
+            Err(TensorError::BadSplit { total: 2, dim: 4 })
+        ));
+    }
+
+    #[test]
+    fn pad_trim_roundtrip() {
+        let t = Tensor::arange(vec![3, 2]);
+        let p = t.pad_to(0, 5).unwrap();
+        assert_eq!(p.shape().dims(), &[5, 2]);
+        assert_eq!(&p.data()[6..], &[0.0; 4]);
+        let back = p.narrow(0, 0, 3).unwrap();
+        assert!(back.allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn concat_shape_mismatch_rejected() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 4]);
+        assert!(Tensor::concat(&[a.clone(), b], 0).is_err());
+        let c = Tensor::zeros(vec![1, 3]);
+        assert!(Tensor::concat(&[a, c], 0).is_ok());
+    }
+}

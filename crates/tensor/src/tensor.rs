@@ -1,0 +1,231 @@
+//! The dense tensor type: construction and element access.
+
+use crate::error::TensorError;
+use crate::random::rng_for;
+use crate::shape::Shape;
+use crate::Result;
+
+use rand::Rng;
+
+/// A dense, row-major, f32 tensor.
+///
+/// # Examples
+///
+/// ```
+/// use hap_tensor::Tensor;
+///
+/// let t = Tensor::zeros(vec![2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.data().len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and a flat row-major data vector.
+    pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.numel() != data.len() {
+            return Err(TensorError::DataLength { expected: shape.numel(), actual: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a scalar tensor holding `value`.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(dims: Vec<usize>) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(dims: Vec<usize>) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: Vec<usize>, value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Creates a square identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(vec![n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor with deterministic pseudo-random entries in `[-0.5, 0.5)`.
+    ///
+    /// The same `seed` always produces the same tensor, which keeps the
+    /// functional equivalence tests reproducible.
+    pub fn randn(dims: Vec<usize>, seed: u64) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        let mut rng = rng_for(seed);
+        let data = (0..n).map(|_| rng.random_range(-0.5f32..0.5f32)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor whose flat entries are `0, 1, 2, ...` (useful in tests).
+    pub fn arange(dims: Vec<usize>) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        let data = (0..n).map(|i| i as f32).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// The flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates (internal use).
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates (internal use).
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Reinterprets the data under a new shape with the same volume.
+    pub fn reshape(&self, dims: Vec<usize>) -> Result<Tensor> {
+        let shape = Shape::new(dims);
+        if shape.numel() != self.numel() {
+            return Err(TensorError::DataLength {
+                expected: shape.numel(),
+                actual: self.numel(),
+            });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// True when every element differs by at most `eps` and shapes match.
+    pub fn allclose(&self, other: &Tensor, eps: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= eps + eps * a.abs().max(b.abs()))
+    }
+
+    /// Maximum absolute difference between two tensors of identical shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: format!("{}", self.shape),
+                rhs: format!("{}", other.shape),
+                op: "max_abs_diff",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{}", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{} elements]", self.numel())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![2, 2], vec![1.0; 3]),
+            Err(TensorError::DataLength { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let t = Tensor::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(t.at(&[i, j]), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn randn_is_deterministic() {
+        let a = Tensor::randn(vec![4, 4], 7);
+        let b = Tensor::randn(vec![4, 4], 7);
+        let c = Tensor::randn(vec![4, 4], 8);
+        assert!(a.allclose(&b, 0.0));
+        assert!(!a.allclose(&c, 1e-9));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(vec![2, 3]);
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(vec![4]).is_err());
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let s = Tensor::scalar(2.5);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.at(&[]), 2.5);
+    }
+}

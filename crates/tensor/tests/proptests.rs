@@ -1,0 +1,117 @@
+//! Property-based tests for the tensor substrate.
+
+use hap_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    /// Splitting a tensor and concatenating the parts is the identity, for
+    /// any dimension and any (possibly zero-sized) split.
+    #[test]
+    fn split_concat_roundtrip(
+        d0 in 1usize..6,
+        d1 in 1usize..6,
+        d2 in 1usize..6,
+        axis in 0usize..3,
+        cuts in prop::collection::vec(0usize..5, 1..4),
+        seed in 0u64..100,
+    ) {
+        let t = Tensor::randn(vec![d0, d1, d2], seed);
+        let extent = t.shape().dims()[axis];
+        // Build sizes from the random cuts, normalizing the remainder.
+        let mut sizes: Vec<usize> = Vec::new();
+        let mut used = 0usize;
+        for c in cuts {
+            let c = c.min(extent - used);
+            sizes.push(c);
+            used += c;
+        }
+        sizes.push(extent - used);
+        let parts = t.split_sizes(axis, &sizes).unwrap();
+        let back = Tensor::concat(&parts, axis).unwrap();
+        prop_assert!(back.allclose(&t, 0.0));
+    }
+
+    /// `(A·B)^T == B^T · A^T`.
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..5,
+        k in 1usize..5,
+        n in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let a = Tensor::randn(vec![m, k], seed);
+        let b = Tensor::randn(vec![k, n], seed + 1);
+        let left = a.matmul(&b).unwrap().transpose2().unwrap();
+        let right = b.transpose2().unwrap().matmul(&a.transpose2().unwrap()).unwrap();
+        prop_assert!(left.allclose(&right, 1e-4));
+    }
+
+    /// Padding then trimming along any axis recovers the original.
+    #[test]
+    fn pad_trim_roundtrip(
+        d0 in 1usize..6,
+        d1 in 1usize..6,
+        axis in 0usize..2,
+        extra in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let t = Tensor::randn(vec![d0, d1], seed);
+        let extent = t.shape().dims()[axis];
+        let padded = t.pad_to(axis, extent + extra).unwrap();
+        let back = padded.narrow(axis, 0, extent).unwrap();
+        prop_assert!(back.allclose(&t, 0.0));
+    }
+
+    /// Softmax rows are probability distributions.
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..5,
+        cols in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let t = Tensor::randn(vec![rows, cols], seed).scale(5.0);
+        let s = t.softmax_last().unwrap();
+        for r in 0..rows {
+            let row = &s.data()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    /// Summing over an axis is linear: sum(a + b) == sum(a) + sum(b).
+    #[test]
+    fn sum_axis_is_linear(
+        d0 in 1usize..5,
+        d1 in 1usize..5,
+        axis in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        let a = Tensor::randn(vec![d0, d1], seed);
+        let b = Tensor::randn(vec![d0, d1], seed + 7);
+        let lhs = a.add(&b).unwrap().sum_axis(axis).unwrap();
+        let rhs = a.sum_axis(axis).unwrap().add(&b.sum_axis(axis).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    /// Elementwise ops preserve shape and commute with split.
+    #[test]
+    fn relu_commutes_with_split(
+        d0 in 2usize..8,
+        d1 in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let t = Tensor::randn(vec![d0, d1], seed);
+        let k = d0 / 2;
+        let whole_then_split = t.relu().split_sizes(0, &[k, d0 - k]).unwrap();
+        let split_then_each: Vec<Tensor> = t
+            .split_sizes(0, &[k, d0 - k])
+            .unwrap()
+            .iter()
+            .map(|p| p.relu())
+            .collect();
+        for (a, b) in whole_then_split.iter().zip(split_then_each.iter()) {
+            prop_assert!(a.allclose(b, 0.0));
+        }
+    }
+}

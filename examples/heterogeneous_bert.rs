@@ -1,0 +1,70 @@
+//! BERT on a heterogeneous cluster: HAP vs the DP baselines.
+//!
+//! A scaled-down version of the paper's Fig. 13 comparison: train a small
+//! BERT on the 2x(8xV100) + 6x(8xP100) cluster and compare the simulated
+//! per-iteration time of HAP against DP-EV, DP-CP, DeepSpeed-like and
+//! TAG-like strategies.
+//!
+//! Run with: `cargo run --release --example heterogeneous_bert`
+
+use hap::prelude::*;
+use hap_baselines::{build_baseline, Baseline};
+use hap_collectives::{GroundTruthNet, NetworkParams};
+use hap_models::{bert_base, BertConfig};
+use hap_simulator::{memory_footprint, simulate_time, SimOptions};
+
+fn main() {
+    // A 4-layer BERT so the example finishes in seconds.
+    let graph = bert_base(&BertConfig {
+        batch: 8 * 64,
+        layers: 4,
+        ..BertConfig::paper()
+    });
+    let cluster = ClusterSpec::paper_heterogeneous(8);
+    let devices = cluster.virtual_devices(Granularity::PerMachine);
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    let opts = SimOptions::default();
+
+    println!(
+        "BERT ({} nodes, {:.0} M params) on {} machines / {} GPUs\n",
+        graph.len(),
+        graph.parameter_count() as f64 / 1e6,
+        cluster.machines.len(),
+        cluster.total_gpus()
+    );
+    println!("{:<12} {:>16} {:>12}", "system", "per-iter (ms)", "collectives");
+
+    let hap_opts = HapOptions {
+        granularity: Granularity::PerMachine,
+        ..HapOptions::default()
+    };
+    let plan = hap::parallelize(&graph, &cluster, &hap_opts).expect("HAP plan");
+    let hap_sim = plan.simulate(&net, &opts);
+    println!(
+        "{:<12} {:>16.2} {:>12}",
+        "HAP",
+        hap_sim.iteration_time * 1e3,
+        plan.program.collective_count()
+    );
+
+    for b in Baseline::all() {
+        let bp = build_baseline(b, &graph, &cluster, Granularity::PerMachine)
+            .expect("baseline builds");
+        let mem = memory_footprint(&graph, &bp.program, &devices, &bp.ratios);
+        if !mem.fits() {
+            println!("{:<12} {:>16} {:>12}", b.name(), "OOM", "-");
+            continue;
+        }
+        let sim = simulate_time(&graph, &bp.program, &devices, &net, &bp.ratios, &opts);
+        println!(
+            "{:<12} {:>16.2} {:>12}",
+            b.name(),
+            sim.iteration_time * 1e3,
+            bp.program.collective_count()
+        );
+    }
+    println!(
+        "\nHAP ratios across machines (V100 machines first): {:?}",
+        plan.ratios[0].iter().map(|b| (b * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,79 @@
+//! HAP vs baselines: on heterogeneous clusters HAP's estimated time must
+//! never lose to the strategies it searches over (paper Secs. 7.2/7.3).
+
+use hap::prelude::*;
+use hap_balancer::estimate_time;
+use hap_baselines::{build_baseline, Baseline};
+use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+use hap_models::{mlp, transformer_layer, MlpConfig, TransformerConfig};
+
+fn compare(graph: &Graph, cluster: &ClusterSpec) -> (f64, Vec<(&'static str, f64)>) {
+    let devices = cluster.virtual_devices(Granularity::PerGpu);
+    let net = GroundTruthNet::new(NetworkParams {
+        latency: cluster.inter_latency,
+        bandwidth: cluster.inter_bandwidth,
+        ..NetworkParams::paper_cloud()
+    });
+    let profile = profile_collectives(&net, devices.len());
+    let plan = hap::parallelize(graph, cluster, &HapOptions::default()).expect("hap plan");
+    let hap_t = estimate_time(&plan.graph, &plan.program, &devices, &profile, &plan.ratios);
+    let mut rows = Vec::new();
+    for b in Baseline::all() {
+        let bp = build_baseline(b, graph, cluster, Granularity::PerGpu).expect("baseline");
+        let t = estimate_time(graph, &bp.program, &devices, &profile, &bp.ratios);
+        rows.push((b.name(), t));
+    }
+    (hap_t, rows)
+}
+
+#[test]
+fn hap_beats_or_ties_dp_on_heterogeneous_mlp() {
+    let graph = mlp(&MlpConfig {
+        batch: 16384,
+        input: 512,
+        hidden: vec![1024, 1024],
+        classes: 64,
+    });
+    let cluster = ClusterSpec::fig17_cluster();
+    let (hap_t, rows) = compare(&graph, &cluster);
+    for (name, t) in rows {
+        assert!(
+            hap_t <= t * 1.02,
+            "HAP ({hap_t:.5}s) must not lose to {name} ({t:.5}s)"
+        );
+    }
+}
+
+#[test]
+fn hap_beats_or_ties_dp_on_transformer() {
+    let graph = transformer_layer(&TransformerConfig::fig2(512));
+    let cluster = ClusterSpec::fig2_cluster();
+    let (hap_t, rows) = compare(&graph, &cluster);
+    for (name, t) in rows {
+        assert!(
+            hap_t <= t * 1.02,
+            "HAP ({hap_t:.5}s) must not lose to {name} ({t:.5}s)"
+        );
+    }
+}
+
+#[test]
+fn dp_cp_beats_dp_ev_on_heterogeneous_compute_bound_model() {
+    // Sanity on the baseline themselves: with compute dominating,
+    // proportional ratios beat even ones on a heterogeneous cluster.
+    let graph = mlp(&MlpConfig {
+        batch: 1 << 18,
+        input: 256,
+        hidden: vec![256],
+        classes: 32,
+    });
+    let cluster = ClusterSpec::fig17_cluster();
+    let devices = cluster.virtual_devices(Granularity::PerGpu);
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    let profile = profile_collectives(&net, devices.len());
+    let ev = build_baseline(Baseline::DpEv, &graph, &cluster, Granularity::PerGpu).unwrap();
+    let cp = build_baseline(Baseline::DpCp, &graph, &cluster, Granularity::PerGpu).unwrap();
+    let t_ev = estimate_time(&graph, &ev.program, &devices, &profile, &ev.ratios);
+    let t_cp = estimate_time(&graph, &cp.program, &devices, &profile, &cp.ratios);
+    assert!(t_cp < t_ev, "CP {t_cp} should beat EV {t_ev} when compute-bound");
+}

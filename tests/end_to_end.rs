@@ -1,0 +1,97 @@
+//! End-to-end integration: every benchmark model parallelizes, simulates
+//! and fits in memory on the paper's clusters.
+
+use hap::prelude::*;
+use hap_collectives::{GroundTruthNet, NetworkParams};
+use hap_models::Benchmark;
+use hap_simulator::SimOptions;
+
+fn plan_for(b: Benchmark, devices: usize) -> Plan {
+    let graph = b.build_tiny(devices);
+    let cluster = ClusterSpec::fig17_cluster();
+    hap::parallelize(&graph, &cluster, &HapOptions::default())
+        .unwrap_or_else(|e| panic!("{} failed to parallelize: {e}", b.name()))
+}
+
+#[test]
+fn all_benchmarks_produce_complete_plans() {
+    for b in Benchmark::all() {
+        let plan = plan_for(b, 4);
+        assert!(plan.program.is_complete(&plan.graph), "{} incomplete", b.name());
+        assert!(plan.estimated_time > 0.0);
+    }
+}
+
+#[test]
+fn plans_simulate_and_fit() {
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    for b in Benchmark::all() {
+        let plan = plan_for(b, 4);
+        let sim = plan.simulate(&net, &SimOptions::default());
+        assert!(sim.iteration_time > 0.0, "{}", b.name());
+        assert_eq!(sim.stages, plan.program.collective_count() + 1);
+        let mem = plan.memory();
+        assert!(mem.fits(), "{} OOM on tiny config", b.name());
+    }
+}
+
+#[test]
+fn estimated_time_tracks_simulated_time() {
+    // The cost model may underestimate (Fig. 18) but must stay correlated:
+    // within a factor of 4 on these small graphs.
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    for b in [Benchmark::Vit, Benchmark::BertBase] {
+        let plan = plan_for(b, 4);
+        let sim = plan.simulate(&net, &SimOptions::default());
+        let ratio = sim.iteration_time / plan.estimated_time;
+        assert!(
+            (0.8..4.0).contains(&ratio),
+            "{}: sim {} vs est {}",
+            b.name(),
+            sim.iteration_time,
+            plan.estimated_time
+        );
+    }
+}
+
+#[test]
+fn machine_granularity_also_works() {
+    let graph = Benchmark::Vit.build_tiny(8);
+    let cluster = ClusterSpec::paper_heterogeneous(2);
+    let plan = hap::parallelize(
+        &graph,
+        &cluster,
+        &HapOptions { granularity: Granularity::PerMachine, ..HapOptions::default() },
+    )
+    .unwrap();
+    assert_eq!(plan.num_devices(), 8);
+    assert!(plan.program.is_complete(&plan.graph));
+}
+
+#[test]
+fn more_devices_do_not_slow_down_weak_scaling() {
+    // Weak scaling on the homogeneous cluster: per-iteration time should
+    // stay in the same ballpark as devices double (it may grow slowly with
+    // communication).
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    let mut times = Vec::new();
+    for machines in [2usize, 4] {
+        let cluster = ClusterSpec::new(
+            (0..machines)
+                .map(|_| hap::cluster::Machine::pcie(hap::cluster::DeviceType::p100(), 1))
+                .collect(),
+            10.4e9 / 8.0,
+            150e-6,
+        );
+        let graph = hap_models::mlp(&hap_models::MlpConfig {
+            batch: 4096 * machines,
+            input: 256,
+            hidden: vec![256],
+            classes: 16,
+        });
+        let plan = hap::parallelize(&graph, &cluster, &HapOptions::default()).unwrap();
+        let sim = plan.simulate(&net, &SimOptions::default());
+        times.push(sim.iteration_time);
+    }
+    assert!(times[1] < times[0] * 3.0, "weak scaling collapsed: {times:?}");
+}

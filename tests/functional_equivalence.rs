@@ -1,0 +1,116 @@
+//! Functional equivalence: synthesized plans compute exactly what the
+//! single-device program computes, across models, clusters and ratios.
+//!
+//! This realizes the paper's semantic-correctness contract (Sec. 4.2) as an
+//! executable property: for random inputs, parameters and labels, every
+//! required output (loss + updated parameters) of the distributed program
+//! must match the single-device reference.
+
+use std::collections::HashMap;
+
+use hap::prelude::*;
+use hap_graph::Tensor;
+use hap_models::{mlp, transformer_layer, MlpConfig, TransformerConfig};
+use proptest::prelude::*;
+
+fn feeds_for(graph: &Graph, seed: u64, classes: usize) -> HashMap<NodeId, Tensor> {
+    let mut feeds = HashMap::new();
+    for n in graph.nodes() {
+        match n.role {
+            Role::Input | Role::Param => {
+                feeds.insert(n.id, Tensor::randn(n.shape.dims().to_vec(), seed ^ n.id as u64));
+            }
+            Role::Label => {
+                let t = Tensor::randn(n.shape.dims().to_vec(), seed ^ n.id as u64)
+                    .map(|v| ((v + 0.5) * classes as f32).floor().clamp(0.0, classes as f32 - 1.0));
+                feeds.insert(n.id, t);
+            }
+            _ => {}
+        }
+    }
+    feeds
+}
+
+fn assert_equivalent(graph: &Graph, cluster: &ClusterSpec, seed: u64, classes: usize) {
+    let plan = hap::parallelize(graph, cluster, &HapOptions::default()).expect("plan");
+    let feeds = feeds_for(&plan.graph, seed, classes);
+    let report = plan.verify(&feeds).expect("functional execution");
+    assert!(
+        report.max_error < 5e-2,
+        "max error {:.3e} for program:\n{}",
+        report.max_error,
+        plan.listing()
+    );
+}
+
+#[test]
+fn mlp_on_four_heterogeneous_gpus() {
+    let graph = mlp(&MlpConfig { batch: 24, input: 10, hidden: vec![12, 8], classes: 5 });
+    assert_equivalent(&graph, &ClusterSpec::fig17_cluster(), 42, 5);
+}
+
+#[test]
+fn transformer_layer_on_heterogeneous_machines() {
+    let graph = transformer_layer(&TransformerConfig::tiny());
+    assert_equivalent(&graph, &ClusterSpec::fig2_cluster(), 7, 32);
+}
+
+#[test]
+fn tiny_bert_trains_identically() {
+    let graph = hap_models::bert_base(&hap_models::BertConfig::tiny());
+    assert_equivalent(&graph, &ClusterSpec::fig17_cluster(), 11, 32);
+}
+
+#[test]
+fn tiny_vgg_trains_identically() {
+    let graph = hap_models::vgg19(&hap_models::VggConfig::tiny());
+    assert_equivalent(&graph, &ClusterSpec::fig17_cluster(), 13, 4);
+}
+
+#[test]
+fn baseline_programs_are_equivalent_too() {
+    use hap_baselines::{build_baseline, Baseline};
+    use hap_simulator::verify_equivalence;
+    let graph = mlp(&MlpConfig { batch: 16, input: 8, hidden: vec![10], classes: 4 });
+    let cluster = ClusterSpec::fig17_cluster();
+    for b in Baseline::all() {
+        let plan = build_baseline(b, &graph, &cluster, Granularity::PerGpu).unwrap();
+        let feeds = feeds_for(&graph, 99, 4);
+        let report =
+            verify_equivalence(&graph, &plan.program, &feeds, &plan.ratios, 4).unwrap();
+        assert!(
+            report.max_error < 5e-2,
+            "{}: max error {:.3e}",
+            b.name(),
+            report.max_error
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random MLP shapes on random 2-4 device clusters stay equivalent.
+    #[test]
+    fn random_mlps_are_equivalent(
+        batch in 4usize..24,
+        input in 2usize..10,
+        hidden in 2usize..12,
+        classes in 2usize..6,
+        seed in 0u64..1000,
+        a100s in 1usize..3,
+        p100s in 1usize..3,
+    ) {
+        let graph = mlp(&MlpConfig { batch, input, hidden: vec![hidden], classes });
+        let machines = (0..a100s)
+            .map(|_| hap::cluster::Machine::nvlink(hap::cluster::DeviceType::a100(), 1))
+            .chain((0..p100s).map(|_| hap::cluster::Machine::pcie(hap::cluster::DeviceType::p100(), 1)))
+            .collect();
+        let cluster = ClusterSpec::new(machines, 10.4e9 / 8.0, 150e-6);
+        let plan = hap::parallelize(&graph, &cluster, &HapOptions::default()).expect("plan");
+        let feeds = feeds_for(&plan.graph, seed, classes);
+        let report = plan.verify(&feeds).expect("exec");
+        prop_assert!(report.max_error < 5e-2,
+            "max error {:.3e}:\n{}", report.max_error, plan.listing());
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-segment sharding ratios (paper Sec. 5.2): layers with different
+//! computation-to-communication ratios get different ratio rows.
+
+use hap::prelude::*;
+use hap_balancer::{estimate_time, optimize_ratios, round_shards};
+use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+use hap_partition::{apply_partition, chain_partition};
+
+#[test]
+fn per_segment_rows_are_produced() {
+    // A 3-layer MLP with user segments per layer.
+    let mut b = GraphBuilder::new();
+    let x = b.placeholder("x", vec![4096, 128]);
+    let labels = b.label("y", vec![4096]);
+    let mut h = x;
+    for i in 0..3 {
+        b.begin_segment();
+        let w = b.parameter(&format!("w{i}"), vec![128, 128]);
+        h = b.matmul(h, w);
+        h = b.relu(h);
+    }
+    let w_out = b.parameter("w_out", vec![128, 8]);
+    let logits = b.matmul(h, w_out);
+    let loss = b.cross_entropy(logits, labels);
+    let graph = b.build_training(loss).unwrap();
+
+    let cluster = ClusterSpec::fig17_cluster();
+    let plan = hap::parallelize(&graph, &cluster, &HapOptions::default()).unwrap();
+    assert_eq!(plan.ratios.len(), graph.segment_count());
+    for row in &plan.ratios {
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn segments_with_different_ratios_can_differ() {
+    // One compute-heavy segment (huge matmul) and one comm-heavy segment
+    // (large parameter, small compute): the LP may assign different rows.
+    let mut b = GraphBuilder::new();
+    let x = b.placeholder("x", vec![65536, 64]);
+    let labels = b.label("y", vec![65536]);
+    b.begin_segment();
+    let w1 = b.parameter("w1", vec![64, 512]);
+    let h1 = b.matmul(x, w1);
+    let h1 = b.relu(h1);
+    b.begin_segment();
+    let w2 = b.parameter("w2", vec![512, 16]);
+    let logits = b.matmul(h1, w2);
+    let loss = b.cross_entropy(logits, labels);
+    let graph = b.build_training(loss).unwrap();
+
+    let cluster = ClusterSpec::fig17_cluster();
+    let devices = cluster.virtual_devices(Granularity::PerGpu);
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    let profile = profile_collectives(&net, devices.len());
+    let plan = hap::parallelize(&graph, &cluster, &HapOptions::default()).unwrap();
+    let lp = optimize_ratios(&plan.graph, &plan.program, &devices, &profile).unwrap();
+    assert_eq!(lp.len(), 3);
+    // Single-row (uniform) ratios must never beat the per-segment solution.
+    let uniform = vec![lp[1].clone(); 3];
+    let t_seg = estimate_time(&plan.graph, &plan.program, &devices, &profile, &lp);
+    let t_uni = estimate_time(&plan.graph, &plan.program, &devices, &profile, &uniform);
+    assert!(t_seg <= t_uni + 1e-9);
+}
+
+#[test]
+fn auto_partition_then_balance() {
+    let graph = hap_models::mlp(&hap_models::MlpConfig {
+        batch: 8192,
+        input: 128,
+        hidden: vec![128, 128, 128, 128],
+        classes: 16,
+    });
+    let mut graph = graph;
+    let assignment = chain_partition(&graph, 4);
+    let stats = apply_partition(&mut graph, &assignment);
+    assert_eq!(stats.segment_flops.len(), 4);
+    let cluster = ClusterSpec::fig17_cluster();
+    let plan = hap::parallelize(&graph, &cluster, &HapOptions::default()).unwrap();
+    assert_eq!(plan.ratios.len(), 4);
+}
+
+#[test]
+fn rounding_respects_segment_rows() {
+    // Shard a 10-unit dimension under two different rows.
+    let rows = [vec![0.7, 0.1, 0.1, 0.1], vec![0.25, 0.25, 0.25, 0.25]];
+    let a = round_shards(10, &rows[0]);
+    let b = round_shards(10, &rows[1]);
+    assert_eq!(a.iter().sum::<usize>(), 10);
+    assert_eq!(b.iter().sum::<usize>(), 10);
+    assert!(a[0] > b[0]);
+}
