@@ -73,10 +73,7 @@ pub fn estimate_time(
     profile: &CommProfile,
     ratios: &ShardingRatios,
 ) -> f64 {
-    stage_breakdown(graph, program, devices, profile, ratios)
-        .iter()
-        .map(StageCost::total)
-        .sum()
+    stage_breakdown(graph, program, devices, profile, ratios).iter().map(StageCost::total).sum()
 }
 
 #[cfg(test)]
@@ -97,13 +94,10 @@ mod tests {
         let graph = g.build_training(loss).unwrap();
         let cluster = ClusterSpec::fig17_cluster();
         let devices = cluster.virtual_devices(Granularity::PerGpu);
-        let profile = profile_collectives(
-            &GroundTruthNet::new(NetworkParams::paper_cloud()),
-            devices.len(),
-        );
+        let profile =
+            profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
         let ratios = vec![cluster.proportional_ratios(Granularity::PerGpu)];
-        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default())
-            .unwrap();
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
         (graph, q, devices, profile, ratios)
     }
 

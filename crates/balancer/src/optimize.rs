@@ -87,16 +87,13 @@ fn solve_segment(all_stages: &[&StageData], m: usize) -> Result<Vec<f64>, Balanc
     'outer: for s in all_stages {
         comm_u_total += s.comm_u;
         for (i, existing) in stages.iter().enumerate() {
-            let same = existing
-                .sharded
-                .iter()
-                .zip(s.sharded.iter())
-                .all(|(a, b)| (a - b).abs() < 1e-12)
-                && existing
-                    .replicated
-                    .iter()
-                    .zip(s.replicated.iter())
-                    .all(|(a, b)| (a - b).abs() < 1e-12);
+            let same =
+                existing.sharded.iter().zip(s.sharded.iter()).all(|(a, b)| (a - b).abs() < 1e-12)
+                    && existing
+                        .replicated
+                        .iter()
+                        .zip(s.replicated.iter())
+                        .all(|(a, b)| (a - b).abs() < 1e-12);
             if same {
                 weights[i] += 1.0;
                 continue 'outer;
@@ -163,12 +160,8 @@ fn collect_stages(
 ) -> Vec<StageData> {
     let m = devices.len();
     let mut stages: Vec<StageData> = Vec::new();
-    let mut cur = StageData {
-        segment: 0,
-        sharded: vec![0.0; m],
-        replicated: vec![0.0; m],
-        comm_u: 0.0,
-    };
+    let mut cur =
+        StageData { segment: 0, sharded: vec![0.0; m], replicated: vec![0.0; m], comm_u: 0.0 };
     let mut cur_has_segment = false;
     for instr in &program.instrs {
         match instr {
@@ -247,24 +240,16 @@ fn collect_stages(
 
 /// Decomposes a collective's estimated time into `coef_u * u + const` where
 /// `u = max_j B_j` (the largest shard carries `bytes * u`).
-fn linearize_collective(
-    kind: &CollectiveInstr,
-    bytes: f64,
-    profile: &CommProfile,
-) -> (f64, f64) {
+fn linearize_collective(kind: &CollectiveInstr, bytes: f64, profile: &CommProfile) -> (f64, f64) {
     match kind {
-        CollectiveInstr::AllReduce => {
-            (0.0, profile.estimate(CollKind::AllReduce, bytes, bytes))
-        }
+        CollectiveInstr::AllReduce => (0.0, profile.estimate(CollKind::AllReduce, bytes, bytes)),
         CollectiveInstr::AllGather { grouped: true, .. } => {
             (0.0, profile.estimate(CollKind::GroupedBroadcast, bytes, bytes))
         }
         CollectiveInstr::AllGather { grouped: false, .. } => {
             linear_of(profile, CollKind::AllGatherPadded, bytes)
         }
-        CollectiveInstr::ReduceScatter { .. } => {
-            linear_of(profile, CollKind::ReduceScatter, bytes)
-        }
+        CollectiveInstr::ReduceScatter { .. } => linear_of(profile, CollKind::ReduceScatter, bytes),
         CollectiveInstr::AllToAll { .. } => linear_of(profile, CollKind::AllToAll, bytes),
     }
 }
@@ -298,13 +283,10 @@ mod tests {
         let graph = g.build_training(loss).unwrap();
         let cluster = ClusterSpec::fig17_cluster();
         let devices = cluster.virtual_devices(Granularity::PerGpu);
-        let profile = profile_collectives(
-            &GroundTruthNet::new(NetworkParams::paper_cloud()),
-            devices.len(),
-        );
+        let profile =
+            profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
         let ratios = vec![cluster.proportional_ratios(Granularity::PerGpu)];
-        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default())
-            .unwrap();
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
         (graph, q, devices, profile, ratios)
     }
 

@@ -26,7 +26,9 @@ pub fn round_shards(extent: usize, ratios: &[f64]) -> Vec<usize> {
             .max_by(|&a, &b| {
                 let ea = sizes[a] as f64 - targets[a];
                 let eb = sizes[b] as f64 - targets[b];
-                ea.partial_cmp(&eb).expect("finite errors")
+                // total_cmp keeps NaN targets (degenerate LP output) from
+                // panicking; they sort above every finite error.
+                ea.total_cmp(&eb)
             })
             .expect("sum > extent implies some shard > 0");
         sizes[j] -= 1;
@@ -37,7 +39,7 @@ pub fn round_shards(extent: usize, ratios: &[f64]) -> Vec<usize> {
             .min_by(|&a, &b| {
                 let ea = sizes[a] as f64 - targets[a];
                 let eb = sizes[b] as f64 - targets[b];
-                ea.partial_cmp(&eb).expect("finite errors")
+                ea.total_cmp(&eb)
             })
             .expect("non-empty ratios");
         sizes[j] += 1;

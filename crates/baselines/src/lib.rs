@@ -28,5 +28,5 @@
 mod strategy;
 mod walker;
 
-pub use strategy::{build_baseline, Baseline, BaselinePlan, BaselineError};
+pub use strategy::{build_baseline, Baseline, BaselineError, BaselinePlan};
 pub use walker::{propagate, GradSync, WalkOptions};

@@ -251,16 +251,13 @@ impl Walk<'_> {
             return false;
         };
         let gnode = self.graph.node(grad).clone();
-        let factor_product = matches!(
-            gnode.op,
-            Op::MatMul2 { .. } | Op::LinearGradW | Op::Conv2dGradW { .. }
-        );
+        let factor_product =
+            matches!(gnode.op, Op::MatMul2 { .. } | Op::LinearGradW | Op::Conv2dGradW { .. });
         if !factor_product || gnode.inputs.len() != 2 {
             return false;
         }
         let grad_bytes = self.graph.node_bytes(grad) as f64;
-        let factor_bytes: f64 =
-            gnode.inputs.iter().map(|&i| self.graph.node_bytes(i) as f64).sum();
+        let factor_bytes: f64 = gnode.inputs.iter().map(|&i| self.graph.node_bytes(i) as f64).sum();
         let replicated_flops = self.graph.node_flops(grad);
         // All-reduce moves ~2x the gradient; SFB gathers both factors and
         // redoes the full product on every device.
@@ -279,10 +276,8 @@ impl Walk<'_> {
         self.available[grad].push(Placement::Replicated);
         self.instrs.push(DistInstr::Compute { node: grad, rule });
         self.emit_leaf(param, Placement::Replicated);
-        let urule = Rule::new(
-            vec![Placement::Replicated, Placement::Replicated],
-            Placement::Replicated,
-        );
+        let urule =
+            Rule::new(vec![Placement::Replicated, Placement::Replicated], Placement::Replicated);
         self.available[_update].push(urule.output);
         self.instrs.push(DistInstr::Compute { node: _update, rule: urule });
         true
@@ -329,9 +324,7 @@ mod tests {
         let ars = q
             .instrs
             .iter()
-            .filter(|i| {
-                matches!(i, DistInstr::Collective { kind: CollectiveInstr::AllReduce, .. })
-            })
+            .filter(|i| matches!(i, DistInstr::Collective { kind: CollectiveInstr::AllReduce, .. }))
             .count();
         // One all-reduce per parameter gradient.
         assert_eq!(ars, graph.parameters().len());

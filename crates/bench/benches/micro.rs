@@ -78,17 +78,14 @@ fn bench_synthesis(c: &mut Criterion) {
     let devices = cluster.virtual_devices(Granularity::PerMachine);
     let net = GroundTruthNet::new(NetworkParams::paper_cloud());
     let profile = profile_collectives(&net, devices.len());
-    let ratios =
-        vec![cluster.proportional_ratios(Granularity::PerMachine); graph.segment_count()];
+    let ratios = vec![cluster.proportional_ratios(Granularity::PerMachine); graph.segment_count()];
 
     c.bench_function("synthesis/theory_build_transformer", |bench| {
         bench.iter(|| black_box(Theory::build(black_box(&graph))))
     });
     let cfg = SynthConfig { time_budget_secs: 0.0, ..SynthConfig::default() };
     c.bench_function("synthesis/greedy_program_transformer", |bench| {
-        bench.iter(|| {
-            black_box(synthesize(&graph, &devices, &profile, &ratios, &cfg).unwrap())
-        })
+        bench.iter(|| black_box(synthesize(&graph, &devices, &profile, &ratios, &cfg).unwrap()))
     });
     let q = synthesize(&graph, &devices, &profile, &ratios, &cfg).unwrap();
     c.bench_function("balancer/lp_ratios_transformer", |bench| {

@@ -19,7 +19,9 @@ use hap_models::{
     TransformerConfig, VggConfig, VitConfig,
 };
 
-use crate::{harness_options, net_for, print_row, run_baseline, run_hap, run_hap_with, sim_options};
+use crate::{
+    harness_options, net_for, print_row, run_baseline, run_hap, run_hap_with, sim_options,
+};
 
 /// Harness-scale variant of a benchmark model (paper shapes, reduced depth).
 pub fn harness_model(b: Benchmark, gpus: usize) -> Graph {
@@ -77,10 +79,7 @@ pub fn fig02() {
     // is the lever that actually moves the ratio (computation scales with
     // it, parameter synchronization does not).
     for batch in [4usize, 8, 16, 32, 64, 128, 256] {
-        let graph = transformer_layer(&TransformerConfig {
-            batch,
-            ..TransformerConfig::fig2(768)
-        });
+        let graph = transformer_layer(&TransformerConfig { batch, ..TransformerConfig::fig2(768) });
         // The paper's motivating setup shards tensors across the GPUs
         // (intra-op parallelism with All-Gather/Reduce-Scatter, whose time
         // follows the largest shard). The ZeRO-style baseline program has
@@ -99,12 +98,8 @@ pub fn fig02() {
         let t_cp = estimate_time(&graph, &plan.program, &devices, &profile, &cp);
         let t_ev = estimate_time(&graph, &plan.program, &devices, &profile, &ev);
         // Computation-to-communication ratio on the slowest device under EV.
-        let stages =
-            hap_balancer::stage_breakdown(&graph, &plan.program, &devices, &profile, &ev);
-        let comp: f64 = stages
-            .iter()
-            .map(|s| s.comp.iter().cloned().fold(0.0, f64::max))
-            .sum();
+        let stages = hap_balancer::stage_breakdown(&graph, &plan.program, &devices, &profile, &ev);
+        let comp: f64 = stages.iter().map(|s| s.comp.iter().cloned().fold(0.0, f64::max)).sum();
         let comm: f64 = stages.iter().map(|s| s.comm).sum();
         let ratio = if comm > 0.0 { comp / comm } else { f64::INFINITY };
         println!(
@@ -134,11 +129,7 @@ pub fn fig04() {
         shards.extend(std::iter::repeat_n(rest, m - 1));
         let t_pad = net.collective_time(CollKind::AllGatherPadded, &shards);
         let t_grp = net.collective_time(CollKind::GroupedBroadcast, &shards);
-        println!(
-            "{r:<10.2} {:>16.3} {:>18.3}",
-            total / t_pad / 1e9,
-            total / t_grp / 1e9
-        );
+        println!("{r:<10.2} {:>16.3} {:>18.3}", total / t_pad / 1e9, total / t_grp / 1e9);
     }
     println!("paper: padded wins near-even; grouped wins under heavy skew (crossover ~0.5)\n");
 }
@@ -170,8 +161,7 @@ fn speed_table(title: &str, clusters: &[(usize, ClusterSpec)], baselines: &[Base
     let granularity = Granularity::PerMachine;
     for b in Benchmark::all() {
         println!("--- {} (per-iteration seconds) ---", b.name());
-        let labels: Vec<String> =
-            clusters.iter().map(|(g, _)| format!("{g} GPUs")).collect();
+        let labels: Vec<String> = clusters.iter().map(|(g, _)| format!("{g} GPUs")).collect();
         print_row("system", &labels);
         let mut hap_cells = Vec::new();
         let mut base_cells: Vec<Vec<String>> = vec![Vec::new(); baselines.len()];
@@ -192,10 +182,8 @@ fn speed_table(title: &str, clusters: &[(usize, ClusterSpec)], baselines: &[Base
 
 /// Fig. 13: per-iteration time on the heterogeneous cluster (8-64 GPUs).
 pub fn fig13() {
-    let clusters: Vec<(usize, ClusterSpec)> = [1usize, 2, 4, 8]
-        .iter()
-        .map(|&k| (8 * k, ClusterSpec::paper_heterogeneous(k)))
-        .collect();
+    let clusters: Vec<(usize, ClusterSpec)> =
+        [1usize, 2, 4, 8].iter().map(|&k| (8 * k, ClusterSpec::paper_heterogeneous(k))).collect();
     speed_table(
         "== Fig. 13: heterogeneous cluster (2x V100-machines + 6x P100-machines) ==",
         &clusters,
@@ -206,10 +194,8 @@ pub fn fig13() {
 
 /// Fig. 14: per-iteration time on the homogeneous cluster (8-32 GPUs).
 pub fn fig14() {
-    let clusters: Vec<(usize, ClusterSpec)> = [2usize, 4, 6, 8]
-        .iter()
-        .map(|&k| (4 * k, ClusterSpec::paper_homogeneous(k)))
-        .collect();
+    let clusters: Vec<(usize, ClusterSpec)> =
+        [2usize, 4, 6, 8].iter().map(|&k| (4 * k, ClusterSpec::paper_homogeneous(k))).collect();
     speed_table(
         "== Fig. 14: homogeneous cluster (4x P100-machines) ==",
         &clusters,
@@ -222,10 +208,7 @@ pub fn fig14() {
 /// (communication optimization), as throughput relative to full HAP.
 pub fn fig15() {
     println!("== Fig. 15: ablation (throughput % of full HAP, heterogeneous 16 GPUs) ==");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10}",
-        "model", "DP-EV", "+Q", "+B", "+C(full)"
-    );
+    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "model", "DP-EV", "+Q", "+B", "+C(full)");
     let cluster = ClusterSpec::paper_heterogeneous(2);
     let granularity = Granularity::PerMachine;
     for b in Benchmark::all() {
@@ -270,14 +253,13 @@ pub fn fig15() {
 /// concurrently on its homogeneous halves.
 pub fn fig16() {
     println!("== Fig. 16: HAP vs concurrent homogeneous subclusters ==");
-    println!(
-        "{:<12} {:>16} {:>16} {:>12}",
-        "model", "conc V100 (%)", "conc P100 (%)", "HAP (%)"
-    );
+    println!("{:<12} {:>16} {:>16} {:>12}", "model", "conc V100 (%)", "conc P100 (%)", "HAP (%)");
     let k = 2usize; // GPUs per machine
     let whole = ClusterSpec::paper_heterogeneous(k);
     let v100s = ClusterSpec::new(
-        (0..2).map(|_| hap::cluster::Machine::nvlink(hap::cluster::DeviceType::v100(), k)).collect(),
+        (0..2)
+            .map(|_| hap::cluster::Machine::nvlink(hap::cluster::DeviceType::v100(), k))
+            .collect(),
         whole.inter_bandwidth,
         whole.inter_latency,
     );

@@ -35,11 +35,7 @@ pub fn harness_options(granularity: Granularity) -> HapOptions {
     HapOptions {
         granularity,
         max_rounds: 3,
-        synth: SynthConfig {
-            time_budget_secs: 2.0,
-            stall_expansions: 2_000,
-            ..Default::default()
-        },
+        synth: SynthConfig { time_budget_secs: 2.0, stall_expansions: 2_000, ..Default::default() },
         ..HapOptions::default()
     }
 }

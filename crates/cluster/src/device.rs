@@ -17,22 +17,12 @@ pub struct DeviceType {
 impl DeviceType {
     /// NVIDIA P100: 9.3 TFLOPS fp32, 16 GB.
     pub fn p100() -> Self {
-        DeviceType {
-            name: "P100",
-            peak_flops: 9.3e12,
-            memory_bytes: 16 << 30,
-            utilization: 0.40,
-        }
+        DeviceType { name: "P100", peak_flops: 9.3e12, memory_bytes: 16 << 30, utilization: 0.40 }
     }
 
     /// NVIDIA V100: 15.7 TFLOPS fp32, 16 GB.
     pub fn v100() -> Self {
-        DeviceType {
-            name: "V100",
-            peak_flops: 15.7e12,
-            memory_bytes: 16 << 30,
-            utilization: 0.45,
-        }
+        DeviceType { name: "V100", peak_flops: 15.7e12, memory_bytes: 16 << 30, utilization: 0.45 }
     }
 
     /// NVIDIA A100: 19.5 TFLOPS fp32, 40 GB.
@@ -47,12 +37,7 @@ impl DeviceType {
 
     /// NVIDIA T4: 8.1 TFLOPS fp32, 16 GB (extra heterogeneity for tests).
     pub fn t4() -> Self {
-        DeviceType {
-            name: "T4",
-            peak_flops: 8.1e12,
-            memory_bytes: 16 << 30,
-            utilization: 0.35,
-        }
+        DeviceType { name: "T4", peak_flops: 8.1e12, memory_bytes: 16 << 30, utilization: 0.35 }
     }
 
     /// Effective (achievable) flops per second.

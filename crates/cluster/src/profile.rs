@@ -29,9 +29,7 @@ pub fn profile_device_flops(device: &DeviceType, trials: usize, seed: u64) -> De
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ device.peak_flops.to_bits());
     let truth = device.effective_flops();
     let trials = trials.max(1);
-    let mean = (0..trials)
-        .map(|_| truth * (1.0 + rng.random_range(-0.02..0.02)))
-        .sum::<f64>()
+    let mean = (0..trials).map(|_| truth * (1.0 + rng.random_range(-0.02..0.02))).sum::<f64>()
         / trials as f64;
     DeviceProfile { name: device.name, flops: mean }
 }
@@ -52,10 +50,7 @@ mod tests {
     fn profile_is_deterministic() {
         let d = DeviceType::p100();
         assert_eq!(profile_device_flops(&d, 8, 7), profile_device_flops(&d, 8, 7));
-        assert_ne!(
-            profile_device_flops(&d, 8, 7).flops,
-            profile_device_flops(&d, 8, 8).flops
-        );
+        assert_ne!(profile_device_flops(&d, 8, 7).flops, profile_device_flops(&d, 8, 8).flops);
     }
 
     #[test]

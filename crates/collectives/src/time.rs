@@ -103,10 +103,7 @@ impl GroundTruthNet {
             CollKind::GroupedBroadcast => {
                 // One broadcast per shard inside a group call; each pays a
                 // launch but transfers only its own bytes (no padding).
-                shard_bytes
-                    .iter()
-                    .map(|&s| p.launch_overhead + p.message_time(s))
-                    .sum::<f64>()
+                shard_bytes.iter().map(|&s| p.launch_overhead + p.message_time(s)).sum::<f64>()
             }
             CollKind::AllToAll => {
                 // Pairwise exchange: (m-1) rounds; each round moves roughly

@@ -9,9 +9,7 @@ use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
 use hap_graph::Graph;
 use hap_partition::{apply_partition, chain_partition};
 use hap_simulator::memory_footprint;
-use hap_synthesis::{
-    synthesize_with_theory, ShardingRatios, SynthConfig, SynthError, Theory,
-};
+use hap_synthesis::{synthesize_with_theory, ShardingRatios, SynthConfig, SynthError, Theory};
 
 use crate::plan::Plan;
 
@@ -130,10 +128,12 @@ pub fn parallelize(
             ..WalkOptions::default()
         },
         WalkOptions {
-            sfb_flop_cost: Some(cluster.inter_bandwidth / {
-                let slowest = devices.iter().map(|d| d.flops).fold(f64::INFINITY, f64::min);
-                slowest
-            }),
+            sfb_flop_cost: Some(
+                cluster.inter_bandwidth / {
+                    let slowest = devices.iter().map(|d| d.flops).fold(f64::INFINITY, f64::min);
+                    slowest
+                },
+            ),
             ..WalkOptions::default()
         },
     ]
@@ -143,9 +143,7 @@ pub fn parallelize(
 
     let mut best: Option<(f64, Plan)> = None;
     let mut seen: Vec<Vec<u64>> = vec![quantize(&ratios)];
-    let mut rounds = 0usize;
-    for _ in 0..opts.max_rounds.max(1) {
-        rounds += 1;
+    for round in 0..opts.max_rounds.max(1) {
         // Q(s) = argmin_Q t(Q, B(s-1)) — the synthesized program, or a
         // portfolio program when one evaluates cheaper under B(s-1).
         let mut q =
@@ -177,8 +175,8 @@ pub fn parallelize(
             let better = match &best {
                 None => true,
                 Some((bt, bp)) => {
-                    let best_fits = memory_footprint(&graph, &bp.program, &devices, &bp.ratios)
-                        .fits();
+                    let best_fits =
+                        memory_footprint(&graph, &bp.program, &devices, &bp.ratios).fits();
                     (fits && !best_fits) || (fits == best_fits && t < *bt)
                 }
             };
@@ -189,7 +187,7 @@ pub fn parallelize(
                         program: q.clone(),
                         ratios: cand,
                         estimated_time: t,
-                        rounds,
+                        rounds: round + 1,
                         synthesis_time: start.elapsed(),
                         devices: devices.clone(),
                         graph: graph.clone(),
@@ -217,10 +215,7 @@ pub fn parallelize(
 
 /// Quantizes a ratio matrix for oscillation detection.
 fn quantize(ratios: &ShardingRatios) -> Vec<u64> {
-    ratios
-        .iter()
-        .flat_map(|row| row.iter().map(|&b| (b * 1e9).round() as u64))
-        .collect()
+    ratios.iter().flat_map(|row| row.iter().map(|&b| (b * 1e9).round() as u64)).collect()
 }
 
 /// Largest absolute difference between two ratio matrices.
@@ -238,12 +233,8 @@ mod tests {
 
     #[test]
     fn parallelize_mlp_on_heterogeneous_cluster() {
-        let graph = mlp(&MlpConfig {
-            batch: 8192,
-            input: 128,
-            hidden: vec![256, 256],
-            classes: 16,
-        });
+        let graph =
+            mlp(&MlpConfig { batch: 8192, input: 128, hidden: vec![256, 256], classes: 16 });
         let cluster = ClusterSpec::fig17_cluster();
         let plan = parallelize(&graph, &cluster, &HapOptions::default()).unwrap();
         assert!(plan.program.is_complete(&graph));
@@ -271,12 +262,8 @@ mod tests {
 
     #[test]
     fn auto_segmentation_is_applied() {
-        let graph = mlp(&MlpConfig {
-            batch: 4096,
-            input: 64,
-            hidden: vec![64, 64, 64],
-            classes: 8,
-        });
+        let graph =
+            mlp(&MlpConfig { batch: 4096, input: 64, hidden: vec![64, 64, 64], classes: 8 });
         assert_eq!(graph.segment_count(), 1);
         let cluster = ClusterSpec::fig17_cluster();
         let plan = parallelize(
@@ -292,12 +279,9 @@ mod tests {
     fn loop_terminates_within_round_budget() {
         let graph = mlp(&MlpConfig { batch: 2048, input: 32, hidden: vec![64], classes: 8 });
         let cluster = ClusterSpec::paper_heterogeneous(1);
-        let plan = parallelize(
-            &graph,
-            &cluster,
-            &HapOptions { max_rounds: 8, ..HapOptions::default() },
-        )
-        .unwrap();
+        let plan =
+            parallelize(&graph, &cluster, &HapOptions { max_rounds: 8, ..HapOptions::default() })
+                .unwrap();
         assert!(plan.rounds <= 8);
     }
 }

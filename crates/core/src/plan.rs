@@ -57,13 +57,7 @@ impl Plan {
     /// Functionally executes the plan on real tensors and compares every
     /// required output with the single-device program.
     pub fn verify(&self, feeds: &HashMap<NodeId, Tensor>) -> Result<EquivReport, ExecError> {
-        verify_equivalence(
-            &self.graph,
-            &self.program,
-            feeds,
-            &self.ratios,
-            self.devices.len(),
-        )
+        verify_equivalence(&self.graph, &self.program, feeds, &self.ratios, self.devices.len())
     }
 }
 

@@ -146,10 +146,10 @@ fn backprop_node(
     let node = graph.node(id).clone();
     let seg = node.segment;
     let emit = |graph: &mut Graph,
-                    grads: &mut HashMap<NodeId, NodeId>,
-                    op: Op,
-                    inputs: Vec<NodeId>,
-                    target: NodeId|
+                grads: &mut HashMap<NodeId, NodeId>,
+                op: Op,
+                inputs: Vec<NodeId>,
+                target: NodeId|
      -> Result<(), GraphError> {
         let name = format!("d_{}", graph.node(target).name);
         let gi = graph.add(op, inputs, name, Role::Grad)?;
@@ -277,7 +277,10 @@ fn backprop_node(
         | Op::CombineGrad { .. }
         | Op::UpdateParam { .. } => {
             // Second-order differentiation is out of scope.
-            return Err(GraphError::BadLossRoot(format!("cannot differentiate {}", node.op.name())));
+            return Err(GraphError::BadLossRoot(format!(
+                "cannot differentiate {}",
+                node.op.name()
+            )));
         }
     }
     Ok(())
@@ -302,10 +305,7 @@ mod tests {
         assert!(names.iter().any(|n| n == "ones"));
         assert!(names.iter().any(|n| n == "update_param"));
         // dW = x^T · dy.
-        assert!(graph
-            .nodes()
-            .iter()
-            .any(|n| matches!(n.op, Op::MatMul2 { ta: true, tb: false })));
+        assert!(graph.nodes().iter().any(|n| matches!(n.op, Op::MatMul2 { ta: true, tb: false })));
         graph.validate().unwrap();
     }
 
@@ -343,10 +343,7 @@ mod tests {
         let act = g.unary(y, UnaryKind::Gelu);
         let l = g.sum_all(act);
         let graph = g.build_training(l).unwrap();
-        assert_eq!(
-            graph.nodes().iter().filter(|n| n.role == Role::Updated).count(),
-            3
-        );
+        assert_eq!(graph.nodes().iter().filter(|n| n.role == Role::Updated).count(), 3);
         graph.validate().unwrap();
     }
 
@@ -366,9 +363,7 @@ mod tests {
     fn double_backward_rejected() {
         let mut graph = Graph::new();
         let x = graph.add_leaf(Op::Placeholder, vec![4, 4], "x", Role::Input);
-        let r = graph
-            .add(Op::ReduceLeading, vec![x], "r", Role::Activation)
-            .unwrap();
+        let r = graph.add(Op::ReduceLeading, vec![x], "r", Role::Activation).unwrap();
         let l = graph.add(Op::SumAll, vec![r], "l", Role::Loss).unwrap();
         let err = build_training(graph, l, 0.1);
         assert!(err.is_err());

@@ -263,11 +263,7 @@ mod tests {
         let logits = g.matmul(h, w2);
         let loss = g.cross_entropy(logits, labels);
         let graph = g.build_training(loss).unwrap();
-        let updated: Vec<_> = graph
-            .nodes()
-            .iter()
-            .filter(|n| n.role == Role::Updated)
-            .collect();
+        let updated: Vec<_> = graph.nodes().iter().filter(|n| n.role == Role::Updated).collect();
         assert_eq!(updated.len(), 3);
         assert!(graph.required_outputs().len() == 4);
         graph.validate().unwrap();

@@ -18,6 +18,15 @@ pub enum EvalError {
     MissingFeed(NodeId),
     /// A feed had the wrong shape.
     FeedShape(NodeId),
+    /// An op was evaluated with the wrong number of inputs.
+    Arity {
+        /// Display name of the op.
+        op: String,
+        /// Inputs the op consumes.
+        expected: usize,
+        /// Inputs actually provided.
+        actual: usize,
+    },
     /// An underlying tensor operation failed.
     Tensor(TensorError),
 }
@@ -27,6 +36,9 @@ impl std::fmt::Display for EvalError {
         match self {
             EvalError::MissingFeed(id) => write!(f, "missing feed for leaf node {id}"),
             EvalError::FeedShape(id) => write!(f, "feed shape mismatch for node {id}"),
+            EvalError::Arity { op, expected, actual } => {
+                write!(f, "{op} expects {expected} inputs, got {actual}")
+            }
             EvalError::Tensor(e) => write!(f, "tensor error: {e}"),
         }
     }
@@ -62,11 +74,8 @@ pub fn eval_single_device(
                 }
             }
         } else {
-            let inputs: Vec<&Tensor> = node
-                .inputs
-                .iter()
-                .map(|&i| vals[i].as_ref().expect("topological order"))
-                .collect();
+            let inputs: Vec<&Tensor> =
+                node.inputs.iter().map(|&i| vals[i].as_ref().expect("topological order")).collect();
             eval_op(&node.op, &inputs)?
         };
         vals[node.id] = Some(value);
@@ -79,6 +88,9 @@ pub fn eval_single_device(
 /// Exposed so the distributed functional executor can reuse the exact same
 /// kernels on local shards.
 pub fn eval_op(op: &Op, inputs: &[&Tensor]) -> Result<Tensor, EvalError> {
+    if inputs.len() != op.arity() {
+        return Err(EvalError::Arity { op: op.name(), expected: op.arity(), actual: inputs.len() });
+    }
     let t = match op {
         Op::Placeholder | Op::Label | Op::Parameter | Op::Ones => {
             unreachable!("leaves are handled by the caller")
@@ -146,23 +158,38 @@ pub fn eval_op(op: &Op, inputs: &[&Tensor]) -> Result<Tensor, EvalError> {
 
 const LN_EPS: f32 = 1e-5;
 
+/// Extent of the last dimension, or a `RankMismatch` for rank-0 tensors.
+fn last_dim(t: &Tensor, op: &'static str) -> Result<usize, TensorError> {
+    t.shape().dims().last().copied().ok_or(TensorError::RankMismatch { expected: 1, actual: 0, op })
+}
+
+/// The three dims of a rank-3 tensor, or a `RankMismatch`.
+fn dims3(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize), TensorError> {
+    match *t.shape().dims() {
+        [a, b, c] => Ok((a, b, c)),
+        ref d => Err(TensorError::RankMismatch { expected: 3, actual: d.len(), op }),
+    }
+}
+
 fn flatten_leading(t: &Tensor) -> Result<Tensor, TensorError> {
     // Computed from the leading dims (not numel/last) so zero-size shards
     // of unevenly sharded tensors reshape cleanly.
     let dims = t.shape().dims();
-    let last = *dims.last().expect("rank >= 1");
+    let last = last_dim(t, "flatten_leading")?;
     let rows: usize = dims[..dims.len() - 1].iter().product();
     t.reshape(vec![rows, last])
 }
 
 /// `x [.., h] · opt(w)` where `tw` multiplies by `w^T` instead.
 fn linear_like(x: &Tensor, w: &Tensor, _tx: bool, tw: bool) -> Result<Tensor, TensorError> {
-    let dims = x.shape().dims().to_vec();
+    let mut out_dims = x.shape().dims().to_vec();
     let x2 = flatten_leading(x)?;
     let y2 = x2.matmul_t(w, false, tw)?;
     let out_cols = y2.shape().dims()[1];
-    let mut out_dims = dims;
-    *out_dims.last_mut().expect("rank >= 1") = out_cols;
+    // `flatten_leading` guarantees `out_dims` is non-empty.
+    if let Some(last) = out_dims.last_mut() {
+        *last = out_cols;
+    }
     y2.reshape(out_dims)
 }
 
@@ -196,7 +223,7 @@ fn unary_derivative(kind: UnaryKind, x: &Tensor) -> Tensor {
 
 fn softmax_grad(dy: &Tensor, y: &Tensor) -> Result<Tensor, TensorError> {
     // dx = y ∘ (dy - rowsum(dy ∘ y)).
-    let cols = *y.shape().dims().last().expect("rank >= 1");
+    let cols = last_dim(y, "softmax_grad")?;
     let rows = y.numel() / cols;
     let mut out = vec![0.0f32; y.numel()];
     for r in 0..rows {
@@ -211,7 +238,7 @@ fn softmax_grad(dy: &Tensor, y: &Tensor) -> Result<Tensor, TensorError> {
 }
 
 fn layer_norm_grad(dy: &Tensor, x: &Tensor) -> Result<Tensor, TensorError> {
-    let cols = *x.shape().dims().last().expect("rank >= 1");
+    let cols = last_dim(x, "layer_norm_grad")?;
     let rows = x.numel() / cols;
     let mut out = vec![0.0f32; x.numel()];
     for r in 0..rows {
@@ -348,7 +375,12 @@ fn conv2d(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Result<Tensor, T
     Ok(out)
 }
 
-fn conv2d_grad_x(dy: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Result<Tensor, TensorError> {
+fn conv2d_grad_x(
+    dy: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
     let dyd = dy.shape().dims();
     let wd = w.shape().dims();
     let (b, co, oh, ow) = (dyd[0], dyd[1], dyd[2], dyd[3]);
@@ -385,7 +417,12 @@ fn conv2d_grad_x(dy: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Result<T
     Ok(out)
 }
 
-fn conv2d_grad_w(x: &Tensor, dy: &Tensor, stride: usize, pad: usize) -> Result<Tensor, TensorError> {
+fn conv2d_grad_w(
+    x: &Tensor,
+    dy: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
     let xd = x.shape().dims();
     let dyd = dy.shape().dims();
     let (b, ci, ih, iw) = (xd[0], xd[1], xd[2], xd[3]);
@@ -511,7 +548,7 @@ fn embedding_grad(dy: &Tensor, idx: &Tensor, vocab: usize) -> Result<Tensor, Ten
 }
 
 fn cross_entropy(logits: &Tensor, labels: &Tensor) -> Result<Tensor, TensorError> {
-    let cols = *logits.shape().dims().last().expect("rank >= 2");
+    let cols = last_dim(logits, "cross_entropy")?;
     let rows = logits.numel() / cols;
     let probs = logits.softmax_last()?;
     let mut loss = 0.0f32;
@@ -523,7 +560,7 @@ fn cross_entropy(logits: &Tensor, labels: &Tensor) -> Result<Tensor, TensorError
 }
 
 fn cross_entropy_grad(logits: &Tensor, labels: &Tensor) -> Result<Tensor, TensorError> {
-    let cols = *logits.shape().dims().last().expect("rank >= 2");
+    let cols = last_dim(logits, "cross_entropy_grad")?;
     let rows = logits.numel() / cols;
     let mut out = logits.softmax_last()?;
     for r in 0..rows {
@@ -535,19 +572,30 @@ fn cross_entropy_grad(logits: &Tensor, labels: &Tensor) -> Result<Tensor, Tensor
 }
 
 /// Deterministic top-1 routing shared by all MoE kernels.
-fn routing(gates: &Tensor) -> Vec<usize> {
-    let e = *gates.shape().dims().last().expect("rank >= 1");
+///
+/// `total_cmp` keeps NaN gates from panicking; note it orders positive NaN
+/// *above* every finite value, so a token with a NaN gate deterministically
+/// routes to the (last) NaN expert rather than being dropped.
+fn routing(gates: &Tensor) -> Result<Vec<usize>, TensorError> {
+    let e = last_dim(gates, "moe_routing")?;
+    if e == 0 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: format!("{}", gates.shape()),
+            rhs: "[.., experts > 0]".into(),
+            op: "moe_routing",
+        });
+    }
     let tokens = gates.numel() / e;
-    (0..tokens)
+    Ok((0..tokens)
         .map(|t| {
             let row = &gates.data()[t * e..(t + 1) * e];
             row.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite gates"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .expect("non-empty gate row")
         })
-        .collect()
+        .collect())
 }
 
 fn moe_dispatch(
@@ -556,8 +604,8 @@ fn moe_dispatch(
     experts: usize,
     capacity: usize,
 ) -> Result<Tensor, TensorError> {
-    let h = *x.shape().dims().last().expect("rank >= 1");
-    let route = routing(gates);
+    let h = last_dim(x, "moe_dispatch")?;
+    let route = routing(gates)?;
     let mut out = Tensor::zeros(vec![experts, capacity, h]);
     let mut counters = vec![0usize; experts];
     for (t, &ex) in route.iter().enumerate() {
@@ -573,11 +621,9 @@ fn moe_dispatch(
 }
 
 fn moe_dispatch_grad(dxd: &Tensor, gates: &Tensor) -> Result<Tensor, TensorError> {
-    let d = dxd.shape().dims();
-    let (experts, capacity, h) = (d[0], d[1], d[2]);
-    let gd = gates.shape().dims();
-    let (b, s) = (gd[0], gd[1]);
-    let route = routing(gates);
+    let (experts, capacity, h) = dims3(dxd, "moe_dispatch_grad")?;
+    let (b, s, _) = dims3(gates, "moe_dispatch_grad")?;
+    let route = routing(gates)?;
     let mut out = Tensor::zeros(vec![b, s, h]);
     let mut counters = vec![0usize; experts];
     for (t, &ex) in route.iter().enumerate() {
@@ -593,12 +639,10 @@ fn moe_dispatch_grad(dxd: &Tensor, gates: &Tensor) -> Result<Tensor, TensorError
 }
 
 fn moe_combine(xe: &Tensor, gates: &Tensor) -> Result<Tensor, TensorError> {
-    let d = xe.shape().dims();
-    let (experts, capacity, h) = (d[0], d[1], d[2]);
-    let gd = gates.shape().dims();
-    let (b, s, e) = (gd[0], gd[1], gd[2]);
+    let (experts, capacity, h) = dims3(xe, "moe_combine")?;
+    let (b, s, e) = dims3(gates, "moe_combine")?;
     debug_assert_eq!(e, experts);
-    let route = routing(gates);
+    let route = routing(gates)?;
     let mut out = Tensor::zeros(vec![b, s, h]);
     let mut counters = vec![0usize; experts];
     for (t, &ex) in route.iter().enumerate() {
@@ -620,9 +664,9 @@ fn moe_combine_grad(
     experts: usize,
     capacity: usize,
 ) -> Result<Tensor, TensorError> {
-    let h = *dy.shape().dims().last().expect("rank >= 1");
-    let e = *gates.shape().dims().last().expect("rank >= 1");
-    let route = routing(gates);
+    let h = last_dim(dy, "moe_combine_grad")?;
+    let e = last_dim(gates, "moe_combine_grad")?;
+    let route = routing(gates)?;
     let mut out = Tensor::zeros(vec![experts, capacity, h]);
     let mut counters = vec![0usize; experts];
     for (t, &ex) in route.iter().enumerate() {
@@ -661,6 +705,41 @@ mod tests {
             }
         }
         feeds
+    }
+
+    #[test]
+    fn eval_op_rejects_wrong_arity() {
+        let t = Tensor::ones(vec![2, 2]);
+        let err = eval_op(&Op::Add, &[&t]).unwrap_err();
+        assert!(matches!(err, EvalError::Arity { expected: 2, actual: 1, .. }), "{err:?}");
+        let err = eval_op(&Op::Softmax, &[]).unwrap_err();
+        assert!(matches!(err, EvalError::Arity { expected: 1, actual: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn eval_op_rejects_scalar_operands() {
+        let scalar = Tensor::scalar(1.0);
+        let w = Tensor::ones(vec![2, 2]);
+        let err = eval_op(&Op::Linear, &[&scalar, &w]).unwrap_err();
+        assert!(
+            matches!(err, EvalError::Tensor(TensorError::RankMismatch { actual: 0, .. })),
+            "{err:?}"
+        );
+        let err = eval_op(&Op::CrossEntropy, &[&scalar, &scalar]).unwrap_err();
+        assert!(matches!(err, EvalError::Tensor(TensorError::RankMismatch { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn nan_gates_route_without_panicking() {
+        // One NaN gate row must not panic; total_cmp routes it deterministically.
+        let x = Tensor::ones(vec![1, 2, 3]);
+        let gates = Tensor::from_vec(vec![1, 2, 2], vec![f32::NAN, 0.5, 0.25, 0.75]).unwrap();
+        let dispatched = eval_op(&Op::Dispatch { experts: 2, capacity: 2 }, &[&x, &gates])
+            .expect("NaN gates must not panic");
+        // total_cmp orders NaN above finite values: token 0 ([NaN, 0.5])
+        // goes to expert 0, token 1 ([0.25, 0.75]) to expert 1.
+        assert_eq!(dispatched.at(&[0, 0, 0]), 1.0);
+        assert_eq!(dispatched.at(&[1, 0, 0]), 1.0);
     }
 
     #[test]
@@ -740,11 +819,7 @@ mod tests {
         let graph = g.build_training(loss).unwrap();
         let feeds = feeds_for(&graph, 21);
         let vals = eval_single_device(&graph, &feeds).unwrap();
-        let upd = graph
-            .nodes()
-            .iter()
-            .find(|n| n.role == Role::Updated)
-            .expect("wv update");
+        let upd = graph.nodes().iter().find(|n| n.role == Role::Updated).expect("wv update");
         let grad = &vals[upd.inputs[1]];
         let eps = 1e-2f32;
         let off = 7usize;

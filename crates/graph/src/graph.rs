@@ -155,11 +155,7 @@ impl Graph {
 
     /// Total number of trainable parameters (elements of `Param` leaves).
     pub fn parameter_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| n.role == Role::Param)
-            .map(|n| n.shape.numel())
-            .sum()
+        self.nodes.iter().filter(|n| n.role == Role::Param).map(|n| n.shape.numel()).sum()
     }
 
     /// Ids of all parameter leaves.
@@ -233,9 +229,8 @@ mod tests {
         let mut g = Graph::new();
         let x = g.add_leaf(Op::Placeholder, vec![8, 4], "x", Role::Input);
         let w = g.add_leaf(Op::Parameter, vec![4, 2], "w", Role::Param);
-        let y = g
-            .add(Op::MatMul2 { ta: false, tb: false }, vec![x, w], "y", Role::Activation)
-            .unwrap();
+        let y =
+            g.add(Op::MatMul2 { ta: false, tb: false }, vec![x, w], "y", Role::Activation).unwrap();
         let l = g.add(Op::SumAll, vec![y], "loss", Role::Loss).unwrap();
         assert_eq!(g.len(), 4);
         assert_eq!(g.node(y).shape.dims(), &[8, 2]);
@@ -249,7 +244,9 @@ mod tests {
     fn consumers_are_tracked() {
         let mut g = Graph::new();
         let x = g.add_leaf(Op::Placeholder, vec![4, 4], "x", Role::Input);
-        let a = g.add(Op::Unary { kind: crate::UnaryKind::Relu }, vec![x], "a", Role::Activation).unwrap();
+        let a = g
+            .add(Op::Unary { kind: crate::UnaryKind::Relu }, vec![x], "a", Role::Activation)
+            .unwrap();
         let b = g.add(Op::Add, vec![a, a], "b", Role::Activation).unwrap();
         let cons = g.consumers();
         assert_eq!(cons[x], vec![a]);

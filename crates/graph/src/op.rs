@@ -243,6 +243,47 @@ impl Op {
         }
     }
 
+    /// Number of inputs the op consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Placeholder | Op::Label | Op::Parameter | Op::Ones => 0,
+            Op::ReduceLeading
+            | Op::Scale { .. }
+            | Op::Unary { .. }
+            | Op::Softmax
+            | Op::LayerNorm
+            | Op::MaxPool2 { .. }
+            | Op::Flatten
+            | Op::Unflatten { .. }
+            | Op::SumAll => 1,
+            Op::MatMul2 { .. }
+            | Op::Linear
+            | Op::LinearGradX
+            | Op::LinearGradW
+            | Op::Bmm { .. }
+            | Op::Add
+            | Op::BiasAdd
+            | Op::UnaryGrad { .. }
+            | Op::SoftmaxGrad
+            | Op::LayerNormGrad
+            | Op::Conv2d { .. }
+            | Op::Conv2dGradX { .. }
+            | Op::Conv2dGradW { .. }
+            | Op::MaxPoolGrad { .. }
+            | Op::Embedding
+            | Op::EmbeddingGrad { .. }
+            | Op::CrossEntropy
+            | Op::CrossEntropyGrad
+            | Op::Dispatch { .. }
+            | Op::DispatchGrad
+            | Op::Combine
+            | Op::CombineGrad { .. }
+            | Op::UpdateParam { .. } => 2,
+            Op::Attention { .. } => 3,
+            Op::AttentionGrad { .. } => 4,
+        }
+    }
+
     /// True for graph leaves (no inputs; produced by specialized distributed
     /// instructions like `Placeholder-Shard`, paper Sec. 4.1).
     pub fn is_leaf(&self) -> bool {
@@ -252,32 +293,30 @@ impl Op {
     /// Infers the output shape from input shapes.
     pub fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape, GraphError> {
         let fail = |reason: String| GraphError::ShapeInference { op: self.name(), reason };
-        let need = |n: usize| -> Result<(), GraphError> {
-            if inputs.len() != n {
-                Err(fail(format!("expected {n} inputs, got {}", inputs.len())))
-            } else {
-                Ok(())
-            }
-        };
+        // One arity check for every op, sourced from [`Op::arity`] so shape
+        // inference and `eval_op` can never disagree on input counts.
+        if !self.is_leaf() && inputs.len() != self.arity() {
+            return Err(fail(format!("expected {} inputs, got {}", self.arity(), inputs.len())));
+        }
         match self {
             Op::Placeholder | Op::Label | Op::Parameter | Op::Ones => {
                 Err(fail("leaf shapes are given at construction".into()))
             }
             Op::MatMul2 { ta, tb } => {
-                need(2)?;
                 let (a, b) = (inputs[0], inputs[1]);
                 if a.rank() != 2 || b.rank() != 2 {
                     return Err(fail(format!("need rank-2 operands, got {a} x {b}")));
                 }
-                let (m, ka) = if *ta { (a.dims()[1], a.dims()[0]) } else { (a.dims()[0], a.dims()[1]) };
-                let (kb, n) = if *tb { (b.dims()[1], b.dims()[0]) } else { (b.dims()[0], b.dims()[1]) };
+                let (m, ka) =
+                    if *ta { (a.dims()[1], a.dims()[0]) } else { (a.dims()[0], a.dims()[1]) };
+                let (kb, n) =
+                    if *tb { (b.dims()[1], b.dims()[0]) } else { (b.dims()[0], b.dims()[1]) };
                 if ka != kb {
                     return Err(fail(format!("contraction mismatch {a} x {b}")));
                 }
                 Ok(Shape::new(vec![m, n]))
             }
             Op::Linear => {
-                need(2)?;
                 let (x, w) = (inputs[0], inputs[1]);
                 if w.rank() != 2 || !(x.rank() == 2 || x.rank() == 3) {
                     return Err(fail(format!("linear needs x rank 2/3, w rank 2; got {x} x {w}")));
@@ -291,10 +330,11 @@ impl Op {
                 Ok(Shape::new(dims))
             }
             Op::LinearGradX => {
-                need(2)?;
                 let (dy, w) = (inputs[0], inputs[1]);
                 if w.rank() != 2 || !(dy.rank() == 2 || dy.rank() == 3) {
-                    return Err(fail(format!("grad_x needs dy rank 2/3, w rank 2; got {dy} x {w}")));
+                    return Err(fail(format!(
+                        "grad_x needs dy rank 2/3, w rank 2; got {dy} x {w}"
+                    )));
                 }
                 if *dy.dims().last().expect("rank >= 2") != w.dims()[1] {
                     return Err(fail(format!("feature mismatch {dy} x {w}")));
@@ -304,7 +344,6 @@ impl Op {
                 Ok(Shape::new(dims))
             }
             Op::LinearGradW => {
-                need(2)?;
                 let (x, dy) = (inputs[0], inputs[1]);
                 if x.rank() != dy.rank() || !(x.rank() == 2 || x.rank() == 3) {
                     return Err(fail(format!("grad_w needs matching rank 2/3; got {x} x {dy}")));
@@ -312,38 +351,42 @@ impl Op {
                 if x.dims()[..x.rank() - 1] != dy.dims()[..dy.rank() - 1] {
                     return Err(fail(format!("leading dims mismatch {x} x {dy}")));
                 }
-                Ok(Shape::new(vec![*x.dims().last().expect("rank >= 2"), *dy.dims().last().expect("rank >= 2")]))
+                Ok(Shape::new(vec![
+                    *x.dims().last().expect("rank >= 2"),
+                    *dy.dims().last().expect("rank >= 2"),
+                ]))
             }
             Op::Bmm { ta, tb } => {
-                need(2)?;
                 let (a, b) = (inputs[0], inputs[1]);
                 if a.rank() != 3 || b.rank() != 3 || a.dims()[0] != b.dims()[0] {
                     return Err(fail(format!("bmm needs matching rank-3 batches; got {a} x {b}")));
                 }
-                let (m, ka) = if *ta { (a.dims()[2], a.dims()[1]) } else { (a.dims()[1], a.dims()[2]) };
-                let (kb, n) = if *tb { (b.dims()[2], b.dims()[1]) } else { (b.dims()[1], b.dims()[2]) };
+                let (m, ka) =
+                    if *ta { (a.dims()[2], a.dims()[1]) } else { (a.dims()[1], a.dims()[2]) };
+                let (kb, n) =
+                    if *tb { (b.dims()[2], b.dims()[1]) } else { (b.dims()[1], b.dims()[2]) };
                 if ka != kb {
                     return Err(fail(format!("contraction mismatch {a} x {b}")));
                 }
                 Ok(Shape::new(vec![a.dims()[0], m, n]))
             }
             Op::Add => {
-                need(2)?;
                 if inputs[0] != inputs[1] {
                     return Err(fail(format!("shape mismatch {} x {}", inputs[0], inputs[1])));
                 }
                 Ok(inputs[0].clone())
             }
             Op::BiasAdd => {
-                need(2)?;
                 let (x, b) = (inputs[0], inputs[1]);
-                if b.rank() != 1 || x.rank() == 0 || *x.dims().last().expect("rank >= 1") != b.dims()[0] {
+                if b.rank() != 1
+                    || x.rank() == 0
+                    || *x.dims().last().expect("rank >= 1") != b.dims()[0]
+                {
                     return Err(fail(format!("bias mismatch {x} + {b}")));
                 }
                 Ok(x.clone())
             }
             Op::ReduceLeading => {
-                need(1)?;
                 let x = inputs[0];
                 if x.rank() == 0 {
                     return Err(fail("cannot reduce a scalar".into()));
@@ -351,60 +394,60 @@ impl Op {
                 Ok(Shape::new(vec![*x.dims().last().expect("rank >= 1")]))
             }
             Op::Scale { .. } | Op::Unary { .. } | Op::Softmax | Op::LayerNorm => {
-                need(1)?;
                 Ok(inputs[0].clone())
             }
             Op::UnaryGrad { .. } | Op::SoftmaxGrad | Op::LayerNormGrad => {
-                need(2)?;
                 if inputs[0] != inputs[1] {
                     return Err(fail(format!("shape mismatch {} x {}", inputs[0], inputs[1])));
                 }
                 Ok(inputs[0].clone())
             }
             Op::Attention { heads } => {
-                need(3)?;
                 let q = inputs[0];
                 if q.rank() != 3 || inputs[1] != q || inputs[2] != q {
                     return Err(fail(format!("attention needs equal rank-3 q/k/v; got {q}")));
                 }
-                if q.dims()[2] % heads != 0 {
-                    return Err(fail(format!("hidden {} not divisible by {heads} heads", q.dims()[2])));
+                if !q.dims()[2].is_multiple_of(*heads) {
+                    return Err(fail(format!(
+                        "hidden {} not divisible by {heads} heads",
+                        q.dims()[2]
+                    )));
                 }
                 Ok(q.clone())
             }
             Op::AttentionGrad { heads, which } => {
-                need(4)?;
                 if *which > 2 {
                     return Err(fail(format!("which = {which} out of range")));
                 }
                 let dy = inputs[0];
-                if dy.rank() != 3 || dy.dims()[2] % heads != 0 {
+                if dy.rank() != 3 || !dy.dims()[2].is_multiple_of(*heads) {
                     return Err(fail(format!("bad dy shape {dy}")));
                 }
                 Ok(dy.clone())
             }
             Op::Conv2d { stride, pad } => {
-                need(2)?;
                 let (x, w) = (inputs[0], inputs[1]);
                 if x.rank() != 4 || w.rank() != 4 || x.dims()[1] != w.dims()[1] {
-                    return Err(fail(format!("conv2d needs [b,ci,h,w] x [co,ci,kh,kw]; got {x} x {w}")));
+                    return Err(fail(format!(
+                        "conv2d needs [b,ci,h,w] x [co,ci,kh,kw]; got {x} x {w}"
+                    )));
                 }
                 let oh = conv_out(x.dims()[2], w.dims()[2], *stride, *pad, &self.name())?;
                 let ow = conv_out(x.dims()[3], w.dims()[3], *stride, *pad, &self.name())?;
                 Ok(Shape::new(vec![x.dims()[0], w.dims()[0], oh, ow]))
             }
             Op::Conv2dGradX { stride, pad } => {
-                need(2)?;
                 let (dy, w) = (inputs[0], inputs[1]);
                 if dy.rank() != 4 || w.rank() != 4 || dy.dims()[1] != w.dims()[0] {
-                    return Err(fail(format!("grad_x needs [b,co,oh,ow] x [co,ci,kh,kw]; got {dy} x {w}")));
+                    return Err(fail(format!(
+                        "grad_x needs [b,co,oh,ow] x [co,ci,kh,kw]; got {dy} x {w}"
+                    )));
                 }
                 let ih = (dy.dims()[2] - 1) * stride + w.dims()[2] - 2 * pad;
                 let iw = (dy.dims()[3] - 1) * stride + w.dims()[3] - 2 * pad;
                 Ok(Shape::new(vec![dy.dims()[0], w.dims()[1], ih, iw]))
             }
             Op::Conv2dGradW { stride, pad } => {
-                need(2)?;
                 let (x, dy) = (inputs[0], inputs[1]);
                 if x.rank() != 4 || dy.rank() != 4 || x.dims()[0] != dy.dims()[0] {
                     return Err(fail(format!("grad_w needs matching batches; got {x} x {dy}")));
@@ -414,19 +457,17 @@ impl Op {
                 Ok(Shape::new(vec![dy.dims()[1], x.dims()[1], kh, kw]))
             }
             Op::MaxPool2 { k } => {
-                need(1)?;
                 let x = inputs[0];
-                if x.rank() != 4 || x.dims()[2] % k != 0 || x.dims()[3] % k != 0 {
+                if x.rank() != 4
+                    || !x.dims()[2].is_multiple_of(*k)
+                    || !x.dims()[3].is_multiple_of(*k)
+                {
                     return Err(fail(format!("maxpool({k}) needs divisible [b,c,h,w]; got {x}")));
                 }
                 Ok(Shape::new(vec![x.dims()[0], x.dims()[1], x.dims()[2] / k, x.dims()[3] / k]))
             }
-            Op::MaxPoolGrad { .. } => {
-                need(2)?;
-                Ok(inputs[1].clone())
-            }
+            Op::MaxPoolGrad { .. } => Ok(inputs[1].clone()),
             Op::Flatten => {
-                need(1)?;
                 let x = inputs[0];
                 if x.rank() < 2 {
                     return Err(fail(format!("flatten needs rank >= 2; got {x}")));
@@ -434,7 +475,6 @@ impl Op {
                 Ok(Shape::new(vec![x.dims()[0], x.dims()[1..].iter().product()]))
             }
             Op::Unflatten { dims } => {
-                need(1)?;
                 let x = inputs[0];
                 if x.rank() != 2 || x.dims()[1] != dims.iter().product::<usize>() {
                     return Err(fail(format!("unflatten to {dims:?} mismatches {x}")));
@@ -444,15 +484,15 @@ impl Op {
                 Ok(Shape::new(d))
             }
             Op::Embedding => {
-                need(2)?;
                 let (idx, table) = (inputs[0], inputs[1]);
                 if idx.rank() != 2 || table.rank() != 2 {
-                    return Err(fail(format!("embedding needs [b,s] x [v,h]; got {idx} x {table}")));
+                    return Err(fail(format!(
+                        "embedding needs [b,s] x [v,h]; got {idx} x {table}"
+                    )));
                 }
                 Ok(Shape::new(vec![idx.dims()[0], idx.dims()[1], table.dims()[1]]))
             }
             Op::EmbeddingGrad { vocab } => {
-                need(2)?;
                 let dy = inputs[0];
                 if dy.rank() != 3 {
                     return Err(fail(format!("embedding_grad needs rank-3 dy; got {dy}")));
@@ -460,34 +500,29 @@ impl Op {
                 Ok(Shape::new(vec![*vocab, dy.dims()[2]]))
             }
             Op::CrossEntropy => {
-                need(2)?;
                 let (logits, labels) = (inputs[0], inputs[1]);
                 if logits.rank() < 2 || labels.rank() != logits.rank() - 1 {
-                    return Err(fail(format!("cross_entropy needs [.., v] x [..]; got {logits} x {labels}")));
+                    return Err(fail(format!(
+                        "cross_entropy needs [.., v] x [..]; got {logits} x {labels}"
+                    )));
                 }
                 if logits.dims()[..logits.rank() - 1] != *labels.dims() {
                     return Err(fail(format!("leading dims mismatch {logits} x {labels}")));
                 }
                 Ok(Shape::scalar())
             }
-            Op::CrossEntropyGrad => {
-                need(2)?;
-                Ok(inputs[0].clone())
-            }
-            Op::SumAll => {
-                need(1)?;
-                Ok(Shape::scalar())
-            }
+            Op::CrossEntropyGrad => Ok(inputs[0].clone()),
+            Op::SumAll => Ok(Shape::scalar()),
             Op::Dispatch { experts, capacity } => {
-                need(2)?;
                 let (x, gates) = (inputs[0], inputs[1]);
                 if x.rank() != 3 || gates.rank() != 3 || gates.dims()[2] != *experts {
-                    return Err(fail(format!("dispatch needs [b,s,h] x [b,s,{experts}]; got {x} x {gates}")));
+                    return Err(fail(format!(
+                        "dispatch needs [b,s,h] x [b,s,{experts}]; got {x} x {gates}"
+                    )));
                 }
                 Ok(Shape::new(vec![*experts, *capacity, x.dims()[2]]))
             }
             Op::DispatchGrad => {
-                need(2)?;
                 let (dxd, gates) = (inputs[0], inputs[1]);
                 if dxd.rank() != 3 || gates.rank() != 3 {
                     return Err(fail(format!("dispatch_grad needs rank-3; got {dxd} x {gates}")));
@@ -495,7 +530,6 @@ impl Op {
                 Ok(Shape::new(vec![gates.dims()[0], gates.dims()[1], dxd.dims()[2]]))
             }
             Op::Combine => {
-                need(2)?;
                 let (xe, gates) = (inputs[0], inputs[1]);
                 if xe.rank() != 3 || gates.rank() != 3 {
                     return Err(fail(format!("combine needs rank-3; got {xe} x {gates}")));
@@ -503,7 +537,6 @@ impl Op {
                 Ok(Shape::new(vec![gates.dims()[0], gates.dims()[1], xe.dims()[2]]))
             }
             Op::CombineGrad { experts, capacity } => {
-                need(2)?;
                 let dy = inputs[0];
                 if dy.rank() != 3 {
                     return Err(fail(format!("combine_grad needs rank-3 dy; got {dy}")));
@@ -511,7 +544,6 @@ impl Op {
                 Ok(Shape::new(vec![*experts, *capacity, dy.dims()[2]]))
             }
             Op::UpdateParam { .. } => {
-                need(2)?;
                 if inputs[0] != inputs[1] {
                     return Err(fail(format!("param/grad mismatch {} x {}", inputs[0], inputs[1])));
                 }

@@ -95,8 +95,8 @@ impl Rule {
     /// computation on every device; any sharded/partial placement means each
     /// device only processes its portion.
     pub fn comp_scaling(&self) -> CompScaling {
-        let all_replicated = self.inputs.iter().all(|p| p.is_replicated())
-            && self.output.is_replicated();
+        let all_replicated =
+            self.inputs.iter().all(|p| p.is_replicated()) && self.output.is_replicated();
         if all_replicated {
             CompScaling::Replicated
         } else {
@@ -124,7 +124,8 @@ mod tests {
 
     #[test]
     fn replicated_rule_scaling() {
-        let r = Rule::new(vec![Placement::Replicated, Placement::Replicated], Placement::Replicated);
+        let r =
+            Rule::new(vec![Placement::Replicated, Placement::Replicated], Placement::Replicated);
         assert_eq!(r.comp_scaling(), CompScaling::Replicated);
     }
 
@@ -132,10 +133,7 @@ mod tests {
     fn sharded_rule_scaling() {
         let r = Rule::new(vec![Placement::Shard(0), Placement::Replicated], Placement::Shard(0));
         assert_eq!(r.comp_scaling(), CompScaling::Sharded);
-        let r2 = Rule::new(
-            vec![Placement::Shard(1), Placement::Shard(0)],
-            Placement::PartialSum,
-        );
+        let r2 = Rule::new(vec![Placement::Shard(1), Placement::Shard(0)], Placement::PartialSum);
         assert_eq!(r2.comp_scaling(), CompScaling::Sharded);
     }
 

@@ -92,8 +92,7 @@ impl Problem {
         let mut artificials = 0usize;
         let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(m);
         for c in &self.constraints {
-            let (mut coeffs, mut relation, mut rhs) =
-                (c.coeffs.clone(), c.relation, c.rhs);
+            let (mut coeffs, mut relation, mut rhs) = (c.coeffs.clone(), c.relation, c.rhs);
             if rhs < 0.0 {
                 for v in &mut coeffs {
                     *v = -*v;
@@ -263,20 +262,18 @@ fn run_simplex(
 
 /// Gauss-Jordan pivot on (row, col).
 fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
-    let m = t.len();
-    let width = t[0].len();
     let p = t[row][col];
     debug_assert!(p.abs() > EPS, "pivot on a (near-)zero element");
     for v in t[row].iter_mut() {
         *v /= p;
     }
-    for i in 0..m {
+    let pivot_row = t[row].clone();
+    for (i, r) in t.iter_mut().enumerate() {
         if i != row {
-            let f = t[i][col];
+            let f = r[col];
             if f.abs() > EPS {
-                for j in 0..width {
-                    let delta = f * t[row][j];
-                    t[i][j] -= delta;
+                for (v, &pv) in r.iter_mut().zip(pivot_row.iter()) {
+                    *v -= f * pv;
                 }
             }
         }

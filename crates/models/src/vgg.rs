@@ -105,11 +105,8 @@ mod tests {
     fn tiny_builds_and_has_conv_structure() {
         let g = vgg19(&VggConfig::tiny());
         g.validate().unwrap();
-        let convs = g
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.op, hap_graph::Op::Conv2d { .. }))
-            .count();
+        let convs =
+            g.nodes().iter().filter(|n| matches!(n.op, hap_graph::Op::Conv2d { .. })).count();
         assert_eq!(convs, 8, "three tiny blocks: 2 + 2 + 4 convs");
         assert!(g.segment_count() >= 3);
     }
@@ -119,12 +116,8 @@ mod tests {
         // The communication-heavy fully-connected layers the paper discusses
         // in Sec. 7.2 hold most of VGG19's parameters.
         let g = vgg19(&VggConfig::paper());
-        let fc: usize = g
-            .nodes()
-            .iter()
-            .filter(|n| n.name.starts_with("fc"))
-            .map(|n| n.shape.numel())
-            .sum();
+        let fc: usize =
+            g.nodes().iter().filter(|n| n.name.starts_with("fc")).map(|n| n.shape.numel()).sum();
         assert!(fc as f64 / g.parameter_count() as f64 > 0.8);
     }
 }

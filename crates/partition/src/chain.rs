@@ -35,8 +35,8 @@ pub fn chain_partition(graph: &Graph, g: usize) -> Vec<usize> {
         for &input in &node.inputs {
             // The edge (input -> node) crosses boundaries input+1 ..= node.id.
             let bytes = graph.node_bytes(input) as f64;
-            for b in (input + 1)..=node.id {
-                cut[b] += bytes;
+            for c in &mut cut[(input + 1)..=node.id] {
+                *c += bytes;
             }
         }
     }
@@ -61,8 +61,8 @@ pub fn chain_partition(graph: &Graph, g: usize) -> Vec<usize> {
     const INF: f64 = f64::INFINITY;
     let mut dp = vec![vec![INF; n + 1]; g];
     let mut back = vec![vec![0usize; n + 1]; g];
-    for i in 1..=n {
-        dp[0][i] = score(0, i);
+    for (i, d) in dp[0].iter_mut().enumerate().skip(1) {
+        *d = score(0, i);
     }
     for k in 1..g {
         for i in (k + 1)..=n {

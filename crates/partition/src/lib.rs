@@ -15,4 +15,4 @@
 
 mod chain;
 
-pub use chain::{chain_partition, apply_partition, PartitionStats};
+pub use chain::{apply_partition, chain_partition, PartitionStats};

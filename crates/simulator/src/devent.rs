@@ -39,12 +39,7 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions {
-            launch_overhead: 8e-6,
-            efficiency_half_flops: 2e8,
-            noise: 0.0,
-            seed: 0,
-        }
+        SimOptions { launch_overhead: 8e-6, efficiency_half_flops: 2e8, noise: 0.0, seed: 0 }
     }
 }
 
@@ -111,8 +106,7 @@ pub fn simulate_time(
                     }
                     // Small kernels do not reach profiled throughput.
                     let eff = local_flops / (local_flops + opts.efficiency_half_flops);
-                    let t = (opts.launch_overhead
-                        + local_flops / (devices[j].flops * eff))
+                    let t = (opts.launch_overhead + local_flops / (devices[j].flops * eff))
                         * noise(&mut rng);
                     stage[j] += t;
                     compute_time[j] += t;
@@ -139,25 +133,17 @@ pub fn simulate_time(
                         };
                         let extent = graph.node(*node).shape.dims()[dim];
                         let sizes = round_shards(extent, row);
-                        sizes
-                            .iter()
-                            .map(|&s| bytes * s as f64 / extent.max(1) as f64)
-                            .collect()
+                        sizes.iter().map(|&s| bytes * s as f64 / extent.max(1) as f64).collect()
                     }
                 };
                 let cat = match kind {
                     CollectiveInstr::AllReduce => CollKind::AllReduce,
-                    CollectiveInstr::AllGather { grouped: false, .. } => {
-                        CollKind::AllGatherPadded
-                    }
-                    CollectiveInstr::AllGather { grouped: true, .. } => {
-                        CollKind::GroupedBroadcast
-                    }
+                    CollectiveInstr::AllGather { grouped: false, .. } => CollKind::AllGatherPadded,
+                    CollectiveInstr::AllGather { grouped: true, .. } => CollKind::GroupedBroadcast,
                     CollectiveInstr::ReduceScatter { .. } => CollKind::ReduceScatter,
                     CollectiveInstr::AllToAll { .. } => CollKind::AllToAll,
                 };
-                let t = (net.collective_time(cat, &shard_bytes) + bytes * intra)
-                    * noise(&mut rng);
+                let t = (net.collective_time(cat, &shard_bytes) + bytes * intra) * noise(&mut rng);
                 comm_time += t;
                 total += t;
             }
@@ -187,13 +173,10 @@ mod tests {
         let graph = g.build_training(loss).unwrap();
         let cluster = ClusterSpec::fig17_cluster();
         let devices = cluster.virtual_devices(Granularity::PerGpu);
-        let profile = profile_collectives(
-            &GroundTruthNet::new(NetworkParams::paper_cloud()),
-            devices.len(),
-        );
+        let profile =
+            profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
         let ratios = vec![cluster.proportional_ratios(Granularity::PerGpu)];
-        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default())
-            .unwrap();
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
         (graph, q, devices, ratios)
     }
 
@@ -221,14 +204,7 @@ mod tests {
         let a = simulate_time(&graph, &q, &devices, &net, &ratios, &opts);
         let b = simulate_time(&graph, &q, &devices, &net, &ratios, &opts);
         assert_eq!(a.iteration_time, b.iteration_time);
-        let c = simulate_time(
-            &graph,
-            &q,
-            &devices,
-            &net,
-            &ratios,
-            &SimOptions { seed: 8, ..opts },
-        );
+        let c = simulate_time(&graph, &q, &devices, &net, &ratios, &SimOptions { seed: 8, ..opts });
         assert_ne!(a.iteration_time, c.iteration_time);
     }
 
@@ -249,10 +225,8 @@ mod tests {
         let net = GroundTruthNet::new(NetworkParams::paper_cloud());
         let even = vec![vec![0.25; 4]];
         let skew = vec![vec![0.85, 0.05, 0.05, 0.05]];
-        let t_even =
-            simulate_time(&graph, &q, &devices, &net, &even, &SimOptions::default());
-        let t_skew =
-            simulate_time(&graph, &q, &devices, &net, &skew, &SimOptions::default());
+        let t_even = simulate_time(&graph, &q, &devices, &net, &even, &SimOptions::default());
+        let t_skew = simulate_time(&graph, &q, &devices, &net, &skew, &SimOptions::default());
         assert!(t_skew.comm_time >= t_even.comm_time * 0.99);
     }
 }

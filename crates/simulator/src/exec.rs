@@ -80,8 +80,7 @@ pub fn execute_functional(
                     Placement::Shard(d) => {
                         let extent = full.shape().dims()[*d];
                         let sizes = round_shards(extent, row_for(*node));
-                        full.split_sizes(*d, &sizes)
-                            .map_err(|e| ExecError::Eval(e.to_string()))?
+                        full.split_sizes(*d, &sizes).map_err(|e| ExecError::Eval(e.to_string()))?
                     }
                     Placement::PartialSum => {
                         return Err(ExecError::Eval("leaves cannot be partial".into()))
@@ -111,9 +110,8 @@ pub fn execute_functional(
             }
             DistInstr::Collective { node, kind } => {
                 let input_p = kind.input_placement();
-                let input = values
-                    .get(&(*node, input_p))
-                    .ok_or(ExecError::MissingValue(*node, input_p))?;
+                let input =
+                    values.get(&(*node, input_p)).ok_or(ExecError::MissingValue(*node, input_p))?;
                 let extent_of = |d: usize| graph.node(*node).shape.dims()[d];
                 let out_shards = match kind {
                     CollectiveInstr::AllReduce => all_reduce(&input.shards),
@@ -128,10 +126,7 @@ pub fn execute_functional(
                     }
                 }
                 .map_err(|e| ExecError::Eval(e.to_string()))?;
-                values.insert(
-                    (*node, kind.output_placement()),
-                    DistTensor { shards: out_shards },
-                );
+                values.insert((*node, kind.output_placement()), DistTensor { shards: out_shards });
             }
         }
     }
@@ -196,18 +191,13 @@ pub fn verify_equivalence(
     ratios: &ShardingRatios,
     m: usize,
 ) -> Result<EquivReport, ExecError> {
-    let reference =
-        eval_single_device(graph, feeds).map_err(|e| ExecError::Eval(e.to_string()))?;
+    let reference = eval_single_device(graph, feeds).map_err(|e| ExecError::Eval(e.to_string()))?;
     let distributed = execute_functional(graph, program, feeds, ratios, m)?;
     let mut output_errors = Vec::new();
     let mut max_error = 0f32;
     for o in graph.required_outputs() {
-        let dist = distributed
-            .get(&o)
-            .ok_or(ExecError::MissingValue(o, Placement::Replicated))?;
-        let abs = dist
-            .max_abs_diff(&reference[o])
-            .map_err(|e| ExecError::Eval(e.to_string()))?;
+        let dist = distributed.get(&o).ok_or(ExecError::MissingValue(o, Placement::Replicated))?;
+        let abs = dist.max_abs_diff(&reference[o]).map_err(|e| ExecError::Eval(e.to_string()))?;
         let scale = reference[o].data().iter().fold(0f32, |m, v| m.max(v.abs()));
         let rel = abs / (1.0 + scale);
         max_error = max_error.max(rel);
@@ -229,14 +219,12 @@ mod tests {
         for n in graph.nodes() {
             match n.role {
                 Role::Input | Role::Param => {
-                    feeds.insert(
-                        n.id,
-                        Tensor::randn(n.shape.dims().to_vec(), seed + n.id as u64),
-                    );
+                    feeds.insert(n.id, Tensor::randn(n.shape.dims().to_vec(), seed + n.id as u64));
                 }
                 Role::Label => {
-                    let t = Tensor::randn(n.shape.dims().to_vec(), seed + n.id as u64)
-                        .map(|v| ((v + 0.5) * classes as f32).floor().clamp(0.0, classes as f32 - 1.0));
+                    let t = Tensor::randn(n.shape.dims().to_vec(), seed + n.id as u64).map(|v| {
+                        ((v + 0.5) * classes as f32).floor().clamp(0.0, classes as f32 - 1.0)
+                    });
                     feeds.insert(n.id, t);
                 }
                 _ => {}
@@ -262,13 +250,10 @@ mod tests {
 
         let cluster = ClusterSpec::fig17_cluster();
         let devices = cluster.virtual_devices(Granularity::PerGpu);
-        let profile = profile_collectives(
-            &GroundTruthNet::new(NetworkParams::paper_cloud()),
-            devices.len(),
-        );
+        let profile =
+            profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
         let ratios = vec![cluster.proportional_ratios(Granularity::PerGpu)];
-        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default())
-            .unwrap();
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
         let feeds = feeds_for(&graph, 5, 4);
         let report = verify_equivalence(&graph, &q, &feeds, &ratios, 4).unwrap();
         assert!(

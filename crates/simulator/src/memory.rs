@@ -85,9 +85,7 @@ pub fn memory_footprint(
     }
 
     let oom_devices = (0..m)
-        .filter(|&j| {
-            per_device[j] > devices[j].memory_bytes as f64 / devices[j].gpus.max(1) as f64
-        })
+        .filter(|&j| per_device[j] > devices[j].memory_bytes as f64 / devices[j].gpus.max(1) as f64)
         .collect();
     MemoryReport { per_device, oom_devices }
 }

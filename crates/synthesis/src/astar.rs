@@ -206,7 +206,7 @@ pub fn synthesize_with_theory(
     let mut pops = 0usize;
     while let Some(entry) = open.pop() {
         pops += 1;
-        if pops % 256 == 0 && std::time::Instant::now() >= deadline {
+        if pops.is_multiple_of(256) && std::time::Instant::now() >= deadline {
             // Budget exhausted: fall back to the incumbent (paper-style
             // "seconds of overhead" guarantee).
             if let Some(done) = finish(best_complete.clone(), graph) {
@@ -386,8 +386,10 @@ fn greedy_seed(
             cur.remaining_required,
             cur.props.len()
         );
-        eprintln!("missing required: {:?}",
-            theory.required.iter().filter(|&&r| !cur.props.has_node(r)).collect::<Vec<_>>());
+        eprintln!(
+            "missing required: {:?}",
+            theory.required.iter().filter(|&&r| !cur.props.has_node(r)).collect::<Vec<_>>()
+        );
         for (i, line) in trace.iter().enumerate() {
             eprintln!("  step {i}: {line}");
         }
@@ -418,12 +420,7 @@ fn clone_state(s: &State) -> State {
 
 /// Cheaply previews the cost and remaining-work bound of applying a triple,
 /// without constructing the successor state.
-fn preview(
-    cur: &State,
-    triple: &Triple,
-    cm: &CostModel,
-    theory: &Theory,
-) -> (f64, f64) {
+fn preview(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory) -> (f64, f64) {
     let mut closed = cur.closed;
     let mut stage_max = cur.stage.iter().cloned().fold(0.0, f64::max);
     // Per-device stage vector is only needed when computes follow a
@@ -508,10 +505,7 @@ fn apply(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory, graph: &
 }
 
 /// Converts the winning linked program into a `DistProgram`.
-fn finish(
-    best: Option<(f64, Option<Rc<ProgNode>>)>,
-    _graph: &Graph,
-) -> Option<DistProgram> {
+fn finish(best: Option<(f64, Option<Rc<ProgNode>>)>, _graph: &Graph) -> Option<DistProgram> {
     let (cost, chain) = best?;
     let mut instrs = Vec::new();
     let mut cur = chain;
@@ -553,8 +547,7 @@ mod tests {
         let l = g.sum_all(y);
         let graph = g.build_forward();
         let (devices, profile, ratios) = cluster_setup(4);
-        let q =
-            synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
         assert!(q.is_complete(&graph));
         assert_eq!(q.collective_count(), 0, "program: {}", q.listing(&graph));
         // x must be shard-materialized on its batch dimension.
@@ -580,8 +573,7 @@ mod tests {
         let _ = x;
         let graph = g.build_training(loss).unwrap();
         let (devices, profile, ratios) = cluster_setup(4);
-        let q =
-            synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
         assert!(q.is_complete(&graph), "program:\n{}", q.listing(&graph));
         assert!(
             q.collective_count() >= 1,
@@ -590,9 +582,10 @@ mod tests {
         );
         // Every required output is produced.
         for o in graph.required_outputs() {
-            assert!(q.instrs.iter().any(
-                |i| matches!(i, DistInstr::Compute { node, .. } if *node == o)
-            ));
+            assert!(q
+                .instrs
+                .iter()
+                .any(|i| matches!(i, DistInstr::Compute { node, .. } if *node == o)));
         }
     }
 
@@ -608,14 +601,15 @@ mod tests {
         let l = g.sum_all(y);
         let graph = g.build_training(l).unwrap();
         let (devices, profile, ratios) = cluster_setup(4);
-        let q =
-            synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
         // The gradient of w must NOT be all-reduced; instead the factors are
         // gathered and the gradient computed replicated.
         let grad_w_node = graph
             .nodes()
             .iter()
-            .find(|n| n.role == Role::Grad && matches!(n.op, hap_graph::Op::MatMul2 { ta: true, .. }))
+            .find(|n| {
+                n.role == Role::Grad && matches!(n.op, hap_graph::Op::MatMul2 { ta: true, .. })
+            })
             .map(|n| n.id)
             .expect("weight gradient node");
         let allreduced_grad = q.instrs.iter().any(|i| {
@@ -638,8 +632,8 @@ mod tests {
         let l = g.sum_all(y);
         let graph = g.build_training(l).unwrap();
         let (devices, profile, ratios) = cluster_setup(4);
-        let with = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default())
-            .unwrap();
+        let with =
+            synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
         let without = synthesize(
             &graph,
             &devices,

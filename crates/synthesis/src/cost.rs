@@ -97,23 +97,24 @@ impl<'a> CostModel<'a> {
         let max_ratio =
             self.ratio_row(node).iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
         let intra = bytes * self.intra_sec_per_byte;
-        intra + match kind {
-            CollectiveInstr::AllReduce => {
-                self.profile.estimate(CollKind::AllReduce, bytes, bytes)
+        intra
+            + match kind {
+                CollectiveInstr::AllReduce => {
+                    self.profile.estimate(CollKind::AllReduce, bytes, bytes)
+                }
+                CollectiveInstr::AllGather { grouped: false, .. } => {
+                    self.profile.estimate(CollKind::AllGatherPadded, bytes * max_ratio, bytes)
+                }
+                CollectiveInstr::AllGather { grouped: true, .. } => {
+                    self.profile.estimate(CollKind::GroupedBroadcast, bytes * max_ratio, bytes)
+                }
+                CollectiveInstr::ReduceScatter { .. } => {
+                    self.profile.estimate(CollKind::ReduceScatter, bytes * max_ratio, bytes)
+                }
+                CollectiveInstr::AllToAll { .. } => {
+                    self.profile.estimate(CollKind::AllToAll, bytes * max_ratio, bytes)
+                }
             }
-            CollectiveInstr::AllGather { grouped: false, .. } => {
-                self.profile.estimate(CollKind::AllGatherPadded, bytes * max_ratio, bytes)
-            }
-            CollectiveInstr::AllGather { grouped: true, .. } => {
-                self.profile.estimate(CollKind::GroupedBroadcast, bytes * max_ratio, bytes)
-            }
-            CollectiveInstr::ReduceScatter { .. } => {
-                self.profile.estimate(CollKind::ReduceScatter, bytes * max_ratio, bytes)
-            }
-            CollectiveInstr::AllToAll { .. } => {
-                self.profile.estimate(CollKind::AllToAll, bytes * max_ratio, bytes)
-            }
-        }
     }
 
     /// Admissible lower bound on the remaining time to compute `flops` more
@@ -157,8 +158,7 @@ mod tests {
         let (graph, devices, profile) = setup();
         let ratios = vec![vec![0.4, 0.4, 0.1, 0.1]];
         let cm = CostModel::new(&graph, &devices, &profile, &ratios);
-        let rule =
-            Rule::new(vec![Placement::Shard(0), Placement::Replicated], Placement::Shard(0));
+        let rule = Rule::new(vec![Placement::Shard(0), Placement::Replicated], Placement::Shard(0));
         let secs = cm.compute_seconds(2, &rule);
         // Device 0 (A100, ratio 0.4) does 4x the flops of device 2 (P100, 0.1)
         // at ~2.6x the speed: it must take longer.
@@ -170,10 +170,8 @@ mod tests {
         let (graph, devices, profile) = setup();
         let ratios = vec![vec![0.7, 0.1, 0.1, 0.1]];
         let cm = CostModel::new(&graph, &devices, &profile, &ratios);
-        let rule = Rule::new(
-            vec![Placement::Replicated, Placement::Replicated],
-            Placement::Replicated,
-        );
+        let rule =
+            Rule::new(vec![Placement::Replicated, Placement::Replicated], Placement::Replicated);
         let secs = cm.compute_seconds(2, &rule);
         assert!((secs[0] - secs[1]).abs() < 1e-15, "same device type, same time");
         assert!(secs[2] > secs[0], "P100 slower than A100 on the full op");

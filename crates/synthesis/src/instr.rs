@@ -49,9 +49,7 @@ impl CollectiveInstr {
     /// The placement this collective produces.
     pub fn output_placement(&self) -> Placement {
         match self {
-            CollectiveInstr::AllReduce | CollectiveInstr::AllGather { .. } => {
-                Placement::Replicated
-            }
+            CollectiveInstr::AllReduce | CollectiveInstr::AllGather { .. } => Placement::Replicated,
             CollectiveInstr::ReduceScatter { dim } => Placement::Shard(*dim),
             CollectiveInstr::AllToAll { to, .. } => Placement::Shard(*to),
         }

@@ -79,9 +79,7 @@ impl PropSet {
     pub fn retain(&mut self, mut keep: impl FnMut(&Prop) -> bool) {
         self.props.retain(|p| keep(p));
         let props = &self.props;
-        self.communicated.retain(|&e| {
-            props.iter().any(|&(n, _)| n == e)
-        });
+        self.communicated.retain(|&e| props.iter().any(|&(n, _)| n == e));
     }
 
     /// Number of properties.

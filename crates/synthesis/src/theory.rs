@@ -151,8 +151,7 @@ impl Theory {
             // Communication triples (never for leaves: optimization 2),
             // restricted to placements some consumer actually demands.
             let dims = node.shape.dims();
-            let shardable: Vec<usize> =
-                (0..dims.len()).filter(|&d| dims[d] >= 2).collect();
+            let shardable: Vec<usize> = (0..dims.len()).filter(|&d| dims[d] >= 2).collect();
             let want = &demanded[node.id];
             let wants = |p: Placement| want.contains(&p);
             let mut comm = |kind: CollectiveInstr| {
@@ -250,9 +249,7 @@ mod tests {
         let matmul_triples: Vec<&Triple> = t
             .triples
             .iter()
-            .filter(|tr| {
-                tr.instrs.iter().any(|i| matches!(i, DistInstr::Compute { node: 2, .. }))
-            })
+            .filter(|tr| tr.instrs.iter().any(|i| matches!(i, DistInstr::Compute { node: 2, .. })))
             .collect();
         assert!(!matmul_triples.is_empty());
         for tr in &matmul_triples {
@@ -275,8 +272,7 @@ mod tests {
     fn grouped_broadcast_toggle() {
         let g = fig11_graph();
         let with = Theory::build_with(&g, TheoryOptions::default());
-        let without =
-            Theory::build_with(&g, TheoryOptions { grouped_broadcast: false, sfb: true });
+        let without = Theory::build_with(&g, TheoryOptions { grouped_broadcast: false, sfb: true });
         let count = |t: &Theory| {
             t.triples
                 .iter()

@@ -9,8 +9,7 @@ impl Tensor {
     /// Applies a unary function to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.data().iter().map(|&x| f(x)).collect();
-        Tensor::from_vec(self.shape().dims().to_vec(), data)
-            .expect("map preserves element count")
+        Tensor::from_vec(self.shape().dims().to_vec(), data).expect("map preserves element count")
     }
 
     /// Combines two same-shaped tensors elementwise.
@@ -22,12 +21,7 @@ impl Tensor {
                 op: "zip",
             });
         }
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data().iter().zip(other.data().iter()).map(|(&a, &b)| f(a, b)).collect();
         Ok(Tensor::from_vec(self.shape().dims().to_vec(), data)
             .expect("zip preserves element count"))
     }
@@ -69,9 +63,7 @@ impl Tensor {
 
     /// Elementwise GELU (tanh approximation, as used by BERT/ViT).
     pub fn gelu(&self) -> Tensor {
-        self.map(|x| {
-            0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh())
-        })
+        self.map(|x| 0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh()))
     }
 
     /// Adds a row vector `bias` (shape `[cols]`) to every row of a matrix-like
@@ -97,12 +89,8 @@ impl Tensor {
                 op: "add_bias",
             });
         }
-        let data = self
-            .data()
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| x + bias.data()[i % cols])
-            .collect();
+        let data =
+            self.data().iter().enumerate().map(|(i, &x)| x + bias.data()[i % cols]).collect();
         Tensor::from_vec(self.shape().dims().to_vec(), data)
     }
 

@@ -47,10 +47,7 @@ impl Shape {
 
     /// Extent of dimension `axis`, or an error if out of range.
     pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
-        self.0
-            .get(axis)
-            .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+        self.0.get(axis).copied().ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
     }
 
     /// Row-major strides for this shape.

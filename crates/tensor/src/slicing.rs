@@ -76,7 +76,11 @@ impl Tensor {
         let mut cat_extent = 0;
         for p in parts {
             if p.rank() != rank {
-                return Err(TensorError::RankMismatch { expected: rank, actual: p.rank(), op: "concat" });
+                return Err(TensorError::RankMismatch {
+                    expected: rank,
+                    actual: p.rank(),
+                    op: "concat",
+                });
             }
             for (d, (&a, &b)) in dims.iter().zip(p.shape().dims().iter()).enumerate() {
                 if d != axis && a != b {

@@ -135,10 +135,7 @@ impl Tensor {
     pub fn reshape(&self, dims: Vec<usize>) -> Result<Tensor> {
         let shape = Shape::new(dims);
         if shape.numel() != self.numel() {
-            return Err(TensorError::DataLength {
-                expected: shape.numel(),
-                actual: self.numel(),
-            });
+            return Err(TensorError::DataLength { expected: shape.numel(), actual: self.numel() });
         }
         Ok(Tensor { shape, data: self.data.clone() })
     }

@@ -15,11 +15,7 @@ use hap_simulator::{memory_footprint, simulate_time, SimOptions};
 
 fn main() {
     // A 4-layer BERT so the example finishes in seconds.
-    let graph = bert_base(&BertConfig {
-        batch: 8 * 64,
-        layers: 4,
-        ..BertConfig::paper()
-    });
+    let graph = bert_base(&BertConfig { batch: 8 * 64, layers: 4, ..BertConfig::paper() });
     let cluster = ClusterSpec::paper_heterogeneous(8);
     let devices = cluster.virtual_devices(Granularity::PerMachine);
     let net = GroundTruthNet::new(NetworkParams::paper_cloud());
@@ -34,10 +30,7 @@ fn main() {
     );
     println!("{:<12} {:>16} {:>12}", "system", "per-iter (ms)", "collectives");
 
-    let hap_opts = HapOptions {
-        granularity: Granularity::PerMachine,
-        ..HapOptions::default()
-    };
+    let hap_opts = HapOptions { granularity: Granularity::PerMachine, ..HapOptions::default() };
     let plan = hap::parallelize(&graph, &cluster, &hap_opts).expect("HAP plan");
     let hap_sim = plan.simulate(&net, &opts);
     println!(
@@ -48,8 +41,8 @@ fn main() {
     );
 
     for b in Baseline::all() {
-        let bp = build_baseline(b, &graph, &cluster, Granularity::PerMachine)
-            .expect("baseline builds");
+        let bp =
+            build_baseline(b, &graph, &cluster, Granularity::PerMachine).expect("baseline builds");
         let mem = memory_footprint(&graph, &bp.program, &devices, &bp.ratios);
         if !mem.fits() {
             println!("{:<12} {:>16} {:>12}", b.name(), "OOM", "-");

@@ -31,8 +31,7 @@ fn main() {
             moe_every: 2,
         };
         let graph = bert_moe(&cfg);
-        let plan = hap::parallelize(&graph, &cluster, &HapOptions::default())
-            .expect("HAP plan");
+        let plan = hap::parallelize(&graph, &cluster, &HapOptions::default()).expect("HAP plan");
         let sim = plan.simulate(&net, &SimOptions::default());
 
         // How does the plan split the expert dimension? Apply the plan's

@@ -17,12 +17,7 @@ use hap_simulator::SimOptions;
 
 fn main() {
     // A 3-layer MLP classifier; batch 8192 across the cluster.
-    let graph = mlp(&MlpConfig {
-        batch: 8192,
-        input: 256,
-        hidden: vec![512, 512],
-        classes: 32,
-    });
+    let graph = mlp(&MlpConfig { batch: 8192, input: 256, hidden: vec![512, 512], classes: 32 });
     println!(
         "single-device graph: {} nodes, {:.1} M parameters, {:.2} GFLOP/iteration",
         graph.len(),
@@ -32,8 +27,8 @@ fn main() {
 
     // One machine with 2x A100, one with 2x P100 (the paper's Fig. 17 testbed).
     let cluster = ClusterSpec::fig17_cluster();
-    let plan = hap::parallelize(&graph, &cluster, &HapOptions::default())
-        .expect("synthesis succeeds");
+    let plan =
+        hap::parallelize(&graph, &cluster, &HapOptions::default()).expect("synthesis succeeds");
 
     println!("\nsynthesized distributed program (paper Fig. 11 style):");
     print!("{}", plan.listing());

@@ -39,8 +39,7 @@ fn main() {
         let t_ev = estimate_time(&graph, q, &devices, &profile, &ev);
         let lp = optimize_ratios(&graph, q, &devices, &profile).expect("LP solves");
         let t_lp = estimate_time(&graph, q, &devices, &profile, &lp);
-        let row: Vec<f64> =
-            lp[1].iter().map(|b| (b * 100.0).round() / 100.0).collect();
+        let row: Vec<f64> = lp[1].iter().map(|b| (b * 100.0).round() / 100.0).collect();
         println!(
             "{:>8} {:>12.2} {:>12.2} {:>12.2} {:>28}",
             hidden,

@@ -28,19 +28,11 @@ fn compare(graph: &Graph, cluster: &ClusterSpec) -> (f64, Vec<(&'static str, f64
 
 #[test]
 fn hap_beats_or_ties_dp_on_heterogeneous_mlp() {
-    let graph = mlp(&MlpConfig {
-        batch: 16384,
-        input: 512,
-        hidden: vec![1024, 1024],
-        classes: 64,
-    });
+    let graph = mlp(&MlpConfig { batch: 16384, input: 512, hidden: vec![1024, 1024], classes: 64 });
     let cluster = ClusterSpec::fig17_cluster();
     let (hap_t, rows) = compare(&graph, &cluster);
     for (name, t) in rows {
-        assert!(
-            hap_t <= t * 1.02,
-            "HAP ({hap_t:.5}s) must not lose to {name} ({t:.5}s)"
-        );
+        assert!(hap_t <= t * 1.02, "HAP ({hap_t:.5}s) must not lose to {name} ({t:.5}s)");
     }
 }
 
@@ -50,10 +42,7 @@ fn hap_beats_or_ties_dp_on_transformer() {
     let cluster = ClusterSpec::fig2_cluster();
     let (hap_t, rows) = compare(&graph, &cluster);
     for (name, t) in rows {
-        assert!(
-            hap_t <= t * 1.02,
-            "HAP ({hap_t:.5}s) must not lose to {name} ({t:.5}s)"
-        );
+        assert!(hap_t <= t * 1.02, "HAP ({hap_t:.5}s) must not lose to {name} ({t:.5}s)");
     }
 }
 
@@ -61,12 +50,7 @@ fn hap_beats_or_ties_dp_on_transformer() {
 fn dp_cp_beats_dp_ev_on_heterogeneous_compute_bound_model() {
     // Sanity on the baseline themselves: with compute dominating,
     // proportional ratios beat even ones on a heterogeneous cluster.
-    let graph = mlp(&MlpConfig {
-        batch: 1 << 18,
-        input: 256,
-        hidden: vec![256],
-        classes: 32,
-    });
+    let graph = mlp(&MlpConfig { batch: 1 << 18, input: 256, hidden: vec![256], classes: 32 });
     let cluster = ClusterSpec::fig17_cluster();
     let devices = cluster.virtual_devices(Granularity::PerGpu);
     let net = GroundTruthNet::new(NetworkParams::paper_cloud());

@@ -1,0 +1,32 @@
+//! Smoke test: every example must build and run to completion.
+//!
+//! Examples are documentation that executes; this keeps them from silently
+//! rotting as the API moves. Each one is run via `cargo run --example` in
+//! release mode — the debug-mode BERT example alone takes minutes, and
+//! tier-1 CI builds release first anyway, so the artifacts are warm.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["run", "--release", "--quiet", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+// One test per example would contend on the target-dir lock and interleave
+// rebuilds; running them sequentially in one test is faster overall.
+#[test]
+fn all_examples_run() {
+    for name in ["quickstart", "heterogeneous_bert", "moe_uneven_experts", "sharding_explorer"] {
+        run_example(name);
+    }
+}

@@ -76,14 +76,8 @@ fn baseline_programs_are_equivalent_too() {
     for b in Baseline::all() {
         let plan = build_baseline(b, &graph, &cluster, Granularity::PerGpu).unwrap();
         let feeds = feeds_for(&graph, 99, 4);
-        let report =
-            verify_equivalence(&graph, &plan.program, &feeds, &plan.ratios, 4).unwrap();
-        assert!(
-            report.max_error < 5e-2,
-            "{}: max error {:.3e}",
-            b.name(),
-            report.max_error
-        );
+        let report = verify_equivalence(&graph, &plan.program, &feeds, &plan.ratios, 4).unwrap();
+        assert!(report.max_error < 5e-2, "{}: max error {:.3e}", b.name(), report.max_error);
     }
 }
 

@@ -1,0 +1,124 @@
+//! Workspace-local miniature benchmark harness.
+//!
+//! Mirrors the slice of the `criterion` API HAP's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], `criterion_group!`,
+//! `criterion_main!`, and [`black_box`] — printing a simple
+//! median-of-batches time per iteration. No plotting, no statistics beyond
+//! the median, no CLI filtering; `cargo bench` just runs everything.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    /// Wall-clock budget per benchmark (warm-up included).
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measurement_time: Duration::from_millis(600) }
+    }
+}
+
+impl Criterion {
+    /// Runs `routine` under the timer and prints `id` with a per-iteration
+    /// median.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { batches: Vec::new(), budget: self.measurement_time };
+        routine(&mut bencher);
+        let per_iter = bencher.median_ns();
+        println!("bench: {id:<48} {}", format_ns(per_iter));
+        self
+    }
+}
+
+/// Times batches of calls to the routine under benchmark.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per timed batch.
+    batches: Vec<f64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording batched timings until the
+    /// measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and batch sizing: grow the batch until one batch takes
+        // at least ~1ms, so Instant overhead stays negligible.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline || self.batches.is_empty() {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.batches.push(elapsed.as_nanos() as f64 / batch as f64);
+            if self.batches.len() >= 64 {
+                break;
+            }
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.batches.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted[sorted.len() / 2]
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns/iter")
+    }
+}
+
+/// Declares a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
