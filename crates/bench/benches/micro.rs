@@ -7,8 +7,8 @@ use hap_balancer::{estimate_time, optimize_ratios, round_shards};
 use hap_cluster::{ClusterSpec, Granularity};
 use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
 use hap_lp::{Problem, Relation};
-use hap_models::{transformer_layer, TransformerConfig};
-use hap_synthesis::{synthesize, SynthConfig, Theory};
+use hap_models::{bert_base, transformer_layer, BertConfig, TransformerConfig};
+use hap_synthesis::{synthesize, synthesize_with_theory, SynthConfig, Theory};
 use hap_tensor::Tensor;
 
 fn bench_tensor(c: &mut Criterion) {
@@ -96,5 +96,37 @@ fn bench_synthesis(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tensor, bench_lp, bench_synthesis);
+fn bench_parallel_synthesis(c: &mut Criterion) {
+    // The wave-parallel A* at 1 vs 4 worker threads on the BERT tiny config.
+    // The expansion budget is fixed and the stall cutoff disabled, so every
+    // thread count performs the identical (deterministic) search — the two
+    // series differ only in wall-clock time, which is exactly the speedup
+    // the parallel frontier is supposed to buy on multi-core hosts.
+    let graph = bert_base(&BertConfig::tiny());
+    let cluster = ClusterSpec::paper_heterogeneous(1);
+    let devices = cluster.virtual_devices(Granularity::PerMachine);
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    let profile = profile_collectives(&net, devices.len());
+    let ratios = vec![cluster.proportional_ratios(Granularity::PerMachine); graph.segment_count()];
+    let theory = Theory::build(&graph);
+    for threads in [1usize, 4] {
+        let cfg = SynthConfig {
+            threads,
+            time_budget_secs: 600.0,
+            max_expansions: 4_096,
+            stall_expansions: usize::MAX,
+            ..SynthConfig::default()
+        };
+        c.bench_function(&format!("synthesis/parallel_bert_tiny_t{threads}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    synthesize_with_theory(&graph, &theory, &devices, &profile, &ratios, &cfg)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_tensor, bench_lp, bench_synthesis, bench_parallel_synthesis);
 criterion_main!(benches);

@@ -2,6 +2,7 @@
 use hap_bench::figures as f;
 
 fn main() {
+    hap_bench::announce_threads();
     f::table1();
     f::fig02();
     f::fig04();

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig. 17 series; see EXPERIMENTS.md.
 fn main() {
+    hap_bench::announce_threads();
     hap_bench::figures::fig17();
 }

@@ -29,13 +29,37 @@ pub fn net_for(cluster: &ClusterSpec) -> GroundTruthNet {
     })
 }
 
+/// Synthesis worker threads for the harness: the `HAP_THREADS` environment
+/// variable when set (e.g. `HAP_THREADS=1` for a sequential baseline run),
+/// otherwise `0` = all available cores. Synthesized plans are identical for
+/// every value; only figure wall-clock time changes.
+pub fn synth_threads() -> usize {
+    std::env::var("HAP_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// Prints the synthesis thread configuration once at the top of a figure
+/// binary, so sweep logs record how the planner ran.
+pub fn announce_threads() {
+    let configured = synth_threads();
+    let effective = if configured == 0 { mini_rayon::available_parallelism() } else { configured };
+    println!(
+        "synthesis threads: {effective}{}",
+        if configured == 0 { " (auto; override with HAP_THREADS)" } else { " (HAP_THREADS)" }
+    );
+}
+
 /// Synthesis options used by the harness: a tighter refinement budget so a
 /// full figure sweep stays in minutes.
 pub fn harness_options(granularity: Granularity) -> HapOptions {
     HapOptions {
         granularity,
         max_rounds: 3,
-        synth: SynthConfig { time_budget_secs: 2.0, stall_expansions: 2_000, ..Default::default() },
+        synth: SynthConfig {
+            time_budget_secs: 2.0,
+            stall_expansions: 2_000,
+            threads: synth_threads(),
+            ..Default::default()
+        },
         ..HapOptions::default()
     }
 }

@@ -21,7 +21,9 @@ pub struct HapOptions {
     /// Maximum alternating-optimization rounds (each round = one program
     /// synthesis + one load-balancing LP).
     pub max_rounds: usize,
-    /// Synthesis configuration.
+    /// Synthesis configuration. `synth.threads` controls the wave-parallel
+    /// A\* worker count (`0` = all cores); plans are bit-for-bit identical
+    /// for every value, so it is purely a wall-clock knob.
     pub synth: SynthConfig,
     /// When set and the graph has no user segments, auto-partition it into
     /// this many segments (paper Sec. 5.2's METIS alternative).
@@ -273,6 +275,29 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plan.ratios.len(), 3);
+    }
+
+    #[test]
+    fn thread_knob_does_not_change_the_plan() {
+        // End-to-end determinism: the whole alternating loop (synthesis,
+        // portfolio, LP, memory rescue) must yield the same plan for any
+        // synthesis thread count.
+        let graph = mlp(&MlpConfig::tiny());
+        let cluster = ClusterSpec::fig17_cluster();
+        let opts = |threads: usize| HapOptions {
+            synth: SynthConfig {
+                threads,
+                time_budget_secs: 60.0,
+                max_expansions: 2_000,
+                ..SynthConfig::default()
+            },
+            ..HapOptions::default()
+        };
+        let a = parallelize(&graph, &cluster, &opts(1)).unwrap();
+        let b = parallelize(&graph, &cluster, &opts(8)).unwrap();
+        assert_eq!(a.program.fingerprint(), b.program.fingerprint());
+        assert_eq!(a.ratios, b.ratios);
+        assert_eq!(a.estimated_time.to_bits(), b.estimated_time.to_bits());
     }
 
     #[test]

@@ -165,6 +165,102 @@ mod tests {
     }
 
     #[test]
+    fn fits_reflects_oom_device_list_directly() {
+        let ok = MemoryReport { per_device: vec![1.0, 2.0], oom_devices: vec![] };
+        assert!(ok.fits());
+        let bad = MemoryReport { per_device: vec![1.0, 2.0], oom_devices: vec![1] };
+        assert!(!bad.fits());
+    }
+
+    #[test]
+    fn zero_parameter_graph_counts_only_activations() {
+        // A graph with no parameters: the optimizer-state multiplier never
+        // applies, and the footprint is exactly the materialized tensors.
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![8, 16]);
+        let y = g.relu(x);
+        let l = g.sum_all(y);
+        let graph = g.build_forward();
+        let _ = l;
+        assert_eq!(graph.parameter_count(), 0);
+        let program = DistProgram {
+            instrs: vec![
+                DistInstr::Leaf { node: x, placement: Placement::Replicated },
+                DistInstr::Compute {
+                    node: y,
+                    rule: Rule::new(vec![Placement::Replicated], Placement::Replicated),
+                },
+            ],
+            estimated_time: 0.0,
+        };
+        let devices = two_devices(16);
+        let report = memory_footprint(&graph, &program, &devices, &vec![vec![0.5, 0.5]]);
+        // x (8*16 floats) + y (same shape), no 3x parameter-state term.
+        let expected = 2.0 * 8.0 * 16.0 * 4.0;
+        assert!((report.per_device[0] - expected).abs() < 1.0, "{}", report.per_device[0]);
+        assert!(report.fits());
+    }
+
+    #[test]
+    fn empty_program_has_zero_footprint_and_fits() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![4, 4]);
+        let l = g.sum_all(x);
+        let graph = g.build_forward();
+        let _ = l;
+        let report = memory_footprint(
+            &graph,
+            &DistProgram::default(),
+            &two_devices(1),
+            &vec![vec![0.5, 0.5]],
+        );
+        assert_eq!(report.per_device, vec![0.0, 0.0]);
+        assert!(report.oom_devices.is_empty());
+        assert!(report.fits());
+    }
+
+    #[test]
+    fn single_device_cluster_holds_full_shards() {
+        // On a one-device cluster a "shard" is the whole tensor: the
+        // footprint must match the replicated placement exactly, and OOM
+        // still triggers when the single device is too small.
+        let mut g = GraphBuilder::new();
+        let w = g.parameter("w", vec![1024, 1024]);
+        let x = g.placeholder("x", vec![4, 1024]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_forward();
+        let _ = (y, l);
+        let device = vec![VirtualDevice {
+            name: "solo".into(),
+            flops: 1e12,
+            memory_bytes: 16 << 30,
+            gpus: 1,
+            intra_bandwidth: f64::INFINITY,
+            machine: 0,
+        }];
+        let ratios = vec![vec![1.0]];
+        let sharded = DistProgram {
+            instrs: vec![DistInstr::Leaf { node: w, placement: Placement::Shard(1) }],
+            estimated_time: 0.0,
+        };
+        let replicated = DistProgram {
+            instrs: vec![DistInstr::Leaf { node: w, placement: Placement::Replicated }],
+            estimated_time: 0.0,
+        };
+        let rs = memory_footprint(&graph, &sharded, &device, &ratios);
+        let rr = memory_footprint(&graph, &replicated, &device, &ratios);
+        assert!((rs.per_device[0] - rr.per_device[0]).abs() < 1.0);
+        assert!(rs.fits());
+        // Shrink the device below the 3x parameter-state footprint: OOM.
+        let mut small = device.clone();
+        small[0].memory_bytes = 8 << 20;
+        let tight = memory_footprint(&graph, &sharded, &small, &ratios);
+        assert!(!tight.fits());
+        assert_eq!(tight.oom_devices, vec![0]);
+    }
+
+    #[test]
     fn oom_detected_when_model_exceeds_memory() {
         let mut g = GraphBuilder::new();
         // 2^30 floats = 4 GiB of parameters; x3 states = 12 GiB > 8 GiB cap.

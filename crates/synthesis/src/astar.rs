@@ -1,24 +1,44 @@
-//! A\*-based distributed program search (paper Sec. 4.3, Fig. 10).
+//! Wave-parallel A\*-based distributed program search (paper Sec. 4.3,
+//! Fig. 10).
 //!
 //! States are canonical property sets; the score of a partial program is
 //! `cost + ecost`, where `cost` is the time of all closed stages plus the
 //! running stage's per-device computation, and `ecost` is the admissible
 //! remaining-work bound assuming infinite bandwidth and perfect balance.
 //! Dominance pruning keeps, per property set, only the cheapest program
-//! (the hash-map realization of Fig. 10 lines 9–14), and redundant
-//! properties are dropped from states as soon as no live triple can use
-//! them (Sec. 4.5, optimization 3).
+//! (the hash-map realization of Fig. 10 lines 9–14), realized as a sharded
+//! map so expansion workers can consult it concurrently.
+//!
+//! # Parallel waves, deterministic results
+//!
+//! The search proceeds in *waves*: each wave pops the best
+//! [`WAVE_WIDTH`] states from a sharded frontier, expands them across a
+//! scoped thread pool ([`mini_rayon`] scatter/gather), then merges the
+//! candidate successors **sequentially in a stable order** — sorted by
+//! `(score, cost, program fingerprint)` — before committing any of them to
+//! the dominance map, the incumbent, or the frontier. During a wave the
+//! dominance map and the incumbent are frozen, so workers only perform
+//! deterministic reads; all writes happen in the deterministic merge. The
+//! result is bit-for-bit identical for every `threads` value whenever the
+//! search terminates structurally (optimality bound, expansion budget, or
+//! stall cutoff). Only the wall-clock budget ([`SynthConfig::time_budget_secs`])
+//! is inherently timing-dependent: when it fires, the incumbent of the last
+//! completed wave — itself a deterministic function of the wave count — is
+//! returned.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
 
 use hap_cluster::VirtualDevice;
 use hap_collectives::CommProfile;
 use hap_graph::Graph;
+use mini_rayon::ThreadPool;
 
 use crate::cost::{CostModel, ShardingRatios};
-use crate::instr::{DistInstr, DistProgram};
+use crate::instr::{DistInstr, DistProgram, ProgChain};
 use crate::property::PropSet;
 use crate::theory::{Theory, TheoryOptions, Triple};
 
@@ -32,7 +52,9 @@ pub struct SynthConfig {
     pub beam_width: Option<usize>,
     /// Wall-clock budget in seconds for the A\* refinement; when it runs
     /// out the best complete program found so far (at least the greedy
-    /// incumbent) is returned.
+    /// incumbent) is returned. Workers observe the deadline cooperatively
+    /// through a shared atomic flag, so a `0.0` budget returns the greedy
+    /// incumbent without expanding a single state.
     pub time_budget_secs: f64,
     /// Stop refining after this many expansions without improving the
     /// incumbent (diminishing-returns cutoff).
@@ -41,6 +63,11 @@ pub struct SynthConfig {
     pub grouped_broadcast: bool,
     /// Include the SFB-enabling replicated gradient rules (Sec. 4.4).
     pub sfb: bool,
+    /// Worker threads for the wave-parallel expansion; `0` (the default)
+    /// uses all available cores, `1` runs fully sequentially with no thread
+    /// spawns. The synthesized program is bit-for-bit identical for every
+    /// value — the knob only trades wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for SynthConfig {
@@ -52,6 +79,7 @@ impl Default for SynthConfig {
             stall_expansions: 5_000,
             grouped_broadcast: true,
             sfb: true,
+            threads: 0,
         }
     }
 }
@@ -78,11 +106,19 @@ impl std::fmt::Display for SynthError {
 
 impl std::error::Error for SynthError {}
 
-/// Persistent program list node (programs share prefixes).
-struct ProgNode {
-    instr: DistInstr,
-    parent: Option<Rc<ProgNode>>,
-}
+/// States expanded per wave. Fixed — never derived from the thread count —
+/// so the pop order, and with it every downstream decision, is identical
+/// whether the wave is expanded by 1 worker or 64.
+const WAVE_WIDTH: usize = 64;
+
+/// Shards of the frontier (keeps per-heap sifts short).
+const FRONTIER_SHARDS: usize = 16;
+
+/// Shards of the dominance map (power of two; masks the state hash).
+const DOMINANCE_SHARDS: usize = 64;
+
+/// Workers re-check the shared deadline flag every this many triples.
+const DEADLINE_STRIDE: usize = 256;
 
 struct State {
     props: PropSet,
@@ -94,7 +130,7 @@ struct State {
     remaining_flops: f64,
     /// Required outputs not yet produced.
     remaining_required: usize,
-    program: Option<Rc<ProgNode>>,
+    program: ProgChain,
 }
 
 impl State {
@@ -103,32 +139,147 @@ impl State {
     }
 }
 
-#[derive(PartialEq)]
-struct HeapEntry {
+/// A frontier entry: a live state plus its cached admissible score.
+struct Entry {
     score: f64,
+    /// Commit sequence number: unique, assigned in deterministic merge
+    /// order, and used both as the heap tie-break (newer first — the
+    /// depth-first bias that reaches complete programs quickly) and as the
+    /// frontier shard selector.
     seq: u64,
-    idx: usize,
+    state: Box<State>,
 }
 
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on score (BinaryHeap is a max-heap, so reverse); ties go
-        // to the newer state — a depth-first bias that reaches complete
-        // programs (and therefore pruning bounds) quickly.
-        other
-            .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.seq.cmp(&other.seq))
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
     }
 }
 
-impl PartialOrd for HeapEntry {
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap pops the maximum, so "greater" must mean "expand
+        // first": smaller score wins, ties go to the newer state.
+        other.score.total_cmp(&self.score).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// The open list, sharded into independent binary heaps. Pops scan the
+/// shard heads for the global best — O(shards) per pop, with each push and
+/// sift staying local to one small heap. All mutation happens between
+/// waves on the coordinating thread, so no locking is needed; the sharding
+/// keeps the door open for concurrent in-wave pushes later.
+struct ShardedFrontier {
+    shards: Vec<BinaryHeap<Entry>>,
+}
+
+impl ShardedFrontier {
+    fn new(shards: usize) -> Self {
+        ShardedFrontier { shards: (0..shards).map(|_| BinaryHeap::new()).collect() }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(BinaryHeap::len).sum()
+    }
+
+    fn push(&mut self, entry: Entry) {
+        let shard = (entry.seq % self.shards.len() as u64) as usize;
+        self.shards[shard].push(entry);
+    }
+
+    /// Pops the globally best entry (smallest score, newest on ties).
+    fn pop_best(&mut self) -> Option<Entry> {
+        let best = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, heap)| heap.peek().map(|e| (i, e)))
+            .max_by(|(_, a), (_, b)| a.cmp(b))?
+            .0;
+        self.shards[best].pop()
+    }
+
+    fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+
+    /// Keeps only the best `beam` entries (deterministic: the entry order
+    /// `(score, seq)` is a total order).
+    fn prune_to(&mut self, beam: usize) {
+        let mut all: Vec<Entry> = Vec::with_capacity(self.len());
+        for shard in &mut self.shards {
+            all.extend(std::mem::take(shard).into_vec());
+        }
+        all.sort_unstable_by(|a, b| b.cmp(a)); // best first
+        all.truncate(beam);
+        for entry in all {
+            self.push(entry);
+        }
+    }
+}
+
+/// Per-property-set best-cost map (Fig. 10 lines 9–14), sharded by a stable
+/// hash of the canonical `PropSet` behind reader/writer locks. During a
+/// wave, expansion workers take uncontended read locks; every write happens
+/// in the sequential merge between waves, so lookups are deterministic.
+struct DominanceMap {
+    shards: Vec<RwLock<HashMap<PropSet, f64>>>,
+}
+
+impl DominanceMap {
+    fn new(shards: usize) -> Self {
+        debug_assert!(shards.is_power_of_two());
+        DominanceMap { shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, key: &PropSet) -> &RwLock<HashMap<PropSet, f64>> {
+        // The stable content hash keeps the shard choice (irrelevant to
+        // results, but kept reproducible anyway) identical run to run.
+        &self.shards[(key.stable_hash() as usize) & (self.shards.len() - 1)]
+    }
+
+    /// The best known cost of `key`, if any (read lock).
+    fn bound(&self, key: &PropSet) -> Option<f64> {
+        self.shard(key).read().expect("dominance shard poisoned").get(key).copied()
+    }
+
+    /// Records `cost` for `key` unless an existing entry already dominates
+    /// it; returns whether the entry was inserted (write lock).
+    fn try_commit(&self, key: &PropSet, cost: f64) -> bool {
+        let mut map = self.shard(key).write().expect("dominance shard poisoned");
+        match map.get(key) {
+            Some(&c) if c <= cost + EPS => false,
+            _ => {
+                map.insert(key.clone(), cost);
+                true
+            }
+        }
+    }
+}
+
+/// The best complete program found so far.
+struct Incumbent {
+    cost: f64,
+    program: ProgChain,
+}
+
+/// A successor produced by a wave expansion, not yet committed.
+struct Candidate {
+    score: f64,
+    cost: f64,
+    /// Stable program fingerprint — the cross-thread-count tie-break.
+    fingerprint: u64,
+    state: Box<State>,
 }
 
 const EPS: f64 = 1e-12;
@@ -161,6 +312,7 @@ pub fn synthesize_with_theory(
 ) -> Result<DistProgram, SynthError> {
     let cm = CostModel::new(graph, devices, profile, ratios);
     let m = cm.num_devices();
+    let pool = ThreadPool::new(config.threads);
 
     let total_remaining: f64 = graph
         .nodes()
@@ -170,135 +322,245 @@ pub fn synthesize_with_theory(
         .sum();
     let required_count = theory.required.len();
 
-    let mut states: Vec<State> = vec![State {
+    let initial = State {
         props: PropSet::new(),
         closed: 0.0,
         stage: vec![0.0; m],
         remaining_flops: total_remaining,
         remaining_required: required_count,
-        program: None,
-    }];
-    let mut best_by_key: HashMap<PropSet, f64> = HashMap::new();
-    best_by_key.insert(states[0].props.clone(), 0.0);
-
-    let mut open = BinaryHeap::new();
-    open.push(HeapEntry { score: cm.best_case_seconds(total_remaining), seq: 0, idx: 0 });
-    let mut seq = 1u64;
+        program: ProgChain::new(),
+    };
 
     // Seed the incumbent with a greedy descent: every later state whose
     // score cannot beat it is pruned, which bounds the exploration
     // (branch-and-bound on top of A*).
-    let greedy_t0 = std::time::Instant::now();
-    let mut best_complete: Option<(f64, Option<Rc<ProgNode>>)> =
-        greedy_seed(&states[0], theory, &cm, graph);
+    let greedy_t0 = Instant::now();
+    let mut incumbent: Option<Incumbent> = greedy_seed(&initial, theory, &cm, graph)
+        .map(|(cost, program)| Incumbent { cost, program });
     if std::env::var_os("HAP_SYNTH_DEBUG").is_some() {
         eprintln!(
             "greedy: {:?}, incumbent = {:?}",
             greedy_t0.elapsed(),
-            best_complete.as_ref().map(|(c, _)| *c)
+            incumbent.as_ref().map(|i| i.cost)
         );
     }
-    let mut last_improvement = 0usize;
-    let mut expansions = 0usize;
-    let deadline = std::time::Instant::now()
-        + std::time::Duration::from_secs_f64(config.time_budget_secs.max(0.0));
 
-    let mut pops = 0usize;
-    while let Some(entry) = open.pop() {
-        pops += 1;
-        if pops.is_multiple_of(256) && std::time::Instant::now() >= deadline {
+    let dominance = DominanceMap::new(DOMINANCE_SHARDS);
+    dominance.try_commit(&initial.props, 0.0);
+
+    let mut frontier = ShardedFrontier::new(FRONTIER_SHARDS);
+    frontier.push(Entry {
+        score: cm.best_case_seconds(total_remaining),
+        seq: 0,
+        state: Box::new(initial),
+    });
+    let mut seq = 1u64;
+
+    // The cooperative deadline: the coordinator checks it between waves and
+    // workers poll the flag (and the clock, every DEADLINE_STRIDE triples)
+    // inside a wave, so even a single oversized wave cannot spin past the
+    // budget. A zero budget trips before the first wave is popped.
+    let deadline = Instant::now() + Duration::from_secs_f64(config.time_budget_secs.max(0.0));
+    let out_of_time = AtomicBool::new(false);
+
+    let mut expansions = 0usize;
+    let mut last_improvement = 0usize;
+
+    loop {
+        if out_of_time.load(AtomicOrdering::Relaxed) || Instant::now() >= deadline {
             // Budget exhausted: fall back to the incumbent (paper-style
             // "seconds of overhead" guarantee).
-            if let Some(done) = finish(best_complete.clone(), graph) {
-                return Ok(done);
-            }
-            return Err(SynthError::ExpansionLimit(expansions));
+            return budget_fallback(incumbent, expansions);
         }
-        if let Some((best_cost, _)) = &best_complete {
-            if entry.score >= *best_cost - EPS {
-                break; // A* optimality: no open state can beat the incumbent.
-            }
-            if expansions.saturating_sub(last_improvement) > config.stall_expansions {
-                break; // diminishing returns: keep the incumbent
-            }
-        }
-        // Stale check against the dominance map.
+        if incumbent.is_some()
+            && expansions.saturating_sub(last_improvement) > config.stall_expansions
         {
-            let s = &states[entry.idx];
-            match best_by_key.get(&s.props) {
-                Some(&c) if c < s.cost() - EPS => continue,
-                _ => {}
-            }
+            break; // diminishing returns: keep the incumbent
         }
-        expansions += 1;
-        if expansions > config.max_expansions {
-            return finish(best_complete, graph)
+        let budget_left = config.max_expansions.saturating_sub(expansions);
+        if budget_left == 0 {
+            if std::env::var_os("HAP_SYNTH_DEBUG").is_some() {
+                eprintln!(
+                    "astar: expansion budget {} exhausted over {} threads, frontier {}",
+                    config.max_expansions,
+                    pool.threads(),
+                    frontier.len()
+                );
+            }
+            return incumbent
+                .map(|inc| inc.program.to_program(inc.cost))
                 .ok_or(SynthError::ExpansionLimit(config.max_expansions));
         }
 
-        for triple in &theory.triples {
-            let cur = &states[entry.idx];
-            if let Some(e) = triple.comm_node {
-                if cur.props.is_communicated(e) {
-                    continue;
+        // Pop the wave: the globally best states, skipping entries that a
+        // cheaper path to the same property set has made stale.
+        let mut wave: Vec<Box<State>> = Vec::with_capacity(WAVE_WIDTH.min(budget_left));
+        while wave.len() < WAVE_WIDTH.min(budget_left) {
+            let Some(entry) = frontier.pop_best() else { break };
+            if let Some(inc) = &incumbent {
+                if entry.score >= inc.cost - EPS {
+                    // A* optimality: this is the frontier's minimum score,
+                    // so no open state can beat the incumbent.
+                    frontier.clear();
+                    break;
                 }
             }
-            if !cur.props.contains_all(&triple.pre) {
-                continue;
-            }
-            if triple.post.iter().all(|p| cur.props.contains(p)) {
-                continue;
-            }
-            if let Some((best_cost, _)) = &best_complete {
-                let (pcost, premaining) = preview(cur, triple, &cm, theory);
-                if pcost + cm.best_case_seconds(premaining) >= *best_cost - EPS {
-                    continue; // cannot beat the incumbent: skip without allocating
-                }
-            }
-            let succ = apply(cur, triple, &cm, theory, graph);
-            let cost = succ.cost();
-            if let Some((best_cost, _)) = &best_complete {
-                if cost >= *best_cost - EPS {
-                    continue;
-                }
-            }
-            if succ.remaining_required == 0 {
-                best_complete = Some((cost, succ.program.clone()));
-                last_improvement = expansions;
-                continue;
-            }
-            match best_by_key.get(&succ.props) {
-                Some(&c) if c <= cost + EPS => continue,
+            match dominance.bound(&entry.state.props) {
+                Some(c) if c < entry.state.cost() - EPS => continue, // stale
                 _ => {}
             }
-            let score = cost + cm.best_case_seconds(succ.remaining_flops);
-            if let Some((best_cost, _)) = &best_complete {
-                if score >= *best_cost - EPS {
+            wave.push(entry.state);
+        }
+        if wave.is_empty() {
+            break; // frontier exhausted or optimality proven
+        }
+        expansions += wave.len();
+
+        // Scatter: expand every wave state in parallel. The dominance map
+        // and incumbent are frozen for the duration, so workers only do
+        // deterministic reads.
+        let incumbent_cost = incumbent.as_ref().map(|i| i.cost);
+        let expanded: Vec<Vec<Candidate>> = pool.scatter_map(&wave, |_, state| {
+            expand(state, theory, &cm, graph, incumbent_cost, &dominance, &out_of_time, deadline)
+        });
+        if out_of_time.load(AtomicOrdering::Relaxed) {
+            // The wave was abandoned mid-expansion; its partial candidates
+            // are discarded so the result is the last wave's incumbent.
+            return budget_fallback(incumbent, expansions);
+        }
+
+        // Gather: merge the wave's candidates in a stable, thread-count
+        // independent order before any of them takes effect.
+        let mut candidates: Vec<Candidate> = expanded.into_iter().flatten().collect();
+        candidates.sort_by(|a, b| {
+            a.score
+                .total_cmp(&b.score)
+                .then_with(|| a.cost.total_cmp(&b.cost))
+                .then_with(|| a.fingerprint.cmp(&b.fingerprint))
+        });
+
+        // Commit sequentially in merge order.
+        for cand in candidates {
+            if let Some(inc) = &incumbent {
+                if cand.score >= inc.cost - EPS {
                     continue; // admissible score cannot beat the incumbent
                 }
             }
-            best_by_key.insert(succ.props.clone(), cost);
-            let idx = states.len();
-            states.push(succ);
-            open.push(HeapEntry { score, seq, idx });
+            if cand.state.remaining_required == 0 {
+                // Complete and strictly better (score == cost passed the
+                // bound above). Equal-cost ties resolve to the candidate
+                // with the smaller fingerprint: it commits first in merge
+                // order and the bound then filters the rest.
+                incumbent = Some(Incumbent { cost: cand.cost, program: cand.state.program });
+                last_improvement = expansions;
+                continue;
+            }
+            if !dominance.try_commit(&cand.state.props, cand.cost) {
+                continue;
+            }
+            frontier.push(Entry { score: cand.score, seq, state: cand.state });
             seq += 1;
         }
 
         if let Some(beam) = config.beam_width {
-            if open.len() > beam * 2 {
-                let mut kept: Vec<HeapEntry> = Vec::with_capacity(beam);
-                for _ in 0..beam {
-                    match open.pop() {
-                        Some(e) => kept.push(e),
-                        None => break,
-                    }
-                }
-                open = BinaryHeap::from(kept);
+            if frontier.len() > beam * 2 {
+                frontier.prune_to(beam);
             }
         }
     }
 
-    finish(best_complete, graph).ok_or(SynthError::NoProgram)
+    if std::env::var_os("HAP_SYNTH_DEBUG").is_some() {
+        eprintln!(
+            "astar: {expansions} expansions over {} threads, frontier {} at exit",
+            pool.threads(),
+            frontier.len()
+        );
+    }
+    match incumbent {
+        Some(inc) => Ok(inc.program.to_program(inc.cost)),
+        None => Err(SynthError::NoProgram),
+    }
+}
+
+/// The time-budget exit: the incumbent if one exists, else an error.
+fn budget_fallback(
+    incumbent: Option<Incumbent>,
+    expansions: usize,
+) -> Result<DistProgram, SynthError> {
+    incumbent
+        .map(|inc| inc.program.to_program(inc.cost))
+        .ok_or(SynthError::ExpansionLimit(expansions))
+}
+
+/// Expands one state against the whole theory, returning its surviving
+/// successors. Runs on worker threads: reads the frozen dominance map and
+/// incumbent bound, writes nothing, and polls the shared deadline flag.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    cur: &State,
+    theory: &Theory,
+    cm: &CostModel,
+    graph: &Graph,
+    incumbent_cost: Option<f64>,
+    dominance: &DominanceMap,
+    out_of_time: &AtomicBool,
+    deadline: Instant,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (k, triple) in theory.triples.iter().enumerate() {
+        if k % DEADLINE_STRIDE == 0 {
+            if out_of_time.load(AtomicOrdering::Relaxed) {
+                return out;
+            }
+            if Instant::now() >= deadline {
+                out_of_time.store(true, AtomicOrdering::Relaxed);
+                return out;
+            }
+        }
+        if let Some(e) = triple.comm_node {
+            if cur.props.is_communicated(e) {
+                continue;
+            }
+        }
+        if !cur.props.contains_all(&triple.pre) {
+            continue;
+        }
+        if triple.post.iter().all(|p| cur.props.contains(p)) {
+            continue;
+        }
+        if let Some(bound) = incumbent_cost {
+            let (pcost, premaining) = preview(cur, triple, cm, theory);
+            if pcost + cm.best_case_seconds(premaining) >= bound - EPS {
+                continue; // cannot beat the incumbent: skip without allocating
+            }
+        }
+        let succ = apply(cur, triple, cm, theory, graph);
+        let cost = succ.cost();
+        if let Some(bound) = incumbent_cost {
+            if cost >= bound - EPS {
+                continue;
+            }
+        }
+        if succ.remaining_required == 0 {
+            let fingerprint = succ.program.fingerprint();
+            out.push(Candidate { score: cost, cost, fingerprint, state: Box::new(succ) });
+            continue;
+        }
+        if let Some(c) = dominance.bound(&succ.props) {
+            if c <= cost + EPS {
+                continue; // dominated by a previous wave
+            }
+        }
+        let score = cost + cm.best_case_seconds(succ.remaining_flops);
+        if let Some(bound) = incumbent_cost {
+            if score >= bound - EPS {
+                continue; // admissible score cannot beat the incumbent
+            }
+        }
+        let fingerprint = succ.program.fingerprint();
+        out.push(Candidate { score, cost, fingerprint, state: Box::new(succ) });
+    }
+    out
 }
 
 /// Greedy descent to an initial complete program: from the empty state,
@@ -309,7 +571,7 @@ fn greedy_seed(
     theory: &Theory,
     cm: &CostModel,
     graph: &Graph,
-) -> Option<(f64, Option<Rc<ProgNode>>)> {
+) -> Option<(f64, ProgChain)> {
     let mut cur = clone_state(initial);
     let mut seen_keys: Vec<PropSet> = Vec::new();
     let debug = std::env::var_os("HAP_SYNTH_DEBUG").is_some();
@@ -373,8 +635,8 @@ fn greedy_seed(
             }
         };
         if debug {
-            if let Some(pn) = &next.program {
-                trace.push(format!("{:?}", pn.instr));
+            if let Some(instr) = next.program.last() {
+                trace.push(format!("{instr:?}"));
             }
         }
         seen_keys.push(next.props.clone());
@@ -469,14 +731,14 @@ fn apply(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory, graph: &
                 if props.contains(&(*node, *placement)) {
                     continue;
                 }
-                program = Some(Rc::new(ProgNode { instr: instr.clone(), parent: program }));
+                program = program.push(instr.clone());
             }
             DistInstr::Compute { node, rule } => {
                 let per_dev = cm.compute_seconds(*node, rule);
                 for (s, d) in stage.iter_mut().zip(per_dev.iter()) {
                     *s += d;
                 }
-                program = Some(Rc::new(ProgNode { instr: instr.clone(), parent: program }));
+                program = program.push(instr.clone());
             }
             DistInstr::Collective { node, kind } => {
                 // A collective closes the running stage (paper Fig. 6).
@@ -484,7 +746,7 @@ fn apply(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory, graph: &
                 stage.iter_mut().for_each(|s| *s = 0.0);
                 closed += cm.collective_seconds(*node, kind);
                 props.mark_communicated(*node);
-                program = Some(Rc::new(ProgNode { instr: instr.clone(), parent: program }));
+                program = program.push(instr.clone());
             }
         }
     }
@@ -502,19 +764,6 @@ fn apply(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory, graph: &
     }
 
     State { props, closed, stage, remaining_flops, remaining_required, program }
-}
-
-/// Converts the winning linked program into a `DistProgram`.
-fn finish(best: Option<(f64, Option<Rc<ProgNode>>)>, _graph: &Graph) -> Option<DistProgram> {
-    let (cost, chain) = best?;
-    let mut instrs = Vec::new();
-    let mut cur = chain;
-    while let Some(node) = cur {
-        instrs.push(node.instr.clone());
-        cur = node.parent.clone();
-    }
-    instrs.reverse();
-    Some(DistProgram { instrs, estimated_time: cost })
 }
 
 #[cfg(test)]
@@ -666,5 +915,71 @@ mod tests {
         )
         .expect("greedy incumbent");
         assert!(q.is_complete(&graph));
+    }
+
+    #[test]
+    fn zero_time_budget_returns_the_greedy_incumbent_without_spinning() {
+        // Regression: the cooperative deadline flag must trip before the
+        // first wave, so a 0-second budget degrades to the greedy program
+        // instead of panicking or expanding states. Exercised at several
+        // thread counts since the flag is shared across workers.
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![4096, 64]);
+        let w = g.parameter("w", vec![64, 64]);
+        let y = g.matmul(x, w);
+        let l = g.sum_all(y);
+        let graph = g.build_training(l).unwrap();
+        let _ = (x, w, y, l);
+        let (devices, profile, ratios) = cluster_setup(4);
+        for threads in [1usize, 2, 8] {
+            let t0 = Instant::now();
+            let q = synthesize(
+                &graph,
+                &devices,
+                &profile,
+                &ratios,
+                &SynthConfig { time_budget_secs: 0.0, threads, ..SynthConfig::default() },
+            )
+            .expect("greedy incumbent under zero budget");
+            assert!(q.is_complete(&graph));
+            assert!(
+                t0.elapsed() < Duration::from_secs(30),
+                "zero budget must not spin (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_program() {
+        // The full benchmark-suite determinism check lives in
+        // tests/synthesis_determinism.rs; this is the fast unit-level gate.
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", vec![8192, 128]);
+        let w1 = g.parameter("w1", vec![128, 256]);
+        let w2 = g.parameter("w2", vec![256, 64]);
+        let labels = g.label("y", vec![8192]);
+        let h = g.matmul(x, w1);
+        let h = g.relu(h);
+        let h = g.matmul(h, w2);
+        let loss = g.cross_entropy(h, labels);
+        let graph = g.build_training(loss).unwrap();
+        let _ = (x, w1, w2, labels);
+        let (devices, profile, ratios) = cluster_setup(4);
+        let cfg = |threads: usize| SynthConfig {
+            threads,
+            time_budget_secs: 60.0,
+            max_expansions: 1_500,
+            ..SynthConfig::default()
+        };
+        let reference = synthesize(&graph, &devices, &profile, &ratios, &cfg(1)).unwrap();
+        for threads in [2usize, 8] {
+            let q = synthesize(&graph, &devices, &profile, &ratios, &cfg(threads)).unwrap();
+            assert_eq!(q.fingerprint(), reference.fingerprint(), "threads={threads}");
+            assert_eq!(
+                q.estimated_time.to_bits(),
+                reference.estimated_time.to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 }

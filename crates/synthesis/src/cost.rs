@@ -28,6 +28,14 @@ pub struct CostModel<'a> {
 /// simulator's default; real schedulers pay this per op too).
 pub const LAUNCH_OVERHEAD: f64 = 8e-6;
 
+// Expansion workers of the wave-parallel search evaluate costs concurrently
+// through a shared borrow; this guard fails to compile if the model (or the
+// graph/profile it references) ever gains interior mutability.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CostModel<'static>>()
+};
+
 impl<'a> CostModel<'a> {
     /// Creates a cost model.
     ///

@@ -1,6 +1,7 @@
 //! The distributed instruction set and programs (paper Sec. 4.1, Fig. 8).
 
 use std::fmt;
+use std::sync::Arc;
 
 use hap_graph::{Graph, NodeId, Placement, Role, Rule};
 
@@ -114,6 +115,138 @@ impl DistInstr {
     pub fn is_collective(&self) -> bool {
         matches!(self, DistInstr::Collective { .. })
     }
+
+    /// Folds this instruction into a running FNV-1a fingerprint.
+    ///
+    /// The encoding is purely structural (discriminant tags plus field
+    /// values), so the hash is stable across runs, processes, and thread
+    /// counts — the parallel search uses it as a deterministic tie-break.
+    fn mix_fingerprint(&self, h: u64) -> u64 {
+        match self {
+            DistInstr::Leaf { node, placement } => {
+                mix_placement(fnv1a(fnv1a(h, 1), *node as u64), *placement)
+            }
+            DistInstr::Compute { node, rule } => {
+                let mut h = fnv1a(fnv1a(h, 2), *node as u64);
+                h = fnv1a(h, rule.inputs.len() as u64);
+                for &p in &rule.inputs {
+                    h = mix_placement(h, p);
+                }
+                mix_placement(h, rule.output)
+            }
+            DistInstr::Collective { node, kind } => {
+                let h = fnv1a(fnv1a(h, 3), *node as u64);
+                match kind {
+                    CollectiveInstr::AllReduce => fnv1a(h, 10),
+                    CollectiveInstr::AllGather { dim, grouped } => {
+                        fnv1a(fnv1a(fnv1a(h, 11), *dim as u64), *grouped as u64)
+                    }
+                    CollectiveInstr::ReduceScatter { dim } => fnv1a(fnv1a(h, 12), *dim as u64),
+                    CollectiveInstr::AllToAll { from, to } => {
+                        fnv1a(fnv1a(fnv1a(h, 13), *from as u64), *to as u64)
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a step over the little-endian bytes of `v`.
+///
+/// Shared by every determinism-critical hash in this crate (program
+/// fingerprints here, `PropSet::stable_hash` for dominance sharding) so the
+/// primitive — and the placement encoding below — cannot drift apart.
+pub(crate) fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds a placement into a running FNV-1a hash (stable encoding).
+pub(crate) fn mix_placement(h: u64, p: Placement) -> u64 {
+    match p {
+        Placement::Replicated => fnv1a(h, 0),
+        Placement::Shard(d) => fnv1a(fnv1a(h, 1), d as u64),
+        Placement::PartialSum => fnv1a(h, 2),
+    }
+}
+
+/// A persistent, thread-shareable program list (paper programs are built
+/// instruction by instruction; siblings in the search tree share their
+/// common prefix).
+///
+/// Each node carries the fingerprint of the whole prefix ending at it, so
+/// fingerprints of partial programs cost O(1) to read — the parallel A\*
+/// merge sorts candidate states by `(score, fingerprint)` every wave.
+#[derive(Clone, Debug, Default)]
+pub struct ProgChain {
+    head: Option<Arc<ChainNode>>,
+}
+
+#[derive(Debug)]
+struct ChainNode {
+    instr: DistInstr,
+    fingerprint: u64,
+    parent: Option<Arc<ChainNode>>,
+}
+
+impl ProgChain {
+    /// The empty program.
+    pub fn new() -> Self {
+        ProgChain::default()
+    }
+
+    /// True when no instruction has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_none()
+    }
+
+    /// Number of instructions in the chain (walks the spine).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.head.as_ref();
+        while let Some(node) = cur {
+            n += 1;
+            cur = node.parent.as_ref();
+        }
+        n
+    }
+
+    /// Returns a new chain with `instr` appended; `self` is untouched and
+    /// the prefix is shared (O(1), an `Arc` bump).
+    pub fn push(&self, instr: DistInstr) -> ProgChain {
+        let fingerprint = instr.mix_fingerprint(self.fingerprint());
+        ProgChain {
+            head: Some(Arc::new(ChainNode { instr, fingerprint, parent: self.head.clone() })),
+        }
+    }
+
+    /// Stable fingerprint of the instruction sequence; equals
+    /// [`DistProgram::fingerprint`] of the materialized program.
+    pub fn fingerprint(&self) -> u64 {
+        self.head.as_ref().map_or(FNV_OFFSET, |n| n.fingerprint)
+    }
+
+    /// The most recently appended instruction, if any (O(1)).
+    pub fn last(&self) -> Option<&DistInstr> {
+        self.head.as_ref().map(|n| &n.instr)
+    }
+
+    /// Materializes the chain into a [`DistProgram`] in execution order.
+    pub fn to_program(&self, estimated_time: f64) -> DistProgram {
+        let mut instrs = Vec::new();
+        let mut cur = self.head.as_ref();
+        while let Some(node) = cur {
+            instrs.push(node.instr.clone());
+            cur = node.parent.as_ref();
+        }
+        instrs.reverse();
+        DistProgram { instrs, estimated_time }
+    }
 }
 
 /// A synthesized SPMD program: the same instruction sequence runs on every
@@ -137,6 +270,16 @@ pub struct Stage<'p> {
 }
 
 impl DistProgram {
+    /// Stable 64-bit fingerprint of the instruction sequence.
+    ///
+    /// Two programs have the same fingerprint iff they contain the same
+    /// instructions in the same order (modulo hash collision); the value is
+    /// identical across runs, platforms, and synthesis thread counts, so
+    /// determinism tests compare it directly.
+    pub fn fingerprint(&self) -> u64 {
+        self.instrs.iter().fold(FNV_OFFSET, |h, i| i.mix_fingerprint(h))
+    }
+
     /// Splits the program into synchronization stages.
     pub fn stages(&self) -> Vec<Stage<'_>> {
         let mut stages = vec![Stage { collective: None, computes: Vec::new() }];
@@ -256,6 +399,44 @@ mod tests {
         let a = CollectiveInstr::AllToAll { from: 0, to: 2 };
         assert_eq!(a.input_placement(), Placement::Shard(0));
         assert_eq!(a.output_placement(), Placement::Shard(2));
+    }
+
+    #[test]
+    fn chain_fingerprint_matches_program_fingerprint() {
+        let (_, prog) = fig11_program();
+        let mut chain = ProgChain::new();
+        assert!(chain.is_empty());
+        assert_eq!(chain.fingerprint(), ProgChain::new().fingerprint());
+        for instr in &prog.instrs {
+            chain = chain.push(instr.clone());
+        }
+        assert_eq!(chain.len(), prog.instrs.len());
+        assert_eq!(chain.fingerprint(), prog.fingerprint());
+        let rebuilt = chain.to_program(prog.estimated_time);
+        assert_eq!(rebuilt.instrs, prog.instrs);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_order_and_content() {
+        let (_, prog) = fig11_program();
+        let mut reversed = prog.clone();
+        reversed.instrs.reverse();
+        assert_ne!(prog.fingerprint(), reversed.fingerprint());
+        let mut truncated = prog.clone();
+        truncated.instrs.pop();
+        assert_ne!(prog.fingerprint(), truncated.fingerprint());
+        assert_eq!(prog.fingerprint(), prog.clone().fingerprint());
+    }
+
+    #[test]
+    fn chains_share_prefixes() {
+        let (_, prog) = fig11_program();
+        let base = ProgChain::new().push(prog.instrs[0].clone());
+        let a = base.push(prog.instrs[1].clone());
+        let b = base.push(prog.instrs[2].clone());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.to_program(0.0).instrs[0], prog.instrs[0]);
+        assert_eq!(b.to_program(0.0).instrs[0], prog.instrs[0]);
     }
 
     #[test]

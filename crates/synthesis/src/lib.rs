@@ -14,7 +14,12 @@
 //!    ([`astar`], paper Sec. 4.3 / Fig. 10);
 //! 3. the three search-time optimizations of Sec. 4.5 keep the search
 //!    tractable: empty-precondition triple fusion, at-most-one communication
-//!    per reference tensor, and redundant-property removal.
+//!    per reference tensor, and redundant-property removal;
+//! 4. the search itself runs in parallel waves across a scoped thread pool
+//!    ([`SynthConfig::threads`]), with results guaranteed bit-for-bit
+//!    identical for every thread count: each wave's candidates are merged
+//!    in a stable `(score, cost, program fingerprint)` order before any
+//!    state commits to the dominance map, incumbent, or frontier.
 //!
 //! # Examples
 //!
@@ -48,6 +53,6 @@ mod theory;
 
 pub use astar::{synthesize, synthesize_with_theory, SynthConfig, SynthError};
 pub use cost::{CostModel, ShardingRatios, LAUNCH_OVERHEAD};
-pub use instr::{CollectiveInstr, DistInstr, DistProgram, Stage};
+pub use instr::{CollectiveInstr, DistInstr, DistProgram, ProgChain, Stage};
 pub use property::{Prop, PropSet};
 pub use theory::{Theory, TheoryOptions, Triple};

@@ -82,6 +82,24 @@ impl PropSet {
         self.communicated.retain(|&e| props.iter().any(|&(n, _)| n == e));
     }
 
+    /// Stable FNV-1a hash of the canonical set.
+    ///
+    /// Unlike `Hash`-derived hashing (whose value depends on the hasher
+    /// instance), this is a pure function of the contents — identical
+    /// across runs, platforms, and thread counts. The parallel search uses
+    /// it to pick dominance-map shards deterministically.
+    pub fn stable_hash(&self) -> u64 {
+        use crate::instr::{fnv1a, mix_placement, FNV_OFFSET};
+        let mut h = fnv1a(FNV_OFFSET, self.props.len() as u64);
+        for &(n, p) in &self.props {
+            h = mix_placement(fnv1a(h, n as u64), p);
+        }
+        for &e in &self.communicated {
+            h = fnv1a(h, e as u64);
+        }
+        h
+    }
+
     /// Number of properties.
     pub fn len(&self) -> usize {
         self.props.len()
@@ -130,6 +148,25 @@ mod tests {
         assert_eq!(a, b);
         b.mark_communicated(2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stable_hash_tracks_canonical_identity() {
+        let mut a = PropSet::new();
+        a.insert((2, Placement::Shard(1)));
+        a.insert((1, Placement::Replicated));
+        let mut b = PropSet::new();
+        b.insert((1, Placement::Replicated));
+        b.insert((2, Placement::Shard(1)));
+        // Insertion order is irrelevant: equal sets hash equal.
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        b.mark_communicated(2);
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        let mut c = PropSet::new();
+        c.insert((2, Placement::Shard(0)));
+        c.insert((1, Placement::Replicated));
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        assert_ne!(PropSet::new().stable_hash(), a.stable_hash());
     }
 
     #[test]

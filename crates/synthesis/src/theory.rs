@@ -58,6 +58,14 @@ pub struct Theory {
     pub live: Vec<bool>,
 }
 
+// The wave-parallel search borrows the theory immutably from every worker
+// thread; this guard fails to compile if interior mutability (Rc, RefCell,
+// Cell, ...) ever sneaks into it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Theory>()
+};
+
 /// Options controlling which optional rules enter the theory (used by the
 /// Fig. 15 ablation).
 #[derive(Clone, Copy, Debug)]

@@ -1,0 +1,110 @@
+//! Property-based tests for the rewrite theory (paper Sec. 4.2).
+//!
+//! Over randomly shaped training graphs, every Hoare triple the theory
+//! produces must (a) be canonical and preserve property-set
+//! canonicalization when applied, and (b) price every enabled instruction
+//! at a finite, non-negative cost under any valid sharding-ratio row.
+
+use hap_cluster::{ClusterSpec, Granularity};
+use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+use hap_graph::Graph;
+use hap_models::{mlp, MlpConfig};
+use hap_synthesis::{CostModel, DistInstr, PropSet, Theory, TheoryOptions};
+use proptest::prelude::*;
+
+/// A random small training graph (MLP with random widths and depth).
+fn random_graph(batch: usize, input: usize, hidden: Vec<usize>, classes: usize) -> Graph {
+    mlp(&MlpConfig { batch, input, hidden, classes })
+}
+
+/// True when a property slice is sorted and free of duplicates.
+fn canonical(props: &[(usize, hap_graph::Placement)]) -> bool {
+    props.windows(2).all(|w| w[0] < w[1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Triples are canonical, and firing one on a state that satisfies its
+    /// precondition leaves the property set canonical.
+    #[test]
+    fn triples_preserve_propset_canonicalization(
+        batch in 2usize..32,
+        input in 2usize..16,
+        hidden in prop::collection::vec(2usize..24, 1..3),
+        classes in 2usize..8,
+        grouped in 0u8..2,
+        sfb in 0u8..2,
+    ) {
+        let graph = random_graph(batch, input, hidden, classes);
+        let theory = Theory::build_with(
+            &graph,
+            TheoryOptions { grouped_broadcast: grouped == 1, sfb: sfb == 1 },
+        );
+        prop_assert!(!theory.is_empty());
+        for triple in &theory.triples {
+            prop_assert!(canonical(&triple.pre), "pre not canonical: {:?}", triple.pre);
+            prop_assert!(canonical(&triple.post), "post not canonical: {:?}", triple.post);
+            // Build the smallest state satisfying the precondition, fire the
+            // triple, and check the resulting property set stays canonical
+            // (sorted, deduplicated) — the invariant dominance hashing
+            // relies on.
+            let mut props = PropSet::new();
+            for &p in &triple.pre {
+                props.insert(p);
+            }
+            for &p in &triple.post {
+                props.insert(p);
+            }
+            prop_assert!(canonical(props.props()));
+            prop_assert!(triple.post.iter().all(|p| props.contains(p)));
+            prop_assert!(props.len() <= triple.pre.len() + triple.post.len());
+        }
+    }
+
+    /// Every instruction of every enabled triple has a finite, non-negative
+    /// cost under arbitrary (positive, normalized) sharding ratios.
+    #[test]
+    fn enabled_instructions_never_cost_negative(
+        batch in 2usize..32,
+        input in 2usize..16,
+        hidden in prop::collection::vec(2usize..24, 1..3),
+        classes in 2usize..8,
+        raw in prop::collection::vec(0.05f64..1.0, 4),
+    ) {
+        let graph = random_graph(batch, input, hidden, classes);
+        let theory = Theory::build(&graph);
+        let cluster = ClusterSpec::fig17_cluster();
+        let devices = cluster.virtual_devices(Granularity::PerGpu);
+        let profile = profile_collectives(
+            &GroundTruthNet::new(NetworkParams::paper_cloud()),
+            devices.len(),
+        );
+        let total: f64 = raw.iter().sum();
+        let row: Vec<f64> = raw.iter().map(|r| r / total).collect();
+        let ratios = vec![row; graph.segment_count().max(1)];
+        let cm = CostModel::new(&graph, &devices, &profile, &ratios);
+        for triple in &theory.triples {
+            for instr in &triple.instrs {
+                match instr {
+                    DistInstr::Leaf { .. } => {} // materialization is free
+                    DistInstr::Compute { node, rule } => {
+                        for (d, s) in cm.compute_seconds(*node, rule).iter().enumerate() {
+                            prop_assert!(
+                                s.is_finite() && *s >= 0.0,
+                                "compute cost of node {node} on device {d} is {s}"
+                            );
+                        }
+                    }
+                    DistInstr::Collective { node, kind } => {
+                        let s = cm.collective_seconds(*node, kind);
+                        prop_assert!(
+                            s.is_finite() && s >= 0.0,
+                            "collective {kind} on node {node} costs {s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Bit-for-bit determinism of the wave-parallel synthesizer.
+//!
+//! For every benchmark model, the synthesized plan — program fingerprint
+//! and estimated time — must be identical at 1, 2, and 8 worker threads,
+//! and across repeated runs at the same thread count. The configs below
+//! terminate structurally (fixed expansion cap, wall-clock budget that
+//! never fires), which is the regime the determinism guarantee covers.
+
+use hap::prelude::*;
+use hap_cluster::ClusterSpec;
+use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+use hap_models::Benchmark;
+use hap_synthesis::synthesize;
+
+fn config(threads: usize) -> SynthConfig {
+    SynthConfig {
+        threads,
+        time_budget_secs: 3_600.0,
+        max_expansions: 1_500,
+        ..SynthConfig::default()
+    }
+}
+
+#[test]
+fn plans_are_identical_across_thread_counts_and_repeated_runs() {
+    let cluster = ClusterSpec::fig17_cluster();
+    let devices = cluster.virtual_devices(Granularity::PerGpu);
+    let profile =
+        profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
+    for b in Benchmark::all() {
+        let graph = b.build_tiny(devices.len());
+        let ratios =
+            vec![cluster.proportional_ratios(Granularity::PerGpu); graph.segment_count().max(1)];
+        let reference = synthesize(&graph, &devices, &profile, &ratios, &config(1))
+            .unwrap_or_else(|e| panic!("{} fails to synthesize: {e}", b.name()));
+        assert!(reference.is_complete(&graph), "{} plan incomplete", b.name());
+        for threads in [1usize, 2, 8] {
+            for run in 0..2 {
+                let q = synthesize(&graph, &devices, &profile, &ratios, &config(threads))
+                    .unwrap_or_else(|e| {
+                        panic!("{} fails at threads={threads} run={run}: {e}", b.name())
+                    });
+                assert_eq!(
+                    q.fingerprint(),
+                    reference.fingerprint(),
+                    "{}: program differs at threads={threads} run={run}",
+                    b.name()
+                );
+                assert_eq!(
+                    q.estimated_time.to_bits(),
+                    reference.estimated_time.to_bits(),
+                    "{}: estimated time differs at threads={threads} run={run} \
+                     ({} vs {})",
+                    b.name(),
+                    q.estimated_time,
+                    reference.estimated_time
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn end_to_end_plans_are_thread_count_invariant() {
+    // The full `hap::parallelize` pipeline (synthesis + portfolio + LP +
+    // memory rescue) inherits the synthesizer's determinism.
+    let graph = Benchmark::Vit.build_tiny(4);
+    let cluster = ClusterSpec::fig17_cluster();
+    let opts = |threads: usize| HapOptions {
+        synth: config(threads),
+        max_rounds: 2,
+        ..HapOptions::default()
+    };
+    let reference = hap::parallelize(&graph, &cluster, &opts(1)).unwrap();
+    for threads in [2usize, 8] {
+        let plan = hap::parallelize(&graph, &cluster, &opts(threads)).unwrap();
+        assert_eq!(plan.program.fingerprint(), reference.program.fingerprint());
+        assert_eq!(plan.ratios, reference.ratios);
+        assert_eq!(plan.estimated_time.to_bits(), reference.estimated_time.to_bits());
+    }
+}

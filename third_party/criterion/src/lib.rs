@@ -18,7 +18,15 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { measurement_time: Duration::from_millis(600) }
+        // HAP_BENCH_SMOKE trims the per-bench budget to a quick compile-and-
+        // run sanity pass (used by CI to catch benches that break or blow up
+        // at runtime without paying for stable measurements).
+        let measurement_time = if std::env::var_os("HAP_BENCH_SMOKE").is_some() {
+            Duration::from_millis(40)
+        } else {
+            Duration::from_millis(600)
+        };
+        Self { measurement_time }
     }
 }
 

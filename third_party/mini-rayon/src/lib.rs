@@ -1,0 +1,150 @@
+//! Workspace-local miniature scoped-thread scatter/gather pool.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! slice of `rayon`'s surface the HAP synthesizer needs: an indexed parallel
+//! map over a slice with work distributed dynamically across scoped worker
+//! threads. Results are gathered back **in input order**, so callers that
+//! merge them deterministically observe the same output for any thread
+//! count — the property the parallel A\* search builds its bit-for-bit
+//! reproducibility on.
+//!
+//! Threads are spawned per call with [`std::thread::scope`]; for the
+//! wave-sized batches the synthesizer submits (tens of states, each
+//! scanning hundreds of Hoare triples) the spawn cost is noise next to the
+//! work, and scoped spawning lets closures borrow from the caller's stack
+//! without `'static` bounds or channel plumbing.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of hardware threads available to this process, with a
+/// single-thread fallback when the OS refuses to answer.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// A scatter/gather pool of a fixed logical width.
+///
+/// `new(1)` (or a single-item input) runs the closure inline on the calling
+/// thread — no threads are spawned, reproducing plain sequential iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs `threads` workers per scatter (clamped to at
+    /// least 1). `0` selects [`available_parallelism`].
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 { available_parallelism() } else { threads };
+        ThreadPool { threads }
+    }
+
+    /// The logical width of the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` across the pool, returning results in input
+    /// order regardless of which worker computed each item.
+    ///
+    /// Work is claimed one index at a time from a shared atomic counter
+    /// (dynamic load balancing: an expensive item does not stall the rest of
+    /// the batch behind a static chunk boundary). A panic in `f` is
+    /// propagated to the caller after the scope joins.
+    pub fn scatter_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut gathered: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            local.push((i, f(i, item)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(items.len());
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => all.extend(local),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            all
+        });
+        // Gather: restore input order. Each index appears exactly once.
+        gathered.sort_unstable_by_key(|&(i, _)| i);
+        gathered.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.scatter_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_threads_selects_auto_width() {
+        let pool = ThreadPool::new(0);
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<usize> = pool.scatter_map(&[] as &[usize], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPool::new(8);
+        let out = pool.scatter_map(&items, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.iter().sum::<u64>(), items.iter().sum::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        ThreadPool::new(4).scatter_map(&items, |_, &x| {
+            if x == 33 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}
