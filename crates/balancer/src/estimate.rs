@@ -32,7 +32,15 @@ pub fn stage_breakdown(
     ratios: &ShardingRatios,
 ) -> Vec<StageCost> {
     let cm = CostModel::new(graph, devices, profile, ratios);
+    // Same code path that fills the synthesizer's dense cost tables
+    // (`CostModel::compute_seconds_into`), driven through one reused
+    // scratch row: per-instruction costs agree with the search to the last
+    // bit and the walk never allocates per instruction. A full
+    // `CostTables::build` would also work but prices every `(node, rule)`
+    // pair — wasteful when each program instruction is visited exactly
+    // once.
     let m = devices.len();
+    let mut row = vec![0.0; m];
     let mut stages: Vec<StageCost> = Vec::new();
     let mut cur = StageCost { segment: 0, comm: 0.0, comp: vec![0.0; m] };
     let mut cur_has_segment = false;
@@ -40,8 +48,8 @@ pub fn stage_breakdown(
         match instr {
             DistInstr::Leaf { .. } => {}
             DistInstr::Compute { node, rule } => {
-                let per_dev = cm.compute_seconds(*node, rule);
-                for (s, d) in cur.comp.iter_mut().zip(per_dev.iter()) {
+                cm.compute_seconds_into(*node, rule.comp_scaling(), &mut row);
+                for (s, d) in cur.comp.iter_mut().zip(row.iter()) {
                     *s += d;
                 }
                 if !cur_has_segment {

@@ -8,7 +8,7 @@ use hap_cluster::{ClusterSpec, Granularity};
 use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
 use hap_lp::{Problem, Relation};
 use hap_models::{bert_base, transformer_layer, BertConfig, TransformerConfig};
-use hap_synthesis::{synthesize, synthesize_with_theory, SynthConfig, Theory};
+use hap_synthesis::{synthesize, synthesize_with_theory, HotPathBench, SynthConfig, Theory};
 use hap_tensor::Tensor;
 
 fn bench_tensor(c: &mut Criterion) {
@@ -128,5 +128,40 @@ fn bench_parallel_synthesis(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_tensor, bench_lp, bench_synthesis, bench_parallel_synthesis);
+fn bench_expand_hot_path(c: &mut Criterion) {
+    // The isolated A* inner loop — cost lookup + candidate generation over
+    // a frozen workload of reachable states, no frontier, no dominance map,
+    // no thread pool — through the production cost tables and through the
+    // direct (pre-table, allocating) CostModel path. The ratio of the two
+    // medians is the table speedup; `bench_check` gates the tables variant
+    // against a checked-in reference. Both runs produce bit-identical
+    // checksums (asserted here and in the synthesis crate's property tests).
+    let graph = bert_base(&BertConfig::tiny());
+    // A 16-GPU heterogeneous cluster (the paper's larger settings): cost
+    // rows are 16 wide, so the per-expansion arithmetic carries the weight
+    // it does in production-scale searches.
+    let cluster = ClusterSpec::paper_heterogeneous(4);
+    let devices = cluster.virtual_devices(Granularity::PerGpu);
+    let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+    let profile = profile_collectives(&net, devices.len());
+    let ratios = vec![cluster.proportional_ratios(Granularity::PerGpu); graph.segment_count()];
+    let workload = HotPathBench::new(graph, devices, profile, ratios, 256);
+    let apps = workload.applications() as f64;
+    assert_eq!(workload.run(true).1, workload.run(false).1, "table vs direct cost drift");
+    c.bench_function_with_units("synthesis/expand_hot_path", apps, |bench| {
+        bench.iter(|| black_box(workload.run(true)))
+    });
+    c.bench_function_with_units("synthesis/expand_hot_path_direct", apps, |bench| {
+        bench.iter(|| black_box(workload.run(false)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_lp,
+    bench_synthesis,
+    bench_parallel_synthesis,
+    bench_expand_hot_path
+);
 criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! CI regression gate over the machine-readable bench report.
+//!
+//! Usage: `bench_check <BENCH_synthesis.json> <reference-file>`
+//!
+//! Reads the JSON report written by the micro-bench harness (see the
+//! `criterion` shim's `HAP_BENCH_JSON` support), extracts the
+//! `synthesis/expand_hot_path` median, and fails (exit 1) when it exceeds
+//! 2x the checked-in reference value — the cost-table hot path must never
+//! quietly fall back to recomputation. Also prints the table-vs-direct
+//! speedup when both series are present, so the CI log shows the current
+//! ratio at a glance.
+
+use std::process::ExitCode;
+
+/// The bench whose median the gate gates.
+const GATED_BENCH: &str = "synthesis/expand_hot_path";
+/// The allocating baseline it is compared against (informational).
+const BASELINE_BENCH: &str = "synthesis/expand_hot_path_direct";
+/// Maximum allowed regression versus the reference median.
+const MAX_REGRESSION: f64 = 2.0;
+
+/// Extracts `"median_ns"` of the entry with the given `"id"` from the flat
+/// report schema (`{"benches": [{"id": ..., "median_ns": ...}, ...]}`).
+fn median_for(json: &str, id: &str) -> Option<f64> {
+    let entry = json.find(&format!("\"id\": \"{id}\""))?;
+    let rest = &json[entry..];
+    let key = "\"median_ns\": ";
+    let tail = &rest[rest.find(key)? + key.len()..];
+    let end = tail.find(|c: char| !c.is_ascii_digit() && c != '.')?;
+    tail[..end].parse().ok()
+}
+
+/// Parses the reference file: the first non-comment, non-empty line is the
+/// reference median in nanoseconds.
+fn parse_reference(text: &str) -> Option<f64> {
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(report_path), Some(ref_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_check <BENCH_synthesis.json> <reference-file>");
+        return ExitCode::FAILURE;
+    };
+    let report = match std::fs::read_to_string(&report_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {report_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reference = match std::fs::read_to_string(&ref_path).map(|s| parse_reference(&s)) {
+        Ok(Some(v)) => v,
+        _ => {
+            eprintln!("bench_check: no reference value in {ref_path}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(median) = median_for(&report, GATED_BENCH) else {
+        eprintln!("bench_check: {GATED_BENCH} missing from {report_path}");
+        return ExitCode::FAILURE;
+    };
+    if let Some(direct) = median_for(&report, BASELINE_BENCH) {
+        println!(
+            "bench_check: {GATED_BENCH} = {median:.0} ns, direct = {direct:.0} ns \
+             (tables {:.2}x faster)",
+            direct / median
+        );
+    }
+    let limit = reference * MAX_REGRESSION;
+    if median > limit {
+        eprintln!(
+            "bench_check: FAIL — {GATED_BENCH} median {median:.0} ns exceeds \
+             {MAX_REGRESSION}x the reference {reference:.0} ns (limit {limit:.0} ns)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_check: OK — {median:.0} ns within {MAX_REGRESSION}x of reference {reference:.0} ns"
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benches": [
+    {"id": "tensor/matmul_64", "median_ns": 35884.0},
+    {"id": "synthesis/expand_hot_path", "median_ns": 224960.1, "units_per_iter": 2837.0, "units_per_sec": 12611127.4},
+    {"id": "synthesis/expand_hot_path_direct", "median_ns": 454539.5, "units_per_iter": 2837.0, "units_per_sec": 6241481.8}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_the_gated_median() {
+        assert_eq!(median_for(SAMPLE, GATED_BENCH), Some(224960.1));
+        assert_eq!(median_for(SAMPLE, BASELINE_BENCH), Some(454539.5));
+        assert_eq!(median_for(SAMPLE, "no/such_bench"), None);
+    }
+
+    #[test]
+    fn reference_skips_comments() {
+        assert_eq!(parse_reference("# comment\n\n300000\n"), Some(300000.0));
+        assert_eq!(parse_reference("# only comments\n"), None);
+    }
+}

@@ -25,21 +25,33 @@
 //! is inherently timing-dependent: when it fires, the incumbent of the last
 //! completed wave — itself a deterministic function of the wave count — is
 //! returned.
+//!
+//! # The zero-allocation hot path
+//!
+//! The expansion inner loop (one iteration per `(state, triple)` pair) is
+//! O(1)-lookup and allocation-free until a successor survives the bounds:
+//! costs come from dense precomputed [`CostTables`], previews run through a
+//! per-worker scratch buffer with fused add+max passes, and states carry
+//! hash-consed [`InternedProps`] whose content hash is maintained
+//! incrementally — so dominance probes hash a `u32` id, not a whole set.
+//! [`HotPathBench`] freezes this loop into a micro-benchmarkable workload
+//! (`synthesis/expand_hot_path`), with a `Direct` cost oracle preserving
+//! the pre-table behavior for comparison.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::RwLock;
 use std::time::{Duration, Instant};
 
 use hap_cluster::VirtualDevice;
 use hap_collectives::CommProfile;
-use hap_graph::Graph;
+use hap_graph::{Graph, NodeId, Rule};
 use mini_rayon::ThreadPool;
 
-use crate::cost::{CostModel, ShardingRatios};
-use crate::instr::{DistInstr, DistProgram, ProgChain};
-use crate::property::PropSet;
+use crate::cost::{CostModel, CostTables, ShardingRatios};
+use crate::instr::{CollectiveInstr, DistInstr, DistProgram, ProgChain};
+use crate::property::{InternedProps, PropInterner, PropSet};
 use crate::theory::{Theory, TheoryOptions, Triple};
 
 /// Synthesis options.
@@ -121,7 +133,10 @@ const DOMINANCE_SHARDS: usize = 64;
 const DEADLINE_STRIDE: usize = 256;
 
 struct State {
-    props: PropSet,
+    /// Hash-consed property set: cloning a state copies the id and bumps a
+    /// refcount; the owned set is cloned only at genuine mutation points
+    /// (inside [`apply`], which then re-interns the successor).
+    props: InternedProps,
     /// Time of closed stages plus nothing of the running stage.
     closed: f64,
     /// Per-device computation accumulated in the running stage.
@@ -228,12 +243,17 @@ impl ShardedFrontier {
     }
 }
 
-/// Per-property-set best-cost map (Fig. 10 lines 9–14), sharded by a stable
-/// hash of the canonical `PropSet` behind reader/writer locks. During a
-/// wave, expansion workers take uncontended read locks; every write happens
-/// in the sequential merge between waves, so lookups are deterministic.
+/// Per-property-set best-cost map (Fig. 10 lines 9–14). Keys are interner
+/// ids — a `u32` copy instead of a heap-allocated set clone per entry, and
+/// a 4-byte hash per probe instead of re-hashing the whole set. Shards are
+/// still picked by the memoized *content* hash, so the shard population
+/// (irrelevant to results, but kept reproducible anyway) is identical run
+/// to run even though id values are assigned in thread-timing order.
+/// During a wave, expansion workers take uncontended read locks; every
+/// write happens in the sequential merge between waves, so lookups are
+/// deterministic.
 struct DominanceMap {
-    shards: Vec<RwLock<HashMap<PropSet, f64>>>,
+    shards: Vec<RwLock<HashMap<u32, f64>>>,
 }
 
 impl DominanceMap {
@@ -242,27 +262,134 @@ impl DominanceMap {
         DominanceMap { shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect() }
     }
 
-    fn shard(&self, key: &PropSet) -> &RwLock<HashMap<PropSet, f64>> {
-        // The stable content hash keeps the shard choice (irrelevant to
-        // results, but kept reproducible anyway) identical run to run.
+    fn shard(&self, key: &InternedProps) -> &RwLock<HashMap<u32, f64>> {
         &self.shards[(key.stable_hash() as usize) & (self.shards.len() - 1)]
     }
 
     /// The best known cost of `key`, if any (read lock).
-    fn bound(&self, key: &PropSet) -> Option<f64> {
-        self.shard(key).read().expect("dominance shard poisoned").get(key).copied()
+    fn bound(&self, key: &InternedProps) -> Option<f64> {
+        self.shard(key).read().expect("dominance shard poisoned").get(&key.id()).copied()
     }
 
     /// Records `cost` for `key` unless an existing entry already dominates
     /// it; returns whether the entry was inserted (write lock).
-    fn try_commit(&self, key: &PropSet, cost: f64) -> bool {
+    fn try_commit(&self, key: &InternedProps, cost: f64) -> bool {
         let mut map = self.shard(key).write().expect("dominance shard poisoned");
-        match map.get(key) {
+        match map.get(&key.id()) {
             Some(&c) if c <= cost + EPS => false,
             _ => {
-                map.insert(key.clone(), cost);
+                map.insert(key.id(), cost);
                 true
             }
+        }
+    }
+}
+
+/// The search's cost oracle.
+///
+/// Production synthesis always runs on [`CostTables`] — O(1) slice reads,
+/// no allocation, no division. The `Direct` variant routes the identical
+/// control flow through the original allocating [`CostModel`] calls; it
+/// exists for the `synthesis/expand_hot_path` micro-bench and the
+/// equivalence tests, which assert both variants produce bit-identical
+/// costs on the same workload.
+pub(crate) enum CostSource<'a> {
+    /// Precomputed dense tables (the production hot path).
+    Tables(&'a CostTables),
+    /// Direct per-call evaluation (the pre-table baseline).
+    Direct(&'a CostModel<'a>),
+}
+
+impl CostSource<'_> {
+    /// Adds the per-device seconds of computing `node` under `rule` to
+    /// `stage`.
+    #[inline]
+    fn add_compute(&self, stage: &mut [f64], node: NodeId, rule: &Rule) {
+        match self {
+            CostSource::Tables(t) => {
+                for (s, d) in stage.iter_mut().zip(t.compute_row_for(node, rule)) {
+                    *s += d;
+                }
+            }
+            CostSource::Direct(cm) => {
+                // The pre-table behavior: a fresh Vec per evaluation.
+                let per_dev = cm.compute_seconds(node, rule);
+                for (s, d) in stage.iter_mut().zip(per_dev.iter()) {
+                    *s += d;
+                }
+            }
+        }
+    }
+
+    /// Fused `stage += compute; max(stage)` in one pass (the preview inner
+    /// loop). The running maximum folds in element order from `0.0`,
+    /// exactly like a separate `fold(0.0, f64::max)` pass would.
+    #[inline]
+    fn add_compute_max(&self, stage: &mut [f64], node: NodeId, rule: &Rule) -> f64 {
+        let mut max = 0.0f64;
+        match self {
+            CostSource::Tables(t) => {
+                for (s, d) in stage.iter_mut().zip(t.compute_row_for(node, rule)) {
+                    *s += d;
+                    max = max.max(*s);
+                }
+            }
+            CostSource::Direct(cm) => {
+                let per_dev = cm.compute_seconds(node, rule);
+                for (s, d) in stage.iter_mut().zip(per_dev.iter()) {
+                    *s += d;
+                    max = max.max(*s);
+                }
+            }
+        }
+        max
+    }
+
+    /// Fused `stage = base + compute; max(stage)` in one pass (the first
+    /// compute of a preview, replacing a copy + add + fold triple pass).
+    #[inline]
+    fn set_compute_max(&self, stage: &mut [f64], base: &[f64], node: NodeId, rule: &Rule) -> f64 {
+        let mut max = 0.0f64;
+        match self {
+            CostSource::Tables(t) => {
+                let row = t.compute_row_for(node, rule);
+                for ((s, &b), d) in stage.iter_mut().zip(base.iter()).zip(row) {
+                    *s = b + d;
+                    max = max.max(*s);
+                }
+            }
+            CostSource::Direct(cm) => {
+                let per_dev = cm.compute_seconds(node, rule);
+                for ((s, &b), d) in stage.iter_mut().zip(base.iter()).zip(per_dev.iter()) {
+                    *s = b + d;
+                    max = max.max(*s);
+                }
+            }
+        }
+        max
+    }
+
+    #[inline]
+    fn collective_secs(&self, node: NodeId, kind: &CollectiveInstr) -> f64 {
+        match self {
+            CostSource::Tables(t) => t.collective_secs(node, kind),
+            CostSource::Direct(cm) => cm.collective_seconds(node, kind),
+        }
+    }
+
+    #[inline]
+    fn best_case_seconds(&self, flops: f64) -> f64 {
+        match self {
+            CostSource::Tables(t) => t.best_case_seconds(flops),
+            CostSource::Direct(cm) => cm.best_case_seconds(flops),
+        }
+    }
+
+    #[inline]
+    fn node_flops(&self, node: NodeId) -> f64 {
+        match self {
+            CostSource::Tables(t) => t.node_flops(node),
+            CostSource::Direct(cm) => cm.node_flops(node),
         }
     }
 }
@@ -310,7 +437,40 @@ pub fn synthesize_with_theory(
     ratios: &ShardingRatios,
     config: &SynthConfig,
 ) -> Result<DistProgram, SynthError> {
+    synthesize_with_theory_warm(graph, theory, devices, profile, ratios, config, None)
+}
+
+/// [`synthesize_with_theory`] with an optional warm-start program.
+///
+/// The alternating Q/B loop re-synthesizes under freshly balanced ratios
+/// every round; `warm_start` lets round *s* seed the A\* incumbent with
+/// round *s−1*'s program, re-costed under the new ratio matrix via the same
+/// table arithmetic the search uses. A warm incumbent is an upper bound
+/// that prunes every state whose admissible score cannot beat it, which
+/// typically cuts later rounds to a fraction of round 0's expansions. The
+/// warm program only replaces the greedy seed when it is strictly cheaper,
+/// and any strictly better program found by the search replaces it in turn.
+///
+/// Results are preserved up to exact cost ties: a warm incumbent only
+/// suppresses programs that cannot beat it by more than [`EPS`], so warm
+/// and cold runs can diverge only when the warm program ties the cold
+/// optimum within that epsilon (in which case the warm run returns the
+/// warm program itself — an equal-cost plan). The determinism suite pins
+/// bit-for-bit equality on every benchmark model.
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_with_theory_warm(
+    graph: &Graph,
+    theory: &Theory,
+    devices: &[VirtualDevice],
+    profile: &CommProfile,
+    ratios: &ShardingRatios,
+    config: &SynthConfig,
+    warm_start: Option<&DistProgram>,
+) -> Result<DistProgram, SynthError> {
     let cm = CostModel::new(graph, devices, profile, ratios);
+    let tables = CostTables::build(&cm);
+    let costs = CostSource::Tables(&tables);
+    let interner = PropInterner::new();
     let m = cm.num_devices();
     let pool = ThreadPool::new(config.threads);
 
@@ -323,7 +483,7 @@ pub fn synthesize_with_theory(
     let required_count = theory.required.len();
 
     let initial = State {
-        props: PropSet::new(),
+        props: interner.intern(PropSet::new()),
         closed: 0.0,
         stage: vec![0.0; m],
         remaining_flops: total_remaining,
@@ -335,7 +495,7 @@ pub fn synthesize_with_theory(
     // score cannot beat it is pruned, which bounds the exploration
     // (branch-and-bound on top of A*).
     let greedy_t0 = Instant::now();
-    let mut incumbent: Option<Incumbent> = greedy_seed(&initial, theory, &cm, graph)
+    let mut incumbent: Option<Incumbent> = greedy_seed(&initial, theory, &costs, &interner, graph)
         .map(|(cost, program)| Incumbent { cost, program });
     if std::env::var_os("HAP_SYNTH_DEBUG").is_some() {
         eprintln!(
@@ -345,12 +505,22 @@ pub fn synthesize_with_theory(
         );
     }
 
+    // Warm start: a previous round's program, re-costed under the current
+    // ratios with the exact arithmetic `apply` uses, becomes the incumbent
+    // when it strictly beats the greedy seed.
+    if let Some(warm) = warm_start {
+        let warm_cost = replay_cost(warm, &costs, m);
+        if incumbent.as_ref().is_none_or(|inc| warm_cost < inc.cost - EPS) {
+            incumbent = Some(Incumbent { cost: warm_cost, program: ProgChain::from_program(warm) });
+        }
+    }
+
     let dominance = DominanceMap::new(DOMINANCE_SHARDS);
     dominance.try_commit(&initial.props, 0.0);
 
     let mut frontier = ShardedFrontier::new(FRONTIER_SHARDS);
     frontier.push(Entry {
-        score: cm.best_case_seconds(total_remaining),
+        score: costs.best_case_seconds(total_remaining),
         seq: 0,
         state: Box::new(initial),
     });
@@ -421,7 +591,17 @@ pub fn synthesize_with_theory(
         // deterministic reads.
         let incumbent_cost = incumbent.as_ref().map(|i| i.cost);
         let expanded: Vec<Vec<Candidate>> = pool.scatter_map(&wave, |_, state| {
-            expand(state, theory, &cm, graph, incumbent_cost, &dominance, &out_of_time, deadline)
+            expand(
+                state,
+                theory,
+                &costs,
+                &interner,
+                graph,
+                incumbent_cost,
+                &dominance,
+                &out_of_time,
+                deadline,
+            )
         });
         if out_of_time.load(AtomicOrdering::Relaxed) {
             // The wave was abandoned mid-expansion; its partial candidates
@@ -494,12 +674,16 @@ fn budget_fallback(
 
 /// Expands one state against the whole theory, returning its surviving
 /// successors. Runs on worker threads: reads the frozen dominance map and
-/// incumbent bound, writes nothing, and polls the shared deadline flag.
+/// incumbent bound, writes nothing (the interner is append-only and
+/// content-addressed), and polls the shared deadline flag. The whole triple
+/// scan is allocation-free — cost lookups are table reads, previews reuse
+/// one scratch buffer — until a successor actually survives the bounds.
 #[allow(clippy::too_many_arguments)]
 fn expand(
     cur: &State,
     theory: &Theory,
-    cm: &CostModel,
+    costs: &CostSource,
+    interner: &PropInterner,
     graph: &Graph,
     incumbent_cost: Option<f64>,
     dominance: &DominanceMap,
@@ -507,6 +691,8 @@ fn expand(
     deadline: Instant,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
+    let mut scratch = vec![0.0; cur.stage.len()];
+    let cur_stage_max = cur.stage.iter().cloned().fold(0.0, f64::max);
     for (k, triple) in theory.triples.iter().enumerate() {
         if k % DEADLINE_STRIDE == 0 {
             if out_of_time.load(AtomicOrdering::Relaxed) {
@@ -517,24 +703,17 @@ fn expand(
                 return out;
             }
         }
-        if let Some(e) = triple.comm_node {
-            if cur.props.is_communicated(e) {
-                continue;
-            }
-        }
-        if !cur.props.contains_all(&triple.pre) {
-            continue;
-        }
-        if triple.post.iter().all(|p| cur.props.contains(p)) {
+        if !triple_applicable(&cur.props, triple) {
             continue;
         }
         if let Some(bound) = incumbent_cost {
-            let (pcost, premaining) = preview(cur, triple, cm, theory);
-            if pcost + cm.best_case_seconds(premaining) >= bound - EPS {
+            let (pcost, premaining) =
+                preview(cur, cur_stage_max, triple, costs, theory, &mut scratch);
+            if pcost + costs.best_case_seconds(premaining) >= bound - EPS {
                 continue; // cannot beat the incumbent: skip without allocating
             }
         }
-        let succ = apply(cur, triple, cm, theory, graph);
+        let succ = apply(cur, triple, costs, interner, theory, graph);
         let cost = succ.cost();
         if let Some(bound) = incumbent_cost {
             if cost >= bound - EPS {
@@ -551,7 +730,7 @@ fn expand(
                 continue; // dominated by a previous wave
             }
         }
-        let score = cost + cm.best_case_seconds(succ.remaining_flops);
+        let score = cost + costs.best_case_seconds(succ.remaining_flops);
         if let Some(bound) = incumbent_cost {
             if score >= bound - EPS {
                 continue; // admissible score cannot beat the incumbent
@@ -569,11 +748,15 @@ fn expand(
 fn greedy_seed(
     initial: &State,
     theory: &Theory,
-    cm: &CostModel,
+    costs: &CostSource,
+    interner: &PropInterner,
     graph: &Graph,
 ) -> Option<(f64, ProgChain)> {
     let mut cur = clone_state(initial);
-    let mut seen_keys: Vec<PropSet> = Vec::new();
+    // Been-here check: stable-hash buckets with exact compare inside, so
+    // wide graphs don't pay the old linear scan over every seen set.
+    let mut seen_keys: HashMap<u64, Vec<PropSet>> = HashMap::new();
+    let mut scratch = vec![0.0; initial.stage.len()];
     let debug = std::env::var_os("HAP_SYNTH_DEBUG").is_some();
     let mut trace: Vec<String> = Vec::new();
     for _ in 0..graph.len().saturating_mul(8).max(64) {
@@ -587,24 +770,18 @@ fn greedy_seed(
         // the winner's state is constructed.
         let mut best_progress: Option<(f64, &Triple)> = None;
         let mut best_filler: Option<(f64, &Triple)> = None;
+        let cur_stage_max = cur.stage.iter().cloned().fold(0.0, f64::max);
         for triple in &theory.triples {
-            if let Some(e) = triple.comm_node {
-                if cur.props.is_communicated(e) {
-                    continue;
-                }
-            }
-            if !cur.props.contains_all(&triple.pre) {
-                continue;
-            }
-            if triple.post.iter().all(|p| cur.props.contains(p)) {
+            if !triple_applicable(&cur.props, triple) {
                 continue;
             }
             let progress = theory.live[triple.output] && !cur.props.has_node(triple.output);
             if !progress && best_progress.is_some() {
                 continue; // filler can't win once progress exists
             }
-            let (pcost, premaining) = preview(&cur, triple, cm, theory);
-            let score = pcost + cm.best_case_seconds(premaining);
+            let (pcost, premaining) =
+                preview(&cur, cur_stage_max, triple, costs, theory, &mut scratch);
+            let score = pcost + costs.best_case_seconds(premaining);
             if progress {
                 if best_progress.as_ref().is_none_or(|(bs, _)| score < *bs) {
                     best_progress = Some((score, triple));
@@ -612,17 +789,23 @@ fn greedy_seed(
             } else {
                 let cheaper = best_filler.as_ref().is_none_or(|(bs, _)| score < *bs);
                 if cheaper {
-                    let succ = apply(&cur, triple, cm, theory, graph);
                     // One-step lookahead: a filler is only useful if it
-                    // unblocks the computation of an unproduced node.
-                    if !seen_keys.contains(&succ.props) && enables_progress(&succ, theory) {
+                    // unblocks the computation of an unproduced node. Only
+                    // the successor's property set matters here, so the
+                    // full state (stage costs, program chain, interning) is
+                    // never constructed.
+                    let succ_props = apply_props(&cur.props, triple);
+                    let unseen = !seen_keys
+                        .get(&succ_props.stable_hash())
+                        .is_some_and(|bucket| bucket.contains(&succ_props));
+                    if unseen && enables_progress(&succ_props, theory) {
                         best_filler = Some((score, triple));
                     }
                 }
             }
         }
         let next = match best_progress.or(best_filler) {
-            Some((_, triple)) => apply(&cur, triple, cm, theory, graph),
+            Some((_, triple)) => apply(&cur, triple, costs, interner, theory, graph),
             None => {
                 if debug {
                     eprintln!(
@@ -639,7 +822,7 @@ fn greedy_seed(
                 trace.push(format!("{instr:?}"));
             }
         }
-        seen_keys.push(next.props.clone());
+        seen_keys.entry(next.props.stable_hash()).or_default().push(PropSet::clone(&next.props));
         cur = next;
     }
     if debug {
@@ -659,14 +842,56 @@ fn greedy_seed(
     None
 }
 
-/// True if some not-yet-produced node's triple becomes applicable in `s`.
-fn enables_progress(s: &State, theory: &Theory) -> bool {
+/// True if some not-yet-produced node's triple becomes applicable under
+/// `props`.
+fn enables_progress(props: &PropSet, theory: &Theory) -> bool {
     theory.triples.iter().any(|t| {
         theory.live[t.output]
-            && !s.props.has_node(t.output)
-            && t.comm_node.is_none_or(|e| !s.props.is_communicated(e))
-            && s.props.contains_all(&t.pre)
+            && !props.has_node(t.output)
+            && t.comm_node.is_none_or(|e| !props.is_communicated(e))
+            && props.contains_all(&t.pre)
     })
+}
+
+/// True when `triple` can fire on `props`: its communication (if any) has
+/// not already happened, its precondition holds, and it establishes at
+/// least one new property. The one applicability predicate shared by
+/// [`expand`], the greedy seed, and the hot-path workload builder, so the
+/// three can never drift apart.
+fn triple_applicable(props: &PropSet, triple: &Triple) -> bool {
+    if let Some(e) = triple.comm_node {
+        if props.is_communicated(e) {
+            return false;
+        }
+    }
+    props.contains_all(&triple.pre) && !triple.post.iter().all(|p| props.contains(p))
+}
+
+/// Applies the property-set effect of a triple to `props` — communicated
+/// markers of its collectives, then its postcondition — invoking
+/// `on_new_node` for every graph node that first becomes produced. The one
+/// source of truth for set effects: [`apply`] layers cost, program, and
+/// remaining-work bookkeeping on top, [`apply_props`] uses it bare.
+fn apply_props_into(props: &mut PropSet, triple: &Triple, mut on_new_node: impl FnMut(NodeId)) {
+    for instr in &triple.instrs {
+        if let DistInstr::Collective { node, .. } = instr {
+            props.mark_communicated(*node);
+        }
+    }
+    for &p in &triple.post {
+        let newly_produced = !props.has_node(p.0);
+        if props.insert(p) && newly_produced {
+            on_new_node(p.0);
+        }
+    }
+}
+
+/// Applies only the property-set effect of a triple — the greedy one-step
+/// lookahead needs the successor's identity, not its cost or program.
+fn apply_props(cur: &PropSet, triple: &Triple) -> PropSet {
+    let mut props = cur.clone();
+    apply_props_into(&mut props, triple, |_| {});
+    props
 }
 
 fn clone_state(s: &State) -> State {
@@ -681,27 +906,40 @@ fn clone_state(s: &State) -> State {
 }
 
 /// Cheaply previews the cost and remaining-work bound of applying a triple,
-/// without constructing the successor state.
-fn preview(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory) -> (f64, f64) {
+/// without constructing the successor state or allocating: `scratch` (one
+/// per expanding worker, reused across the whole triple scan) holds the
+/// in-progress stage vector whenever the triple touches it, and
+/// `cur_stage_max` is the precomputed makespan of the state's running stage
+/// (invariant across the scan, so callers hoist it out of the loop).
+fn preview(
+    cur: &State,
+    cur_stage_max: f64,
+    triple: &Triple,
+    costs: &CostSource,
+    theory: &Theory,
+    scratch: &mut [f64],
+) -> (f64, f64) {
     let mut closed = cur.closed;
-    let mut stage_max = cur.stage.iter().cloned().fold(0.0, f64::max);
-    // Per-device stage vector is only needed when computes follow a
-    // collective inside one triple; triples hold at most one collective.
-    let mut stage = None::<Vec<f64>>;
+    let mut stage_max = cur_stage_max;
+    // True once `scratch` holds the running stage (after the first compute
+    // or collective of this triple); until then the state's own stage is
+    // authoritative and nothing is copied.
+    let mut scratch_live = false;
     for instr in &triple.instrs {
         match instr {
             DistInstr::Leaf { .. } => {}
             DistInstr::Compute { node, rule } => {
-                let per_dev = cm.compute_seconds(*node, rule);
-                let base = stage.get_or_insert_with(|| cur.stage.clone());
-                for (s, d) in base.iter_mut().zip(per_dev.iter()) {
-                    *s += d;
-                }
-                stage_max = base.iter().cloned().fold(0.0, f64::max);
+                stage_max = if scratch_live {
+                    costs.add_compute_max(scratch, *node, rule)
+                } else {
+                    scratch_live = true;
+                    costs.set_compute_max(scratch, &cur.stage, *node, rule)
+                };
             }
             DistInstr::Collective { node, kind } => {
-                closed += stage_max + cm.collective_seconds(*node, kind);
-                stage = Some(vec![0.0; cur.stage.len()]);
+                closed += stage_max + costs.collective_secs(*node, kind);
+                scratch.fill(0.0);
+                scratch_live = true;
                 stage_max = 0.0;
             }
         }
@@ -709,15 +947,25 @@ fn preview(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory) -> (f6
     let mut remaining = cur.remaining_flops;
     for &(n, _) in &triple.post {
         if !cur.props.has_node(n) && theory.live[n] {
-            remaining = (remaining - cm.node_flops(n)).max(0.0);
+            remaining = (remaining - costs.node_flops(n)).max(0.0);
         }
     }
     (closed + stage_max, remaining)
 }
 
-/// Applies a triple to a state, producing the successor.
-fn apply(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory, graph: &Graph) -> State {
-    let mut props = cur.props.clone();
+/// Applies a triple to a state, producing the successor. This is the one
+/// genuine mutation point of a state's property set: callers only reach it
+/// for triples that change the set, so the copy-on-write clone of the
+/// interned set (and the re-intern of the result) happens exactly here.
+fn apply(
+    cur: &State,
+    triple: &Triple,
+    costs: &CostSource,
+    interner: &PropInterner,
+    theory: &Theory,
+    graph: &Graph,
+) -> State {
+    let mut props = PropSet::clone(&cur.props);
     let mut closed = cur.closed;
     let mut stage = cur.stage.clone();
     let mut remaining_flops = cur.remaining_flops;
@@ -728,42 +976,215 @@ fn apply(cur: &State, triple: &Triple, cm: &CostModel, theory: &Theory, graph: &
         match instr {
             DistInstr::Leaf { node, placement } => {
                 // Re-materializing an already-available leaf is skipped.
+                // Postconditions (including this leaf's property) are
+                // applied after the loop, so `props` still reflects the
+                // predecessor here.
                 if props.contains(&(*node, *placement)) {
                     continue;
                 }
                 program = program.push(instr.clone());
             }
             DistInstr::Compute { node, rule } => {
-                let per_dev = cm.compute_seconds(*node, rule);
-                for (s, d) in stage.iter_mut().zip(per_dev.iter()) {
-                    *s += d;
-                }
+                costs.add_compute(&mut stage, *node, rule);
                 program = program.push(instr.clone());
             }
             DistInstr::Collective { node, kind } => {
                 // A collective closes the running stage (paper Fig. 6).
                 closed += stage.iter().cloned().fold(0.0, f64::max);
                 stage.iter_mut().for_each(|s| *s = 0.0);
-                closed += cm.collective_seconds(*node, kind);
-                props.mark_communicated(*node);
+                closed += costs.collective_secs(*node, kind);
                 program = program.push(instr.clone());
             }
         }
     }
 
-    for &p in &triple.post {
-        let newly_produced = !props.has_node(p.0);
-        if props.insert(p) && newly_produced {
-            if !graph.node(p.0).op.is_leaf() && theory.live[p.0] {
-                remaining_flops = (remaining_flops - cm.node_flops(p.0)).max(0.0);
-            }
-            if theory.required.contains(&p.0) {
-                remaining_required = remaining_required.saturating_sub(1);
+    apply_props_into(&mut props, triple, |node| {
+        if !graph.node(node).op.is_leaf() && theory.live[node] {
+            remaining_flops = (remaining_flops - costs.node_flops(node)).max(0.0);
+        }
+        if theory.required.contains(&node) {
+            remaining_required = remaining_required.saturating_sub(1);
+        }
+    });
+
+    let props = interner.intern(props);
+    State { props, closed, stage, remaining_flops, remaining_required, program }
+}
+
+/// Re-costs an existing program, mirroring [`apply`]'s stage arithmetic
+/// operation for operation so a warm-start incumbent's cost is bit-identical
+/// to the cost the search would assign the same program.
+fn replay_cost(program: &DistProgram, costs: &CostSource, m: usize) -> f64 {
+    let mut closed = 0.0;
+    let mut stage = vec![0.0; m];
+    for instr in &program.instrs {
+        match instr {
+            DistInstr::Leaf { .. } => {}
+            DistInstr::Compute { node, rule } => costs.add_compute(&mut stage, *node, rule),
+            DistInstr::Collective { node, kind } => {
+                closed += stage.iter().cloned().fold(0.0, f64::max);
+                stage.iter_mut().for_each(|s| *s = 0.0);
+                closed += costs.collective_secs(*node, kind);
             }
         }
     }
+    closed + stage.iter().cloned().fold(0.0, f64::max)
+}
 
-    State { props, closed, stage, remaining_flops, remaining_required, program }
+/// A frozen expand-hot-path workload: reachable search states with
+/// precomputed applicable-triple lists, isolated from the frontier, the
+/// dominance map, and the thread pool.
+///
+/// [`HotPathBench::run`] replays exactly the cost-lookup + candidate-
+/// generation inner loop of [`expand`] over the workload — preview each
+/// `(state, triple)` pair, apply the ones whose admissible score clears the
+/// stored bound — through either cost oracle. States are fully constructed
+/// (and interned) up front, like the wave states `expand` receives, so the
+/// timed region contains only the inner loop. The
+/// `synthesis/expand_hot_path` micro-bench times the two variants; the
+/// equivalence tests assert their checksums (cost and score bits, successor
+/// fingerprints) are identical.
+pub struct HotPathBench {
+    graph: Graph,
+    devices: Vec<VirtualDevice>,
+    profile: CommProfile,
+    ratios: ShardingRatios,
+    theory: Theory,
+    /// Built once here, not per run: production builds tables once per
+    /// `synthesize_with_theory` call and amortizes them over the whole
+    /// search, so the timed region must not re-pay the build.
+    tables: CostTables,
+    /// Shared across runs; content-addressed, so repeat runs hit.
+    interner: PropInterner,
+    /// `(state, hoisted stage max, applicable triple indices)`.
+    states: Vec<(State, f64, Vec<usize>)>,
+    /// 2nd-percentile preview score of the workload: applications below it
+    /// construct the successor, the rest are preview-pruned — mirroring a
+    /// late-search wave under a tight incumbent, where almost every triple
+    /// dies at preview time (pure cost lookup) and only the promising few
+    /// materialize states.
+    bound: f64,
+    applications: usize,
+}
+
+impl HotPathBench {
+    /// Collects up to `max_states` reachable states by breadth-first
+    /// expansion from the empty state (deterministic: FIFO order, no
+    /// pruning other than property-set dedup).
+    pub fn new(
+        graph: Graph,
+        devices: Vec<VirtualDevice>,
+        profile: CommProfile,
+        ratios: ShardingRatios,
+        max_states: usize,
+    ) -> Self {
+        let theory = Theory::build(&graph);
+        let interner = PropInterner::new();
+        let tables = CostTables::build(&CostModel::new(&graph, &devices, &profile, &ratios));
+        let mut states: Vec<(State, f64, Vec<usize>)> = Vec::with_capacity(max_states);
+        let mut scores: Vec<f64> = Vec::new();
+        {
+            let costs = CostSource::Tables(&tables);
+            let m = devices.len();
+            let total_remaining: f64 = graph
+                .nodes()
+                .iter()
+                .filter(|n| !n.op.is_leaf() && theory.live[n.id])
+                .map(|n| graph.node_flops(n.id))
+                .sum();
+            let initial = State {
+                props: interner.intern(PropSet::new()),
+                closed: 0.0,
+                stage: vec![0.0; m],
+                remaining_flops: total_remaining,
+                remaining_required: theory.required.len(),
+                program: ProgChain::new(),
+            };
+            let mut scratch = vec![0.0; m];
+            let mut seen: HashSet<u32> = HashSet::new();
+            seen.insert(initial.props.id());
+            let mut queue: VecDeque<State> = VecDeque::new();
+            queue.push_back(initial);
+            while let Some(state) = queue.pop_front() {
+                if states.len() >= max_states {
+                    break;
+                }
+                let mut matched = Vec::new();
+                for (k, triple) in theory.triples.iter().enumerate() {
+                    if triple_applicable(&state.props, triple) {
+                        matched.push(k);
+                    }
+                }
+                let stage_max = state.stage.iter().cloned().fold(0.0, f64::max);
+                for &k in &matched {
+                    let triple = &theory.triples[k];
+                    let (pcost, premaining) =
+                        preview(&state, stage_max, triple, &costs, &theory, &mut scratch);
+                    scores.push(pcost + costs.best_case_seconds(premaining));
+                    let succ = apply(&state, triple, &costs, &interner, &theory, &graph);
+                    if seen.insert(succ.props.id()) && queue.len() + states.len() < max_states {
+                        queue.push_back(succ);
+                    }
+                }
+                states.push((state, stage_max, matched));
+            }
+        }
+        scores.sort_unstable_by(f64::total_cmp);
+        let bound = scores.get(scores.len() / 50).copied().unwrap_or(f64::INFINITY);
+        let applications = states.iter().map(|(_, _, matched)| matched.len()).sum();
+        HotPathBench {
+            graph,
+            devices,
+            profile,
+            ratios,
+            theory,
+            tables,
+            interner,
+            states,
+            bound,
+            applications,
+        }
+    }
+
+    /// Number of `(state, triple)` applications one [`HotPathBench::run`]
+    /// performs (the throughput unit of the micro-bench).
+    pub fn applications(&self) -> usize {
+        self.applications
+    }
+
+    /// Replays the workload through the table (`use_tables`) or direct cost
+    /// oracle, returning `(applications, checksum)`. The checksum folds
+    /// every preview score, surviving successor cost, and successor program
+    /// fingerprint, so two runs agree iff their costs are bit-identical.
+    pub fn run(&self, use_tables: bool) -> (usize, u64) {
+        // The CostModel is rebuilt for both variants (cheap: one flops
+        // vec); the tables come prebuilt, mirroring production's
+        // once-per-search amortization.
+        let cm = CostModel::new(&self.graph, &self.devices, &self.profile, &self.ratios);
+        let costs =
+            if use_tables { CostSource::Tables(&self.tables) } else { CostSource::Direct(&cm) };
+        let mut scratch = vec![0.0; self.devices.len()];
+        let mut applications = 0usize;
+        let mut checksum = 0u64;
+        for (state, stage_max, matched) in &self.states {
+            for &k in matched {
+                let triple = &self.theory.triples[k];
+                let (pcost, premaining) =
+                    preview(state, *stage_max, triple, &costs, &self.theory, &mut scratch);
+                let score = pcost + costs.best_case_seconds(premaining);
+                applications += 1;
+                checksum = checksum.rotate_left(1) ^ score.to_bits();
+                if score < self.bound {
+                    let succ =
+                        apply(state, triple, &costs, &self.interner, &self.theory, &self.graph);
+                    checksum = checksum.rotate_left(1)
+                        ^ succ.cost().to_bits()
+                        ^ succ.program.fingerprint();
+                }
+            }
+        }
+        (applications, checksum)
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,36 @@ use hap_graph::{CompScaling, Graph, NodeId, Rule};
 
 use crate::instr::CollectiveInstr;
 
+/// Number of cost-distinct collective categories (see [`coll_variant`]).
+const COLL_VARIANTS: usize = 5;
+
+/// Dense index of the cost category a collective falls into.
+///
+/// [`CostModel::collective_seconds`] depends on the instruction only through
+/// its category — the shard dimensions of `AllGather`/`ReduceScatter`/
+/// `AllToAll` never enter the estimate (the governing byte count is the
+/// node's largest shard regardless of which dimension is cut), so one table
+/// cell per `(node, category)` covers every `CollectiveInstr` variant. The
+/// `cost_tables_match_cost_model` property test pins this invariant.
+#[inline]
+fn coll_variant(kind: &CollectiveInstr) -> usize {
+    match kind {
+        CollectiveInstr::AllReduce => 0,
+        CollectiveInstr::AllGather { grouped: false, .. } => 1,
+        CollectiveInstr::AllGather { grouped: true, .. } => 2,
+        CollectiveInstr::ReduceScatter { .. } => 3,
+        CollectiveInstr::AllToAll { .. } => 4,
+    }
+}
+
+#[inline]
+fn scaling_index(scaling: CompScaling) -> usize {
+    match scaling {
+        CompScaling::Sharded => 0,
+        CompScaling::Replicated => 1,
+    }
+}
+
 /// Per-segment, per-device sharding ratios `B` (the `g x m` matrix of paper
 /// Sec. 5.2; single-segment models use one row).
 pub type ShardingRatios = Vec<Vec<f64>>;
@@ -83,18 +113,34 @@ impl<'a> CostModel<'a> {
 
     /// Per-device seconds added by computing `node` under `rule`.
     pub fn compute_seconds(&self, node: NodeId, rule: &Rule) -> Vec<f64> {
+        let mut out = vec![0.0; self.device_flops.len()];
+        self.compute_seconds_into(node, rule.comp_scaling(), &mut out);
+        out
+    }
+
+    /// Fills `out` with the per-device seconds of computing `node` under the
+    /// given scaling, without allocating. This is the single arithmetic code
+    /// path shared by [`CostModel::compute_seconds`], the [`CostTables`]
+    /// builder, and the balancer's whole-program estimator, so their values
+    /// are bit-identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the device count.
+    pub fn compute_seconds_into(&self, node: NodeId, scaling: CompScaling, out: &mut [f64]) {
+        assert_eq!(out.len(), self.device_flops.len(), "output width != device count");
         let flops = self.graph.node_flops(node);
-        match rule.comp_scaling() {
+        match scaling {
             CompScaling::Replicated => {
-                self.device_flops.iter().map(|&f| LAUNCH_OVERHEAD + flops / f).collect()
+                for (o, &f) in out.iter_mut().zip(self.device_flops.iter()) {
+                    *o = LAUNCH_OVERHEAD + flops / f;
+                }
             }
             CompScaling::Sharded => {
                 let row = self.ratio_row(node);
-                self.device_flops
-                    .iter()
-                    .zip(row.iter())
-                    .map(|(&f, &b)| LAUNCH_OVERHEAD + flops * b / f)
-                    .collect()
+                for ((o, &f), &b) in out.iter_mut().zip(self.device_flops.iter()).zip(row.iter()) {
+                    *o = LAUNCH_OVERHEAD + flops * b / f;
+                }
             }
         }
     }
@@ -135,6 +181,121 @@ impl<'a> CostModel<'a> {
     /// Single-device flops of a node (re-exported for the search).
     pub fn node_flops(&self, node: NodeId) -> f64 {
         self.graph.node_flops(node)
+    }
+
+    /// Number of graph nodes (the row count of [`CostTables`]).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.len()
+    }
+}
+
+/// Precomputed dense cost tables for one `(graph, cluster, ratios)` triple.
+///
+/// The A\* inner loop evaluates `CostModel::compute_seconds` for the same
+/// handful of `(node, scaling)` pairs millions of times per synthesis call,
+/// allocating a fresh `Vec<f64>` each time; collectives similarly recompute
+/// the profile estimate per expansion. `CostTables` folds the whole ratio
+/// matrix into two flat arrays once per [`synthesize_with_theory`] call —
+/// after that, every cost the search needs is a bounds-checked slice read:
+///
+/// * `compute_row(node, scaling)` — the per-device seconds of computing
+///   `node` under a sharded or replicated rule (`2 × nodes` rows of `m`).
+/// * `collective_secs(node, kind)` — the stage-closing collective estimate
+///   (`5` cost-distinct categories per node, see [`coll_variant`]).
+///
+/// Every cell is produced by the same `CostModel` arithmetic it replaces
+/// ([`CostModel::compute_seconds_into`] / [`CostModel::collective_seconds`]),
+/// so lookups are bit-identical to direct evaluation — the property tests in
+/// `tests/cost_table_props.rs` assert this across random clusters, ratio
+/// matrices, and every `CollectiveInstr` variant.
+///
+/// [`synthesize_with_theory`]: crate::synthesize_with_theory
+#[derive(Debug)]
+pub struct CostTables {
+    /// Devices per row.
+    m: usize,
+    /// `[(node * 2 + scaling_index) * m ..][..m]`: per-device compute seconds.
+    comp: Vec<f64>,
+    /// `[node * COLL_VARIANTS + coll_variant]`: collective seconds.
+    coll: Vec<f64>,
+    /// Single-device flops per node.
+    node_flops: Vec<f64>,
+    /// Aggregate cluster flops (denominator of the admissible bound).
+    total_flops: f64,
+}
+
+// Shared read-only by every expansion worker of the wave-parallel search.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CostTables>()
+};
+
+impl CostTables {
+    /// Builds the dense tables by evaluating `cm` once per cell.
+    pub fn build(cm: &CostModel) -> Self {
+        let m = cm.num_devices();
+        let nodes = cm.num_nodes();
+        let mut comp = vec![0.0; nodes * 2 * m];
+        for node in 0..nodes {
+            for scaling in [CompScaling::Sharded, CompScaling::Replicated] {
+                let start = (node * 2 + scaling_index(scaling)) * m;
+                cm.compute_seconds_into(node, scaling, &mut comp[start..start + m]);
+            }
+        }
+        // One representative instruction per category: the estimate ignores
+        // shard dimensions (see `coll_variant`), so dim 0 stands for all.
+        let categories = [
+            CollectiveInstr::AllReduce,
+            CollectiveInstr::AllGather { dim: 0, grouped: false },
+            CollectiveInstr::AllGather { dim: 0, grouped: true },
+            CollectiveInstr::ReduceScatter { dim: 0 },
+            CollectiveInstr::AllToAll { from: 0, to: 1 },
+        ];
+        let mut coll = vec![0.0; nodes * COLL_VARIANTS];
+        for node in 0..nodes {
+            for kind in &categories {
+                coll[node * COLL_VARIANTS + coll_variant(kind)] = cm.collective_seconds(node, kind);
+            }
+        }
+        let node_flops = (0..nodes).map(|n| cm.node_flops(n)).collect();
+        CostTables { m, comp, coll, node_flops, total_flops: cm.total_flops }
+    }
+
+    /// Number of virtual devices (the width of every compute row).
+    pub fn num_devices(&self) -> usize {
+        self.m
+    }
+
+    /// Per-device seconds of computing `node` under the given scaling.
+    #[inline]
+    pub fn compute_row(&self, node: NodeId, scaling: CompScaling) -> &[f64] {
+        let start = (node * 2 + scaling_index(scaling)) * self.m;
+        &self.comp[start..start + self.m]
+    }
+
+    /// Per-device seconds of computing `node` under `rule`.
+    #[inline]
+    pub fn compute_row_for(&self, node: NodeId, rule: &Rule) -> &[f64] {
+        self.compute_row(node, rule.comp_scaling())
+    }
+
+    /// Seconds of running `kind` on `node`'s distributed tensor.
+    #[inline]
+    pub fn collective_secs(&self, node: NodeId, kind: &CollectiveInstr) -> f64 {
+        self.coll[node * COLL_VARIANTS + coll_variant(kind)]
+    }
+
+    /// Admissible remaining-work bound (identical to
+    /// [`CostModel::best_case_seconds`]).
+    #[inline]
+    pub fn best_case_seconds(&self, flops: f64) -> f64 {
+        flops / self.total_flops
+    }
+
+    /// Single-device flops of a node.
+    #[inline]
+    pub fn node_flops(&self, node: NodeId) -> f64 {
+        self.node_flops[node]
     }
 }
 
@@ -196,6 +357,62 @@ mod tests {
         let grouped = CollectiveInstr::AllGather { dim: 0, grouped: true };
         assert!(cm_even.collective_seconds(2, &padded) < cm_even.collective_seconds(2, &grouped));
         assert!(cm_skew.collective_seconds(2, &grouped) < cm_skew.collective_seconds(2, &padded));
+    }
+
+    #[test]
+    fn tables_match_direct_evaluation_bitwise() {
+        let (graph, devices, profile) = setup();
+        let ratios = vec![vec![0.4, 0.3, 0.2, 0.1]];
+        let cm = CostModel::new(&graph, &devices, &profile, &ratios);
+        let tables = CostTables::build(&cm);
+        let sharded =
+            Rule::new(vec![Placement::Shard(0), Placement::Replicated], Placement::Shard(0));
+        let replicated =
+            Rule::new(vec![Placement::Replicated, Placement::Replicated], Placement::Replicated);
+        for node in 0..graph.len() {
+            for rule in [&sharded, &replicated] {
+                let direct = cm.compute_seconds(node, rule);
+                let row = tables.compute_row_for(node, rule);
+                assert_eq!(row.len(), direct.len());
+                for (a, b) in row.iter().zip(direct.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "node {node}");
+                }
+            }
+            for kind in [
+                CollectiveInstr::AllReduce,
+                CollectiveInstr::AllGather { dim: 1, grouped: false },
+                CollectiveInstr::AllGather { dim: 1, grouped: true },
+                CollectiveInstr::ReduceScatter { dim: 1 },
+                CollectiveInstr::AllToAll { from: 1, to: 0 },
+            ] {
+                assert_eq!(
+                    tables.collective_secs(node, &kind).to_bits(),
+                    cm.collective_seconds(node, &kind).to_bits(),
+                    "node {node} kind {kind:?}"
+                );
+            }
+            assert_eq!(
+                tables.node_flops(node).to_bits(),
+                cm.node_flops(node).to_bits(),
+                "node {node}"
+            );
+        }
+        assert_eq!(tables.best_case_seconds(1e9).to_bits(), cm.best_case_seconds(1e9).to_bits());
+    }
+
+    #[test]
+    fn compute_seconds_into_matches_allocating_path() {
+        let (graph, devices, profile) = setup();
+        let ratios = vec![vec![0.25; 4]];
+        let cm = CostModel::new(&graph, &devices, &profile, &ratios);
+        let rule = Rule::new(vec![Placement::Shard(0), Placement::Replicated], Placement::Shard(0));
+        let direct = cm.compute_seconds(2, &rule);
+        let mut buf = vec![f64::NAN; 4];
+        cm.compute_seconds_into(2, rule.comp_scaling(), &mut buf);
+        assert_eq!(
+            buf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

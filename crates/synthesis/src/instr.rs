@@ -231,6 +231,13 @@ impl ProgChain {
         self.head.as_ref().map_or(FNV_OFFSET, |n| n.fingerprint)
     }
 
+    /// Rebuilds a chain from a materialized program (the warm-start path:
+    /// a previous round's program becomes the next round's incumbent).
+    /// Round-trips exactly: the chain's fingerprint equals the program's.
+    pub fn from_program(program: &DistProgram) -> ProgChain {
+        program.instrs.iter().fold(ProgChain::new(), |chain, instr| chain.push(instr.clone()))
+    }
+
     /// The most recently appended instruction, if any (O(1)).
     pub fn last(&self) -> Option<&DistInstr> {
         self.head.as_ref().map(|n| &n.instr)

@@ -19,7 +19,13 @@
 //!    ([`SynthConfig::threads`]), with results guaranteed bit-for-bit
 //!    identical for every thread count: each wave's candidates are merged
 //!    in a stable `(score, cost, program fingerprint)` order before any
-//!    state commits to the dominance map, incumbent, or frontier.
+//!    state commits to the dominance map, incumbent, or frontier;
+//! 5. the expansion inner loop is O(1)-lookup and allocation-free: every
+//!    cost is a read from dense precomputed [`CostTables`], states carry
+//!    hash-consed property sets ([`PropInterner`]) so cloning is an integer
+//!    copy and dominance keys are `u32` ids, and the alternating Q/B loop
+//!    can seed each round's incumbent with the previous round's program
+//!    ([`synthesize_with_theory_warm`]).
 //!
 //! # Examples
 //!
@@ -51,8 +57,11 @@ mod instr;
 mod property;
 mod theory;
 
-pub use astar::{synthesize, synthesize_with_theory, SynthConfig, SynthError};
-pub use cost::{CostModel, ShardingRatios, LAUNCH_OVERHEAD};
+pub use astar::{
+    synthesize, synthesize_with_theory, synthesize_with_theory_warm, HotPathBench, SynthConfig,
+    SynthError,
+};
+pub use cost::{CostModel, CostTables, ShardingRatios, LAUNCH_OVERHEAD};
 pub use instr::{CollectiveInstr, DistInstr, DistProgram, ProgChain, Stage};
-pub use property::{Prop, PropSet};
+pub use property::{InternedProps, Prop, PropInterner, PropSet};
 pub use theory::{Theory, TheoryOptions, Triple};

@@ -1,4 +1,10 @@
-//! Tensor properties and canonical property sets (paper Sec. 4.2).
+//! Tensor properties and canonical property sets (paper Sec. 4.2), plus the
+//! hash-consing interner the search uses to reduce program states to ids.
+
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, RwLock};
 
 use hap_graph::{NodeId, Placement};
 
@@ -12,11 +18,41 @@ pub type Prop = (NodeId, Placement);
 /// paper Sec. 4.5, optimization 2).
 ///
 /// Equality/hashing of `PropSet`s is exactly program-state identity for the
-/// A\* dominance pruning.
+/// A\* dominance pruning. The stable content hash is maintained
+/// incrementally (`hash` is a pure function of the two lists, so including
+/// it in the derived equality is sound and lets mismatches bail early).
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct PropSet {
     props: Vec<Prop>,
     communicated: Vec<NodeId>,
+    /// Commutative mix of all entries; see [`PropSet::stable_hash`].
+    hash: u64,
+}
+
+/// SplitMix64 finalizer: the per-entry mixer of the incremental set hash.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Stable 64-bit hash of one property.
+#[inline]
+fn prop_hash(p: Prop) -> u64 {
+    let placement = match p.1 {
+        Placement::Replicated => 0u64,
+        Placement::PartialSum => 1,
+        Placement::Shard(d) => 2 + (d as u64),
+    };
+    mix64((p.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ placement)
+}
+
+/// Stable 64-bit hash of one communicated marker (domain-separated from
+/// property hashes).
+#[inline]
+fn comm_hash(e: NodeId) -> u64 {
+    mix64((e as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ 0x5555_5555_5555_5555)
 }
 
 impl PropSet {
@@ -62,6 +98,7 @@ impl PropSet {
             Ok(_) => false,
             Err(idx) => {
                 self.props.insert(idx, p);
+                self.hash = self.hash.wrapping_add(prop_hash(p));
                 true
             }
         }
@@ -71,6 +108,7 @@ impl PropSet {
     pub fn mark_communicated(&mut self, e: NodeId) {
         if let Err(idx) = self.communicated.binary_search(&e) {
             self.communicated.insert(idx, e);
+            self.hash = self.hash.wrapping_add(comm_hash(e));
         }
     }
 
@@ -78,26 +116,36 @@ impl PropSet {
     /// markers of nodes that no longer carry any property.
     pub fn retain(&mut self, mut keep: impl FnMut(&Prop) -> bool) {
         self.props.retain(|p| keep(p));
-        let props = &self.props;
-        self.communicated.retain(|&e| props.iter().any(|&(n, _)| n == e));
+        // Both lists are sorted, so each marker resolves with one binary
+        // search (O(C log P)) instead of a full rescan of the props per
+        // marker (the old O(P·C) path).
+        let props = std::mem::take(&mut self.props);
+        self.communicated.retain(|&e| {
+            let idx = props.partition_point(|&(n, _)| n < e);
+            props.get(idx).is_some_and(|&(n, _)| n == e)
+        });
+        self.props = props;
+        // Removal is the cold path: recompute the commutative mix.
+        self.hash = self
+            .props
+            .iter()
+            .map(|&p| prop_hash(p))
+            .chain(self.communicated.iter().map(|&e| comm_hash(e)))
+            .fold(0u64, u64::wrapping_add);
     }
 
-    /// Stable FNV-1a hash of the canonical set.
+    /// Stable content hash of the canonical set.
     ///
     /// Unlike `Hash`-derived hashing (whose value depends on the hasher
     /// instance), this is a pure function of the contents — identical
-    /// across runs, platforms, and thread counts. The parallel search uses
-    /// it to pick dominance-map shards deterministically.
+    /// across runs, platforms, and thread counts; the parallel search uses
+    /// it to pick dominance-map shards deterministically and the interner
+    /// uses it as the hash-consing bucket key. The value is a commutative
+    /// per-entry mix maintained incrementally on every mutation, so reading
+    /// it is O(1) — the synthesis hot path interns one set per expanded
+    /// candidate and would otherwise rehash `O(|set|)` bytes each time.
     pub fn stable_hash(&self) -> u64 {
-        use crate::instr::{fnv1a, mix_placement, FNV_OFFSET};
-        let mut h = fnv1a(FNV_OFFSET, self.props.len() as u64);
-        for &(n, p) in &self.props {
-            h = mix_placement(fnv1a(h, n as u64), p);
-        }
-        for &e in &self.communicated {
-            h = fnv1a(h, e as u64);
-        }
-        h
+        self.hash
     }
 
     /// Number of properties.
@@ -108,6 +156,125 @@ impl PropSet {
     /// True when no properties are present.
     pub fn is_empty(&self) -> bool {
         self.props.is_empty()
+    }
+}
+
+/// A hash-consed [`PropSet`]: shared storage plus the interner-assigned id.
+///
+/// Search states carry one of these instead of an owned `PropSet`, so
+/// cloning a state copies an integer and bumps a refcount, dominance-map
+/// keys shrink to a `u32`, and set equality is id equality. The content
+/// hash is computed once, at intern time, and memoized here.
+#[derive(Clone, Debug)]
+pub struct InternedProps {
+    id: u32,
+    hash: u64,
+    set: Arc<PropSet>,
+}
+
+impl InternedProps {
+    /// The interner-assigned id. Within one [`PropInterner`], two
+    /// `InternedProps` have equal ids iff their sets are equal.
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The memoized [`PropSet::stable_hash`] of the set.
+    #[inline]
+    pub fn stable_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Deref for InternedProps {
+    type Target = PropSet;
+
+    #[inline]
+    fn deref(&self) -> &PropSet {
+        &self.set
+    }
+}
+
+/// Shards of the intern table. Expansion workers intern successor states
+/// concurrently; sharding by the stable content hash keeps lock contention
+/// negligible at wave width 64.
+const INTERN_SHARDS: usize = 64;
+
+/// One intern-table shard: `stable_hash -> (set, id)` entries with that
+/// hash (more than one only on a 64-bit collision).
+type InternTable = HashMap<u64, Vec<(Arc<PropSet>, u32)>>;
+
+/// A concurrent hash-consing arena for canonical property sets.
+///
+/// Interning is *content-addressed*: the first thread to intern a set wins
+/// the id, and every later intern of an equal set returns the same id and
+/// shares the same allocation. Ids are assigned in racy (thread-timing)
+/// order, but nothing in the search orders by id — dominance shards are
+/// picked by the stable content hash — so synthesized plans remain
+/// bit-for-bit identical for every thread count.
+#[derive(Debug)]
+pub struct PropInterner {
+    /// `stable_hash -> (set, id)` entries, sharded by the hash.
+    shards: Vec<RwLock<InternTable>>,
+    next_id: AtomicU32,
+}
+
+impl Default for PropInterner {
+    fn default() -> Self {
+        PropInterner::new()
+    }
+}
+
+impl PropInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        PropInterner {
+            shards: (0..INTERN_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_id: AtomicU32::new(0),
+        }
+    }
+
+    /// Interns `set`, returning its canonical shared handle.
+    pub fn intern(&self, set: PropSet) -> InternedProps {
+        let hash = set.stable_hash();
+        let shard = &self.shards[(hash as usize) & (INTERN_SHARDS - 1)];
+        {
+            let guard = shard.read().expect("intern shard poisoned");
+            if let Some(found) = Self::lookup(&guard, hash, &set) {
+                return found;
+            }
+        }
+        let mut guard = shard.write().expect("intern shard poisoned");
+        // Double-check: another worker may have interned it while we
+        // upgraded the lock.
+        if let Some(found) = Self::lookup(&guard, hash, &set) {
+            return found;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        assert!(id != u32::MAX, "interner id space exhausted");
+        let set = Arc::new(set);
+        guard.entry(hash).or_default().push((set.clone(), id));
+        InternedProps { id, hash, set }
+    }
+
+    fn lookup(table: &InternTable, hash: u64, set: &PropSet) -> Option<InternedProps> {
+        let bucket = table.get(&hash)?;
+        bucket.iter().find(|(s, _)| **s == *set).map(|(s, id)| InternedProps {
+            id: *id,
+            hash,
+            set: s.clone(),
+        })
+    }
+
+    /// Number of distinct sets interned so far.
+    pub fn len(&self) -> usize {
+        self.next_id.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -179,5 +346,72 @@ mod tests {
         s.retain(|&(n, _)| n != 7);
         assert!(!s.is_communicated(7));
         assert!(s.has_node(8));
+    }
+
+    #[test]
+    fn retain_keeps_markers_of_surviving_nodes() {
+        let mut s = PropSet::new();
+        for n in [1usize, 3, 5, 7, 9] {
+            s.insert((n, Placement::Shard(0)));
+            s.insert((n, Placement::Replicated));
+            s.mark_communicated(n);
+        }
+        s.retain(|&(n, _)| n != 5);
+        // Node 5 lost every property; its marker must go. The rest survive.
+        assert!(!s.is_communicated(5));
+        for n in [1usize, 3, 7, 9] {
+            assert!(s.is_communicated(n), "marker of node {n} must survive");
+        }
+    }
+
+    #[test]
+    fn interner_is_content_addressed() {
+        let interner = PropInterner::new();
+        let mut a = PropSet::new();
+        a.insert((2, Placement::Shard(1)));
+        a.insert((1, Placement::Replicated));
+        let mut b = PropSet::new();
+        b.insert((1, Placement::Replicated));
+        b.insert((2, Placement::Shard(1)));
+        let ia = interner.intern(a.clone());
+        let ib = interner.intern(b);
+        assert_eq!(ia.id(), ib.id(), "equal sets must share an id");
+        assert_eq!(ia.stable_hash(), ib.stable_hash());
+        assert!(Arc::ptr_eq(&ia.set, &ib.set), "equal sets must share storage");
+        a.mark_communicated(2);
+        let ic = interner.intern(a);
+        assert_ne!(ia.id(), ic.id());
+        assert_eq!(interner.len(), 2);
+        // The handle dereferences to the canonical set.
+        assert!(ia.contains(&(1, Placement::Replicated)));
+    }
+
+    #[test]
+    fn concurrent_interning_converges_on_one_id_per_set() {
+        let interner = PropInterner::new();
+        let sets: Vec<PropSet> = (0..32)
+            .map(|i| {
+                let mut s = PropSet::new();
+                s.insert((i, Placement::Shard(i % 3)));
+                s.insert((i + 100, Placement::Replicated));
+                s
+            })
+            .collect();
+        let ids: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let sets = &sets;
+                    let interner = &interner;
+                    scope.spawn(move || {
+                        sets.iter().map(|s| interner.intern(s.clone()).id()).collect::<Vec<u32>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for worker in &ids[1..] {
+            assert_eq!(worker, &ids[0], "every thread must observe the same ids");
+        }
+        assert_eq!(interner.len(), sets.len());
     }
 }

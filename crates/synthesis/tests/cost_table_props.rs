@@ -1,0 +1,135 @@
+//! Property tests: [`CostTables`] is a bit-exact cache of [`CostModel`].
+//!
+//! The synthesis hot path reads every cost from the dense tables, so any
+//! drift between a table cell and the direct evaluation it replaces would
+//! silently change synthesized plans. Over random clusters, ratio
+//! matrices, and graphs, every lookup — compute rows under both scalings,
+//! all five collective categories at arbitrary shard dimensions, node
+//! flops, and the admissible bound — must reproduce the `CostModel` value
+//! to the last bit. A second property pins the hot-path harness itself:
+//! replaying the expand inner loop through tables and through direct calls
+//! yields identical checksums.
+
+use hap_cluster::{ClusterSpec, Granularity};
+use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+use hap_models::{mlp, MlpConfig};
+use hap_synthesis::{CollectiveInstr, CostModel, CostTables, HotPathBench, ShardingRatios};
+use proptest::prelude::*;
+
+fn cluster_for(pick: u8) -> ClusterSpec {
+    match pick % 4 {
+        0 => ClusterSpec::fig17_cluster(),
+        1 => ClusterSpec::fig2_cluster(),
+        2 => ClusterSpec::paper_heterogeneous(1),
+        _ => ClusterSpec::paper_homogeneous(2),
+    }
+}
+
+/// Normalizes raw positive weights into ratio rows of width `m`.
+fn ratio_matrix(raw: &[f64], m: usize, segments: usize) -> ShardingRatios {
+    (0..segments)
+        .map(|s| {
+            let row: Vec<f64> = (0..m).map(|j| raw[(s * m + j) % raw.len()].max(1e-3)).collect();
+            let sum: f64 = row.iter().sum();
+            row.into_iter().map(|b| b / sum).collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Every table cell equals the direct `CostModel` evaluation bitwise.
+    #[test]
+    fn cost_tables_match_cost_model(
+        pick in 0u8..4,
+        batch in 2usize..64,
+        input in 2usize..24,
+        hidden in prop::collection::vec(2usize..32, 1..4),
+        classes in 2usize..8,
+        raw in prop::collection::vec(0.01f64..1.0, 16),
+        dim_seed in 0usize..8,
+    ) {
+        let graph = mlp(&MlpConfig { batch, input, hidden, classes });
+        let cluster = cluster_for(pick);
+        let devices = cluster.virtual_devices(Granularity::PerGpu);
+        let profile = profile_collectives(
+            &GroundTruthNet::new(NetworkParams::paper_cloud()),
+            devices.len(),
+        );
+        let ratios = ratio_matrix(&raw, devices.len(), 1 + (dim_seed % 2));
+        let cm = CostModel::new(&graph, &devices, &profile, &ratios);
+        let tables = CostTables::build(&cm);
+
+        prop_assert_eq!(tables.num_devices(), cm.num_devices());
+        for node in graph.nodes() {
+            // Compute rows: exercised through the node's real placement
+            // rules, which cover both sharded and replicated scaling.
+            for rule in graph.placement_rules(node.id) {
+                let direct = cm.compute_seconds(node.id, &rule);
+                let row = tables.compute_row_for(node.id, &rule);
+                prop_assert_eq!(row.len(), direct.len());
+                for (a, b) in row.iter().zip(direct.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "compute mismatch at node {} rule {:?}", node.id, rule);
+                }
+            }
+            // Collectives: every variant, at shifting shard dimensions (the
+            // estimate must not depend on the dimension — the table stores
+            // one cell per category).
+            let rank = node.shape.dims().len().max(1);
+            let d1 = dim_seed % rank;
+            let d2 = (dim_seed + 1) % rank;
+            for kind in [
+                CollectiveInstr::AllReduce,
+                CollectiveInstr::AllGather { dim: d1, grouped: false },
+                CollectiveInstr::AllGather { dim: d1, grouped: true },
+                CollectiveInstr::ReduceScatter { dim: d1 },
+                CollectiveInstr::AllToAll { from: d1, to: d2 },
+            ] {
+                prop_assert_eq!(
+                    tables.collective_secs(node.id, &kind).to_bits(),
+                    cm.collective_seconds(node.id, &kind).to_bits(),
+                    "collective mismatch at node {} kind {:?}", node.id, kind
+                );
+            }
+            prop_assert_eq!(
+                tables.node_flops(node.id).to_bits(),
+                cm.node_flops(node.id).to_bits()
+            );
+        }
+        let probe = graph.nodes().iter().map(|n| graph.node_flops(n.id)).sum::<f64>();
+        prop_assert_eq!(
+            tables.best_case_seconds(probe).to_bits(),
+            cm.best_case_seconds(probe).to_bits()
+        );
+    }
+
+    /// The expand inner loop produces bit-identical costs through tables
+    /// and through direct evaluation on a real reachable-state workload.
+    #[test]
+    fn hot_path_table_and_direct_checksums_agree(
+        pick in 0u8..4,
+        batch in 8usize..64,
+        input in 2usize..16,
+        hidden in prop::collection::vec(2usize..24, 1..3),
+        classes in 2usize..8,
+        raw in prop::collection::vec(0.05f64..1.0, 8),
+    ) {
+        let graph = mlp(&MlpConfig { batch, input, hidden, classes });
+        let cluster = cluster_for(pick);
+        let devices = cluster.virtual_devices(Granularity::PerGpu);
+        let profile = profile_collectives(
+            &GroundTruthNet::new(NetworkParams::paper_cloud()),
+            devices.len(),
+        );
+        let ratios = ratio_matrix(&raw, devices.len(), 1);
+        let bench = HotPathBench::new(graph, devices, profile, ratios, 24);
+        let (apps_t, sum_t) = bench.run(true);
+        let (apps_d, sum_d) = bench.run(false);
+        prop_assert!(apps_t > 0, "workload must not be empty");
+        prop_assert_eq!(apps_t, apps_d);
+        prop_assert_eq!(apps_t, bench.applications());
+        prop_assert_eq!(sum_t, sum_d, "table vs direct cost drift");
+    }
+}

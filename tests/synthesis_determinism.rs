@@ -10,7 +10,7 @@ use hap::prelude::*;
 use hap_cluster::ClusterSpec;
 use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
 use hap_models::Benchmark;
-use hap_synthesis::synthesize;
+use hap_synthesis::{synthesize, synthesize_with_theory_warm, Theory};
 
 fn config(threads: usize) -> SynthConfig {
     SynthConfig {
@@ -58,6 +58,87 @@ fn plans_are_identical_across_thread_counts_and_repeated_runs() {
             }
         }
     }
+}
+
+#[test]
+fn warm_start_does_not_change_the_program() {
+    // Round 1 of the alternating loop re-synthesizes under rebalanced
+    // ratios with round 0's program as the warm incumbent. For every
+    // benchmark model and thread count, the warm-started search must land
+    // on the same program, bit for bit, as a cold one — the warm seed is an
+    // upper bound, never a result substitute.
+    let cluster = ClusterSpec::fig17_cluster();
+    let devices = cluster.virtual_devices(Granularity::PerGpu);
+    let profile =
+        profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
+    for b in Benchmark::all() {
+        let graph = b.build_tiny(devices.len());
+        let segments = graph.segment_count().max(1);
+        let theory = Theory::build(&graph);
+        let round0 = vec![cluster.proportional_ratios(Granularity::PerGpu); segments];
+        let warm = synthesize(&graph, &devices, &profile, &round0, &config(1))
+            .unwrap_or_else(|e| panic!("{} round 0 fails: {e}", b.name()));
+        // Round 1 ratios: a deterministic perturbation of round 0 (stands
+        // in for the LP's rebalanced matrix).
+        let round1: Vec<Vec<f64>> = round0
+            .iter()
+            .map(|row| {
+                let raw: Vec<f64> =
+                    row.iter().enumerate().map(|(i, b)| b * (1.0 + 0.07 * i as f64)).collect();
+                let sum: f64 = raw.iter().sum();
+                raw.into_iter().map(|b| b / sum).collect()
+            })
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let cfg = config(threads);
+            let cold = synthesize_with_theory_warm(
+                &graph, &theory, &devices, &profile, &round1, &cfg, None,
+            )
+            .unwrap_or_else(|e| panic!("{} cold round 1 fails: {e}", b.name()));
+            let warm_run = synthesize_with_theory_warm(
+                &graph,
+                &theory,
+                &devices,
+                &profile,
+                &round1,
+                &cfg,
+                Some(&warm),
+            )
+            .unwrap_or_else(|e| panic!("{} warm round 1 fails: {e}", b.name()));
+            assert_eq!(
+                warm_run.fingerprint(),
+                cold.fingerprint(),
+                "{}: warm start changed the program at threads={threads}",
+                b.name()
+            );
+            assert_eq!(
+                warm_run.estimated_time.to_bits(),
+                cold.estimated_time.to_bits(),
+                "{}: warm start changed the cost bits at threads={threads}",
+                b.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn end_to_end_plans_are_warm_start_invariant() {
+    // `parallelize` with the cross-round warm start enabled (the default)
+    // must produce the same plan as with it disabled.
+    let graph = Benchmark::Vit.build_tiny(4);
+    let cluster = ClusterSpec::fig17_cluster();
+    let opts = |warm: bool| HapOptions {
+        synth: config(1),
+        max_rounds: 4,
+        warm_start: warm,
+        ..HapOptions::default()
+    };
+    let with = hap::parallelize(&graph, &cluster, &opts(true)).unwrap();
+    let without = hap::parallelize(&graph, &cluster, &opts(false)).unwrap();
+    assert_eq!(with.program.fingerprint(), without.program.fingerprint());
+    assert_eq!(with.ratios, without.ratios);
+    assert_eq!(with.estimated_time.to_bits(), without.estimated_time.to_bits());
+    assert_eq!(with.rounds, without.rounds);
 }
 
 #[test]

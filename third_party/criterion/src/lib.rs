@@ -5,15 +5,36 @@
 //! `criterion_main!`, and [`black_box`] — printing a simple
 //! median-of-batches time per iteration. No plotting, no statistics beyond
 //! the median, no CLI filtering; `cargo bench` just runs everything.
+//!
+//! # Machine-readable reports
+//!
+//! When the `HAP_BENCH_JSON` environment variable names a path, the
+//! `criterion_main!`-generated `main` writes every recorded benchmark there
+//! as JSON after all groups finish: one object per bench with its id, the
+//! median nanoseconds per iteration, and — for benches registered through
+//! [`Criterion::bench_function_with_units`] — the per-iteration unit count
+//! and derived units-per-second throughput. CI archives this file and gates
+//! hot-path regressions on it (see `hap-bench`'s `bench_check` binary).
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// One recorded benchmark result.
+struct Record {
+    id: String,
+    median_ns: f64,
+    /// Work units (e.g. A\* expansions) one iteration performs, when the
+    /// bench declared them.
+    units_per_iter: Option<f64>,
+}
+
 /// The benchmark driver handed to each `criterion_group!` target.
 pub struct Criterion {
     /// Wall-clock budget per benchmark (warm-up included).
     measurement_time: Duration,
+    /// Results in registration order, for the end-of-run JSON report.
+    records: Vec<Record>,
 }
 
 impl Default for Criterion {
@@ -26,14 +47,36 @@ impl Default for Criterion {
         } else {
             Duration::from_millis(600)
         };
-        Self { measurement_time }
+        Self { measurement_time, records: Vec::new() }
     }
 }
 
 impl Criterion {
     /// Runs `routine` under the timer and prints `id` with a per-iteration
     /// median.
-    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.record(id, None, routine)
+    }
+
+    /// Like [`Criterion::bench_function`], but declares that one iteration
+    /// performs `units_per_iter` units of work, so the JSON report can
+    /// derive a throughput (units per second) for the bench.
+    pub fn bench_function_with_units<F>(
+        &mut self,
+        id: &str,
+        units_per_iter: f64,
+        routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.record(id, Some(units_per_iter), routine)
+    }
+
+    fn record<F>(&mut self, id: &str, units_per_iter: Option<f64>, mut routine: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
@@ -41,7 +84,31 @@ impl Criterion {
         routine(&mut bencher);
         let per_iter = bencher.median_ns();
         println!("bench: {id:<48} {}", format_ns(per_iter));
+        self.records.push(Record { id: id.to_string(), median_ns: per_iter, units_per_iter });
         self
+    }
+
+    /// Writes the JSON report to `$HAP_BENCH_JSON` when set. Called by the
+    /// `criterion_main!`-generated `main` after every group has run; a
+    /// write failure panics so CI cannot silently archive a stale report.
+    pub fn write_report(&self) {
+        let Some(path) = std::env::var_os("HAP_BENCH_JSON") else { return };
+        let mut out = String::from("{\n  \"benches\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            out.push_str(&format!("    {{\"id\": \"{}\", \"median_ns\": {:.1}", r.id, r.median_ns));
+            if let Some(units) = r.units_per_iter {
+                let per_sec = if r.median_ns > 0.0 { units * 1e9 / r.median_ns } else { 0.0 };
+                out.push_str(&format!(
+                    ", \"units_per_iter\": {units:.1}, \"units_per_sec\": {per_sec:.1}"
+                ));
+            }
+            out.push_str(&format!("}}{sep}\n"));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out)
+            .unwrap_or_else(|e| panic!("cannot write bench report {path:?}: {e}"));
+        println!("bench: report written to {}", path.to_string_lossy());
     }
 }
 
@@ -109,24 +176,28 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
-/// Declares a group of benchmark functions, as in real criterion.
+/// Declares a group of benchmark functions, as in real criterion. The
+/// group borrows the run-wide [`Criterion`] so every group's results land
+/// in one JSON report.
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
-        pub fn $group() {
-            let mut criterion = $crate::Criterion::default();
-            $($target(&mut criterion);)+
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
         }
     };
 }
 
-/// Declares the bench `main` that runs each group.
+/// Declares the bench `main` that runs each group, then writes the JSON
+/// report when `HAP_BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             // `cargo bench` passes harness flags like `--bench`; ignore them.
-            $($group();)+
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.write_report();
         }
     };
 }
