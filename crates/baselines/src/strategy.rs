@@ -61,7 +61,13 @@ impl std::fmt::Display for BaselineError {
     }
 }
 
-impl std::error::Error for BaselineError {}
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Walk(e) => Some(e),
+        }
+    }
+}
 
 impl From<WalkError> for BaselineError {
     fn from(e: WalkError) -> Self {

@@ -1,9 +1,17 @@
 //! Deterministic sharding-propagation program builder.
-
-use std::collections::HashSet;
+//!
+//! The walker's bookkeeping reuses the synthesis crate's canonical
+//! [`PropSet`] — the same hash-consed property-set machinery the A\*
+//! interner is built on — instead of private per-node `Vec`s and a
+//! `HashSet`: membership ("is `e` available under placement `p`?") is one
+//! binary search over a single sorted arena, per-node placements are a
+//! contiguous [`PropSet::node_props`] slice, and the set's incrementally
+//! maintained stable hash comes for free should callers ever want to
+//! hash-cons walker states (ROADMAP: "interner-backed seen sets beyond
+//! synthesis").
 
 use hap_graph::{Graph, NodeId, Op, Placement, Role, Rule};
-use hap_synthesis::{CollectiveInstr, DistInstr, DistProgram};
+use hap_synthesis::{CollectiveInstr, DistInstr, DistProgram, PropSet};
 
 /// How parameter gradients are synchronized.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,10 +63,15 @@ impl std::error::Error for WalkError {}
 struct Walk<'a> {
     graph: &'a Graph,
     opts: &'a WalkOptions,
-    /// All placements currently materialized per node.
-    available: Vec<Vec<Placement>>,
-    /// Tensors already communicated (to reuse conversions).
-    converted: HashSet<(NodeId, Placement)>,
+    /// Every materialized `(node, placement)` pair — one canonical sorted
+    /// set, probed by binary search (`contains`) and sliced per node
+    /// (`node_props`) instead of the old per-node `Vec` linear scans.
+    available: PropSet,
+    /// The placement each node was *produced* under (its rule output /
+    /// first leaf materialization), as opposed to conversions added later.
+    produced: Vec<Option<Placement>>,
+    /// Conversions already emitted (the dedup set), same canonical type.
+    converted: PropSet,
     instrs: Vec<DistInstr>,
 }
 
@@ -67,8 +80,9 @@ pub fn propagate(graph: &Graph, opts: &WalkOptions) -> Result<DistProgram, WalkE
     let mut w = Walk {
         graph,
         opts,
-        available: vec![Vec::new(); graph.len()],
-        converted: HashSet::new(),
+        available: PropSet::new(),
+        produced: vec![None; graph.len()],
+        converted: PropSet::new(),
         instrs: Vec::new(),
     };
     for node in graph.nodes() {
@@ -103,16 +117,21 @@ impl Walk<'_> {
     }
 
     fn emit_leaf(&mut self, id: NodeId, placement: Placement) {
-        if !self.available[id].contains(&placement) {
-            self.available[id].push(placement);
+        if self.available.insert((id, placement)) {
+            if self.produced[id].is_none() {
+                self.produced[id] = Some(placement);
+            }
             self.instrs.push(DistInstr::Leaf { node: id, placement });
         }
     }
 
     /// Makes `want` available for `id`, inserting a conversion collective or
-    /// re-materializing a leaf. Returns false when impossible.
+    /// re-materializing a leaf. Returns false when impossible. When several
+    /// materialized placements can convert, the cheapest conversion wins
+    /// (ties to the canonical placement order) — the same minimum
+    /// [`conversion_cost`](Self::conversion_cost) already priced.
     fn convert(&mut self, id: NodeId, want: Placement) -> bool {
-        if self.available[id].contains(&want) {
+        if self.available.contains(&(id, want)) {
             return true;
         }
         if self.graph.node(id).op.is_leaf() {
@@ -122,13 +141,21 @@ impl Walk<'_> {
             self.emit_leaf(id, want);
             return true;
         }
-        let have = self.available[id].clone();
-        let kind = have.iter().find_map(|&from| conversion(from, want));
+        let bytes = self.graph.node_bytes(id) as f64;
+        let mut kind: Option<(f64, CollectiveInstr)> = None;
+        for &(_, from) in self.available.node_props(id) {
+            if let Some(k) = conversion(from, want) {
+                let c = conversion_bytes(&k, bytes);
+                if kind.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                    kind = Some((c, k));
+                }
+            }
+        }
         match kind {
-            Some(kind) => {
+            Some((_, kind)) => {
                 if self.converted.insert((id, want)) {
                     self.instrs.push(DistInstr::Collective { node: id, kind });
-                    self.available[id].push(want);
+                    self.available.insert((id, want));
                 }
                 true
             }
@@ -138,7 +165,7 @@ impl Walk<'_> {
 
     /// Bytes a conversion of `id` to `want` would move (None = impossible).
     fn conversion_cost(&self, id: NodeId, want: Placement) -> Option<f64> {
-        if self.available[id].contains(&want) {
+        if self.available.contains(&(id, want)) {
             return Some(0.0);
         }
         let bytes = self.graph.node_bytes(id) as f64;
@@ -150,9 +177,10 @@ impl Walk<'_> {
                 _ => Some(bytes),
             };
         }
-        self.available[id]
+        self.available
+            .node_props(id)
             .iter()
-            .filter_map(|&from| conversion(from, want).map(|k| conversion_bytes(&k, bytes)))
+            .filter_map(|&(_, from)| conversion(from, want).map(|k| conversion_bytes(&k, bytes)))
             .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.min(c))))
     }
 
@@ -186,7 +214,8 @@ impl Walk<'_> {
             let converted = self.convert(input, want);
             debug_assert!(converted, "cost said convertible");
         }
-        self.available[id].push(rule.output);
+        self.available.insert((id, rule.output));
+        self.produced[id] = Some(rule.output);
         self.instrs.push(DistInstr::Compute { node: id, rule });
         Ok(())
     }
@@ -194,7 +223,7 @@ impl Walk<'_> {
     fn emit_update(&mut self, id: NodeId) -> Result<(), WalkError> {
         let node = self.graph.node(id).clone();
         let (param, grad) = (node.inputs[0], node.inputs[1]);
-        let grad_p = *self.available[grad].first().unwrap_or(&Placement::Replicated);
+        let grad_p = self.produced[grad].unwrap_or(Placement::Replicated);
         let target = match grad_p {
             Placement::PartialSum => {
                 if self.try_sfb(id, param, grad) {
@@ -206,7 +235,7 @@ impl Walk<'_> {
                             node: grad,
                             kind: CollectiveInstr::AllReduce,
                         });
-                        self.available[grad].push(Placement::Replicated);
+                        self.available.insert((grad, Placement::Replicated));
                         Placement::Replicated
                     }
                     GradSync::ReduceScatter => {
@@ -218,7 +247,7 @@ impl Walk<'_> {
                                     node: grad,
                                     kind: CollectiveInstr::ReduceScatter { dim: d },
                                 });
-                                self.available[grad].push(Placement::Shard(d));
+                                self.available.insert((grad, Placement::Shard(d)));
                                 Placement::Shard(d)
                             }
                             None => {
@@ -226,7 +255,7 @@ impl Walk<'_> {
                                     node: grad,
                                     kind: CollectiveInstr::AllReduce,
                                 });
-                                self.available[grad].push(Placement::Replicated);
+                                self.available.insert((grad, Placement::Replicated));
                                 Placement::Replicated
                             }
                         }
@@ -237,7 +266,8 @@ impl Walk<'_> {
         };
         self.emit_leaf(param, target);
         let rule = Rule::new(vec![target, target], target);
-        self.available[id].push(rule.output);
+        self.available.insert((id, rule.output));
+        self.produced[id] = Some(rule.output);
         self.instrs.push(DistInstr::Compute { node: id, rule });
         Ok(())
     }
@@ -273,12 +303,13 @@ impl Walk<'_> {
             }
         }
         let rule = Rule::new(vec![Placement::Replicated; 2], Placement::Replicated);
-        self.available[grad].push(Placement::Replicated);
+        self.available.insert((grad, Placement::Replicated));
         self.instrs.push(DistInstr::Compute { node: grad, rule });
         self.emit_leaf(param, Placement::Replicated);
         let urule =
             Rule::new(vec![Placement::Replicated, Placement::Replicated], Placement::Replicated);
-        self.available[_update].push(urule.output);
+        self.available.insert((_update, urule.output));
+        self.produced[_update] = Some(urule.output);
         self.instrs.push(DistInstr::Compute { node: _update, rule: urule });
         true
     }

@@ -156,12 +156,61 @@ fn bench_expand_hot_path(c: &mut Criterion) {
     });
 }
 
+fn bench_plan_service(c: &mut Criterion) {
+    // The plan service's two extremes on the same BERT-tiny request line:
+    //
+    // * `service/plan_bert_tiny_cold` — a fresh daemon pays full synthesis
+    //   (plus service bring-up, which is noise next to the search);
+    // * `service/cache_hit_bert_tiny` — the same request answered from the
+    //   content-addressed cache: parse the frame, fingerprint the canonical
+    //   bytes, look up, render the response. No graph decode, no synthesis.
+    //
+    // The ratio of the two medians is the cache's speedup; `bench_check`
+    // prints it and gates the hit path against a checked-in reference. The
+    // acceptance bar for this subsystem is a >= 100x ratio.
+    use hap_codec::{Encode, Value};
+    use hap_service::{PlanService, ServiceConfig};
+
+    let graph = bert_base(&BertConfig::tiny());
+    let cluster = ClusterSpec::fig17_cluster();
+    let opts = hap::HapOptions::default();
+    let line = Value::obj(vec![
+        ("op", Value::Str("plan".into())),
+        ("id", Value::int(1)),
+        ("graph", graph.encode()),
+        ("cluster", cluster.encode()),
+        ("options", opts.encode()),
+    ])
+    .render();
+
+    c.bench_function("service/plan_bert_tiny_cold", |bench| {
+        bench.iter(|| {
+            let service = PlanService::new(ServiceConfig::default()).unwrap();
+            let (response, _) = service.handle_line(black_box(&line));
+            assert!(response.contains("\"source\":\"synthesized\""));
+            response
+        })
+    });
+
+    let service = PlanService::new(ServiceConfig::default()).unwrap();
+    let (warmup, _) = service.handle_line(&line);
+    assert!(warmup.contains("\"source\":\"synthesized\""));
+    c.bench_function("service/cache_hit_bert_tiny", |bench| {
+        bench.iter(|| {
+            let (response, _) = service.handle_line(black_box(&line));
+            debug_assert!(response.contains("\"source\":\"cache\""));
+            response
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_tensor,
     bench_lp,
     bench_synthesis,
     bench_parallel_synthesis,
-    bench_expand_hot_path
+    bench_expand_hot_path,
+    bench_plan_service
 );
 criterion_main!(benches);

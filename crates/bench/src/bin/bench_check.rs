@@ -1,23 +1,48 @@
 //! CI regression gate over the machine-readable bench report.
 //!
-//! Usage: `bench_check <BENCH_synthesis.json> <reference-file>`
+//! Usage: `bench_check <BENCH_synthesis.json> <gates-file>`
 //!
 //! Reads the JSON report written by the micro-bench harness (see the
-//! `criterion` shim's `HAP_BENCH_JSON` support), extracts the
-//! `synthesis/expand_hot_path` median, and fails (exit 1) when it exceeds
-//! 2x the checked-in reference value — the cost-table hot path must never
-//! quietly fall back to recomputation. Also prints the table-vs-direct
-//! speedup when both series are present, so the CI log shows the current
-//! ratio at a glance.
+//! `criterion` shim's `HAP_BENCH_JSON` support) and fails (exit 1) when a
+//! gated bench's median exceeds 2x its checked-in reference.
+//!
+//! # Adaptive gating
+//!
+//! Raw medians drift with CI host speed, so the gates file may name a
+//! *calibration* bench (`tensor/matmul_64` — pure compute, insensitive to
+//! the code paths under gate). Every limit scales by
+//! `measured(calibration) / reference(calibration)`, clamped to
+//! `[0.25, 4]`: a host that runs the calibration loop 2x slower is allowed
+//! 2x slower hot paths, while a pathological calibration sample cannot
+//! stretch a limit past 4x. Without a calibration line (or when the
+//! calibration bench is missing from the report) the scale is 1 — the old
+//! fixed-threshold behavior.
+//!
+//! # Gates file format
+//!
+//! One entry per non-comment line:
+//!
+//! ```text
+//! calibration tensor/matmul_64 30000
+//! synthesis/expand_hot_path 300000
+//! service/cache_hit_bert_tiny 800000
+//! ```
+//!
+//! A legacy bare-number line is still accepted as the
+//! `synthesis/expand_hot_path` reference.
 
 use std::process::ExitCode;
 
-/// The bench whose median the gate gates.
-const GATED_BENCH: &str = "synthesis/expand_hot_path";
-/// The allocating baseline it is compared against (informational).
-const BASELINE_BENCH: &str = "synthesis/expand_hot_path_direct";
-/// Maximum allowed regression versus the reference median.
+/// The allocating expand baseline (informational speedup print).
+const HOT_PATH_BENCH: &str = "synthesis/expand_hot_path";
+const HOT_PATH_DIRECT: &str = "synthesis/expand_hot_path_direct";
+/// The plan-cache pair (informational speedup print).
+const CACHE_HIT_BENCH: &str = "service/cache_hit_bert_tiny";
+const CACHE_COLD_BENCH: &str = "service/plan_bert_tiny_cold";
+/// Maximum allowed regression versus the (scaled) reference median.
 const MAX_REGRESSION: f64 = 2.0;
+/// Calibration scale clamp.
+const SCALE_RANGE: (f64, f64) = (0.25, 4.0);
 
 /// Extracts `"median_ns"` of the entry with the given `"id"` from the flat
 /// report schema (`{"benches": [{"id": ..., "median_ns": ...}, ...]}`).
@@ -30,19 +55,72 @@ fn median_for(json: &str, id: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
-/// Parses the reference file: the first non-comment, non-empty line is the
-/// reference median in nanoseconds.
-fn parse_reference(text: &str) -> Option<f64> {
-    text.lines()
-        .map(str::trim)
-        .find(|l| !l.is_empty() && !l.starts_with('#'))
-        .and_then(|l| l.parse().ok())
+/// The parsed gates file.
+struct Gates {
+    /// `(bench id, reference median ns)` used to normalize for host speed.
+    calibration: Option<(String, f64)>,
+    /// `(bench id, reference median ns)` pairs to gate.
+    gates: Vec<(String, f64)>,
+}
+
+/// Parses the gates file (see module docs). `None` when nothing is gated
+/// or a line is malformed.
+fn parse_gates(text: &str) -> Option<Gates> {
+    let mut out = Gates { calibration: None, gates: Vec::new() };
+    for line in text.lines().map(str::trim) {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Legacy format: a bare number is the expand-hot-path reference.
+        if let Ok(v) = line.parse::<f64>() {
+            out.gates.push((HOT_PATH_BENCH.to_string(), v));
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some("calibration"), Some(id), Some(v), None) => {
+                out.calibration = Some((id.to_string(), v.parse().ok()?));
+            }
+            (Some(id), Some(v), None, None) => out.gates.push((id.to_string(), v.parse().ok()?)),
+            _ => return None,
+        }
+    }
+    if out.gates.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// The host-speed scale factor derived from the calibration bench.
+fn calibration_scale(report: &str, gates: &Gates) -> f64 {
+    let Some((id, reference)) = &gates.calibration else { return 1.0 };
+    let Some(measured) = median_for(report, id) else {
+        eprintln!("bench_check: calibration bench {id} missing from report; scale = 1");
+        return 1.0;
+    };
+    let raw = measured / reference;
+    let scale = raw.clamp(SCALE_RANGE.0, SCALE_RANGE.1);
+    println!(
+        "bench_check: calibration {id} = {measured:.0} ns vs reference {reference:.0} ns \
+         (scale {scale:.2}{})",
+        if raw != scale { ", clamped" } else { "" }
+    );
+    scale
+}
+
+/// Prints the speedup between a fast/slow bench pair when both series are
+/// in the report (informational; the gate is on the fast one).
+fn print_speedup(report: &str, fast: &str, slow: &str, label: &str) {
+    if let (Some(f), Some(s)) = (median_for(report, fast), median_for(report, slow)) {
+        println!("bench_check: {label}: {fast} = {f:.0} ns, {slow} = {s:.0} ns ({:.0}x)", s / f);
+    }
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let (Some(report_path), Some(ref_path)) = (args.next(), args.next()) else {
-        eprintln!("usage: bench_check <BENCH_synthesis.json> <reference-file>");
+        eprintln!("usage: bench_check <BENCH_synthesis.json> <gates-file>");
         return ExitCode::FAILURE;
     };
     let report = match std::fs::read_to_string(&report_path) {
@@ -52,36 +130,44 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let reference = match std::fs::read_to_string(&ref_path).map(|s| parse_reference(&s)) {
-        Ok(Some(v)) => v,
+    let gates = match std::fs::read_to_string(&ref_path).map(|s| parse_gates(&s)) {
+        Ok(Some(g)) => g,
         _ => {
-            eprintln!("bench_check: no reference value in {ref_path}");
+            eprintln!("bench_check: no usable gates in {ref_path}");
             return ExitCode::FAILURE;
         }
     };
-    let Some(median) = median_for(&report, GATED_BENCH) else {
-        eprintln!("bench_check: {GATED_BENCH} missing from {report_path}");
-        return ExitCode::FAILURE;
-    };
-    if let Some(direct) = median_for(&report, BASELINE_BENCH) {
-        println!(
-            "bench_check: {GATED_BENCH} = {median:.0} ns, direct = {direct:.0} ns \
-             (tables {:.2}x faster)",
-            direct / median
-        );
+
+    print_speedup(&report, HOT_PATH_BENCH, HOT_PATH_DIRECT, "tables vs direct");
+    print_speedup(&report, CACHE_HIT_BENCH, CACHE_COLD_BENCH, "plan cache");
+
+    let scale = calibration_scale(&report, &gates);
+    let mut failed = false;
+    for (id, reference) in &gates.gates {
+        let Some(median) = median_for(&report, id) else {
+            eprintln!("bench_check: FAIL — gated bench {id} missing from {report_path}");
+            failed = true;
+            continue;
+        };
+        let limit = reference * MAX_REGRESSION * scale;
+        if median > limit {
+            eprintln!(
+                "bench_check: FAIL — {id} median {median:.0} ns exceeds {MAX_REGRESSION}x \
+                 the reference {reference:.0} ns at host scale {scale:.2} (limit {limit:.0} ns)"
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench_check: OK — {id} median {median:.0} ns within limit {limit:.0} ns \
+                 (reference {reference:.0} ns, scale {scale:.2})"
+            );
+        }
     }
-    let limit = reference * MAX_REGRESSION;
-    if median > limit {
-        eprintln!(
-            "bench_check: FAIL — {GATED_BENCH} median {median:.0} ns exceeds \
-             {MAX_REGRESSION}x the reference {reference:.0} ns (limit {limit:.0} ns)"
-        );
-        return ExitCode::FAILURE;
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
-    println!(
-        "bench_check: OK — {median:.0} ns within {MAX_REGRESSION}x of reference {reference:.0} ns"
-    );
-    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -92,20 +178,53 @@ mod tests {
   "benches": [
     {"id": "tensor/matmul_64", "median_ns": 35884.0},
     {"id": "synthesis/expand_hot_path", "median_ns": 224960.1, "units_per_iter": 2837.0, "units_per_sec": 12611127.4},
-    {"id": "synthesis/expand_hot_path_direct", "median_ns": 454539.5, "units_per_iter": 2837.0, "units_per_sec": 6241481.8}
+    {"id": "synthesis/expand_hot_path_direct", "median_ns": 454539.5, "units_per_iter": 2837.0, "units_per_sec": 6241481.8},
+    {"id": "service/cache_hit_bert_tiny", "median_ns": 411235.0},
+    {"id": "service/plan_bert_tiny_cold", "median_ns": 516677000.0}
   ]
 }"#;
 
     #[test]
-    fn extracts_the_gated_median() {
-        assert_eq!(median_for(SAMPLE, GATED_BENCH), Some(224960.1));
-        assert_eq!(median_for(SAMPLE, BASELINE_BENCH), Some(454539.5));
+    fn extracts_medians() {
+        assert_eq!(median_for(SAMPLE, HOT_PATH_BENCH), Some(224960.1));
+        assert_eq!(median_for(SAMPLE, HOT_PATH_DIRECT), Some(454539.5));
+        assert_eq!(median_for(SAMPLE, CACHE_HIT_BENCH), Some(411235.0));
         assert_eq!(median_for(SAMPLE, "no/such_bench"), None);
     }
 
     #[test]
-    fn reference_skips_comments() {
-        assert_eq!(parse_reference("# comment\n\n300000\n"), Some(300000.0));
-        assert_eq!(parse_reference("# only comments\n"), None);
+    fn legacy_bare_number_still_gates_the_hot_path() {
+        let gates = parse_gates("# comment\n\n300000\n").unwrap();
+        assert!(gates.calibration.is_none());
+        assert_eq!(gates.gates, vec![(HOT_PATH_BENCH.to_string(), 300000.0)]);
+        assert!(parse_gates("# only comments\n").is_none());
+    }
+
+    #[test]
+    fn new_format_parses_calibration_and_gates() {
+        let text = "# gates\ncalibration tensor/matmul_64 30000\n\
+                    synthesis/expand_hot_path 300000\nservice/cache_hit_bert_tiny 800000\n";
+        let gates = parse_gates(text).unwrap();
+        assert_eq!(gates.calibration, Some(("tensor/matmul_64".to_string(), 30000.0)));
+        assert_eq!(gates.gates.len(), 2);
+        assert_eq!(gates.gates[1], ("service/cache_hit_bert_tiny".to_string(), 800000.0));
+        assert!(parse_gates("calibration only_two_fields\n").is_none());
+        assert!(parse_gates("# nothing gated\ncalibration tensor/matmul_64 1\n").is_none());
+    }
+
+    #[test]
+    fn calibration_scales_and_clamps() {
+        let gates = parse_gates("calibration tensor/matmul_64 35884\n300000\n").unwrap();
+        // Measured == reference -> scale 1.
+        assert!((calibration_scale(SAMPLE, &gates) - 1.0).abs() < 1e-9);
+        // A very fast reference host would scale up without bound; the
+        // clamp caps it at 4x (and 0.25x on the slow side).
+        let fast = parse_gates("calibration tensor/matmul_64 10\n300000\n").unwrap();
+        assert_eq!(calibration_scale(SAMPLE, &fast), 4.0);
+        let slow = parse_gates("calibration tensor/matmul_64 100000000\n300000\n").unwrap();
+        assert_eq!(calibration_scale(SAMPLE, &slow), 0.25);
+        // Missing calibration bench -> neutral scale.
+        let missing = parse_gates("calibration no/such_bench 10\n300000\n").unwrap();
+        assert_eq!(calibration_scale(SAMPLE, &missing), 1.0);
     }
 }

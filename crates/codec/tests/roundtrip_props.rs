@@ -1,0 +1,310 @@
+//! Round-trip property tests for the wire codec: encode→decode identity
+//! over random graphs, cluster specs, options, and synthesized programs,
+//! plus fingerprint stability across re-encoding.
+
+use hap::HapOptions;
+use hap_cluster::{ClusterSpec, DeviceType, Granularity, Machine};
+use hap_codec::{parse, request_fingerprint, value_fingerprint, Decode, Encode};
+use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
+use hap_graph::{Graph, GraphBuilder, Op, Role, UnaryKind};
+use hap_models::{mlp, transformer_layer, MlpConfig, TransformerConfig};
+use hap_synthesis::{synthesize, DistProgram, SynthConfig};
+use proptest::prelude::*;
+
+/// Builds a random-but-valid training graph from a case seed: a chain of
+/// assorted ops (the shape-compatible subset), randomized segment labels,
+/// optionally run through autodiff so grad/update ops appear too.
+fn random_graph(width: usize, depth: usize, seed: usize) -> Graph {
+    let mut g = GraphBuilder::new();
+    let batch = 2 + (seed % 3) * 2;
+    let mut cur = g.placeholder("x", vec![batch, width]);
+    let mut mix = seed;
+    for layer in 0..depth {
+        mix = mix.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        match mix % 5 {
+            0 => {
+                let w = g.parameter(&format!("w{layer}"), vec![width, width]);
+                cur = g.matmul(cur, w);
+            }
+            1 => cur = g.relu(cur),
+            2 => cur = g.add(cur, cur),
+            3 => cur = g.softmax(cur),
+            _ => cur = g.layer_norm(cur),
+        }
+    }
+    let loss = g.sum_all(cur);
+    let mut graph =
+        if seed.is_multiple_of(2) { g.build_training(loss).unwrap() } else { g.build_forward() };
+    // Scatter random segment labels — `seg` must survive the round trip.
+    for id in 0..graph.len() {
+        let s = (id.wrapping_mul(2654435761) ^ seed) % 3;
+        graph.set_segment(id, s);
+    }
+    graph
+}
+
+/// Structural graph equality (node-by-node fields; `Graph` has no
+/// `PartialEq` because op rules make it meaningless in general).
+fn assert_graphs_equal(a: &Graph, b: &Graph) {
+    assert_eq!(a.len(), b.len());
+    for (na, nb) in a.nodes().iter().zip(b.nodes().iter()) {
+        assert_eq!(na.id, nb.id);
+        assert_eq!(na.op, nb.op);
+        assert_eq!(na.inputs, nb.inputs);
+        assert_eq!(na.shape.dims(), nb.shape.dims());
+        assert_eq!(na.name, nb.name);
+        assert_eq!(na.role, nb.role);
+        assert_eq!(na.segment, nb.segment);
+    }
+}
+
+fn random_cluster(machine_picks: &[usize], bw_scale: f64, lat_scale: f64) -> ClusterSpec {
+    let machines = machine_picks
+        .iter()
+        .map(|&pick| {
+            let device = match pick % 4 {
+                0 => DeviceType::p100(),
+                1 => DeviceType::v100(),
+                2 => DeviceType::a100(),
+                _ => DeviceType::t4(),
+            };
+            let gpus = 1 + pick % 3;
+            if pick % 2 == 0 {
+                Machine::nvlink(device, gpus)
+            } else {
+                Machine::pcie(device, gpus)
+            }
+        })
+        .collect();
+    ClusterSpec::new(machines, 1e9 * (0.5 + bw_scale), 1e-5 * (0.5 + lat_scale))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn graph_round_trip(width in 2usize..6, depth in 1usize..8, seed in 0usize..1_000_000) {
+        let graph = random_graph(width, depth, seed);
+        let text = graph.encode().render();
+        let back = Graph::decode(&parse(&text).unwrap()).unwrap();
+        assert_graphs_equal(&graph, &back);
+        // Canonical: decode→encode reproduces the bytes, so the content
+        // fingerprint is stable across any number of re-encodings.
+        prop_assert_eq!(back.encode().render(), text);
+        prop_assert_eq!(value_fingerprint(&back.encode()), value_fingerprint(&graph.encode()));
+    }
+
+    #[test]
+    fn cluster_round_trip(
+        picks in prop::collection::vec(0usize..12, 1..5),
+        bw in 0f64..4.0,
+        lat in 0f64..4.0,
+    ) {
+        let cluster = random_cluster(&picks, bw, lat);
+        let text = cluster.encode().render();
+        let back = ClusterSpec::decode(&parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&back, &cluster);
+        prop_assert_eq!(back.encode().render(), text);
+    }
+
+    #[test]
+    fn options_round_trip(
+        rounds in 1usize..8,
+        expansions in 0usize..100_000,
+        threads in 0usize..16,
+        budget in 0f64..10.0,
+        flags in 0usize..32,
+    ) {
+        let opts = HapOptions {
+            granularity: if flags % 2 == 0 { Granularity::PerGpu } else { Granularity::PerMachine },
+            max_rounds: rounds,
+            synth: SynthConfig {
+                max_expansions: expansions,
+                beam_width: if flags % 3 == 0 { None } else { Some(expansions + 1) },
+                time_budget_secs: budget,
+                stall_expansions: expansions / 2,
+                grouped_broadcast: flags % 5 != 0,
+                sfb: flags % 7 != 0,
+                threads,
+            },
+            auto_segments: if flags % 4 == 0 { None } else { Some(flags % 4) },
+            balance: flags % 11 != 0,
+            warm_start: flags % 13 != 0,
+        };
+        let text = opts.encode().render();
+        let back = HapOptions::decode(&parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back.encode().render(), text);
+        prop_assert_eq!(back.max_rounds, opts.max_rounds);
+        prop_assert_eq!(back.synth.beam_width, opts.synth.beam_width);
+        prop_assert_eq!(back.synth.time_budget_secs.to_bits(), opts.synth.time_budget_secs.to_bits());
+    }
+
+    #[test]
+    fn ratios_round_trip(rows in prop::collection::vec(prop::collection::vec(0f64..1.0, 1..6), 1..4)) {
+        let text = rows.encode().render();
+        let back = Vec::<Vec<f64>>::decode(&parse(&text).unwrap()).unwrap();
+        // Bit-exact float round trip, not approximate equality.
+        prop_assert_eq!(back.len(), rows.len());
+        for (ra, rb) in rows.iter().zip(back.iter()) {
+            for (a, b) in ra.iter().zip(rb.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        prop_assert_eq!(back.encode().render(), text);
+    }
+
+    #[test]
+    fn synthesized_program_round_trip(width in 2usize..5, depth in 1usize..5, seed in 0usize..1_000) {
+        let graph = random_graph(width, depth, seed);
+        let cluster = ClusterSpec::fig17_cluster();
+        let devices = cluster.virtual_devices(Granularity::PerGpu);
+        let profile =
+            profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
+        let ratios = vec![
+            cluster.proportional_ratios(Granularity::PerGpu);
+            graph.segment_count().max(1)
+        ];
+        // Greedy-only budget: the property under test is the codec, not
+        // the search.
+        let cfg = SynthConfig { time_budget_secs: 0.0, ..SynthConfig::default() };
+        let q = synthesize(&graph, &devices, &profile, &ratios, &cfg).unwrap();
+        let text = q.encode().render();
+        let back = DistProgram::decode(&parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&back.instrs, &q.instrs);
+        prop_assert_eq!(back.estimated_time.to_bits(), q.estimated_time.to_bits());
+        prop_assert_eq!(back.fingerprint(), q.fingerprint());
+        prop_assert_eq!(back.encode().render(), text);
+    }
+}
+
+#[test]
+fn request_fingerprints_separate_graph_cluster_options() {
+    let graph_a = mlp(&MlpConfig { batch: 64, input: 16, hidden: vec![32], classes: 8 });
+    let graph_b = transformer_layer(&TransformerConfig::fig2(64));
+    let cluster_a = ClusterSpec::fig17_cluster();
+    let cluster_b = ClusterSpec::fig2_cluster();
+    let opts_a = HapOptions::default();
+    let opts_b = HapOptions { max_rounds: 7, ..HapOptions::default() };
+
+    let base = request_fingerprint(&graph_a, &cluster_a, &opts_a);
+    // Deterministic across recomputation.
+    assert_eq!(base, request_fingerprint(&graph_a, &cluster_a, &opts_a));
+    // Sensitive to every component of the triple.
+    assert_ne!(base, request_fingerprint(&graph_b, &cluster_a, &opts_a));
+    assert_ne!(base, request_fingerprint(&graph_a, &cluster_b, &opts_a));
+    assert_ne!(base, request_fingerprint(&graph_a, &cluster_a, &opts_b));
+    // Stable across a wire round trip of the inputs.
+    let graph_rt = Graph::decode(&parse(&graph_a.encode().render()).unwrap()).unwrap();
+    let cluster_rt = ClusterSpec::decode(&parse(&cluster_a.encode().render()).unwrap()).unwrap();
+    let opts_rt = HapOptions::decode(&parse(&opts_a.encode().render()).unwrap()).unwrap();
+    assert_eq!(base, request_fingerprint(&graph_rt, &cluster_rt, &opts_rt));
+}
+
+#[test]
+fn nonfinite_cluster_fields_survive() {
+    // A per-GPU virtual device legitimately reports infinite intra-machine
+    // bandwidth; the dialect's Infinity token carries it.
+    let mut cluster = ClusterSpec::fig17_cluster();
+    cluster.machines[0].intra_bandwidth = f64::INFINITY;
+    let text = cluster.encode().render();
+    assert!(text.contains("Infinity"));
+    let back = ClusterSpec::decode(&parse(&text).unwrap()).unwrap();
+    assert_eq!(back, cluster);
+}
+
+#[test]
+fn tampered_graph_shape_is_rejected() {
+    let graph = mlp(&MlpConfig { batch: 8, input: 4, hidden: vec![4], classes: 2 });
+    let text = graph.encode().render();
+    // Corrupt one inferred shape: decode must fail the checksum, not
+    // build an inconsistent graph.
+    let node = graph.nodes().iter().find(|n| !n.op.is_leaf()).unwrap();
+    let honest = format!("\"name\":\"{}\"", node.name);
+    assert!(text.contains(&honest));
+    let dims = node.shape.dims();
+    let bad_dims: Vec<usize> = dims.iter().map(|&d| d + 1).collect();
+    let tampered = text.replace(
+        &format!("\"shape\":{},\"name\":\"{}\"", dims.to_vec().encode().render(), node.name),
+        &format!("\"shape\":{},\"name\":\"{}\"", bad_dims.encode().render(), node.name),
+    );
+    assert_ne!(tampered, text);
+    assert!(Graph::decode(&parse(&tampered).unwrap()).is_err());
+}
+
+#[test]
+fn unknown_device_names_are_interned() {
+    let mut cluster = ClusterSpec::fig17_cluster();
+    let text = cluster.encode().render().replace("A100", "H900");
+    let back = ClusterSpec::decode(&parse(&text).unwrap()).unwrap();
+    assert_eq!(back.machines[0].device.name, "H900");
+    // A second decode reuses the interned name (same pointer).
+    let again = ClusterSpec::decode(&parse(&text).unwrap()).unwrap();
+    assert!(std::ptr::eq(back.machines[0].device.name, again.machines[0].device.name));
+    cluster.machines[0].device.name = back.machines[0].device.name;
+    assert_eq!(back.machines[0].device, cluster.machines[0].device);
+}
+
+#[test]
+fn all_op_variants_round_trip() {
+    use Op::*;
+    let ops = vec![
+        Placeholder,
+        Label,
+        Parameter,
+        Ones,
+        MatMul2 { ta: true, tb: false },
+        Linear,
+        LinearGradX,
+        LinearGradW,
+        Bmm { ta: false, tb: true },
+        Add,
+        BiasAdd,
+        ReduceLeading,
+        Scale { factor: 0.25 },
+        Unary { kind: UnaryKind::Gelu },
+        UnaryGrad { kind: UnaryKind::Tanh },
+        Softmax,
+        SoftmaxGrad,
+        LayerNorm,
+        LayerNormGrad,
+        Attention { heads: 8 },
+        AttentionGrad { heads: 8, which: 2 },
+        Conv2d { stride: 2, pad: 1 },
+        Conv2dGradX { stride: 2, pad: 1 },
+        Conv2dGradW { stride: 1, pad: 0 },
+        MaxPool2 { k: 2 },
+        MaxPoolGrad { k: 2 },
+        Flatten,
+        Unflatten { dims: vec![3, 4, 5] },
+        Embedding,
+        EmbeddingGrad { vocab: 1000 },
+        CrossEntropy,
+        CrossEntropyGrad,
+        SumAll,
+        Dispatch { experts: 4, capacity: 8 },
+        DispatchGrad,
+        Combine,
+        CombineGrad { experts: 4, capacity: 8 },
+        UpdateParam { lr: 0.001 },
+    ];
+    for op in ops {
+        let text = op.encode().render();
+        let back = Op::decode(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, op, "{text}");
+        assert_eq!(back.encode().render(), text);
+    }
+    // A role survives too (all variants).
+    for role in [
+        Role::Input,
+        Role::Label,
+        Role::Param,
+        Role::Const,
+        Role::Activation,
+        Role::Grad,
+        Role::Updated,
+        Role::Loss,
+    ] {
+        let back = Role::decode(&parse(&role.encode().render()).unwrap()).unwrap();
+        assert_eq!(back, role);
+    }
+}

@@ -41,12 +41,12 @@
 mod optimizer;
 mod plan;
 
-pub use optimizer::{parallelize, HapError, HapOptions};
+pub use optimizer::{parallelize, parallelize_with_warm, HapError, HapOptions};
 pub use plan::Plan;
 
 /// Convenient re-exports for building models, clusters and plans.
 pub mod prelude {
-    pub use crate::{parallelize, HapError, HapOptions, Plan};
+    pub use crate::{parallelize, parallelize_with_warm, HapError, HapOptions, Plan};
     pub use hap_cluster::{ClusterSpec, DeviceType, Granularity, Machine, VirtualDevice};
     pub use hap_graph::{Graph, GraphBuilder, NodeId, Op, Placement, Role};
     pub use hap_synthesis::{DistInstr, DistProgram, SynthConfig};

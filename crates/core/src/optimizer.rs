@@ -76,7 +76,14 @@ impl std::fmt::Display for HapError {
     }
 }
 
-impl std::error::Error for HapError {}
+impl std::error::Error for HapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HapError::Synth(e) => Some(e),
+            HapError::Balance(e) => Some(e),
+        }
+    }
+}
 
 impl From<SynthError> for HapError {
     fn from(e: SynthError) -> Self {
@@ -97,6 +104,28 @@ pub fn parallelize(
     graph: &Graph,
     cluster: &ClusterSpec,
     opts: &HapOptions,
+) -> Result<Plan, HapError> {
+    parallelize_with_warm(graph, cluster, opts, None)
+}
+
+/// [`parallelize`] with an externally supplied warm-start program.
+///
+/// The plan service uses this to seed a cache miss with the cached plan of
+/// the *nearest* cluster spec for the same graph: the program is
+/// device-count independent (SPMD — the same instruction list is valid on
+/// any cluster), so re-costed under the new cluster it becomes round 0's
+/// A\* incumbent exactly like round *s−1*'s program seeds round *s*. The
+/// seed is only an upper bound — any strictly cheaper program is still
+/// found — and it is ignored entirely when `opts.warm_start` is off.
+///
+/// The warm program must target the same graph (same node ids); programs
+/// cached under the request's graph fingerprint satisfy this by
+/// construction.
+pub fn parallelize_with_warm(
+    graph: &Graph,
+    cluster: &ClusterSpec,
+    opts: &HapOptions,
+    warm: Option<&DistProgram>,
 ) -> Result<Plan, HapError> {
     let mut graph = graph.clone();
     if let Some(g) = opts.auto_segments {
@@ -160,7 +189,11 @@ pub fn parallelize(
     let mut seen: Vec<Vec<u64>> = vec![quantize(&ratios)];
     // Round s-1's chosen program, the warm-start seed for round s: re-costed
     // under round s's ratios it upper-bounds the A* from the first wave.
-    let mut prev_q: Option<DistProgram> = None;
+    // Round 0 can be seeded externally (plan-service neighbor warm start);
+    // a seed that references nodes outside this graph is silently dropped —
+    // the caller matched on a graph fingerprint, not on this exact clone.
+    let mut prev_q: Option<DistProgram> =
+        warm.filter(|q| q.instrs.iter().all(|i| i.node() < graph.len())).cloned();
     for round in 0..opts.max_rounds.max(1) {
         // Q(s) = argmin_Q t(Q, B(s-1)) — the synthesized program, or a
         // portfolio program when one evaluates cheaper under B(s-1).
@@ -323,6 +356,37 @@ mod tests {
         assert_eq!(a.program.fingerprint(), b.program.fingerprint());
         assert_eq!(a.ratios, b.ratios);
         assert_eq!(a.estimated_time.to_bits(), b.estimated_time.to_bits());
+    }
+
+    #[test]
+    fn external_warm_seed_does_not_change_the_plan() {
+        // The neighbor warm start is an incumbent upper bound, never a
+        // result override: seeding with the plan of a *different* cluster
+        // must still return the same plan a cold run finds (up to exact
+        // cost ties, which this model does not have).
+        let graph = mlp(&MlpConfig::tiny());
+        let cluster = ClusterSpec::fig17_cluster();
+        let neighbor = ClusterSpec::fig2_cluster();
+        let opts = HapOptions::default();
+        let seed = parallelize(&graph, &neighbor, &opts).unwrap();
+        let cold = parallelize(&graph, &cluster, &opts).unwrap();
+        let warm = parallelize_with_warm(&graph, &cluster, &opts, Some(&seed.program)).unwrap();
+        assert_eq!(cold.program.fingerprint(), warm.program.fingerprint());
+        assert_eq!(cold.estimated_time.to_bits(), warm.estimated_time.to_bits());
+        assert_eq!(cold.ratios, warm.ratios);
+    }
+
+    #[test]
+    fn foreign_warm_seed_is_dropped_not_fatal() {
+        // A warm program referencing nodes outside the graph (a cache
+        // mixup) must be ignored, not crash the daemon.
+        let graph = mlp(&MlpConfig { batch: 2048, input: 32, hidden: vec![64], classes: 8 });
+        let big = mlp(&MlpConfig { batch: 2048, input: 32, hidden: vec![64, 64, 64], classes: 8 });
+        let cluster = ClusterSpec::fig17_cluster();
+        let opts = HapOptions::default();
+        let foreign = parallelize(&big, &cluster, &opts).unwrap();
+        let plan = parallelize_with_warm(&graph, &cluster, &opts, Some(&foreign.program)).unwrap();
+        assert!(plan.program.is_complete(&graph));
     }
 
     #[test]

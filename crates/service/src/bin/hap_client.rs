@@ -1,0 +1,257 @@
+//! CLI client for the HAP planning daemon.
+//!
+//! ```text
+//! hap-client --addr HOST:PORT [--model NAME]... [--requests N]
+//!            [--concurrency N] [--stats] [--shutdown]
+//!            [--assert KEY=V | KEY>=V]...
+//! ```
+//!
+//! Models are the bundled benchmark suite at test scale: `mlp`,
+//! `bert-tiny`, `bert-moe-tiny`, `vgg-tiny`, `vit-tiny` — or `all` for
+//! the four paper models. Each `--requests` repetition submits every
+//! selected model; `--concurrency` fans the submissions out over that
+//! many connections, which is how the CI smoke job provokes the
+//! single-flight path. `--assert` checks daemon stats after the run
+//! (exit 1 on violation), e.g. `--assert synthesized=1 --assert hits>=7`.
+
+use std::process::ExitCode;
+
+use hap::HapOptions;
+use hap_cluster::ClusterSpec;
+use hap_graph::Graph;
+use hap_models::{
+    bert_base, bert_moe, mlp, vgg19, vit, BertConfig, MlpConfig, MoeConfig, VggConfig, VitConfig,
+};
+use hap_service::Client;
+
+fn build_model(name: &str) -> Option<Graph> {
+    match name {
+        "mlp" => Some(mlp(&MlpConfig::tiny())),
+        "bert-tiny" => Some(bert_base(&BertConfig::tiny())),
+        "bert-moe-tiny" => Some(bert_moe(&MoeConfig::tiny(4))),
+        "vgg-tiny" => Some(vgg19(&VggConfig::tiny())),
+        "vit-tiny" => Some(vit(&VitConfig::tiny())),
+        _ => None,
+    }
+}
+
+/// One stats assertion: `key=value` (exact) or `key>=value` (at least).
+struct Assertion {
+    key: String,
+    min: u64,
+    exact: bool,
+}
+
+impl Assertion {
+    fn parse(text: &str) -> Option<Assertion> {
+        if let Some((key, v)) = text.split_once(">=") {
+            return Some(Assertion { key: key.into(), min: v.parse().ok()?, exact: false });
+        }
+        let (key, v) = text.split_once('=')?;
+        Some(Assertion { key: key.into(), min: v.parse().ok()?, exact: true })
+    }
+
+    fn check(&self, stats: &hap_service::StatsSnapshot) -> Result<(), String> {
+        let actual = match self.key.as_str() {
+            "entries" => stats.entries,
+            "hits" => stats.hits,
+            "misses" => stats.misses,
+            "coalesced" => stats.coalesced,
+            "synthesized" => stats.synthesized,
+            "evictions" => stats.evictions,
+            "warm_seeded" => stats.warm_seeded,
+            "errors" => stats.errors,
+            "in_flight" => stats.in_flight,
+            other => return Err(format!("unknown stats key `{other}`")),
+        };
+        let ok = if self.exact { actual == self.min } else { actual >= self.min };
+        if ok {
+            Ok(())
+        } else {
+            let op = if self.exact { "=" } else { ">=" };
+            Err(format!("{} is {actual}, expected {op} {}", self.key, self.min))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut models: Vec<String> = Vec::new();
+    let mut requests = 1usize;
+    let mut concurrency = 1usize;
+    let mut show_stats = false;
+    let mut shutdown = false;
+    let mut assertions: Vec<Assertion> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().ok_or_else(|| eprintln!("hap-client: {name} needs a value"));
+        match flag.as_str() {
+            "--addr" => match value("--addr") {
+                Ok(v) => addr = Some(v),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--model" => match value("--model") {
+                Ok(v) if v == "all" => {
+                    for m in ["vgg-tiny", "vit-tiny", "bert-tiny", "bert-moe-tiny"] {
+                        models.push(m.into());
+                    }
+                }
+                Ok(v) => models.push(v),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--requests" => match value("--requests")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-client: bad count: {e}")))
+            {
+                Ok(n) => requests = n,
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--concurrency" => match value("--concurrency")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-client: bad count: {e}")))
+            {
+                Ok(n) => concurrency = std::cmp::max(1, n),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--stats" => show_stats = true,
+            "--shutdown" => shutdown = true,
+            "--assert" => match value("--assert") {
+                Ok(v) => match Assertion::parse(&v) {
+                    Some(a) => assertions.push(a),
+                    None => {
+                        eprintln!("hap-client: bad assertion `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(()) => return ExitCode::FAILURE,
+            },
+            _ => {
+                eprintln!("hap-client: unknown flag `{flag}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("hap-client: --addr is required");
+        return ExitCode::FAILURE;
+    };
+
+    // The work list: every selected model, `requests` times over.
+    let mut work: Vec<String> = Vec::new();
+    for _ in 0..requests {
+        work.extend(models.iter().cloned());
+    }
+    let cluster = ClusterSpec::fig17_cluster();
+    let opts = HapOptions::default();
+
+    // Fan the work out over `concurrency` connections. Every submission is
+    // checked for bit-identity against the first reply of the same model:
+    // whatever mix of synthesized/coalesced/cache answers comes back, the
+    // plans must agree bit for bit (program fingerprint, estimated-time
+    // bits, ratios) or the client exits nonzero — CI's determinism gate.
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    type ReplyBits = (u64, u64, Vec<Vec<u64>>);
+    let first_reply: std::sync::Mutex<std::collections::HashMap<String, ReplyBits>> =
+        std::sync::Mutex::new(std::collections::HashMap::new());
+    std::thread::scope(|scope| {
+        for worker in 0..concurrency {
+            let work = &work;
+            let cluster = &cluster;
+            let opts = &opts;
+            let failed = &failed;
+            let first_reply = &first_reply;
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut client = match Client::connect(&*addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("hap-client: connect: {e}");
+                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for (i, model) in work.iter().enumerate() {
+                    if i % concurrency != worker {
+                        continue;
+                    }
+                    let Some(graph) = build_model(model) else {
+                        eprintln!("hap-client: unknown model `{model}`");
+                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                        return;
+                    };
+                    let t0 = std::time::Instant::now();
+                    match client.plan(&graph, cluster, opts) {
+                        Ok(reply) => {
+                            println!(
+                                "hap-client: {model} -> {} plan 0x{:016x} est {:.6}s in {:?}",
+                                reply.source,
+                                reply.program.fingerprint(),
+                                reply.estimated_time,
+                                t0.elapsed()
+                            );
+                            let bits: ReplyBits = (
+                                reply.program.fingerprint(),
+                                reply.estimated_time.to_bits(),
+                                reply
+                                    .ratios
+                                    .iter()
+                                    .map(|row| row.iter().map(|b| b.to_bits()).collect())
+                                    .collect(),
+                            );
+                            let mut seen = first_reply.lock().expect("first-reply map poisoned");
+                            let reference =
+                                seen.entry(model.clone()).or_insert_with(|| bits.clone());
+                            if *reference != bits {
+                                eprintln!(
+                                    "hap-client: {model}: plan differs from the first reply \
+                                     (0x{:016x} vs 0x{:016x}) — determinism violation",
+                                    bits.0, reference.0
+                                );
+                                failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("hap-client: {model}: {e}");
+                            failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if failed.load(std::sync::atomic::Ordering::Relaxed) {
+        return ExitCode::FAILURE;
+    }
+
+    let mut client = match Client::connect(&*addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("hap-client: connect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if show_stats || !assertions.is_empty() {
+        let stats = match client.stats() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hap-client: stats: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("hap-client: stats {stats:?}");
+        for a in &assertions {
+            if let Err(msg) = a.check(&stats) {
+                eprintln!("hap-client: assertion failed: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("hap-client: shutdown: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("hap-client: daemon acknowledged shutdown");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,84 @@
+//! The HAP planning daemon.
+//!
+//! ```text
+//! hap-serve [--addr HOST:PORT | --port N] [--workers N]
+//!           [--cache-capacity N] [--cache-file PATH] [--no-warm-start]
+//! ```
+//!
+//! Prints one `hap-serve: listening on <addr>` line once the socket is
+//! bound (scripts wait for it), then serves until a client sends a
+//! `shutdown` request.
+
+use std::process::ExitCode;
+
+use hap_service::{Server, ServiceConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hap-serve [--addr HOST:PORT | --port N] [--workers N] \
+         [--cache-capacity N] [--cache-file PATH] [--no-warm-start]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = ServiceConfig { addr: "127.0.0.1:7641".into(), ..ServiceConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().ok_or_else(|| eprintln!("hap-serve: {name} needs a value"));
+        match flag.as_str() {
+            "--addr" => match value("--addr") {
+                Ok(v) => config.addr = v,
+                Err(()) => return usage(),
+            },
+            "--port" => match value("--port")
+                .and_then(|v| v.parse::<u16>().map_err(|e| eprintln!("hap-serve: bad port: {e}")))
+            {
+                Ok(p) => config.addr = format!("127.0.0.1:{p}"),
+                Err(()) => return usage(),
+            },
+            "--workers" => match value("--workers")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad worker count: {e}")))
+            {
+                Ok(n) => config.workers = n,
+                Err(()) => return usage(),
+            },
+            "--cache-capacity" => match value("--cache-capacity")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad capacity: {e}")))
+            {
+                Ok(n) => config.cache_capacity = n,
+                Err(()) => return usage(),
+            },
+            "--cache-file" => match value("--cache-file") {
+                Ok(v) => config.cache_path = Some(v.into()),
+                Err(()) => return usage(),
+            },
+            "--no-warm-start" => config.warm_neighbors = false,
+            _ => {
+                eprintln!("hap-serve: unknown flag `{flag}`");
+                return usage();
+            }
+        }
+    }
+
+    let mut server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hap-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("hap-serve: listening on {}", server.addr());
+    // Line-buffered stdout under redirection would hold the banner back.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    server.shutdown();
+    let stats = server.service().stats();
+    println!(
+        "hap-serve: shut down — {} entries, {} hits, {} misses, {} synthesized, {} coalesced",
+        stats.entries, stats.hits, stats.misses, stats.synthesized, stats.coalesced
+    );
+    ExitCode::SUCCESS
+}

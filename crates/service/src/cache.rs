@@ -1,0 +1,346 @@
+//! The content-addressed plan cache: a sharded LRU keyed by request
+//! fingerprint, with append-only disk persistence and a nearest-neighbor
+//! lookup that powers the warm-start path.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use hap_cluster::{ClusterSpec, Granularity};
+use hap_codec::{parse, parse_fingerprint, render_fingerprint, CodecError, Decode, Encode, Value};
+use hap_synthesis::{DistProgram, ShardingRatios};
+
+/// Cache shards. A power of two so the fingerprint masks cleanly; 16 keeps
+/// per-shard lock scopes short under concurrent connection threads.
+const SHARDS: usize = 16;
+
+/// One cached plan: everything a response needs, plus the request-side
+/// metadata (`graph_fp`, `opts_fp`, cluster features) the nearest-neighbor
+/// warm start matches on. Deliberately *excludes* the graph and the device
+/// list — the client sent the graph, so echoing it back would double every
+/// response.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// The synthesized program (carries its estimated time).
+    pub program: DistProgram,
+    /// Per-segment sharding ratios.
+    pub ratios: ShardingRatios,
+    /// Cost-model estimate of the per-iteration time, bit-preserved.
+    pub estimated_time: f64,
+    /// Alternating-optimization rounds the original synthesis performed.
+    pub rounds: usize,
+    /// Fingerprint of the request's canonical graph encoding.
+    pub graph_fp: u64,
+    /// Fingerprint of the request's canonical options encoding.
+    pub opts_fp: u64,
+    /// Coarse cluster descriptors for the neighbor metric.
+    pub features: [f64; 4],
+}
+
+/// The coarse cluster descriptors the neighbor metric compares: virtual
+/// device count, aggregate effective flops, inter-machine bandwidth and
+/// latency. Deliberately low-dimensional — the metric only has to rank
+/// *plausible* warm seeds, the A\* still verifies them against the real
+/// cost model.
+pub fn cluster_features(cluster: &ClusterSpec, granularity: Granularity) -> [f64; 4] {
+    let devices = cluster.virtual_devices(granularity);
+    let total_flops: f64 = devices.iter().map(|d| d.flops).sum();
+    [devices.len() as f64, total_flops, cluster.inter_bandwidth, cluster.inter_latency]
+}
+
+/// Log-ratio distance between two feature vectors, with a penalty when the
+/// request options differ (a same-options neighbor re-costs exactly; a
+/// different-options one is still a valid seed, just less likely close).
+fn distance(a: &[f64; 4], b: &[f64; 4], same_opts: bool) -> f64 {
+    let mut d = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let (x, y) = (x.max(1e-300), y.max(1e-300));
+        d += (x / y).ln().abs();
+    }
+    if !same_opts {
+        d += 0.5;
+    }
+    d
+}
+
+struct Entry {
+    plan: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+}
+
+/// A sharded LRU of [`CachedPlan`]s keyed by request fingerprint.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry budget (total capacity / shard count, at least 1).
+    per_shard: usize,
+    /// Monotonic use clock driving LRU eviction.
+    tick: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding roughly `capacity` plans in total.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard: capacity.div_ceil(SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<Shard> {
+        &self.shards[(fp as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up a plan by request fingerprint, refreshing its LRU position.
+    pub fn get(&self, fp: u64) -> Option<Arc<CachedPlan>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let entry = shard.map.get_mut(&fp)?;
+        entry.last_used = tick;
+        Some(entry.plan.clone())
+    }
+
+    /// Inserts (or replaces) a plan, evicting the shard's least-recently
+    /// used entry when the shard budget is exceeded.
+    pub fn insert(&self, fp: u64, plan: Arc<CachedPlan>) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        shard.map.insert(fp, Entry { plan, last_used: tick });
+        while shard.map.len() > self.per_shard {
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(k, e)| (e.last_used, **k))
+                .map(|(k, _)| *k)
+                .expect("over-budget shard is non-empty");
+            shard.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries evicted since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The cached plan for the same graph whose cluster is nearest to
+    /// `features` — the warm-start seed for a cache miss. Scans every
+    /// shard; ties break on the smaller fingerprint so the choice is
+    /// deterministic.
+    pub fn nearest(
+        &self,
+        graph_fp: u64,
+        opts_fp: u64,
+        features: &[f64; 4],
+    ) -> Option<Arc<CachedPlan>> {
+        let mut best: Option<(f64, u64, Arc<CachedPlan>)> = None;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            for (fp, entry) in &shard.map {
+                if entry.plan.graph_fp != graph_fp {
+                    continue;
+                }
+                let d = distance(features, &entry.plan.features, entry.plan.opts_fp == opts_fp);
+                let better = match &best {
+                    None => true,
+                    Some((bd, bfp, _)) => d < *bd || (d == *bd && *fp < *bfp),
+                };
+                if better {
+                    best = Some((d, *fp, entry.plan.clone()));
+                }
+            }
+        }
+        best.map(|(_, _, plan)| plan)
+    }
+
+    /// A snapshot of `(fingerprint, plan)` pairs in unspecified order.
+    pub fn snapshot(&self) -> Vec<(u64, Arc<CachedPlan>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(shard.map.iter().map(|(fp, e)| (*fp, e.plan.clone())));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+impl Encode for CachedPlan {
+    fn encode(&self) -> Value {
+        Value::obj(vec![
+            ("graph_fp", Value::Str(render_fingerprint(self.graph_fp))),
+            ("opts_fp", Value::Str(render_fingerprint(self.opts_fp))),
+            ("features", self.features.to_vec().encode()),
+            ("rounds", self.rounds.encode()),
+            ("estimated_time", Value::Num(self.estimated_time)),
+            ("ratios", self.ratios.encode()),
+            ("program", self.program.encode()),
+        ])
+    }
+}
+
+impl Decode for CachedPlan {
+    fn decode(v: &Value) -> Result<Self, CodecError> {
+        let features = Vec::<f64>::decode(v.field("features")?)?;
+        let features: [f64; 4] = features
+            .try_into()
+            .map_err(|_| CodecError::Decode("expected 4 cluster features".into()))?;
+        Ok(CachedPlan {
+            program: DistProgram::decode(v.field("program")?)?,
+            ratios: ShardingRatios::decode(v.field("ratios")?)?,
+            estimated_time: v.field("estimated_time")?.as_f64()?,
+            rounds: v.field("rounds")?.as_usize()?,
+            graph_fp: parse_fingerprint(v.field("graph_fp")?.as_str()?)?,
+            opts_fp: parse_fingerprint(v.field("opts_fp")?.as_str()?)?,
+            features,
+        })
+    }
+}
+
+/// One persisted cache line: `{"fp": "...", "plan": {...}}`.
+pub fn persist_line(fp: u64, plan: &CachedPlan) -> String {
+    Value::obj(vec![("fp", Value::Str(render_fingerprint(fp))), ("plan", plan.encode())]).render()
+}
+
+/// Loads a persisted cache log into `cache`, ignoring nothing: a corrupt
+/// line is a hard error (the file is machine-written; silent skips would
+/// hide real corruption). Returns the number of entries loaded.
+pub fn load_cache(cache: &PlanCache, path: &Path) -> Result<usize, CodecError> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        // A missing file is simply an empty cache (first boot).
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(CodecError::Decode(format!("cannot open {}: {e}", path.display()))),
+    };
+    let mut loaded = 0;
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| CodecError::Decode(format!("read {}: {e}", path.display())))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(&line)?;
+        let fp = parse_fingerprint(v.field("fp")?.as_str()?)?;
+        let plan = CachedPlan::decode(v.field("plan")?)?;
+        cache.insert(fp, Arc::new(plan));
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+/// Rewrites the persistence log from the cache's current contents — called
+/// after [`load_cache`] so the append-only log compacts once per restart
+/// (duplicate fingerprints from overwrites collapse to the live entry).
+pub fn compact_log(cache: &PlanCache, path: &Path) -> std::io::Result<()> {
+    let mut entries = cache.snapshot();
+    entries.sort_by_key(|(fp, _)| *fp);
+    let mut out = std::fs::File::create(path)?;
+    for (fp, plan) in entries {
+        writeln!(out, "{}", persist_line(fp, &plan))?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(graph_fp: u64, features: [f64; 4]) -> Arc<CachedPlan> {
+        Arc::new(CachedPlan {
+            program: DistProgram::default(),
+            ratios: vec![vec![0.5, 0.5]],
+            estimated_time: 1.5,
+            rounds: 1,
+            graph_fp,
+            opts_fp: 7,
+            features,
+        })
+    }
+
+    #[test]
+    fn get_insert_and_lru_eviction() {
+        // Capacity 16 over 16 shards = 1 per shard: two same-shard inserts
+        // evict the older.
+        let cache = PlanCache::new(16);
+        cache.insert(0, plan(1, [1.0; 4]));
+        assert!(cache.get(0).is_some());
+        cache.insert(16, plan(2, [1.0; 4])); // same shard as fp 0
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(0).is_none(), "older entry evicted");
+        assert!(cache.get(16).is_some());
+        // Different shard: coexists.
+        cache.insert(3, plan(3, [1.0; 4]));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_prefers_recently_used() {
+        // 32 over 16 shards = 2 per shard. Touch the older entry, insert a
+        // third in the same shard: the untouched middle entry goes.
+        let cache = PlanCache::new(32);
+        cache.insert(0, plan(1, [1.0; 4]));
+        cache.insert(16, plan(2, [1.0; 4]));
+        assert!(cache.get(0).is_some()); // refresh fp 0
+        cache.insert(32, plan(3, [1.0; 4]));
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(16).is_none());
+        assert!(cache.get(32).is_some());
+    }
+
+    #[test]
+    fn nearest_matches_graph_and_ranks_by_features() {
+        let cache = PlanCache::new(64);
+        cache.insert(1, plan(100, [4.0, 1e13, 1e9, 1e-5]));
+        cache.insert(2, plan(100, [8.0, 2e13, 1e9, 1e-5]));
+        cache.insert(3, plan(999, [4.0, 1e13, 1e9, 1e-5])); // other graph
+        let near = cache.nearest(100, 7, &[4.0, 1.1e13, 1e9, 1e-5]).unwrap();
+        assert_eq!(near.features[0], 4.0);
+        assert!(cache.nearest(12345, 7, &[4.0, 1e13, 1e9, 1e-5]).is_none());
+    }
+
+    #[test]
+    fn persistence_round_trip_via_tempfile() {
+        let dir = std::env::temp_dir().join(format!("hap-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        let cache = PlanCache::new(64);
+        cache.insert(42, plan(100, [4.0, 1e13, 1e9, 1e-5]));
+        cache.insert(43, plan(101, [8.0, 2e13, 2e9, 2e-5]));
+        compact_log(&cache, &path).unwrap();
+
+        let restored = PlanCache::new(64);
+        assert_eq!(load_cache(&restored, &path).unwrap(), 2);
+        let p = restored.get(42).unwrap();
+        assert_eq!(p.graph_fp, 100);
+        assert_eq!(p.estimated_time.to_bits(), 1.5f64.to_bits());
+        assert_eq!(p.ratios, vec![vec![0.5, 0.5]]);
+        // Missing file = empty cache, corrupt file = hard error.
+        assert_eq!(load_cache(&PlanCache::new(4), &dir.join("absent.jsonl")).unwrap(), 0);
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(load_cache(&PlanCache::new(4), &path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! A blocking line-protocol client for the planning daemon.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use hap::HapOptions;
+use hap_cluster::ClusterSpec;
+use hap_codec::{parse, parse_fingerprint, Decode, Encode, Value, WireError};
+use hap_graph::Graph;
+use hap_synthesis::{DistProgram, ShardingRatios};
+
+use crate::server::StatsSnapshot;
+
+/// A plan returned over the wire.
+#[derive(Clone, Debug)]
+pub struct PlanReply {
+    /// The request's content fingerprint (the cache key).
+    pub fingerprint: u64,
+    /// `cache`, `synthesized`, or `coalesced`.
+    pub source: String,
+    /// The synthesized program.
+    pub program: DistProgram,
+    /// Per-segment sharding ratios.
+    pub ratios: ShardingRatios,
+    /// Cost-model estimate of the per-iteration time, bit-preserved.
+    pub estimated_time: f64,
+    /// Alternating-optimization rounds the synthesis performed.
+    pub rounds: usize,
+}
+
+/// One connection to a `hap-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+    }
+
+    fn round_trip(&mut self, mut fields: Vec<(&str, Value)>) -> Result<Value, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        fields.insert(1, ("id", Value::int(id)));
+        let frame = Value::obj(fields).render();
+        let io_err = |e: std::io::Error| WireError::new("io", e.to_string());
+        self.writer.write_all(frame.as_bytes()).map_err(io_err)?;
+        self.writer.write_all(b"\n").map_err(io_err)?;
+        self.writer.flush().map_err(io_err)?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(io_err)?;
+        if n == 0 {
+            return Err(WireError::new("io", "server closed the connection"));
+        }
+        let v = parse(line.trim_end()).map_err(WireError::from)?;
+        let ok = v.field("ok").and_then(|x| x.as_bool()).map_err(WireError::from)?;
+        if !ok {
+            let err = v.field("error").map_err(WireError::from)?;
+            let decoded = WireError::decode(err).map_err(WireError::from)?;
+            return Err(decoded);
+        }
+        let got = v.field("id").and_then(|x| x.as_u64()).map_err(WireError::from)?;
+        if got != id {
+            return Err(WireError::new("protocol", format!("response id {got}, expected {id}")));
+        }
+        Ok(v)
+    }
+
+    /// Requests a plan for `(graph, cluster, options)`.
+    pub fn plan(
+        &mut self,
+        graph: &Graph,
+        cluster: &ClusterSpec,
+        options: &HapOptions,
+    ) -> Result<PlanReply, WireError> {
+        let v = self.round_trip(vec![
+            ("op", Value::Str("plan".into())),
+            ("graph", graph.encode()),
+            ("cluster", cluster.encode()),
+            ("options", options.encode()),
+        ])?;
+        let fingerprint = parse_fingerprint(
+            v.field("fingerprint").and_then(|x| x.as_str()).map_err(WireError::from)?,
+        )
+        .map_err(WireError::from)?;
+        let source =
+            v.field("source").and_then(|x| x.as_str()).map_err(WireError::from)?.to_string();
+        let plan = v.field("plan").map_err(WireError::from)?;
+        Ok(PlanReply {
+            fingerprint,
+            source,
+            program: DistProgram::decode(plan.field("program").map_err(WireError::from)?)
+                .map_err(WireError::from)?,
+            ratios: ShardingRatios::decode(plan.field("ratios").map_err(WireError::from)?)
+                .map_err(WireError::from)?,
+            estimated_time: plan
+                .field("estimated_time")
+                .and_then(|x| x.as_f64())
+                .map_err(WireError::from)?,
+            rounds: plan.field("rounds").and_then(|x| x.as_usize()).map_err(WireError::from)?,
+        })
+    }
+
+    /// Fetches the daemon's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
+        let v = self.round_trip(vec![("op", Value::Str("stats".into()))])?;
+        StatsSnapshot::decode(v.field("stats").map_err(WireError::from)?).map_err(WireError::from)
+    }
+
+    /// Asks the daemon to shut down (acknowledged before it stops).
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        self.round_trip(vec![("op", Value::Str("shutdown".into()))]).map(|_| ())
+    }
+}

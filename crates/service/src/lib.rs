@@ -1,0 +1,76 @@
+//! A multi-tenant planning daemon for HAP.
+//!
+//! HAP's synthesized SPMD programs are pure functions of
+//! `(graph, cluster spec, options)` — deterministic bit-for-bit across
+//! runs, thread counts, and warm starts (PRs 2–3). That purity makes the
+//! planner *cacheable*, and this crate turns the in-process pipeline into
+//! a long-lived service many training jobs can query:
+//!
+//! * **Transport** — a line-delimited JSON protocol over
+//!   [`std::net::TcpListener`], using the canonical wire codec from
+//!   `hap-codec`. One request per line, one response per line.
+//! * **Content-addressed plan cache** — a sharded LRU keyed by the
+//!   FNV-1a fingerprint of the request's canonical encoding
+//!   ([`hap_codec::request_fingerprint_values`]). A cache hit returns a
+//!   plan bit-identical to what cold synthesis would produce, without
+//!   decoding the graph at all.
+//! * **Single-flight synthesis** — N concurrent identical requests
+//!   trigger exactly one synthesis; the rest coalesce onto the in-flight
+//!   slot and wake together.
+//! * **Worker pool** — queued syntheses drain across persistent worker
+//!   threads sized by mini-rayon's parallelism accounting (`workers`
+//!   threads, `0` = all cores), one job per worker at a time; each job's
+//!   wave-parallel A\* fans out over the vendored mini-rayon pool in
+//!   turn.
+//! * **Nearest-neighbor warm start** — a miss whose *graph* is already
+//!   cached under a different cluster seeds
+//!   [`hap::parallelize_with_warm`] with the nearest cached cluster's
+//!   program (SPMD programs are device-count independent), so related
+//!   requests amortize each other's search. Same caveat as the core
+//!   library's own (default-on) round-to-round warm start: results are
+//!   preserved up to exact cost ties — a seed can only be returned when
+//!   it ties the cold optimum within the search epsilon. Disable with
+//!   [`ServiceConfig::warm_neighbors`] for strict history-independence.
+//! * **Disk persistence** — an append-only log of cache entries,
+//!   compacted on boot, so the cache survives daemon restarts.
+//! * **Stats** — a `stats` request exposes hit/miss/coalesced/eviction/
+//!   in-flight counters.
+//!
+//! # Protocol
+//!
+//! Requests (one JSON object per line):
+//!
+//! ```text
+//! {"op":"plan","id":1,"graph":{...},"cluster":{...},"options":{...}}
+//! {"op":"stats","id":2}
+//! {"op":"shutdown","id":3}
+//! ```
+//!
+//! Responses carry the request `id`, `"ok":true|false`, and either a
+//! payload (`plan` + `fingerprint` + `source`, or `stats`) or an `error`
+//! frame `{"kind":...,"message":...}` transporting the daemon-side error.
+//!
+//! # Examples
+//!
+//! ```
+//! use hap_service::{Client, Server, ServiceConfig};
+//!
+//! let server = Server::start(ServiceConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//!
+//! let graph = hap_models::mlp(&hap_models::MlpConfig::tiny());
+//! let cluster = hap::cluster::ClusterSpec::fig17_cluster();
+//! let opts = hap::HapOptions::default();
+//! let cold = client.plan(&graph, &cluster, &opts).unwrap();
+//! let warm = client.plan(&graph, &cluster, &opts).unwrap();
+//! assert_eq!(warm.source, "cache");
+//! assert_eq!(cold.program.fingerprint(), warm.program.fingerprint());
+//! ```
+
+mod cache;
+mod client;
+mod server;
+
+pub use cache::{cluster_features, CachedPlan, PlanCache};
+pub use client::{Client, PlanReply};
+pub use server::{PlanService, PlanSource, Server, ServiceConfig, StatsSnapshot};

@@ -1,0 +1,589 @@
+//! The planning daemon: request handling, single-flight synthesis, the
+//! mini-rayon worker pool, and the TCP accept loop.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use hap::{parallelize_with_warm, HapOptions};
+use hap_cluster::ClusterSpec;
+use hap_codec::{
+    parse, render_fingerprint, request_fingerprint_values, value_fingerprint, Decode, Encode,
+    Value, WireError,
+};
+use hap_graph::Graph;
+use mini_rayon::ThreadPool;
+
+use crate::cache::{
+    cluster_features, compact_log, load_cache, persist_line, CachedPlan, PlanCache,
+};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address; port `0` picks a free port (tests, examples).
+    pub addr: String,
+    /// Synthesis worker threads (`0` = all cores, via mini-rayon).
+    pub workers: usize,
+    /// Total plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Persistence log; `None` disables disk persistence.
+    pub cache_path: Option<PathBuf>,
+    /// Seed cache misses from the nearest cached cluster's plan.
+    pub warm_neighbors: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            cache_capacity: 1024,
+            cache_path: None,
+            warm_neighbors: true,
+        }
+    }
+}
+
+/// Counters exposed by the `stats` request. `in_flight` and `entries` are
+/// gauges sampled at snapshot time; the rest are monotonic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Cached plans currently held.
+    pub entries: u64,
+    /// Requests answered straight from the cache.
+    pub hits: u64,
+    /// Requests that found no cached plan.
+    pub misses: u64,
+    /// Requests that joined an in-flight synthesis instead of starting one.
+    pub coalesced: u64,
+    /// Syntheses actually executed.
+    pub synthesized: u64,
+    /// Cache evictions.
+    pub evictions: u64,
+    /// Misses that were seeded from a neighbor's cached plan.
+    pub warm_seeded: u64,
+    /// Requests that returned an error frame.
+    pub errors: u64,
+    /// Syntheses currently running or queued.
+    pub in_flight: u64,
+}
+
+impl Encode for StatsSnapshot {
+    fn encode(&self) -> Value {
+        Value::obj(vec![
+            ("entries", Value::int(self.entries)),
+            ("hits", Value::int(self.hits)),
+            ("misses", Value::int(self.misses)),
+            ("coalesced", Value::int(self.coalesced)),
+            ("synthesized", Value::int(self.synthesized)),
+            ("evictions", Value::int(self.evictions)),
+            ("warm_seeded", Value::int(self.warm_seeded)),
+            ("errors", Value::int(self.errors)),
+            ("in_flight", Value::int(self.in_flight)),
+        ])
+    }
+}
+
+impl Decode for StatsSnapshot {
+    fn decode(v: &Value) -> Result<Self, hap_codec::CodecError> {
+        Ok(StatsSnapshot {
+            entries: v.field("entries")?.as_u64()?,
+            hits: v.field("hits")?.as_u64()?,
+            misses: v.field("misses")?.as_u64()?,
+            coalesced: v.field("coalesced")?.as_u64()?,
+            synthesized: v.field("synthesized")?.as_u64()?,
+            evictions: v.field("evictions")?.as_u64()?,
+            warm_seeded: v.field("warm_seeded")?.as_u64()?,
+            errors: v.field("errors")?.as_u64()?,
+            in_flight: v.field("in_flight")?.as_u64()?,
+        })
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    synthesized: AtomicU64,
+    warm_seeded: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// How a plan response was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Answered from the cache.
+    Cache,
+    /// This request ran the synthesis.
+    Synthesized,
+    /// Joined another request's in-flight synthesis.
+    Coalesced,
+}
+
+impl PlanSource {
+    fn as_str(self) -> &'static str {
+        match self {
+            PlanSource::Cache => "cache",
+            PlanSource::Synthesized => "synthesized",
+            PlanSource::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// One queued synthesis: the undecoded request values plus the slot every
+/// coalesced waiter blocks on.
+struct Job {
+    fp: u64,
+    graph: Value,
+    cluster: Value,
+    options: Value,
+    slot: Slot,
+}
+
+type PlanResult = Result<Arc<CachedPlan>, WireError>;
+
+struct SlotState {
+    result: Option<PlanResult>,
+}
+
+type Slot = Arc<(Mutex<SlotState>, Condvar)>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    cache: PlanCache,
+    inflight: Mutex<HashMap<u64, Slot>>,
+    queue: (Mutex<QueueState>, Condvar),
+    counters: Counters,
+    persist: Option<Mutex<std::fs::File>>,
+}
+
+/// The daemon's request brain, independent of any transport: feed it a
+/// request line, get a response line. The TCP server, the benches, and the
+/// in-process tests all go through [`PlanService::handle_line`].
+pub struct PlanService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PlanService {
+    /// Builds the service: loads (and compacts) the persistence log when
+    /// configured, then starts the synthesis workers. Pool width follows
+    /// mini-rayon's parallelism accounting (`workers` threads, `0` = all
+    /// cores); each worker pulls one job at a time, so a slow synthesis
+    /// never stalls queued work behind a batch barrier, and each job's
+    /// wave-parallel A\* fans out over the vendored mini-rayon pool in
+    /// turn (`options.synth.threads`).
+    pub fn new(config: ServiceConfig) -> Result<Self, WireError> {
+        let cache = PlanCache::new(config.cache_capacity);
+        let mut persist = None;
+        if let Some(path) = &config.cache_path {
+            load_cache(&cache, path).map_err(WireError::from)?;
+            compact_log(&cache, path)
+                .map_err(|e| WireError::new("io", format!("compact {}: {e}", path.display())))?;
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(|e| WireError::new("io", format!("open {}: {e}", path.display())))?;
+            persist = Some(Mutex::new(file));
+        }
+        let inner = Arc::new(Inner {
+            config,
+            cache,
+            inflight: Mutex::new(HashMap::new()),
+            queue: (
+                Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+                Condvar::new(),
+            ),
+            counters: Counters::default(),
+            persist,
+        });
+        let width = ThreadPool::new(inner.config.workers).threads().max(1);
+        let workers = (0..width)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Ok(PlanService { inner, workers: Mutex::new(workers) })
+    }
+
+    /// Handles one request line; returns the response line (no trailing
+    /// newline) and whether the request asked the daemon to shut down.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        match self.handle_parsed(line) {
+            Ok((response, shutdown)) => (response.render(), shutdown),
+            Err((id, err)) => {
+                self.inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                (error_frame(id, &err).render(), false)
+            }
+        }
+    }
+
+    fn handle_parsed(&self, line: &str) -> Result<(Value, bool), (u64, WireError)> {
+        let v = parse(line).map_err(|e| (0, WireError::from(e)))?;
+        let id = v.get("id").and_then(|x| x.as_u64().ok()).unwrap_or(0);
+        let op = v
+            .get("op")
+            .and_then(|x| x.as_str().ok())
+            .ok_or_else(|| (id, WireError::new("decode", "missing `op`")))?;
+        match op {
+            "plan" => {
+                let fetch = |key: &str| v.field(key).cloned().map_err(|e| (id, WireError::from(e)));
+                let (graph, cluster, options) =
+                    (fetch("graph")?, fetch("cluster")?, fetch("options")?);
+                let (source, fp, result) = self.plan_values(&graph, &cluster, &options);
+                let plan = result.map_err(|e| (id, e))?;
+                Ok((plan_frame(id, fp, source, &plan), false))
+            }
+            "stats" => Ok((
+                Value::obj(vec![
+                    ("id", Value::int(id)),
+                    ("ok", Value::Bool(true)),
+                    ("stats", self.stats().encode()),
+                ]),
+                false,
+            )),
+            "shutdown" => {
+                Ok((Value::obj(vec![("id", Value::int(id)), ("ok", Value::Bool(true))]), true))
+            }
+            other => Err((id, WireError::new("decode", format!("unknown op `{other}`")))),
+        }
+    }
+
+    /// The planning core: cache lookup, single-flight dedup, queue + wait.
+    /// Exposed for in-process callers (tests, benches) that want to skip
+    /// the socket but exercise the identical path.
+    pub fn plan_values(
+        &self,
+        graph: &Value,
+        cluster: &Value,
+        options: &Value,
+    ) -> (PlanSource, u64, PlanResult) {
+        let inner = &self.inner;
+        let fp = request_fingerprint_values(graph, cluster, options);
+        if let Some(plan) = inner.cache.get(fp) {
+            inner.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return (PlanSource::Cache, fp, Ok(plan));
+        }
+        inner.counters.misses.fetch_add(1, Ordering::Relaxed);
+
+        // Single flight: the first requester enqueues the synthesis, every
+        // concurrent duplicate joins its slot. Exactly one job per
+        // fingerprint can be in flight.
+        let (slot, leader) = {
+            let mut inflight = inner.inflight.lock().expect("inflight map poisoned");
+            match inflight.get(&fp) {
+                Some(slot) => (slot.clone(), false),
+                None => {
+                    let slot: Slot =
+                        Arc::new((Mutex::new(SlotState { result: None }), Condvar::new()));
+                    inflight.insert(fp, slot.clone());
+                    (slot, true)
+                }
+            }
+        };
+        if leader {
+            // Re-probe the cache after winning leadership: the previous
+            // in-flight synthesis for this fingerprint may have completed
+            // (cache insert happens before its slot retires) between our
+            // miss and our insert, and re-running it would both waste a
+            // synthesis and double-count the `synthesized` stat.
+            if let Some(plan) = inner.cache.get(fp) {
+                inner.counters.hits.fetch_add(1, Ordering::Relaxed);
+                finish(inner, fp, &slot, Ok(plan.clone()));
+                return (PlanSource::Cache, fp, Ok(plan));
+            }
+            let job = Job {
+                fp,
+                graph: graph.clone(),
+                cluster: cluster.clone(),
+                options: options.clone(),
+                slot: slot.clone(),
+            };
+            let (queue, cvar) = &inner.queue;
+            let mut state = queue.lock().expect("job queue poisoned");
+            if state.shutdown {
+                drop(state);
+                let err = WireError::new("shutdown", "service is shutting down");
+                finish(inner, fp, &slot, Err(err.clone()));
+                return (PlanSource::Synthesized, fp, Err(err));
+            }
+            state.jobs.push_back(job);
+            cvar.notify_all();
+        } else {
+            inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        let (lock, cvar) = &*slot;
+        let mut state = lock.lock().expect("slot poisoned");
+        while state.result.is_none() {
+            state = cvar.wait(state).expect("slot poisoned");
+        }
+        let source = if leader { PlanSource::Synthesized } else { PlanSource::Coalesced };
+        (source, fp, state.result.clone().expect("loop exits with a result"))
+    }
+
+    /// A consistent stats snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let inner = &self.inner;
+        StatsSnapshot {
+            entries: inner.cache.len() as u64,
+            hits: inner.counters.hits.load(Ordering::Relaxed),
+            misses: inner.counters.misses.load(Ordering::Relaxed),
+            coalesced: inner.counters.coalesced.load(Ordering::Relaxed),
+            synthesized: inner.counters.synthesized.load(Ordering::Relaxed),
+            evictions: inner.cache.evictions(),
+            warm_seeded: inner.counters.warm_seeded.load(Ordering::Relaxed),
+            errors: inner.counters.errors.load(Ordering::Relaxed),
+            in_flight: inner.inflight.lock().expect("inflight map poisoned").len() as u64,
+        }
+    }
+
+    /// Drains the queue and stops the workers. Idempotent.
+    pub fn stop(&self) {
+        let (queue, cvar) = &self.inner.queue;
+        queue.lock().expect("job queue poisoned").shutdown = true;
+        cvar.notify_all();
+        for handle in self.workers.lock().expect("worker handles poisoned").drain(..) {
+            handle.join().expect("synthesis worker panicked");
+        }
+    }
+}
+
+impl Drop for PlanService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One synthesis worker: pulls jobs from the shared queue one at a time
+/// (no batch barrier — a slow synthesis occupies one worker while the
+/// rest keep draining), executing until the queue is both empty and shut
+/// down. Identical requests never reach the queue twice (single flight),
+/// so concurrent workers always hold distinct work.
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let (queue, cvar) = &inner.queue;
+            let mut state = queue.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = cvar.wait(state).expect("job queue poisoned");
+            }
+        };
+        execute(inner, &job);
+    }
+}
+
+/// Runs one synthesis job end to end and publishes its result.
+fn execute(inner: &Arc<Inner>, job: &Job) {
+    let result = synthesize_job(inner, job);
+    if let Ok(plan) = &result {
+        inner.cache.insert(job.fp, plan.clone());
+        inner.counters.synthesized.fetch_add(1, Ordering::Relaxed);
+        if let Some(persist) = &inner.persist {
+            let mut file = persist.lock().expect("persistence file poisoned");
+            // Persistence is best-effort at runtime (the log compacts on
+            // the next boot); a full disk must not take the daemon down.
+            let _ = writeln!(file, "{}", persist_line(job.fp, plan));
+            let _ = file.flush();
+        }
+    }
+    finish(inner, job.fp, &job.slot, result);
+}
+
+/// Publishes a result to a slot's waiters, then retires the in-flight
+/// entry. Order matters: successful plans are already in the cache by the
+/// time the entry disappears, so a request can never miss both.
+fn finish(inner: &Inner, fp: u64, slot: &Slot, result: PlanResult) {
+    {
+        let (lock, cvar) = &**slot;
+        let mut state = lock.lock().expect("slot poisoned");
+        state.result = Some(result);
+        cvar.notify_all();
+    }
+    inner.inflight.lock().expect("inflight map poisoned").remove(&fp);
+}
+
+/// Decode, warm-start lookup, synthesis.
+fn synthesize_job(inner: &Inner, job: &Job) -> PlanResult {
+    let graph = Graph::decode(&job.graph).map_err(WireError::from)?;
+    let cluster = ClusterSpec::decode(&job.cluster).map_err(WireError::from)?;
+    let options = HapOptions::decode(&job.options).map_err(WireError::from)?;
+    let graph_fp = value_fingerprint(&job.graph);
+    let opts_fp = value_fingerprint(&job.options);
+    let features = cluster_features(&cluster, options.granularity);
+
+    let warm = if inner.config.warm_neighbors {
+        inner.cache.nearest(graph_fp, opts_fp, &features)
+    } else {
+        None
+    };
+    if warm.is_some() {
+        inner.counters.warm_seeded.fetch_add(1, Ordering::Relaxed);
+    }
+    let warm_program = warm.as_ref().map(|p| &p.program);
+
+    let plan = parallelize_with_warm(&graph, &cluster, &options, warm_program)
+        .map_err(|e| WireError::from(&e))?;
+    Ok(Arc::new(CachedPlan {
+        estimated_time: plan.estimated_time,
+        rounds: plan.rounds,
+        program: plan.program,
+        ratios: plan.ratios,
+        graph_fp,
+        opts_fp,
+        features,
+    }))
+}
+
+/// `{"id":N,"ok":false,"error":{...}}`.
+fn error_frame(id: u64, err: &WireError) -> Value {
+    Value::obj(vec![("id", Value::int(id)), ("ok", Value::Bool(false)), ("error", err.encode())])
+}
+
+/// `{"id":N,"ok":true,"fingerprint":...,"source":...,"plan":{...}}`.
+fn plan_frame(id: u64, fp: u64, source: PlanSource, plan: &CachedPlan) -> Value {
+    Value::obj(vec![
+        ("id", Value::int(id)),
+        ("ok", Value::Bool(true)),
+        ("fingerprint", Value::Str(render_fingerprint(fp))),
+        ("source", Value::Str(source.as_str().into())),
+        (
+            "plan",
+            Value::obj(vec![
+                ("rounds", plan.rounds.encode()),
+                ("estimated_time", Value::Num(plan.estimated_time)),
+                ("ratios", plan.ratios.encode()),
+                ("program", plan.program.encode()),
+            ]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+/// A running daemon bound to a TCP port.
+pub struct Server {
+    service: Arc<PlanService>,
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the configured address and starts accepting connections, one
+    /// thread per connection (connection threads block in synthesis waits,
+    /// so they must not share the accept loop).
+    pub fn start(config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let service =
+            Arc::new(PlanService::new(config).map_err(|e| std::io::Error::other(e.to_string()))?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let service = service.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || accept_loop(&listener, &service, &stop))
+        };
+        Ok(Server { service, addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The in-process service (tests and benches reach stats directly).
+    pub fn service(&self) -> &PlanService {
+        &self.service
+    }
+
+    /// Blocks until the accept loop exits — i.e. until some client sends a
+    /// `shutdown` request (the `hap-serve` main loop). Queued syntheses
+    /// are still drained afterwards by [`Server::shutdown`]/drop.
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, drains the synthesis queue, and joins the accept
+    /// loop. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Unblock the accept call with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.service.stop();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<PlanService>, stop: &Arc<AtomicBool>) {
+    // Connection threads detach: they exit when their client disconnects
+    // or when a response cannot be written, and the daemon's useful state
+    // (cache, persistence) is flushed synchronously on the worker side.
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let service = service.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || handle_connection(stream, &service, &stop));
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &Arc<PlanService>, stop: &Arc<AtomicBool>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = service.handle_line(&line);
+        if writer.write_all(response.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it observes the flag (the
+            // accepted socket's local address is the listener's).
+            if let Ok(addr) = writer.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end tests of the planning daemon over real loopback sockets:
+//! cache-hit bit-identity, single-flight coalescing, disk persistence
+//! across restarts, warm-start seeding, and error transport.
+
+use hap::HapOptions;
+use hap_cluster::ClusterSpec;
+use hap_models::{mlp, MlpConfig};
+use hap_service::{Client, Server, ServiceConfig};
+
+fn tiny_graph() -> hap_graph::Graph {
+    mlp(&MlpConfig::tiny())
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hap-service-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join("cache.jsonl")
+}
+
+#[test]
+fn cache_hit_is_bit_identical_to_cold_synthesis() {
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (graph, cluster, opts) =
+        (tiny_graph(), ClusterSpec::fig17_cluster(), HapOptions::default());
+
+    let cold = client.plan(&graph, &cluster, &opts).unwrap();
+    assert_eq!(cold.source, "synthesized");
+    let hit = client.plan(&graph, &cluster, &opts).unwrap();
+    assert_eq!(hit.source, "cache");
+
+    // The acceptance bar: fingerprint and estimated-time *bits* equal.
+    assert_eq!(hit.fingerprint, cold.fingerprint);
+    assert_eq!(hit.program.fingerprint(), cold.program.fingerprint());
+    assert_eq!(hit.estimated_time.to_bits(), cold.estimated_time.to_bits());
+    assert_eq!(hit.program.estimated_time.to_bits(), cold.program.estimated_time.to_bits());
+    assert_eq!(hit.ratios, cold.ratios);
+
+    // And the daemon agrees with an in-process run of the same request.
+    let local = hap::parallelize(&graph, &cluster, &opts).unwrap();
+    assert_eq!(cold.program.fingerprint(), local.program.fingerprint());
+    assert_eq!(cold.estimated_time.to_bits(), local.estimated_time.to_bits());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.synthesized, 1);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn eight_concurrent_identical_requests_coalesce_into_one_synthesis() {
+    const N: usize = 8;
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let addr = server.addr();
+    let (graph, cluster, opts) =
+        (tiny_graph(), ClusterSpec::fig17_cluster(), HapOptions::default());
+
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let (graph, cluster, opts) = (&graph, &cluster, &opts);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client.plan(graph, cluster, opts).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // All N replies carry the exact same plan bits.
+    for reply in &replies[1..] {
+        assert_eq!(reply.fingerprint, replies[0].fingerprint);
+        assert_eq!(reply.program.fingerprint(), replies[0].program.fingerprint());
+        assert_eq!(reply.estimated_time.to_bits(), replies[0].estimated_time.to_bits());
+        assert_eq!(reply.ratios, replies[0].ratios);
+    }
+
+    // Exactly one synthesis ran; every other request either coalesced
+    // onto it or (having arrived after completion) hit the cache.
+    let stats = server.service().stats();
+    assert_eq!(stats.synthesized, 1, "single flight must deduplicate: {stats:?}");
+    assert_eq!(
+        stats.coalesced + stats.hits + stats.synthesized,
+        N as u64,
+        "every request accounted for: {stats:?}"
+    );
+    assert_eq!(stats.in_flight, 0);
+    let synthesized = replies.iter().filter(|r| r.source == "synthesized").count();
+    assert_eq!(synthesized, 1, "exactly one reply reports running the synthesis");
+}
+
+#[test]
+fn cache_survives_a_daemon_restart() {
+    let path = temp_path("restart");
+    let config = || ServiceConfig { cache_path: Some(path.clone()), ..ServiceConfig::default() };
+    let (graph, cluster, opts) =
+        (tiny_graph(), ClusterSpec::fig17_cluster(), HapOptions::default());
+
+    let cold = {
+        let server = Server::start(config()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let reply = client.plan(&graph, &cluster, &opts).unwrap();
+        assert_eq!(reply.source, "synthesized");
+        reply
+        // Server drops here: sockets close, queue drains.
+    };
+    assert!(path.exists(), "persistence log written");
+
+    let server = Server::start(config()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let warm = client.plan(&graph, &cluster, &opts).unwrap();
+    assert_eq!(warm.source, "cache", "the restarted daemon answers from disk");
+    assert_eq!(warm.fingerprint, cold.fingerprint);
+    assert_eq!(warm.program.fingerprint(), cold.program.fingerprint());
+    assert_eq!(warm.estimated_time.to_bits(), cold.estimated_time.to_bits());
+    assert_eq!(warm.ratios, cold.ratios);
+    let stats = server.service().stats();
+    assert_eq!(stats.synthesized, 0);
+    assert_eq!(stats.hits, 1);
+
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn near_miss_seeds_warm_start_from_the_closest_cluster() {
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (graph, opts) = (tiny_graph(), HapOptions::default());
+
+    let a = client.plan(&graph, &ClusterSpec::fig17_cluster(), &opts).unwrap();
+    assert_eq!(a.source, "synthesized");
+    let b = client.plan(&graph, &ClusterSpec::fig2_cluster(), &opts).unwrap();
+    assert_eq!(b.source, "synthesized", "different cluster is a genuine miss");
+    let stats = server.service().stats();
+    assert_eq!(stats.synthesized, 2);
+    assert_eq!(stats.warm_seeded, 1, "the second request must seed from the first: {stats:?}");
+
+    // Warm seeding is an upper bound, not a result override: the plan must
+    // match a cold in-process run on the same cluster.
+    let local = hap::parallelize(&graph, &ClusterSpec::fig2_cluster(), &opts).unwrap();
+    assert_eq!(b.program.fingerprint(), local.program.fingerprint());
+    assert_eq!(b.estimated_time.to_bits(), local.estimated_time.to_bits());
+}
+
+#[test]
+fn errors_travel_as_typed_frames() {
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let service = server.service();
+
+    // Unparseable line -> parse error.
+    let (response, _) = service.handle_line("this is not json");
+    assert!(response.contains("\"ok\":false"));
+    assert!(response.contains("\"kind\":\"parse\""));
+
+    // Valid JSON, bad request shape -> decode error.
+    let (response, _) = service.handle_line("{\"op\":\"plan\",\"id\":3}");
+    assert!(response.contains("\"ok\":false"));
+    assert!(response.contains("\"kind\":\"decode\""));
+    assert!(response.contains("\"id\":3"));
+
+    // A structurally broken graph fails in the worker and still comes
+    // back as a typed frame on the requesting connection.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let line = "{\"op\":\"plan\",\"id\":9,\"graph\":{\"nodes\":[{\"op\":[\"sum\"],\"in\":[5],\
+                \"shape\":[1],\"name\":\"bad\",\"role\":\"loss\",\"seg\":0}]},\"cluster\":null,\
+                \"options\":null}";
+    let (response, _) = service.handle_line(line);
+    assert!(response.contains("\"ok\":false"), "{response}");
+    assert!(response.contains("\"kind\":\"decode\""), "{response}");
+
+    // Unknown op.
+    let (response, _) = service.handle_line("{\"op\":\"frobnicate\",\"id\":4}");
+    assert!(response.contains("unknown op"));
+
+    let stats = client.stats().unwrap();
+    assert!(stats.errors >= 3, "{stats:?}");
+}
+
+#[test]
+fn shutdown_request_stops_the_daemon() {
+    let mut server = Server::start(ServiceConfig::default()).unwrap();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    // The accept loop exits; wait() returns instead of blocking forever.
+    server.wait();
+    server.shutdown();
+}

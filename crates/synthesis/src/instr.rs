@@ -151,19 +151,39 @@ impl DistInstr {
     }
 }
 
-pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+pub(crate) use fingerprint::{fnv1a, FNV_OFFSET};
 
-/// One FNV-1a step over the little-endian bytes of `v`.
+/// The FNV-1a primitive behind every determinism-critical hash in this
+/// crate: program fingerprints, `PropSet::stable_hash` dominance sharding.
 ///
-/// Shared by every determinism-critical hash in this crate (program
-/// fingerprints here, `PropSet::stable_hash` for dominance sharding) so the
-/// primitive — and the placement encoding below — cannot drift apart.
-pub(crate) fn fnv1a(mut h: u64, v: u64) -> u64 {
-    for b in v.to_le_bytes() {
-        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+/// Exposed publicly so downstream consumers that need *the same* stable
+/// hash — the wire codec's content-addressed request fingerprints, cache
+/// keys in the plan service — share one primitive instead of growing
+/// subtly different copies.
+pub mod fingerprint {
+    /// The FNV-1a 64-bit offset basis (the empty-input hash).
+    pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// One FNV-1a step over the little-endian bytes of `v`.
+    pub fn fnv1a(mut h: u64, v: u64) -> u64 {
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        h
     }
-    h
+
+    /// Folds a byte slice into a running FNV-1a hash, byte by byte.
+    ///
+    /// `fnv1a_bytes(FNV_OFFSET, b"...")` is the classic FNV-1a digest of
+    /// the slice; content fingerprints of canonical wire encodings use
+    /// exactly this.
+    pub fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 /// Folds a placement into a running FNV-1a hash (stable encoding).

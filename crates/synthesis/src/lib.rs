@@ -62,6 +62,7 @@ pub use astar::{
     SynthError,
 };
 pub use cost::{CostModel, CostTables, ShardingRatios, LAUNCH_OVERHEAD};
+pub use instr::fingerprint;
 pub use instr::{CollectiveInstr, DistInstr, DistProgram, ProgChain, Stage};
 pub use property::{InternedProps, Prop, PropInterner, PropSet};
 pub use theory::{Theory, TheoryOptions, Triple};

@@ -92,6 +92,15 @@ impl PropSet {
         self.communicated.binary_search(&e).is_ok()
     }
 
+    /// The contiguous slice of properties belonging to node `e` (the set is
+    /// sorted by node first, so all of a node's placements are adjacent).
+    /// Empty when the node carries no property.
+    pub fn node_props(&self, e: NodeId) -> &[Prop] {
+        let lo = self.props.partition_point(|&(n, _)| n < e);
+        let hi = lo + self.props[lo..].partition_point(|&(n, _)| n == e);
+        &self.props[lo..hi]
+    }
+
     /// Inserts a property; returns false if it was already present.
     pub fn insert(&mut self, p: Prop) -> bool {
         match self.props.binary_search(&p) {
@@ -334,6 +343,19 @@ mod tests {
         c.insert((1, Placement::Replicated));
         assert_ne!(a.stable_hash(), c.stable_hash());
         assert_ne!(PropSet::new().stable_hash(), a.stable_hash());
+    }
+
+    #[test]
+    fn node_props_returns_the_nodes_slice() {
+        let mut s = PropSet::new();
+        s.insert((2, Placement::Shard(1)));
+        s.insert((2, Placement::Replicated));
+        s.insert((5, Placement::PartialSum));
+        assert_eq!(s.node_props(2), &[(2, Placement::Replicated), (2, Placement::Shard(1))]);
+        assert_eq!(s.node_props(5), &[(5, Placement::PartialSum)]);
+        assert!(s.node_props(3).is_empty());
+        assert!(s.node_props(99).is_empty());
+        assert!(PropSet::new().node_props(0).is_empty());
     }
 
     #[test]

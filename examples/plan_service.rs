@@ -1,0 +1,100 @@
+//! End-to-end tour of the plan service: start a daemon on a loopback
+//! port, submit plans over the wire, watch the cache and single-flight
+//! machinery work, and survive a restart from the persistence log.
+//!
+//! Run with `cargo run --release --example plan_service`.
+
+use hap::HapOptions;
+use hap_cluster::ClusterSpec;
+use hap_models::{mlp, transformer_layer, MlpConfig, TransformerConfig};
+use hap_service::{Client, Server, ServiceConfig};
+
+fn main() {
+    let cache_dir = std::env::temp_dir().join(format!("hap-plan-service-{}", std::process::id()));
+    std::fs::create_dir_all(&cache_dir).expect("temp dir");
+    let cache_path = cache_dir.join("plans.jsonl");
+    let config =
+        || ServiceConfig { cache_path: Some(cache_path.clone()), ..ServiceConfig::default() };
+
+    let server = Server::start(config()).expect("bind loopback");
+    println!("daemon listening on {}", server.addr());
+
+    let graph = mlp(&MlpConfig::tiny());
+    let cluster = ClusterSpec::fig17_cluster();
+    let opts = HapOptions::default();
+
+    // Cold: this request pays for the synthesis.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let t0 = std::time::Instant::now();
+    let cold = client.plan(&graph, &cluster, &opts).expect("plan");
+    println!(
+        "cold  : {:>11} in {:>10.2?}  plan 0x{:016x}  est {:.6}s",
+        cold.source,
+        t0.elapsed(),
+        cold.program.fingerprint(),
+        cold.estimated_time
+    );
+
+    // Hot: same request, answered from the content-addressed cache.
+    let t1 = std::time::Instant::now();
+    let hot = client.plan(&graph, &cluster, &opts).expect("plan");
+    println!(
+        "hot   : {:>11} in {:>10.2?}  plan 0x{:016x}  est {:.6}s",
+        hot.source,
+        t1.elapsed(),
+        hot.program.fingerprint(),
+        hot.estimated_time
+    );
+    assert_eq!(hot.program.fingerprint(), cold.program.fingerprint());
+    assert_eq!(hot.estimated_time.to_bits(), cold.estimated_time.to_bits());
+
+    // Four concurrent identical requests for a *new* model: single-flight
+    // coalesces them into one synthesis.
+    let transformer = transformer_layer(&TransformerConfig::fig2(64));
+    std::thread::scope(|scope| {
+        for i in 0..4 {
+            let (transformer, cluster, opts) = (&transformer, &cluster, &opts);
+            let addr = server.addr();
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let reply = c.plan(transformer, cluster, opts).expect("plan");
+                println!(
+                    "worker {i}: {:>11}  plan 0x{:016x}",
+                    reply.source,
+                    reply.program.fingerprint()
+                );
+            });
+        }
+    });
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "stats : entries={} hits={} misses={} coalesced={} synthesized={} warm_seeded={}",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.coalesced,
+        stats.synthesized,
+        stats.warm_seeded
+    );
+    assert_eq!(stats.synthesized, 2, "one synthesis per distinct request");
+    drop(server);
+
+    // Restart: the cache reloads from the persistence log, so the same
+    // request is a disk-warm hit in the new daemon.
+    let server = Server::start(config()).expect("restart");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let t2 = std::time::Instant::now();
+    let disk = client.plan(&graph, &cluster, &opts).expect("plan");
+    println!(
+        "disk  : {:>11} in {:>10.2?}  plan 0x{:016x} (after restart)",
+        disk.source,
+        t2.elapsed(),
+        disk.program.fingerprint()
+    );
+    assert_eq!(disk.source, "cache");
+    assert_eq!(disk.program.fingerprint(), cold.program.fingerprint());
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!("done: cached plans are bit-identical to cold synthesis, across restarts too");
+}

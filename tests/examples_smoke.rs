@@ -7,10 +7,10 @@
 
 use std::process::Command;
 
-fn run_example(name: &str) {
+fn run_example(package: &str, name: &str) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     let output = Command::new(cargo)
-        .args(["run", "--release", "--quiet", "--example", name])
+        .args(["run", "--release", "--quiet", "-p", package, "--example", name])
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
     assert!(
@@ -27,6 +27,10 @@ fn run_example(name: &str) {
 #[test]
 fn all_examples_run() {
     for name in ["quickstart", "heterogeneous_bert", "moe_uneven_experts", "sharding_explorer"] {
-        run_example(name);
+        run_example("hap", name);
     }
+    // The daemon tour lives in the hap-service crate (cargo resolves
+    // example targets per package, and this test runs with the hap
+    // package's directory as cwd).
+    run_example("hap-service", "plan_service");
 }
