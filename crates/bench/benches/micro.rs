@@ -204,6 +204,65 @@ fn bench_plan_service(c: &mut Criterion) {
     });
 }
 
+fn bench_cache_admission(c: &mut Criterion) {
+    // The admission policy's overhead against the plain-LRU baseline it
+    // replaced, measured on the cache's own churn loop: a full cache
+    // serving a burst of hits plus a trickle of new-entry offers (the
+    // admission gate's actual decision point). Identical workloads, only
+    // `CachePolicy::admission` differs; `bench_check` gates the ratio at
+    // 1.10 — the cost-aware policy must stay within 10% of plain LRU.
+    use hap_service::{CachePolicy, CachedPlan, PlanCache};
+    use hap_synthesis::DistProgram;
+    use std::sync::Arc;
+
+    const CAPACITY: usize = 1024;
+    const HITS_PER_ITER: usize = 512;
+    const OFFERS_PER_ITER: usize = 16;
+    let plan = |fp: u64| {
+        Arc::new(CachedPlan {
+            program: DistProgram::default(),
+            ratios: vec![vec![0.25; 4]],
+            estimated_time: 1.0,
+            rounds: 1,
+            graph_fp: fp,
+            opts_fp: 1,
+            features: [4.0, 1e13, 1e9, 1e-5],
+            synthesis_nanos: 50_000_000,
+            size_bytes: 2_000,
+            ttl_nanos: None,
+        })
+    };
+    for admission in [true, false] {
+        let cache = PlanCache::with_policy(CAPACITY, CachePolicy { admission, default_ttl: None });
+        for fp in 0..CAPACITY as u64 {
+            cache.insert(fp, plan(fp));
+        }
+        let mut next_fp = CAPACITY as u64;
+        let name = if admission {
+            "service/cache_admission_churn"
+        } else {
+            "service/cache_plain_lru_churn"
+        };
+        c.bench_function_with_units(name, (HITS_PER_ITER + OFFERS_PER_ITER) as f64, |bench| {
+            bench.iter(|| {
+                let mut served = 0usize;
+                for i in 0..HITS_PER_ITER {
+                    let fp = (i * 97) as u64 % CAPACITY as u64;
+                    served += usize::from(black_box(cache.get(black_box(fp))).is_some());
+                }
+                for _ in 0..OFFERS_PER_ITER {
+                    // Equal-density offers: the gate runs its comparison
+                    // and admits, exercising the full decision path.
+                    let verdict = cache.insert(next_fp, plan(next_fp));
+                    black_box(&verdict);
+                    next_fp += 1;
+                }
+                served
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_tensor,
@@ -211,6 +270,7 @@ criterion_group!(
     bench_synthesis,
     bench_parallel_synthesis,
     bench_expand_hot_path,
-    bench_plan_service
+    bench_plan_service,
+    bench_cache_admission
 );
 criterion_main!(benches);

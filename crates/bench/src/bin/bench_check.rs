@@ -26,7 +26,13 @@
 //! calibration tensor/matmul_64 30000
 //! synthesis/expand_hot_path 300000
 //! service/cache_hit_bert_tiny 800000
+//! ratio service/cache_admission_churn service/cache_plain_lru_churn 1.10
 //! ```
+//!
+//! A `ratio A B L` line gates the *relative* cost of two benches from the
+//! same report: `median(A) / median(B)` must not exceed `L`. Both medians
+//! come from one run on one host, so no calibration applies — this is how
+//! "feature X adds < N% overhead over baseline Y" claims stay enforced.
 //!
 //! A legacy bare-number line is still accepted as the
 //! `synthesis/expand_hot_path` reference.
@@ -61,12 +67,14 @@ struct Gates {
     calibration: Option<(String, f64)>,
     /// `(bench id, reference median ns)` pairs to gate.
     gates: Vec<(String, f64)>,
+    /// `(numerator id, denominator id, max ratio)` relative gates.
+    ratios: Vec<(String, String, f64)>,
 }
 
 /// Parses the gates file (see module docs). `None` when nothing is gated
 /// or a line is malformed.
 fn parse_gates(text: &str) -> Option<Gates> {
-    let mut out = Gates { calibration: None, gates: Vec::new() };
+    let mut out = Gates { calibration: None, gates: Vec::new(), ratios: Vec::new() };
     for line in text.lines().map(str::trim) {
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -77,15 +85,20 @@ fn parse_gates(text: &str) -> Option<Gates> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        match (parts.next(), parts.next(), parts.next(), parts.next()) {
-            (Some("calibration"), Some(id), Some(v), None) => {
+        match (parts.next(), parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some("calibration"), Some(id), Some(v), None, None) => {
                 out.calibration = Some((id.to_string(), v.parse().ok()?));
             }
-            (Some(id), Some(v), None, None) => out.gates.push((id.to_string(), v.parse().ok()?)),
+            (Some("ratio"), Some(num), Some(den), Some(limit), None) => {
+                out.ratios.push((num.to_string(), den.to_string(), limit.parse().ok()?));
+            }
+            (Some(id), Some(v), None, None, None) => {
+                out.gates.push((id.to_string(), v.parse().ok()?));
+            }
             _ => return None,
         }
     }
-    if out.gates.is_empty() {
+    if out.gates.is_empty() && out.ratios.is_empty() {
         None
     } else {
         Some(out)
@@ -143,6 +156,34 @@ fn main() -> ExitCode {
 
     let scale = calibration_scale(&report, &gates);
     let mut failed = false;
+    for (num, den, limit) in &gates.ratios {
+        // Ratio gates compare two medians from the same run on the same
+        // host: no calibration scaling applies.
+        match (median_for(&report, num), median_for(&report, den)) {
+            (Some(a), Some(b)) if b > 0.0 => {
+                let ratio = a / b;
+                if ratio > *limit {
+                    eprintln!(
+                        "bench_check: FAIL — {num} / {den} = {ratio:.3} exceeds the \
+                         {limit} ratio limit ({a:.0} ns vs {b:.0} ns)"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "bench_check: OK — {num} / {den} = {ratio:.3} within the \
+                         {limit} ratio limit ({a:.0} ns vs {b:.0} ns)"
+                    );
+                }
+            }
+            _ => {
+                eprintln!(
+                    "bench_check: FAIL — ratio gate {num} / {den} needs both benches \
+                     in {report_path}"
+                );
+                failed = true;
+            }
+        }
+    }
     for (id, reference) in &gates.gates {
         let Some(median) = median_for(&report, id) else {
             eprintln!("bench_check: FAIL — gated bench {id} missing from {report_path}");
@@ -210,6 +251,25 @@ mod tests {
         assert_eq!(gates.gates[1], ("service/cache_hit_bert_tiny".to_string(), 800000.0));
         assert!(parse_gates("calibration only_two_fields\n").is_none());
         assert!(parse_gates("# nothing gated\ncalibration tensor/matmul_64 1\n").is_none());
+    }
+
+    #[test]
+    fn ratio_lines_parse_and_other_shapes_fail() {
+        let text = "calibration tensor/matmul_64 30000\n\
+                    ratio service/cache_admission_churn service/cache_plain_lru_churn 1.10\n\
+                    synthesis/expand_hot_path 300000\n";
+        let gates = parse_gates(text).unwrap();
+        assert_eq!(gates.ratios.len(), 1);
+        assert_eq!(gates.ratios[0].0, "service/cache_admission_churn");
+        assert_eq!(gates.ratios[0].1, "service/cache_plain_lru_churn");
+        assert_eq!(gates.ratios[0].2, 1.10);
+        assert_eq!(gates.gates.len(), 1);
+        // A ratio-only gates file is usable.
+        assert!(parse_gates("ratio a b 1.5\n").is_some());
+        // Malformed ratio lines are rejected, not ignored.
+        assert!(parse_gates("ratio a b\n").is_none());
+        assert!(parse_gates("ratio a b not_a_number\n").is_none());
+        assert!(parse_gates("ratio a b 1.5 extra\n").is_none());
     }
 
     #[test]

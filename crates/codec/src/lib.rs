@@ -48,10 +48,12 @@
 //! ```
 
 mod json;
+mod record;
 mod wire;
 
 pub use json::{parse, CodecError, Value};
+pub use record::{parse_persist_line, persist_line, CachedPlan, PERSIST_VERSION};
 pub use wire::{
     parse_fingerprint, render_fingerprint, request_fingerprint, request_fingerprint_values,
-    value_fingerprint, Decode, Encode, WireError,
+    value_fingerprint, Decode, Encode, WireError, BUSY_KIND,
 };

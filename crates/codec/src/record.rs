@@ -1,0 +1,166 @@
+//! The versioned on-disk record format of the plan service's cache.
+//!
+//! One cache entry persists as one JSON line. PR 4 wrote unversioned
+//! `{"fp":...,"plan":{...}}` lines; this module's current format adds a
+//! `"v"` tag and per-entry cost metadata driving the cache's cost-aware
+//! admission policy and TTL expiry:
+//!
+//! ```text
+//! {"v":2,"fp":"0x...","plan":{...,"synthesis_nanos":N,"size_bytes":N,"ttl_nanos":N|null}}
+//! ```
+//!
+//! Decoding is backward compatible: a line without `"v"` (and a plan body
+//! without the metadata fields) is a legacy PR-4 record and loads with
+//! zeroed cost metadata and no TTL — served normally, but first in line
+//! for eviction, which is the conservative choice for entries whose
+//! synthesis cost was never measured. Unknown future versions are
+//! rejected rather than guessed at.
+
+use hap_synthesis::{DistProgram, ShardingRatios};
+
+use crate::json::{CodecError, Value};
+use crate::wire::{parse_fingerprint, render_fingerprint, Decode, Encode};
+
+/// The persistence-format version this build writes.
+pub const PERSIST_VERSION: u64 = 2;
+
+/// One cached plan: everything a response needs, the request-side metadata
+/// (`graph_fp`, `opts_fp`, cluster features) the nearest-neighbor warm
+/// start matches on, and the cost metadata (`synthesis_nanos`,
+/// `size_bytes`, `ttl_nanos`) the admission policy prices. Deliberately
+/// *excludes* the graph and the device list — the client sent the graph,
+/// so echoing it back would double every response.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// The synthesized program (carries its estimated time).
+    pub program: DistProgram,
+    /// Per-segment sharding ratios.
+    pub ratios: ShardingRatios,
+    /// Cost-model estimate of the per-iteration time, bit-preserved.
+    pub estimated_time: f64,
+    /// Alternating-optimization rounds the original synthesis performed.
+    pub rounds: usize,
+    /// Fingerprint of the request's canonical graph encoding.
+    pub graph_fp: u64,
+    /// Fingerprint of the request's canonical options encoding.
+    pub opts_fp: u64,
+    /// Coarse cluster descriptors for the neighbor metric.
+    pub features: [f64; 4],
+    /// Wall-clock nanoseconds the original synthesis took — the seconds a
+    /// cache hit saves. Zero on legacy records (never measured).
+    pub synthesis_nanos: u64,
+    /// Canonical encoded size of the plan payload (program + ratios) in
+    /// bytes — the denominator of the admission density. Zero on legacy
+    /// records.
+    pub size_bytes: u64,
+    /// Per-entry time-to-live in nanoseconds; `None` = never expires.
+    pub ttl_nanos: Option<u64>,
+}
+
+impl CachedPlan {
+    /// The canonical byte size of this plan's payload (program + ratios),
+    /// the denominator of the admission density. Callers set
+    /// [`CachedPlan::size_bytes`] from this once, at construction — the
+    /// field itself is excluded from the measurement so the value is
+    /// well-defined.
+    pub fn measure_size(&self) -> u64 {
+        (self.program.encode().render().len() + self.ratios.encode().render().len()) as u64
+    }
+
+    /// Estimated synthesis-seconds saved per cached byte: the admission
+    /// policy's value metric. Legacy entries (unmeasured cost) score zero;
+    /// a zero-size payload cannot occur (every program encodes to
+    /// something) but is clamped defensively.
+    pub fn density(&self) -> f64 {
+        self.synthesis_nanos as f64 / 1e9 / (self.size_bytes.max(1) as f64)
+    }
+}
+
+impl Encode for CachedPlan {
+    fn encode(&self) -> Value {
+        Value::obj(vec![
+            ("graph_fp", Value::Str(render_fingerprint(self.graph_fp))),
+            ("opts_fp", Value::Str(render_fingerprint(self.opts_fp))),
+            ("features", self.features.to_vec().encode()),
+            ("rounds", self.rounds.encode()),
+            ("estimated_time", Value::Num(self.estimated_time)),
+            ("synthesis_nanos", Value::int(self.synthesis_nanos)),
+            ("size_bytes", Value::int(self.size_bytes)),
+            (
+                "ttl_nanos",
+                match self.ttl_nanos {
+                    None => Value::Null,
+                    Some(n) => Value::int(n),
+                },
+            ),
+            ("ratios", self.ratios.encode()),
+            ("program", self.program.encode()),
+        ])
+    }
+}
+
+impl Decode for CachedPlan {
+    fn decode(v: &Value) -> Result<Self, CodecError> {
+        let features = Vec::<f64>::decode(v.field("features")?)?;
+        let features: [f64; 4] = features
+            .try_into()
+            .map_err(|_| CodecError::Decode("expected 4 cluster features".into()))?;
+        // Legacy (PR-4) plan bodies predate the cost metadata: missing
+        // fields decode to the conservative zero-cost defaults.
+        let synthesis_nanos = match v.get("synthesis_nanos") {
+            None => 0,
+            Some(n) => n.as_u64()?,
+        };
+        let size_bytes = match v.get("size_bytes") {
+            None => 0,
+            Some(n) => n.as_u64()?,
+        };
+        let ttl_nanos = match v.get("ttl_nanos") {
+            None | Some(Value::Null) => None,
+            Some(n) => Some(n.as_u64()?),
+        };
+        Ok(CachedPlan {
+            program: DistProgram::decode(v.field("program")?)?,
+            ratios: ShardingRatios::decode(v.field("ratios")?)?,
+            estimated_time: v.field("estimated_time")?.as_f64()?,
+            rounds: v.field("rounds")?.as_usize()?,
+            graph_fp: parse_fingerprint(v.field("graph_fp")?.as_str()?)?,
+            opts_fp: parse_fingerprint(v.field("opts_fp")?.as_str()?)?,
+            features,
+            synthesis_nanos,
+            size_bytes,
+            ttl_nanos,
+        })
+    }
+}
+
+/// Renders one persisted cache line in the current (versioned) format.
+pub fn persist_line(fp: u64, plan: &CachedPlan) -> String {
+    Value::obj(vec![
+        ("v", Value::int(PERSIST_VERSION)),
+        ("fp", Value::Str(render_fingerprint(fp))),
+        ("plan", plan.encode()),
+    ])
+    .render()
+}
+
+/// Decodes one persisted cache line, accepting the current format and the
+/// legacy unversioned PR-4 format. Unknown future versions are an error.
+pub fn parse_persist_line(line: &str) -> Result<(u64, CachedPlan), CodecError> {
+    let v = crate::json::parse(line)?;
+    match v.get("v") {
+        None => {} // legacy PR-4 record: no version tag, no cost metadata
+        Some(tag) => {
+            let version = tag.as_u64()?;
+            if version != PERSIST_VERSION {
+                return Err(CodecError::Decode(format!(
+                    "unsupported cache-record version {version} (this build reads \
+                     {PERSIST_VERSION} and the legacy unversioned format)"
+                )));
+            }
+        }
+    }
+    let fp = parse_fingerprint(v.field("fp")?.as_str()?)?;
+    let plan = CachedPlan::decode(v.field("plan")?)?;
+    Ok((fp, plan))
+}

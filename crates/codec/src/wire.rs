@@ -814,22 +814,50 @@ impl Decode for DistProgram {
 /// error's `Display` output.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WireError {
-    /// Stable error-category tag (`synth`, `balance`, `exec`, `codec`, ...).
+    /// Stable error-category tag (`synth`, `balance`, `exec`, `codec`,
+    /// `busy`, ...).
     pub kind: String,
     /// Human-readable description (the source error's `Display`).
     pub message: String,
+    /// Overload hint: how long the client should wait before retrying.
+    /// Only `busy` frames carry it; absent on every other kind (and on
+    /// frames produced by pre-`busy` daemons, which decode fine).
+    pub retry_after_ms: Option<u64>,
 }
+
+/// The stable kind tag of an overload (load-shedding) frame.
+pub const BUSY_KIND: &str = "busy";
 
 impl WireError {
     /// Builds a frame from any kind tag and message.
     pub fn new(kind: impl Into<String>, message: impl Into<String>) -> Self {
-        WireError { kind: kind.into(), message: message.into() }
+        WireError { kind: kind.into(), message: message.into(), retry_after_ms: None }
+    }
+
+    /// Builds an overload frame: the daemon's synthesis queue is full and
+    /// the client should retry after roughly `retry_after_ms`.
+    pub fn busy(retry_after_ms: u64, queue_depth: usize) -> Self {
+        WireError {
+            kind: BUSY_KIND.into(),
+            message: format!("synthesis queue full ({queue_depth} jobs queued); retry later"),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+
+    /// True when this frame sheds load (the request was never executed and
+    /// an identical retry can succeed).
+    pub fn is_busy(&self) -> bool {
+        self.kind == BUSY_KIND
     }
 }
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.kind, self.message)
+        write!(f, "{}: {}", self.kind, self.message)?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (retry after {ms} ms)")?;
+        }
+        Ok(())
     }
 }
 
@@ -869,15 +897,26 @@ impl From<CodecError> for WireError {
 
 impl Encode for WireError {
     fn encode(&self) -> Value {
-        Value::obj(vec![("kind", self.kind.encode()), ("message", self.message.encode())])
+        let mut fields = vec![("kind", self.kind.encode()), ("message", self.message.encode())];
+        // The hint is only rendered when present, so non-busy frames keep
+        // their PR-4 canonical bytes and old clients parse new daemons.
+        if let Some(ms) = self.retry_after_ms {
+            fields.push(("retry_after_ms", Value::int(ms)));
+        }
+        Value::obj(fields)
     }
 }
 
 impl Decode for WireError {
     fn decode(v: &Value) -> Result<Self, CodecError> {
+        let retry_after_ms = match v.get("retry_after_ms") {
+            None | Some(Value::Null) => None,
+            Some(ms) => Some(ms.as_u64()?),
+        };
         Ok(WireError {
             kind: String::decode(v.field("kind")?)?,
             message: String::decode(v.field("message")?)?,
+            retry_after_ms,
         })
     }
 }

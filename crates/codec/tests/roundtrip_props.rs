@@ -4,7 +4,10 @@
 
 use hap::HapOptions;
 use hap_cluster::{ClusterSpec, DeviceType, Granularity, Machine};
-use hap_codec::{parse, request_fingerprint, value_fingerprint, Decode, Encode};
+use hap_codec::{
+    parse, parse_persist_line, persist_line, request_fingerprint, value_fingerprint, CachedPlan,
+    Decode, Encode, WireError,
+};
 use hap_collectives::{profile_collectives, GroundTruthNet, NetworkParams};
 use hap_graph::{Graph, GraphBuilder, Op, Role, UnaryKind};
 use hap_models::{mlp, transformer_layer, MlpConfig, TransformerConfig};
@@ -175,6 +178,146 @@ proptest! {
         prop_assert_eq!(back.fingerprint(), q.fingerprint());
         prop_assert_eq!(back.encode().render(), text);
     }
+}
+
+/// A cached-plan record over a really-synthesized program (greedy budget:
+/// the property under test is the record codec, not the search).
+fn sample_cached_plan(seed: usize, synthesis_nanos: u64, ttl_nanos: Option<u64>) -> CachedPlan {
+    let graph = random_graph(3, 3, seed);
+    let cluster = ClusterSpec::fig17_cluster();
+    let devices = cluster.virtual_devices(Granularity::PerGpu);
+    let profile =
+        profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
+    let ratios =
+        vec![cluster.proportional_ratios(Granularity::PerGpu); graph.segment_count().max(1)];
+    let cfg = SynthConfig { time_budget_secs: 0.0, ..SynthConfig::default() };
+    let q = synthesize(&graph, &devices, &profile, &ratios, &cfg).unwrap();
+    let mut plan = CachedPlan {
+        estimated_time: q.estimated_time,
+        program: q,
+        ratios,
+        rounds: 1 + seed % 3,
+        graph_fp: value_fingerprint(&graph.encode()),
+        opts_fp: 7,
+        features: [4.0, 2.7e13, 1.3e9, 5e-5],
+        synthesis_nanos,
+        size_bytes: 0,
+        ttl_nanos,
+    };
+    plan.size_bytes = plan.measure_size();
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The versioned persistence record round-trips every field bit-for-bit,
+    /// including the new cost metadata, and re-encoding is canonical.
+    #[test]
+    fn versioned_cache_record_round_trip(
+        seed in 0usize..1_000,
+        fp in 0u64..u64::MAX,
+        nanos in 0u64..10_000_000_000,
+        ttl_pick in 0u64..100_000,
+    ) {
+        let ttl = if ttl_pick % 3 == 0 { None } else { Some(ttl_pick) };
+        let plan = sample_cached_plan(seed, nanos, ttl);
+        let line = persist_line(fp, &plan);
+        prop_assert!(line.starts_with("{\"v\":2,"), "{line}");
+        let (fp2, back) = parse_persist_line(&line).unwrap();
+        prop_assert_eq!(fp2, fp);
+        prop_assert_eq!(&back.program.instrs, &plan.program.instrs);
+        prop_assert_eq!(back.program.fingerprint(), plan.program.fingerprint());
+        prop_assert_eq!(back.estimated_time.to_bits(), plan.estimated_time.to_bits());
+        prop_assert_eq!(back.rounds, plan.rounds);
+        prop_assert_eq!(back.graph_fp, plan.graph_fp);
+        prop_assert_eq!(back.synthesis_nanos, plan.synthesis_nanos);
+        prop_assert_eq!(back.size_bytes, plan.size_bytes);
+        prop_assert_eq!(back.ttl_nanos, plan.ttl_nanos);
+        prop_assert_eq!(back.density().to_bits(), plan.density().to_bits());
+        // Canonical: decode→encode reproduces the exact line.
+        prop_assert_eq!(persist_line(fp2, &back), line);
+    }
+}
+
+#[test]
+fn busy_frame_round_trips_and_legacy_frames_decode() {
+    // A busy frame carries the retry hint through encode→render→parse→decode.
+    let busy = WireError::busy(125, 7);
+    assert!(busy.is_busy());
+    let text = busy.encode().render();
+    assert!(text.contains("\"retry_after_ms\":125"), "{text}");
+    let back = WireError::decode(&parse(&text).unwrap()).unwrap();
+    assert_eq!(back, busy);
+    assert_eq!(back.retry_after_ms, Some(125));
+    assert!(back.to_string().contains("retry after 125 ms"));
+
+    // Non-busy frames render without the field — byte-compatible with the
+    // PR-4 encoding — and legacy frames (no field at all) decode to None.
+    let plain = WireError::new("synth", "no feasible placement");
+    let plain_text = plain.encode().render();
+    assert!(!plain_text.contains("retry_after_ms"), "{plain_text}");
+    let back = WireError::decode(&parse(&plain_text).unwrap()).unwrap();
+    assert_eq!(back.retry_after_ms, None);
+    assert!(!back.is_busy());
+
+    // Tamper: a non-integer hint must fail to decode, not be guessed at.
+    let bad = "{\"kind\":\"busy\",\"message\":\"m\",\"retry_after_ms\":\"soon\"}";
+    assert!(WireError::decode(&parse(bad).unwrap()).is_err());
+    let negative = "{\"kind\":\"busy\",\"message\":\"m\",\"retry_after_ms\":-3}";
+    assert!(WireError::decode(&parse(negative).unwrap()).is_err());
+    // An explicit null is the absent hint.
+    let null = "{\"kind\":\"busy\",\"message\":\"m\",\"retry_after_ms\":null}";
+    assert_eq!(WireError::decode(&parse(null).unwrap()).unwrap().retry_after_ms, None);
+}
+
+#[test]
+fn cache_record_tampering_is_rejected() {
+    let plan = sample_cached_plan(3, 42, Some(9));
+    let line = persist_line(0xABCD, &plan);
+    // Unknown future version: refuse, do not guess.
+    let future = line.replacen("{\"v\":2,", "{\"v\":3,", 1);
+    assert!(parse_persist_line(&future).is_err());
+    // Corrupt metadata types.
+    let bad_nanos = line.replace(
+        &format!("\"synthesis_nanos\":{}", plan.synthesis_nanos),
+        "\"synthesis_nanos\":\"fast\"",
+    );
+    assert_ne!(bad_nanos, line);
+    assert!(parse_persist_line(&bad_nanos).is_err());
+    // Truncated feature vector fails the arity check.
+    let bad_features = line.replace("\"features\":[4,", "\"features\":[");
+    assert_ne!(bad_features, line);
+    assert!(parse_persist_line(&bad_features).is_err());
+    // Not JSON at all.
+    assert!(parse_persist_line("not a record").is_err());
+}
+
+#[test]
+fn pr4_era_persistence_fixture_still_decodes() {
+    // A persistence line written by the PR-4 daemon, committed verbatim:
+    // no "v" tag, no cost metadata. It must load with conservative
+    // defaults and migrate to the current format on re-encode.
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/pr4_cache.jsonl");
+    let content = std::fs::read_to_string(fixture).unwrap();
+    let line = content.lines().next().unwrap();
+    assert!(!line.contains("\"v\":"), "fixture must stay PR-4-era");
+    let (fp, plan) = parse_persist_line(line).unwrap();
+    assert_eq!(fp, 0x7859a2822513699f);
+    assert_eq!(plan.graph_fp, 0xc036815a0bff1e6b);
+    assert!(!plan.program.instrs.is_empty(), "fixture carries a real plan");
+    assert_eq!(plan.synthesis_nanos, 0, "legacy cost defaults to zero");
+    assert_eq!(plan.size_bytes, 0);
+    assert_eq!(plan.ttl_nanos, None);
+    assert_eq!(plan.density(), 0.0, "legacy entries are first in line for eviction");
+    // Migration: re-encoding writes the current versioned format, which
+    // round-trips canonically.
+    let migrated = persist_line(fp, &plan);
+    assert!(migrated.starts_with("{\"v\":2,"));
+    let (fp2, again) = parse_persist_line(&migrated).unwrap();
+    assert_eq!(fp2, fp);
+    assert_eq!(again.program.fingerprint(), plan.program.fingerprint());
+    assert_eq!(persist_line(fp2, &again), migrated);
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! hap-client --addr HOST:PORT [--model NAME]... [--requests N]
-//!            [--concurrency N] [--stats] [--shutdown]
-//!            [--assert KEY=V | KEY>=V]...
+//!            [--concurrency N] [--ttl-ms N] [--max-retries N]
+//!            [--stats] [--shutdown] [--assert KEY=V | KEY>=V]...
 //! ```
 //!
 //! Models are the bundled benchmark suite at test scale: `mlp`,
@@ -13,6 +13,12 @@
 //! many connections, which is how the CI smoke job provokes the
 //! single-flight path. `--assert` checks daemon stats after the run
 //! (exit 1 on violation), e.g. `--assert synthesized=1 --assert hits>=7`.
+//!
+//! When the daemon sheds load (`busy` frames from its queue-depth cap),
+//! submissions retry with exponential backoff honoring the frame's
+//! `retry_after_ms` hint — up to `--max-retries` attempts (default 8,
+//! `1` disables retrying). `--ttl-ms` asks the daemon to expire the
+//! plans this run caches.
 
 use std::process::ExitCode;
 
@@ -62,6 +68,9 @@ impl Assertion {
             "warm_seeded" => stats.warm_seeded,
             "errors" => stats.errors,
             "in_flight" => stats.in_flight,
+            "shed" => stats.shed,
+            "admission_rejected" => stats.admission_rejected,
+            "expired" => stats.expired,
             other => return Err(format!("unknown stats key `{other}`")),
         };
         let ok = if self.exact { actual == self.min } else { actual >= self.min };
@@ -79,6 +88,8 @@ fn main() -> ExitCode {
     let mut models: Vec<String> = Vec::new();
     let mut requests = 1usize;
     let mut concurrency = 1usize;
+    let mut ttl_ms: Option<u64> = None;
+    let mut retry = hap_service::RetryPolicy::default();
     let mut show_stats = false;
     let mut shutdown = false;
     let mut assertions: Vec<Assertion> = Vec::new();
@@ -111,6 +122,25 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().map_err(|e| eprintln!("hap-client: bad count: {e}")))
             {
                 Ok(n) => concurrency = std::cmp::max(1, n),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--ttl-ms" => match value("--ttl-ms")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-client: bad TTL: {e}")))
+            {
+                Ok(ms) if ms <= hap_service::MAX_TTL_MS => ttl_ms = Some(ms),
+                Ok(ms) => {
+                    eprintln!(
+                        "hap-client: --ttl-ms {ms} exceeds the maximum {}",
+                        hap_service::MAX_TTL_MS
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--max-retries" => match value("--max-retries")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-client: bad count: {e}")))
+            {
+                Ok(n) => retry.max_attempts = std::cmp::max(1, n),
                 Err(()) => return ExitCode::FAILURE,
             },
             "--stats" => show_stats = true,
@@ -161,6 +191,7 @@ fn main() -> ExitCode {
             let failed = &failed;
             let first_reply = &first_reply;
             let addr = addr.clone();
+            let retry = retry;
             scope.spawn(move || {
                 let mut client = match Client::connect(&*addr) {
                     Ok(c) => c,
@@ -180,14 +211,16 @@ fn main() -> ExitCode {
                         return;
                     };
                     let t0 = std::time::Instant::now();
-                    match client.plan(&graph, cluster, opts) {
+                    match client.plan_with_retry(&graph, cluster, opts, ttl_ms, &retry) {
                         Ok(reply) => {
                             println!(
-                                "hap-client: {model} -> {} plan 0x{:016x} est {:.6}s in {:?}",
+                                "hap-client: {model} -> {} plan 0x{:016x} est {:.6}s in {:?} \
+                                 ({} busy retries)",
                                 reply.source,
                                 reply.program.fingerprint(),
                                 reply.estimated_time,
-                                t0.elapsed()
+                                t0.elapsed(),
+                                client.busy_retries()
                             );
                             let bits: ReplyBits = (
                                 reply.program.fingerprint(),

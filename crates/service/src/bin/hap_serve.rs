@@ -3,6 +3,8 @@
 //! ```text
 //! hap-serve [--addr HOST:PORT | --port N] [--workers N]
 //!           [--cache-capacity N] [--cache-file PATH] [--no-warm-start]
+//!           [--no-admission] [--default-ttl-ms N]
+//!           [--max-queue-depth N] [--busy-retry-ms N]
 //! ```
 //!
 //! Prints one `hap-serve: listening on <addr>` line once the socket is
@@ -16,7 +18,9 @@ use hap_service::{Server, ServiceConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hap-serve [--addr HOST:PORT | --port N] [--workers N] \
-         [--cache-capacity N] [--cache-file PATH] [--no-warm-start]"
+         [--cache-capacity N] [--cache-file PATH] [--no-warm-start] \
+         [--no-admission] [--default-ttl-ms N] [--max-queue-depth N] \
+         [--busy-retry-ms N]"
     );
     ExitCode::FAILURE
 }
@@ -55,6 +59,25 @@ fn main() -> ExitCode {
                 Err(()) => return usage(),
             },
             "--no-warm-start" => config.warm_neighbors = false,
+            "--no-admission" => config.cache_admission = false,
+            "--default-ttl-ms" => match value("--default-ttl-ms")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad TTL: {e}")))
+            {
+                Ok(ms) => config.default_ttl_ms = Some(ms),
+                Err(()) => return usage(),
+            },
+            "--max-queue-depth" => match value("--max-queue-depth")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad depth: {e}")))
+            {
+                Ok(n) => config.max_queue_depth = n,
+                Err(()) => return usage(),
+            },
+            "--busy-retry-ms" => match value("--busy-retry-ms")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad delay: {e}")))
+            {
+                Ok(ms) => config.busy_retry_ms = ms,
+                Err(()) => return usage(),
+            },
             _ => {
                 eprintln!("hap-serve: unknown flag `{flag}`");
                 return usage();
@@ -77,8 +100,9 @@ fn main() -> ExitCode {
     server.shutdown();
     let stats = server.service().stats();
     println!(
-        "hap-serve: shut down — {} entries, {} hits, {} misses, {} synthesized, {} coalesced",
-        stats.entries, stats.hits, stats.misses, stats.synthesized, stats.coalesced
+        "hap-serve: shut down — {} entries, {} hits, {} misses, {} synthesized, {} coalesced, \
+         {} shed",
+        stats.entries, stats.hits, stats.misses, stats.synthesized, stats.coalesced, stats.shed
     );
     ExitCode::SUCCESS
 }

@@ -1,6 +1,31 @@
 //! The content-addressed plan cache: a sharded LRU keyed by request
-//! fingerprint, with append-only disk persistence and a nearest-neighbor
-//! lookup that powers the warm-start path.
+//! fingerprint, hardened for adversarial tenant mixes with a cost-aware
+//! admission policy and per-entry TTL expiry, with versioned append-only
+//! disk persistence and a nearest-neighbor lookup that powers the
+//! warm-start path.
+//!
+//! # Admission
+//!
+//! Plain LRU is unsafe under mixed tenant traffic: a burst of one-off
+//! requests evicts the hot working set even though each one-off plan will
+//! never be asked for again. Every entry therefore carries the measured
+//! `synthesis_nanos` and its canonical payload `size_bytes`, and a full
+//! shard only admits a new entry when its *density* — estimated
+//! synthesis-seconds saved per cached byte ([`CachedPlan::density`]) — is
+//! at least the would-be LRU victim's. Cheap bulky one-offs bounce off an
+//! expensive working set; when every cost and size is equal the gate
+//! always passes and behavior degrades to exactly the PR-4 LRU (pinned by
+//! `tests/cache_props.rs`).
+//!
+//! # TTL
+//!
+//! An optional per-entry TTL (request-settable over the wire, with a
+//! config default) expires plans for decommissioned clusters: expired
+//! entries are never served, never seed warm starts, never persist at
+//! compaction, and are reclaimed lazily (on lookup) or eagerly (when
+//! their shard needs room). TTLs restart on daemon boot — the log stores
+//! the TTL, not an absolute deadline, so a reloaded entry lives one more
+//! TTL from boot at most.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -8,37 +33,15 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use hap_cluster::{ClusterSpec, Granularity};
-use hap_codec::{parse, parse_fingerprint, render_fingerprint, CodecError, Decode, Encode, Value};
-use hap_synthesis::{DistProgram, ShardingRatios};
+use hap_codec::CodecError;
+pub use hap_codec::{parse_persist_line, persist_line, CachedPlan};
 
 /// Cache shards. A power of two so the fingerprint masks cleanly; 16 keeps
 /// per-shard lock scopes short under concurrent connection threads.
 const SHARDS: usize = 16;
-
-/// One cached plan: everything a response needs, plus the request-side
-/// metadata (`graph_fp`, `opts_fp`, cluster features) the nearest-neighbor
-/// warm start matches on. Deliberately *excludes* the graph and the device
-/// list — the client sent the graph, so echoing it back would double every
-/// response.
-#[derive(Clone, Debug)]
-pub struct CachedPlan {
-    /// The synthesized program (carries its estimated time).
-    pub program: DistProgram,
-    /// Per-segment sharding ratios.
-    pub ratios: ShardingRatios,
-    /// Cost-model estimate of the per-iteration time, bit-preserved.
-    pub estimated_time: f64,
-    /// Alternating-optimization rounds the original synthesis performed.
-    pub rounds: usize,
-    /// Fingerprint of the request's canonical graph encoding.
-    pub graph_fp: u64,
-    /// Fingerprint of the request's canonical options encoding.
-    pub opts_fp: u64,
-    /// Coarse cluster descriptors for the neighbor metric.
-    pub features: [f64; 4],
-}
 
 /// The coarse cluster descriptors the neighbor metric compares: virtual
 /// device count, aggregate effective flops, inter-machine bandwidth and
@@ -66,9 +69,72 @@ fn distance(a: &[f64; 4], b: &[f64; 4], same_opts: bool) -> f64 {
     d
 }
 
+/// Cache behavior knobs, independent of capacity.
+#[derive(Clone, Debug)]
+pub struct CachePolicy {
+    /// Gate admission on saved-seconds-per-byte density (see module docs).
+    /// Off = plain LRU, the PR-4 behavior.
+    pub admission: bool,
+    /// TTL applied to entries that carry none of their own; `None` = no
+    /// default, entries without a per-request TTL never expire.
+    pub default_ttl: Option<Duration>,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy { admission: true, default_ttl: None }
+    }
+}
+
+/// The outcome of one [`PlanCache::insert`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The entry is cached; `evicted` lists the fingerprints removed to
+    /// make room (empty when the shard had space).
+    Admitted {
+        /// Fingerprints evicted to admit this entry.
+        evicted: Vec<u64>,
+    },
+    /// The fingerprint was already cached; the entry was updated in place.
+    Replaced,
+    /// The admission gate held: the candidate's density is below the
+    /// would-be victim's, so the incumbent stays and the candidate is
+    /// dropped.
+    Rejected {
+        /// The LRU victim the candidate failed to displace.
+        victim_fp: u64,
+    },
+}
+
+/// The cache's time source. Production uses a monotonic clock; tests
+/// inject a manually advanced one so TTL expiry is exact and
+/// deterministic.
+#[derive(Clone)]
+enum Clock {
+    Monotonic(Instant),
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    fn now_nanos(&self) -> u64 {
+        match self {
+            Clock::Monotonic(epoch) => epoch.elapsed().as_nanos() as u64,
+            Clock::Manual(nanos) => nanos.load(Ordering::SeqCst),
+        }
+    }
+}
+
 struct Entry {
     plan: Arc<CachedPlan>,
     last_used: u64,
+    /// Clock-nanos deadline after which the entry is dead; `None` = never.
+    expires_at: Option<u64>,
+}
+
+impl Entry {
+    fn expired(&self, now: u64) -> bool {
+        self.expires_at.is_some_and(|deadline| now >= deadline)
+    }
 }
 
 #[derive(Default)]
@@ -76,24 +142,49 @@ struct Shard {
     map: HashMap<u64, Entry>,
 }
 
-/// A sharded LRU of [`CachedPlan`]s keyed by request fingerprint.
+/// A sharded, admission-gated, TTL-aware LRU of [`CachedPlan`]s keyed by
+/// request fingerprint.
 pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     /// Per-shard entry budget (total capacity / shard count, at least 1).
     per_shard: usize,
+    policy: CachePolicy,
+    clock: Clock,
     /// Monotonic use clock driving LRU eviction.
     tick: AtomicU64,
     evictions: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
 }
 
 impl PlanCache {
-    /// Creates a cache holding roughly `capacity` plans in total.
+    /// Creates a cache holding roughly `capacity` plans in total, with the
+    /// default policy (admission on, no default TTL).
     pub fn new(capacity: usize) -> Self {
+        PlanCache::with_policy(capacity, CachePolicy::default())
+    }
+
+    /// Creates a cache with an explicit policy.
+    pub fn with_policy(capacity: usize, policy: CachePolicy) -> Self {
+        PlanCache::build(capacity, policy, Clock::Monotonic(Instant::now()))
+    }
+
+    /// Creates a cache whose clock is the given shared nanosecond counter,
+    /// advanced manually — deterministic TTL expiry for tests.
+    pub fn with_manual_clock(capacity: usize, policy: CachePolicy, nanos: Arc<AtomicU64>) -> Self {
+        PlanCache::build(capacity, policy, Clock::Manual(nanos))
+    }
+
+    fn build(capacity: usize, policy: CachePolicy, clock: Clock) -> Self {
         PlanCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard: capacity.div_ceil(SHARDS).max(1),
+            policy,
+            clock,
             tick: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
         }
     }
 
@@ -101,34 +192,87 @@ impl PlanCache {
         &self.shards[(fp as usize) & (SHARDS - 1)]
     }
 
+    /// The shard index a fingerprint maps to (tests size hot sets so they
+    /// fit the per-shard budget before asserting retention).
+    pub fn shard_of(fp: u64) -> usize {
+        (fp as usize) & (SHARDS - 1)
+    }
+
+    /// Per-shard entry budget.
+    pub fn shard_budget(&self) -> usize {
+        self.per_shard
+    }
+
+    /// The TTL an entry with override `ttl_nanos` would get: the override
+    /// wins, then the policy default, then none.
+    fn effective_ttl(&self, ttl_nanos: Option<u64>) -> Option<u64> {
+        ttl_nanos.or(self.policy.default_ttl.map(|d| d.as_nanos() as u64))
+    }
+
     /// Looks up a plan by request fingerprint, refreshing its LRU position.
+    /// An expired entry is reclaimed and reported as a miss — expired
+    /// plans are never served.
     pub fn get(&self, fp: u64) -> Option<Arc<CachedPlan>> {
+        let now = self.clock.now_nanos();
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
         let entry = shard.map.get_mut(&fp)?;
+        if entry.expired(now) {
+            shard.map.remove(&fp);
+            self.expired.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         entry.last_used = tick;
         Some(entry.plan.clone())
     }
 
-    /// Inserts (or replaces) a plan, evicting the shard's least-recently
-    /// used entry when the shard budget is exceeded.
-    pub fn insert(&self, fp: u64, plan: Arc<CachedPlan>) {
+    /// Offers a plan to the cache. A fingerprint already present is
+    /// replaced in place; otherwise expired entries in the shard are
+    /// reclaimed first, and if the shard is still full the candidate must
+    /// beat the LRU victim's density to displace it (admission on) or
+    /// displaces it unconditionally (admission off — plain LRU).
+    pub fn insert(&self, fp: u64, plan: Arc<CachedPlan>) -> Admission {
+        let now = self.clock.now_nanos();
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let expires_at =
+            self.effective_ttl(plan.ttl_nanos).map(|ttl| now.saturating_add(ttl.max(1)));
         let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
-        shard.map.insert(fp, Entry { plan, last_used: tick });
-        while shard.map.len() > self.per_shard {
+        if let Some(existing) = shard.map.get_mut(&fp) {
+            *existing = Entry { plan, last_used: tick, expires_at };
+            return Admission::Replaced;
+        }
+        // Expired entries are free space: reclaim before pricing victims.
+        let dead: Vec<u64> =
+            shard.map.iter().filter(|(_, e)| e.expired(now)).map(|(k, _)| *k).collect();
+        for k in dead {
+            shard.map.remove(&k);
+            self.expired.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut evicted = Vec::new();
+        while shard.map.len() >= self.per_shard {
             let victim = shard
                 .map
                 .iter()
                 .min_by_key(|(k, e)| (e.last_used, **k))
                 .map(|(k, _)| *k)
-                .expect("over-budget shard is non-empty");
+                .expect("full shard is non-empty");
+            if self.policy.admission {
+                let incumbent = shard.map[&victim].plan.density();
+                if plan.density() < incumbent {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Admission::Rejected { victim_fp: victim };
+                }
+            }
             shard.map.remove(&victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            evicted.push(victim);
         }
+        shard.map.insert(fp, Entry { plan, last_used: tick, expires_at });
+        Admission::Admitted { evicted }
     }
 
-    /// Total entries across all shards.
+    /// Total entries across all shards (including not-yet-reclaimed
+    /// expired entries, which occupy space until touched).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
     }
@@ -138,26 +282,37 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Entries evicted since construction.
+    /// Entries evicted (displaced live) since construction.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Candidates the admission gate turned away since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Entries reclaimed by TTL expiry since construction.
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
     /// The cached plan for the same graph whose cluster is nearest to
     /// `features` — the warm-start seed for a cache miss. Scans every
-    /// shard; ties break on the smaller fingerprint so the choice is
-    /// deterministic.
+    /// shard, skipping expired entries; ties break on the smaller
+    /// fingerprint so the choice is deterministic.
     pub fn nearest(
         &self,
         graph_fp: u64,
         opts_fp: u64,
         features: &[f64; 4],
     ) -> Option<Arc<CachedPlan>> {
+        let now = self.clock.now_nanos();
         let mut best: Option<(f64, u64, Arc<CachedPlan>)> = None;
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard poisoned");
             for (fp, entry) in &shard.map {
-                if entry.plan.graph_fp != graph_fp {
+                if entry.plan.graph_fp != graph_fp || entry.expired(now) {
                     continue;
                 }
                 let d = distance(features, &entry.plan.features, entry.plan.opts_fp == opts_fp);
@@ -173,12 +328,20 @@ impl PlanCache {
         best.map(|(_, _, plan)| plan)
     }
 
-    /// A snapshot of `(fingerprint, plan)` pairs in unspecified order.
+    /// A snapshot of live `(fingerprint, plan)` pairs in unspecified
+    /// order. Expired entries are excluded (compaction drops them).
     pub fn snapshot(&self) -> Vec<(u64, Arc<CachedPlan>)> {
+        let now = self.clock.now_nanos();
         let mut out = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard poisoned");
-            out.extend(shard.map.iter().map(|(fp, e)| (*fp, e.plan.clone())));
+            out.extend(
+                shard
+                    .map
+                    .iter()
+                    .filter(|(_, e)| !e.expired(now))
+                    .map(|(fp, e)| (*fp, e.plan.clone())),
+            );
         }
         out
     }
@@ -188,46 +351,13 @@ impl PlanCache {
 // Persistence
 // ---------------------------------------------------------------------------
 
-impl Encode for CachedPlan {
-    fn encode(&self) -> Value {
-        Value::obj(vec![
-            ("graph_fp", Value::Str(render_fingerprint(self.graph_fp))),
-            ("opts_fp", Value::Str(render_fingerprint(self.opts_fp))),
-            ("features", self.features.to_vec().encode()),
-            ("rounds", self.rounds.encode()),
-            ("estimated_time", Value::Num(self.estimated_time)),
-            ("ratios", self.ratios.encode()),
-            ("program", self.program.encode()),
-        ])
-    }
-}
-
-impl Decode for CachedPlan {
-    fn decode(v: &Value) -> Result<Self, CodecError> {
-        let features = Vec::<f64>::decode(v.field("features")?)?;
-        let features: [f64; 4] = features
-            .try_into()
-            .map_err(|_| CodecError::Decode("expected 4 cluster features".into()))?;
-        Ok(CachedPlan {
-            program: DistProgram::decode(v.field("program")?)?,
-            ratios: ShardingRatios::decode(v.field("ratios")?)?,
-            estimated_time: v.field("estimated_time")?.as_f64()?,
-            rounds: v.field("rounds")?.as_usize()?,
-            graph_fp: parse_fingerprint(v.field("graph_fp")?.as_str()?)?,
-            opts_fp: parse_fingerprint(v.field("opts_fp")?.as_str()?)?,
-            features,
-        })
-    }
-}
-
-/// One persisted cache line: `{"fp": "...", "plan": {...}}`.
-pub fn persist_line(fp: u64, plan: &CachedPlan) -> String {
-    Value::obj(vec![("fp", Value::Str(render_fingerprint(fp))), ("plan", plan.encode())]).render()
-}
-
 /// Loads a persisted cache log into `cache`, ignoring nothing: a corrupt
 /// line is a hard error (the file is machine-written; silent skips would
-/// hide real corruption). Returns the number of entries loaded.
+/// hide real corruption). Both the current versioned format and the
+/// legacy PR-4 unversioned format load (see [`hap_codec::persist_line`]'s
+/// module docs). Returns the number of entries offered to the cache —
+/// the admission policy applies on reload too, so a log longer than the
+/// capacity keeps its densest tail rather than its newest.
 pub fn load_cache(cache: &PlanCache, path: &Path) -> Result<usize, CodecError> {
     let file = match std::fs::File::open(path) {
         Ok(f) => f,
@@ -241,9 +371,7 @@ pub fn load_cache(cache: &PlanCache, path: &Path) -> Result<usize, CodecError> {
         if line.trim().is_empty() {
             continue;
         }
-        let v = parse(&line)?;
-        let fp = parse_fingerprint(v.field("fp")?.as_str()?)?;
-        let plan = CachedPlan::decode(v.field("plan")?)?;
+        let (fp, plan) = parse_persist_line(&line)?;
         cache.insert(fp, Arc::new(plan));
         loaded += 1;
     }
@@ -252,7 +380,9 @@ pub fn load_cache(cache: &PlanCache, path: &Path) -> Result<usize, CodecError> {
 
 /// Rewrites the persistence log from the cache's current contents — called
 /// after [`load_cache`] so the append-only log compacts once per restart
-/// (duplicate fingerprints from overwrites collapse to the live entry).
+/// (duplicate fingerprints from overwrites collapse to the live entry,
+/// expired entries drop out). Always writes the current record version:
+/// compaction is also the legacy-format migration path.
 pub fn compact_log(cache: &PlanCache, path: &Path) -> std::io::Result<()> {
     let mut entries = cache.snapshot();
     entries.sort_by_key(|(fp, _)| *fp);
@@ -266,8 +396,19 @@ pub fn compact_log(cache: &PlanCache, path: &Path) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hap_synthesis::DistProgram;
 
     fn plan(graph_fp: u64, features: [f64; 4]) -> Arc<CachedPlan> {
+        plan_with_cost(graph_fp, features, 1_000_000, 100, None)
+    }
+
+    fn plan_with_cost(
+        graph_fp: u64,
+        features: [f64; 4],
+        synthesis_nanos: u64,
+        size_bytes: u64,
+        ttl_nanos: Option<u64>,
+    ) -> Arc<CachedPlan> {
         Arc::new(CachedPlan {
             program: DistProgram::default(),
             ratios: vec![vec![0.5, 0.5]],
@@ -276,13 +417,16 @@ mod tests {
             graph_fp,
             opts_fp: 7,
             features,
+            synthesis_nanos,
+            size_bytes,
+            ttl_nanos,
         })
     }
 
     #[test]
     fn get_insert_and_lru_eviction() {
         // Capacity 16 over 16 shards = 1 per shard: two same-shard inserts
-        // evict the older.
+        // of equal density evict the older (plain-LRU recovery).
         let cache = PlanCache::new(16);
         cache.insert(0, plan(1, [1.0; 4]));
         assert!(cache.get(0).is_some());
@@ -311,6 +455,72 @@ mod tests {
     }
 
     #[test]
+    fn admission_gate_protects_denser_incumbents() {
+        let cache = PlanCache::new(16);
+        // Expensive, small: high density.
+        cache.insert(0, plan_with_cost(1, [1.0; 4], 50_000_000, 100, None));
+        // Cheap, bulky one-off in the same shard: must bounce.
+        let verdict = cache.insert(16, plan_with_cost(2, [1.0; 4], 1_000_000, 10_000, None));
+        assert_eq!(verdict, Admission::Rejected { victim_fp: 0 });
+        assert_eq!(cache.rejected(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.get(0).is_some(), "incumbent survives");
+        assert!(cache.get(16).is_none(), "one-off was not cached");
+        // A denser candidate displaces the incumbent.
+        let verdict = cache.insert(32, plan_with_cost(3, [1.0; 4], 500_000_000, 100, None));
+        assert_eq!(verdict, Admission::Admitted { evicted: vec![0] });
+        assert!(cache.get(32).is_some());
+    }
+
+    #[test]
+    fn admission_off_is_plain_lru() {
+        let policy = CachePolicy { admission: false, default_ttl: None };
+        let cache = PlanCache::with_policy(16, policy);
+        cache.insert(0, plan_with_cost(1, [1.0; 4], 50_000_000, 100, None));
+        // Same cheap bulky one-off: plain LRU admits it regardless.
+        let verdict = cache.insert(16, plan_with_cost(2, [1.0; 4], 1_000_000, 10_000, None));
+        assert_eq!(verdict, Admission::Admitted { evicted: vec![0] });
+        assert!(cache.get(0).is_none(), "LRU evicted the hot entry");
+    }
+
+    #[test]
+    fn ttl_expiry_under_a_manual_clock() {
+        let now = Arc::new(AtomicU64::new(0));
+        let cache = PlanCache::with_manual_clock(16, CachePolicy::default(), now.clone());
+        cache.insert(0, plan_with_cost(1, [1.0; 4], 1_000_000, 100, Some(1_000)));
+        cache.insert(1, plan_with_cost(2, [1.0; 4], 1_000_000, 100, None));
+        assert!(cache.get(0).is_some(), "fresh entry serves");
+        now.store(999, Ordering::SeqCst);
+        assert!(cache.get(0).is_some(), "still inside the TTL");
+        now.store(1_000, Ordering::SeqCst);
+        assert!(cache.get(0).is_none(), "expired entry is never served");
+        assert_eq!(cache.expired(), 1);
+        assert!(cache.get(1).is_some(), "no-TTL entry lives forever");
+        // Expired space is reclaimed before any eviction happens: a new
+        // entry in fp 0's shard neither evicts nor rejects.
+        cache.insert(16, plan_with_cost(3, [1.0; 4], 1, 1_000_000, None));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.rejected(), 0);
+    }
+
+    #[test]
+    fn default_ttl_applies_when_entry_has_none() {
+        let now = Arc::new(AtomicU64::new(0));
+        let policy =
+            CachePolicy { admission: true, default_ttl: Some(Duration::from_nanos(2_000)) };
+        let cache = PlanCache::with_manual_clock(16, policy, now.clone());
+        cache.insert(0, plan_with_cost(1, [1.0; 4], 1_000_000, 100, None));
+        // Per-entry override beats the default.
+        cache.insert(1, plan_with_cost(2, [1.0; 4], 1_000_000, 100, Some(10_000)));
+        now.store(2_000, Ordering::SeqCst);
+        assert!(cache.get(0).is_none(), "default TTL expired the entry");
+        assert!(cache.get(1).is_some(), "override outlives the default");
+        // nearest() must not resurrect expired plans either.
+        assert!(cache.nearest(1, 7, &[1.0; 4]).is_none());
+        assert!(cache.nearest(2, 7, &[1.0; 4]).is_some());
+    }
+
+    #[test]
     fn nearest_matches_graph_and_ranks_by_features() {
         let cache = PlanCache::new(64);
         cache.insert(1, plan(100, [4.0, 1e13, 1e9, 1e-5]));
@@ -327,7 +537,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cache.jsonl");
         let cache = PlanCache::new(64);
-        cache.insert(42, plan(100, [4.0, 1e13, 1e9, 1e-5]));
+        cache.insert(
+            42,
+            plan_with_cost(100, [4.0, 1e13, 1e9, 1e-5], 123_456, 789, Some(60_000_000_000)),
+        );
         cache.insert(43, plan(101, [8.0, 2e13, 2e9, 2e-5]));
         compact_log(&cache, &path).unwrap();
 
@@ -337,10 +550,49 @@ mod tests {
         assert_eq!(p.graph_fp, 100);
         assert_eq!(p.estimated_time.to_bits(), 1.5f64.to_bits());
         assert_eq!(p.ratios, vec![vec![0.5, 0.5]]);
+        assert_eq!(p.synthesis_nanos, 123_456);
+        assert_eq!(p.size_bytes, 789);
+        assert_eq!(p.ttl_nanos, Some(60_000_000_000));
         // Missing file = empty cache, corrupt file = hard error.
         assert_eq!(load_cache(&PlanCache::new(4), &dir.join("absent.jsonl")).unwrap(), 0);
         std::fs::write(&path, "not json\n").unwrap();
         assert!(load_cache(&PlanCache::new(4), &path).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_pr4_log_lines_still_load() {
+        let dir = std::env::temp_dir().join(format!("hap-cache-legacy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        // A PR-4-era line: no "v" tag, no cost metadata in the plan body.
+        let legacy = "{\"fp\":\"0x000000000000002a\",\"plan\":{\"graph_fp\":\
+                      \"0x0000000000000064\",\"opts_fp\":\"0x0000000000000007\",\"features\":\
+                      [4,1e13,1e9,1e-5],\"rounds\":1,\"estimated_time\":1.5,\"ratios\":[[0.5,\
+                      0.5]],\"program\":{\"instrs\":[],\"estimated_time\":1.5}}}";
+        std::fs::write(&path, format!("{legacy}\n")).unwrap();
+        let cache = PlanCache::new(64);
+        assert_eq!(load_cache(&cache, &path).unwrap(), 1);
+        let p = cache.get(42).unwrap();
+        assert_eq!(p.graph_fp, 100);
+        assert_eq!(p.synthesis_nanos, 0, "legacy entries carry zero cost");
+        assert_eq!(p.ttl_nanos, None);
+        // Compaction migrates the line to the current versioned format.
+        compact_log(&cache, &path).unwrap();
+        let migrated = std::fs::read_to_string(&path).unwrap();
+        assert!(migrated.starts_with("{\"v\":2,"), "{migrated}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn expired_entries_do_not_persist() {
+        let now = Arc::new(AtomicU64::new(0));
+        let cache = PlanCache::with_manual_clock(16, CachePolicy::default(), now.clone());
+        cache.insert(0, plan_with_cost(1, [1.0; 4], 1_000_000, 100, Some(10)));
+        cache.insert(1, plan_with_cost(2, [1.0; 4], 1_000_000, 100, None));
+        now.store(100, Ordering::SeqCst);
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, 1);
     }
 }

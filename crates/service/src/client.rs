@@ -28,11 +28,44 @@ pub struct PlanReply {
     pub rounds: usize,
 }
 
+/// How [`Client::plan_with_retry`] behaves when the daemon sheds load.
+///
+/// On a `busy` frame the client sleeps and retries: the delay starts at
+/// the frame's `retry_after_ms` hint when present (the daemon knows its
+/// backlog) or `base_delay_ms` otherwise, doubles per consecutive busy
+/// reply (exponential backoff), and is capped at `max_delay_ms`.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up and returning the busy error.
+    pub max_attempts: u32,
+    /// First-retry delay when the daemon sent no hint.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 8, base_delay_ms: 10, max_delay_ms: 2_000 }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based), honoring the
+    /// daemon's hint: the hint (or the base) scaled by `2^attempt`, capped.
+    pub fn delay_ms(&self, attempt: u32, hint_ms: Option<u64>) -> u64 {
+        let base = hint_ms.unwrap_or(self.base_delay_ms).max(1);
+        base.saturating_mul(1u64 << attempt.min(20)).min(self.max_delay_ms)
+    }
+}
+
 /// One connection to a `hap-serve` daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Busy frames absorbed by `plan_with_retry` so far.
+    busy_retries: u64,
 }
 
 impl Client {
@@ -40,7 +73,13 @@ impl Client {
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1, busy_retries: 0 })
+    }
+
+    /// Busy frames this connection has retried through (observability for
+    /// tests and the CLI).
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
     }
 
     fn round_trip(&mut self, mut fields: Vec<(&str, Value)>) -> Result<Value, WireError> {
@@ -78,12 +117,36 @@ impl Client {
         cluster: &ClusterSpec,
         options: &HapOptions,
     ) -> Result<PlanReply, WireError> {
-        let v = self.round_trip(vec![
+        self.plan_with_ttl(graph, cluster, options, None)
+    }
+
+    /// [`Client::plan`] with a cache TTL request: the daemon expires the
+    /// synthesized plan `ttl_ms` milliseconds after caching it.
+    pub fn plan_with_ttl(
+        &mut self,
+        graph: &Graph,
+        cluster: &ClusterSpec,
+        options: &HapOptions,
+        ttl_ms: Option<u64>,
+    ) -> Result<PlanReply, WireError> {
+        let mut fields = vec![
             ("op", Value::Str("plan".into())),
             ("graph", graph.encode()),
             ("cluster", cluster.encode()),
             ("options", options.encode()),
-        ])?;
+        ];
+        if let Some(ms) = ttl_ms {
+            // Fail cleanly instead of hitting the codec's exact-integer
+            // assert (the daemon would reject it anyway).
+            if ms > crate::server::MAX_TTL_MS {
+                return Err(WireError::new(
+                    "decode",
+                    format!("ttl_ms {ms} exceeds the maximum {}", crate::server::MAX_TTL_MS),
+                ));
+            }
+            fields.push(("ttl_ms", Value::int(ms)));
+        }
+        let v = self.round_trip(fields)?;
         let fingerprint = parse_fingerprint(
             v.field("fingerprint").and_then(|x| x.as_str()).map_err(WireError::from)?,
         )
@@ -104,6 +167,32 @@ impl Client {
                 .map_err(WireError::from)?,
             rounds: plan.field("rounds").and_then(|x| x.as_usize()).map_err(WireError::from)?,
         })
+    }
+
+    /// [`Client::plan`] that rides out daemon overload: `busy` frames are
+    /// retried with exponential backoff honoring the daemon's
+    /// `retry_after_ms` hint (see [`RetryPolicy`]). Any other error — and
+    /// busy persisting past `max_attempts` — is returned as-is.
+    pub fn plan_with_retry(
+        &mut self,
+        graph: &Graph,
+        cluster: &ClusterSpec,
+        options: &HapOptions,
+        ttl_ms: Option<u64>,
+        policy: &RetryPolicy,
+    ) -> Result<PlanReply, WireError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.plan_with_ttl(graph, cluster, options, ttl_ms) {
+                Err(e) if e.is_busy() && attempt + 1 < policy.max_attempts => {
+                    let delay = policy.delay_ms(attempt, e.retry_after_ms);
+                    self.busy_retries += 1;
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Fetches the daemon's counters.

@@ -31,24 +31,44 @@
 //!   preserved up to exact cost ties — a seed can only be returned when
 //!   it ties the cold optimum within the search epsilon. Disable with
 //!   [`ServiceConfig::warm_neighbors`] for strict history-independence.
-//! * **Disk persistence** — an append-only log of cache entries,
-//!   compacted on boot, so the cache survives daemon restarts.
+//! * **Cost-aware cache admission** — entries carry their measured
+//!   synthesis time and canonical size; a full shard only admits a
+//!   candidate whose synthesis-seconds-saved-per-byte density is at least
+//!   the LRU victim's, so one-off floods cannot evict the hot working set
+//!   ([`CachePolicy`]; off = plain LRU).
+//! * **TTL expiry** — per-request (`"ttl_ms"`) or config-default TTLs
+//!   expire plans for decommissioned clusters; expired entries are never
+//!   served, never seed warm starts, and drop out at compaction.
+//! * **Queue-depth admission control** — a bounded synthesis backlog
+//!   sheds new distinct requests with a typed `busy` frame carrying
+//!   `retry_after_ms`; duplicates still coalesce (they add no load).
+//!   [`Client::plan_with_retry`] backs off exponentially, honoring the
+//!   hint.
+//! * **Disk persistence** — a versioned append-only log of cache entries
+//!   (`{"v":2,...}`; PR-4-era unversioned lines still load), compacted on
+//!   boot, so the cache survives daemon restarts.
 //! * **Stats** — a `stats` request exposes hit/miss/coalesced/eviction/
-//!   in-flight counters.
+//!   shed/admission-rejected/expired/in-flight counters.
+//! * **Stress tooling** — [`testing`] generates seeded adversarial tenant
+//!   mixes (hot set + one-off flood + duplicate bursts); the overload
+//!   harness (`tests/overload.rs`, CI `service-soak`) drives them over
+//!   real sockets.
 //!
 //! # Protocol
 //!
 //! Requests (one JSON object per line):
 //!
 //! ```text
-//! {"op":"plan","id":1,"graph":{...},"cluster":{...},"options":{...}}
+//! {"op":"plan","id":1,"graph":{...},"cluster":{...},"options":{...},"ttl_ms":60000}
 //! {"op":"stats","id":2}
 //! {"op":"shutdown","id":3}
 //! ```
 //!
-//! Responses carry the request `id`, `"ok":true|false`, and either a
-//! payload (`plan` + `fingerprint` + `source`, or `stats`) or an `error`
-//! frame `{"kind":...,"message":...}` transporting the daemon-side error.
+//! (`ttl_ms` is optional.) Responses carry the request `id`,
+//! `"ok":true|false`, and either a payload (`plan` + `fingerprint` +
+//! `source`, or `stats`) or an `error` frame `{"kind":...,"message":...}`
+//! transporting the daemon-side error — overload sheds as
+//! `{"kind":"busy","message":...,"retry_after_ms":N}`.
 //!
 //! # Examples
 //!
@@ -70,7 +90,8 @@
 mod cache;
 mod client;
 mod server;
+pub mod testing;
 
-pub use cache::{cluster_features, CachedPlan, PlanCache};
-pub use client::{Client, PlanReply};
-pub use server::{PlanService, PlanSource, Server, ServiceConfig, StatsSnapshot};
+pub use cache::{cluster_features, Admission, CachePolicy, CachedPlan, PlanCache};
+pub use client::{Client, PlanReply, RetryPolicy};
+pub use server::{PlanService, PlanSource, Server, ServiceConfig, StatsSnapshot, MAX_TTL_MS};

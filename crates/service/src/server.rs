@@ -19,7 +19,7 @@ use hap_graph::Graph;
 use mini_rayon::ThreadPool;
 
 use crate::cache::{
-    cluster_features, compact_log, load_cache, persist_line, CachedPlan, PlanCache,
+    cluster_features, compact_log, load_cache, persist_line, CachePolicy, CachedPlan, PlanCache,
 };
 
 /// Daemon configuration.
@@ -35,6 +35,18 @@ pub struct ServiceConfig {
     pub cache_path: Option<PathBuf>,
     /// Seed cache misses from the nearest cached cluster's plan.
     pub warm_neighbors: bool,
+    /// Gate cache admission on synthesis-seconds-saved-per-byte (see
+    /// [`CachePolicy::admission`]); off = the PR-4 plain LRU.
+    pub cache_admission: bool,
+    /// Default TTL (milliseconds) for cached plans that carry no
+    /// per-request `ttl_ms`; `None` = cached plans never expire.
+    pub default_ttl_ms: Option<u64>,
+    /// Maximum queued (not yet running) syntheses before new requests are
+    /// shed with a `busy` frame. `0` = unbounded (the PR-4 behavior).
+    pub max_queue_depth: usize,
+    /// Base of the `retry_after_ms` hint in `busy` frames; the hint scales
+    /// with the observed queue depth.
+    pub busy_retry_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -45,8 +57,35 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             cache_path: None,
             warm_neighbors: true,
+            cache_admission: true,
+            default_ttl_ms: None,
+            max_queue_depth: 256,
+            busy_retry_ms: 25,
         }
     }
+}
+
+/// Upper bound on a request's cache TTL: 90 days, in milliseconds.
+///
+/// The bound is a protocol invariant, not just a sanity check: the codec's
+/// `Value::int` only represents integers up to 2^53 exactly (JSON numbers
+/// are f64), and a TTL is persisted in *nanoseconds* — 90 days is
+/// ~7.8e15 ns, comfortably inside the exact range, while an unchecked
+/// wire `ttl_ms` times 1e6 could blow past it and panic the encoder. Both
+/// the daemon (reject) and [`crate::Client`] (refuse to send) enforce it.
+pub const MAX_TTL_MS: u64 = 90 * 24 * 60 * 60 * 1000;
+
+/// Ceiling on the `retry_after_ms` hint in busy frames (5 minutes): the
+/// hint scales with the observed backlog and the configured base, and an
+/// operator-supplied giant `--busy-retry-ms` must not overflow the
+/// codec's exact-integer range while shedding — overload protection that
+/// panics under overload protects nothing.
+const MAX_RETRY_HINT_MS: u64 = 300_000;
+
+/// The (clamped) retry hint for a shed request observing `depth` queued
+/// jobs.
+fn busy_hint_ms(base_ms: u64, depth: usize) -> u64 {
+    base_ms.max(1).saturating_mul((depth as u64).saturating_add(1)).min(MAX_RETRY_HINT_MS)
 }
 
 /// Counters exposed by the `stats` request. `in_flight` and `entries` are
@@ -71,6 +110,12 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Syntheses currently running or queued.
     pub in_flight: u64,
+    /// Requests shed with a `busy` frame (queue-depth admission control).
+    pub shed: u64,
+    /// Synthesized plans the cache's admission gate declined to store.
+    pub admission_rejected: u64,
+    /// Cache entries reclaimed by TTL expiry.
+    pub expired: u64,
 }
 
 impl Encode for StatsSnapshot {
@@ -85,12 +130,21 @@ impl Encode for StatsSnapshot {
             ("warm_seeded", Value::int(self.warm_seeded)),
             ("errors", Value::int(self.errors)),
             ("in_flight", Value::int(self.in_flight)),
+            ("shed", Value::int(self.shed)),
+            ("admission_rejected", Value::int(self.admission_rejected)),
+            ("expired", Value::int(self.expired)),
         ])
     }
 }
 
 impl Decode for StatsSnapshot {
     fn decode(v: &Value) -> Result<Self, hap_codec::CodecError> {
+        // The overload counters postdate PR 4; a stats frame from an older
+        // daemon simply reports them as zero.
+        let lenient = |key: &str| match v.get(key) {
+            None => Ok(0),
+            Some(x) => x.as_u64(),
+        };
         Ok(StatsSnapshot {
             entries: v.field("entries")?.as_u64()?,
             hits: v.field("hits")?.as_u64()?,
@@ -101,6 +155,9 @@ impl Decode for StatsSnapshot {
             warm_seeded: v.field("warm_seeded")?.as_u64()?,
             errors: v.field("errors")?.as_u64()?,
             in_flight: v.field("in_flight")?.as_u64()?,
+            shed: lenient("shed")?,
+            admission_rejected: lenient("admission_rejected")?,
+            expired: lenient("expired")?,
         })
     }
 }
@@ -113,6 +170,7 @@ struct Counters {
     synthesized: AtomicU64,
     warm_seeded: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// How a plan response was produced.
@@ -143,6 +201,10 @@ struct Job {
     graph: Value,
     cluster: Value,
     options: Value,
+    /// Requested cache TTL for the synthesized plan. Requests fingerprint
+    /// on `(graph, cluster, options)` only, so concurrent duplicates with
+    /// different `ttl_ms` coalesce — the leader's TTL wins.
+    ttl_ms: Option<u64>,
     slot: Slot,
 }
 
@@ -185,7 +247,11 @@ impl PlanService {
     /// wave-parallel A\* fans out over the vendored mini-rayon pool in
     /// turn (`options.synth.threads`).
     pub fn new(config: ServiceConfig) -> Result<Self, WireError> {
-        let cache = PlanCache::new(config.cache_capacity);
+        let policy = CachePolicy {
+            admission: config.cache_admission,
+            default_ttl: config.default_ttl_ms.map(std::time::Duration::from_millis),
+        };
+        let cache = PlanCache::with_policy(config.cache_capacity, policy);
         let mut persist = None;
         if let Some(path) = &config.cache_path {
             load_cache(&cache, path).map_err(WireError::from)?;
@@ -242,7 +308,30 @@ impl PlanService {
                 let fetch = |key: &str| v.field(key).cloned().map_err(|e| (id, WireError::from(e)));
                 let (graph, cluster, options) =
                     (fetch("graph")?, fetch("cluster")?, fetch("options")?);
-                let (source, fp, result) = self.plan_values(&graph, &cluster, &options);
+                // Optional cache-lifetime request: how long the synthesized
+                // plan should stay valid (a tenant planning for a cluster
+                // it is about to decommission bounds its own footprint).
+                let ttl_ms = match v.get("ttl_ms") {
+                    None | Some(Value::Null) => None,
+                    Some(ms) => {
+                        let ms = ms.as_u64().map_err(|e| (id, WireError::from(e)))?;
+                        // Reject before any work: an unbounded TTL times
+                        // 1e6 (ns) would leave the codec's exact-integer
+                        // range and panic the persisting worker.
+                        if ms > MAX_TTL_MS {
+                            return Err((
+                                id,
+                                WireError::new(
+                                    "decode",
+                                    format!("ttl_ms {ms} exceeds the maximum {MAX_TTL_MS}"),
+                                ),
+                            ));
+                        }
+                        Some(ms)
+                    }
+                };
+                let (source, fp, result) =
+                    self.plan_values_with_ttl(&graph, &cluster, &options, ttl_ms);
                 let plan = result.map_err(|e| (id, e))?;
                 Ok((plan_frame(id, fp, source, &plan), false))
             }
@@ -269,6 +358,17 @@ impl PlanService {
         graph: &Value,
         cluster: &Value,
         options: &Value,
+    ) -> (PlanSource, u64, PlanResult) {
+        self.plan_values_with_ttl(graph, cluster, options, None)
+    }
+
+    /// [`PlanService::plan_values`] with a per-request cache TTL.
+    pub fn plan_values_with_ttl(
+        &self,
+        graph: &Value,
+        cluster: &Value,
+        options: &Value,
+        ttl_ms: Option<u64>,
     ) -> (PlanSource, u64, PlanResult) {
         let inner = &self.inner;
         let fp = request_fingerprint_values(graph, cluster, options);
@@ -309,6 +409,7 @@ impl PlanService {
                 graph: graph.clone(),
                 cluster: cluster.clone(),
                 options: options.clone(),
+                ttl_ms,
                 slot: slot.clone(),
             };
             let (queue, cvar) = &inner.queue;
@@ -316,6 +417,20 @@ impl PlanService {
             if state.shutdown {
                 drop(state);
                 let err = WireError::new("shutdown", "service is shutting down");
+                finish(inner, fp, &slot, Err(err.clone()));
+                return (PlanSource::Synthesized, fp, Err(err));
+            }
+            // Queue-depth admission control: a full backlog sheds the
+            // *leader* (coalescers above never add work, so they always
+            // join). The busy frame is published through the slot so any
+            // duplicate that raced onto it wakes with the same answer, and
+            // the retry hint grows with the observed backlog.
+            let cap = inner.config.max_queue_depth;
+            if cap > 0 && state.jobs.len() >= cap {
+                let depth = state.jobs.len();
+                drop(state);
+                let err = WireError::busy(busy_hint_ms(inner.config.busy_retry_ms, depth), depth);
+                inner.counters.shed.fetch_add(1, Ordering::Relaxed);
                 finish(inner, fp, &slot, Err(err.clone()));
                 return (PlanSource::Synthesized, fp, Err(err));
             }
@@ -346,6 +461,9 @@ impl PlanService {
             warm_seeded: inner.counters.warm_seeded.load(Ordering::Relaxed),
             errors: inner.counters.errors.load(Ordering::Relaxed),
             in_flight: inner.inflight.lock().expect("inflight map poisoned").len() as u64,
+            shed: inner.counters.shed.load(Ordering::Relaxed),
+            admission_rejected: inner.cache.rejected(),
+            expired: inner.cache.expired(),
         }
     }
 
@@ -394,34 +512,45 @@ fn worker_loop(inner: &Arc<Inner>) {
 fn execute(inner: &Arc<Inner>, job: &Job) {
     let result = synthesize_job(inner, job);
     if let Ok(plan) = &result {
-        inner.cache.insert(job.fp, plan.clone());
         inner.counters.synthesized.fetch_add(1, Ordering::Relaxed);
-        if let Some(persist) = &inner.persist {
-            let mut file = persist.lock().expect("persistence file poisoned");
-            // Persistence is best-effort at runtime (the log compacts on
-            // the next boot); a full disk must not take the daemon down.
-            let _ = writeln!(file, "{}", persist_line(job.fp, plan));
-            let _ = file.flush();
+        let verdict = inner.cache.insert(job.fp, plan.clone());
+        // A plan the admission gate declined is still *returned* (the
+        // requester paid for it); it is just not cached or persisted.
+        if !matches!(verdict, crate::cache::Admission::Rejected { .. }) {
+            if let Some(persist) = &inner.persist {
+                let mut file = persist.lock().expect("persistence file poisoned");
+                // Persistence is best-effort at runtime (the log compacts
+                // on the next boot); a full disk must not take the daemon
+                // down.
+                let _ = writeln!(file, "{}", persist_line(job.fp, plan));
+                let _ = file.flush();
+            }
         }
     }
     finish(inner, job.fp, &job.slot, result);
 }
 
-/// Publishes a result to a slot's waiters, then retires the in-flight
-/// entry. Order matters: successful plans are already in the cache by the
-/// time the entry disappears, so a request can never miss both.
+/// Retires the in-flight entry, then publishes a result to the slot's
+/// waiters. Both orderings are safe for correctness — a successful plan is
+/// already in the cache before `finish` runs, so a request that misses the
+/// retired entry hits the cache, and an error result simply makes the next
+/// identical request a fresh leader — but retiring *first* means that by
+/// the time any waiter observes its reply the `in_flight` gauge has
+/// already dropped, so stats never report a completed request as still in
+/// flight.
 fn finish(inner: &Inner, fp: u64, slot: &Slot, result: PlanResult) {
-    {
-        let (lock, cvar) = &**slot;
-        let mut state = lock.lock().expect("slot poisoned");
-        state.result = Some(result);
-        cvar.notify_all();
-    }
     inner.inflight.lock().expect("inflight map poisoned").remove(&fp);
+    let (lock, cvar) = &**slot;
+    let mut state = lock.lock().expect("slot poisoned");
+    state.result = Some(result);
+    cvar.notify_all();
 }
 
-/// Decode, warm-start lookup, synthesis.
+/// Decode, warm-start lookup, synthesis. The elapsed wall time of the
+/// whole job (decode included — a hit saves that too) becomes the entry's
+/// `synthesis_nanos`, the numerator of the cache's admission density.
 fn synthesize_job(inner: &Inner, job: &Job) -> PlanResult {
+    let started = std::time::Instant::now();
     let graph = Graph::decode(&job.graph).map_err(WireError::from)?;
     let cluster = ClusterSpec::decode(&job.cluster).map_err(WireError::from)?;
     let options = HapOptions::decode(&job.options).map_err(WireError::from)?;
@@ -441,7 +570,7 @@ fn synthesize_job(inner: &Inner, job: &Job) -> PlanResult {
 
     let plan = parallelize_with_warm(&graph, &cluster, &options, warm_program)
         .map_err(|e| WireError::from(&e))?;
-    Ok(Arc::new(CachedPlan {
+    let mut cached = CachedPlan {
         estimated_time: plan.estimated_time,
         rounds: plan.rounds,
         program: plan.program,
@@ -449,7 +578,15 @@ fn synthesize_job(inner: &Inner, job: &Job) -> PlanResult {
         graph_fp,
         opts_fp,
         features,
-    }))
+        synthesis_nanos: started.elapsed().as_nanos() as u64,
+        size_bytes: 0,
+        // The wire layer already rejects ttl_ms > MAX_TTL_MS; the clamp
+        // covers in-process callers of `plan_values_with_ttl` so an
+        // oversized TTL can never reach the (2^53-exact) record encoder.
+        ttl_nanos: job.ttl_ms.map(|ms| ms.min(MAX_TTL_MS).saturating_mul(1_000_000)),
+    };
+    cached.size_bytes = cached.measure_size();
+    Ok(Arc::new(cached))
 }
 
 /// `{"id":N,"ok":false,"error":{...}}`.
@@ -585,5 +722,40 @@ fn handle_connection(stream: TcpStream, service: &Arc<PlanService>, stop: &Arc<A
             }
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_hint_scales_with_depth_and_clamps() {
+        assert_eq!(busy_hint_ms(25, 0), 25);
+        assert_eq!(busy_hint_ms(25, 3), 100);
+        // A zero base still produces a nonzero hint.
+        assert_eq!(busy_hint_ms(0, 0), 1);
+        // Operator-sized bases and saturating depths clamp instead of
+        // overflowing the codec's exact-integer range.
+        assert_eq!(busy_hint_ms(u64::MAX, 7), MAX_RETRY_HINT_MS);
+        assert_eq!(busy_hint_ms(1, usize::MAX), MAX_RETRY_HINT_MS);
+        // Both bounds stay inside the codec's exact-integer range.
+        const { assert!(MAX_RETRY_HINT_MS < (1 << 53)) };
+        const { assert!(MAX_TTL_MS * 1_000_000 < (1 << 53)) };
+    }
+
+    #[test]
+    fn oversized_ttl_is_rejected_before_any_work() {
+        let service = PlanService::new(ServiceConfig::default()).unwrap();
+        let line = format!(
+            "{{\"op\":\"plan\",\"id\":6,\"graph\":null,\"cluster\":null,\"options\":null,\
+             \"ttl_ms\":{}}}",
+            MAX_TTL_MS + 1
+        );
+        let (response, _) = service.handle_line(&line);
+        assert!(response.contains("\"ok\":false"), "{response}");
+        assert!(response.contains("exceeds the maximum"), "{response}");
+        assert_eq!(service.stats().synthesized, 0, "rejected before synthesis");
+        service.stop();
     }
 }

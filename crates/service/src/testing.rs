@@ -1,0 +1,291 @@
+//! Deterministic multi-tenant traffic generation for stress-testing the
+//! plan service.
+//!
+//! The overload harness (`tests/overload.rs`, CI's `service-soak` job)
+//! needs adversarial tenant mixes whose *shape* is reproducible from a
+//! seed while every request stays a real, synthesizable planning request.
+//! This module builds three request families and a seeded scheduler over
+//! them:
+//!
+//! * **Hot set** ([`hot_request`]) — small graphs searched with a real
+//!   (bounded, deterministic) A\* budget: expensive to synthesize, small
+//!   to cache. High admission density; the working set a healthy cache
+//!   must retain.
+//! * **One-off flood** ([`one_off_request`]) — deep forward-only chains
+//!   planned greedily (zero time budget): cheap to synthesize, bulky to
+//!   cache. Low admission density; classic cache-pollution traffic that
+//!   evicts a plain LRU's working set and must bounce off the admission
+//!   gate.
+//! * **Slow burner** ([`slow_request`]) — one deliberately expensive
+//!   request that parks a worker long enough for the harness to provoke
+//!   queue-depth shedding behind it.
+//!
+//! Determinism: request *content* is a pure function of the index (so
+//! fingerprints, densities and shard placement are fixed across runs and
+//! seeds), and only the interleaving [`schedule`] is seeded. A schedule
+//! driven sequentially over one connection therefore produces the same
+//! cache decisions for a given seed, and admission-gate outcomes hold for
+//! *every* seed because they depend on the density gap, not the order.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use hap::HapOptions;
+use hap_cluster::ClusterSpec;
+use hap_codec::{request_fingerprint, Encode};
+use hap_graph::{Graph, GraphBuilder};
+use hap_models::{mlp, MlpConfig};
+use hap_synthesis::SynthConfig;
+
+use crate::{Client, PlanCache, PlanReply, RetryPolicy};
+
+/// One fully-formed planning request.
+pub struct StressRequest {
+    /// Label used in harness diagnostics.
+    pub name: String,
+    /// The training (or forward) graph to plan.
+    pub graph: Graph,
+    /// The cluster to plan for.
+    pub cluster: ClusterSpec,
+    /// Planner options.
+    pub options: HapOptions,
+}
+
+impl StressRequest {
+    /// The request's content fingerprint — its cache key.
+    pub fn fingerprint(&self) -> u64 {
+        request_fingerprint(&self.graph, &self.cluster, &self.options)
+    }
+}
+
+/// Hot-set request `i`: a small MLP trained with a bounded deterministic
+/// A\* search. The expansion budget is fixed and the stall cutoff and
+/// wall-clock deadline are disabled, so the search does the same work
+/// every run — synthesis is tens of milliseconds, the cached plan is a
+/// couple of KB, and the density (seconds saved per byte) is orders of
+/// magnitude above a one-off's.
+pub fn hot_request(i: usize) -> StressRequest {
+    // Indirection over the raw parameter seed: fingerprints are content
+    // hashes, so which cache shard a request lands in is fixed but
+    // arbitrary, and two neighboring seeds can collide. These eight seeds
+    // were chosen so the first eight hot requests occupy eight *distinct*
+    // shards — the retention harness can size its cache to exactly the
+    // hot set. `hot_set_fits` re-checks at runtime, so codec or model
+    // drift fails loudly rather than flakily.
+    const SEEDS: [usize; 8] = [0, 1, 2, 4, 5, 6, 7, 8];
+    // Blocks step by 9 (one past the table's largest value), so indices in
+    // different blocks can never produce the same seed — e.g. with a
+    // block stride of 8, `i=7` (seed 8) and `i=8` (seed 0+8) would alias
+    // into identical requests.
+    let seed = SEEDS[i % SEEDS.len()] + (i / SEEDS.len()) * (SEEDS[SEEDS.len() - 1] + 1);
+    let graph = mlp(&MlpConfig {
+        batch: 256,
+        input: 24 + 8 * seed,
+        hidden: vec![48 + 16 * (seed % 3), 64],
+        classes: 10,
+    });
+    let options = HapOptions {
+        synth: SynthConfig {
+            max_expansions: 768,
+            stall_expansions: 1 << 30,
+            time_budget_secs: 600.0,
+            ..SynthConfig::default()
+        },
+        ..HapOptions::default()
+    };
+    StressRequest {
+        name: format!("hot-{i}"),
+        graph,
+        cluster: ClusterSpec::fig17_cluster(),
+        options,
+    }
+}
+
+/// One-off flood request `i`: a deep element-wise forward chain planned
+/// greedily (`time_budget_secs: 0`). Synthesis is a few milliseconds, but
+/// the plan carries one instruction per node — cheap to make, bulky to
+/// keep, never requested twice. The admission gate must turn these away
+/// when the cache is full of hot-set plans.
+pub fn one_off_request(i: usize) -> StressRequest {
+    let mut g = GraphBuilder::new();
+    let width = 8 + (i % 5);
+    // The batch extent carries the raw index, so every one-off is a
+    // genuinely distinct graph (distinct fingerprint — never a repeat),
+    // while all of them share the cheap/bulky profile.
+    let mut cur = g.placeholder("x", vec![64 + i, width]);
+    let depth = 48 + (i % 7) * 4;
+    for layer in 0..depth {
+        cur = match layer % 3 {
+            0 => g.relu(cur),
+            1 => g.layer_norm(cur),
+            _ => g.add(cur, cur),
+        };
+    }
+    let _loss = g.sum_all(cur);
+    let graph = g.build_forward();
+    let options = HapOptions {
+        synth: SynthConfig { time_budget_secs: 0.0, ..SynthConfig::default() },
+        ..HapOptions::default()
+    };
+    StressRequest {
+        name: format!("one-off-{i}"),
+        graph,
+        cluster: ClusterSpec::fig17_cluster(),
+        options,
+    }
+}
+
+/// A request whose synthesis reliably takes long enough (hundreds of
+/// milliseconds) to occupy a worker while the harness floods the queue
+/// behind it.
+pub fn slow_request(i: usize) -> StressRequest {
+    let graph =
+        mlp(&MlpConfig { batch: 512, input: 64 + i, hidden: vec![96, 96, 96], classes: 16 });
+    let options = HapOptions {
+        synth: SynthConfig {
+            max_expansions: 6_000,
+            stall_expansions: 1 << 30,
+            time_budget_secs: 600.0,
+            ..SynthConfig::default()
+        },
+        ..HapOptions::default()
+    };
+    StressRequest {
+        name: format!("slow-{i}"),
+        graph,
+        cluster: ClusterSpec::fig17_cluster(),
+        options,
+    }
+}
+
+/// One step of a stress schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StressOp {
+    /// Request hot-set entry `i` (a repeat after warmup should hit).
+    Hot(usize),
+    /// Request one-off flood entry `i` (never repeated).
+    OneOff(usize),
+}
+
+/// A seeded interleaving of `repeats` passes over `hot_n` hot requests
+/// with `flood_n` one-offs scattered between them. Only the *order* is
+/// seeded; the set of operations is fixed by the counts, so aggregate
+/// properties (every hot entry requested `repeats` times, every one-off
+/// once) hold for every seed.
+pub fn schedule(seed: u64, hot_n: usize, repeats: usize, flood_n: usize) -> Vec<StressOp> {
+    let mut ops = Vec::with_capacity(hot_n * repeats + flood_n);
+    for r in 0..repeats {
+        for h in 0..hot_n {
+            // Vary hot order per round so rounds are not lockstep.
+            ops.push(StressOp::Hot((h + r) % hot_n));
+        }
+    }
+    for f in 0..flood_n {
+        ops.push(StressOp::OneOff(f));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Fisher–Yates (the vendored rand shim has no `SliceRandom`).
+    for i in (1..ops.len()).rev() {
+        let j = rng.random_range(0..=i);
+        ops.swap(i, j);
+    }
+    ops
+}
+
+/// True when the hot set `0..hot_n` fits the cache's per-shard budget —
+/// i.e. no cache shard would have to hold more hot fingerprints than its
+/// budget. Harnesses assert this before asserting retention, so a model
+/// change that reshuffles fingerprints fails loudly instead of flakily.
+pub fn hot_set_fits(hot_n: usize, cache_capacity: usize) -> bool {
+    let cache = PlanCache::new(cache_capacity);
+    let mut per_shard = std::collections::HashMap::new();
+    for i in 0..hot_n {
+        *per_shard.entry(PlanCache::shard_of(hot_request(i).fingerprint())).or_insert(0usize) += 1;
+    }
+    per_shard.values().all(|&n| n <= cache.shard_budget())
+}
+
+/// The bit-level identity of a plan reply: program fingerprint,
+/// estimated-time bits, ratio bits. Two replies for the same request must
+/// compare equal no matter which path (cold, cache, coalesced, restart)
+/// produced them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplyBits {
+    /// `DistProgram::fingerprint()` of the returned program.
+    pub program_fp: u64,
+    /// `estimated_time.to_bits()`.
+    pub time_bits: u64,
+    /// Per-segment ratio rows, bit-cast.
+    pub ratio_bits: Vec<Vec<u64>>,
+}
+
+impl ReplyBits {
+    /// Extracts the identity from a reply.
+    pub fn of(reply: &PlanReply) -> ReplyBits {
+        ReplyBits {
+            program_fp: reply.program.fingerprint(),
+            time_bits: reply.estimated_time.to_bits(),
+            ratio_bits: reply
+                .ratios
+                .iter()
+                .map(|row| row.iter().map(|b| b.to_bits()).collect())
+                .collect(),
+        }
+    }
+}
+
+/// The outcome of one schedule step.
+pub struct StepOutcome {
+    /// The step that ran.
+    pub op: StressOp,
+    /// `cache` / `synthesized` / `coalesced`.
+    pub source: String,
+    /// Bit identity of the returned plan.
+    pub bits: ReplyBits,
+}
+
+/// Drives a schedule sequentially over one connection (deterministic
+/// order), retrying through busy frames. Panics on any non-busy error —
+/// stress traffic is all well-formed.
+pub fn drive_sequential(
+    addr: std::net::SocketAddr,
+    ops: &[StressOp],
+    retry: &RetryPolicy,
+) -> Vec<StepOutcome> {
+    let mut client = Client::connect(addr).expect("stress client connect");
+    ops.iter()
+        .map(|&op| {
+            let req = match op {
+                StressOp::Hot(i) => hot_request(i),
+                StressOp::OneOff(i) => one_off_request(i),
+            };
+            let reply = client
+                .plan_with_retry(&req.graph, &req.cluster, &req.options, None, retry)
+                .unwrap_or_else(|e| panic!("{}: {e}", req.name));
+            StepOutcome { op, source: reply.source.clone(), bits: ReplyBits::of(&reply) }
+        })
+        .collect()
+}
+
+/// Hot-set cache hit rate over a run: the fraction of `Hot` steps
+/// answered from the cache.
+pub fn hot_hit_rate(outcomes: &[StepOutcome]) -> f64 {
+    let hot: Vec<_> = outcomes.iter().filter(|o| matches!(o.op, StressOp::Hot(_))).collect();
+    if hot.is_empty() {
+        return 0.0;
+    }
+    hot.iter().filter(|o| o.source == "cache").count() as f64 / hot.len() as f64
+}
+
+/// The canonical request line for a stress request (the service-level
+/// entry benches and in-process tests feed to `handle_line`).
+pub fn request_line(req: &StressRequest, id: u64) -> String {
+    hap_codec::Value::obj(vec![
+        ("op", hap_codec::Value::Str("plan".into())),
+        ("id", hap_codec::Value::int(id)),
+        ("graph", req.graph.encode()),
+        ("cluster", req.cluster.encode()),
+        ("options", req.options.encode()),
+    ])
+    .render()
+}

@@ -209,6 +209,26 @@ mod tests {
     }
 
     #[test]
+    fn simulated_timelines_are_bit_identical_across_reruns() {
+        // Regression pin for the PropSet port of the executor's dedup
+        // structure (and any future bookkeeping change): the discrete-event
+        // timeline is pure f64 arithmetic over the program and must not
+        // move by a bit between runs, graph rebuilds, or noise seeds.
+        let (graph, q, devices, ratios) = setup();
+        let net = GroundTruthNet::new(NetworkParams::paper_cloud());
+        let opts = SimOptions { noise: 0.03, seed: 11, ..SimOptions::default() };
+        let a = simulate_time(&graph, &q, &devices, &net, &ratios, &opts);
+        let (graph2, _, _, _) = setup();
+        let b = simulate_time(&graph2, &q, &devices, &net, &ratios, &opts);
+        assert_eq!(a.iteration_time.to_bits(), b.iteration_time.to_bits());
+        assert_eq!(a.comm_time.to_bits(), b.comm_time.to_bits());
+        assert_eq!(a.stages, b.stages);
+        for (ca, cb) in a.compute_time.iter().zip(b.compute_time.iter()) {
+            assert_eq!(ca.to_bits(), cb.to_bits());
+        }
+    }
+
+    #[test]
     fn stage_count_matches_program() {
         let (graph, q, devices, ratios) = setup();
         let net = GroundTruthNet::new(NetworkParams::paper_cloud());

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use hap_balancer::round_shards;
 use hap_collectives::{all_gather, all_reduce, all_to_all, reduce_scatter};
 use hap_graph::{eval_single_device, Graph, NodeId, Op, Placement, Tensor};
-use hap_synthesis::{CollectiveInstr, DistInstr, DistProgram, ShardingRatios};
+use hap_synthesis::{CollectiveInstr, DistInstr, DistProgram, Prop, PropSet, ShardingRatios};
 
 /// Functional execution failures.
 #[derive(Debug)]
@@ -38,6 +38,49 @@ struct DistTensor {
     shards: Vec<Tensor>,
 }
 
+/// The executor's event-dedup structure: every produced
+/// `(node, placement)` pair, keyed through the synthesis crate's canonical
+/// [`PropSet`] (the same sorted-arena machinery the A\* interner and the
+/// baselines walker use — closing the ROADMAP "the simulator remains"
+/// item) with the tensor payloads in a parallel vector at the matching
+/// sorted index. Membership is one binary search; a node's placements are
+/// a contiguous [`PropSet::node_props`] slice, which also makes output
+/// reconstruction *deterministic* — the old `HashMap` picked whichever
+/// placement its randomized iteration order surfaced first.
+#[derive(Default)]
+struct DistValues {
+    keys: PropSet,
+    tensors: Vec<DistTensor>,
+}
+
+impl DistValues {
+    /// The tensor produced for `p`, if any.
+    fn get(&self, p: &Prop) -> Option<&DistTensor> {
+        self.keys.props().binary_search(p).ok().map(|idx| &self.tensors[idx])
+    }
+
+    /// Records `p -> t`, overwriting any earlier production (mirroring the
+    /// pre-port `HashMap::insert` semantics).
+    fn insert(&mut self, p: Prop, t: DistTensor) {
+        match self.keys.props().binary_search(&p) {
+            Ok(idx) => self.tensors[idx] = t,
+            Err(idx) => {
+                let inserted = self.keys.insert(p);
+                debug_assert!(inserted, "binary search said absent");
+                self.tensors.insert(idx, t);
+            }
+        }
+    }
+
+    /// The canonically-first placement produced for `node`, with its
+    /// tensor: the deterministic choice for output reconstruction.
+    fn first_for_node(&self, node: NodeId) -> Option<(Placement, &DistTensor)> {
+        let slice = self.keys.node_props(node);
+        let &(_, placement) = slice.first()?;
+        self.get(&(node, placement)).map(|t| (placement, t))
+    }
+}
+
 /// The reconstructed values of every produced (node, placement) pair.
 pub struct EquivReport {
     /// Per-output relative error: `max|dist - ref| / (1 + max|ref|)`.
@@ -62,7 +105,7 @@ pub fn execute_functional(
     ratios: &ShardingRatios,
     m: usize,
 ) -> Result<HashMap<NodeId, Tensor>, ExecError> {
-    let mut values: HashMap<(NodeId, Placement), DistTensor> = HashMap::new();
+    let mut values = DistValues::default();
     let row_for = |node: NodeId| -> &[f64] {
         let seg = graph.node(node).segment.min(ratios.len() - 1);
         &ratios[seg]
@@ -131,12 +174,12 @@ pub fn execute_functional(
         }
     }
 
-    // Reconstruct required outputs.
+    // Reconstruct required outputs from the canonically-first placement
+    // each node was produced under (deterministic; every placement of a
+    // correct program reconstructs the same value up to float rounding).
     let mut out = HashMap::new();
     for o in graph.required_outputs() {
-        let Some(((_, placement), dist)) =
-            values.iter().find(|((n, _), _)| *n == o).map(|(k, v)| (*k, v))
-        else {
+        let Some((placement, dist)) = values.first_for_node(o) else {
             continue;
         };
         let tensor = reconstruct(dist, placement, o, graph)?;
@@ -321,6 +364,77 @@ mod tests {
         let feeds = feeds_for(&graph, 1, 4);
         let err = execute_functional(&graph, &program, &feeds, &vec![vec![0.5, 0.5]], 2);
         assert!(matches!(err, Err(ExecError::MissingValue(_, _))));
+    }
+
+    #[test]
+    fn dist_values_dedup_matches_a_hashmap_reference() {
+        // The PropSet-backed structure must behave exactly like the
+        // pre-port HashMap for membership, overwrite, and lookup — walked
+        // over a pseudo-random op sequence covering collisions, repeats,
+        // and all placement kinds.
+        let marker = |v: f32| DistTensor { shards: vec![Tensor::ones(vec![1]).map(|_| v)] };
+        let value_of = |t: &DistTensor| t.shards[0].data()[0];
+        let mut ours = DistValues::default();
+        let mut reference: HashMap<(NodeId, Placement), f32> = HashMap::new();
+        let mut mix = 0xDEADBEEFu64;
+        for step in 0..4_000u32 {
+            mix = mix.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let node = (mix >> 8) as usize % 37;
+            let placement = match (mix >> 16) % 4 {
+                0 => Placement::Replicated,
+                1 => Placement::PartialSum,
+                d => Placement::Shard((d - 2) as usize),
+            };
+            if mix.is_multiple_of(3) {
+                let v = step as f32;
+                ours.insert((node, placement), marker(v));
+                reference.insert((node, placement), v);
+            } else {
+                let got = ours.get(&(node, placement)).map(value_of);
+                assert_eq!(got, reference.get(&(node, placement)).copied(), "step {step}");
+            }
+        }
+        // Full-membership sweep at the end.
+        for (&key, &v) in &reference {
+            assert_eq!(ours.get(&key).map(value_of), Some(v));
+        }
+        assert_eq!(ours.keys.len(), reference.len());
+    }
+
+    #[test]
+    fn execute_functional_is_bit_identical_across_runs() {
+        // The reconstruct path used to pick an arbitrary placement out of
+        // HashMap iteration order (randomized per process); the canonical
+        // PropSet slice makes output selection deterministic. Two
+        // independent executions must agree to the bit.
+        let build = || {
+            let mut g = GraphBuilder::new();
+            let x = g.placeholder("x", vec![16, 6]);
+            let w = g.parameter("w", vec![6, 4]);
+            let labels = g.label("y", vec![16]);
+            let h = g.matmul(x, w);
+            let loss = g.cross_entropy(h, labels);
+            g.build_training(loss).unwrap()
+        };
+        let graph = build();
+        let cluster = ClusterSpec::fig17_cluster();
+        let devices = cluster.virtual_devices(Granularity::PerGpu);
+        let profile =
+            profile_collectives(&GroundTruthNet::new(NetworkParams::paper_cloud()), devices.len());
+        let ratios = vec![cluster.proportional_ratios(Granularity::PerGpu)];
+        let q = synthesize(&graph, &devices, &profile, &ratios, &SynthConfig::default()).unwrap();
+        let feeds = feeds_for(&graph, 3, 4);
+        let a = execute_functional(&graph, &q, &feeds, &ratios, 4).unwrap();
+        let graph_b = build();
+        let b = execute_functional(&graph_b, &q, &feeds, &ratios, 4).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (node, ta) in &a {
+            let tb = &b[node];
+            assert_eq!(ta.shape().dims(), tb.shape().dims());
+            for (va, vb) in ta.data().iter().zip(tb.data().iter()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "output {node} drifted");
+            }
+        }
     }
 
     #[test]
