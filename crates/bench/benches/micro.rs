@@ -148,11 +148,18 @@ fn bench_expand_hot_path(c: &mut Criterion) {
     let workload = HotPathBench::new(graph, devices, profile, ratios, 256);
     let apps = workload.applications() as f64;
     assert_eq!(workload.run(true).1, workload.run(false).1, "table vs direct cost drift");
+    assert_eq!(workload.run(true).1, workload.run_arena().1, "arena vs allocating apply drift");
     c.bench_function_with_units("synthesis/expand_hot_path", apps, |bench| {
         bench.iter(|| black_box(workload.run(true)))
     });
     c.bench_function_with_units("synthesis/expand_hot_path_direct", apps, |bench| {
         bench.iter(|| black_box(workload.run(false)))
+    });
+    // The same inner loop through the recycling arena `expand` uses in
+    // production. A `ratio` line in bench_gates.ref holds it to within 10%
+    // of the allocating variant — state recycling must never cost.
+    c.bench_function_with_units("synthesis/expand_hot_path_arena", apps, |bench| {
+        bench.iter(|| black_box(workload.run_arena()))
     });
 }
 

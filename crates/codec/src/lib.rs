@@ -49,10 +49,14 @@
 
 mod json;
 mod record;
+mod stream;
 mod wire;
 
 pub use json::{parse, CodecError, Value};
 pub use record::{parse_persist_line, persist_line, CachedPlan, PERSIST_VERSION};
+pub use stream::{
+    encode_stream, is_stream_frame, stream_digest, StreamDecoder, StreamEvent, STREAM_CHUNK_BYTES,
+};
 pub use wire::{
     parse_fingerprint, render_fingerprint, request_fingerprint, request_fingerprint_values,
     value_fingerprint, Decode, Encode, WireError, BUSY_KIND,

@@ -1,0 +1,289 @@
+//! Chunked streaming of large response payloads.
+//!
+//! The plan service's line protocol puts one response per line, which
+//! means a synthesized program for a big graph arrives as one giant line
+//! the client must buffer whole before parsing. When a client advertises
+//! `"stream": true` on a `plan` request, the daemon instead sends the
+//! response payload as a sequence of small frames:
+//!
+//! ```text
+//! {"id":7,"chunk":0,"data":"<payload bytes 0..n>"}
+//! {"id":7,"chunk":1,"data":"<payload bytes n..m>"}
+//! ...
+//! {"id":7,"done":true,"chunks":K,"digest":"0x..."}
+//! ```
+//!
+//! The payload is the *canonical non-streamed response line* for the same
+//! request — streaming is pure transport framing, so a reassembled stream
+//! is byte-for-byte identical to what a non-streaming client would have
+//! received, and every downstream identity guarantee (fingerprints,
+//! bit-equal plans) carries over unchanged.
+//!
+//! Integrity: chunks carry explicit indices and the terminal frame pins
+//! the chunk count and an FNV-1a digest of the whole payload, so a
+//! reordered, duplicated, truncated, or corrupted stream fails loudly in
+//! [`StreamDecoder::feed`] instead of yielding a silently wrong plan.
+//! Error responses are never streamed (they are small, and a client must
+//! be able to fail fast), so a streaming client must accept either a
+//! chunk frame or a plain response line — [`is_stream_frame`] tells them
+//! apart.
+
+use hap_synthesis::fingerprint::{fnv1a_bytes, FNV_OFFSET};
+
+use crate::json::{CodecError, Value};
+use crate::wire::{parse_fingerprint, render_fingerprint};
+
+/// Default chunk payload size in bytes. Small enough to bound the
+/// receiver's per-read allocation, large enough that framing overhead
+/// (~40 bytes/frame) is noise.
+pub const STREAM_CHUNK_BYTES: usize = 8 * 1024;
+
+/// FNV-1a digest of a stream payload (the checksum carried by the `done`
+/// frame).
+pub fn stream_digest(payload: &str) -> u64 {
+    fnv1a_bytes(FNV_OFFSET, payload.as_bytes())
+}
+
+/// True when a parsed frame belongs to a chunked stream (a `chunk` or
+/// `done` frame) rather than being a plain single-line response.
+pub fn is_stream_frame(v: &Value) -> bool {
+    v.get("chunk").is_some() || v.get("done").is_some()
+}
+
+/// Splits `payload` into chunk frames of at most `chunk_bytes` payload
+/// bytes each (backing off to UTF-8 character boundaries — canonical
+/// renderings pass non-ASCII text through unescaped) followed by the
+/// terminal `done` frame. Returns the rendered frame lines, newline-free.
+pub fn encode_stream(id: u64, payload: &str, chunk_bytes: usize) -> Vec<String> {
+    let chunk_bytes = chunk_bytes.max(1);
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    let mut index = 0u64;
+    while start < payload.len() {
+        let mut end = (start + chunk_bytes).min(payload.len());
+        while end > start && !payload.is_char_boundary(end) {
+            end -= 1;
+        }
+        if end == start {
+            // A multi-byte character wider than the chunk size: emit it
+            // whole rather than split it (chunks are JSON strings and
+            // must stay valid UTF-8).
+            end = start + 1;
+            while end < payload.len() && !payload.is_char_boundary(end) {
+                end += 1;
+            }
+        }
+        frames.push(
+            Value::obj(vec![
+                ("id", Value::int(id)),
+                ("chunk", Value::int(index)),
+                ("data", Value::Str(payload[start..end].to_string())),
+            ])
+            .render(),
+        );
+        index += 1;
+        start = end;
+    }
+    frames.push(
+        Value::obj(vec![
+            ("id", Value::int(id)),
+            ("done", Value::Bool(true)),
+            ("chunks", Value::int(index)),
+            ("digest", Value::Str(render_fingerprint(stream_digest(payload)))),
+        ])
+        .render(),
+    );
+    frames
+}
+
+/// What [`StreamDecoder::feed`] produced from one frame.
+#[derive(Debug)]
+pub enum StreamEvent {
+    /// A chunk was absorbed; keep feeding.
+    Chunk,
+    /// The terminal frame arrived and every integrity check passed; the
+    /// value is the reassembled payload.
+    Done(String),
+}
+
+/// Reassembles one chunked stream, validating as it goes: frame ids must
+/// match the request, chunk indices must arrive exactly in order (no
+/// gaps, duplicates, or reordering), and the terminal frame's chunk count
+/// and digest must match what was received.
+pub struct StreamDecoder {
+    id: u64,
+    payload: String,
+    next_chunk: u64,
+    finished: bool,
+}
+
+impl StreamDecoder {
+    /// A decoder expecting the stream for request `id`.
+    pub fn new(id: u64) -> StreamDecoder {
+        StreamDecoder { id, payload: String::new(), next_chunk: 0, finished: false }
+    }
+
+    /// Bytes reassembled so far.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when nothing has been reassembled yet.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Chunks absorbed so far.
+    pub fn chunks(&self) -> u64 {
+        self.next_chunk
+    }
+
+    /// Absorbs one parsed frame.
+    pub fn feed(&mut self, v: &Value) -> Result<StreamEvent, CodecError> {
+        let fail = |msg: String| Err(CodecError::Decode(msg));
+        if self.finished {
+            return fail("frame after the stream's done frame".into());
+        }
+        let id = v.field("id")?.as_u64()?;
+        if id != self.id {
+            return fail(format!("stream frame id {id}, expected {}", self.id));
+        }
+        if let Some(chunk) = v.get("chunk") {
+            let index = chunk.as_u64()?;
+            if index != self.next_chunk {
+                return fail(format!(
+                    "stream chunk {index} out of order, expected {}",
+                    self.next_chunk
+                ));
+            }
+            let data = v.field("data")?.as_str()?;
+            self.payload.push_str(data);
+            self.next_chunk += 1;
+            return Ok(StreamEvent::Chunk);
+        }
+        if v.get("done").is_some() {
+            if !v.field("done")?.as_bool()? {
+                return fail("stream done frame with done=false".into());
+            }
+            let chunks = v.field("chunks")?.as_u64()?;
+            if chunks != self.next_chunk {
+                return fail(format!(
+                    "stream closed after {} chunks, done frame claims {chunks}",
+                    self.next_chunk
+                ));
+            }
+            let digest = parse_fingerprint(v.field("digest")?.as_str()?)?;
+            let actual = stream_digest(&self.payload);
+            if digest != actual {
+                return fail(format!(
+                    "stream digest mismatch: got {}, done frame claims {}",
+                    render_fingerprint(actual),
+                    render_fingerprint(digest)
+                ));
+            }
+            self.finished = true;
+            return Ok(StreamEvent::Done(std::mem::take(&mut self.payload)));
+        }
+        fail("frame is neither a chunk nor a done frame".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn reassemble(frames: &[String], id: u64) -> Result<String, CodecError> {
+        let mut dec = StreamDecoder::new(id);
+        for frame in frames {
+            match dec.feed(&parse(frame)?)? {
+                StreamEvent::Chunk => continue,
+                StreamEvent::Done(payload) => return Ok(payload),
+            }
+        }
+        Err(CodecError::Decode("stream never finished".into()))
+    }
+
+    #[test]
+    fn round_trips_at_every_chunk_size() {
+        let payload = "{\"ok\":true,\"plan\":\"значение with ünïcode → and \\\"quotes\\\"\"}";
+        for chunk in 1..=payload.len() + 4 {
+            let frames = encode_stream(42, payload, chunk);
+            assert_eq!(reassemble(&frames, 42).unwrap(), payload, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_a_lone_done_frame() {
+        let frames = encode_stream(1, "", 64);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].contains("\"chunks\":0"));
+        assert_eq!(reassemble(&frames, 1).unwrap(), "");
+    }
+
+    #[test]
+    fn chunks_never_split_multibyte_characters() {
+        let payload = "→→→→→"; // 3 bytes each
+        for chunk in 1..=4 {
+            for frame in encode_stream(9, payload, chunk) {
+                let v = parse(&frame).unwrap();
+                if let Some(data) = v.get("data") {
+                    assert!(data.as_str().unwrap().chars().all(|c| c == '→'));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_streams_are_rejected() {
+        let payload = "x".repeat(300);
+        let frames = encode_stream(5, &payload, 100); // 3 chunks + done
+        assert_eq!(frames.len(), 4);
+
+        // Reordered chunks.
+        let mut reordered = frames.clone();
+        reordered.swap(0, 1);
+        assert!(reassemble(&reordered, 5).is_err());
+
+        // Duplicated chunk.
+        let mut duped = frames.clone();
+        duped.insert(1, frames[0].clone());
+        assert!(reassemble(&duped, 5).is_err());
+
+        // Dropped chunk (count mismatch at the done frame).
+        let mut dropped = frames.clone();
+        dropped.remove(1);
+        assert!(reassemble(&dropped, 5).is_err());
+
+        // Corrupted data (digest mismatch).
+        let mut corrupt = frames.clone();
+        corrupt[1] = corrupt[1].replace("xxx", "xxy");
+        assert!(reassemble(&corrupt, 5).is_err());
+
+        // Wrong stream id.
+        assert!(reassemble(&frames, 6).is_err());
+
+        // Truncated stream never completes.
+        assert!(reassemble(&frames[..3], 5).is_err());
+    }
+
+    #[test]
+    fn frames_after_done_are_rejected() {
+        let frames = encode_stream(2, "abc", 2);
+        let mut dec = StreamDecoder::new(2);
+        for frame in &frames {
+            dec.feed(&parse(frame).unwrap()).unwrap();
+        }
+        assert!(dec.feed(&parse(&frames[0]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn stream_frames_are_distinguishable_from_plain_responses() {
+        let frames = encode_stream(3, "payload", 4);
+        for frame in &frames {
+            assert!(is_stream_frame(&parse(frame).unwrap()), "{frame}");
+        }
+        let plain = parse("{\"id\":3,\"ok\":true,\"plan\":{}}").unwrap();
+        assert!(!is_stream_frame(&plain));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hap-client --addr HOST:PORT [--model NAME]... [--requests N]
-//!            [--concurrency N] [--ttl-ms N] [--max-retries N]
+//!            [--concurrency N] [--ttl-ms N] [--max-retries N] [--stream]
 //!            [--stats] [--shutdown] [--assert KEY=V | KEY>=V]...
 //! ```
 //!
@@ -18,7 +18,9 @@
 //! submissions retry with exponential backoff honoring the frame's
 //! `retry_after_ms` hint — up to `--max-retries` attempts (default 8,
 //! `1` disables retrying). `--ttl-ms` asks the daemon to expire the
-//! plans this run caches.
+//! plans this run caches. `--stream` requests chunked streaming
+//! responses (reassembled client-side; byte-identical to unstreamed
+//! replies, so the determinism gate still applies).
 
 use std::process::ExitCode;
 
@@ -71,6 +73,11 @@ impl Assertion {
             "shed" => stats.shed,
             "admission_rejected" => stats.admission_rejected,
             "expired" => stats.expired,
+            "open_connections" => stats.open_connections,
+            "peak_connections" => stats.peak_connections,
+            "read_buf_hwm" => stats.read_buf_hwm,
+            "write_buf_hwm" => stats.write_buf_hwm,
+            "idle_closed" => stats.idle_closed,
             other => return Err(format!("unknown stats key `{other}`")),
         };
         let ok = if self.exact { actual == self.min } else { actual >= self.min };
@@ -90,6 +97,7 @@ fn main() -> ExitCode {
     let mut concurrency = 1usize;
     let mut ttl_ms: Option<u64> = None;
     let mut retry = hap_service::RetryPolicy::default();
+    let mut stream = false;
     let mut show_stats = false;
     let mut shutdown = false;
     let mut assertions: Vec<Assertion> = Vec::new();
@@ -143,6 +151,7 @@ fn main() -> ExitCode {
                 Ok(n) => retry.max_attempts = std::cmp::max(1, n),
                 Err(()) => return ExitCode::FAILURE,
             },
+            "--stream" => stream = true,
             "--stats" => show_stats = true,
             "--shutdown" => shutdown = true,
             "--assert" => match value("--assert") {
@@ -192,6 +201,7 @@ fn main() -> ExitCode {
             let first_reply = &first_reply;
             let addr = addr.clone();
             let retry = retry;
+            let stream = stream;
             scope.spawn(move || {
                 let mut client = match Client::connect(&*addr) {
                     Ok(c) => c,
@@ -211,16 +221,18 @@ fn main() -> ExitCode {
                         return;
                     };
                     let t0 = std::time::Instant::now();
-                    match client.plan_with_retry(&graph, cluster, opts, ttl_ms, &retry) {
+                    match client.plan_with_retry_opts(&graph, cluster, opts, ttl_ms, stream, &retry)
+                    {
                         Ok(reply) => {
                             println!(
                                 "hap-client: {model} -> {} plan 0x{:016x} est {:.6}s in {:?} \
-                                 ({} busy retries)",
+                                 ({} busy retries, {} stream chunks)",
                                 reply.source,
                                 reply.program.fingerprint(),
                                 reply.estimated_time,
                                 t0.elapsed(),
-                                client.busy_retries()
+                                client.busy_retries(),
+                                client.stream_chunks()
                             );
                             let bits: ReplyBits = (
                                 reply.program.fingerprint(),

@@ -5,6 +5,8 @@
 //!           [--cache-capacity N] [--cache-file PATH] [--no-warm-start]
 //!           [--no-admission] [--default-ttl-ms N]
 //!           [--max-queue-depth N] [--busy-retry-ms N]
+//!           [--idle-timeout-ms N] [--max-line-bytes N]
+//!           [--write-buffer-cap N]
 //! ```
 //!
 //! Prints one `hap-serve: listening on <addr>` line once the socket is
@@ -20,7 +22,8 @@ fn usage() -> ExitCode {
         "usage: hap-serve [--addr HOST:PORT | --port N] [--workers N] \
          [--cache-capacity N] [--cache-file PATH] [--no-warm-start] \
          [--no-admission] [--default-ttl-ms N] [--max-queue-depth N] \
-         [--busy-retry-ms N]"
+         [--busy-retry-ms N] [--idle-timeout-ms N] [--max-line-bytes N] \
+         [--write-buffer-cap N]"
     );
     ExitCode::FAILURE
 }
@@ -76,6 +79,24 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad delay: {e}")))
             {
                 Ok(ms) => config.busy_retry_ms = ms,
+                Err(()) => return usage(),
+            },
+            "--idle-timeout-ms" => match value("--idle-timeout-ms")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad timeout: {e}")))
+            {
+                Ok(ms) => config.idle_timeout_ms = ms,
+                Err(()) => return usage(),
+            },
+            "--max-line-bytes" => match value("--max-line-bytes")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad size: {e}")))
+            {
+                Ok(n) => config.max_line_bytes = n,
+                Err(()) => return usage(),
+            },
+            "--write-buffer-cap" => match value("--write-buffer-cap")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad size: {e}")))
+            {
+                Ok(n) => config.write_buffer_cap = n,
                 Err(()) => return usage(),
             },
             _ => {

@@ -5,11 +5,14 @@ use std::net::TcpStream;
 
 use hap::HapOptions;
 use hap_cluster::ClusterSpec;
-use hap_codec::{parse, parse_fingerprint, Decode, Encode, Value, WireError};
+use hap_codec::{
+    is_stream_frame, parse, parse_fingerprint, Decode, Encode, StreamDecoder, StreamEvent, Value,
+    WireError,
+};
 use hap_graph::Graph;
 use hap_synthesis::{DistProgram, ShardingRatios};
 
-use crate::server::StatsSnapshot;
+use crate::stats::StatsSnapshot;
 
 /// A plan returned over the wire.
 #[derive(Clone, Debug)]
@@ -66,6 +69,8 @@ pub struct Client {
     next_id: u64,
     /// Busy frames absorbed by `plan_with_retry` so far.
     busy_retries: u64,
+    /// Stream chunk frames reassembled so far.
+    stream_chunks: u64,
 }
 
 impl Client {
@@ -73,13 +78,35 @@ impl Client {
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1, busy_retries: 0 })
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+            busy_retries: 0,
+            stream_chunks: 0,
+        })
     }
 
     /// Busy frames this connection has retried through (observability for
     /// tests and the CLI).
     pub fn busy_retries(&self) -> u64 {
         self.busy_retries
+    }
+
+    /// Stream chunk frames this connection has reassembled (observability:
+    /// proves streamed responses actually arrived chunked).
+    pub fn stream_chunks(&self) -> u64 {
+        self.stream_chunks
+    }
+
+    fn read_frame(&mut self) -> Result<Value, WireError> {
+        let io_err = |e: std::io::Error| WireError::new("io", e.to_string());
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(io_err)?;
+        if n == 0 {
+            return Err(WireError::new("io", "server closed the connection"));
+        }
+        parse(line.trim_end()).map_err(WireError::from)
     }
 
     fn round_trip(&mut self, mut fields: Vec<(&str, Value)>) -> Result<Value, WireError> {
@@ -91,12 +118,26 @@ impl Client {
         self.writer.write_all(frame.as_bytes()).map_err(io_err)?;
         self.writer.write_all(b"\n").map_err(io_err)?;
         self.writer.flush().map_err(io_err)?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line).map_err(io_err)?;
-        if n == 0 {
-            return Err(WireError::new("io", "server closed the connection"));
+        let mut v = self.read_frame()?;
+        // A streaming response arrives as chunk frames terminated by a
+        // `done` frame; the reassembled payload is the canonical response
+        // line. Error frames are never streamed, so a plain frame here is
+        // handled identically whether or not streaming was requested.
+        if is_stream_frame(&v) {
+            let mut decoder = StreamDecoder::new(id);
+            loop {
+                match decoder.feed(&v).map_err(WireError::from)? {
+                    StreamEvent::Chunk => {
+                        self.stream_chunks += 1;
+                        v = self.read_frame()?;
+                    }
+                    StreamEvent::Done(payload) => {
+                        v = parse(&payload).map_err(WireError::from)?;
+                        break;
+                    }
+                }
+            }
         }
-        let v = parse(line.trim_end()).map_err(WireError::from)?;
         let ok = v.field("ok").and_then(|x| x.as_bool()).map_err(WireError::from)?;
         if !ok {
             let err = v.field("error").map_err(WireError::from)?;
@@ -129,6 +170,32 @@ impl Client {
         options: &HapOptions,
         ttl_ms: Option<u64>,
     ) -> Result<PlanReply, WireError> {
+        self.plan_opts(graph, cluster, options, ttl_ms, false)
+    }
+
+    /// [`Client::plan`] over the chunked streaming transport: the request
+    /// advertises `"stream": true` and the daemon sends the plan response
+    /// as chunk frames, reassembled here. The reassembled reply is
+    /// byte-identical to the unstreamed response — streaming only changes
+    /// the framing, never the payload.
+    pub fn plan_streamed(
+        &mut self,
+        graph: &Graph,
+        cluster: &ClusterSpec,
+        options: &HapOptions,
+    ) -> Result<PlanReply, WireError> {
+        self.plan_opts(graph, cluster, options, None, true)
+    }
+
+    /// The general plan request: optional cache TTL, optional streaming.
+    pub fn plan_opts(
+        &mut self,
+        graph: &Graph,
+        cluster: &ClusterSpec,
+        options: &HapOptions,
+        ttl_ms: Option<u64>,
+        stream: bool,
+    ) -> Result<PlanReply, WireError> {
         let mut fields = vec![
             ("op", Value::Str("plan".into())),
             ("graph", graph.encode()),
@@ -138,13 +205,16 @@ impl Client {
         if let Some(ms) = ttl_ms {
             // Fail cleanly instead of hitting the codec's exact-integer
             // assert (the daemon would reject it anyway).
-            if ms > crate::server::MAX_TTL_MS {
+            if ms > crate::config::MAX_TTL_MS {
                 return Err(WireError::new(
                     "decode",
-                    format!("ttl_ms {ms} exceeds the maximum {}", crate::server::MAX_TTL_MS),
+                    format!("ttl_ms {ms} exceeds the maximum {}", crate::config::MAX_TTL_MS),
                 ));
             }
             fields.push(("ttl_ms", Value::int(ms)));
+        }
+        if stream {
+            fields.push(("stream", Value::Bool(true)));
         }
         let v = self.round_trip(fields)?;
         let fingerprint = parse_fingerprint(
@@ -181,9 +251,23 @@ impl Client {
         ttl_ms: Option<u64>,
         policy: &RetryPolicy,
     ) -> Result<PlanReply, WireError> {
+        self.plan_with_retry_opts(graph, cluster, options, ttl_ms, false, policy)
+    }
+
+    /// [`Client::plan_with_retry`] with an optional streaming transport
+    /// (busy frames are never streamed, so retry handling is unchanged).
+    pub fn plan_with_retry_opts(
+        &mut self,
+        graph: &Graph,
+        cluster: &ClusterSpec,
+        options: &HapOptions,
+        ttl_ms: Option<u64>,
+        stream: bool,
+        policy: &RetryPolicy,
+    ) -> Result<PlanReply, WireError> {
         let mut attempt = 0u32;
         loop {
-            match self.plan_with_ttl(graph, cluster, options, ttl_ms) {
+            match self.plan_opts(graph, cluster, options, ttl_ms, stream) {
                 Err(e) if e.is_busy() && attempt + 1 < policy.max_attempts => {
                     let delay = policy.delay_ms(attempt, e.retry_after_ms);
                     self.busy_retries += 1;

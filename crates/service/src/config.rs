@@ -1,0 +1,106 @@
+//! Daemon configuration and the protocol-level limits derived from it.
+
+use std::path::PathBuf;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address; port `0` picks a free port (tests, examples).
+    pub addr: String,
+    /// Synthesis worker threads (`0` = all cores, via mini-rayon).
+    pub workers: usize,
+    /// Total plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Persistence log; `None` disables disk persistence.
+    pub cache_path: Option<PathBuf>,
+    /// Seed cache misses from the nearest cached cluster's plan.
+    pub warm_neighbors: bool,
+    /// Gate cache admission on synthesis-seconds-saved-per-byte (see
+    /// [`crate::CachePolicy::admission`]); off = the PR-4 plain LRU.
+    pub cache_admission: bool,
+    /// Default TTL (milliseconds) for cached plans that carry no
+    /// per-request `ttl_ms`; `None` = cached plans never expire.
+    pub default_ttl_ms: Option<u64>,
+    /// Maximum queued (not yet running) syntheses before new requests are
+    /// shed with a `busy` frame. `0` = unbounded (the PR-4 behavior).
+    pub max_queue_depth: usize,
+    /// Base of the `retry_after_ms` hint in `busy` frames; the hint scales
+    /// with the observed queue depth.
+    pub busy_retry_ms: u64,
+    /// Close a connection after this many milliseconds without a complete
+    /// request (connections awaiting a queued synthesis never time out).
+    /// `0` disables the idle sweep.
+    pub idle_timeout_ms: u64,
+    /// Maximum bytes of one request line; longer lines are rejected with
+    /// a typed `oversize` error frame and discarded without buffering.
+    pub max_line_bytes: usize,
+    /// Pause reading from a connection while more than this many response
+    /// bytes are queued toward it (write backpressure); reads resume once
+    /// the backlog drains below half the cap.
+    pub write_buffer_cap: usize,
+    /// Chunk payload size for `"stream": true` plan responses.
+    pub stream_chunk_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            cache_capacity: 1024,
+            cache_path: None,
+            warm_neighbors: true,
+            cache_admission: true,
+            default_ttl_ms: None,
+            max_queue_depth: 256,
+            busy_retry_ms: 25,
+            idle_timeout_ms: 300_000,
+            max_line_bytes: 64 * 1024 * 1024,
+            write_buffer_cap: 4 * 1024 * 1024,
+            stream_chunk_bytes: hap_codec::STREAM_CHUNK_BYTES,
+        }
+    }
+}
+
+/// Upper bound on a request's cache TTL: 90 days, in milliseconds.
+///
+/// The bound is a protocol invariant, not just a sanity check: the codec's
+/// `Value::int` only represents integers up to 2^53 exactly (JSON numbers
+/// are f64), and a TTL is persisted in *nanoseconds* — 90 days is
+/// ~7.8e15 ns, comfortably inside the exact range, while an unchecked
+/// wire `ttl_ms` times 1e6 could blow past it and panic the encoder. Both
+/// the daemon (reject) and [`crate::Client`] (refuse to send) enforce it.
+pub const MAX_TTL_MS: u64 = 90 * 24 * 60 * 60 * 1000;
+
+/// Ceiling on the `retry_after_ms` hint in busy frames (5 minutes): the
+/// hint scales with the observed backlog and the configured base, and an
+/// operator-supplied giant `--busy-retry-ms` must not overflow the
+/// codec's exact-integer range while shedding — overload protection that
+/// panics under overload protects nothing.
+pub(crate) const MAX_RETRY_HINT_MS: u64 = 300_000;
+
+/// The (clamped) retry hint for a shed request observing `depth` queued
+/// jobs.
+pub(crate) fn busy_hint_ms(base_ms: u64, depth: usize) -> u64 {
+    base_ms.max(1).saturating_mul((depth as u64).saturating_add(1)).min(MAX_RETRY_HINT_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_hint_scales_with_depth_and_clamps() {
+        assert_eq!(busy_hint_ms(25, 0), 25);
+        assert_eq!(busy_hint_ms(25, 3), 100);
+        // A zero base still produces a nonzero hint.
+        assert_eq!(busy_hint_ms(0, 0), 1);
+        // Operator-sized bases and saturating depths clamp instead of
+        // overflowing the codec's exact-integer range.
+        assert_eq!(busy_hint_ms(u64::MAX, 7), MAX_RETRY_HINT_MS);
+        assert_eq!(busy_hint_ms(1, usize::MAX), MAX_RETRY_HINT_MS);
+        // Both bounds stay inside the codec's exact-integer range.
+        const { assert!(MAX_RETRY_HINT_MS < (1 << 53)) };
+        const { assert!(MAX_TTL_MS * 1_000_000 < (1 << 53)) };
+    }
+}

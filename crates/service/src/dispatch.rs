@@ -1,0 +1,307 @@
+//! The synthesis dispatcher: the job queue, single-flight slots, and the
+//! fixed worker pool — fully decoupled from any transport.
+//!
+//! A slot is the rendezvous for one in-flight synthesis. Two kinds of
+//! consumers attach to it:
+//!
+//! * **Synchronous waiters** (`PlanService::plan_values*`, benches,
+//!   in-process tests) park on the slot's condvar exactly as before.
+//! * **Subscribers** (the event loop) register a callback and return to
+//!   their poll loop immediately; when a worker finishes the job it runs
+//!   every subscriber with the result. Subscribers render their own
+//!   response bytes and hand them to the loop through its completion
+//!   queue + waker — no I/O thread ever blocks on a synthesis, and a
+//!   single-flight follower subscribes to the leader's slot instead of
+//!   parking a thread.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+use hap::{parallelize_with_warm, HapOptions};
+use hap_cluster::ClusterSpec;
+use hap_codec::{value_fingerprint, Decode, Value, WireError};
+use hap_graph::Graph;
+
+use crate::cache::{cluster_features, persist_line, CachedPlan, PlanCache};
+use crate::config::{ServiceConfig, MAX_TTL_MS};
+use crate::stats::Counters;
+
+/// The outcome of one synthesis, shared by every request that attached to
+/// its slot.
+pub(crate) type PlanResult = Result<Arc<CachedPlan>, WireError>;
+
+/// A deferred consumer of a slot's result. Runs on the worker thread that
+/// finished the job (or inline, if the result already landed when the
+/// subscription was made), so it must be quick: render bytes, enqueue,
+/// wake.
+pub(crate) type Subscriber = Box<dyn FnOnce(&PlanResult) + Send>;
+
+pub(crate) struct SlotState {
+    result: Option<PlanResult>,
+    subscribers: Vec<Subscriber>,
+}
+
+pub(crate) type Slot = Arc<(Mutex<SlotState>, Condvar)>;
+
+fn new_slot() -> Slot {
+    Arc::new((Mutex::new(SlotState { result: None, subscribers: Vec::new() }), Condvar::new()))
+}
+
+/// Blocks until the slot resolves (the synchronous consumer path).
+pub(crate) fn wait_sync(slot: &Slot) -> PlanResult {
+    let (lock, cvar) = &**slot;
+    let mut state = lock.lock().expect("slot poisoned");
+    while state.result.is_none() {
+        state = cvar.wait(state).expect("slot poisoned");
+    }
+    state.result.clone().expect("loop exits with a result")
+}
+
+/// Attaches a deferred consumer. If the slot already resolved the callback
+/// runs immediately on the calling thread; otherwise it runs on the worker
+/// that resolves the slot.
+pub(crate) fn subscribe(slot: &Slot, f: Subscriber) {
+    let already_resolved = {
+        let (lock, _) = &**slot;
+        let mut state = lock.lock().expect("slot poisoned");
+        match state.result.clone() {
+            Some(result) => Some((f, result)),
+            None => {
+                state.subscribers.push(f);
+                None
+            }
+        }
+    };
+    // Run outside the slot lock: the callback takes the completion queue
+    // lock, and lock-order discipline is simpler when slots never nest
+    // around it.
+    if let Some((f, result)) = already_resolved {
+        f(&result);
+    }
+}
+
+/// One queued synthesis: the undecoded request values plus the slot every
+/// consumer attached to.
+pub(crate) struct Job {
+    pub fp: u64,
+    pub graph: Value,
+    pub cluster: Value,
+    pub options: Value,
+    /// Requested cache TTL for the synthesized plan. Requests fingerprint
+    /// on `(graph, cluster, options)` only, so concurrent duplicates with
+    /// different `ttl_ms` coalesce — the leader's TTL wins.
+    pub ttl_ms: Option<u64>,
+    pub slot: Slot,
+}
+
+pub(crate) struct QueueState {
+    pub jobs: VecDeque<Job>,
+    pub shutdown: bool,
+}
+
+/// Everything the workers share: queue, cache, single-flight map,
+/// counters, persistence.
+pub(crate) struct Shared {
+    pub config: ServiceConfig,
+    pub cache: PlanCache,
+    pub inflight: Mutex<HashMap<u64, Slot>>,
+    pub queue: (Mutex<QueueState>, Condvar),
+    pub counters: Counters,
+    pub persist: Option<Mutex<std::fs::File>>,
+}
+
+/// How a single-flight attach played out.
+pub(crate) enum Attach {
+    /// This request became the leader and its job is queued.
+    Leader(Slot),
+    /// This request joined an existing in-flight job.
+    Follower(Slot),
+    /// The request resolved without queueing (cache race win, shed, or
+    /// shutdown); the result is final and carries the source it would
+    /// have reported (`Cache` for the race win, `Synthesized` for a
+    /// leader that was shed or raced shutdown).
+    Resolved(crate::service::PlanSource, PlanResult),
+}
+
+/// The single-flight core shared by the sync and async request paths:
+/// cache re-probe under leadership, queue-depth shedding, job submission.
+/// Counters are bumped exactly as the pre-split server did.
+pub(crate) fn attach(
+    shared: &Shared,
+    fp: u64,
+    graph: &Value,
+    cluster: &Value,
+    options: &Value,
+    ttl_ms: Option<u64>,
+) -> Attach {
+    let (slot, leader) = {
+        let mut inflight = shared.inflight.lock().expect("inflight map poisoned");
+        match inflight.get(&fp) {
+            Some(slot) => (slot.clone(), false),
+            None => {
+                let slot = new_slot();
+                inflight.insert(fp, slot.clone());
+                (slot, true)
+            }
+        }
+    };
+    if !leader {
+        shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+        return Attach::Follower(slot);
+    }
+    // Re-probe the cache after winning leadership: the previous in-flight
+    // synthesis for this fingerprint may have completed (cache insert
+    // happens before its slot retires) between our miss and our insert,
+    // and re-running it would both waste a synthesis and double-count the
+    // `synthesized` stat.
+    if let Some(plan) = shared.cache.get(fp) {
+        shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+        finish(shared, fp, &slot, Ok(plan.clone()));
+        return Attach::Resolved(crate::service::PlanSource::Cache, Ok(plan));
+    }
+    let job = Job {
+        fp,
+        graph: graph.clone(),
+        cluster: cluster.clone(),
+        options: options.clone(),
+        ttl_ms,
+        slot: slot.clone(),
+    };
+    let (queue, cvar) = &shared.queue;
+    let mut state = queue.lock().expect("job queue poisoned");
+    if state.shutdown {
+        drop(state);
+        let err = WireError::new("shutdown", "service is shutting down");
+        finish(shared, fp, &slot, Err(err.clone()));
+        return Attach::Resolved(crate::service::PlanSource::Synthesized, Err(err));
+    }
+    // Queue-depth admission control: a full backlog sheds the *leader*
+    // (followers above never add work, so they always join). The busy
+    // frame is published through the slot so any duplicate that raced
+    // onto it wakes with the same answer, and the retry hint grows with
+    // the observed backlog.
+    let cap = shared.config.max_queue_depth;
+    if cap > 0 && state.jobs.len() >= cap {
+        let depth = state.jobs.len();
+        drop(state);
+        let err =
+            WireError::busy(crate::config::busy_hint_ms(shared.config.busy_retry_ms, depth), depth);
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        finish(shared, fp, &slot, Err(err.clone()));
+        return Attach::Resolved(crate::service::PlanSource::Synthesized, Err(err));
+    }
+    state.jobs.push_back(job);
+    cvar.notify_all();
+    Attach::Leader(slot)
+}
+
+/// One synthesis worker: pulls jobs from the shared queue one at a time
+/// (no batch barrier — a slow synthesis occupies one worker while the
+/// rest keep draining), executing until the queue is both empty and shut
+/// down. Identical requests never reach the queue twice (single flight),
+/// so concurrent workers always hold distinct work.
+pub(crate) fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let (queue, cvar) = &shared.queue;
+            let mut state = queue.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = cvar.wait(state).expect("job queue poisoned");
+            }
+        };
+        execute(shared, &job);
+    }
+}
+
+/// Runs one synthesis job end to end and publishes its result.
+fn execute(shared: &Arc<Shared>, job: &Job) {
+    let result = synthesize_job(shared, job);
+    if let Ok(plan) = &result {
+        shared.counters.synthesized.fetch_add(1, Ordering::Relaxed);
+        let verdict = shared.cache.insert(job.fp, plan.clone());
+        // A plan the admission gate declined is still *returned* (the
+        // requester paid for it); it is just not cached or persisted.
+        if !matches!(verdict, crate::cache::Admission::Rejected { .. }) {
+            if let Some(persist) = &shared.persist {
+                let mut file = persist.lock().expect("persistence file poisoned");
+                // Persistence is best-effort at runtime (the log compacts
+                // on the next boot); a full disk must not take the daemon
+                // down.
+                let _ = writeln!(file, "{}", persist_line(job.fp, plan));
+                let _ = file.flush();
+            }
+        }
+    }
+    finish(shared, job.fp, &job.slot, result);
+}
+
+/// Retires the in-flight entry, publishes a result to the slot's waiters,
+/// and runs the subscribers. Retiring *first* means that by the time any
+/// waiter observes its reply the `in_flight` gauge has already dropped,
+/// so stats never report a completed request as still in flight.
+/// Subscribers run outside the slot lock (they take the event loop's
+/// completion-queue lock).
+pub(crate) fn finish(shared: &Shared, fp: u64, slot: &Slot, result: PlanResult) {
+    shared.inflight.lock().expect("inflight map poisoned").remove(&fp);
+    let subscribers = {
+        let (lock, cvar) = &**slot;
+        let mut state = lock.lock().expect("slot poisoned");
+        state.result = Some(result.clone());
+        cvar.notify_all();
+        std::mem::take(&mut state.subscribers)
+    };
+    for subscriber in subscribers {
+        subscriber(&result);
+    }
+}
+
+/// Decode, warm-start lookup, synthesis. The elapsed wall time of the
+/// whole job (decode included — a hit saves that too) becomes the entry's
+/// `synthesis_nanos`, the numerator of the cache's admission density.
+fn synthesize_job(shared: &Shared, job: &Job) -> PlanResult {
+    let started = std::time::Instant::now();
+    let graph = Graph::decode(&job.graph).map_err(WireError::from)?;
+    let cluster = ClusterSpec::decode(&job.cluster).map_err(WireError::from)?;
+    let options = HapOptions::decode(&job.options).map_err(WireError::from)?;
+    let graph_fp = value_fingerprint(&job.graph);
+    let opts_fp = value_fingerprint(&job.options);
+    let features = cluster_features(&cluster, options.granularity);
+
+    let warm = if shared.config.warm_neighbors {
+        shared.cache.nearest(graph_fp, opts_fp, &features)
+    } else {
+        None
+    };
+    if warm.is_some() {
+        shared.counters.warm_seeded.fetch_add(1, Ordering::Relaxed);
+    }
+    let warm_program = warm.as_ref().map(|p| &p.program);
+
+    let plan = parallelize_with_warm(&graph, &cluster, &options, warm_program)
+        .map_err(|e| WireError::from(&e))?;
+    let mut cached = CachedPlan {
+        estimated_time: plan.estimated_time,
+        rounds: plan.rounds,
+        program: plan.program,
+        ratios: plan.ratios,
+        graph_fp,
+        opts_fp,
+        features,
+        synthesis_nanos: started.elapsed().as_nanos() as u64,
+        size_bytes: 0,
+        // The wire layer already rejects ttl_ms > MAX_TTL_MS; the clamp
+        // covers in-process callers of `plan_values_with_ttl` so an
+        // oversized TTL can never reach the (2^53-exact) record encoder.
+        ttl_nanos: job.ttl_ms.map(|ms| ms.min(MAX_TTL_MS).saturating_mul(1_000_000)),
+    };
+    cached.size_bytes = cached.measure_size();
+    Ok(Arc::new(cached))
+}

@@ -6,9 +6,19 @@
 //! planner *cacheable*, and this crate turns the in-process pipeline into
 //! a long-lived service many training jobs can query:
 //!
-//! * **Transport** — a line-delimited JSON protocol over
-//!   [`std::net::TcpListener`], using the canonical wire codec from
-//!   `hap-codec`. One request per line, one response per line.
+//! * **Transport** — a line-delimited JSON protocol over a
+//!   readiness-driven event loop (`net::event_loop`, on the vendored
+//!   `mini-epoll` poller): one nonblocking I/O thread owns every
+//!   connection — incremental line framing with a hard per-line cap,
+//!   bounded write buffers with read backpressure, an idle sweep — and
+//!   the fixed worker pool only computes, delivering response bytes back
+//!   through a completion queue and a wake pipe. ~1k concurrent
+//!   connections cost one thread, and requests pipelined on one
+//!   connection always answer in request order.
+//! * **Streaming responses** — a plan request carrying `"stream":true`
+//!   is answered as bounded `chunk` frames plus a `done` frame with a
+//!   digest ([`hap_codec::StreamDecoder`] reassembles and verifies);
+//!   the payload is byte-identical to the plain response line.
 //! * **Content-addressed plan cache** — a sharded LRU keyed by the
 //!   FNV-1a fingerprint of the request's canonical encoding
 //!   ([`hap_codec::request_fingerprint_values`]). A cache hit returns a
@@ -48,7 +58,9 @@
 //!   (`{"v":2,...}`; PR-4-era unversioned lines still load), compacted on
 //!   boot, so the cache survives daemon restarts.
 //! * **Stats** — a `stats` request exposes hit/miss/coalesced/eviction/
-//!   shed/admission-rejected/expired/in-flight counters.
+//!   shed/admission-rejected/expired/in-flight counters plus event-loop
+//!   gauges (open/peak connections, read/write buffer high-water marks,
+//!   idle-swept connections).
 //! * **Stress tooling** — [`testing`] generates seeded adversarial tenant
 //!   mixes (hot set + one-off flood + duplicate bursts); the overload
 //!   harness (`tests/overload.rs`, CI `service-soak`) drives them over
@@ -60,15 +72,22 @@
 //!
 //! ```text
 //! {"op":"plan","id":1,"graph":{...},"cluster":{...},"options":{...},"ttl_ms":60000}
-//! {"op":"stats","id":2}
-//! {"op":"shutdown","id":3}
+//! {"op":"plan","id":2,"graph":{...},"cluster":{...},"options":{...},"stream":true}
+//! {"op":"stats","id":3}
+//! {"op":"shutdown","id":4}
 //! ```
 //!
-//! (`ttl_ms` is optional.) Responses carry the request `id`,
-//! `"ok":true|false`, and either a payload (`plan` + `fingerprint` +
-//! `source`, or `stats`) or an `error` frame `{"kind":...,"message":...}`
+//! (`ttl_ms` and `stream` are optional.) Responses carry the request
+//! `id`, `"ok":true|false`, and either a payload (`plan` with
+//! `fingerprint` and `source`, or `stats`) or an `error` frame
+//! `{"kind":...,"message":...}`
 //! transporting the daemon-side error — overload sheds as
-//! `{"kind":"busy","message":...,"retry_after_ms":N}`.
+//! `{"kind":"busy","message":...,"retry_after_ms":N}`, an over-long line
+//! as `{"kind":"oversize",...}`. With `"stream":true` a successful plan
+//! arrives as `{"id":N,"chunk":K,"data":...}` frames followed by
+//! `{"id":N,"done":true,"chunks":K,"digest":...}`, whose concatenated
+//! `data` is exactly the plain response line; errors are always one
+//! plain frame.
 //!
 //! # Examples
 //!
@@ -89,9 +108,16 @@
 
 mod cache;
 mod client;
-mod server;
+mod config;
+mod dispatch;
+mod net;
+mod service;
+mod stats;
 pub mod testing;
 
 pub use cache::{cluster_features, Admission, CachePolicy, CachedPlan, PlanCache};
 pub use client::{Client, PlanReply, RetryPolicy};
-pub use server::{PlanService, PlanSource, Server, ServiceConfig, StatsSnapshot, MAX_TTL_MS};
+pub use config::{ServiceConfig, MAX_TTL_MS};
+pub use net::event_loop::Server;
+pub use service::{PlanService, PlanSource};
+pub use stats::StatsSnapshot;

@@ -1,0 +1,449 @@
+//! The readiness-driven network core: one event-loop thread serves every
+//! connection.
+//!
+//! The loop owns a [`mini_epoll::Poller`], the nonblocking listener, and
+//! every connection's [`Conn`] state. Requests that resolve inline (cache
+//! hits, stats, errors, shedding) are answered on the loop thread;
+//! anything needing a synthesis is queued to the worker pool with a
+//! subscriber that renders the response bytes and pushes them onto the
+//! loop's completion queue, then wakes the loop through the poller's wake
+//! pipe. No thread ever blocks on another request's work: total daemon
+//! threads = 1 (loop) + worker pool, independent of connection count.
+//!
+//! Shutdown takes the same wake path. [`Server::shutdown`] sets the stop
+//! flag and wakes the loop — no throwaway connection needed to unblock an
+//! `accept()` (the PR-4 design's wart). A client-initiated `shutdown`
+//! verb instead *drains*: the listener is deregistered, pending responses
+//! (including queued syntheses) are flushed, and the loop exits once
+//! every connection is quiet or a drain deadline passes.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hap_codec::WireError;
+use mini_epoll::{Event, Interest, Poller, Waker, WAKE_TOKEN};
+
+use crate::config::ServiceConfig;
+use crate::net::conn::{Conn, Frame, ReadOutcome};
+use crate::service::{PlanService, Submission};
+use crate::stats::NetGauges;
+
+/// Token of the listening socket.
+const LISTEN_TOKEN: u64 = 0;
+/// How often the loop re-checks the stop flag even with no events and no
+/// waker (a safety net; the waker makes stop effectively immediate).
+const STOP_POLL_MS: u64 = 500;
+/// How long a `shutdown`-verb drain waits for in-flight syntheses to
+/// resolve and flush before giving up.
+const DRAIN_DEADLINE_MS: u64 = 10_000;
+
+/// One response completed by a worker: `(connection token, slot sequence,
+/// rendered bytes)`.
+type Completion = (u64, u64, Vec<u8>);
+
+/// State shared between the loop thread, the workers' deliver callbacks,
+/// and the [`Server`] handle.
+struct LoopShared {
+    stop: AtomicBool,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl LoopShared {
+    fn deliver(&self, token: u64, seq: u64, bytes: Vec<u8>) {
+        self.completions.lock().expect("completion queue poisoned").push((token, seq, bytes));
+        self.waker.wake();
+    }
+}
+
+/// A running daemon bound to a TCP port.
+pub struct Server {
+    service: Arc<PlanService>,
+    addr: SocketAddr,
+    shared: Arc<LoopShared>,
+    loop_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the configured address and starts the event loop.
+    pub fn start(config: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let service =
+            Arc::new(PlanService::new(config).map_err(|e| io::Error::other(e.to_string()))?);
+        let poller = Poller::new()?;
+        poller.add(&listener, LISTEN_TOKEN, Interest::READ)?;
+        let shared = Arc::new(LoopShared {
+            stop: AtomicBool::new(false),
+            completions: Mutex::new(Vec::new()),
+            waker: poller.waker(),
+        });
+        let loop_thread = {
+            let service = service.clone();
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                EventLoop::new(poller, listener, service, shared).run();
+            })
+        };
+        Ok(Server { service, addr, shared, loop_thread: Some(loop_thread) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The in-process service (tests and benches reach stats directly).
+    pub fn service(&self) -> &PlanService {
+        &self.service
+    }
+
+    /// Total daemon threads: the event loop plus the synthesis worker
+    /// pool. Notably *not* a function of connection count.
+    pub fn thread_count(&self) -> usize {
+        1 + self.service.worker_count()
+    }
+
+    /// Blocks until the event loop exits — i.e. until some client sends a
+    /// `shutdown` request (the `hap-serve` main loop). Queued syntheses
+    /// are drained before the loop exits; workers are joined by
+    /// [`Server::shutdown`]/drop afterwards.
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.loop_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops the event loop (through the wake pipe — no connection
+    /// required), joins it, and drains the synthesis queue. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        if !self.shared.stop.swap(true, Ordering::SeqCst) {
+            self.shared.waker.wake();
+        }
+        if let Some(handle) = self.loop_thread.take() {
+            let _ = handle.join();
+        }
+        self.service.stop();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A registered connection plus the interest currently armed for it (so
+/// the loop only issues `poller.modify` when the desired interest actually
+/// changes).
+struct Entry {
+    conn: Conn<TcpStream>,
+    armed: Interest,
+}
+
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    service: Arc<PlanService>,
+    shared: Arc<LoopShared>,
+    gauges: Arc<NetGauges>,
+    conns: HashMap<u64, Entry>,
+    next_token: u64,
+    /// `Some(deadline)` once a `shutdown` verb arrived: stop accepting,
+    /// flush everything, exit by the deadline at the latest.
+    draining: Option<Instant>,
+    last_sweep: Instant,
+}
+
+impl EventLoop {
+    fn new(
+        poller: Poller,
+        listener: TcpListener,
+        service: Arc<PlanService>,
+        shared: Arc<LoopShared>,
+    ) -> EventLoop {
+        let gauges = service.net_gauges();
+        EventLoop {
+            poller,
+            listener,
+            service,
+            shared,
+            gauges,
+            conns: HashMap::new(),
+            next_token: LISTEN_TOKEN + 1,
+            draining: None,
+            last_sweep: Instant::now(),
+        }
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some(deadline) = self.draining {
+                let quiet = self
+                    .conns
+                    .values()
+                    .all(|e| !e.conn.out.has_flushable() && !e.conn.out.has_waiting());
+                if quiet || Instant::now() >= deadline {
+                    break;
+                }
+            }
+            let timeout = self.wait_timeout();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // A failed wait is not recoverable in a useful way;
+                // treat it as a stop so the daemon exits cleanly rather
+                // than spinning.
+                break;
+            }
+            // Completions first: a worker may have woken us, and the
+            // fulfilled slots should flush in this same iteration.
+            self.drain_completions();
+            for ev in events.drain(..) {
+                match ev.token {
+                    WAKE_TOKEN => {} // completions already drained
+                    LISTEN_TOKEN => self.accept_ready(),
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            self.sweep_idle();
+        }
+        // Loop exit: deregister and drop everything. Workers keep
+        // running until PlanService::stop joins them.
+        for (_, entry) in self.conns.drain() {
+            let _ = self.poller.remove(&entry.conn.stream);
+        }
+        if self.draining.is_none() {
+            let _ = self.poller.remove(&self.listener);
+        }
+    }
+
+    /// The poll timeout: the stop-poll safety interval, tightened while
+    /// idle sweeping or draining needs finer ticks.
+    fn wait_timeout(&self) -> Duration {
+        let mut ms = STOP_POLL_MS;
+        let idle = self.service.config().idle_timeout_ms;
+        if idle > 0 {
+            ms = ms.min((idle / 4).max(10));
+        }
+        if self.draining.is_some() {
+            ms = ms.min(20);
+        }
+        Duration::from_millis(ms)
+    }
+
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut queue = self.shared.completions.lock().expect("completion queue poisoned");
+            std::mem::take(&mut *queue)
+        };
+        let mut touched: Vec<u64> = Vec::with_capacity(done.len());
+        for (token, seq, bytes) in done {
+            // The connection may have died while its synthesis ran; its
+            // response is simply dropped.
+            if let Some(entry) = self.conns.get_mut(&token) {
+                entry.conn.out.fulfill(seq, bytes);
+                touched.push(token);
+            }
+        }
+        for token in touched {
+            self.service_conn(token);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        if self.draining.is_some() {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.add(&stream, token, Interest::READ).is_err() {
+                        continue;
+                    }
+                    let max_line = self.service.config().max_line_bytes;
+                    self.conns.insert(
+                        token,
+                        Entry { conn: Conn::new(stream, max_line), armed: Interest::READ },
+                    );
+                    let open = self.gauges.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+                    NetGauges::raise(&self.gauges.peak_connections, open);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient per-connection accept failures (ECONNABORTED,
+                // EMFILE under fd pressure): drop and keep serving.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, ev: Event) {
+        let Some(entry) = self.conns.get_mut(&token) else { return };
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut dead = false;
+        if (ev.readable || ev.hangup) && !entry.conn.paused_reads {
+            match entry.conn.read_step(&mut frames) {
+                ReadOutcome::Open => {}
+                ReadOutcome::Closed => dead = true,
+            }
+        }
+        // Process complete frames even when the peer half-closed: a
+        // client may pipeline requests and shut down its write side.
+        for frame in frames {
+            if self.handle_frame(token, frame) {
+                // Shutdown verb: begin draining. Remaining frames on this
+                // connection still process (they were already accepted).
+                if self.draining.is_none() {
+                    self.draining = Some(Instant::now() + Duration::from_millis(DRAIN_DEADLINE_MS));
+                    let _ = self.poller.remove(&self.listener);
+                }
+            }
+        }
+        if dead {
+            self.close_conn(token, false);
+            return;
+        }
+        self.service_conn(token);
+    }
+
+    /// Handles one framed request; returns true when it was a `shutdown`.
+    fn handle_frame(&mut self, token: u64, frame: Frame) -> bool {
+        let Some(entry) = self.conns.get_mut(&token) else { return false };
+        match frame {
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    return false;
+                }
+                entry.conn.last_activity = Instant::now();
+                let seq = entry.conn.out.reserve();
+                let shared = self.shared.clone();
+                let deliver = Box::new(move |bytes: Vec<u8>| shared.deliver(token, seq, bytes));
+                match self.service.submit(&line, deliver) {
+                    Submission::Ready { bytes, shutdown } => {
+                        // Re-borrow: submit may have run a subscriber.
+                        if let Some(entry) = self.conns.get_mut(&token) {
+                            entry.conn.out.fulfill(seq, bytes);
+                        }
+                        shutdown
+                    }
+                    Submission::Pending => false,
+                }
+            }
+            Frame::Oversized { limit } => {
+                entry.conn.last_activity = Instant::now();
+                let err = WireError::new(
+                    "oversize",
+                    format!("request line exceeds the {limit}-byte limit"),
+                );
+                let bytes = self.service.render_error(0, &err);
+                if let Some(entry) = self.conns.get_mut(&token) {
+                    entry.conn.out.push_ready(bytes);
+                }
+                false
+            }
+            Frame::Malformed => {
+                entry.conn.last_activity = Instant::now();
+                let err = WireError::new("parse", "request line is not valid UTF-8");
+                let bytes = self.service.render_error(0, &err);
+                if let Some(entry) = self.conns.get_mut(&token) {
+                    entry.conn.out.push_ready(bytes);
+                }
+                false
+            }
+        }
+    }
+
+    /// Post-activity connection maintenance: flush what can flush, apply
+    /// write backpressure to reads, re-arm interest, update gauges, and
+    /// close once a draining connection empties.
+    fn service_conn(&mut self, token: u64) {
+        let Some(entry) = self.conns.get_mut(&token) else { return };
+        if entry.conn.out.has_flushable() {
+            match entry.conn.write_step() {
+                Ok(_) => {}
+                Err(_) => {
+                    self.close_conn(token, false);
+                    return;
+                }
+            }
+        }
+        let entry = self.conns.get_mut(&token).expect("entry still present");
+        let cap = self.service.config().write_buffer_cap;
+        let pending = entry.conn.out.pending_bytes();
+        if entry.conn.paused_reads {
+            if pending <= cap / 2 {
+                entry.conn.paused_reads = false;
+            }
+        } else if cap > 0 && pending > cap {
+            entry.conn.paused_reads = true;
+        }
+        NetGauges::raise(&self.gauges.read_buf_hwm, entry.conn.framer.read_hwm() as u64);
+        NetGauges::raise(&self.gauges.write_buf_hwm, entry.conn.out.write_hwm() as u64);
+        if entry.conn.closing && !entry.conn.out.has_flushable() && !entry.conn.out.has_waiting() {
+            self.close_conn(token, false);
+            return;
+        }
+        let want = Interest {
+            readable: !entry.conn.paused_reads && !entry.conn.closing,
+            writable: entry.conn.out.has_flushable(),
+        };
+        if want != entry.armed && self.poller.modify(&entry.conn.stream, token, want).is_ok() {
+            entry.armed = want;
+        }
+    }
+
+    /// Closes connections that have gone `idle_timeout_ms` without a
+    /// complete request. Connections with work in flight (a queued
+    /// synthesis, unflushed bytes) are never idle — their clock is the
+    /// drain deadline, not the idle sweep.
+    fn sweep_idle(&mut self) {
+        let idle_ms = self.service.config().idle_timeout_ms;
+        if idle_ms == 0 {
+            return;
+        }
+        let interval = Duration::from_millis((idle_ms / 4).clamp(10, 1_000));
+        if self.last_sweep.elapsed() < interval {
+            return;
+        }
+        self.last_sweep = Instant::now();
+        let timeout = Duration::from_millis(idle_ms);
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, e)| {
+                e.conn.last_activity.elapsed() > timeout
+                    && !e.conn.out.has_waiting()
+                    && !e.conn.out.has_flushable()
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            self.close_conn(token, true);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64, idle: bool) {
+        if let Some(entry) = self.conns.remove(&token) {
+            let _ = self.poller.remove(&entry.conn.stream);
+            self.gauges.open_connections.fetch_sub(1, Ordering::Relaxed);
+            if idle {
+                self.gauges.idle_closed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! The TCP transport: a readiness-driven event loop over the vendored
+//! `mini-epoll` poller, with per-connection state machines.
+//!
+//! Layering:
+//!
+//! * [`conn`] — pure per-connection state (incremental line framing,
+//!   ordered response slots, partial-write bookkeeping). No sockets; unit
+//!   and property tested directly.
+//! * [`event_loop`] — the nonblocking listener, readiness dispatch, the
+//!   completion queue workers wake the loop through, idle sweeping, and
+//!   [`event_loop::Server`], the public handle.
+
+pub(crate) mod conn;
+pub(crate) mod event_loop;

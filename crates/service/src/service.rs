@@ -1,0 +1,482 @@
+//! The daemon's request brain, independent of any transport: feed it a
+//! request line, get response bytes. The TCP event loop, the benches, and
+//! the in-process tests all go through [`PlanService`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use hap_codec::{
+    encode_stream, parse, render_fingerprint, request_fingerprint_values, Encode, Value, WireError,
+};
+use mini_rayon::ThreadPool;
+
+use crate::cache::{compact_log, load_cache, CachePolicy, CachedPlan, PlanCache};
+use crate::config::{ServiceConfig, MAX_TTL_MS};
+use crate::dispatch::{self, Attach, PlanResult, QueueState, Shared};
+use crate::stats::{Counters, NetGauges, StatsSnapshot};
+
+/// A transport callback receiving rendered response bytes for a request
+/// whose synthesis resolved after [`PlanService::submit`] returned. Runs
+/// on the resolving worker's thread; must be quick (enqueue + wake).
+pub(crate) type Deliver = Box<dyn FnOnce(Vec<u8>) + Send>;
+
+/// How a plan response was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Answered from the cache.
+    Cache,
+    /// This request ran the synthesis.
+    Synthesized,
+    /// Joined another request's in-flight synthesis.
+    Coalesced,
+}
+
+impl PlanSource {
+    fn as_str(self) -> &'static str {
+        match self {
+            PlanSource::Cache => "cache",
+            PlanSource::Synthesized => "synthesized",
+            PlanSource::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// What [`PlanService::submit`] did with a request line.
+pub(crate) enum Submission {
+    /// The response is complete: one or more newline-terminated frames.
+    Ready { bytes: Vec<u8>, shutdown: bool },
+    /// A synthesis is in flight; the `deliver` callback will produce the
+    /// bytes on a worker thread when it resolves.
+    Pending,
+}
+
+/// The multi-tenant planning service: content-addressed cache,
+/// single-flight synthesis, fixed worker pool.
+pub struct PlanService {
+    shared: Arc<Shared>,
+    gauges: Arc<NetGauges>,
+    worker_width: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PlanService {
+    /// Builds the service: loads (and compacts) the persistence log when
+    /// configured, then starts the synthesis workers. Pool width follows
+    /// mini-rayon's parallelism accounting (`workers` threads, `0` = all
+    /// cores); each worker pulls one job at a time, so a slow synthesis
+    /// never stalls queued work behind a batch barrier, and each job's
+    /// wave-parallel A\* fans out over the vendored mini-rayon pool in
+    /// turn (`options.synth.threads`).
+    pub fn new(config: ServiceConfig) -> Result<Self, WireError> {
+        let policy = CachePolicy {
+            admission: config.cache_admission,
+            default_ttl: config.default_ttl_ms.map(std::time::Duration::from_millis),
+        };
+        let cache = PlanCache::with_policy(config.cache_capacity, policy);
+        let mut persist = None;
+        if let Some(path) = &config.cache_path {
+            load_cache(&cache, path).map_err(WireError::from)?;
+            compact_log(&cache, path)
+                .map_err(|e| WireError::new("io", format!("compact {}: {e}", path.display())))?;
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(|e| WireError::new("io", format!("open {}: {e}", path.display())))?;
+            persist = Some(Mutex::new(file));
+        }
+        let shared = Arc::new(Shared {
+            config,
+            cache,
+            inflight: Mutex::new(HashMap::new()),
+            queue: (
+                Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+                Condvar::new(),
+            ),
+            counters: Counters::default(),
+            persist,
+        });
+        let width = ThreadPool::new(shared.config.workers).threads().max(1);
+        let workers = (0..width)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || dispatch::worker_loop(&shared))
+            })
+            .collect();
+        Ok(PlanService {
+            shared,
+            gauges: Arc::new(NetGauges::default()),
+            worker_width: width,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The service's configuration.
+    pub(crate) fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// Synthesis worker threads running.
+    pub fn worker_count(&self) -> usize {
+        self.worker_width
+    }
+
+    /// The event-loop gauges (shared with the transport that updates
+    /// them; zeros for a transportless in-process service).
+    pub(crate) fn net_gauges(&self) -> Arc<NetGauges> {
+        self.gauges.clone()
+    }
+
+    /// Handles one request line; returns the response line (no trailing
+    /// newline) and whether the request asked the daemon to shut down.
+    ///
+    /// This is the synchronous path: a cache miss parks the calling
+    /// thread until the synthesis resolves. `"stream": true` is ignored
+    /// here — streaming is transport framing, and this entry point *is*
+    /// the canonical unstreamed encoding.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        match self.handle_parsed(line) {
+            Ok((response, shutdown)) => (response.render(), shutdown),
+            Err((id, err)) => {
+                self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                (error_frame(id, &err).render(), false)
+            }
+        }
+    }
+
+    fn handle_parsed(&self, line: &str) -> Result<(Value, bool), (u64, WireError)> {
+        let req = Request::parse(line)?;
+        match req.op {
+            ReqOp::Plan(plan) => {
+                let (source, fp, result) = self.plan_values_with_ttl(
+                    &plan.graph,
+                    &plan.cluster,
+                    &plan.options,
+                    plan.ttl_ms,
+                );
+                let plan_arc = result.map_err(|e| (req.id, e))?;
+                Ok((plan_frame(req.id, fp, source, &plan_arc), false))
+            }
+            ReqOp::Stats => Ok((self.stats_frame(req.id), false)),
+            ReqOp::Shutdown => Ok((ok_frame(req.id), true)),
+        }
+    }
+
+    /// The planning core: cache lookup, single-flight dedup, queue + wait.
+    /// Exposed for in-process callers (tests, benches) that want to skip
+    /// the socket but exercise the identical path.
+    pub fn plan_values(
+        &self,
+        graph: &Value,
+        cluster: &Value,
+        options: &Value,
+    ) -> (PlanSource, u64, PlanResult) {
+        self.plan_values_with_ttl(graph, cluster, options, None)
+    }
+
+    /// [`PlanService::plan_values`] with a per-request cache TTL.
+    pub fn plan_values_with_ttl(
+        &self,
+        graph: &Value,
+        cluster: &Value,
+        options: &Value,
+        ttl_ms: Option<u64>,
+    ) -> (PlanSource, u64, PlanResult) {
+        let shared = &self.shared;
+        let fp = request_fingerprint_values(graph, cluster, options);
+        if let Some(plan) = shared.cache.get(fp) {
+            shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return (PlanSource::Cache, fp, Ok(plan));
+        }
+        shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+        match dispatch::attach(shared, fp, graph, cluster, options, ttl_ms) {
+            Attach::Resolved(source, result) => (source, fp, result),
+            Attach::Leader(slot) => (PlanSource::Synthesized, fp, dispatch::wait_sync(&slot)),
+            Attach::Follower(slot) => (PlanSource::Coalesced, fp, dispatch::wait_sync(&slot)),
+        }
+    }
+
+    /// The asynchronous request path used by the event loop: never blocks
+    /// the calling thread on a synthesis. Inline-answerable requests
+    /// (cache hits, stats, shutdown, malformed frames, shed) return
+    /// [`Submission::Ready`]; a queued or joined synthesis returns
+    /// [`Submission::Pending`] and `deliver` later receives the rendered
+    /// response bytes on the resolving worker's thread.
+    pub(crate) fn submit(&self, line: &str, deliver: Deliver) -> Submission {
+        let req = match Request::parse(line) {
+            Ok(req) => req,
+            Err((id, err)) => {
+                return Submission::Ready { bytes: self.render_error(id, &err), shutdown: false }
+            }
+        };
+        let id = req.id;
+        match req.op {
+            ReqOp::Stats => {
+                Submission::Ready { bytes: frame_bytes(&self.stats_frame(id)), shutdown: false }
+            }
+            ReqOp::Shutdown => {
+                Submission::Ready { bytes: frame_bytes(&ok_frame(id)), shutdown: true }
+            }
+            ReqOp::Plan(plan) => {
+                let shared = &self.shared;
+                let stream_chunk = plan.stream.then_some(shared.config.stream_chunk_bytes);
+                let fp = request_fingerprint_values(&plan.graph, &plan.cluster, &plan.options);
+                if let Some(cached) = shared.cache.get(fp) {
+                    shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return Submission::Ready {
+                        bytes: plan_bytes(id, fp, PlanSource::Cache, &cached, stream_chunk),
+                        shutdown: false,
+                    };
+                }
+                shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+                let attach = dispatch::attach(
+                    shared,
+                    fp,
+                    &plan.graph,
+                    &plan.cluster,
+                    &plan.options,
+                    plan.ttl_ms,
+                );
+                let (slot, source) = match attach {
+                    // A leadership cache race resolves as a hit, exactly
+                    // like the sync path's re-probe.
+                    Attach::Resolved(source, Ok(cached)) => {
+                        return Submission::Ready {
+                            bytes: plan_bytes(id, fp, source, &cached, stream_chunk),
+                            shutdown: false,
+                        }
+                    }
+                    Attach::Resolved(_, Err(err)) => {
+                        return Submission::Ready {
+                            bytes: self.render_error(id, &err),
+                            shutdown: false,
+                        }
+                    }
+                    Attach::Leader(slot) => (slot, PlanSource::Synthesized),
+                    Attach::Follower(slot) => (slot, PlanSource::Coalesced),
+                };
+                // Subscribe a response renderer: each request renders with
+                // its own id, source, and streaming preference when the
+                // shared synthesis resolves.
+                let counters_shared = self.shared.clone();
+                dispatch::subscribe(
+                    &slot,
+                    Box::new(move |result: &PlanResult| {
+                        let bytes = match result {
+                            Ok(plan) => plan_bytes(id, fp, source, plan, stream_chunk),
+                            Err(err) => {
+                                counters_shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                                frame_bytes(&error_frame(id, err))
+                            }
+                        };
+                        deliver(bytes);
+                    }),
+                );
+                Submission::Pending
+            }
+        }
+    }
+
+    pub(crate) fn render_error(&self, id: u64, err: &WireError) -> Vec<u8> {
+        self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        frame_bytes(&error_frame(id, err))
+    }
+
+    fn stats_frame(&self, id: u64) -> Value {
+        Value::obj(vec![
+            ("id", Value::int(id)),
+            ("ok", Value::Bool(true)),
+            ("stats", self.stats().encode()),
+        ])
+    }
+
+    /// A consistent stats snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let shared = &self.shared;
+        StatsSnapshot {
+            entries: shared.cache.len() as u64,
+            hits: shared.counters.hits.load(Ordering::Relaxed),
+            misses: shared.counters.misses.load(Ordering::Relaxed),
+            coalesced: shared.counters.coalesced.load(Ordering::Relaxed),
+            synthesized: shared.counters.synthesized.load(Ordering::Relaxed),
+            evictions: shared.cache.evictions(),
+            warm_seeded: shared.counters.warm_seeded.load(Ordering::Relaxed),
+            errors: shared.counters.errors.load(Ordering::Relaxed),
+            in_flight: shared.inflight.lock().expect("inflight map poisoned").len() as u64,
+            shed: shared.counters.shed.load(Ordering::Relaxed),
+            admission_rejected: shared.cache.rejected(),
+            expired: shared.cache.expired(),
+            open_connections: self.gauges.open_connections.load(Ordering::Relaxed),
+            peak_connections: self.gauges.peak_connections.load(Ordering::Relaxed),
+            read_buf_hwm: self.gauges.read_buf_hwm.load(Ordering::Relaxed),
+            write_buf_hwm: self.gauges.write_buf_hwm.load(Ordering::Relaxed),
+            idle_closed: self.gauges.idle_closed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the queue and stops the workers. Idempotent.
+    pub fn stop(&self) {
+        let (queue, cvar) = &self.shared.queue;
+        queue.lock().expect("job queue poisoned").shutdown = true;
+        cvar.notify_all();
+        for handle in self.workers.lock().expect("worker handles poisoned").drain(..) {
+            handle.join().expect("synthesis worker panicked");
+        }
+    }
+}
+
+impl Drop for PlanService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing shared by the sync and async paths
+// ---------------------------------------------------------------------------
+
+struct PlanRequest {
+    graph: Value,
+    cluster: Value,
+    options: Value,
+    ttl_ms: Option<u64>,
+    stream: bool,
+}
+
+enum ReqOp {
+    Plan(Box<PlanRequest>),
+    Stats,
+    Shutdown,
+}
+
+struct Request {
+    id: u64,
+    op: ReqOp,
+}
+
+impl Request {
+    fn parse(line: &str) -> Result<Request, (u64, WireError)> {
+        let v = parse(line).map_err(|e| (0, WireError::from(e)))?;
+        let id = v.get("id").and_then(|x| x.as_u64().ok()).unwrap_or(0);
+        let op = v
+            .get("op")
+            .and_then(|x| x.as_str().ok())
+            .ok_or_else(|| (id, WireError::new("decode", "missing `op`")))?;
+        match op {
+            "plan" => {
+                let fetch = |key: &str| v.field(key).cloned().map_err(|e| (id, WireError::from(e)));
+                let (graph, cluster, options) =
+                    (fetch("graph")?, fetch("cluster")?, fetch("options")?);
+                // Optional cache-lifetime request: how long the synthesized
+                // plan should stay valid (a tenant planning for a cluster
+                // it is about to decommission bounds its own footprint).
+                let ttl_ms = match v.get("ttl_ms") {
+                    None | Some(Value::Null) => None,
+                    Some(ms) => {
+                        let ms = ms.as_u64().map_err(|e| (id, WireError::from(e)))?;
+                        // Reject before any work: an unbounded TTL times
+                        // 1e6 (ns) would leave the codec's exact-integer
+                        // range and panic the persisting worker.
+                        if ms > MAX_TTL_MS {
+                            return Err((
+                                id,
+                                WireError::new(
+                                    "decode",
+                                    format!("ttl_ms {ms} exceeds the maximum {MAX_TTL_MS}"),
+                                ),
+                            ));
+                        }
+                        Some(ms)
+                    }
+                };
+                let stream = match v.get("stream") {
+                    None | Some(Value::Null) => false,
+                    Some(flag) => flag.as_bool().map_err(|e| (id, WireError::from(e)))?,
+                };
+                Ok(Request {
+                    id,
+                    op: ReqOp::Plan(Box::new(PlanRequest {
+                        graph,
+                        cluster,
+                        options,
+                        ttl_ms,
+                        stream,
+                    })),
+                })
+            }
+            "stats" => Ok(Request { id, op: ReqOp::Stats }),
+            "shutdown" => Ok(Request { id, op: ReqOp::Shutdown }),
+            other => Err((id, WireError::new("decode", format!("unknown op `{other}`")))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame rendering
+// ---------------------------------------------------------------------------
+
+/// `{"id":N,"ok":false,"error":{...}}`.
+pub(crate) fn error_frame(id: u64, err: &WireError) -> Value {
+    Value::obj(vec![("id", Value::int(id)), ("ok", Value::Bool(false)), ("error", err.encode())])
+}
+
+/// `{"id":N,"ok":true}`.
+fn ok_frame(id: u64) -> Value {
+    Value::obj(vec![("id", Value::int(id)), ("ok", Value::Bool(true))])
+}
+
+/// `{"id":N,"ok":true,"fingerprint":...,"source":...,"plan":{...}}`.
+fn plan_frame(id: u64, fp: u64, source: PlanSource, plan: &CachedPlan) -> Value {
+    Value::obj(vec![
+        ("id", Value::int(id)),
+        ("ok", Value::Bool(true)),
+        ("fingerprint", Value::Str(render_fingerprint(fp))),
+        ("source", Value::Str(source.as_str().into())),
+        (
+            "plan",
+            Value::obj(vec![
+                ("rounds", plan.rounds.encode()),
+                ("estimated_time", Value::Num(plan.estimated_time)),
+                ("ratios", plan.ratios.encode()),
+                ("program", plan.program.encode()),
+            ]),
+        ),
+    ])
+}
+
+/// One rendered frame plus its newline.
+pub(crate) fn frame_bytes(frame: &Value) -> Vec<u8> {
+    let mut bytes = frame.render().into_bytes();
+    bytes.push(b'\n');
+    bytes
+}
+
+/// The wire bytes of a successful plan response: the canonical single
+/// line, or — when the request advertised `"stream": true` — its chunked
+/// encoding. The stream payload *is* the canonical line, so reassembly is
+/// byte-identical to the unstreamed response.
+pub(crate) fn plan_bytes(
+    id: u64,
+    fp: u64,
+    source: PlanSource,
+    plan: &CachedPlan,
+    stream_chunk: Option<usize>,
+) -> Vec<u8> {
+    let line = plan_frame(id, fp, source, plan).render();
+    match stream_chunk {
+        None => {
+            let mut bytes = line.into_bytes();
+            bytes.push(b'\n');
+            bytes
+        }
+        Some(chunk) => {
+            let mut bytes = Vec::with_capacity(line.len() + line.len() / 8);
+            for frame in encode_stream(id, &line, chunk) {
+                bytes.extend_from_slice(frame.as_bytes());
+                bytes.push(b'\n');
+            }
+            bytes
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The `stats` wire snapshot and the daemon's internal counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hap_codec::{Decode, Encode, Value};
+
+/// Counters exposed by the `stats` request. `in_flight`, `entries`, and
+/// `open_connections` are gauges sampled at snapshot time; the rest are
+/// monotonic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Cached plans currently held.
+    pub entries: u64,
+    /// Requests answered straight from the cache.
+    pub hits: u64,
+    /// Requests that found no cached plan.
+    pub misses: u64,
+    /// Requests that joined an in-flight synthesis instead of starting one.
+    pub coalesced: u64,
+    /// Syntheses actually executed.
+    pub synthesized: u64,
+    /// Cache evictions.
+    pub evictions: u64,
+    /// Misses that were seeded from a neighbor's cached plan.
+    pub warm_seeded: u64,
+    /// Requests that returned an error frame.
+    pub errors: u64,
+    /// Syntheses currently running or queued.
+    pub in_flight: u64,
+    /// Requests shed with a `busy` frame (queue-depth admission control).
+    pub shed: u64,
+    /// Synthesized plans the cache's admission gate declined to store.
+    pub admission_rejected: u64,
+    /// Cache entries reclaimed by TTL expiry.
+    pub expired: u64,
+    /// Connections currently registered with the event loop.
+    pub open_connections: u64,
+    /// Most connections ever registered at once.
+    pub peak_connections: u64,
+    /// Largest partial request line buffered on any connection (bytes).
+    pub read_buf_hwm: u64,
+    /// Largest response backlog queued toward any connection (bytes).
+    pub write_buf_hwm: u64,
+    /// Connections closed by the idle-timeout sweep.
+    pub idle_closed: u64,
+}
+
+impl Encode for StatsSnapshot {
+    fn encode(&self) -> Value {
+        Value::obj(vec![
+            ("entries", Value::int(self.entries)),
+            ("hits", Value::int(self.hits)),
+            ("misses", Value::int(self.misses)),
+            ("coalesced", Value::int(self.coalesced)),
+            ("synthesized", Value::int(self.synthesized)),
+            ("evictions", Value::int(self.evictions)),
+            ("warm_seeded", Value::int(self.warm_seeded)),
+            ("errors", Value::int(self.errors)),
+            ("in_flight", Value::int(self.in_flight)),
+            ("shed", Value::int(self.shed)),
+            ("admission_rejected", Value::int(self.admission_rejected)),
+            ("expired", Value::int(self.expired)),
+            ("open_connections", Value::int(self.open_connections)),
+            ("peak_connections", Value::int(self.peak_connections)),
+            ("read_buf_hwm", Value::int(self.read_buf_hwm)),
+            ("write_buf_hwm", Value::int(self.write_buf_hwm)),
+            ("idle_closed", Value::int(self.idle_closed)),
+        ])
+    }
+}
+
+impl Decode for StatsSnapshot {
+    fn decode(v: &Value) -> Result<Self, hap_codec::CodecError> {
+        // Keys gained after PR 4 (the overload counters) and PR 6 (the
+        // event-loop gauges) decode leniently: a stats frame from an older
+        // daemon simply reports them as zero.
+        let lenient = |key: &str| match v.get(key) {
+            None => Ok(0),
+            Some(x) => x.as_u64(),
+        };
+        Ok(StatsSnapshot {
+            entries: v.field("entries")?.as_u64()?,
+            hits: v.field("hits")?.as_u64()?,
+            misses: v.field("misses")?.as_u64()?,
+            coalesced: v.field("coalesced")?.as_u64()?,
+            synthesized: v.field("synthesized")?.as_u64()?,
+            evictions: v.field("evictions")?.as_u64()?,
+            warm_seeded: v.field("warm_seeded")?.as_u64()?,
+            errors: v.field("errors")?.as_u64()?,
+            in_flight: v.field("in_flight")?.as_u64()?,
+            shed: lenient("shed")?,
+            admission_rejected: lenient("admission_rejected")?,
+            expired: lenient("expired")?,
+            open_connections: lenient("open_connections")?,
+            peak_connections: lenient("peak_connections")?,
+            read_buf_hwm: lenient("read_buf_hwm")?,
+            write_buf_hwm: lenient("write_buf_hwm")?,
+            idle_closed: lenient("idle_closed")?,
+        })
+    }
+}
+
+/// Monotonic request counters, bumped from whatever thread handles the
+/// request (loop thread for inline answers, workers for deferred ones).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub synthesized: AtomicU64,
+    pub warm_seeded: AtomicU64,
+    pub errors: AtomicU64,
+    pub shed: AtomicU64,
+}
+
+/// Event-loop gauges, owned by the service so `stats` works both with and
+/// without a TCP transport (an in-process service reports zeros).
+#[derive(Default)]
+pub(crate) struct NetGauges {
+    pub open_connections: AtomicU64,
+    pub peak_connections: AtomicU64,
+    pub read_buf_hwm: AtomicU64,
+    pub write_buf_hwm: AtomicU64,
+    pub idle_closed: AtomicU64,
+}
+
+impl NetGauges {
+    /// Raises a high-water-mark gauge to at least `value`.
+    pub fn raise(gauge: &AtomicU64, value: u64) {
+        gauge.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_is_lenient_for_frames_from_older_daemons() {
+        // A PR-5-era frame: overload counters present, no event-loop
+        // gauges.
+        let old = "{\"entries\":1,\"hits\":2,\"misses\":3,\"coalesced\":4,\"synthesized\":5,\
+                   \"evictions\":6,\"warm_seeded\":7,\"errors\":8,\"in_flight\":9,\"shed\":10,\
+                   \"admission_rejected\":11,\"expired\":12}";
+        let snap = StatsSnapshot::decode(&hap_codec::parse(old).unwrap()).unwrap();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.shed, 10);
+        assert_eq!(snap.open_connections, 0);
+        assert_eq!(snap.peak_connections, 0);
+        assert_eq!(snap.idle_closed, 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_field() {
+        let snap = StatsSnapshot {
+            entries: 1,
+            hits: 2,
+            misses: 3,
+            coalesced: 4,
+            synthesized: 5,
+            evictions: 6,
+            warm_seeded: 7,
+            errors: 8,
+            in_flight: 9,
+            shed: 10,
+            admission_rejected: 11,
+            expired: 12,
+            open_connections: 13,
+            peak_connections: 14,
+            read_buf_hwm: 15,
+            write_buf_hwm: 16,
+            idle_closed: 17,
+        };
+        let back = StatsSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

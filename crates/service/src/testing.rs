@@ -252,6 +252,18 @@ pub fn drive_sequential(
     ops: &[StressOp],
     retry: &RetryPolicy,
 ) -> Vec<StepOutcome> {
+    drive_sequential_opts(addr, ops, retry, false)
+}
+
+/// [`drive_sequential`] with an optional chunked-streaming transport —
+/// the connection-scale soak drives part of its traffic streamed to prove
+/// the framing change is invisible to every overload invariant.
+pub fn drive_sequential_opts(
+    addr: std::net::SocketAddr,
+    ops: &[StressOp],
+    retry: &RetryPolicy,
+    stream: bool,
+) -> Vec<StepOutcome> {
     let mut client = Client::connect(addr).expect("stress client connect");
     ops.iter()
         .map(|&op| {
@@ -260,7 +272,7 @@ pub fn drive_sequential(
                 StressOp::OneOff(i) => one_off_request(i),
             };
             let reply = client
-                .plan_with_retry(&req.graph, &req.cluster, &req.options, None, retry)
+                .plan_with_retry_opts(&req.graph, &req.cluster, &req.options, None, stream, retry)
                 .unwrap_or_else(|e| panic!("{}: {e}", req.name));
             StepOutcome { op, source: reply.source.clone(), bits: ReplyBits::of(&reply) }
         })

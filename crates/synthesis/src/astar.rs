@@ -41,7 +41,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use hap_cluster::VirtualDevice;
@@ -131,6 +131,57 @@ const DOMINANCE_SHARDS: usize = 64;
 
 /// Workers re-check the shared deadline flag every this many triples.
 const DEADLINE_STRIDE: usize = 256;
+
+/// Recycled state boxes a worker takes per `expand` call (one lock
+/// round-trip per call, not per successor).
+const RECYCLE_BATCH: usize = 16;
+
+/// Boxes the recycling pool retains between waves. Beyond this the
+/// surplus is freed: a single candidate-heavy wave must not pin its peak
+/// footprint for the rest of the search.
+const RECYCLE_CAP: usize = 4096;
+
+/// A bump-style recycling arena for wave states. Every wave discards far
+/// more `State` boxes than it commits — spent wave states, bound-rejected
+/// candidates, dominated successors — and the next wave immediately
+/// re-allocates boxes of the same shape. The pool closes that loop:
+/// discarded boxes (with their `stage` buffers) come back through
+/// [`apply_into`], so the steady-state expansion loop stops hitting the
+/// allocator for short-lived successors. Purely a storage cache — recycled
+/// slots are fully overwritten, so search results stay bit-identical.
+// `Vec<Box<State>>` is the point, not an accident (clippy::vec_box): the
+// boxes are the recycled resource — they move into `Candidate`/`Entry`
+// (both hold `Box<State>`) without re-allocating, which unboxed storage
+// would forfeit.
+#[allow(clippy::vec_box)]
+struct StatePool {
+    pool: Mutex<Vec<Box<State>>>,
+}
+
+#[allow(clippy::vec_box)]
+impl StatePool {
+    fn new() -> StatePool {
+        StatePool { pool: Mutex::new(Vec::new()) }
+    }
+
+    /// Moves up to [`RECYCLE_BATCH`] recycled boxes into `local`.
+    fn take(&self, local: &mut Vec<Box<State>>) {
+        let mut pool = self.pool.lock().unwrap();
+        let keep = pool.len().saturating_sub(RECYCLE_BATCH);
+        local.extend(pool.drain(keep..));
+    }
+
+    /// Returns `local`'s boxes to the pool, freeing any beyond
+    /// [`RECYCLE_CAP`].
+    fn give(&self, local: &mut Vec<Box<State>>) {
+        if local.is_empty() {
+            return;
+        }
+        let mut pool = self.pool.lock().unwrap();
+        pool.append(local);
+        pool.truncate(RECYCLE_CAP);
+    }
+}
 
 struct State {
     /// Hash-consed property set: cloning a state copies the id and bumps a
@@ -536,6 +587,11 @@ pub fn synthesize_with_theory_warm(
     let mut expansions = 0usize;
     let mut last_improvement = 0usize;
 
+    // Recycling arena: each wave's discarded state boxes feed the next
+    // wave's allocations. Shared across workers (batched, so the lock is
+    // touched twice per expand call, not per successor).
+    let recycle = StatePool::new();
+
     loop {
         if out_of_time.load(AtomicOrdering::Relaxed) || Instant::now() >= deadline {
             // Budget exhausted: fall back to the incumbent (paper-style
@@ -599,6 +655,7 @@ pub fn synthesize_with_theory_warm(
                 graph,
                 incumbent_cost,
                 &dominance,
+                &recycle,
                 &out_of_time,
                 deadline,
             )
@@ -608,6 +665,8 @@ pub fn synthesize_with_theory_warm(
             // are discarded so the result is the last wave's incumbent.
             return budget_fallback(incumbent, expansions);
         }
+        // The wave is spent: its boxes seed the next wave's successors.
+        recycle.give(&mut wave);
 
         // Gather: merge the wave's candidates in a stable, thread-count
         // independent order before any of them takes effect.
@@ -619,11 +678,14 @@ pub fn synthesize_with_theory_warm(
                 .then_with(|| a.fingerprint.cmp(&b.fingerprint))
         });
 
-        // Commit sequentially in merge order.
+        // Commit sequentially in merge order. Rejected candidates retire
+        // their boxes to the arena in one batch at the end.
+        let mut retired: Vec<Box<State>> = Vec::new();
         for cand in candidates {
             if let Some(inc) = &incumbent {
                 if cand.score >= inc.cost - EPS {
-                    continue; // admissible score cannot beat the incumbent
+                    retired.push(cand.state); // cannot beat the incumbent
+                    continue;
                 }
             }
             if cand.state.remaining_required == 0 {
@@ -631,16 +693,21 @@ pub fn synthesize_with_theory_warm(
                 // bound above). Equal-cost ties resolve to the candidate
                 // with the smaller fingerprint: it commits first in merge
                 // order and the bound then filters the rest.
-                incumbent = Some(Incumbent { cost: cand.cost, program: cand.state.program });
+                let mut state = cand.state;
+                let program = std::mem::replace(&mut state.program, ProgChain::new());
+                incumbent = Some(Incumbent { cost: cand.cost, program });
+                retired.push(state);
                 last_improvement = expansions;
                 continue;
             }
             if !dominance.try_commit(&cand.state.props, cand.cost) {
+                retired.push(cand.state);
                 continue;
             }
             frontier.push(Entry { score: cand.score, seq, state: cand.state });
             seq += 1;
         }
+        recycle.give(&mut retired);
 
         if let Some(beam) = config.beam_width {
             if frontier.len() > beam * 2 {
@@ -687,19 +754,26 @@ fn expand(
     graph: &Graph,
     incumbent_cost: Option<f64>,
     dominance: &DominanceMap,
+    recycle: &StatePool,
     out_of_time: &AtomicBool,
     deadline: Instant,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
     let mut scratch = vec![0.0; cur.stage.len()];
+    // Local freelist of recycled boxes: successors are built into these
+    // when available, and bound-rejected successors go straight back on.
+    let mut local: Vec<Box<State>> = Vec::new();
+    recycle.take(&mut local);
     let cur_stage_max = cur.stage.iter().cloned().fold(0.0, f64::max);
     for (k, triple) in theory.triples.iter().enumerate() {
         if k % DEADLINE_STRIDE == 0 {
             if out_of_time.load(AtomicOrdering::Relaxed) {
+                recycle.give(&mut local);
                 return out;
             }
             if Instant::now() >= deadline {
                 out_of_time.store(true, AtomicOrdering::Relaxed);
+                recycle.give(&mut local);
                 return out;
             }
         }
@@ -713,32 +787,42 @@ fn expand(
                 continue; // cannot beat the incumbent: skip without allocating
             }
         }
-        let succ = apply(cur, triple, costs, interner, theory, graph);
+        let succ = match local.pop() {
+            Some(mut slot) => {
+                apply_into(cur, triple, costs, interner, theory, graph, &mut slot);
+                slot
+            }
+            None => Box::new(apply(cur, triple, costs, interner, theory, graph)),
+        };
         let cost = succ.cost();
         if let Some(bound) = incumbent_cost {
             if cost >= bound - EPS {
+                local.push(succ);
                 continue;
             }
         }
         if succ.remaining_required == 0 {
             let fingerprint = succ.program.fingerprint();
-            out.push(Candidate { score: cost, cost, fingerprint, state: Box::new(succ) });
+            out.push(Candidate { score: cost, cost, fingerprint, state: succ });
             continue;
         }
         if let Some(c) = dominance.bound(&succ.props) {
             if c <= cost + EPS {
-                continue; // dominated by a previous wave
+                local.push(succ); // dominated by a previous wave
+                continue;
             }
         }
         let score = cost + costs.best_case_seconds(succ.remaining_flops);
         if let Some(bound) = incumbent_cost {
             if score >= bound - EPS {
-                continue; // admissible score cannot beat the incumbent
+                local.push(succ); // admissible score cannot beat the incumbent
+                continue;
             }
         }
         let fingerprint = succ.program.fingerprint();
-        out.push(Candidate { score, cost, fingerprint, state: Box::new(succ) });
+        out.push(Candidate { score, cost, fingerprint, state: succ });
     }
+    recycle.give(&mut local);
     out
 }
 
@@ -965,9 +1049,37 @@ fn apply(
     theory: &Theory,
     graph: &Graph,
 ) -> State {
+    let mut out = State {
+        props: cur.props.clone(),
+        closed: 0.0,
+        stage: Vec::with_capacity(cur.stage.len()),
+        remaining_flops: 0.0,
+        remaining_required: 0,
+        program: ProgChain::new(),
+    };
+    apply_into(cur, triple, costs, interner, theory, graph, &mut out);
+    out
+}
+
+/// [`apply`] into a recycled slot: identical arithmetic operation for
+/// operation, but the successor overwrites `slot`, reusing its `stage`
+/// buffer's capacity instead of allocating a fresh one. This is the
+/// [`StatePool`] fast path; `slot`'s prior contents are irrelevant.
+#[allow(clippy::too_many_arguments)]
+fn apply_into(
+    cur: &State,
+    triple: &Triple,
+    costs: &CostSource,
+    interner: &PropInterner,
+    theory: &Theory,
+    graph: &Graph,
+    slot: &mut State,
+) {
     let mut props = PropSet::clone(&cur.props);
     let mut closed = cur.closed;
-    let mut stage = cur.stage.clone();
+    let stage = &mut slot.stage;
+    stage.clear();
+    stage.extend_from_slice(&cur.stage);
     let mut remaining_flops = cur.remaining_flops;
     let mut remaining_required = cur.remaining_required;
     let mut program = cur.program.clone();
@@ -985,7 +1097,7 @@ fn apply(
                 program = program.push(instr.clone());
             }
             DistInstr::Compute { node, rule } => {
-                costs.add_compute(&mut stage, *node, rule);
+                costs.add_compute(stage, *node, rule);
                 program = program.push(instr.clone());
             }
             DistInstr::Collective { node, kind } => {
@@ -1007,8 +1119,11 @@ fn apply(
         }
     });
 
-    let props = interner.intern(props);
-    State { props, closed, stage, remaining_flops, remaining_required, program }
+    slot.props = interner.intern(props);
+    slot.closed = closed;
+    slot.remaining_flops = remaining_flops;
+    slot.remaining_required = remaining_required;
+    slot.program = program;
 }
 
 /// Re-costs an existing program, mirroring [`apply`]'s stage arithmetic
@@ -1180,6 +1295,64 @@ impl HotPathBench {
                     checksum = checksum.rotate_left(1)
                         ^ succ.cost().to_bits()
                         ^ succ.program.fingerprint();
+                }
+            }
+        }
+        (applications, checksum)
+    }
+
+    /// [`HotPathBench::run`] through the table oracle, but with the
+    /// production recycling arena: every surviving successor is built by
+    /// [`apply_into`] into a box drawn from a local freelist and returned
+    /// to it, exactly the steady state `expand` reaches against a
+    /// [`StatePool`]. The checksum must match [`HotPathBench::run`] bit
+    /// for bit (asserted by the micro-bench and the equivalence test);
+    /// the `synthesis/expand_hot_path_arena` series gates the recycled
+    /// path's throughput against the allocating one.
+    pub fn run_arena(&self) -> (usize, u64) {
+        // Same per-run setup as `run`, so the gated ratio compares only
+        // the inner loop.
+        let _cm = CostModel::new(&self.graph, &self.devices, &self.profile, &self.ratios);
+        let costs = CostSource::Tables(&self.tables);
+        let mut scratch = vec![0.0; self.devices.len()];
+        let mut freelist: Vec<Box<State>> = Vec::new();
+        let mut applications = 0usize;
+        let mut checksum = 0u64;
+        for (state, stage_max, matched) in &self.states {
+            for &k in matched {
+                let triple = &self.theory.triples[k];
+                let (pcost, premaining) =
+                    preview(state, *stage_max, triple, &costs, &self.theory, &mut scratch);
+                let score = pcost + costs.best_case_seconds(premaining);
+                applications += 1;
+                checksum = checksum.rotate_left(1) ^ score.to_bits();
+                if score < self.bound {
+                    let succ = match freelist.pop() {
+                        Some(mut slot) => {
+                            apply_into(
+                                state,
+                                triple,
+                                &costs,
+                                &self.interner,
+                                &self.theory,
+                                &self.graph,
+                                &mut slot,
+                            );
+                            slot
+                        }
+                        None => Box::new(apply(
+                            state,
+                            triple,
+                            &costs,
+                            &self.interner,
+                            &self.theory,
+                            &self.graph,
+                        )),
+                    };
+                    checksum = checksum.rotate_left(1)
+                        ^ succ.cost().to_bits()
+                        ^ succ.program.fingerprint();
+                    freelist.push(succ);
                 }
             }
         }

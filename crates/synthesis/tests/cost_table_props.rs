@@ -127,9 +127,12 @@ proptest! {
         let bench = HotPathBench::new(graph, devices, profile, ratios, 24);
         let (apps_t, sum_t) = bench.run(true);
         let (apps_d, sum_d) = bench.run(false);
+        let (apps_a, sum_a) = bench.run_arena();
         prop_assert!(apps_t > 0, "workload must not be empty");
         prop_assert_eq!(apps_t, apps_d);
+        prop_assert_eq!(apps_t, apps_a);
         prop_assert_eq!(apps_t, bench.applications());
         prop_assert_eq!(sum_t, sum_d, "table vs direct cost drift");
+        prop_assert_eq!(sum_t, sum_a, "arena vs allocating apply drift");
     }
 }

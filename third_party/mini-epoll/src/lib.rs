@@ -1,0 +1,933 @@
+//! Workspace-local miniature readiness-polling shim.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of `mio`'s surface the HAP plan service needs: register
+//! sockets with a poller under integer tokens, block until some of them
+//! are readable/writable, and wake the blocked thread from elsewhere.
+//!
+//! Three backends live behind one [`Poller`] type:
+//!
+//! * **epoll** (Linux) — `epoll_create1`/`epoll_ctl`/`epoll_wait` via
+//!   hand-written FFI (std already links libc, so no crate is needed).
+//! * **poll** (any unix) — `poll(2)` over a registration table. On Linux
+//!   it is also selectable explicitly (or via `MINI_EPOLL_BACKEND=poll`)
+//!   so the portable path stays under test on the primary platform.
+//! * **spin** (anywhere) — no OS readiness at all: `wait` sleeps in short
+//!   slices and reports every registered socket as ready per its
+//!   interest. Spurious readiness is sound under level-triggered
+//!   semantics as long as callers use nonblocking I/O and tolerate
+//!   `WouldBlock`, which the plan service's event loop does.
+//!
+//! All backends are **level-triggered**: an event repeats on every `wait`
+//! while the condition holds, so a caller that cannot finish a read or
+//! write this iteration simply sees the event again — no re-arm
+//! bookkeeping, no lost wakeups.
+//!
+//! Cross-thread wakeups ([`Waker`]) use a self-pipe on the unix backends
+//! (the classic trick: the read end is registered with the poller, a wake
+//! writes one byte) and an atomic flag on the spin backend. A wake
+//! surfaces as an event carrying the reserved [`WAKE_TOKEN`].
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Reserved token reported for [`Waker`] wakeups; [`Poller::add`] rejects
+/// it for user registrations.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// What readiness a registration wants to hear about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the socket is readable (or has hung up).
+    pub readable: bool,
+    /// Report when the socket is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Writable only.
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Neither — the socket stays registered (hangup is still reported)
+    /// but drives no read/write events. Used for backpressure pauses.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the socket was registered under ([`WAKE_TOKEN`] for
+    /// waker wakeups).
+    pub token: u64,
+    /// The socket is readable (includes remote hangup: a read will not
+    /// block, it returns 0 or an error).
+    pub readable: bool,
+    /// The socket is writable.
+    pub writable: bool,
+    /// The peer hung up or the socket errored; the caller should read to
+    /// EOF and drop the connection.
+    pub hangup: bool,
+}
+
+/// Anything with an OS-pollable handle. Blanket-implemented for every
+/// `AsRawFd` type on unix, so `TcpListener`/`TcpStream` register directly.
+pub trait Source {
+    /// The raw handle to register.
+    fn raw(&self) -> RawHandle;
+}
+
+/// Platform raw socket handle.
+#[cfg(unix)]
+pub type RawHandle = std::os::unix::io::RawFd;
+/// Platform raw socket handle (opaque on non-unix; only the spin backend
+/// exists there and it never inspects the handle).
+#[cfg(not(unix))]
+pub type RawHandle = i64;
+
+#[cfg(unix)]
+impl<T: std::os::unix::io::AsRawFd> Source for T {
+    fn raw(&self) -> RawHandle {
+        self.as_raw_fd()
+    }
+}
+
+/// Backend selector for [`Poller::with_backend`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll`.
+    Epoll,
+    /// Portable-unix `poll(2)`.
+    Poll,
+    /// OS-free spin/sleep fallback.
+    Spin,
+}
+
+impl Backend {
+    /// Every backend this platform can construct, best first.
+    pub fn available() -> Vec<Backend> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![Backend::Epoll, Backend::Poll, Backend::Spin]
+        }
+        #[cfg(all(unix, not(target_os = "linux")))]
+        {
+            vec![Backend::Poll, Backend::Spin]
+        }
+        #[cfg(not(unix))]
+        {
+            vec![Backend::Spin]
+        }
+    }
+
+    /// The default backend: the platform's best, unless the
+    /// `MINI_EPOLL_BACKEND` environment variable (`epoll`/`poll`/`spin`)
+    /// overrides it — the service's test suite uses the override to soak
+    /// the portable paths on Linux.
+    pub fn default_for_platform() -> Backend {
+        let best = *Backend::available().first().expect("at least one backend");
+        match std::env::var("MINI_EPOLL_BACKEND").ok().as_deref() {
+            Some("epoll") if Backend::available().contains(&Backend::Epoll) => Backend::Epoll,
+            Some("poll") if Backend::available().contains(&Backend::Poll) => Backend::Poll,
+            Some("spin") => Backend::Spin,
+            _ => best,
+        }
+    }
+}
+
+/// A cross-thread wake handle for a [`Poller`]; cloneable and cheap.
+/// `wake` never blocks and swallows I/O errors (waking a dropped poller
+/// is a no-op, not a panic — shutdown paths race against the loop exit).
+#[derive(Clone)]
+pub struct Waker {
+    inner: WakerInner,
+}
+
+#[derive(Clone)]
+enum WakerInner {
+    #[cfg(unix)]
+    Pipe(Arc<sys::OwnedFd>),
+    Flag(Arc<AtomicBool>),
+}
+
+impl Waker {
+    /// Makes the poller's current or next [`Poller::wait`] return with a
+    /// [`WAKE_TOKEN`] event.
+    pub fn wake(&self) {
+        match &self.inner {
+            #[cfg(unix)]
+            WakerInner::Pipe(fd) => {
+                // One byte is enough: wakes coalesce, the reader drains.
+                sys::write_byte(fd.0);
+            }
+            WakerInner::Flag(flag) => flag.store(true, Ordering::Release),
+        }
+    }
+}
+
+/// A readiness poller over registered sockets. See the crate docs for
+/// backend selection and semantics.
+pub struct Poller {
+    backend: BackendImpl,
+    wake: WakeRecv,
+}
+
+enum BackendImpl {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::EpollPoller),
+    #[cfg(unix)]
+    Poll(pollbe::PollPoller),
+    Spin(spin::SpinPoller),
+}
+
+enum WakeRecv {
+    #[cfg(unix)]
+    Pipe {
+        read: sys::OwnedFd,
+        write: Arc<sys::OwnedFd>,
+    },
+    Flag(Arc<AtomicBool>),
+}
+
+impl Poller {
+    /// A poller on the platform's default backend.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(Backend::default_for_platform())
+    }
+
+    /// A poller on an explicit backend; errors if the backend is not
+    /// available on this platform.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => {
+                let (read, write) = sys::wake_pipe()?;
+                let inner = epoll::EpollPoller::new(read.0)?;
+                Ok(Poller {
+                    backend: BackendImpl::Epoll(inner),
+                    wake: WakeRecv::Pipe { read, write: Arc::new(write) },
+                })
+            }
+            #[cfg(unix)]
+            Backend::Poll => {
+                let (read, write) = sys::wake_pipe()?;
+                Ok(Poller {
+                    backend: BackendImpl::Poll(pollbe::PollPoller::new(read.0)),
+                    wake: WakeRecv::Pipe { read, write: Arc::new(write) },
+                })
+            }
+            Backend::Spin => Ok(Poller {
+                backend: BackendImpl::Spin(spin::SpinPoller::default()),
+                wake: WakeRecv::Flag(Arc::new(AtomicBool::new(false))),
+            }),
+            #[allow(unreachable_patterns)]
+            other => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("backend {other:?} is not available on this platform"),
+            )),
+        }
+    }
+
+    /// The backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(_) => Backend::Epoll,
+            #[cfg(unix)]
+            BackendImpl::Poll(_) => Backend::Poll,
+            BackendImpl::Spin(_) => Backend::Spin,
+        }
+    }
+
+    /// A wake handle usable from any thread.
+    pub fn waker(&self) -> Waker {
+        match &self.wake {
+            #[cfg(unix)]
+            WakeRecv::Pipe { write, .. } => Waker { inner: WakerInner::Pipe(write.clone()) },
+            WakeRecv::Flag(flag) => Waker { inner: WakerInner::Flag(flag.clone()) },
+        }
+    }
+
+    /// Registers a socket under `token` with the given interest. The
+    /// caller keeps ownership of the socket and must [`Poller::remove`]
+    /// it before closing it. Registering an already-registered socket or
+    /// the reserved [`WAKE_TOKEN`] is an error.
+    pub fn add(&self, source: &impl Source, token: u64, interest: Interest) -> io::Result<()> {
+        if token == WAKE_TOKEN {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "token is reserved"));
+        }
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(p) => p.add(source.raw(), token, interest),
+            #[cfg(unix)]
+            BackendImpl::Poll(p) => p.add(source.raw(), token, interest),
+            BackendImpl::Spin(p) => p.add(source.raw(), token, interest),
+        }
+    }
+
+    /// Changes a registered socket's interest.
+    pub fn modify(&self, source: &impl Source, token: u64, interest: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(p) => p.modify(source.raw(), token, interest),
+            #[cfg(unix)]
+            BackendImpl::Poll(p) => p.modify(source.raw(), interest),
+            BackendImpl::Spin(p) => p.modify(source.raw(), interest),
+        }
+    }
+
+    /// Deregisters a socket.
+    pub fn remove(&self, source: &impl Source) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(p) => p.remove(source.raw()),
+            #[cfg(unix)]
+            BackendImpl::Poll(p) => p.remove(source.raw()),
+            BackendImpl::Spin(p) => p.remove(source.raw()),
+        }
+    }
+
+    /// Blocks until at least one registered socket is ready, a waker
+    /// fires, or `timeout` elapses (`None` = forever). Events are
+    /// appended to `events` (cleared first); returns the event count.
+    /// May return `Ok(0)` spuriously (e.g. after a signal interrupt) —
+    /// callers already loop.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(p) => p.wait(events, timeout)?,
+            #[cfg(unix)]
+            BackendImpl::Poll(p) => p.wait(events, timeout, self.wake_read_fd())?,
+            BackendImpl::Spin(p) => p.wait(events, timeout, self.wake_flag()),
+        }
+        // Unix backends surface the wake pipe as a WAKE_TOKEN event; the
+        // byte(s) must be drained here or the pipe stays readable and the
+        // loop spins.
+        #[cfg(unix)]
+        if events.iter().any(|e| e.token == WAKE_TOKEN) {
+            if let WakeRecv::Pipe { read, .. } = &self.wake {
+                sys::drain(read.0);
+            }
+        }
+        Ok(events.len())
+    }
+
+    #[cfg(unix)]
+    fn wake_read_fd(&self) -> RawHandle {
+        match &self.wake {
+            WakeRecv::Pipe { read, .. } => read.0,
+            WakeRecv::Flag(_) => -1,
+        }
+    }
+
+    fn wake_flag(&self) -> Option<&AtomicBool> {
+        match &self.wake {
+            #[cfg(unix)]
+            WakeRecv::Pipe { .. } => None,
+            WakeRecv::Flag(flag) => Some(flag),
+        }
+    }
+}
+
+/// Milliseconds for the C poll/epoll timeout argument: `None` → -1
+/// (forever), rounding partial milliseconds up so short timeouts do not
+/// truncate to a zero-timeout busy spin.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let mut ms = d.as_millis();
+            if d.subsec_nanos() % 1_000_000 != 0 {
+                ms += 1;
+            }
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw unix syscalls (std links libc; hand-declared, no libc crate)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: c_int = 0x0004;
+
+    /// A raw fd closed on drop.
+    pub struct OwnedFd(pub c_int);
+
+    impl Drop for OwnedFd {
+        fn drop(&mut self) {
+            unsafe { close(self.0) };
+        }
+    }
+
+    fn set_nonblocking(fd: c_int) -> io::Result<()> {
+        let flags = unsafe { fcntl(fd, F_GETFL) };
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// A nonblocking self-pipe: `(read_end, write_end)`.
+    pub fn wake_pipe() -> io::Result<(OwnedFd, OwnedFd)> {
+        let mut fds = [0 as c_int; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let (r, w) = (OwnedFd(fds[0]), OwnedFd(fds[1]));
+        set_nonblocking(r.0)?;
+        set_nonblocking(w.0)?;
+        Ok((r, w))
+    }
+
+    /// Writes one byte, ignoring the result (a full pipe already wakes
+    /// the reader; a closed pipe means the poller is gone).
+    pub fn write_byte(fd: c_int) {
+        let byte = 1u8;
+        unsafe { write(fd, (&byte as *const u8).cast(), 1) };
+    }
+
+    /// Reads until empty (nonblocking), discarding the bytes.
+    pub fn drain(fd: c_int) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// epoll backend (Linux)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{timeout_ms, Event, Interest, RawHandle, WAKE_TOKEN};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    // x86-64 keeps the kernel's packed 12-byte layout; other arches use
+    // the natural (aligned) one — mirroring the uapi headers.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut EpollEvent, max: c_int, timeout: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EINTR: i32 = 4;
+    const MAX_EVENTS: usize = 256;
+
+    fn mask(interest: Interest) -> u32 {
+        // ERR/HUP are always reported by epoll regardless of the mask;
+        // RDHUP must be asked for.
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    pub struct EpollPoller {
+        epfd: c_int,
+    }
+
+    impl Drop for EpollPoller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    impl EpollPoller {
+        pub fn new(wake_read_fd: RawHandle) -> io::Result<EpollPoller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let poller = EpollPoller { epfd };
+            poller.ctl(EPOLL_CTL_ADD, wake_read_fd, EPOLLIN, WAKE_TOKEN)?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: c_int, fd: RawHandle, events: u32, data: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data };
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawHandle, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, mask(interest), token)
+        }
+
+        pub fn modify(&self, fd: RawHandle, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, mask(interest), token)
+        }
+
+        pub fn remove(&self, fd: RawHandle) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let n = unsafe {
+                epoll_wait(self.epfd, buf.as_mut_ptr(), MAX_EVENTS as c_int, timeout_ms(timeout))
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() == Some(EINTR) {
+                    return Ok(()); // spurious Ok(0); the caller loops
+                }
+                return Err(err);
+            }
+            for ev in &buf[..n as usize] {
+                let (bits, data) = (ev.events, ev.data);
+                out.push(Event {
+                    token: data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// poll(2) backend (portable unix)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod pollbe {
+    use super::{timeout_ms, Event, Interest, RawHandle, WAKE_TOKEN};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    #[cfg(target_os = "linux")]
+    type Nfds = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type Nfds = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: Nfds, timeout: c_int) -> c_int;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const EINTR: i32 = 4;
+
+    struct Reg {
+        fd: RawHandle,
+        token: u64,
+        interest: Interest,
+    }
+
+    pub struct PollPoller {
+        wake_fd: RawHandle,
+        regs: Mutex<Vec<Reg>>,
+    }
+
+    impl PollPoller {
+        pub fn new(wake_fd: RawHandle) -> PollPoller {
+            PollPoller { wake_fd, regs: Mutex::new(Vec::new()) }
+        }
+
+        pub fn add(&self, fd: RawHandle, token: u64, interest: Interest) -> io::Result<()> {
+            let mut regs = self.regs.lock().expect("poll registrations poisoned");
+            if regs.iter().any(|r| r.fd == fd) {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+            }
+            regs.push(Reg { fd, token, interest });
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawHandle, interest: Interest) -> io::Result<()> {
+            let mut regs = self.regs.lock().expect("poll registrations poisoned");
+            match regs.iter_mut().find(|r| r.fd == fd) {
+                Some(reg) => {
+                    reg.interest = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn remove(&self, fd: RawHandle) -> io::Result<()> {
+            let mut regs = self.regs.lock().expect("poll registrations poisoned");
+            let before = regs.len();
+            regs.retain(|r| r.fd != fd);
+            if regs.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+            wake_fd: RawHandle,
+        ) -> io::Result<()> {
+            debug_assert_eq!(wake_fd, self.wake_fd);
+            // Snapshot registrations into the pollfd table. Entry 0 is the
+            // wake pipe; ERR/HUP are reported by poll(2) regardless of the
+            // requested events, so Interest::NONE still surfaces hangups.
+            let mut fds = vec![PollFd { fd: self.wake_fd, events: POLLIN, revents: 0 }];
+            let tokens: Vec<u64> = {
+                let regs = self.regs.lock().expect("poll registrations poisoned");
+                for reg in regs.iter() {
+                    let mut events = 0i16;
+                    if reg.interest.readable {
+                        events |= POLLIN;
+                    }
+                    if reg.interest.writable {
+                        events |= POLLOUT;
+                    }
+                    fds.push(PollFd { fd: reg.fd, events, revents: 0 });
+                }
+                regs.iter().map(|r| r.token).collect()
+            };
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() == Some(EINTR) {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            if fds[0].revents & POLLIN != 0 {
+                out.push(Event {
+                    token: WAKE_TOKEN,
+                    readable: true,
+                    writable: false,
+                    hangup: false,
+                });
+            }
+            for (pfd, token) in fds[1..].iter().zip(tokens) {
+                let re = pfd.revents;
+                if re == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: re & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: re & POLLOUT != 0,
+                    hangup: re & (POLLHUP | POLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// spin backend (portable everywhere)
+// ---------------------------------------------------------------------------
+
+mod spin {
+    use super::{Event, Interest, RawHandle, WAKE_TOKEN};
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    /// Sleep slice between spurious-readiness rounds: long enough not to
+    /// burn a core, short enough that a test suite never notices.
+    const SLICE: Duration = Duration::from_millis(1);
+
+    #[derive(Default)]
+    pub struct SpinPoller {
+        regs: Mutex<Vec<(RawHandle, u64, Interest)>>,
+    }
+
+    impl SpinPoller {
+        pub fn add(&self, fd: RawHandle, token: u64, interest: Interest) -> io::Result<()> {
+            let mut regs = self.regs.lock().expect("spin registrations poisoned");
+            if regs.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+            }
+            regs.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawHandle, interest: Interest) -> io::Result<()> {
+            let mut regs = self.regs.lock().expect("spin registrations poisoned");
+            match regs.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(reg) => {
+                    reg.2 = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn remove(&self, fd: RawHandle) -> io::Result<()> {
+            let mut regs = self.regs.lock().expect("spin registrations poisoned");
+            let before = regs.len();
+            regs.retain(|&(f, _, _)| f != fd);
+            if regs.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+            flag: Option<&AtomicBool>,
+        ) {
+            let deadline = timeout.map(|t| Instant::now() + t);
+            loop {
+                if let Some(flag) = flag {
+                    if flag.swap(false, Ordering::Acquire) {
+                        out.push(Event {
+                            token: WAKE_TOKEN,
+                            readable: true,
+                            writable: false,
+                            hangup: false,
+                        });
+                        return;
+                    }
+                }
+                // Without OS readiness every registered socket with any
+                // interest is reported as ready (spurious but sound for
+                // nonblocking callers). Sleep one slice first so a busy
+                // loop over WouldBlock sockets does not burn the core.
+                std::thread::sleep(SLICE);
+                {
+                    let regs = self.regs.lock().expect("spin registrations poisoned");
+                    for &(_, token, interest) in regs.iter() {
+                        if interest.readable || interest.writable {
+                            out.push(Event {
+                                token,
+                                readable: interest.readable,
+                                writable: interest.writable,
+                                hangup: false,
+                            });
+                        }
+                    }
+                }
+                if !out.is_empty() {
+                    return;
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn each_backend(f: impl Fn(Poller)) {
+        for backend in Backend::available() {
+            f(Poller::with_backend(backend).expect("construct backend"));
+        }
+    }
+
+    #[test]
+    fn waker_unblocks_a_parked_wait() {
+        each_backend(|poller| {
+            let waker = poller.waker();
+            let started = Instant::now();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.wake();
+            });
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+            assert!(events.iter().any(|e| e.token == WAKE_TOKEN), "{:?}", poller.backend());
+            assert!(started.elapsed() < Duration::from_secs(5), "{:?}", poller.backend());
+            handle.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn timeout_elapses_with_no_events() {
+        each_backend(|poller| {
+            let mut events = Vec::new();
+            let started = Instant::now();
+            let n = poller.wait(&mut events, Some(Duration::from_millis(40))).unwrap();
+            assert_eq!(n, 0, "{:?}", poller.backend());
+            assert!(started.elapsed() >= Duration::from_millis(25), "{:?}", poller.backend());
+        });
+    }
+
+    #[test]
+    fn listener_reports_readable_on_pending_connection() {
+        for backend in [Backend::Epoll, Backend::Poll] {
+            if !Backend::available().contains(&backend) {
+                continue;
+            }
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poller.add(&listener, 7, Interest::READ).unwrap();
+            let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+            let ev = events.iter().find(|e| e.token == 7).expect("listener event");
+            assert!(ev.readable, "{backend:?}");
+            poller.remove(&listener).unwrap();
+        }
+    }
+
+    #[test]
+    fn connected_stream_reports_writable_and_interest_rearm_silences_it() {
+        for backend in [Backend::Epoll, Backend::Poll] {
+            if !Backend::available().contains(&backend) {
+                continue;
+            }
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (_peer, _) = listener.accept().unwrap();
+            stream.set_nonblocking(true).unwrap();
+            poller.add(&stream, 3, Interest::BOTH).unwrap();
+
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+            let ev = events.iter().find(|e| e.token == 3).expect("stream event");
+            assert!(ev.writable, "{backend:?}");
+
+            // Dropping write interest re-arms the level-triggered source:
+            // an idle connected socket now produces nothing.
+            poller.modify(&stream, 3, Interest::READ).unwrap();
+            poller.wait(&mut events, Some(Duration::from_millis(60))).unwrap();
+            assert!(events.iter().all(|e| e.token != 3), "{backend:?}: unexpected {events:?}");
+            poller.remove(&stream).unwrap();
+        }
+    }
+
+    #[test]
+    fn peer_close_reports_readable_for_eof() {
+        for backend in [Backend::Epoll, Backend::Poll] {
+            if !Backend::available().contains(&backend) {
+                continue;
+            }
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (peer, _) = listener.accept().unwrap();
+            peer.set_nonblocking(true).unwrap();
+            poller.add(&peer, 9, Interest::READ).unwrap();
+            drop(client);
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+            let ev = events.iter().find(|e| e.token == 9).expect("hangup event");
+            assert!(ev.readable, "{backend:?}: EOF must surface as readable");
+            poller.remove(&peer).unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_add_is_rejected_on_every_backend() {
+        each_backend(|poller| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            poller.add(&listener, 1, Interest::READ).unwrap();
+            assert!(poller.add(&listener, 2, Interest::READ).is_err(), "{:?}", poller.backend());
+            poller.remove(&listener).unwrap();
+            assert!(poller.remove(&listener).is_err(), "{:?}", poller.backend());
+        });
+    }
+
+    #[test]
+    fn data_written_by_peer_is_reported_readable() {
+        each_backend(|poller| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (peer, _) = listener.accept().unwrap();
+            peer.set_nonblocking(true).unwrap();
+            poller.add(&peer, 11, Interest::READ).unwrap();
+            client.write_all(b"ping\n").unwrap();
+            client.flush().unwrap();
+            let mut events = Vec::new();
+            // The spin backend reports registered interest without looking
+            // at the socket; real backends must see actual readability.
+            poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+            let ev = events.iter().find(|e| e.token == 11).expect("readable event");
+            assert!(ev.readable, "{:?}", poller.backend());
+            poller.remove(&peer).unwrap();
+        });
+    }
+
+    #[test]
+    fn wake_token_is_reserved() {
+        each_backend(|poller| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            assert!(poller.add(&listener, WAKE_TOKEN, Interest::READ).is_err());
+        });
+    }
+}
