@@ -211,6 +211,79 @@ fn bench_plan_service(c: &mut Criterion) {
     });
 }
 
+fn bench_replan(c: &mut Criterion) {
+    // Elastic replanning after a device loss vs paying cold synthesis on
+    // the shrunken cluster:
+    //
+    // * `service/replan_bert_tiny` — a warmed daemon answers the `replan`
+    //   verb in elastic steady state: membership flaps re-resolve the
+    //   same delta, so each frame pays the full replan path — parse,
+    //   prior-triple lookup, delta application, fingerprint rebase onto
+    //   the post-delta cluster, plan fetch, instruction-level diff,
+    //   response render — with the post-delta plan already content-
+    //   addressed in the cache. Only a delta's *first* occurrence pays
+    //   (warm-seeded) synthesis, and that cost is the cold baseline's.
+    // * `service/replan_bert_tiny_cold_delta` — a fresh daemon plans the
+    //   identical post-delta cluster from scratch.
+    //
+    // The ratio of the two medians is what elasticity buys over
+    // re-planning from zero; `bench_check` gates it at 0.10 — the
+    // subsystem's acceptance bar is a >= 10x speedup.
+    use hap_cluster::ClusterDelta;
+    use hap_codec::{render_fingerprint, request_fingerprint, Encode, Value};
+    use hap_service::{PlanService, ServiceConfig};
+
+    let graph = bert_base(&BertConfig::tiny());
+    let cluster = ClusterSpec::fig17_cluster();
+    let opts = hap::HapOptions::default();
+    let plan_line = |cluster: &ClusterSpec| {
+        Value::obj(vec![
+            ("op", Value::Str("plan".into())),
+            ("id", Value::int(1)),
+            ("graph", graph.encode()),
+            ("cluster", cluster.encode()),
+            ("options", opts.encode()),
+        ])
+        .render()
+    };
+    let delta = ClusterDelta::device_loss(1, 1);
+    let replan_line = Value::obj(vec![
+        ("op", Value::Str("replan".into())),
+        ("id", Value::int(2)),
+        ("prior", Value::Str(render_fingerprint(request_fingerprint(&graph, &cluster, &opts)))),
+        ("delta", delta.encode()),
+    ])
+    .render();
+
+    // Warm the daemon with the prior plan, then pay the delta's first
+    // occurrence (warm-seeded synthesis) outside the timed loop.
+    let service = PlanService::new(ServiceConfig::default()).unwrap();
+    let (warmup, _) = service.handle_line(&plan_line(&cluster));
+    assert!(warmup.contains("\"source\":\"synthesized\""));
+    let (first, _) = service.handle_line(&replan_line);
+    assert!(first.contains("\"source\":\"synthesized\"") && first.contains("\"replan\":"));
+
+    c.bench_function("service/replan_bert_tiny", |bench| {
+        bench.iter(|| {
+            let (response, _) = service.handle_line(black_box(&replan_line));
+            debug_assert!(response.contains("\"source\":\"cache\""));
+            debug_assert!(response.contains("\"replan\":"));
+            response
+        })
+    });
+
+    let lost = delta.apply(&cluster).unwrap();
+    let cold_line = plan_line(&lost);
+    c.bench_function("service/replan_bert_tiny_cold_delta", |bench| {
+        bench.iter(|| {
+            let service = PlanService::new(ServiceConfig::default()).unwrap();
+            let (response, _) = service.handle_line(black_box(&cold_line));
+            assert!(response.contains("\"source\":\"synthesized\""));
+            response
+        })
+    });
+}
+
 fn bench_cache_admission(c: &mut Criterion) {
     // The admission policy's overhead against the plain-LRU baseline it
     // replaced, measured on the cache's own churn loop: a full cache
@@ -278,6 +351,7 @@ criterion_group!(
     bench_parallel_synthesis,
     bench_expand_hot_path,
     bench_plan_service,
+    bench_replan,
     bench_cache_admission
 );
 criterion_main!(benches);

@@ -1,0 +1,325 @@
+//! Cluster membership deltas for elastic replanning.
+//!
+//! A [`ClusterDelta`] describes how a running cluster changed — GPUs lost
+//! from a machine, whole machines removed or added, inter-machine network
+//! characteristics re-measured — and [`ClusterDelta::apply`] derives the
+//! post-change [`ClusterSpec`]. Application is *total and typed*: every
+//! way a delta could produce a cluster the planner cannot cost (an empty
+//! machine, an empty cluster, non-finite bandwidth) is rejected with a
+//! [`DeltaError`] instead of letting `proportional_ratios` /
+//! `virtual_devices` divide by zero or panic downstream.
+
+use crate::device::Machine;
+use crate::spec::ClusterSpec;
+use std::fmt;
+
+/// A change to cluster membership or network characteristics.
+///
+/// Deltas are applied in a fixed order: GPU removals, machine removals,
+/// machine additions, then network overrides. Machine indices always refer
+/// to positions in the *prior* spec, so removals cannot alias additions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterDelta {
+    /// `(machine index, gpu count)` pairs: lose `count` GPUs from the
+    /// machine at `index` in the prior spec. Several entries may target
+    /// the same machine; their counts accumulate. At least one GPU must
+    /// survive — removing the last GPU is expressed via
+    /// [`remove_machines`](Self::remove_machines).
+    pub remove_gpus: Vec<(usize, usize)>,
+    /// Indices (into the prior spec) of machines that left entirely.
+    pub remove_machines: Vec<usize>,
+    /// Machines that joined; appended after removals, in order.
+    pub add_machines: Vec<Machine>,
+    /// Re-measured inter-machine bandwidth (bytes/s), if it changed.
+    pub inter_bandwidth: Option<f64>,
+    /// Re-measured inter-machine latency (seconds), if it changed.
+    pub inter_latency: Option<f64>,
+}
+
+/// Why a [`ClusterDelta`] could not be applied.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaError {
+    /// A machine index is past the end of the prior spec.
+    MachineOutOfRange { index: usize, machines: usize },
+    /// The same machine appears twice in `remove_machines`.
+    DuplicateRemoval { index: usize },
+    /// A machine appears in both `remove_machines` and `remove_gpus`.
+    RemovalConflict { index: usize },
+    /// A `remove_gpus` entry asks for zero GPUs (meaningless no-op).
+    ZeroGpuRemoval { index: usize },
+    /// GPU removals would leave the machine with no GPUs (drain it) or
+    /// remove more GPUs than it has.
+    DrainsMachine { index: usize, gpus: usize, removed: usize },
+    /// The delta removes every machine and adds none back.
+    EmptyCluster,
+    /// An added machine is un-costable (zero GPUs, non-positive or
+    /// non-finite flops/utilization/bandwidth, negative latency).
+    InvalidMachine { position: usize, reason: &'static str },
+    /// A network override is non-finite or non-positive bandwidth /
+    /// negative latency.
+    InvalidNetwork { field: &'static str, value: f64 },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::MachineOutOfRange { index, machines } => {
+                write!(f, "machine index {index} out of range (cluster has {machines} machines)")
+            }
+            DeltaError::DuplicateRemoval { index } => {
+                write!(f, "machine {index} removed twice")
+            }
+            DeltaError::RemovalConflict { index } => {
+                write!(f, "machine {index} both removed and drained of GPUs")
+            }
+            DeltaError::ZeroGpuRemoval { index } => {
+                write!(f, "removing zero GPUs from machine {index} is not a change")
+            }
+            DeltaError::DrainsMachine { index, gpus, removed } => {
+                write!(
+                    f,
+                    "removing {removed} of {gpus} GPUs would empty machine {index}; \
+                     remove the machine instead"
+                )
+            }
+            DeltaError::EmptyCluster => write!(f, "delta empties the cluster"),
+            DeltaError::InvalidMachine { position, reason } => {
+                write!(f, "added machine {position} is invalid: {reason}")
+            }
+            DeltaError::InvalidNetwork { field, value } => {
+                write!(f, "invalid {field} override: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl ClusterDelta {
+    /// The common chaos case: machine `index` lost `gpus` GPUs.
+    pub fn device_loss(index: usize, gpus: usize) -> Self {
+        ClusterDelta { remove_gpus: vec![(index, gpus)], ..ClusterDelta::default() }
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.remove_gpus.is_empty()
+            && self.remove_machines.is_empty()
+            && self.add_machines.is_empty()
+            && self.inter_bandwidth.is_none()
+            && self.inter_latency.is_none()
+    }
+
+    /// Applies the delta to `prior`, returning the post-change spec.
+    ///
+    /// Never panics: every malformed delta maps to a [`DeltaError`]. On
+    /// success the result has at least one machine and every machine has
+    /// at least one GPU, so `proportional_ratios` and `virtual_devices`
+    /// are well defined on it.
+    pub fn apply(&self, prior: &ClusterSpec) -> Result<ClusterSpec, DeltaError> {
+        let n = prior.machines.len();
+        let check = |index: usize| {
+            if index >= n {
+                Err(DeltaError::MachineOutOfRange { index, machines: n })
+            } else {
+                Ok(())
+            }
+        };
+
+        let mut removed = vec![false; n];
+        for &index in &self.remove_machines {
+            check(index)?;
+            if removed[index] {
+                return Err(DeltaError::DuplicateRemoval { index });
+            }
+            removed[index] = true;
+        }
+
+        let mut drained = vec![0usize; n];
+        for &(index, count) in &self.remove_gpus {
+            check(index)?;
+            if removed[index] {
+                return Err(DeltaError::RemovalConflict { index });
+            }
+            if count == 0 {
+                return Err(DeltaError::ZeroGpuRemoval { index });
+            }
+            drained[index] = drained[index].saturating_add(count);
+        }
+        for (index, &loss) in drained.iter().enumerate() {
+            if loss >= prior.machines[index].gpus && loss > 0 {
+                return Err(DeltaError::DrainsMachine {
+                    index,
+                    gpus: prior.machines[index].gpus,
+                    removed: loss,
+                });
+            }
+        }
+
+        for (position, m) in self.add_machines.iter().enumerate() {
+            let reason = if m.gpus == 0 {
+                Some("zero GPUs")
+            } else if !(m.device.peak_flops.is_finite() && m.device.peak_flops > 0.0) {
+                Some("non-positive peak flops")
+            } else if !(m.device.utilization.is_finite() && m.device.utilization > 0.0) {
+                Some("non-positive utilization")
+            } else if !(m.intra_bandwidth.is_finite() && m.intra_bandwidth > 0.0) {
+                Some("non-positive intra bandwidth")
+            } else if !(m.intra_latency.is_finite() && m.intra_latency >= 0.0) {
+                Some("negative intra latency")
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                return Err(DeltaError::InvalidMachine { position, reason });
+            }
+        }
+
+        let inter_bandwidth = match self.inter_bandwidth {
+            Some(b) if !(b.is_finite() && b > 0.0) => {
+                return Err(DeltaError::InvalidNetwork { field: "inter_bandwidth", value: b });
+            }
+            Some(b) => b,
+            None => prior.inter_bandwidth,
+        };
+        let inter_latency = match self.inter_latency {
+            Some(l) if !(l.is_finite() && l >= 0.0) => {
+                return Err(DeltaError::InvalidNetwork { field: "inter_latency", value: l });
+            }
+            Some(l) => l,
+            None => prior.inter_latency,
+        };
+
+        let mut machines = Vec::with_capacity(n + self.add_machines.len());
+        for (index, m) in prior.machines.iter().enumerate() {
+            if removed[index] {
+                continue;
+            }
+            let mut m = m.clone();
+            m.gpus -= drained[index];
+            machines.push(m);
+        }
+        machines.extend(self.add_machines.iter().cloned());
+        if machines.is_empty() {
+            return Err(DeltaError::EmptyCluster);
+        }
+
+        Ok(ClusterSpec { machines, inter_bandwidth, inter_latency })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceType;
+    use crate::spec::Granularity;
+
+    #[test]
+    fn device_loss_shrinks_one_machine() {
+        let prior = ClusterSpec::fig17_cluster();
+        let next = ClusterDelta::device_loss(1, 1).apply(&prior).unwrap();
+        assert_eq!(next.machines[0].gpus, 2);
+        assert_eq!(next.machines[1].gpus, 1);
+        assert_eq!(next.total_gpus(), 3);
+        // Ratios are re-derivable and still normalized.
+        let sum: f64 = next.proportional_ratios(Granularity::PerGpu).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_removals_accumulate_per_machine() {
+        let prior = ClusterSpec::paper_heterogeneous(4);
+        let delta = ClusterDelta { remove_gpus: vec![(2, 1), (2, 2)], ..ClusterDelta::default() };
+        let next = delta.apply(&prior).unwrap();
+        assert_eq!(next.machines[2].gpus, 1);
+    }
+
+    #[test]
+    fn machine_removal_add_and_network_override() {
+        let prior = ClusterSpec::fig17_cluster();
+        let delta = ClusterDelta {
+            remove_machines: vec![0],
+            add_machines: vec![Machine::nvlink(DeviceType::v100(), 4)],
+            inter_bandwidth: Some(25e9),
+            inter_latency: Some(10e-6),
+            ..ClusterDelta::default()
+        };
+        let next = delta.apply(&prior).unwrap();
+        assert_eq!(next.machines.len(), 2);
+        assert_eq!(next.machines[0].device.name, "P100");
+        assert_eq!(next.machines[1].device.name, "V100");
+        assert_eq!(next.inter_bandwidth, 25e9);
+        assert_eq!(next.inter_latency, 10e-6);
+    }
+
+    #[test]
+    fn draining_a_machine_is_rejected() {
+        let prior = ClusterSpec::fig17_cluster();
+        let err = ClusterDelta::device_loss(0, 2).apply(&prior).unwrap_err();
+        assert_eq!(err, DeltaError::DrainsMachine { index: 0, gpus: 2, removed: 2 });
+        let err = ClusterDelta::device_loss(0, 7).apply(&prior).unwrap_err();
+        assert!(matches!(err, DeltaError::DrainsMachine { .. }));
+    }
+
+    #[test]
+    fn emptying_the_cluster_is_rejected() {
+        let prior = ClusterSpec::fig17_cluster();
+        let delta = ClusterDelta { remove_machines: vec![0, 1], ..ClusterDelta::default() };
+        assert_eq!(delta.apply(&prior).unwrap_err(), DeltaError::EmptyCluster);
+        // …but removing everything while adding a replacement is fine.
+        let delta = ClusterDelta {
+            remove_machines: vec![0, 1],
+            add_machines: vec![Machine::pcie(DeviceType::t4(), 1)],
+            ..ClusterDelta::default()
+        };
+        assert_eq!(delta.apply(&prior).unwrap().total_gpus(), 1);
+    }
+
+    #[test]
+    fn index_and_duplicate_errors() {
+        let prior = ClusterSpec::fig17_cluster();
+        let oob = ClusterDelta { remove_machines: vec![9], ..ClusterDelta::default() };
+        assert_eq!(
+            oob.apply(&prior).unwrap_err(),
+            DeltaError::MachineOutOfRange { index: 9, machines: 2 }
+        );
+        let dup = ClusterDelta { remove_machines: vec![0, 0], ..ClusterDelta::default() };
+        assert_eq!(dup.apply(&prior).unwrap_err(), DeltaError::DuplicateRemoval { index: 0 });
+        let conflict = ClusterDelta {
+            remove_machines: vec![0],
+            remove_gpus: vec![(0, 1)],
+            ..ClusterDelta::default()
+        };
+        assert_eq!(conflict.apply(&prior).unwrap_err(), DeltaError::RemovalConflict { index: 0 });
+        let zero = ClusterDelta { remove_gpus: vec![(1, 0)], ..ClusterDelta::default() };
+        assert_eq!(zero.apply(&prior).unwrap_err(), DeltaError::ZeroGpuRemoval { index: 1 });
+    }
+
+    #[test]
+    fn invalid_additions_and_network_are_rejected() {
+        let prior = ClusterSpec::fig17_cluster();
+        let mut bad = Machine::pcie(DeviceType::p100(), 2);
+        bad.gpus = 0;
+        let delta = ClusterDelta { add_machines: vec![bad], ..ClusterDelta::default() };
+        assert!(matches!(
+            delta.apply(&prior).unwrap_err(),
+            DeltaError::InvalidMachine { position: 0, .. }
+        ));
+        let mut bad = Machine::pcie(DeviceType::p100(), 2);
+        bad.device.peak_flops = f64::NAN;
+        let delta = ClusterDelta { add_machines: vec![bad], ..ClusterDelta::default() };
+        assert!(matches!(delta.apply(&prior).unwrap_err(), DeltaError::InvalidMachine { .. }));
+        let delta = ClusterDelta { inter_bandwidth: Some(0.0), ..ClusterDelta::default() };
+        assert!(matches!(delta.apply(&prior).unwrap_err(), DeltaError::InvalidNetwork { .. }));
+        let delta = ClusterDelta { inter_latency: Some(-1.0), ..ClusterDelta::default() };
+        assert!(matches!(delta.apply(&prior).unwrap_err(), DeltaError::InvalidNetwork { .. }));
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let prior = ClusterSpec::paper_heterogeneous(2);
+        let delta = ClusterDelta::default();
+        assert!(delta.is_empty());
+        assert_eq!(delta.apply(&prior).unwrap(), prior);
+    }
+}

@@ -25,11 +25,13 @@
 //! assert!(devices[0].flops > devices[7].flops); // V100 machines come first
 //! ```
 
+mod delta;
 mod device;
 mod fit;
 mod profile;
 mod spec;
 
+pub use delta::{ClusterDelta, DeltaError};
 pub use device::{DeviceType, Machine};
 pub use fit::{fit_linear, LinearModel};
 pub use profile::{profile_device_flops, DeviceProfile};

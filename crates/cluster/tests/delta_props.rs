@@ -1,0 +1,90 @@
+//! Fuzzes `ClusterDelta::apply`: arbitrary (mostly malformed) deltas must
+//! never panic, and every accepted delta must yield a cluster the planner
+//! can cost — nonempty, every machine populated, finite normalized ratios.
+
+use hap_cluster::{ClusterDelta, ClusterSpec, DeviceType, Granularity, Machine};
+use proptest::prelude::*;
+
+fn base_cluster(which: usize) -> ClusterSpec {
+    match which % 3 {
+        0 => ClusterSpec::fig17_cluster(),
+        1 => ClusterSpec::paper_heterogeneous(2),
+        _ => ClusterSpec::paper_homogeneous(4),
+    }
+}
+
+fn device(which: usize) -> DeviceType {
+    match which % 4 {
+        0 => DeviceType::p100(),
+        1 => DeviceType::v100(),
+        2 => DeviceType::a100(),
+        _ => DeviceType::t4(),
+    }
+}
+
+proptest! {
+    /// Arbitrary deltas either apply cleanly or fail with a typed error;
+    /// they never panic and never produce an un-costable cluster.
+    #[test]
+    fn apply_is_total_and_safe(
+        which in 0usize..3,
+        remove_gpus in prop::collection::vec((0usize..12, 0usize..10), 0..4),
+        remove_machines in prop::collection::vec(0usize..12, 0..4),
+        adds in prop::collection::vec((0usize..4, 0usize..4, 0usize..4), 0..3),
+        bw_sel in 0usize..4,
+        lat_sel in 0usize..4,
+    ) {
+        let prior = base_cluster(which);
+        let inter_bandwidth = match bw_sel {
+            0 => None,
+            1 => Some(25e9),
+            2 => Some(0.0),
+            _ => Some(f64::NAN),
+        };
+        let inter_latency = match lat_sel {
+            0 => None,
+            1 => Some(20e-6),
+            2 => Some(-1.0),
+            _ => Some(f64::INFINITY),
+        };
+        let add_machines = adds
+            .iter()
+            .map(|&(dev, gpus, link)| {
+                // gpus = 0 is an intentionally invalid machine.
+                let mk = if link % 2 == 0 { Machine::nvlink } else { Machine::pcie };
+                mk(device(dev), gpus)
+            })
+            .collect();
+        let delta = ClusterDelta {
+            remove_gpus,
+            remove_machines,
+            add_machines,
+            inter_bandwidth,
+            inter_latency,
+        };
+
+        match delta.apply(&prior) {
+            Err(_) => { /* typed rejection: fine */ }
+            Ok(next) => {
+                prop_assert!(!next.machines.is_empty());
+                prop_assert!(next.total_gpus() >= 1);
+                for m in &next.machines {
+                    prop_assert!(m.gpus >= 1);
+                }
+                prop_assert!(next.inter_bandwidth.is_finite() && next.inter_bandwidth > 0.0);
+                prop_assert!(next.inter_latency.is_finite() && next.inter_latency >= 0.0);
+                for g in [Granularity::PerGpu, Granularity::PerMachine] {
+                    let devices = next.virtual_devices(g);
+                    prop_assert!(!devices.is_empty());
+                    let ratios = next.proportional_ratios(g);
+                    let mut sum = 0.0;
+                    for r in &ratios {
+                        prop_assert!(r.is_finite() && *r > 0.0);
+                        sum += r;
+                    }
+                    prop_assert!((sum - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Machine-readable plan diffs for elastic replanning.
+//!
+//! When the service replans after a cluster change, the response carries a
+//! [`PlanDiff`] next to the new plan: how many instructions survived, how
+//! many changed, and how the estimated step time moved. The diff is a pure
+//! function of the two programs — instructions are compared by their
+//! canonical wire encoding, the same bytes their fingerprints digest, so
+//! "unchanged" means *bit-identical on the wire*.
+
+use std::collections::HashMap;
+
+use hap_synthesis::DistProgram;
+
+use crate::json::{CodecError, Value};
+use crate::wire::{parse_fingerprint, render_fingerprint, Decode, Encode};
+
+/// What changed between a prior plan and its replanned successor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanDiff {
+    /// Fingerprint of the request the prior plan answered.
+    pub prior_fingerprint: u64,
+    /// Instruction count of the *new* plan.
+    pub instrs_total: usize,
+    /// Instructions in the new plan with no match in the prior plan
+    /// (multiset semantics over canonical encodings).
+    pub instrs_added: usize,
+    /// Prior instructions absent from the new plan.
+    pub instrs_removed: usize,
+    /// The prior plan's estimated per-step time in seconds.
+    pub prior_estimated_time: f64,
+    /// `new.estimated_time - prior.estimated_time`: positive when the
+    /// shrunken cluster is (as expected) slower.
+    pub estimated_time_delta: f64,
+}
+
+impl PlanDiff {
+    /// Diffs `next` against `prior` (the plan fingerprinted by
+    /// `prior_fingerprint`). The estimated times are passed separately
+    /// because the authoritative per-step estimate lives on the plan (it
+    /// is re-estimated under the final ratios), not on the program.
+    pub fn between(
+        prior_fingerprint: u64,
+        prior: &DistProgram,
+        prior_time: f64,
+        next: &DistProgram,
+        next_time: f64,
+    ) -> Self {
+        // Multiset of prior instructions keyed on canonical bytes; each
+        // new instruction consumes a match when one exists.
+        let mut pool: HashMap<String, usize> = HashMap::new();
+        for instr in &prior.instrs {
+            *pool.entry(instr.encode().render()).or_insert(0) += 1;
+        }
+        let mut added = 0usize;
+        for instr in &next.instrs {
+            match pool.get_mut(&instr.encode().render()) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => added += 1,
+            }
+        }
+        let removed: usize = pool.values().sum();
+        PlanDiff {
+            prior_fingerprint,
+            instrs_total: next.instrs.len(),
+            instrs_added: added,
+            instrs_removed: removed,
+            prior_estimated_time: prior_time,
+            estimated_time_delta: next_time - prior_time,
+        }
+    }
+}
+
+impl Encode for PlanDiff {
+    fn encode(&self) -> Value {
+        Value::obj(vec![
+            ("prior_fingerprint", Value::Str(render_fingerprint(self.prior_fingerprint))),
+            ("instrs_total", self.instrs_total.encode()),
+            ("instrs_added", self.instrs_added.encode()),
+            ("instrs_removed", self.instrs_removed.encode()),
+            ("prior_estimated_time", Value::Num(self.prior_estimated_time)),
+            ("estimated_time_delta", Value::Num(self.estimated_time_delta)),
+        ])
+    }
+}
+
+impl Decode for PlanDiff {
+    fn decode(v: &Value) -> Result<Self, CodecError> {
+        Ok(PlanDiff {
+            prior_fingerprint: parse_fingerprint(v.field("prior_fingerprint")?.as_str()?)?,
+            instrs_total: v.field("instrs_total")?.as_usize()?,
+            instrs_added: v.field("instrs_added")?.as_usize()?,
+            instrs_removed: v.field("instrs_removed")?.as_usize()?,
+            prior_estimated_time: v.field("prior_estimated_time")?.as_f64()?,
+            estimated_time_delta: v.field("estimated_time_delta")?.as_f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use hap_graph::Placement;
+    use hap_synthesis::DistInstr;
+
+    fn leaf(node: usize, dim: usize) -> DistInstr {
+        DistInstr::Leaf { node, placement: Placement::Shard(dim) }
+    }
+
+    fn program(instrs: Vec<DistInstr>, estimated_time: f64) -> DistProgram {
+        DistProgram { instrs, estimated_time }
+    }
+
+    #[test]
+    fn identical_plans_diff_to_zero() {
+        let p = program(vec![leaf(0, 0), leaf(1, 1)], 0.5);
+        let d = PlanDiff::between(7, &p, 0.5, &p.clone(), 0.5);
+        assert_eq!(d.instrs_total, 2);
+        assert_eq!(d.instrs_added, 0);
+        assert_eq!(d.instrs_removed, 0);
+        assert_eq!(d.estimated_time_delta, 0.0);
+    }
+
+    #[test]
+    fn multiset_diff_counts_duplicates() {
+        // prior has leaf(0,0) twice; next keeps one, changes one, adds one.
+        let prior = program(vec![leaf(0, 0), leaf(0, 0), leaf(1, 0)], 1.0);
+        let next = program(vec![leaf(0, 0), leaf(0, 1), leaf(1, 0), leaf(2, 0)], 1.5);
+        let d = PlanDiff::between(1, &prior, 1.0, &next, 1.5);
+        assert_eq!(d.instrs_total, 4);
+        assert_eq!(d.instrs_added, 2); // leaf(0,1) and leaf(2,0)
+        assert_eq!(d.instrs_removed, 1); // the second leaf(0,0)
+        assert!((d.estimated_time_delta - 0.5).abs() < 1e-12);
+        assert_eq!(d.prior_estimated_time, 1.0);
+    }
+
+    #[test]
+    fn diff_round_trips_canonically() {
+        let prior = program(vec![leaf(0, 0)], 0.25);
+        let next = program(vec![leaf(0, 1)], 0.75);
+        let d = PlanDiff::between(0xdead_beef, &prior, 0.25, &next, 0.75);
+        let text = d.encode().render();
+        let back = PlanDiff::decode(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.encode().render(), text);
+    }
+}

@@ -47,11 +47,13 @@
 //! assert_eq!(back.encode().render(), text);
 //! ```
 
+mod diff;
 mod json;
 mod record;
 mod stream;
 mod wire;
 
+pub use diff::PlanDiff;
 pub use json::{parse, CodecError, Value};
 pub use record::{parse_persist_line, persist_line, CachedPlan, PERSIST_VERSION};
 pub use stream::{
@@ -59,5 +61,5 @@ pub use stream::{
 };
 pub use wire::{
     parse_fingerprint, render_fingerprint, request_fingerprint, request_fingerprint_values,
-    value_fingerprint, Decode, Encode, WireError, BUSY_KIND,
+    value_fingerprint, Decode, Encode, WireError, BUSY_KIND, DELTA_KIND, UNKNOWN_FINGERPRINT_KIND,
 };

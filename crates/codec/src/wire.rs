@@ -18,7 +18,7 @@
 use std::sync::Mutex;
 
 use hap::{HapError, HapOptions};
-use hap_cluster::{ClusterSpec, DeviceType, Granularity, Machine};
+use hap_cluster::{ClusterDelta, ClusterSpec, DeltaError, DeviceType, Granularity, Machine};
 use hap_graph::{Graph, Op, Placement, Role, Rule, UnaryKind};
 use hap_synthesis::fingerprint::{fnv1a_bytes, FNV_OFFSET};
 use hap_synthesis::{CollectiveInstr, DistInstr, DistProgram, SynthConfig, SynthError};
@@ -635,6 +635,52 @@ impl Decode for ClusterSpec {
     }
 }
 
+impl Encode for ClusterDelta {
+    fn encode(&self) -> Value {
+        Value::obj(vec![
+            (
+                "remove_gpus",
+                Value::Arr(
+                    self.remove_gpus
+                        .iter()
+                        .map(|&(m, g)| Value::Arr(vec![m.encode(), g.encode()]))
+                        .collect(),
+                ),
+            ),
+            ("remove_machines", self.remove_machines.encode()),
+            ("add_machines", self.add_machines.encode()),
+            ("inter_bandwidth", self.inter_bandwidth.encode()),
+            ("inter_latency", self.inter_latency.encode()),
+        ])
+    }
+}
+
+impl Decode for ClusterDelta {
+    fn decode(v: &Value) -> Result<Self, CodecError> {
+        let remove_gpus = v
+            .field("remove_gpus")?
+            .as_arr()?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_arr()?;
+                if items.len() != 2 {
+                    return Err(CodecError::Decode(
+                        "remove_gpus entry needs [machine, gpus]".into(),
+                    ));
+                }
+                Ok((items[0].as_usize()?, items[1].as_usize()?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ClusterDelta {
+            remove_gpus,
+            remove_machines: Vec::<usize>::decode(v.field("remove_machines")?)?,
+            add_machines: Vec::<Machine>::decode(v.field("add_machines")?)?,
+            inter_bandwidth: Option::<f64>::decode(v.field("inter_bandwidth")?)?,
+            inter_latency: Option::<f64>::decode(v.field("inter_latency")?)?,
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Options
 // ---------------------------------------------------------------------------
@@ -882,6 +928,21 @@ impl From<&SynthError> for WireError {
 impl From<&hap::simulator::ExecError> for WireError {
     fn from(e: &hap::simulator::ExecError) -> Self {
         WireError::new("exec", e.to_string())
+    }
+}
+
+/// The stable kind tag of a rejected cluster delta (the prior cluster
+/// exists but the delta cannot be applied to it).
+pub const DELTA_KIND: &str = "delta";
+
+/// The stable kind tag of a replan whose prior fingerprint the daemon does
+/// not hold (never planned, expired, or lost across a restart). Clients
+/// should fall back to a cold `plan` request.
+pub const UNKNOWN_FINGERPRINT_KIND: &str = "unknown_fingerprint";
+
+impl From<&DeltaError> for WireError {
+    fn from(e: &DeltaError) -> Self {
+        WireError::new(DELTA_KIND, e.to_string())
     }
 }
 

@@ -3,7 +3,7 @@
 //! plus fingerprint stability across re-encoding.
 
 use hap::HapOptions;
-use hap_cluster::{ClusterSpec, DeviceType, Granularity, Machine};
+use hap_cluster::{ClusterDelta, ClusterSpec, DeviceType, Granularity, Machine};
 use hap_codec::{
     parse, parse_persist_line, persist_line, request_fingerprint, value_fingerprint, CachedPlan,
     Decode, Encode, WireError,
@@ -107,6 +107,26 @@ proptest! {
         let text = cluster.encode().render();
         let back = ClusterSpec::decode(&parse(&text).unwrap()).unwrap();
         prop_assert_eq!(&back, &cluster);
+        prop_assert_eq!(back.encode().render(), text);
+    }
+
+    #[test]
+    fn cluster_delta_round_trip(
+        gpu_losses in prop::collection::vec((0usize..8, 1usize..4), 0..3),
+        removals in prop::collection::vec(0usize..8, 0..3),
+        add_picks in prop::collection::vec(0usize..12, 0..3),
+        net in 0usize..4,
+    ) {
+        let delta = ClusterDelta {
+            remove_gpus: gpu_losses,
+            remove_machines: removals,
+            add_machines: random_cluster(&add_picks, 1.0, 1.0).machines,
+            inter_bandwidth: if net % 2 == 0 { None } else { Some(7.5e9) },
+            inter_latency: if net / 2 == 0 { None } else { Some(35e-6) },
+        };
+        let text = delta.encode().render();
+        let back = ClusterDelta::decode(&parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&back, &delta);
         prop_assert_eq!(back.encode().render(), text);
     }
 

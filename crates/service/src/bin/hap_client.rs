@@ -73,6 +73,7 @@ impl Assertion {
             "shed" => stats.shed,
             "admission_rejected" => stats.admission_rejected,
             "expired" => stats.expired,
+            "replanned" => stats.replanned,
             "open_connections" => stats.open_connections,
             "peak_connections" => stats.peak_connections,
             "read_buf_hwm" => stats.read_buf_hwm,

@@ -4,10 +4,10 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 use hap::HapOptions;
-use hap_cluster::ClusterSpec;
+use hap_cluster::{ClusterDelta, ClusterSpec};
 use hap_codec::{
-    is_stream_frame, parse, parse_fingerprint, Decode, Encode, StreamDecoder, StreamEvent, Value,
-    WireError,
+    is_stream_frame, parse, parse_fingerprint, render_fingerprint, Decode, Encode, PlanDiff,
+    StreamDecoder, StreamEvent, Value, WireError,
 };
 use hap_graph::Graph;
 use hap_synthesis::{DistProgram, ShardingRatios};
@@ -31,34 +31,75 @@ pub struct PlanReply {
     pub rounds: usize,
 }
 
+/// A replanned plan: the post-delta plan plus the daemon's diff against
+/// the prior plan.
+#[derive(Clone, Debug)]
+pub struct ReplanReply {
+    /// The plan for the post-delta cluster (bit-identical to what cold
+    /// synthesis on that cluster would return).
+    pub plan: PlanReply,
+    /// What changed relative to the prior plan.
+    pub diff: PlanDiff,
+}
+
 /// How [`Client::plan_with_retry`] behaves when the daemon sheds load.
 ///
 /// On a `busy` frame the client sleeps and retries: the delay starts at
 /// the frame's `retry_after_ms` hint when present (the daemon knows its
 /// backlog) or `base_delay_ms` otherwise, doubles per consecutive busy
 /// reply (exponential backoff), and is capped at `max_delay_ms`.
+///
+/// Each delay is additionally *jittered* by a deterministic ±50% factor
+/// derived from `jitter_seed` and the attempt number. Without jitter,
+/// every client shed by the same busy wave computes the same schedule and
+/// re-stampedes the queue in lockstep; distinct seeds decorrelate the
+/// retry times while keeping any single client fully reproducible. The
+/// daemon's `retry_after_ms` hint is a *floor*: jitter and the cap never
+/// push a delay below it.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Total attempts before giving up and returning the busy error.
     pub max_attempts: u32,
     /// First-retry delay when the daemon sent no hint.
     pub base_delay_ms: u64,
-    /// Upper bound on any single delay.
+    /// Upper bound on any single delay (raised to the daemon's hint when
+    /// the hint exceeds it).
     pub max_delay_ms: u64,
+    /// Seed decorrelating this client's retry schedule from other
+    /// clients'. Same seed ⇒ same schedule.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 8, base_delay_ms: 10, max_delay_ms: 2_000 }
+        RetryPolicy { max_attempts: 8, base_delay_ms: 10, max_delay_ms: 2_000, jitter_seed: 0 }
     }
 }
 
+/// SplitMix64: a tiny, well-mixed hash for the jitter stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 impl RetryPolicy {
-    /// The delay before retry number `attempt` (0-based), honoring the
-    /// daemon's hint: the hint (or the base) scaled by `2^attempt`, capped.
+    /// The delay before retry number `attempt` (0-based): the hint (or
+    /// the base) scaled by `2^attempt`, jittered to `[0.5x, 1.5x)` by a
+    /// deterministic function of `(jitter_seed, attempt)`, capped at
+    /// `max_delay_ms`, and floored at the daemon's hint.
     pub fn delay_ms(&self, attempt: u32, hint_ms: Option<u64>) -> u64 {
         let base = hint_ms.unwrap_or(self.base_delay_ms).max(1);
-        base.saturating_mul(1u64 << attempt.min(20)).min(self.max_delay_ms)
+        let exponential = base.saturating_mul(1u64 << attempt.min(20));
+        // Factor in [0.5, 1.5): 53 mixed bits → [0,1), shifted down 0.5.
+        let mixed = splitmix64(self.jitter_seed ^ ((attempt as u64) << 32));
+        let unit = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = ((exponential as f64) * (0.5 + unit)).round() as u64;
+        // The hint is a floor even over the cap: the daemon said "not
+        // before then", and retrying earlier is a wasted round trip.
+        let floor = hint_ms.unwrap_or(0);
+        jittered.clamp(floor, self.max_delay_ms.max(floor))
     }
 }
 
@@ -217,26 +258,72 @@ impl Client {
             fields.push(("stream", Value::Bool(true)));
         }
         let v = self.round_trip(fields)?;
-        let fingerprint = parse_fingerprint(
-            v.field("fingerprint").and_then(|x| x.as_str()).map_err(WireError::from)?,
-        )
-        .map_err(WireError::from)?;
-        let source =
-            v.field("source").and_then(|x| x.as_str()).map_err(WireError::from)?.to_string();
-        let plan = v.field("plan").map_err(WireError::from)?;
-        Ok(PlanReply {
-            fingerprint,
-            source,
-            program: DistProgram::decode(plan.field("program").map_err(WireError::from)?)
-                .map_err(WireError::from)?,
-            ratios: ShardingRatios::decode(plan.field("ratios").map_err(WireError::from)?)
-                .map_err(WireError::from)?,
-            estimated_time: plan
-                .field("estimated_time")
-                .and_then(|x| x.as_f64())
-                .map_err(WireError::from)?,
-            rounds: plan.field("rounds").and_then(|x| x.as_usize()).map_err(WireError::from)?,
-        })
+        decode_plan_reply(&v)
+    }
+
+    /// Re-plans a previously planned request after a cluster change: the
+    /// daemon applies `delta` to the prior request's cluster, seeds the
+    /// synthesis with the prior plan, and returns the post-delta plan plus
+    /// a diff. A typed `unknown_fingerprint` error means the daemon no
+    /// longer holds the prior (expired, evicted, or restarted) — fall back
+    /// to [`Client::plan`].
+    pub fn replan(&mut self, prior: u64, delta: &ClusterDelta) -> Result<ReplanReply, WireError> {
+        self.replan_opts(prior, delta, None, false)
+    }
+
+    /// The general replan request: optional cache TTL, optional streaming.
+    pub fn replan_opts(
+        &mut self,
+        prior: u64,
+        delta: &ClusterDelta,
+        ttl_ms: Option<u64>,
+        stream: bool,
+    ) -> Result<ReplanReply, WireError> {
+        let mut fields = vec![
+            ("op", Value::Str("replan".into())),
+            ("prior", Value::Str(render_fingerprint(prior))),
+            ("delta", delta.encode()),
+        ];
+        if let Some(ms) = ttl_ms {
+            if ms > crate::config::MAX_TTL_MS {
+                return Err(WireError::new(
+                    "decode",
+                    format!("ttl_ms {ms} exceeds the maximum {}", crate::config::MAX_TTL_MS),
+                ));
+            }
+            fields.push(("ttl_ms", Value::int(ms)));
+        }
+        if stream {
+            fields.push(("stream", Value::Bool(true)));
+        }
+        let v = self.round_trip(fields)?;
+        let plan = decode_plan_reply(&v)?;
+        let diff = PlanDiff::decode(v.field("replan").map_err(WireError::from)?)
+            .map_err(WireError::from)?;
+        Ok(ReplanReply { plan, diff })
+    }
+
+    /// [`Client::replan`] that rides out daemon overload exactly like
+    /// [`Client::plan_with_retry`].
+    pub fn replan_with_retry(
+        &mut self,
+        prior: u64,
+        delta: &ClusterDelta,
+        ttl_ms: Option<u64>,
+        policy: &RetryPolicy,
+    ) -> Result<ReplanReply, WireError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.replan_opts(prior, delta, ttl_ms, false) {
+                Err(e) if e.is_busy() && attempt + 1 < policy.max_attempts => {
+                    let delay = policy.delay_ms(attempt, e.retry_after_ms);
+                    self.busy_retries += 1;
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// [`Client::plan`] that rides out daemon overload: `busy` frames are
@@ -288,5 +375,99 @@ impl Client {
     /// Asks the daemon to shut down (acknowledged before it stops).
     pub fn shutdown(&mut self) -> Result<(), WireError> {
         self.round_trip(vec![("op", Value::Str("shutdown".into()))]).map(|_| ())
+    }
+}
+
+/// Decodes the shared plan-response shape (`plan` and `replan` frames).
+fn decode_plan_reply(v: &Value) -> Result<PlanReply, WireError> {
+    let fingerprint = parse_fingerprint(
+        v.field("fingerprint").and_then(|x| x.as_str()).map_err(WireError::from)?,
+    )
+    .map_err(WireError::from)?;
+    let source = v.field("source").and_then(|x| x.as_str()).map_err(WireError::from)?.to_string();
+    let plan = v.field("plan").map_err(WireError::from)?;
+    Ok(PlanReply {
+        fingerprint,
+        source,
+        program: DistProgram::decode(plan.field("program").map_err(WireError::from)?)
+            .map_err(WireError::from)?,
+        ratios: ShardingRatios::decode(plan.field("ratios").map_err(WireError::from)?)
+            .map_err(WireError::from)?,
+        estimated_time: plan
+            .field("estimated_time")
+            .and_then(|x| x.as_f64())
+            .map_err(WireError::from)?,
+        rounds: plan.field("rounds").and_then(|x| x.as_usize()).map_err(WireError::from)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_reproduces_the_schedule() {
+        let a = RetryPolicy { jitter_seed: 42, ..RetryPolicy::default() };
+        let b = RetryPolicy { jitter_seed: 42, ..RetryPolicy::default() };
+        for attempt in 0..8 {
+            assert_eq!(a.delay_ms(attempt, None), b.delay_ms(attempt, None));
+            assert_eq!(a.delay_ms(attempt, Some(25)), b.delay_ms(attempt, Some(25)));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate_two_clients() {
+        // Two clients shed by the same busy wave see the same hints; with
+        // distinct seeds their sleep schedules must diverge (lockstep
+        // would re-stampede the daemon).
+        let a = RetryPolicy { jitter_seed: 1, max_delay_ms: 1 << 40, ..RetryPolicy::default() };
+        let b = RetryPolicy { jitter_seed: 2, max_delay_ms: 1 << 40, ..RetryPolicy::default() };
+        let schedule_a: Vec<u64> = (0..8).map(|i| a.delay_ms(i, Some(25))).collect();
+        let schedule_b: Vec<u64> = (0..8).map(|i| b.delay_ms(i, Some(25))).collect();
+        let differing = schedule_a.iter().zip(&schedule_b).filter(|(x, y)| x != y).count();
+        assert!(differing >= 6, "schedules barely diverge: {schedule_a:?} vs {schedule_b:?}");
+    }
+
+    #[test]
+    fn delays_stay_in_the_jitter_envelope() {
+        let policy = RetryPolicy {
+            jitter_seed: 7,
+            base_delay_ms: 10,
+            max_delay_ms: 1 << 40,
+            ..RetryPolicy::default()
+        };
+        for attempt in 0..12u32 {
+            let exponential = 10u64 << attempt;
+            let d = policy.delay_ms(attempt, None);
+            assert!(
+                d >= exponential / 2 && d <= exponential + exponential / 2 + 1,
+                "attempt {attempt}: {d} outside [{}, {}]",
+                exponential / 2,
+                exponential + exponential / 2
+            );
+        }
+    }
+
+    #[test]
+    fn hint_is_a_floor_even_over_the_cap() {
+        let policy = RetryPolicy { max_delay_ms: 50, ..RetryPolicy::default() };
+        for seed in 0..32u64 {
+            let p = RetryPolicy { jitter_seed: seed, ..policy };
+            for attempt in 0..6 {
+                // Jitter can halve the exponential, but never below the
+                // daemon's hint.
+                assert!(p.delay_ms(attempt, Some(40)) >= 40);
+                // And the cap yields to the hint when the hint is larger.
+                assert!(p.delay_ms(attempt, Some(200)) >= 200);
+            }
+        }
+    }
+
+    #[test]
+    fn cap_still_bounds_unhinted_delays() {
+        let policy = RetryPolicy { jitter_seed: 3, max_delay_ms: 100, ..RetryPolicy::default() };
+        for attempt in 0..20 {
+            assert!(policy.delay_ms(attempt, None) <= 100);
+        }
     }
 }

@@ -93,6 +93,10 @@ pub(crate) struct Job {
     /// on `(graph, cluster, options)` only, so concurrent duplicates with
     /// different `ttl_ms` coalesce — the leader's TTL wins.
     pub ttl_ms: Option<u64>,
+    /// An explicit warm seed (a replan's prior plan). Takes precedence
+    /// over the cache's nearest-neighbor lookup and ignores
+    /// `warm_neighbors` — a replan *names* its incumbent.
+    pub warm: Option<Arc<CachedPlan>>,
     pub slot: Slot,
 }
 
@@ -110,6 +114,9 @@ pub(crate) struct Shared {
     pub queue: (Mutex<QueueState>, Condvar),
     pub counters: Counters,
     pub persist: Option<Mutex<std::fs::File>>,
+    /// Request triples of recently planned fingerprints, so a `replan`
+    /// can rebuild its prior request (see [`crate::replan`]).
+    pub replans: Mutex<crate::replan::ReplanIndex>,
 }
 
 /// How a single-flight attach played out.
@@ -135,6 +142,7 @@ pub(crate) fn attach(
     cluster: &Value,
     options: &Value,
     ttl_ms: Option<u64>,
+    warm: Option<Arc<CachedPlan>>,
 ) -> Attach {
     let (slot, leader) = {
         let mut inflight = shared.inflight.lock().expect("inflight map poisoned");
@@ -167,6 +175,7 @@ pub(crate) fn attach(
         cluster: cluster.clone(),
         options: options.clone(),
         ttl_ms,
+        warm,
         slot: slot.clone(),
     };
     let (queue, cvar) = &shared.queue;
@@ -275,7 +284,11 @@ fn synthesize_job(shared: &Shared, job: &Job) -> PlanResult {
     let opts_fp = value_fingerprint(&job.options);
     let features = cluster_features(&cluster, options.granularity);
 
-    let warm = if shared.config.warm_neighbors {
+    // A replan's named incumbent wins over the neighbor heuristic: it is
+    // the exact prior plan for this graph, re-costed on the new cluster.
+    let warm = if let Some(seed) = &job.warm {
+        Some(seed.clone())
+    } else if shared.config.warm_neighbors {
         shared.cache.nearest(graph_fp, opts_fp, &features)
     } else {
         None

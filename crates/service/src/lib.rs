@@ -41,6 +41,16 @@
 //!   preserved up to exact cost ties — a seed can only be returned when
 //!   it ties the cold optimum within the search epsilon. Disable with
 //!   [`ServiceConfig::warm_neighbors`] for strict history-independence.
+//! * **Elastic replanning** — a `replan` request names a prior plan by
+//!   fingerprint and carries a [`hap_cluster::ClusterDelta`] (devices
+//!   removed/added, network overrides). The daemon validates and applies
+//!   the delta, rebases the request onto the post-delta cluster, answers
+//!   from the cache when that cluster was already planned, and otherwise
+//!   synthesizes with the prior program seeding the A\* incumbent; the
+//!   response adds a machine-readable [`PlanDiff`]. Invalid deltas fail
+//!   with a typed `delta` frame, forgotten priors with
+//!   `unknown_fingerprint` (the replan index is memory-only — clients
+//!   fall back to a cold `plan` after a daemon restart).
 //! * **Cost-aware cache admission** — entries carry their measured
 //!   synthesis time and canonical size; a full shard only admits a
 //!   candidate whose synthesis-seconds-saved-per-byte density is at least
@@ -73,13 +83,15 @@
 //! ```text
 //! {"op":"plan","id":1,"graph":{...},"cluster":{...},"options":{...},"ttl_ms":60000}
 //! {"op":"plan","id":2,"graph":{...},"cluster":{...},"options":{...},"stream":true}
-//! {"op":"stats","id":3}
-//! {"op":"shutdown","id":4}
+//! {"op":"replan","id":3,"prior":"0x4fd1...","delta":{"remove_gpus":[[1,1]],...}}
+//! {"op":"stats","id":4}
+//! {"op":"shutdown","id":5}
 //! ```
 //!
-//! (`ttl_ms` and `stream` are optional.) Responses carry the request
-//! `id`, `"ok":true|false`, and either a payload (`plan` with
-//! `fingerprint` and `source`, or `stats`) or an `error` frame
+//! (`ttl_ms` and `stream` are optional, on `replan` too.) Responses carry
+//! the request `id`, `"ok":true|false`, and either a payload (`plan` with
+//! `fingerprint` and `source` — extended with a `replan` diff object for
+//! the replan verb — or `stats`) or an `error` frame
 //! `{"kind":...,"message":...}`
 //! transporting the daemon-side error — overload sheds as
 //! `{"kind":"busy","message":...,"retry_after_ms":N}`, an over-long line
@@ -111,13 +123,15 @@ mod client;
 mod config;
 mod dispatch;
 mod net;
+mod replan;
 mod service;
 mod stats;
 pub mod testing;
 
 pub use cache::{cluster_features, Admission, CachePolicy, CachedPlan, PlanCache};
-pub use client::{Client, PlanReply, RetryPolicy};
+pub use client::{Client, PlanReply, ReplanReply, RetryPolicy};
 pub use config::{ServiceConfig, MAX_TTL_MS};
+pub use hap_codec::PlanDiff;
 pub use net::event_loop::Server;
 pub use service::{PlanService, PlanSource};
 pub use stats::StatsSnapshot;

@@ -230,15 +230,8 @@ impl EventLoop {
     /// The poll timeout: the stop-poll safety interval, tightened while
     /// idle sweeping or draining needs finer ticks.
     fn wait_timeout(&self) -> Duration {
-        let mut ms = STOP_POLL_MS;
         let idle = self.service.config().idle_timeout_ms;
-        if idle > 0 {
-            ms = ms.min((idle / 4).max(10));
-        }
-        if self.draining.is_some() {
-            ms = ms.min(20);
-        }
-        Duration::from_millis(ms)
+        Duration::from_millis(poll_tick_ms(idle, self.draining.is_some()))
     }
 
     fn drain_completions(&mut self) {
@@ -416,7 +409,7 @@ impl EventLoop {
         if idle_ms == 0 {
             return;
         }
-        let interval = Duration::from_millis((idle_ms / 4).clamp(10, 1_000));
+        let interval = Duration::from_millis(sweep_interval_ms(idle_ms));
         if self.last_sweep.elapsed() < interval {
             return;
         }
@@ -445,5 +438,64 @@ impl EventLoop {
                 self.gauges.idle_closed.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+}
+
+/// The idle-sweep cadence for a given `idle_timeout_ms`: a quarter of the
+/// timeout, clamped to `[10, 1000]` ms. One shared computation for both
+/// the sweep itself and the poll tick — the two previously diverged
+/// (`(idle / 4).max(10)` vs `(idle / 4).clamp(10, 1_000)`), leaving the
+/// tick free to outsleep the intended 1 s sweep cadence at large timeouts
+/// and land idle closes late.
+fn sweep_interval_ms(idle_ms: u64) -> u64 {
+    (idle_ms / 4).clamp(10, 1_000)
+}
+
+/// The poll tick: the stop-poll safety interval, tightened to the sweep
+/// cadence when idle sweeping is on and to 20 ms while draining. Always
+/// at most `sweep_interval_ms`, so a quiescent loop wakes often enough to
+/// run every scheduled sweep on time.
+fn poll_tick_ms(idle_timeout_ms: u64, draining: bool) -> u64 {
+    let mut ms = STOP_POLL_MS;
+    if idle_timeout_ms > 0 {
+        ms = ms.min(sweep_interval_ms(idle_timeout_ms));
+    }
+    if draining {
+        ms = ms.min(20);
+    }
+    ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_tick_never_outsleeps_the_sweep_interval() {
+        // Across tiny, moderate, and huge timeouts (including the 300 s
+        // default), one tick always fits inside one sweep interval.
+        for idle_ms in [1, 40, 200, 2_000, 4_000, 4_100, 60_000, 300_000, u64::MAX] {
+            let tick = poll_tick_ms(idle_ms, false);
+            let interval = sweep_interval_ms(idle_ms);
+            assert!(tick <= interval, "idle {idle_ms}: tick {tick} > interval {interval}");
+            assert!(tick <= STOP_POLL_MS, "idle {idle_ms}: tick {tick} over the stop poll");
+            assert!((10..=1_000).contains(&interval), "idle {idle_ms}: interval {interval}");
+        }
+    }
+
+    #[test]
+    fn sweep_interval_is_a_quarter_of_the_timeout_clamped() {
+        assert_eq!(sweep_interval_ms(0), 10);
+        assert_eq!(sweep_interval_ms(40), 10);
+        assert_eq!(sweep_interval_ms(200), 50);
+        assert_eq!(sweep_interval_ms(4_000), 1_000);
+        assert_eq!(sweep_interval_ms(60_000), 1_000);
+    }
+
+    #[test]
+    fn disabled_idle_and_draining_ticks() {
+        assert_eq!(poll_tick_ms(0, false), STOP_POLL_MS);
+        assert_eq!(poll_tick_ms(0, true), 20);
+        assert_eq!(poll_tick_ms(300_000, true), 20);
     }
 }

@@ -7,14 +7,17 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use hap_cluster::ClusterDelta;
 use hap_codec::{
-    encode_stream, parse, render_fingerprint, request_fingerprint_values, Encode, Value, WireError,
+    encode_stream, parse, parse_fingerprint, render_fingerprint, request_fingerprint_values,
+    Decode, Encode, PlanDiff, Value, WireError,
 };
 use mini_rayon::ThreadPool;
 
 use crate::cache::{compact_log, load_cache, CachePolicy, CachedPlan, PlanCache};
 use crate::config::{ServiceConfig, MAX_TTL_MS};
 use crate::dispatch::{self, Attach, PlanResult, QueueState, Shared};
+use crate::replan::{self, ReplanIndex, RequestTriple};
 use crate::stats::{Counters, NetGauges, StatsSnapshot};
 
 /// A transport callback receiving rendered response bytes for a request
@@ -86,9 +89,14 @@ impl PlanService {
                 .map_err(|e| WireError::new("io", format!("open {}: {e}", path.display())))?;
             persist = Some(Mutex::new(file));
         }
+        // The replan index remembers as many request triples as the cache
+        // holds plans: a fingerprint whose plan is still cached should
+        // normally still be replannable.
+        let replans = Mutex::new(ReplanIndex::new(config.cache_capacity));
         let shared = Arc::new(Shared {
             config,
             cache,
+            replans,
             inflight: Mutex::new(HashMap::new()),
             queue: (
                 Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
@@ -158,8 +166,30 @@ impl PlanService {
                 let plan_arc = result.map_err(|e| (req.id, e))?;
                 Ok((plan_frame(req.id, fp, source, &plan_arc), false))
             }
+            ReqOp::Replan(rp) => {
+                let (source, fp, plan, diff) = self
+                    .replan_values_with_ttl(rp.prior, &rp.delta, rp.ttl_ms)
+                    .map_err(|e| (req.id, e))?;
+                Ok((plan_frame_with(req.id, fp, source, &plan, Some(&diff)), false))
+            }
             ReqOp::Stats => Ok((self.stats_frame(req.id), false)),
             ReqOp::Shutdown => Ok((ok_frame(req.id), true)),
+        }
+    }
+
+    /// Remembers the request triple behind a fingerprint so a later
+    /// `replan` can rebuild it. Cheap when already recorded.
+    fn record_request(&self, fp: u64, graph: &Value, cluster: &Value, options: &Value) {
+        let mut index = self.shared.replans.lock().expect("replan index poisoned");
+        if !index.contains(fp) {
+            index.record(
+                fp,
+                Arc::new(RequestTriple {
+                    graph: graph.clone(),
+                    cluster: cluster.clone(),
+                    options: options.clone(),
+                }),
+            );
         }
     }
 
@@ -185,16 +215,68 @@ impl PlanService {
     ) -> (PlanSource, u64, PlanResult) {
         let shared = &self.shared;
         let fp = request_fingerprint_values(graph, cluster, options);
+        self.record_request(fp, graph, cluster, options);
         if let Some(plan) = shared.cache.get(fp) {
             shared.counters.hits.fetch_add(1, Ordering::Relaxed);
             return (PlanSource::Cache, fp, Ok(plan));
         }
         shared.counters.misses.fetch_add(1, Ordering::Relaxed);
-        match dispatch::attach(shared, fp, graph, cluster, options, ttl_ms) {
+        match dispatch::attach(shared, fp, graph, cluster, options, ttl_ms, None) {
             Attach::Resolved(source, result) => (source, fp, result),
             Attach::Leader(slot) => (PlanSource::Synthesized, fp, dispatch::wait_sync(&slot)),
             Attach::Follower(slot) => (PlanSource::Coalesced, fp, dispatch::wait_sync(&slot)),
         }
+    }
+
+    /// Replans a previously planned request after a cluster change: the
+    /// prior plan (named by its request fingerprint) is re-costed on the
+    /// post-delta cluster and seeds the synthesis as its incumbent, so an
+    /// unchanged-optimal plan is confirmed at replay cost instead of
+    /// re-searched. Returns the plan for the post-delta request — always
+    /// bit-identical to what cold synthesis on that cluster would produce
+    /// (warm seeds only survive exact cost ties) — plus the machine-
+    /// readable [`PlanDiff`] against the prior plan.
+    pub fn replan_values(
+        &self,
+        prior_fp: u64,
+        delta: &ClusterDelta,
+    ) -> Result<(PlanSource, u64, Arc<CachedPlan>, PlanDiff), WireError> {
+        self.replan_values_with_ttl(prior_fp, delta, None)
+    }
+
+    /// [`PlanService::replan_values`] with a per-request cache TTL.
+    pub fn replan_values_with_ttl(
+        &self,
+        prior_fp: u64,
+        delta: &ClusterDelta,
+        ttl_ms: Option<u64>,
+    ) -> Result<(PlanSource, u64, Arc<CachedPlan>, PlanDiff), WireError> {
+        let shared = &self.shared;
+        let prep = replan::prepare(shared, prior_fp, delta)?;
+        if let Some(plan) = shared.cache.get(prep.fp) {
+            shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+            shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+            let diff = replan_diff(prior_fp, &prep.prior, &plan);
+            return Ok((PlanSource::Cache, prep.fp, plan, diff));
+        }
+        shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let (source, result) = match dispatch::attach(
+            shared,
+            prep.fp,
+            &prep.triple.graph,
+            &prep.triple.cluster,
+            &prep.triple.options,
+            ttl_ms,
+            Some(prep.prior.clone()),
+        ) {
+            Attach::Resolved(source, result) => (source, result),
+            Attach::Leader(slot) => (PlanSource::Synthesized, dispatch::wait_sync(&slot)),
+            Attach::Follower(slot) => (PlanSource::Coalesced, dispatch::wait_sync(&slot)),
+        };
+        let plan = result?;
+        shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+        let diff = replan_diff(prior_fp, &prep.prior, &plan);
+        Ok((source, prep.fp, plan, diff))
     }
 
     /// The asynchronous request path used by the event loop: never blocks
@@ -222,10 +304,11 @@ impl PlanService {
                 let shared = &self.shared;
                 let stream_chunk = plan.stream.then_some(shared.config.stream_chunk_bytes);
                 let fp = request_fingerprint_values(&plan.graph, &plan.cluster, &plan.options);
+                self.record_request(fp, &plan.graph, &plan.cluster, &plan.options);
                 if let Some(cached) = shared.cache.get(fp) {
                     shared.counters.hits.fetch_add(1, Ordering::Relaxed);
                     return Submission::Ready {
-                        bytes: plan_bytes(id, fp, PlanSource::Cache, &cached, stream_chunk),
+                        bytes: plan_bytes(id, fp, PlanSource::Cache, &cached, None, stream_chunk),
                         shutdown: false,
                     };
                 }
@@ -237,13 +320,14 @@ impl PlanService {
                     &plan.cluster,
                     &plan.options,
                     plan.ttl_ms,
+                    None,
                 );
                 let (slot, source) = match attach {
                     // A leadership cache race resolves as a hit, exactly
                     // like the sync path's re-probe.
                     Attach::Resolved(source, Ok(cached)) => {
                         return Submission::Ready {
-                            bytes: plan_bytes(id, fp, source, &cached, stream_chunk),
+                            bytes: plan_bytes(id, fp, source, &cached, None, stream_chunk),
                             shutdown: false,
                         }
                     }
@@ -264,7 +348,86 @@ impl PlanService {
                     &slot,
                     Box::new(move |result: &PlanResult| {
                         let bytes = match result {
-                            Ok(plan) => plan_bytes(id, fp, source, plan, stream_chunk),
+                            Ok(plan) => plan_bytes(id, fp, source, plan, None, stream_chunk),
+                            Err(err) => {
+                                counters_shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                                frame_bytes(&error_frame(id, err))
+                            }
+                        };
+                        deliver(bytes);
+                    }),
+                );
+                Submission::Pending
+            }
+            ReqOp::Replan(rp) => {
+                let shared = &self.shared;
+                let stream_chunk = rp.stream.then_some(shared.config.stream_chunk_bytes);
+                let prep = match replan::prepare(shared, rp.prior, &rp.delta) {
+                    Ok(prep) => prep,
+                    Err(err) => {
+                        return Submission::Ready {
+                            bytes: self.render_error(id, &err),
+                            shutdown: false,
+                        }
+                    }
+                };
+                let prior_fp = rp.prior;
+                let fp = prep.fp;
+                if let Some(cached) = shared.cache.get(fp) {
+                    shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+                    let diff = replan_diff(prior_fp, &prep.prior, &cached);
+                    return Submission::Ready {
+                        bytes: plan_bytes(
+                            id,
+                            fp,
+                            PlanSource::Cache,
+                            &cached,
+                            Some(&diff),
+                            stream_chunk,
+                        ),
+                        shutdown: false,
+                    };
+                }
+                shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+                let attach = dispatch::attach(
+                    shared,
+                    fp,
+                    &prep.triple.graph,
+                    &prep.triple.cluster,
+                    &prep.triple.options,
+                    rp.ttl_ms,
+                    Some(prep.prior.clone()),
+                );
+                let (slot, source) = match attach {
+                    Attach::Resolved(source, Ok(cached)) => {
+                        shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+                        let diff = replan_diff(prior_fp, &prep.prior, &cached);
+                        return Submission::Ready {
+                            bytes: plan_bytes(id, fp, source, &cached, Some(&diff), stream_chunk),
+                            shutdown: false,
+                        };
+                    }
+                    Attach::Resolved(_, Err(err)) => {
+                        return Submission::Ready {
+                            bytes: self.render_error(id, &err),
+                            shutdown: false,
+                        }
+                    }
+                    Attach::Leader(slot) => (slot, PlanSource::Synthesized),
+                    Attach::Follower(slot) => (slot, PlanSource::Coalesced),
+                };
+                let counters_shared = self.shared.clone();
+                let prior_plan = prep.prior.clone();
+                dispatch::subscribe(
+                    &slot,
+                    Box::new(move |result: &PlanResult| {
+                        let bytes = match result {
+                            Ok(plan) => {
+                                counters_shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+                                let diff = replan_diff(prior_fp, &prior_plan, plan);
+                                plan_bytes(id, fp, source, plan, Some(&diff), stream_chunk)
+                            }
                             Err(err) => {
                                 counters_shared.counters.errors.fetch_add(1, Ordering::Relaxed);
                                 frame_bytes(&error_frame(id, err))
@@ -307,6 +470,7 @@ impl PlanService {
             shed: shared.counters.shed.load(Ordering::Relaxed),
             admission_rejected: shared.cache.rejected(),
             expired: shared.cache.expired(),
+            replanned: shared.counters.replanned.load(Ordering::Relaxed),
             open_connections: self.gauges.open_connections.load(Ordering::Relaxed),
             peak_connections: self.gauges.peak_connections.load(Ordering::Relaxed),
             read_buf_hwm: self.gauges.read_buf_hwm.load(Ordering::Relaxed),
@@ -344,8 +508,18 @@ struct PlanRequest {
     stream: bool,
 }
 
+struct ReplanRequest {
+    /// Fingerprint of the previously planned request to start from.
+    prior: u64,
+    /// How the cluster changed since that plan.
+    delta: ClusterDelta,
+    ttl_ms: Option<u64>,
+    stream: bool,
+}
+
 enum ReqOp {
     Plan(Box<PlanRequest>),
+    Replan(Box<ReplanRequest>),
     Stats,
     Shutdown,
 }
@@ -368,32 +542,7 @@ impl Request {
                 let fetch = |key: &str| v.field(key).cloned().map_err(|e| (id, WireError::from(e)));
                 let (graph, cluster, options) =
                     (fetch("graph")?, fetch("cluster")?, fetch("options")?);
-                // Optional cache-lifetime request: how long the synthesized
-                // plan should stay valid (a tenant planning for a cluster
-                // it is about to decommission bounds its own footprint).
-                let ttl_ms = match v.get("ttl_ms") {
-                    None | Some(Value::Null) => None,
-                    Some(ms) => {
-                        let ms = ms.as_u64().map_err(|e| (id, WireError::from(e)))?;
-                        // Reject before any work: an unbounded TTL times
-                        // 1e6 (ns) would leave the codec's exact-integer
-                        // range and panic the persisting worker.
-                        if ms > MAX_TTL_MS {
-                            return Err((
-                                id,
-                                WireError::new(
-                                    "decode",
-                                    format!("ttl_ms {ms} exceeds the maximum {MAX_TTL_MS}"),
-                                ),
-                            ));
-                        }
-                        Some(ms)
-                    }
-                };
-                let stream = match v.get("stream") {
-                    None | Some(Value::Null) => false,
-                    Some(flag) => flag.as_bool().map_err(|e| (id, WireError::from(e)))?,
-                };
+                let (ttl_ms, stream) = parse_ttl_stream(&v, id)?;
                 Ok(Request {
                     id,
                     op: ReqOp::Plan(Box::new(PlanRequest {
@@ -405,11 +554,60 @@ impl Request {
                     })),
                 })
             }
+            "replan" => {
+                // Decode the delta at parse time: a malformed delta is a
+                // protocol error, answered before any lookups run.
+                let prior = v
+                    .field("prior")
+                    .and_then(|x| x.as_str())
+                    .and_then(parse_fingerprint)
+                    .map_err(|e| (id, WireError::from(e)))?;
+                let delta_value = v.field("delta").map_err(|e| (id, WireError::from(e)))?;
+                let delta =
+                    ClusterDelta::decode(delta_value).map_err(|e| (id, WireError::from(e)))?;
+                let (ttl_ms, stream) = parse_ttl_stream(&v, id)?;
+                Ok(Request {
+                    id,
+                    op: ReqOp::Replan(Box::new(ReplanRequest { prior, delta, ttl_ms, stream })),
+                })
+            }
             "stats" => Ok(Request { id, op: ReqOp::Stats }),
             "shutdown" => Ok(Request { id, op: ReqOp::Shutdown }),
             other => Err((id, WireError::new("decode", format!("unknown op `{other}`")))),
         }
     }
+}
+
+/// The optional `ttl_ms` and `stream` request fields, shared by `plan`
+/// and `replan`.
+fn parse_ttl_stream(v: &Value, id: u64) -> Result<(Option<u64>, bool), (u64, WireError)> {
+    // Optional cache-lifetime request: how long the synthesized plan
+    // should stay valid (a tenant planning for a cluster it is about to
+    // decommission bounds its own footprint).
+    let ttl_ms = match v.get("ttl_ms") {
+        None | Some(Value::Null) => None,
+        Some(ms) => {
+            let ms = ms.as_u64().map_err(|e| (id, WireError::from(e)))?;
+            // Reject before any work: an unbounded TTL times 1e6 (ns)
+            // would leave the codec's exact-integer range and panic the
+            // persisting worker.
+            if ms > MAX_TTL_MS {
+                return Err((
+                    id,
+                    WireError::new(
+                        "decode",
+                        format!("ttl_ms {ms} exceeds the maximum {MAX_TTL_MS}"),
+                    ),
+                ));
+            }
+            Some(ms)
+        }
+    };
+    let stream = match v.get("stream") {
+        None | Some(Value::Null) => false,
+        Some(flag) => flag.as_bool().map_err(|e| (id, WireError::from(e)))?,
+    };
+    Ok((ttl_ms, stream))
 }
 
 // ---------------------------------------------------------------------------
@@ -426,9 +624,34 @@ fn ok_frame(id: u64) -> Value {
     Value::obj(vec![("id", Value::int(id)), ("ok", Value::Bool(true))])
 }
 
+/// The replan response's diff: compares cached plans by their canonical
+/// instruction encodings and by the plan-level (ratio-final) estimated
+/// times — the same numbers the response frames carry.
+fn replan_diff(prior_fp: u64, prior: &CachedPlan, next: &CachedPlan) -> PlanDiff {
+    PlanDiff::between(
+        prior_fp,
+        &prior.program,
+        prior.estimated_time,
+        &next.program,
+        next.estimated_time,
+    )
+}
+
 /// `{"id":N,"ok":true,"fingerprint":...,"source":...,"plan":{...}}`.
 fn plan_frame(id: u64, fp: u64, source: PlanSource, plan: &CachedPlan) -> Value {
-    Value::obj(vec![
+    plan_frame_with(id, fp, source, plan, None)
+}
+
+/// [`plan_frame`], optionally extended with a `replan` diff field — the
+/// response shape of the `replan` verb.
+fn plan_frame_with(
+    id: u64,
+    fp: u64,
+    source: PlanSource,
+    plan: &CachedPlan,
+    diff: Option<&PlanDiff>,
+) -> Value {
+    let mut fields = vec![
         ("id", Value::int(id)),
         ("ok", Value::Bool(true)),
         ("fingerprint", Value::Str(render_fingerprint(fp))),
@@ -442,7 +665,11 @@ fn plan_frame(id: u64, fp: u64, source: PlanSource, plan: &CachedPlan) -> Value 
                 ("program", plan.program.encode()),
             ]),
         ),
-    ])
+    ];
+    if let Some(diff) = diff {
+        fields.push(("replan", diff.encode()));
+    }
+    Value::obj(fields)
 }
 
 /// One rendered frame plus its newline.
@@ -461,9 +688,10 @@ pub(crate) fn plan_bytes(
     fp: u64,
     source: PlanSource,
     plan: &CachedPlan,
+    diff: Option<&PlanDiff>,
     stream_chunk: Option<usize>,
 ) -> Vec<u8> {
-    let line = plan_frame(id, fp, source, plan).render();
+    let line = plan_frame_with(id, fp, source, plan, diff).render();
     match stream_chunk {
         None => {
             let mut bytes = line.into_bytes();

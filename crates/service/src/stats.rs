@@ -33,6 +33,9 @@ pub struct StatsSnapshot {
     pub admission_rejected: u64,
     /// Cache entries reclaimed by TTL expiry.
     pub expired: u64,
+    /// Successful `replan` requests (elastic replanning after a cluster
+    /// delta), whatever source answered them.
+    pub replanned: u64,
     /// Connections currently registered with the event loop.
     pub open_connections: u64,
     /// Most connections ever registered at once.
@@ -60,6 +63,7 @@ impl Encode for StatsSnapshot {
             ("shed", Value::int(self.shed)),
             ("admission_rejected", Value::int(self.admission_rejected)),
             ("expired", Value::int(self.expired)),
+            ("replanned", Value::int(self.replanned)),
             ("open_connections", Value::int(self.open_connections)),
             ("peak_connections", Value::int(self.peak_connections)),
             ("read_buf_hwm", Value::int(self.read_buf_hwm)),
@@ -91,6 +95,7 @@ impl Decode for StatsSnapshot {
             shed: lenient("shed")?,
             admission_rejected: lenient("admission_rejected")?,
             expired: lenient("expired")?,
+            replanned: lenient("replanned")?,
             open_connections: lenient("open_connections")?,
             peak_connections: lenient("peak_connections")?,
             read_buf_hwm: lenient("read_buf_hwm")?,
@@ -111,6 +116,7 @@ pub(crate) struct Counters {
     pub warm_seeded: AtomicU64,
     pub errors: AtomicU64,
     pub shed: AtomicU64,
+    pub replanned: AtomicU64,
 }
 
 /// Event-loop gauges, owned by the service so `stats` works both with and
@@ -145,6 +151,7 @@ mod tests {
         let snap = StatsSnapshot::decode(&hap_codec::parse(old).unwrap()).unwrap();
         assert_eq!(snap.hits, 2);
         assert_eq!(snap.shed, 10);
+        assert_eq!(snap.replanned, 0);
         assert_eq!(snap.open_connections, 0);
         assert_eq!(snap.peak_connections, 0);
         assert_eq!(snap.idle_closed, 0);
@@ -165,6 +172,7 @@ mod tests {
             shed: 10,
             admission_rejected: 11,
             expired: 12,
+            replanned: 18,
             open_connections: 13,
             peak_connections: 14,
             read_buf_hwm: 15,

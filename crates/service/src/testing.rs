@@ -31,7 +31,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use hap::HapOptions;
-use hap_cluster::ClusterSpec;
+use hap_cluster::{ClusterDelta, ClusterSpec};
 use hap_codec::{request_fingerprint, Encode};
 use hap_graph::{Graph, GraphBuilder};
 use hap_models::{mlp, MlpConfig};
@@ -165,6 +165,18 @@ pub enum StressOp {
     Hot(usize),
     /// Request one-off flood entry `i` (never repeated).
     OneOff(usize),
+    /// A chaos step: hot-set entry `i` loses one device
+    /// ([`replan_delta`]) and the tenant issues `replan` against the
+    /// prior fingerprint, falling back to a cold plan when the daemon
+    /// answers `unknown_fingerprint`.
+    Replan(usize),
+}
+
+/// The single-device loss chaos replays against hot request `i`: one GPU
+/// off machine `i % 2`. Both fig17 machines have two GPUs, so the delta
+/// is always valid (each machine keeps one) and deterministic per index.
+pub fn replan_delta(i: usize) -> ClusterDelta {
+    ClusterDelta::device_loss(i % 2, 1)
 }
 
 /// A seeded interleaving of `repeats` passes over `hot_n` hot requests
@@ -188,6 +200,33 @@ pub fn schedule(seed: u64, hot_n: usize, repeats: usize, flood_n: usize) -> Vec<
     for i in (1..ops.len()).rev() {
         let j = rng.random_range(0..=i);
         ops.swap(i, j);
+    }
+    ops
+}
+
+/// A [`schedule`] with `replans` seeded device-loss chaos steps spliced
+/// into its second half: mid-traffic, a random hot tenant loses a device
+/// and replans. The second-half placement makes it overwhelmingly likely
+/// the prior plan is already in the daemon (the first half contains every
+/// hot request at least once for `repeats >= 2`), but the driver falls
+/// back to a cold plan on `unknown_fingerprint` either way, so every
+/// seed's schedule is valid. Base traffic keeps the exact op multiset of
+/// [`schedule`], so hit-rate and shed invariants carry over unchanged.
+pub fn chaos_schedule(
+    seed: u64,
+    hot_n: usize,
+    repeats: usize,
+    flood_n: usize,
+    replans: usize,
+) -> Vec<StressOp> {
+    let mut ops = schedule(seed, hot_n, repeats, flood_n);
+    // A distinct stream from the shuffle's, so adding chaos does not
+    // reorder the base traffic relative to `schedule(seed, ...)`.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for _ in 0..replans {
+        let target = rng.random_range(0..hot_n);
+        let at = rng.random_range(ops.len() / 2..=ops.len());
+        ops.insert(at, StressOp::Replan(target));
     }
     ops
 }
@@ -270,6 +309,41 @@ pub fn drive_sequential_opts(
             let req = match op {
                 StressOp::Hot(i) => hot_request(i),
                 StressOp::OneOff(i) => one_off_request(i),
+                StressOp::Replan(i) => {
+                    let req = hot_request(i);
+                    let delta = replan_delta(i);
+                    match client.replan_with_retry(req.fingerprint(), &delta, None, retry) {
+                        Ok(reply) => {
+                            return StepOutcome {
+                                op,
+                                source: reply.plan.source.clone(),
+                                bits: ReplyBits::of(&reply.plan),
+                            };
+                        }
+                        // The daemon no longer holds the prior (never
+                        // planned, evicted, restarted): cold fallback on
+                        // the post-delta cluster, as real tenants would.
+                        Err(e) if e.kind == "unknown_fingerprint" => {
+                            let cluster = delta.apply(&req.cluster).expect("chaos delta is valid");
+                            let reply = client
+                                .plan_with_retry_opts(
+                                    &req.graph,
+                                    &cluster,
+                                    &req.options,
+                                    None,
+                                    stream,
+                                    retry,
+                                )
+                                .unwrap_or_else(|e| panic!("{} cold fallback: {e}", req.name));
+                            return StepOutcome {
+                                op,
+                                source: reply.source.clone(),
+                                bits: ReplyBits::of(&reply),
+                            };
+                        }
+                        Err(e) => panic!("{} replan: {e}", req.name),
+                    }
+                }
             };
             let reply = client
                 .plan_with_retry_opts(&req.graph, &req.cluster, &req.options, None, stream, retry)

@@ -143,6 +143,30 @@ fn idle_connections_are_swept_after_the_timeout() {
 }
 
 #[test]
+fn idle_sweep_stays_prompt_at_a_large_timeout() {
+    // Regression: the poll tick used `(idle / 4).max(10)` while the sweep
+    // used `(idle / 4).clamp(10, 1000)`; past 4 s of idle timeout the two
+    // diverged, so a quiescent loop could miss the intended 1 s sweep
+    // cadence and close idle connections late. With the shared interval,
+    // a 4.1 s timeout must close within timeout + ~2 sweep intervals.
+    let config = ServiceConfig { idle_timeout_ms: 4_100, ..ServiceConfig::default() };
+    let server = Server::start(config).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+
+    let started = Instant::now();
+    let mut buf = [0u8; 64];
+    let n = stream.read(&mut buf).expect("clean EOF, not a reset");
+    let elapsed = started.elapsed();
+    assert_eq!(n, 0, "idle connection closed by the sweep");
+    assert!(elapsed >= Duration::from_millis(4_000), "closed early: {elapsed:?}");
+    assert!(
+        elapsed < Duration::from_millis(4_100 + 2_500),
+        "sweep landed late at a large timeout: {elapsed:?}"
+    );
+}
+
+#[test]
 fn external_shutdown_is_prompt_without_any_connection() {
     // Regression: shutting down a quiesced daemon must not require a new
     // connection to unblock `accept()` — the stop flag travels through

@@ -139,7 +139,12 @@ fn queue_overflow_sheds_busy_frames_and_retry_recovers() {
         let queued = scope.spawn(move || {
             let req = hot_request(0);
             let mut client = Client::connect(addr).unwrap();
-            let retry = RetryPolicy { max_attempts: 4, base_delay_ms: 5, max_delay_ms: 50 };
+            let retry = RetryPolicy {
+                max_attempts: 4,
+                base_delay_ms: 5,
+                max_delay_ms: 50,
+                ..RetryPolicy::default()
+            };
             client.plan_with_retry(&req.graph, &req.cluster, &req.options, None, &retry).unwrap()
         });
         std::thread::sleep(std::time::Duration::from_millis(100));
@@ -166,7 +171,12 @@ fn queue_overflow_sheds_busy_frames_and_retry_recovers() {
         // The retrying client rides the backlog out and succeeds.
         let req = one_off_request(2000);
         let mut client = Client::connect(addr).unwrap();
-        let retry = RetryPolicy { max_attempts: 12, base_delay_ms: 20, max_delay_ms: 1_000 };
+        let retry = RetryPolicy {
+            max_attempts: 12,
+            base_delay_ms: 20,
+            max_delay_ms: 1_000,
+            ..RetryPolicy::default()
+        };
         let reply = client
             .plan_with_retry(&req.graph, &req.cluster, &req.options, None, &retry)
             .expect("backoff must ride out the backlog");
@@ -254,6 +264,81 @@ fn duplicate_bursts_coalesce_and_are_never_shed() {
         BURST as u64,
         "every request accounted for: {stats:?}"
     );
+}
+
+#[test]
+fn chaos_device_loss_replans_mid_traffic_keep_every_invariant() {
+    let seed = soak_seed();
+    println!("chaos harness seed: {seed} (set HAP_SOAK_SEED to reproduce)");
+
+    // Ample capacity: this test isolates the *replan* invariants amid
+    // adversarial traffic (retention-under-flood has its own test above);
+    // the chaos entries must not be able to displace the hot set.
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let retry = RetryPolicy::default();
+    let warmup: Vec<StressOp> = (0..HOT_N).map(StressOp::Hot).collect();
+    let warm = testing::drive_sequential(server.addr(), &warmup, &retry);
+    let mut bits = HashMap::new();
+    for o in &warm {
+        assert_eq!(o.source, "synthesized", "warmup is all cold");
+        let StressOp::Hot(i) = o.op else { unreachable!() };
+        bits.insert(i, o.bits.clone());
+    }
+
+    // Mid-traffic chaos: seeded single-device losses trigger `replan`
+    // against the prior fingerprints, interleaved with the usual
+    // hot+flood mix.
+    const REPLANS: usize = 4;
+    let ops = testing::chaos_schedule(seed, HOT_N, HOT_REPEATS, FLOOD_N, REPLANS);
+    assert_eq!(
+        ops.iter().filter(|o| matches!(o, StressOp::Replan(_))).count(),
+        REPLANS,
+        "the chaos schedule carries every requested replan"
+    );
+    let outcomes = testing::drive_sequential(server.addr(), &ops, &retry);
+
+    // Chaos must not perturb unaffected tenants: every hot reply still
+    // carries its cold-synthesis bits, and the hot set keeps hitting.
+    for o in &outcomes {
+        if let StressOp::Hot(i) = o.op {
+            assert_eq!(o.bits, bits[&i], "hot-{i} plan drifted under chaos");
+        }
+    }
+    assert!(
+        hot_hit_rate(&outcomes) >= 0.90,
+        "hot hit rate must survive chaos: {:.3}",
+        hot_hit_rate(&outcomes)
+    );
+
+    // The acceptance bar, under traffic: every replanned plan is
+    // bit-identical to cold synthesis on the post-delta cluster.
+    let mut cold = HashMap::new();
+    for o in &outcomes {
+        if let StressOp::Replan(i) = o.op {
+            let expected = cold.entry(i).or_insert_with(|| {
+                let req = hot_request(i);
+                let cluster = testing::replan_delta(i).apply(&req.cluster).unwrap();
+                let plan = hap::parallelize(&req.graph, &cluster, &req.options).unwrap();
+                ReplyBits {
+                    program_fp: plan.program.fingerprint(),
+                    time_bits: plan.estimated_time.to_bits(),
+                    ratio_bits: plan
+                        .ratios
+                        .iter()
+                        .map(|row| row.iter().map(|b| b.to_bits()).collect())
+                        .collect(),
+                }
+            });
+            assert_eq!(&o.bits, expected, "replan-{i} drifted from cold synthesis");
+        }
+    }
+
+    let stats = server.service().stats();
+    // Every chaos step rode the replan verb (priors were warmed, so the
+    // cold fallback never fired), nothing shed, nothing errored.
+    assert_eq!(stats.replanned, REPLANS as u64, "{stats:?}");
+    assert_eq!(stats.shed, 0, "sequential chaos traffic must never shed: {stats:?}");
+    assert_eq!(stats.errors, 0, "no unknown_fingerprint fallbacks expected: {stats:?}");
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! across restarts, warm-start seeding, and error transport.
 
 use hap::HapOptions;
-use hap_cluster::ClusterSpec;
+use hap_cluster::{ClusterDelta, ClusterSpec};
 use hap_models::{mlp, MlpConfig};
 use hap_service::{Client, Server, ServiceConfig};
 
@@ -142,6 +142,104 @@ fn near_miss_seeds_warm_start_from_the_closest_cluster() {
     let local = hap::parallelize(&graph, &ClusterSpec::fig2_cluster(), &opts).unwrap();
     assert_eq!(b.program.fingerprint(), local.program.fingerprint());
     assert_eq!(b.estimated_time.to_bits(), local.estimated_time.to_bits());
+}
+
+#[test]
+fn replan_after_device_loss_matches_cold_synthesis_bit_for_bit() {
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (graph, cluster, opts) =
+        (tiny_graph(), ClusterSpec::fig17_cluster(), HapOptions::default());
+
+    let cold = client.plan(&graph, &cluster, &opts).unwrap();
+    assert_eq!(cold.source, "synthesized");
+
+    // One P100 dies; the daemon replans warm from the prior plan.
+    let delta = ClusterDelta::device_loss(1, 1);
+    let replanned = client.replan(cold.fingerprint, &delta).unwrap();
+    assert_eq!(replanned.plan.source, "synthesized");
+    assert_ne!(replanned.plan.fingerprint, cold.fingerprint, "new cluster, new fingerprint");
+
+    // The diff names the prior and accounts for every instruction.
+    assert_eq!(replanned.diff.prior_fingerprint, cold.fingerprint);
+    assert_eq!(replanned.diff.instrs_total, replanned.plan.program.instrs.len());
+    assert!(replanned.diff.instrs_total >= replanned.diff.instrs_added);
+    assert_eq!(replanned.diff.prior_estimated_time.to_bits(), cold.estimated_time.to_bits());
+    assert_eq!(
+        replanned.diff.estimated_time_delta.to_bits(),
+        (replanned.plan.estimated_time - cold.estimated_time).to_bits()
+    );
+
+    // The acceptance bar: warm-seeded replanning is bit-identical to cold
+    // synthesis on the post-delta cluster.
+    let next_cluster = delta.apply(&cluster).unwrap();
+    let local = hap::parallelize(&graph, &next_cluster, &opts).unwrap();
+    assert_eq!(replanned.plan.program.fingerprint(), local.program.fingerprint());
+    assert_eq!(replanned.plan.estimated_time.to_bits(), local.estimated_time.to_bits());
+
+    // A plain plan for the post-delta cluster now hits the cache with the
+    // replan's fingerprint, and the exact same bits.
+    let direct = client.plan(&graph, &next_cluster, &opts).unwrap();
+    assert_eq!(direct.source, "cache");
+    assert_eq!(direct.fingerprint, replanned.plan.fingerprint);
+    assert_eq!(direct.program.fingerprint(), replanned.plan.program.fingerprint());
+
+    // Replanning the same delta again is a cache hit with the same diff.
+    let again = client.replan(cold.fingerprint, &delta).unwrap();
+    assert_eq!(again.plan.source, "cache");
+    assert_eq!(again.diff, replanned.diff);
+
+    // Replans chain: the replanned fingerprint is itself replannable.
+    let chained =
+        client.replan(replanned.plan.fingerprint, &ClusterDelta::device_loss(0, 1)).unwrap();
+    assert_eq!(chained.diff.prior_fingerprint, replanned.plan.fingerprint);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.replanned, 3, "{stats:?}");
+    assert!(stats.warm_seeded >= 1, "the replan must seed from the prior plan: {stats:?}");
+}
+
+#[test]
+fn replan_of_an_unknown_fingerprint_is_a_typed_error() {
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let err = client.replan(0xdead_beef, &ClusterDelta::device_loss(0, 1)).unwrap_err();
+    assert_eq!(err.kind, "unknown_fingerprint", "{err}");
+    // The connection survives and the daemon counted the error.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.replanned, 0);
+    assert!(stats.errors >= 1, "{stats:?}");
+}
+
+#[test]
+fn cluster_emptying_deltas_are_rejected_with_typed_frames() {
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (graph, cluster, opts) =
+        (tiny_graph(), ClusterSpec::fig17_cluster(), HapOptions::default());
+    let cold = client.plan(&graph, &cluster, &opts).unwrap();
+
+    // Draining a machine to zero GPUs: typed rejection, no panic.
+    let err = client.replan(cold.fingerprint, &ClusterDelta::device_loss(0, 2)).unwrap_err();
+    assert_eq!(err.kind, "delta", "{err}");
+    assert!(err.message.contains("empty machine 0"), "{err}");
+
+    // Emptying the whole cluster.
+    let empty = ClusterDelta { remove_machines: vec![0, 1], ..ClusterDelta::default() };
+    let err = client.replan(cold.fingerprint, &empty).unwrap_err();
+    assert_eq!(err.kind, "delta", "{err}");
+    assert!(err.message.contains("empties the cluster"), "{err}");
+
+    // An out-of-range machine index.
+    let err = client.replan(cold.fingerprint, &ClusterDelta::device_loss(7, 1)).unwrap_err();
+    assert_eq!(err.kind, "delta", "{err}");
+
+    // The daemon is still fully operational.
+    let hit = client.plan(&graph, &cluster, &opts).unwrap();
+    assert_eq!(hit.source, "cache");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.replanned, 0);
+    assert!(stats.errors >= 3, "{stats:?}");
 }
 
 #[test]
