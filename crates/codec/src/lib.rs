@@ -55,11 +55,14 @@ mod wire;
 
 pub use diff::PlanDiff;
 pub use json::{parse, CodecError, Value};
-pub use record::{parse_persist_line, persist_line, CachedPlan, PERSIST_VERSION};
+pub use record::{
+    parse_persist_line, persist_line, CachedPlan, PERSIST_VERSION, PERSIST_VERSION_COMPAT,
+};
 pub use stream::{
     encode_stream, is_stream_frame, stream_digest, StreamDecoder, StreamEvent, STREAM_CHUNK_BYTES,
 };
 pub use wire::{
     parse_fingerprint, render_fingerprint, request_fingerprint, request_fingerprint_values,
-    value_fingerprint, Decode, Encode, WireError, BUSY_KIND, DELTA_KIND, UNKNOWN_FINGERPRINT_KIND,
+    value_fingerprint, Decode, Encode, WireError, BUSY_KIND, DELTA_KIND, INTERNAL_KIND,
+    UNKNOWN_FINGERPRINT_KIND,
 };

@@ -1,28 +1,43 @@
 //! The versioned on-disk record format of the plan service's cache.
 //!
 //! One cache entry persists as one JSON line. PR 4 wrote unversioned
-//! `{"fp":...,"plan":{...}}` lines; this module's current format adds a
-//! `"v"` tag and per-entry cost metadata driving the cache's cost-aware
-//! admission policy and TTL expiry:
+//! `{"fp":...,"plan":{...}}` lines; PR 5 added a `"v":2` tag and per-entry
+//! cost metadata (admission density, TTL). The current v3 format prepends
+//! a per-line checksum so disk corruption is *detected* instead of
+//! silently decoded:
 //!
 //! ```text
-//! {"v":2,"fp":"0x...","plan":{...,"synthesis_nanos":N,"size_bytes":N,"ttl_nanos":N|null}}
+//! {"v":3,"sum":"0x...","fp":"0x...","plan":{...,"synthesis_nanos":N,"size_bytes":N,"ttl_nanos":N|null}}
 //! ```
 //!
-//! Decoding is backward compatible: a line without `"v"` (and a plan body
-//! without the metadata fields) is a legacy PR-4 record and loads with
-//! zeroed cost metadata and no TTL — served normally, but first in line
-//! for eviction, which is the conservative choice for entries whose
-//! synthesis cost was never measured. Unknown future versions are
-//! rejected rather than guessed at.
+//! `sum` is the FNV-1a digest of the canonical bytes of the record body —
+//! the object `{"fp":...,"plan":{...}}` rendered without the `v`/`sum`
+//! fields. Because the codec's `render → parse → render` is the identity
+//! on canonical text, a reader can re-render the parsed body and compare
+//! digests: any bit flip that survives JSON parsing (a changed digit, a
+//! swapped field) still changes the canonical body bytes and is rejected.
+//! Without the checksum, a flipped digit in `"rounds":1` would load as a
+//! perfectly well-typed — and wrong — record.
+//!
+//! Decoding is backward compatible: a `"v":2` line (no checksum) and a
+//! line without `"v"` at all (PR-4, no cost metadata either) both load;
+//! legacy records carry zeroed cost metadata and no TTL — served normally,
+//! but first in line for eviction, which is the conservative choice for
+//! entries whose synthesis cost was never measured. Compaction always
+//! rewrites the current version, so old formats migrate on the next boot.
+//! Unknown future versions are rejected rather than guessed at.
 
 use hap_synthesis::{DistProgram, ShardingRatios};
 
 use crate::json::{CodecError, Value};
-use crate::wire::{parse_fingerprint, render_fingerprint, Decode, Encode};
+use crate::wire::{parse_fingerprint, render_fingerprint, value_fingerprint, Decode, Encode};
 
 /// The persistence-format version this build writes.
-pub const PERSIST_VERSION: u64 = 2;
+pub const PERSIST_VERSION: u64 = 3;
+
+/// The newest *previous* version this build still reads (checksum-less
+/// PR-5 records). The PR-4 unversioned format also loads.
+pub const PERSIST_VERSION_COMPAT: u64 = 2;
 
 /// One cached plan: everything a response needs, the request-side metadata
 /// (`graph_fp`, `opts_fp`, cluster features) the nearest-neighbor warm
@@ -134,31 +149,80 @@ impl Decode for CachedPlan {
     }
 }
 
-/// Renders one persisted cache line in the current (versioned) format.
-pub fn persist_line(fp: u64, plan: &CachedPlan) -> String {
-    Value::obj(vec![
-        ("v", Value::int(PERSIST_VERSION)),
-        ("fp", Value::Str(render_fingerprint(fp))),
-        ("plan", plan.encode()),
-    ])
-    .render()
+/// The record body (`{"fp":...,"plan":{...}}`) the v3 checksum covers.
+fn record_body(fp: u64, plan: &CachedPlan) -> Value {
+    Value::obj(vec![("fp", Value::Str(render_fingerprint(fp))), ("plan", plan.encode())])
 }
 
-/// Decodes one persisted cache line, accepting the current format and the
-/// legacy unversioned PR-4 format. Unknown future versions are an error.
+/// Renders one persisted cache line in the current (versioned, checksummed)
+/// format.
+pub fn persist_line(fp: u64, plan: &CachedPlan) -> String {
+    let body = record_body(fp, plan);
+    let sum = value_fingerprint(&body);
+    // Splicing after the body's opening brace reproduces exactly the
+    // canonical rendering of the four-field object (the body keeps its
+    // byte-for-byte form, which is what the checksum covers).
+    let rendered = body.render();
+    format!("{{\"v\":{PERSIST_VERSION},\"sum\":\"{}\",{}", render_fingerprint(sum), &rendered[1..])
+}
+
+/// Verifies a v3 line's `sum` field against the canonical re-rendering of
+/// its body (every field except `v` and `sum`).
+fn verify_checksum(v: &Value) -> Result<(), CodecError> {
+    let declared = parse_fingerprint(v.field("sum")?.as_str()?)?;
+    let Value::Obj(fields) = v else {
+        return Err(CodecError::Decode("cache record is not an object".into()));
+    };
+    let body = Value::Obj(
+        fields.iter().filter(|(k, _)| k != "v" && k != "sum").cloned().collect::<Vec<_>>(),
+    );
+    let actual = value_fingerprint(&body);
+    if actual != declared {
+        return Err(CodecError::Decode(format!(
+            "cache-record checksum mismatch: line declares {}, body hashes to {} — the record is \
+             corrupt",
+            render_fingerprint(declared),
+            render_fingerprint(actual)
+        )));
+    }
+    Ok(())
+}
+
+/// Decodes one persisted cache line, accepting the current checksummed
+/// format plus the two older ones (`"v":2` and the unversioned PR-4
+/// format, neither checksummed). A v3 line whose checksum does not match
+/// its body is rejected as corrupt. Unknown future versions are an error.
 pub fn parse_persist_line(line: &str) -> Result<(u64, CachedPlan), CodecError> {
     let v = crate::json::parse(line)?;
+    // Only v3 writers emit a checksum. A record that carries one but does
+    // not identify as v3 — say a v3 line whose version byte was flipped to
+    // "2", or whose "v" key itself was corrupted — must not be waved
+    // through a checksum-less legacy path; the tag is as corruptible as
+    // any other byte.
+    let has_sum = v.get("sum").is_some();
+    let downgraded = |version: &str| {
+        Err(CodecError::Decode(format!(
+            "cache record claims the {version} format but carries a v{PERSIST_VERSION} checksum \
+             — corrupt version tag"
+        )))
+    };
     match v.get("v") {
-        None => {} // legacy PR-4 record: no version tag, no cost metadata
-        Some(tag) => {
-            let version = tag.as_u64()?;
-            if version != PERSIST_VERSION {
+        // Legacy PR-4 record: no version tag, no cost metadata.
+        None if has_sum => return downgraded("unversioned"),
+        None => {}
+        Some(tag) => match tag.as_u64()? {
+            PERSIST_VERSION => verify_checksum(&v)?,
+            // PR-5 record: versioned, no checksum.
+            PERSIST_VERSION_COMPAT if has_sum => return downgraded("v2"),
+            PERSIST_VERSION_COMPAT => {}
+            version => {
                 return Err(CodecError::Decode(format!(
                     "unsupported cache-record version {version} (this build reads \
-                     {PERSIST_VERSION} and the legacy unversioned format)"
+                     {PERSIST_VERSION}, {PERSIST_VERSION_COMPAT}, and the legacy unversioned \
+                     format)"
                 )));
             }
-        }
+        },
     }
     let fp = parse_fingerprint(v.field("fp")?.as_str()?)?;
     let plan = CachedPlan::decode(v.field("plan")?)?;

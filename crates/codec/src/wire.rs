@@ -931,6 +931,13 @@ impl From<&hap::simulator::ExecError> for WireError {
     }
 }
 
+/// The stable kind tag of a daemon-side failure: the synthesis job
+/// panicked (or otherwise died) after the request was accepted. The
+/// request did not complete and produced no cached entry; the daemon
+/// itself survives and keeps serving. A retry *may* succeed (the panic
+/// could be input-dependent), so clients do not retry automatically.
+pub const INTERNAL_KIND: &str = "internal";
+
 /// The stable kind tag of a rejected cluster delta (the prior cluster
 /// exists but the delta cannot be applied to it).
 pub const DELTA_KIND: &str = "delta";

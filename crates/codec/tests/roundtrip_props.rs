@@ -243,7 +243,7 @@ proptest! {
         let ttl = if ttl_pick % 3 == 0 { None } else { Some(ttl_pick) };
         let plan = sample_cached_plan(seed, nanos, ttl);
         let line = persist_line(fp, &plan);
-        prop_assert!(line.starts_with("{\"v\":2,"), "{line}");
+        prop_assert!(line.starts_with("{\"v\":3,\"sum\":\"0x"), "{line}");
         let (fp2, back) = parse_persist_line(&line).unwrap();
         prop_assert_eq!(fp2, fp);
         prop_assert_eq!(&back.program.instrs, &plan.program.instrs);
@@ -296,7 +296,7 @@ fn cache_record_tampering_is_rejected() {
     let plan = sample_cached_plan(3, 42, Some(9));
     let line = persist_line(0xABCD, &plan);
     // Unknown future version: refuse, do not guess.
-    let future = line.replacen("{\"v\":2,", "{\"v\":3,", 1);
+    let future = line.replacen("{\"v\":3,", "{\"v\":4,", 1);
     assert!(parse_persist_line(&future).is_err());
     // Corrupt metadata types.
     let bad_nanos = line.replace(
@@ -311,6 +311,34 @@ fn cache_record_tampering_is_rejected() {
     assert!(parse_persist_line(&bad_features).is_err());
     // Not JSON at all.
     assert!(parse_persist_line("not a record").is_err());
+}
+
+#[test]
+fn checksum_catches_well_typed_corruption() {
+    // The whole point of the v3 checksum: a flipped digit that still
+    // parses as valid, well-typed JSON — a v2 reader would silently load
+    // the wrong record — must be rejected.
+    let plan = sample_cached_plan(5, 1_000, None);
+    let line = persist_line(0x5EED, &plan);
+    let tampered = line.replacen(&format!("\"rounds\":{}", plan.rounds), "\"rounds\":99", 1);
+    assert_ne!(tampered, line, "tamper target must exist in the line");
+    let err = parse_persist_line(&tampered).unwrap_err();
+    assert!(err.to_string().contains("checksum"), "{err}");
+    // A v3 line must carry its checksum; stripping it is corruption, not
+    // a downgrade.
+    let sum_start = line.find("\"sum\"").unwrap();
+    let sum_end = sum_start + line[sum_start..].find(',').unwrap() + 1;
+    let stripped = format!("{}{}", &line[..sum_start], &line[sum_end..]);
+    assert!(parse_persist_line(&stripped).is_err());
+    // A flipped version digit cannot dodge verification: a v2 (or
+    // unversioned) tag alongside a checksum is itself corruption.
+    let downgraded = line.replacen("{\"v\":3,", "{\"v\":2,", 1);
+    assert!(parse_persist_line(&downgraded).is_err());
+    // A v2 line (versioned, checksum-less by design) still loads.
+    let v2 = stripped.replacen("{\"v\":3,", "{\"v\":2,", 1);
+    let (fp, back) = parse_persist_line(&v2).unwrap();
+    assert_eq!(fp, 0x5EED);
+    assert_eq!(back.program.fingerprint(), plan.program.fingerprint());
 }
 
 #[test]
@@ -333,7 +361,7 @@ fn pr4_era_persistence_fixture_still_decodes() {
     // Migration: re-encoding writes the current versioned format, which
     // round-trips canonically.
     let migrated = persist_line(fp, &plan);
-    assert!(migrated.starts_with("{\"v\":2,"));
+    assert!(migrated.starts_with("{\"v\":3,\"sum\":"));
     let (fp2, again) = parse_persist_line(&migrated).unwrap();
     assert_eq!(fp2, fp);
     assert_eq!(again.program.fingerprint(), plan.program.fingerprint());

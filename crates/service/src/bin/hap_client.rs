@@ -79,6 +79,9 @@ impl Assertion {
             "read_buf_hwm" => stats.read_buf_hwm,
             "write_buf_hwm" => stats.write_buf_hwm,
             "idle_closed" => stats.idle_closed,
+            "persist_errors" => stats.persist_errors,
+            "persistence_degraded" => stats.persistence_degraded,
+            "panics" => stats.panics,
             other => return Err(format!("unknown stats key `{other}`")),
         };
         let ok = if self.exact { actual == self.min } else { actual >= self.min };

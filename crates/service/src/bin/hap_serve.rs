@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! hap-serve [--addr HOST:PORT | --port N] [--workers N]
-//!           [--cache-capacity N] [--cache-file PATH] [--no-warm-start]
+//!           [--cache-capacity N] [--cache-file PATH]
+//!           [--fsync always|every-n[=K]|never] [--no-warm-start]
 //!           [--no-admission] [--default-ttl-ms N]
 //!           [--max-queue-depth N] [--busy-retry-ms N]
 //!           [--idle-timeout-ms N] [--max-line-bytes N]
@@ -20,7 +21,8 @@ use hap_service::{Server, ServiceConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hap-serve [--addr HOST:PORT | --port N] [--workers N] \
-         [--cache-capacity N] [--cache-file PATH] [--no-warm-start] \
+         [--cache-capacity N] [--cache-file PATH] \
+         [--fsync always|every-n[=K]|never] [--no-warm-start] \
          [--no-admission] [--default-ttl-ms N] [--max-queue-depth N] \
          [--busy-retry-ms N] [--idle-timeout-ms N] [--max-line-bytes N] \
          [--write-buffer-cap N]"
@@ -59,6 +61,12 @@ fn main() -> ExitCode {
             },
             "--cache-file" => match value("--cache-file") {
                 Ok(v) => config.cache_path = Some(v.into()),
+                Err(()) => return usage(),
+            },
+            "--fsync" => match value("--fsync").and_then(|v| {
+                hap_service::FsyncPolicy::parse(&v).map_err(|e| eprintln!("hap-serve: {e}"))
+            }) {
+                Ok(policy) => config.fsync = policy,
                 Err(()) => return usage(),
             },
             "--no-warm-start" => config.warm_neighbors = false,

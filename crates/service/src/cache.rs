@@ -26,11 +26,23 @@
 //! their shard needs room). TTLs restart on daemon boot — the log stores
 //! the TTL, not an absolute deadline, so a reloaded entry lives one more
 //! TTL from boot at most.
+//!
+//! # Durability
+//!
+//! Persistence is a WAL-style append log of checksummed records
+//! ([`hap_codec::persist_line`], v3) behind [`PersistLog`]: compaction
+//! rewrites atomically (temp + fsync + rename + dir fsync), appends fsync
+//! per [`FsyncPolicy`], [`load_cache`] recovers a torn final line from a
+//! crash mid-append, and any disk fault degrades the log to memory-only
+//! (with re-probe) instead of taking the daemon down. The fs paths
+//! consult the [`crate::faults`] registry so the whole story is provable
+//! under seeded fault injection (`tests/faults.rs`).
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -38,6 +50,10 @@ use std::time::{Duration, Instant};
 use hap_cluster::{ClusterSpec, Granularity};
 use hap_codec::CodecError;
 pub use hap_codec::{parse_persist_line, persist_line, CachedPlan};
+
+use crate::config::FsyncPolicy;
+use crate::faults::{self, Fault};
+use crate::sync::lock_recover;
 
 /// Cache shards. A power of two so the fingerprint masks cleanly; 16 keeps
 /// per-shard lock scopes short under concurrent connection threads.
@@ -215,7 +231,7 @@ impl PlanCache {
     pub fn get(&self, fp: u64) -> Option<Arc<CachedPlan>> {
         let now = self.clock.now_nanos();
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let mut shard = lock_recover(self.shard(fp));
         let entry = shard.map.get_mut(&fp)?;
         if entry.expired(now) {
             shard.map.remove(&fp);
@@ -236,7 +252,7 @@ impl PlanCache {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let expires_at =
             self.effective_ttl(plan.ttl_nanos).map(|ttl| now.saturating_add(ttl.max(1)));
-        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let mut shard = lock_recover(self.shard(fp));
         if let Some(existing) = shard.map.get_mut(&fp) {
             *existing = Entry { plan, last_used: tick, expires_at };
             return Admission::Replaced;
@@ -274,7 +290,7 @@ impl PlanCache {
     /// Total entries across all shards (including not-yet-reclaimed
     /// expired entries, which occupy space until touched).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+        self.shards.iter().map(|s| lock_recover(s).map.len()).sum()
     }
 
     /// True when no plan is cached.
@@ -310,7 +326,7 @@ impl PlanCache {
         let now = self.clock.now_nanos();
         let mut best: Option<(f64, u64, Arc<CachedPlan>)> = None;
         for shard in &self.shards {
-            let shard = shard.lock().expect("cache shard poisoned");
+            let shard = lock_recover(shard);
             for (fp, entry) in &shard.map {
                 if entry.plan.graph_fp != graph_fp || entry.expired(now) {
                     continue;
@@ -334,7 +350,7 @@ impl PlanCache {
         let now = self.clock.now_nanos();
         let mut out = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock().expect("cache shard poisoned");
+            let shard = lock_recover(shard);
             out.extend(
                 shard
                     .map
@@ -351,46 +367,353 @@ impl PlanCache {
 // Persistence
 // ---------------------------------------------------------------------------
 
-/// Loads a persisted cache log into `cache`, ignoring nothing: a corrupt
-/// line is a hard error (the file is machine-written; silent skips would
-/// hide real corruption). Both the current versioned format and the
-/// legacy PR-4 unversioned format load (see [`hap_codec::persist_line`]'s
-/// module docs). Returns the number of entries offered to the cache —
-/// the admission policy applies on reload too, so a log longer than the
-/// capacity keeps its densest tail rather than its newest.
-pub fn load_cache(cache: &PlanCache, path: &Path) -> Result<usize, CodecError> {
-    let file = match std::fs::File::open(path) {
-        Ok(f) => f,
+/// What [`load_cache`] found on disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Entries decoded and offered to the cache.
+    pub loaded: usize,
+    /// True when the log ended in a torn (unterminated, unparsable) final
+    /// line — the signature of a crash mid-append — which was cut off the
+    /// file. Everything before it loaded normally.
+    pub torn_tail_recovered: bool,
+}
+
+/// Loads a persisted cache log into `cache`.
+///
+/// The crash-consistency contract: appends write the record bytes first
+/// and the terminating newline last, so a crash mid-append leaves at most
+/// one *unterminated* final line. Exactly that is tolerated — a final line
+/// with no trailing `'\n'` that fails to parse (or fails its checksum) is
+/// truncated off the file and reported via
+/// [`LoadOutcome::torn_tail_recovered`]. Every other defect — a corrupt
+/// interior line, or a corrupt final line that *is* newline-terminated
+/// (no crash writes one of those; that is real disk corruption) — stays a
+/// hard error: the file is machine-written and silent skips would hide
+/// data loss.
+///
+/// All three record generations load (checksummed v3, PR-5 v2, PR-4
+/// unversioned — see [`hap_codec::persist_line`]'s module docs). Returns
+/// the number of entries offered to the cache — the admission policy
+/// applies on reload too, so a log longer than the capacity keeps its
+/// densest tail rather than its newest.
+///
+/// After a recovered torn tail the file may still end without a newline
+/// (when the torn line *parsed*, it is kept as-is). Run [`compact_log`]
+/// before appending again — [`PersistLog::start`] does — so a later
+/// append can never concatenate onto a partial line.
+pub fn load_cache(cache: &PlanCache, path: &Path) -> Result<LoadOutcome, CodecError> {
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
         // A missing file is simply an empty cache (first boot).
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LoadOutcome::default()),
         Err(e) => return Err(CodecError::Decode(format!("cannot open {}: {e}", path.display()))),
     };
     let mut loaded = 0;
-    for line in BufReader::new(file).lines() {
-        let line = line.map_err(|e| CodecError::Decode(format!("read {}: {e}", path.display())))?;
-        if line.trim().is_empty() {
-            continue;
+    let mut start = 0;
+    while start < data.len() {
+        let (end, terminated) = match data[start..].iter().position(|&b| b == b'\n') {
+            Some(nl) => (start + nl, true),
+            None => (data.len(), false),
+        };
+        let raw = &data[start..end];
+        let parsed = std::str::from_utf8(raw)
+            .map_err(|e| CodecError::Decode(format!("line is not UTF-8: {e}")))
+            .and_then(|line| {
+                if line.trim().is_empty() {
+                    Ok(None)
+                } else {
+                    parse_persist_line(line).map(Some)
+                }
+            });
+        match parsed {
+            Ok(None) => {}
+            Ok(Some((fp, plan))) => {
+                cache.insert(fp, Arc::new(plan));
+                loaded += 1;
+            }
+            Err(_) if !terminated => {
+                // Torn tail: a crash mid-append cut this line short. Drop
+                // it from the file so the log is clean again; everything
+                // acknowledged before it is already loaded.
+                let file = OpenOptions::new().write(true).open(path).map_err(|e| {
+                    CodecError::Decode(format!(
+                        "cannot truncate torn tail of {}: {e}",
+                        path.display()
+                    ))
+                })?;
+                file.set_len(start as u64).map_err(|e| {
+                    CodecError::Decode(format!(
+                        "cannot truncate torn tail of {}: {e}",
+                        path.display()
+                    ))
+                })?;
+                return Ok(LoadOutcome { loaded, torn_tail_recovered: true });
+            }
+            Err(e) => {
+                return Err(CodecError::Decode(format!(
+                    "{} is corrupt at byte {start}: {e}",
+                    path.display()
+                )));
+            }
         }
-        let (fp, plan) = parse_persist_line(&line)?;
-        cache.insert(fp, Arc::new(plan));
-        loaded += 1;
+        start = if terminated { end + 1 } else { end };
     }
-    Ok(loaded)
+    Ok(LoadOutcome { loaded, torn_tail_recovered: false })
 }
 
-/// Rewrites the persistence log from the cache's current contents — called
-/// after [`load_cache`] so the append-only log compacts once per restart
-/// (duplicate fingerprints from overwrites collapse to the live entry,
-/// expired entries drop out). Always writes the current record version:
-/// compaction is also the legacy-format migration path.
+/// The sibling temporary path atomic rewrites stage into (same directory,
+/// so the final `rename` cannot cross filesystems).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Fsyncs the directory holding `path`, making a just-renamed entry
+/// durable (the rename itself lives in the directory, not the file).
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+/// Atomically replaces the log at `path` with `entries`: write a sibling
+/// temp file, fsync it, rename it over the log, fsync the directory. A
+/// crash at any point leaves either the complete old log or the complete
+/// new one — never a mix, never nothing (the failure mode of the
+/// PR-4-era `File::create` rewrite, which zeroed the live log before
+/// writing a byte).
+fn write_log_atomic(path: &Path, entries: &[(u64, Arc<CachedPlan>)]) -> std::io::Result<()> {
+    let tmp = tmp_sibling(path);
+    if let Some(fault) = faults::hit(faults::COMPACT_CREATE) {
+        return Err(fault.into_io_error());
+    }
+    let mut out = File::create(&tmp)?;
+    for (fp, plan) in entries {
+        let line = persist_line(*fp, plan);
+        match faults::hit(faults::COMPACT_WRITE) {
+            Some(Fault::ShortWrite(n)) => {
+                let cut = n.min(line.len());
+                let _ = out.write_all(&line.as_bytes()[..cut]);
+                return Err(Fault::ShortWrite(n).into_io_error());
+            }
+            Some(fault) => return Err(fault.into_io_error()),
+            None => {}
+        }
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    if let Some(fault) = faults::hit(faults::COMPACT_FSYNC) {
+        return Err(fault.into_io_error());
+    }
+    out.sync_all()?;
+    drop(out);
+    if let Some(fault) = faults::hit(faults::COMPACT_RENAME) {
+        return Err(fault.into_io_error());
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(fault) = faults::hit(faults::COMPACT_DIR_FSYNC) {
+        return Err(fault.into_io_error());
+    }
+    sync_parent_dir(path)
+}
+
+/// Atomically rewrites the persistence log from the cache's current
+/// contents — called after [`load_cache`] so the append-only log compacts
+/// once per restart (duplicate fingerprints from overwrites collapse to
+/// the live entry, expired entries drop out, a kept-but-unterminated torn
+/// tail gains its newline). Always writes the current record version:
+/// compaction is also the legacy-format migration path. On error the
+/// previous log is intact (see [`write_log_atomic`]); at worst a
+/// `.tmp` sibling is left behind, and the next successful compaction
+/// replaces it.
 pub fn compact_log(cache: &PlanCache, path: &Path) -> std::io::Result<()> {
     let mut entries = cache.snapshot();
     entries.sort_by_key(|(fp, _)| *fp);
-    let mut out = std::fs::File::create(path)?;
-    for (fp, plan) in entries {
-        writeln!(out, "{}", persist_line(fp, &plan))?;
+    write_log_atomic(path, &entries)
+}
+
+// ---------------------------------------------------------------------------
+// The append log
+// ---------------------------------------------------------------------------
+
+/// State behind the [`PersistLog`] mutex: the open append handle (absent
+/// while degraded) and the fsync-batch counter.
+struct PersistState {
+    file: Option<File>,
+    /// Appends acknowledged since the last fsync (the
+    /// [`FsyncPolicy::EveryN`] window).
+    unsynced: u64,
+}
+
+/// The daemon's durable append log, with graceful degradation.
+///
+/// Healthy operation appends one checksummed record per admitted plan and
+/// fsyncs per the configured [`FsyncPolicy`]. Any I/O failure — ENOSPC,
+/// EIO, a torn write — flips the log to *degraded*: the cache keeps
+/// serving from memory, a `persist_errors` counter and the
+/// `persistence_degraded` gauge surface the condition in `stats`, and the
+/// daemon stays up. Every subsequent append re-probes the disk by
+/// atomically rewriting the whole log from the live cache
+/// ([`write_log_atomic`]); the first probe that succeeds also recovers
+/// every entry admitted during the outage (they are all still in the
+/// cache, which is written before the log), so a healed disk loses
+/// nothing that memory still holds.
+pub struct PersistLog {
+    path: PathBuf,
+    policy: FsyncPolicy,
+    state: Mutex<PersistState>,
+    degraded: AtomicBool,
+    errors: AtomicU64,
+}
+
+impl PersistLog {
+    /// Compacts the log at `path` from `cache` and opens it for appends.
+    /// An I/O failure does not refuse to start: the log begins degraded
+    /// (memory-only) and re-probes on later appends.
+    pub fn start(cache: &PlanCache, path: PathBuf, policy: FsyncPolicy) -> PersistLog {
+        let log = PersistLog {
+            path,
+            policy,
+            state: Mutex::new(PersistState { file: None, unsynced: 0 }),
+            degraded: AtomicBool::new(false),
+            errors: AtomicU64::new(0),
+        };
+        let mut state = lock_recover(&log.state);
+        if !log.reopen(&mut state, cache) {
+            log.errors.fetch_add(1, Ordering::Relaxed);
+            log.degraded.store(true, Ordering::Relaxed);
+        }
+        drop(state);
+        log
     }
-    out.flush()
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Failed persistence operations (appends, compactions, re-probes)
+    /// since boot.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// True while persistence is suspended and the cache is memory-only.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Appends one admitted entry. Returns `true` when the record is in
+    /// the file (fsynced per policy) — the append is *acknowledged* — and
+    /// `false` when persistence is (or just became) degraded. While
+    /// degraded this is the re-probe: it attempts a full atomic rewrite
+    /// from `cache`, resuming normal appends on success.
+    pub fn append(&self, cache: &PlanCache, fp: u64, plan: &CachedPlan) -> bool {
+        let mut state = lock_recover(&self.state);
+        if state.file.is_none() {
+            return self.try_resume(&mut state, cache);
+        }
+        let line = persist_line(fp, plan);
+        let result = {
+            let PersistState { file, unsynced } = &mut *state;
+            let file = file.as_mut().expect("checked above");
+            match Self::write_line(file, &line) {
+                Ok(()) => Self::apply_fsync(file, self.policy, unsynced),
+                Err(e) => Err(e),
+            }
+        };
+        match result {
+            Ok(()) => true,
+            Err(_) => {
+                // ENOSPC/EIO/torn write: drop to memory-only. The entry
+                // stays in the cache; a later successful re-probe rewrites
+                // it into the log.
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.degraded.store(true, Ordering::Relaxed);
+                state.file = None;
+                state.unsynced = 0;
+                false
+            }
+        }
+    }
+
+    /// Flushes any unsynced appends to disk (clean-shutdown path).
+    pub fn sync(&self) {
+        let mut state = lock_recover(&self.state);
+        if let Some(file) = state.file.as_mut() {
+            if file.sync_data().is_ok() {
+                state.unsynced = 0;
+            }
+        }
+    }
+
+    fn write_line(file: &mut File, line: &str) -> std::io::Result<()> {
+        match faults::hit(faults::APPEND_WRITE) {
+            Some(Fault::ShortWrite(n)) => {
+                // Land a real torn prefix so recovery sees exactly what a
+                // crash mid-write(2) leaves: record bytes cut short, no
+                // terminating newline.
+                let cut = n.min(line.len());
+                let _ = file.write_all(&line.as_bytes()[..cut]);
+                return Err(Fault::ShortWrite(n).into_io_error());
+            }
+            Some(fault) => return Err(fault.into_io_error()),
+            None => {}
+        }
+        // Record first, newline last: the crash-consistency contract
+        // `load_cache` recovers under.
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")
+    }
+
+    fn apply_fsync(
+        file: &mut File,
+        policy: FsyncPolicy,
+        unsynced: &mut u64,
+    ) -> std::io::Result<()> {
+        match policy {
+            FsyncPolicy::Always => file.sync_data(),
+            FsyncPolicy::EveryN(n) => {
+                *unsynced += 1;
+                if *unsynced >= n.get() {
+                    file.sync_data()?;
+                    *unsynced = 0;
+                }
+                Ok(())
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// Degraded-mode re-probe: atomically rewrite the log from the live
+    /// cache and reopen the append handle. Success recovers everything
+    /// admitted during the outage and resumes normal persistence.
+    fn try_resume(&self, state: &mut PersistState, cache: &PlanCache) -> bool {
+        if self.reopen(state, cache) {
+            self.degraded.store(false, Ordering::Relaxed);
+            true
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.degraded.store(true, Ordering::Relaxed);
+            false
+        }
+    }
+
+    fn reopen(&self, state: &mut PersistState, cache: &PlanCache) -> bool {
+        let opened = compact_log(cache, &self.path)
+            .and_then(|()| OpenOptions::new().append(true).open(&self.path));
+        match opened {
+            Ok(file) => {
+                state.file = Some(file);
+                state.unsynced = 0;
+                true
+            }
+            Err(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -545,7 +868,10 @@ mod tests {
         compact_log(&cache, &path).unwrap();
 
         let restored = PlanCache::new(64);
-        assert_eq!(load_cache(&restored, &path).unwrap(), 2);
+        assert_eq!(
+            load_cache(&restored, &path).unwrap(),
+            LoadOutcome { loaded: 2, torn_tail_recovered: false }
+        );
         let p = restored.get(42).unwrap();
         assert_eq!(p.graph_fp, 100);
         assert_eq!(p.estimated_time.to_bits(), 1.5f64.to_bits());
@@ -553,10 +879,18 @@ mod tests {
         assert_eq!(p.synthesis_nanos, 123_456);
         assert_eq!(p.size_bytes, 789);
         assert_eq!(p.ttl_nanos, Some(60_000_000_000));
-        // Missing file = empty cache, corrupt file = hard error.
-        assert_eq!(load_cache(&PlanCache::new(4), &dir.join("absent.jsonl")).unwrap(), 0);
+        // Missing file = empty cache.
+        assert_eq!(load_cache(&PlanCache::new(4), &dir.join("absent.jsonl")).unwrap().loaded, 0);
+        // A *terminated* corrupt line is real corruption — no crash writes
+        // garbage followed by a newline — and stays a hard error.
         std::fs::write(&path, "not json\n").unwrap();
         assert!(load_cache(&PlanCache::new(4), &path).is_err());
+        // The same garbage without the newline is a torn tail (crash
+        // mid-append): recovered and truncated away.
+        std::fs::write(&path, "not json").unwrap();
+        let outcome = load_cache(&PlanCache::new(4), &path).unwrap();
+        assert_eq!(outcome, LoadOutcome { loaded: 0, torn_tail_recovered: true });
+        assert_eq!(std::fs::read(&path).unwrap(), b"", "torn tail truncated");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -572,15 +906,15 @@ mod tests {
                       0.5]],\"program\":{\"instrs\":[],\"estimated_time\":1.5}}}";
         std::fs::write(&path, format!("{legacy}\n")).unwrap();
         let cache = PlanCache::new(64);
-        assert_eq!(load_cache(&cache, &path).unwrap(), 1);
+        assert_eq!(load_cache(&cache, &path).unwrap().loaded, 1);
         let p = cache.get(42).unwrap();
         assert_eq!(p.graph_fp, 100);
         assert_eq!(p.synthesis_nanos, 0, "legacy entries carry zero cost");
         assert_eq!(p.ttl_nanos, None);
-        // Compaction migrates the line to the current versioned format.
+        // Compaction migrates the line to the current checksummed format.
         compact_log(&cache, &path).unwrap();
         let migrated = std::fs::read_to_string(&path).unwrap();
-        assert!(migrated.starts_with("{\"v\":2,"), "{migrated}");
+        assert!(migrated.starts_with("{\"v\":3,\"sum\":"), "{migrated}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

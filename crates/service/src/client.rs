@@ -105,11 +105,17 @@ impl RetryPolicy {
 
 /// One connection to a `hap-serve` daemon.
 pub struct Client {
+    /// The daemon's resolved address, kept so the retrying request paths
+    /// can reconnect after a dropped connection.
+    addr: std::net::SocketAddr,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
     /// Busy frames absorbed by `plan_with_retry` so far.
     busy_retries: u64,
+    /// Connection drops `plan_with_retry`/`replan_with_retry` have
+    /// reconnected through so far.
+    io_retries: u64,
     /// Stream chunk frames reassembled so far.
     stream_chunks: u64,
 }
@@ -117,21 +123,44 @@ pub struct Client {
 impl Client {
     /// Connects to the daemon.
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
         let stream = TcpStream::connect(addr)?;
         let writer = stream.try_clone()?;
         Ok(Client {
+            addr,
             reader: BufReader::new(stream),
             writer,
             next_id: 1,
             busy_retries: 0,
+            io_retries: 0,
             stream_chunks: 0,
         })
+    }
+
+    /// Replaces a dead connection with a fresh one to the same daemon.
+    /// Request ids keep counting up (the id only has to be unique per
+    /// request on its connection).
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
     }
 
     /// Busy frames this connection has retried through (observability for
     /// tests and the CLI).
     pub fn busy_retries(&self) -> u64 {
         self.busy_retries
+    }
+
+    /// Connection drops the retrying request paths have reconnected
+    /// through (observability: proves a retry actually resent over a new
+    /// connection).
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
     }
 
     /// Stream chunk frames this connection has reassembled (observability:
@@ -146,6 +175,13 @@ impl Client {
         let n = self.reader.read_line(&mut line).map_err(io_err)?;
         if n == 0 {
             return Err(WireError::new("io", "server closed the connection"));
+        }
+        if !line.ends_with('\n') {
+            // `read_line` hit EOF mid-line: the daemon (or the network)
+            // dropped the connection partway through a response. That is a
+            // transport failure, not a malformed frame — surfacing it as a
+            // parse error would make it look permanent to retry logic.
+            return Err(WireError::new("io", "connection closed mid-response"));
         }
         parse(line.trim_end()).map_err(WireError::from)
     }
@@ -303,8 +339,8 @@ impl Client {
         Ok(ReplanReply { plan, diff })
     }
 
-    /// [`Client::replan`] that rides out daemon overload exactly like
-    /// [`Client::plan_with_retry`].
+    /// [`Client::replan`] that rides out daemon overload and connection
+    /// drops exactly like [`Client::plan_with_retry`].
     pub fn replan_with_retry(
         &mut self,
         prior: u64,
@@ -321,15 +357,40 @@ impl Client {
                     attempt += 1;
                     std::thread::sleep(std::time::Duration::from_millis(delay));
                 }
+                Err(e) if e.kind == "io" && attempt + 1 < policy.max_attempts => {
+                    self.retry_io(&e, &mut attempt, policy)?;
+                }
                 other => return other,
             }
         }
     }
 
-    /// [`Client::plan`] that rides out daemon overload: `busy` frames are
-    /// retried with exponential backoff honoring the daemon's
-    /// `retry_after_ms` hint (see [`RetryPolicy`]). Any other error — and
-    /// busy persisting past `max_attempts` — is returned as-is.
+    /// Shared connection-drop recovery for the retrying request paths:
+    /// reconnect (with backoff between failed reconnects) and let the
+    /// caller resend. Safe because plan/replan are pure functions of the
+    /// request — a resend either hits the cache (the daemon finished the
+    /// first attempt after the drop) or synthesizes the identical plan.
+    fn retry_io(
+        &mut self,
+        err: &WireError,
+        attempt: &mut u32,
+        policy: &RetryPolicy,
+    ) -> Result<(), WireError> {
+        self.io_retries += 1;
+        let delay = policy.delay_ms(*attempt, None);
+        *attempt += 1;
+        std::thread::sleep(std::time::Duration::from_millis(delay));
+        self.reconnect()
+            .map_err(|re| WireError::new("io", format!("{}; reconnect failed: {re}", err.message)))
+    }
+
+    /// [`Client::plan`] that rides out daemon overload and connection
+    /// drops: `busy` frames are retried with exponential backoff honoring
+    /// the daemon's `retry_after_ms` hint (see [`RetryPolicy`]), and a
+    /// connection reset or EOF mid-response reconnects and resends (plans
+    /// are pure and idempotent, so a resend is always safe — at worst it
+    /// becomes a cache hit). Any other error — and busy or I/O failures
+    /// persisting past `max_attempts` — is returned as-is.
     pub fn plan_with_retry(
         &mut self,
         graph: &Graph,
@@ -360,6 +421,9 @@ impl Client {
                     self.busy_retries += 1;
                     attempt += 1;
                     std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+                Err(e) if e.kind == "io" && attempt + 1 < policy.max_attempts => {
+                    self.retry_io(&e, &mut attempt, policy)?;
                 }
                 other => return other,
             }

@@ -1,6 +1,69 @@
 //! Daemon configuration and the protocol-level limits derived from it.
 
+use std::num::NonZeroU64;
 use std::path::PathBuf;
+
+/// When the persistence log fsyncs appended records (`--fsync`).
+///
+/// The policy trades durability for append latency. A record that was
+/// appended but not yet fsynced can be lost to a *power failure* (a mere
+/// daemon crash keeps it — the bytes are in the page cache); whatever
+/// survives, recovery is clean, because [`crate::load_cache`] tolerates
+/// the one torn final line a cut-short append leaves behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: no acknowledged record is ever lost,
+    /// at one disk flush per synthesis.
+    Always,
+    /// `fsync` every N appends (and on clean shutdown): at most N-1
+    /// records of power-loss exposure, amortized flush cost. The default,
+    /// with N = [`DEFAULT_FSYNC_EVERY`].
+    EveryN(NonZeroU64),
+    /// Never `fsync` (the OS flushes on its own schedule): fastest,
+    /// power-loss exposure unbounded. Crash-recovery semantics are
+    /// unchanged.
+    Never,
+}
+
+/// The batch size of the default [`FsyncPolicy::EveryN`] policy.
+pub const DEFAULT_FSYNC_EVERY: u64 = 8;
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::EveryN(NonZeroU64::new(DEFAULT_FSYNC_EVERY).expect("nonzero const"))
+    }
+}
+
+impl FsyncPolicy {
+    /// Parses the `--fsync` flag: `always`, `never`, `every-n` (default
+    /// batch), or `every-n=K` for an explicit batch size K ≥ 1.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "every-n" => Ok(FsyncPolicy::default()),
+            _ => match s.strip_prefix("every-n=") {
+                Some(k) => k
+                    .parse::<u64>()
+                    .ok()
+                    .and_then(NonZeroU64::new)
+                    .map(FsyncPolicy::EveryN)
+                    .ok_or_else(|| format!("invalid fsync batch size {k:?} (need an integer ≥ 1)")),
+                None => Err(format!("invalid fsync policy {s:?} (always | every-n[=K] | never)")),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-n={n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -13,6 +76,8 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Persistence log; `None` disables disk persistence.
     pub cache_path: Option<PathBuf>,
+    /// When appended records are fsynced (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
     /// Seed cache misses from the nearest cached cluster's plan.
     pub warm_neighbors: bool,
     /// Gate cache admission on synthesis-seconds-saved-per-byte (see
@@ -49,6 +114,7 @@ impl Default for ServiceConfig {
             workers: 0,
             cache_capacity: 1024,
             cache_path: None,
+            fsync: FsyncPolicy::default(),
             warm_neighbors: true,
             cache_admission: true,
             default_ttl_ms: None,
@@ -88,6 +154,21 @@ pub(crate) fn busy_hint_ms(base_ms: u64, depth: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fsync_policy_parses_and_rejects() {
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("every-n"), Ok(FsyncPolicy::default()));
+        assert_eq!(
+            FsyncPolicy::parse("every-n=3"),
+            Ok(FsyncPolicy::EveryN(NonZeroU64::new(3).unwrap()))
+        );
+        assert!(FsyncPolicy::parse("every-n=0").is_err(), "batch must be ≥ 1");
+        assert!(FsyncPolicy::parse("every-n=x").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(FsyncPolicy::default().to_string(), "every-n=8");
+    }
 
     #[test]
     fn busy_hint_scales_with_depth_and_clamps() {

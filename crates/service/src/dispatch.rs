@@ -15,18 +15,19 @@
 //!   parking a thread.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::Write;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 
 use hap::{parallelize_with_warm, HapOptions};
 use hap_cluster::ClusterSpec;
-use hap_codec::{value_fingerprint, Decode, Value, WireError};
+use hap_codec::{value_fingerprint, Decode, Value, WireError, INTERNAL_KIND};
 use hap_graph::Graph;
 
-use crate::cache::{cluster_features, persist_line, CachedPlan, PlanCache};
+use crate::cache::{cluster_features, CachedPlan, PersistLog, PlanCache};
 use crate::config::{ServiceConfig, MAX_TTL_MS};
+use crate::faults;
 use crate::stats::Counters;
+use crate::sync::{lock_recover, wait_recover};
 
 /// The outcome of one synthesis, shared by every request that attached to
 /// its slot.
@@ -52,9 +53,9 @@ fn new_slot() -> Slot {
 /// Blocks until the slot resolves (the synchronous consumer path).
 pub(crate) fn wait_sync(slot: &Slot) -> PlanResult {
     let (lock, cvar) = &**slot;
-    let mut state = lock.lock().expect("slot poisoned");
+    let mut state = lock_recover(lock);
     while state.result.is_none() {
-        state = cvar.wait(state).expect("slot poisoned");
+        state = wait_recover(cvar, state);
     }
     state.result.clone().expect("loop exits with a result")
 }
@@ -65,7 +66,7 @@ pub(crate) fn wait_sync(slot: &Slot) -> PlanResult {
 pub(crate) fn subscribe(slot: &Slot, f: Subscriber) {
     let already_resolved = {
         let (lock, _) = &**slot;
-        let mut state = lock.lock().expect("slot poisoned");
+        let mut state = lock_recover(lock);
         match state.result.clone() {
             Some(result) => Some((f, result)),
             None => {
@@ -113,7 +114,7 @@ pub(crate) struct Shared {
     pub inflight: Mutex<HashMap<u64, Slot>>,
     pub queue: (Mutex<QueueState>, Condvar),
     pub counters: Counters,
-    pub persist: Option<Mutex<std::fs::File>>,
+    pub persist: Option<PersistLog>,
     /// Request triples of recently planned fingerprints, so a `replan`
     /// can rebuild its prior request (see [`crate::replan`]).
     pub replans: Mutex<crate::replan::ReplanIndex>,
@@ -145,7 +146,7 @@ pub(crate) fn attach(
     warm: Option<Arc<CachedPlan>>,
 ) -> Attach {
     let (slot, leader) = {
-        let mut inflight = shared.inflight.lock().expect("inflight map poisoned");
+        let mut inflight = lock_recover(&shared.inflight);
         match inflight.get(&fp) {
             Some(slot) => (slot.clone(), false),
             None => {
@@ -179,7 +180,7 @@ pub(crate) fn attach(
         slot: slot.clone(),
     };
     let (queue, cvar) = &shared.queue;
-    let mut state = queue.lock().expect("job queue poisoned");
+    let mut state = lock_recover(queue);
     if state.shutdown {
         drop(state);
         let err = WireError::new("shutdown", "service is shutting down");
@@ -215,7 +216,7 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
             let (queue, cvar) = &shared.queue;
-            let mut state = queue.lock().expect("job queue poisoned");
+            let mut state = lock_recover(queue);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -223,7 +224,7 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>) {
                 if state.shutdown {
                     return;
                 }
-                state = cvar.wait(state).expect("job queue poisoned");
+                state = wait_recover(cvar, state);
             }
         };
         execute(shared, &job);
@@ -231,8 +232,25 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>) {
 }
 
 /// Runs one synthesis job end to end and publishes its result.
+///
+/// The job body runs under `catch_unwind`: a panicking synthesis (a cost-
+/// model bug, a pathological graph) must not take the worker thread — and
+/// with it every queued job and coalesced follower — down. The panic
+/// becomes a typed `internal` error published through the slot exactly
+/// like any other failure, so the leader *and* every follower get a
+/// parseable frame, the in-flight entry retires, and the daemon keeps
+/// serving. Locks the panicking job held recover via the poison-tolerant
+/// helpers in [`crate::sync`].
 fn execute(shared: &Arc<Shared>, job: &Job) {
-    let result = synthesize_job(shared, job);
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| synthesize_job(shared, job)))
+            .unwrap_or_else(|payload| {
+                shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                Err(WireError::new(
+                    INTERNAL_KIND,
+                    format!("synthesis job panicked: {}", panic_message(payload.as_ref())),
+                ))
+            });
     if let Ok(plan) = &result {
         shared.counters.synthesized.fetch_add(1, Ordering::Relaxed);
         let verdict = shared.cache.insert(job.fp, plan.clone());
@@ -240,16 +258,26 @@ fn execute(shared: &Arc<Shared>, job: &Job) {
         // requester paid for it); it is just not cached or persisted.
         if !matches!(verdict, crate::cache::Admission::Rejected { .. }) {
             if let Some(persist) = &shared.persist {
-                let mut file = persist.lock().expect("persistence file poisoned");
-                // Persistence is best-effort at runtime (the log compacts
-                // on the next boot); a full disk must not take the daemon
-                // down.
-                let _ = writeln!(file, "{}", persist_line(job.fp, plan));
-                let _ = file.flush();
+                // Degradation is the log's problem, not the request's:
+                // an unacknowledged append flips the log to memory-only
+                // (surfaced in stats) and the response proceeds normally.
+                let _ = persist.append(&shared.cache, job.fp, plan);
             }
         }
     }
     finish(shared, job.fp, &job.slot, result);
+}
+
+/// Best-effort text of a panic payload (`panic!` with a string or a
+/// formatted message covers practically all of them).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 /// Retires the in-flight entry, publishes a result to the slot's waiters,
@@ -259,10 +287,10 @@ fn execute(shared: &Arc<Shared>, job: &Job) {
 /// Subscribers run outside the slot lock (they take the event loop's
 /// completion-queue lock).
 pub(crate) fn finish(shared: &Shared, fp: u64, slot: &Slot, result: PlanResult) {
-    shared.inflight.lock().expect("inflight map poisoned").remove(&fp);
+    lock_recover(&shared.inflight).remove(&fp);
     let subscribers = {
         let (lock, cvar) = &**slot;
-        let mut state = lock.lock().expect("slot poisoned");
+        let mut state = lock_recover(lock);
         state.result = Some(result.clone());
         cvar.notify_all();
         std::mem::take(&mut state.subscribers)
@@ -276,6 +304,7 @@ pub(crate) fn finish(shared: &Shared, fp: u64, slot: &Slot, result: PlanResult) 
 /// whole job (decode included — a hit saves that too) becomes the entry's
 /// `synthesis_nanos`, the numerator of the cache's admission density.
 fn synthesize_job(shared: &Shared, job: &Job) -> PlanResult {
+    faults::check_panic(faults::SYNTHESIZE);
     let started = std::time::Instant::now();
     let graph = Graph::decode(&job.graph).map_err(WireError::from)?;
     let cluster = ClusterSpec::decode(&job.cluster).map_err(WireError::from)?;

@@ -1,0 +1,214 @@
+//! Seeded failpoint registry for deterministic fault injection.
+//!
+//! The durability-critical paths of the service — log appends, atomic
+//! compaction, synthesis dispatch — consult this registry at named
+//! *failpoints* before performing the real operation. In production the
+//! registry is empty and each consultation is a single relaxed atomic
+//! load; under test, a harness arms a failpoint with a [`Fault`] and the
+//! next consultation (after an optional skip count) observes it exactly
+//! once:
+//!
+//! * [`Fault::Error`] — the operation fails with an injected I/O error
+//!   (ENOSPC, EIO, ...), as if the disk refused it.
+//! * [`Fault::ShortWrite`] — only the first `n` bytes of the payload
+//!   reach the file before the operation fails: a torn write, the
+//!   on-disk state a crash mid-`write(2)` leaves behind.
+//! * [`Fault::Panic`] — the consulting thread panics, simulating a bug
+//!   in a synthesis job (dispatch must isolate it).
+//!
+//! Faults are one-shot: firing disarms the point, so a retry after the
+//! injected failure behaves like a healed disk — which is exactly the
+//! recovery path the torture tests need to exercise.
+//!
+//! The registry is process-global (the code under test reaches it through
+//! free functions), so tests that arm faults must serialize: hold the
+//! guard returned by [`exclusive`] for the duration of the test. The
+//! guard clears the registry on acquisition *and* on drop, so a panicking
+//! test cannot leak an armed fault into the next one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Failpoint in [`crate::PersistLog`] appends, consulted once per record
+/// before the bytes are written.
+pub const APPEND_WRITE: &str = "persist.append.write";
+/// Failpoint before compaction creates the temporary file.
+pub const COMPACT_CREATE: &str = "persist.compact.create";
+/// Failpoint before each record write during compaction.
+pub const COMPACT_WRITE: &str = "persist.compact.write";
+/// Failpoint before compaction fsyncs the temporary file.
+pub const COMPACT_FSYNC: &str = "persist.compact.fsync";
+/// Failpoint before compaction renames the temporary file over the log.
+pub const COMPACT_RENAME: &str = "persist.compact.rename";
+/// Failpoint before compaction fsyncs the log's parent directory (the
+/// rename has already happened: the new log is live).
+pub const COMPACT_DIR_FSYNC: &str = "persist.compact.dir_fsync";
+/// Failpoint at the head of every synthesis job, inside the dispatch
+/// layer's `catch_unwind` boundary. Arm with [`Fault::Panic`] to test
+/// panic isolation.
+pub const SYNTHESIZE: &str = "dispatch.synthesize";
+
+/// What an armed failpoint does when it fires.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Fail the operation with this I/O error; no bytes are written.
+    Error(std::io::ErrorKind, String),
+    /// Write only the first `n` bytes of the operation's payload, then
+    /// fail — a torn write.
+    ShortWrite(usize),
+    /// Panic on the consulting thread with this message.
+    Panic(String),
+}
+
+impl Fault {
+    pub(crate) fn into_io_error(self) -> std::io::Error {
+        match self {
+            Fault::Error(kind, msg) => std::io::Error::new(kind, format!("injected fault: {msg}")),
+            Fault::ShortWrite(n) => std::io::Error::other(format!(
+                "injected fault: torn write ({n} bytes reached the disk)"
+            )),
+            Fault::Panic(msg) => {
+                panic!("injected fault: {msg}")
+            }
+        }
+    }
+}
+
+/// An armed failpoint: fires on the `(skip + 1)`-th consultation, once.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Consultations to let pass before firing (0 = fire on the next one).
+    pub skip: u64,
+    /// The fault to inject when firing.
+    pub fault: Fault,
+}
+
+impl FaultSpec {
+    /// Fires on the next consultation.
+    pub fn now(fault: Fault) -> Self {
+        FaultSpec { skip: 0, fault }
+    }
+
+    /// Fires on the `(skip + 1)`-th consultation.
+    pub fn after(skip: u64, fault: Fault) -> Self {
+        FaultSpec { skip, fault }
+    }
+}
+
+/// Armed-point count, kept in sync with the registry map so the
+/// production fast path is one relaxed load and no lock.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, FaultSpec>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, FaultSpec>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_registry() -> MutexGuard<'static, HashMap<String, FaultSpec>> {
+    // A test that panicked while holding the lock poisons it; the map is
+    // still consistent (every mutation is a single insert/remove), so
+    // recover rather than cascade the poison.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms `point` with `spec`, replacing any previous arming of the same
+/// point. Tests must hold the [`exclusive`] guard while arming.
+pub fn arm(point: &str, spec: FaultSpec) {
+    let mut map = lock_registry();
+    map.insert(point.to_string(), spec);
+    ARMED.store(map.len(), Ordering::Release);
+}
+
+/// Disarms every failpoint.
+pub fn clear() {
+    let mut map = lock_registry();
+    map.clear();
+    ARMED.store(0, Ordering::Release);
+}
+
+/// Consults a failpoint: `None` in production (nothing armed) or while
+/// the armed spec is still skipping; `Some(fault)` exactly once when it
+/// fires. Callers apply the fault to their own operation.
+pub(crate) fn hit(point: &str) -> Option<Fault> {
+    if ARMED.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let mut map = lock_registry();
+    match map.get_mut(point) {
+        None => None,
+        Some(spec) if spec.skip > 0 => {
+            spec.skip -= 1;
+            None
+        }
+        Some(_) => {
+            let spec = map.remove(point).expect("armed spec vanished under the registry lock");
+            ARMED.store(map.len(), Ordering::Release);
+            Some(spec.fault)
+        }
+    }
+}
+
+/// Consults a failpoint that can only panic (dispatch's synthesis entry).
+/// A non-`Panic` fault armed here still aborts the job — it panics with
+/// the injected error's message — so a mis-armed test fails loudly
+/// instead of silently passing.
+pub(crate) fn check_panic(point: &str) {
+    if let Some(fault) = hit(point) {
+        match fault {
+            Fault::Panic(msg) => panic!("injected fault: {msg}"),
+            other => panic!("injected fault: {:?} armed at panic-only point {point}", other),
+        }
+    }
+}
+
+/// Serializes fault-injecting tests. The registry is process-global and
+/// `cargo test` runs tests on parallel threads, so any test that arms a
+/// fault must hold this guard from before the first [`arm`] until its
+/// last assertion. The registry is cleared when the guard is acquired and
+/// again when it drops.
+pub fn exclusive() -> ExclusiveFaults {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = GATE.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(PoisonError::into_inner);
+    clear();
+    ExclusiveFaults { _guard: guard }
+}
+
+/// Guard returned by [`exclusive`]; clears the registry on drop.
+pub struct ExclusiveFaults {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Drop for ExclusiveFaults {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_are_one_shot_and_respect_skip() {
+        let _x = exclusive();
+        assert!(hit("p").is_none(), "unarmed point must not fire");
+        arm("p", FaultSpec::after(2, Fault::Error(std::io::ErrorKind::Other, "boom".into())));
+        assert!(hit("p").is_none(), "skip 2: first consult passes");
+        assert!(hit("q").is_none(), "other points never fire");
+        assert!(hit("p").is_none(), "skip 2: second consult passes");
+        let fired = hit("p");
+        assert!(matches!(fired, Some(Fault::Error(..))), "third consult fires: {fired:?}");
+        assert!(hit("p").is_none(), "one-shot: disarmed after firing");
+    }
+
+    #[test]
+    fn exclusive_guard_clears_on_drop() {
+        {
+            let _x = exclusive();
+            arm("leak", FaultSpec::now(Fault::ShortWrite(3)));
+        }
+        let _x = exclusive();
+        assert!(hit("leak").is_none(), "guard drop must disarm leftovers");
+    }
+}

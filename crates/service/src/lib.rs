@@ -64,9 +64,28 @@
 //!   `retry_after_ms`; duplicates still coalesce (they add no load).
 //!   [`Client::plan_with_retry`] backs off exponentially, honoring the
 //!   hint.
-//! * **Disk persistence** — a versioned append-only log of cache entries
-//!   (`{"v":2,...}`; PR-4-era unversioned lines still load), compacted on
-//!   boot, so the cache survives daemon restarts.
+//! * **Crash-safe disk persistence** — a WAL-style append-only log of
+//!   checksummed cache records (`{"v":3,"sum":...}`; v2 and PR-4-era
+//!   unversioned lines still load, migrating at compaction), compacted
+//!   *atomically* on boot (temp file + fsync + rename + directory fsync),
+//!   with a configurable append fsync policy (`--fsync
+//!   always|every-n|never`, default batched). A crash mid-append leaves
+//!   at most one torn final line, which [`load_cache`] recovers and
+//!   truncates; interior corruption stays a hard error. A disk fault at
+//!   runtime (ENOSPC, EIO) never takes the daemon down: the log degrades
+//!   to memory-only (`persistence_degraded` gauge, `persist_errors`
+//!   counter) and every later append re-probes, resuming — and
+//!   back-filling the outage window from the cache — once the disk heals.
+//! * **Panic isolation** — synthesis jobs run under `catch_unwind`; a
+//!   panicking job answers its leader *and* every coalesced follower with
+//!   a typed `internal` error frame, retires its in-flight entry, leaves
+//!   no lock poisoned, and bumps the `panics` counter while the daemon
+//!   keeps serving.
+//! * **Fault injection** — the [`faults`] registry lets tests arm seeded
+//!   one-shot failpoints (injected errno, torn writes, panics) on the fs
+//!   and dispatch paths; the crash-recovery torture harness
+//!   (`tests/faults.rs`, CI `service-faults`) proves the durability and
+//!   isolation claims above.
 //! * **Stats** — a `stats` request exposes hit/miss/coalesced/eviction/
 //!   shed/admission-rejected/expired/in-flight counters plus event-loop
 //!   gauges (open/peak connections, read/write buffer high-water marks,
@@ -95,7 +114,13 @@
 //! `{"kind":...,"message":...}`
 //! transporting the daemon-side error — overload sheds as
 //! `{"kind":"busy","message":...,"retry_after_ms":N}`, an over-long line
-//! as `{"kind":"oversize",...}`. With `"stream":true` a successful plan
+//! as `{"kind":"oversize",...}`, and a synthesis job that panicked as
+//! `{"kind":"internal",...}` (the daemon survives; the request did not
+//! complete and may be retried). The `stats` payload includes the
+//! durability keys `persist_errors` (failed persistence operations),
+//! `persistence_degraded` (0/1 gauge: cache is memory-only until the disk
+//! heals), and `panics` (isolated synthesis panics). With
+//! `"stream":true` a successful plan
 //! arrives as `{"id":N,"chunk":K,"data":...}` frames followed by
 //! `{"id":N,"done":true,"chunks":K,"digest":...}`, whose concatenated
 //! `data` is exactly the plain response line; errors are always one
@@ -122,15 +147,20 @@ mod cache;
 mod client;
 mod config;
 mod dispatch;
+pub mod faults;
 mod net;
 mod replan;
 mod service;
 mod stats;
+mod sync;
 pub mod testing;
 
-pub use cache::{cluster_features, Admission, CachePolicy, CachedPlan, PlanCache};
+pub use cache::{
+    cluster_features, compact_log, load_cache, Admission, CachePolicy, CachedPlan, LoadOutcome,
+    PersistLog, PlanCache,
+};
 pub use client::{Client, PlanReply, ReplanReply, RetryPolicy};
-pub use config::{ServiceConfig, MAX_TTL_MS};
+pub use config::{FsyncPolicy, ServiceConfig, DEFAULT_FSYNC_EVERY, MAX_TTL_MS};
 pub use hap_codec::PlanDiff;
 pub use net::event_loop::Server;
 pub use service::{PlanService, PlanSource};

@@ -56,7 +56,7 @@ struct LoopShared {
 
 impl LoopShared {
     fn deliver(&self, token: u64, seq: u64, bytes: Vec<u8>) {
-        self.completions.lock().expect("completion queue poisoned").push((token, seq, bytes));
+        crate::sync::lock_recover(&self.completions).push((token, seq, bytes));
         self.waker.wake();
     }
 }
@@ -236,7 +236,7 @@ impl EventLoop {
 
     fn drain_completions(&mut self) {
         let done: Vec<Completion> = {
-            let mut queue = self.shared.completions.lock().expect("completion queue poisoned");
+            let mut queue = crate::sync::lock_recover(&self.shared.completions);
             std::mem::take(&mut *queue)
         };
         let mut touched: Vec<u64> = Vec::with_capacity(done.len());

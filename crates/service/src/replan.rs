@@ -96,7 +96,7 @@ pub(crate) fn prepare(
     delta: &ClusterDelta,
 ) -> Result<PreparedReplan, WireError> {
     let prior_triple =
-        shared.replans.lock().expect("replan index poisoned").get(prior_fp).ok_or_else(|| {
+        crate::sync::lock_recover(&shared.replans).get(prior_fp).ok_or_else(|| {
             WireError::new(
                 UNKNOWN_FINGERPRINT_KIND,
                 format!(
@@ -122,7 +122,7 @@ pub(crate) fn prepare(
         options: prior_triple.options.clone(),
     });
     let fp = request_fingerprint_values(&triple.graph, &triple.cluster, &triple.options);
-    shared.replans.lock().expect("replan index poisoned").record(fp, triple.clone());
+    crate::sync::lock_recover(&shared.replans).record(fp, triple.clone());
     Ok(PreparedReplan { fp, triple, prior })
 }
 

@@ -14,11 +14,12 @@ use hap_codec::{
 };
 use mini_rayon::ThreadPool;
 
-use crate::cache::{compact_log, load_cache, CachePolicy, CachedPlan, PlanCache};
+use crate::cache::{load_cache, CachePolicy, CachedPlan, PersistLog, PlanCache};
 use crate::config::{ServiceConfig, MAX_TTL_MS};
 use crate::dispatch::{self, Attach, PlanResult, QueueState, Shared};
 use crate::replan::{self, ReplanIndex, RequestTriple};
 use crate::stats::{Counters, NetGauges, StatsSnapshot};
+use crate::sync::lock_recover;
 
 /// A transport callback receiving rendered response bytes for a request
 /// whose synthesis resolved after [`PlanService::submit`] returned. Runs
@@ -72,6 +73,14 @@ impl PlanService {
     /// never stalls queued work behind a batch barrier, and each job's
     /// wave-parallel A\* fans out over the vendored mini-rayon pool in
     /// turn (`options.synth.threads`).
+    ///
+    /// A log that fails to *decode* (interior corruption) refuses to boot
+    /// — silently dropping persisted state would hide data loss (the
+    /// torn-tail case a crash leaves behind is recovered, not fatal; see
+    /// [`load_cache`]). A log that decodes but cannot be *rewritten or
+    /// reopened* (disk full, permissions) starts the service in degraded
+    /// memory-only persistence instead of failing: the daemon is the
+    /// availability-critical piece, the log is not.
     pub fn new(config: ServiceConfig) -> Result<Self, WireError> {
         let policy = CachePolicy {
             admission: config.cache_admission,
@@ -81,13 +90,7 @@ impl PlanService {
         let mut persist = None;
         if let Some(path) = &config.cache_path {
             load_cache(&cache, path).map_err(WireError::from)?;
-            compact_log(&cache, path)
-                .map_err(|e| WireError::new("io", format!("compact {}: {e}", path.display())))?;
-            let file = std::fs::OpenOptions::new()
-                .append(true)
-                .open(path)
-                .map_err(|e| WireError::new("io", format!("open {}: {e}", path.display())))?;
-            persist = Some(Mutex::new(file));
+            persist = Some(PersistLog::start(&cache, path.clone(), config.fsync));
         }
         // The replan index remembers as many request triples as the cache
         // holds plans: a fingerprint whose plan is still cached should
@@ -180,7 +183,7 @@ impl PlanService {
     /// Remembers the request triple behind a fingerprint so a later
     /// `replan` can rebuild it. Cheap when already recorded.
     fn record_request(&self, fp: u64, graph: &Value, cluster: &Value, options: &Value) {
-        let mut index = self.shared.replans.lock().expect("replan index poisoned");
+        let mut index = lock_recover(&self.shared.replans);
         if !index.contains(fp) {
             index.record(
                 fp,
@@ -466,11 +469,14 @@ impl PlanService {
             evictions: shared.cache.evictions(),
             warm_seeded: shared.counters.warm_seeded.load(Ordering::Relaxed),
             errors: shared.counters.errors.load(Ordering::Relaxed),
-            in_flight: shared.inflight.lock().expect("inflight map poisoned").len() as u64,
+            in_flight: lock_recover(&shared.inflight).len() as u64,
             shed: shared.counters.shed.load(Ordering::Relaxed),
             admission_rejected: shared.cache.rejected(),
             expired: shared.cache.expired(),
             replanned: shared.counters.replanned.load(Ordering::Relaxed),
+            persist_errors: shared.persist.as_ref().map(PersistLog::errors).unwrap_or(0),
+            persistence_degraded: shared.persist.as_ref().is_some_and(PersistLog::degraded) as u64,
+            panics: shared.counters.panics.load(Ordering::Relaxed),
             open_connections: self.gauges.open_connections.load(Ordering::Relaxed),
             peak_connections: self.gauges.peak_connections.load(Ordering::Relaxed),
             read_buf_hwm: self.gauges.read_buf_hwm.load(Ordering::Relaxed),
@@ -479,13 +485,19 @@ impl PlanService {
         }
     }
 
-    /// Drains the queue and stops the workers. Idempotent.
+    /// Drains the queue and stops the workers, then flushes any unsynced
+    /// appends. Idempotent. A worker that somehow died of an un-isolated
+    /// panic is logged as a failed join, never propagated — shutdown must
+    /// always complete.
     pub fn stop(&self) {
         let (queue, cvar) = &self.shared.queue;
-        queue.lock().expect("job queue poisoned").shutdown = true;
+        lock_recover(queue).shutdown = true;
         cvar.notify_all();
-        for handle in self.workers.lock().expect("worker handles poisoned").drain(..) {
-            handle.join().expect("synthesis worker panicked");
+        for handle in lock_recover(&self.workers).drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(persist) = &self.shared.persist {
+            persist.sync();
         }
     }
 }

@@ -46,6 +46,16 @@ pub struct StatsSnapshot {
     pub write_buf_hwm: u64,
     /// Connections closed by the idle-timeout sweep.
     pub idle_closed: u64,
+    /// Failed persistence operations (appends, compactions, re-probes)
+    /// since boot. Nonzero with `persistence_degraded` back at 0 means an
+    /// outage happened and healed.
+    pub persist_errors: u64,
+    /// Gauge (0/1): 1 while the persistence log is degraded and the cache
+    /// is memory-only (the daemon keeps serving; appends re-probe).
+    pub persistence_degraded: u64,
+    /// Synthesis jobs that panicked and were isolated (each one answered
+    /// its leader and followers with a typed `internal` error frame).
+    pub panics: u64,
 }
 
 impl Encode for StatsSnapshot {
@@ -69,15 +79,19 @@ impl Encode for StatsSnapshot {
             ("read_buf_hwm", Value::int(self.read_buf_hwm)),
             ("write_buf_hwm", Value::int(self.write_buf_hwm)),
             ("idle_closed", Value::int(self.idle_closed)),
+            ("persist_errors", Value::int(self.persist_errors)),
+            ("persistence_degraded", Value::int(self.persistence_degraded)),
+            ("panics", Value::int(self.panics)),
         ])
     }
 }
 
 impl Decode for StatsSnapshot {
     fn decode(v: &Value) -> Result<Self, hap_codec::CodecError> {
-        // Keys gained after PR 4 (the overload counters) and PR 6 (the
-        // event-loop gauges) decode leniently: a stats frame from an older
-        // daemon simply reports them as zero.
+        // Keys gained after PR 4 (the overload counters), PR 6 (the
+        // event-loop gauges), and PR 8 (the durability/panic counters)
+        // decode leniently: a stats frame from an older daemon simply
+        // reports them as zero.
         let lenient = |key: &str| match v.get(key) {
             None => Ok(0),
             Some(x) => x.as_u64(),
@@ -101,6 +115,9 @@ impl Decode for StatsSnapshot {
             read_buf_hwm: lenient("read_buf_hwm")?,
             write_buf_hwm: lenient("write_buf_hwm")?,
             idle_closed: lenient("idle_closed")?,
+            persist_errors: lenient("persist_errors")?,
+            persistence_degraded: lenient("persistence_degraded")?,
+            panics: lenient("panics")?,
         })
     }
 }
@@ -117,6 +134,8 @@ pub(crate) struct Counters {
     pub errors: AtomicU64,
     pub shed: AtomicU64,
     pub replanned: AtomicU64,
+    /// Synthesis jobs caught panicking by dispatch's `catch_unwind`.
+    pub panics: AtomicU64,
 }
 
 /// Event-loop gauges, owned by the service so `stats` works both with and
@@ -155,6 +174,9 @@ mod tests {
         assert_eq!(snap.open_connections, 0);
         assert_eq!(snap.peak_connections, 0);
         assert_eq!(snap.idle_closed, 0);
+        assert_eq!(snap.persist_errors, 0);
+        assert_eq!(snap.persistence_degraded, 0);
+        assert_eq!(snap.panics, 0);
     }
 
     #[test]
@@ -178,6 +200,9 @@ mod tests {
             read_buf_hwm: 15,
             write_buf_hwm: 16,
             idle_closed: 17,
+            persist_errors: 19,
+            persistence_degraded: 1,
+            panics: 20,
         };
         let back = StatsSnapshot::decode(&snap.encode()).unwrap();
         assert_eq!(back, snap);

@@ -1,0 +1,22 @@
+//! Poison-tolerant lock helpers.
+//!
+//! A panicking synthesis job (isolated by dispatch's `catch_unwind`) may
+//! still have held a cache or dispatch mutex at the moment it panicked,
+//! which marks the mutex poisoned. Every structure those locks guard is
+//! kept consistent by construction — each critical section either fully
+//! applies its mutation or only reads — so poisoning carries no
+//! information here; propagating it would just let one panicked job wedge
+//! every later request. These helpers recover the guard instead.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the guard if a panicked holder poisoned it.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on a condvar, recovering the guard if the mutex was poisoned
+/// while this thread slept.
+pub(crate) fn wait_recover<'a, T>(cvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}

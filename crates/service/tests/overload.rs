@@ -359,7 +359,7 @@ fn plans_stay_bit_identical_across_a_persisted_restart() {
     };
     let logged = std::fs::read_to_string(&path).unwrap();
     assert!(
-        logged.lines().all(|l| l.starts_with("{\"v\":2,")),
+        logged.lines().all(|l| l.starts_with("{\"v\":3,\"sum\":")),
         "the daemon writes the versioned record format"
     );
 

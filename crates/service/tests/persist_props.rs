@@ -1,0 +1,198 @@
+//! Property tests for the crash-consistency contract of the persistence
+//! log (CI: `service-faults`).
+//!
+//! The contract under test (see `hap_service::load_cache`):
+//!
+//! * Appends write record bytes first, the newline last — so a crash
+//!   mid-append leaves at most one *unterminated* final line. Recovery
+//!   must load the full acknowledged prefix at **every** possible
+//!   truncation offset of that line, and truncate the torn bytes away.
+//! * A corrupt line anywhere else — interior, or newline-terminated —
+//!   is real disk corruption and must be a hard error, never a skip.
+//! * A committed v2-era log (checksum-less records, written by the PR-5
+//!   daemon) loads bit-identically and migrates to checksummed v3 on
+//!   compaction.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hap_codec::{parse_persist_line, persist_line, CachedPlan};
+use hap_service::{compact_log, load_cache, LoadOutcome, PlanCache};
+use proptest::prelude::*;
+
+/// A real plan body to build records from: the first committed v2 fixture
+/// entry, parsed. `persist_line` takes the fingerprint separately, so one
+/// body yields arbitrarily many distinct records.
+fn fixture_plan() -> CachedPlan {
+    let content = std::fs::read_to_string(fixture_path()).expect("committed fixture");
+    let line = content.lines().next().expect("fixture has entries");
+    parse_persist_line(line).expect("fixture line parses").1
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v2_cache.jsonl"))
+}
+
+/// A unique temp log path per call (proptest cases run concurrently).
+fn temp_log() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("hap-persist-props-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("cache-{n}.jsonl"))
+}
+
+fn load_fresh(path: &std::path::Path) -> Result<(PlanCache, LoadOutcome), hap_codec::CodecError> {
+    let cache = PlanCache::new(1024);
+    load_cache(&cache, path).map(|outcome| (cache, outcome))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Exhaustive torn-tail recovery: for a log of `k` intact lines plus
+    /// one final line truncated at *every* byte offset, loading always
+    /// yields the full acknowledged prefix, reports recovery exactly when
+    /// bytes were cut mid-record, and leaves a clean file behind.
+    #[test]
+    fn torn_final_line_recovers_at_every_offset(k in 1usize..4, fp_base in 0u64..1 << 48) {
+        let plan = fixture_plan();
+        let lines: Vec<String> =
+            (0..=k).map(|i| persist_line(fp_base + i as u64, &plan)).collect();
+        let prefix: String = lines[..k].iter().map(|l| format!("{l}\n")).collect();
+        let last = &lines[k];
+        let path = temp_log();
+
+        for cut in 0..=last.len() {
+            std::fs::write(&path, format!("{prefix}{}", &last[..cut])).unwrap();
+            let (cache, outcome) = load_fresh(&path).unwrap();
+            if cut == last.len() {
+                // Unterminated but byte-complete record: the crash hit
+                // between the record write and the newline write. Loads.
+                prop_assert_eq!(outcome, LoadOutcome { loaded: k + 1, torn_tail_recovered: false });
+            } else {
+                // Truncated mid-record (cut == 0 is the clean case: the
+                // crash hit before any record byte landed).
+                let torn = cut > 0;
+                prop_assert_eq!(outcome, LoadOutcome { loaded: k, torn_tail_recovered: torn });
+                // Recovery truncated the torn bytes off the file...
+                let len = std::fs::metadata(&path).unwrap().len();
+                prop_assert_eq!(len, prefix.len() as u64, "cut {}", cut);
+                // ...so a second boot is clean.
+                let (_, again) = load_fresh(&path).unwrap();
+                prop_assert_eq!(again, LoadOutcome { loaded: k, torn_tail_recovered: false });
+            }
+            // Every acknowledged record is served bit-identically.
+            for (i, line) in lines[..k].iter().enumerate() {
+                let fp = fp_base + i as u64;
+                let loaded = cache.get(fp).unwrap_or_else(|| panic!("cut {cut}: fp {fp} lost"));
+                prop_assert_eq!(&persist_line(fp, &loaded), line);
+            }
+        }
+        // The fully terminated log loads everything with no recovery.
+        let full: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, &full).unwrap();
+        let (_, outcome) = load_fresh(&path).unwrap();
+        prop_assert_eq!(outcome, LoadOutcome { loaded: k + 1, torn_tail_recovered: false });
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// A flipped byte anywhere outside the torn-tail window — in an
+    /// interior line, or in a newline-terminated final line — is real
+    /// corruption and must fail the load, whatever the flip produced
+    /// (invalid JSON, invalid UTF-8, a split line, a well-typed value
+    /// change caught only by the checksum, a corrupted version tag).
+    #[test]
+    fn interior_corruption_is_always_rejected(
+        k in 1usize..4,
+        fp_base in 0u64..1 << 48,
+        line_pick in 0usize..1 << 30,
+        byte_pick in 0usize..1 << 30,
+        flip in 1u8..=255,
+    ) {
+        let plan = fixture_plan();
+        let lines: Vec<String> =
+            (0..=k).map(|i| persist_line(fp_base + i as u64, &plan)).collect();
+        let full: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let target = line_pick % lines.len();
+        let offset_in_line = byte_pick % lines[target].len();
+        let offset: usize =
+            lines[..target].iter().map(|l| l.len() + 1).sum::<usize>() + offset_in_line;
+
+        let mut data = full.clone().into_bytes();
+        data[offset] ^= flip;
+        let path = temp_log();
+        std::fs::write(&path, &data).unwrap();
+        let err = load_fresh(&path).map(|(_, outcome)| outcome);
+        prop_assert!(
+            err.is_err(),
+            "line {} byte {} xor {:#04x} slipped through: {:?}",
+            target, offset_in_line, flip, err
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The committed PR-5 fixture (three checksum-less `"v":2` records) loads,
+/// serves bit-identical plans, and migrates to checksummed v3 lines on
+/// compaction — proving the upgrade path from a real pre-upgrade log.
+#[test]
+fn v2_fixture_log_migrates_at_compaction() {
+    let original = std::fs::read_to_string(fixture_path()).unwrap();
+    assert!(original.lines().count() >= 3, "fixture carries several entries");
+    assert!(
+        original.lines().all(|l| l.starts_with("{\"v\":2,\"fp\":")),
+        "fixture must stay v2-era"
+    );
+
+    // Compaction rewrites the file, so work on a copy.
+    let path = temp_log();
+    std::fs::write(&path, &original).unwrap();
+    let (cache, outcome) = load_fresh(&path).unwrap();
+    assert_eq!(outcome, LoadOutcome { loaded: 3, torn_tail_recovered: false });
+    let before: Vec<(u64, String)> =
+        cache.snapshot().iter().map(|(fp, plan)| (*fp, persist_line(*fp, plan))).collect();
+    assert_eq!(before.len(), 3);
+
+    compact_log(&cache, &path).unwrap();
+    let migrated = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(migrated.lines().count(), 3);
+    assert!(
+        migrated.lines().all(|l| l.starts_with("{\"v\":3,\"sum\":\"0x")),
+        "compaction migrates every record to the checksummed format: {migrated}"
+    );
+
+    // The migrated log reloads bit-identically.
+    let (reloaded, outcome) = load_fresh(&path).unwrap();
+    assert_eq!(outcome, LoadOutcome { loaded: 3, torn_tail_recovered: false });
+    for (fp, line) in &before {
+        let plan = reloaded.get(*fp).expect("migrated entry survives");
+        assert_eq!(&persist_line(*fp, &plan), line, "fp {fp:#x} drifted through migration");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A kept torn tail (unterminated but byte-complete — the crash hit
+/// between record and newline) is healed by compaction: the file gains
+/// its newline back and stays fully parseable.
+#[test]
+fn compaction_heals_kept_unterminated_tail() {
+    let plan = fixture_plan();
+    let path = temp_log();
+    let first = persist_line(7, &plan);
+    let second = persist_line(8, &plan);
+    std::fs::write(&path, format!("{first}\n{second}")).unwrap();
+
+    let (cache, outcome) = load_fresh(&path).unwrap();
+    assert_eq!(outcome, LoadOutcome { loaded: 2, torn_tail_recovered: false });
+    compact_log(&cache, &path).unwrap();
+    let healed = std::fs::read_to_string(&path).unwrap();
+    assert!(healed.ends_with('\n'), "compaction terminates the kept tail");
+    let (_, outcome) = load_fresh(&path).unwrap();
+    assert_eq!(outcome, LoadOutcome { loaded: 2, torn_tail_recovered: false });
+    std::fs::remove_file(&path).ok();
+}
