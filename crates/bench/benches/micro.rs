@@ -209,6 +209,22 @@ fn bench_plan_service(c: &mut Criterion) {
             response
         })
     });
+
+    // The identical hit path on a daemon with telemetry disabled: the
+    // paired `ratio` gate in bench_gates.ref holds request tracing and
+    // histogram recording to <= 5% of the hit cost — a few clock reads
+    // and relaxed atomics, nothing more.
+    let quiet =
+        PlanService::new(ServiceConfig { telemetry: false, ..ServiceConfig::default() }).unwrap();
+    let (warmup, _) = quiet.handle_line(&line);
+    assert!(warmup.contains("\"source\":\"synthesized\""));
+    c.bench_function("service/cache_hit_bert_tiny_no_telemetry", |bench| {
+        bench.iter(|| {
+            let (response, _) = quiet.handle_line(black_box(&line));
+            debug_assert!(response.contains("\"source\":\"cache\""));
+            response
+        })
+    });
 }
 
 fn bench_replan(c: &mut Criterion) {

@@ -41,7 +41,10 @@
 mod optimizer;
 mod plan;
 
-pub use optimizer::{parallelize, parallelize_with_warm, HapError, HapOptions};
+pub use hap_synthesis::SynthProfile;
+pub use optimizer::{
+    parallelize, parallelize_with_warm, parallelize_with_warm_profiled, HapError, HapOptions,
+};
 pub use plan::Plan;
 
 /// Convenient re-exports for building models, clusters and plans.

@@ -10,7 +10,8 @@ use hap_graph::Graph;
 use hap_partition::{apply_partition, chain_partition};
 use hap_simulator::memory_footprint;
 use hap_synthesis::{
-    synthesize_with_theory_warm, DistProgram, ShardingRatios, SynthConfig, SynthError, Theory,
+    synthesize_with_theory_profiled, DistProgram, ShardingRatios, SynthConfig, SynthError,
+    SynthProfile, Theory,
 };
 
 use crate::plan::Plan;
@@ -127,6 +128,21 @@ pub fn parallelize_with_warm(
     opts: &HapOptions,
     warm: Option<&DistProgram>,
 ) -> Result<Plan, HapError> {
+    parallelize_with_warm_profiled(graph, cluster, opts, warm).map(|(plan, _)| plan)
+}
+
+/// [`parallelize_with_warm`] that also returns the aggregated
+/// [`SynthProfile`] across every synthesis round — the per-wave counters
+/// the plan service surfaces on `"profile": true` requests. The profile
+/// is merged over rounds ([`SynthProfile::merge`]); collecting it does
+/// not change the search, so the returned plan is bit-identical to the
+/// unprofiled call's.
+pub fn parallelize_with_warm_profiled(
+    graph: &Graph,
+    cluster: &ClusterSpec,
+    opts: &HapOptions,
+    warm: Option<&DistProgram>,
+) -> Result<(Plan, SynthProfile), HapError> {
     let mut graph = graph.clone();
     if let Some(g) = opts.auto_segments {
         if graph.segment_count() <= 1 && g > 1 {
@@ -186,6 +202,7 @@ pub fn parallelize_with_warm(
     .collect();
 
     let mut best: Option<(f64, Plan)> = None;
+    let mut synth_profile = SynthProfile::default();
     let mut seen: Vec<Vec<u64>> = vec![quantize(&ratios)];
     // Round s-1's chosen program, the warm-start seed for round s: re-costed
     // under round s's ratios it upper-bounds the A* from the first wave.
@@ -198,7 +215,7 @@ pub fn parallelize_with_warm(
         // Q(s) = argmin_Q t(Q, B(s-1)) — the synthesized program, or a
         // portfolio program when one evaluates cheaper under B(s-1).
         let warm = if opts.warm_start { prev_q.as_ref() } else { None };
-        let mut q = synthesize_with_theory_warm(
+        let (mut q, round_profile) = synthesize_with_theory_profiled(
             &graph,
             &theory,
             &devices,
@@ -207,6 +224,7 @@ pub fn parallelize_with_warm(
             &opts.synth,
             warm,
         )?;
+        synth_profile.merge(&round_profile);
         let mut q_cost = estimate_time(&graph, &q, &devices, &profile, &ratios);
         for cand in &portfolio {
             let c = estimate_time(&graph, cand, &devices, &profile, &ratios);
@@ -270,7 +288,7 @@ pub fn parallelize_with_warm(
 
     let (_, mut plan) = best.expect("at least one round ran");
     plan.synthesis_time = start.elapsed();
-    Ok(plan)
+    Ok((plan, synth_profile))
 }
 
 /// Quantizes a ratio matrix for oscillation detection.

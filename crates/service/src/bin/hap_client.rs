@@ -3,7 +3,8 @@
 //! ```text
 //! hap-client --addr HOST:PORT [--model NAME]... [--requests N]
 //!            [--concurrency N] [--ttl-ms N] [--max-retries N] [--stream]
-//!            [--stats] [--shutdown] [--assert KEY=V | KEY>=V]...
+//!            [--stats] [--prom] [--shutdown]
+//!            [--assert KEY=V | KEY>=V | KEY<=V]...
 //! ```
 //!
 //! Models are the bundled benchmark suite at test scale: `mlp`,
@@ -12,7 +13,10 @@
 //! selected model; `--concurrency` fans the submissions out over that
 //! many connections, which is how the CI smoke job provokes the
 //! single-flight path. `--assert` checks daemon stats after the run
-//! (exit 1 on violation), e.g. `--assert synthesized=1 --assert hits>=7`.
+//! (exit 1 on violation), e.g. `--assert synthesized=1 --assert hits>=7
+//! --assert errors<=0`. `--prom` fetches `stats` + `metrics` and prints
+//! them in Prometheus text exposition format (for scraping via
+//! `hap-client --addr ... --prom`).
 //!
 //! When the daemon sheds load (`busy` frames from its queue-depth cap),
 //! submissions retry with exponential backoff honoring the frame's
@@ -43,53 +47,63 @@ fn build_model(name: &str) -> Option<Graph> {
     }
 }
 
-/// One stats assertion: `key=value` (exact) or `key>=value` (at least).
+/// An assertion's comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AssertOp {
+    Exact,
+    AtLeast,
+    AtMost,
+}
+
+impl AssertOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            AssertOp::Exact => "=",
+            AssertOp::AtLeast => ">=",
+            AssertOp::AtMost => "<=",
+        }
+    }
+}
+
+/// One stats assertion: `key=value` (exact), `key>=value` (at least), or
+/// `key<=value` (at most).
 struct Assertion {
     key: String,
-    min: u64,
-    exact: bool,
+    bound: u64,
+    op: AssertOp,
 }
 
 impl Assertion {
     fn parse(text: &str) -> Option<Assertion> {
-        if let Some((key, v)) = text.split_once(">=") {
-            return Some(Assertion { key: key.into(), min: v.parse().ok()?, exact: false });
+        // The two-character operators first: both contain `=`, so a bare
+        // `split_once('=')` would mis-parse `hits<=3` as key `hits<`.
+        for (token, op) in [(">=", AssertOp::AtLeast), ("<=", AssertOp::AtMost)] {
+            if let Some((key, v)) = text.split_once(token) {
+                return Some(Assertion { key: key.into(), bound: v.parse().ok()?, op });
+            }
         }
         let (key, v) = text.split_once('=')?;
-        Some(Assertion { key: key.into(), min: v.parse().ok()?, exact: true })
+        Some(Assertion { key: key.into(), bound: v.parse().ok()?, op: AssertOp::Exact })
     }
 
     fn check(&self, stats: &hap_service::StatsSnapshot) -> Result<(), String> {
-        let actual = match self.key.as_str() {
-            "entries" => stats.entries,
-            "hits" => stats.hits,
-            "misses" => stats.misses,
-            "coalesced" => stats.coalesced,
-            "synthesized" => stats.synthesized,
-            "evictions" => stats.evictions,
-            "warm_seeded" => stats.warm_seeded,
-            "errors" => stats.errors,
-            "in_flight" => stats.in_flight,
-            "shed" => stats.shed,
-            "admission_rejected" => stats.admission_rejected,
-            "expired" => stats.expired,
-            "replanned" => stats.replanned,
-            "open_connections" => stats.open_connections,
-            "peak_connections" => stats.peak_connections,
-            "read_buf_hwm" => stats.read_buf_hwm,
-            "write_buf_hwm" => stats.write_buf_hwm,
-            "idle_closed" => stats.idle_closed,
-            "persist_errors" => stats.persist_errors,
-            "persistence_degraded" => stats.persistence_degraded,
-            "panics" => stats.panics,
-            other => return Err(format!("unknown stats key `{other}`")),
+        // One source of truth for valid keys: the snapshot's own wire
+        // field list (new counters become assertable automatically).
+        let actual = stats
+            .fields()
+            .into_iter()
+            .find(|(k, _)| *k == self.key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("unknown stats key `{}`", self.key))?;
+        let ok = match self.op {
+            AssertOp::Exact => actual == self.bound,
+            AssertOp::AtLeast => actual >= self.bound,
+            AssertOp::AtMost => actual <= self.bound,
         };
-        let ok = if self.exact { actual == self.min } else { actual >= self.min };
         if ok {
             Ok(())
         } else {
-            let op = if self.exact { "=" } else { ">=" };
-            Err(format!("{} is {actual}, expected {op} {}", self.key, self.min))
+            Err(format!("{} is {actual}, expected {} {}", self.key, self.op.as_str(), self.bound))
         }
     }
 }
@@ -103,6 +117,7 @@ fn main() -> ExitCode {
     let mut retry = hap_service::RetryPolicy::default();
     let mut stream = false;
     let mut show_stats = false;
+    let mut prom = false;
     let mut shutdown = false;
     let mut assertions: Vec<Assertion> = Vec::new();
 
@@ -157,6 +172,7 @@ fn main() -> ExitCode {
             },
             "--stream" => stream = true,
             "--stats" => show_stats = true,
+            "--prom" => prom = true,
             "--shutdown" => shutdown = true,
             "--assert" => match value("--assert") {
                 Ok(v) => match Assertion::parse(&v) {
@@ -295,6 +311,19 @@ fn main() -> ExitCode {
             }
         }
     }
+    if prom {
+        let scraped = client.stats().and_then(|stats| {
+            let metrics = client.metrics()?;
+            Ok(hap_service::render_prometheus(&stats, &metrics))
+        });
+        match scraped {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("hap-client: prom: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if shutdown {
         if let Err(e) = client.shutdown() {
             eprintln!("hap-client: shutdown: {e}");
@@ -303,4 +332,48 @@ fn main() -> ExitCode {
         println!("hap-client: daemon acknowledged shutdown");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hap_service::StatsSnapshot;
+
+    fn parsed(text: &str) -> Assertion {
+        Assertion::parse(text).unwrap_or_else(|| panic!("`{text}` should parse"))
+    }
+
+    #[test]
+    fn two_character_operators_parse_before_the_bare_equals() {
+        // `hits<=3` must not parse as key `hits<` with an exact bound.
+        let le = parsed("hits<=3");
+        assert_eq!((le.key.as_str(), le.bound, le.op), ("hits", 3, AssertOp::AtMost));
+        let ge = parsed("hits>=3");
+        assert_eq!((ge.key.as_str(), ge.bound, ge.op), ("hits", 3, AssertOp::AtLeast));
+        let eq = parsed("hits=3");
+        assert_eq!((eq.key.as_str(), eq.bound, eq.op), ("hits", 3, AssertOp::Exact));
+        assert!(Assertion::parse("hits").is_none());
+        assert!(Assertion::parse("hits<=x").is_none());
+    }
+
+    #[test]
+    fn at_most_checks_the_upper_bound() {
+        let stats = StatsSnapshot { errors: 2, ..StatsSnapshot::default() };
+        assert!(parsed("errors<=2").check(&stats).is_ok());
+        assert!(parsed("errors<=1").check(&stats).is_err());
+        assert!(parsed("errors>=2").check(&stats).is_ok());
+        assert!(parsed("errors=2").check(&stats).is_ok());
+    }
+
+    #[test]
+    fn every_wire_field_is_an_assertable_key() {
+        let stats = StatsSnapshot::default();
+        for (key, _) in stats.fields() {
+            assert!(
+                parsed(&format!("{key}=0")).check(&stats).is_ok(),
+                "key `{key}` should be assertable"
+            );
+        }
+        assert!(parsed("bogus=0").check(&stats).is_err());
+    }
 }

@@ -7,7 +7,8 @@
 //!           [--no-admission] [--default-ttl-ms N]
 //!           [--max-queue-depth N] [--busy-retry-ms N]
 //!           [--idle-timeout-ms N] [--max-line-bytes N]
-//!           [--write-buffer-cap N]
+//!           [--write-buffer-cap N] [--no-telemetry]
+//!           [--trace-ring-capacity N]
 //! ```
 //!
 //! Prints one `hap-serve: listening on <addr>` line once the socket is
@@ -25,7 +26,7 @@ fn usage() -> ExitCode {
          [--fsync always|every-n[=K]|never] [--no-warm-start] \
          [--no-admission] [--default-ttl-ms N] [--max-queue-depth N] \
          [--busy-retry-ms N] [--idle-timeout-ms N] [--max-line-bytes N] \
-         [--write-buffer-cap N]"
+         [--write-buffer-cap N] [--no-telemetry] [--trace-ring-capacity N]"
     );
     ExitCode::FAILURE
 }
@@ -105,6 +106,13 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad size: {e}")))
             {
                 Ok(n) => config.write_buffer_cap = n,
+                Err(()) => return usage(),
+            },
+            "--no-telemetry" => config.telemetry = false,
+            "--trace-ring-capacity" => match value("--trace-ring-capacity")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad capacity: {e}")))
+            {
+                Ok(n) => config.trace_ring_capacity = n,
                 Err(()) => return usage(),
             },
             _ => {

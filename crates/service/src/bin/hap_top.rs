@@ -1,0 +1,173 @@
+//! `hap-top`: a live terminal view of a planning daemon's telemetry.
+//!
+//! ```text
+//! hap-top --addr HOST:PORT [--interval-ms N] [--iterations N]
+//!         [--traces N] [--min-ms N] [--no-clear]
+//! ```
+//!
+//! Each tick fetches `stats`, `metrics`, and `trace` from the daemon and
+//! redraws one screen: the gauge/counter table, a latency row per
+//! verb × outcome (count, p50/p90/p99/max), and the most recent request
+//! traces rendered as compact span timelines. `--iterations` bounds the
+//! run (0 = until interrupted; CI uses `--iterations 1 --no-clear` for a
+//! deterministic single snapshot); `--min-ms` keeps only slow requests in
+//! the trace pane.
+
+use std::process::ExitCode;
+
+use hap_service::{Client, MetricsSnapshot, RequestTrace, StatsSnapshot};
+
+struct TopOptions {
+    addr: String,
+    interval_ms: u64,
+    iterations: u64,
+    traces: usize,
+    min_ms: u64,
+    clear: bool,
+}
+
+fn parse_args() -> Result<TopOptions, String> {
+    let mut addr: Option<String> = None;
+    let mut opts = TopOptions {
+        addr: String::new(),
+        interval_ms: 1_000,
+        iterations: 0,
+        traces: 8,
+        min_ms: 0,
+        clear: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--interval-ms" => {
+                opts.interval_ms =
+                    value("--interval-ms")?.parse().map_err(|e| format!("bad interval: {e}"))?
+            }
+            "--iterations" => {
+                opts.iterations =
+                    value("--iterations")?.parse().map_err(|e| format!("bad count: {e}"))?
+            }
+            "--traces" => {
+                opts.traces = value("--traces")?.parse().map_err(|e| format!("bad count: {e}"))?
+            }
+            "--min-ms" => {
+                opts.min_ms = value("--min-ms")?.parse().map_err(|e| format!("bad bound: {e}"))?
+            }
+            "--no-clear" => opts.clear = false,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    opts.addr = addr.ok_or("--addr is required")?;
+    Ok(opts)
+}
+
+fn fmt_ms(nanos: u64) -> String {
+    format!("{:.3}", nanos as f64 / 1e6)
+}
+
+/// One screenful: stats gauges, latency series, recent traces.
+fn render(stats: &StatsSnapshot, metrics: &MetricsSnapshot, traces: &[RequestTrace]) -> String {
+    let mut out = String::new();
+    out.push_str("hap-top — planning daemon telemetry\n\n");
+
+    out.push_str("stats:");
+    for (i, (key, value)) in stats.fields().into_iter().enumerate() {
+        if i % 4 == 0 {
+            out.push_str("\n ");
+        }
+        out.push_str(&format!(" {key}={value}"));
+    }
+    out.push_str("\n\n");
+
+    out.push_str(&format!("latency ({} samples recorded):\n", metrics.traces_recorded));
+    out.push_str(&format!(
+        "  {:<10}{:<12}{:>8}{:>10}{:>10}{:>10}{:>10}\n",
+        "verb", "outcome", "count", "p50 ms", "p90 ms", "p99 ms", "max ms"
+    ));
+    for s in &metrics.series {
+        out.push_str(&format!(
+            "  {:<10}{:<12}{:>8}{:>10}{:>10}{:>10}{:>10}\n",
+            s.verb,
+            s.outcome,
+            s.count,
+            fmt_ms(s.p50_ns),
+            fmt_ms(s.p90_ns),
+            fmt_ms(s.p99_ns),
+            fmt_ms(s.max_ns),
+        ));
+    }
+    if metrics.series.is_empty() {
+        out.push_str("  (no samples — telemetry disabled or no requests yet)\n");
+    }
+
+    out.push_str("\nrecent traces (newest first):\n");
+    for t in traces {
+        out.push_str(&format!(
+            "  #{} id={} {} {} total {} ms\n",
+            t.trace_id,
+            t.request_id,
+            t.verb.as_str(),
+            t.outcome.as_str(),
+            fmt_ms(t.total_nanos),
+        ));
+        for span in &t.spans {
+            out.push_str(&format!(
+                "      {:<13}{:>10} ms\n",
+                span.kind.as_str(),
+                fmt_ms(span.end_nanos.saturating_sub(span.start_nanos)),
+            ));
+        }
+    }
+    if traces.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("hap-top: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(&*opts.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("hap-top: connect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut tick = 0u64;
+    loop {
+        let screen = client.stats().and_then(|stats| {
+            let metrics = client.metrics()?;
+            let traces = client.traces(opts.traces, opts.min_ms)?;
+            Ok(render(&stats, &metrics, &traces))
+        });
+        match screen {
+            Ok(text) => {
+                if opts.clear {
+                    // ANSI: home the cursor and clear below — less
+                    // flicker than a full clear.
+                    print!("\x1b[H\x1b[J");
+                }
+                print!("{text}");
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("hap-top: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        tick += 1;
+        if opts.iterations != 0 && tick >= opts.iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+    }
+}

@@ -313,6 +313,20 @@ impl PlanCache {
         self.expired.load(Ordering::Relaxed)
     }
 
+    /// One-point sample of `(entries, evictions, rejected, expired)` for
+    /// the `stats` verb: the counters are read back-to-back *after* the
+    /// shard sweep, so a stats frame never pairs an entry count from one
+    /// moment with churn counters from a visibly later one.
+    pub fn stats_sample(&self) -> (u64, u64, u64, u64) {
+        let entries = self.len() as u64;
+        (
+            entries,
+            self.evictions.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.expired.load(Ordering::Relaxed),
+        )
+    }
+
     /// The cached plan for the same graph whose cluster is nearest to
     /// `features` — the warm-start seed for a cache miss. Scans every
     /// shard, skipping expired entries; ties break on the smaller

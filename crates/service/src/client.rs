@@ -13,6 +13,8 @@ use hap_graph::Graph;
 use hap_synthesis::{DistProgram, ShardingRatios};
 
 use crate::stats::StatsSnapshot;
+use crate::telemetry::{decode_trace, MetricsSnapshot};
+use hap_telemetry::RequestTrace;
 
 /// A plan returned over the wire.
 #[derive(Clone, Debug)]
@@ -434,6 +436,30 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
         let v = self.round_trip(vec![("op", Value::Str("stats".into()))])?;
         StatsSnapshot::decode(v.field("stats").map_err(WireError::from)?).map_err(WireError::from)
+    }
+
+    /// Fetches the daemon's latency histograms: one series of
+    /// `count/p50/p90/p99/max/sum` per verb × outcome. Empty when the
+    /// daemon has telemetry disabled (or predates the `metrics` verb —
+    /// decode is lenient).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, WireError> {
+        let v = self.round_trip(vec![("op", Value::Str("metrics".into()))])?;
+        MetricsSnapshot::decode(v.field("metrics").map_err(WireError::from)?)
+            .map_err(WireError::from)
+    }
+
+    /// Fetches up to `n` recent completed request traces, newest first,
+    /// keeping only requests that took at least `min_ms` (0 = all).
+    pub fn traces(&mut self, n: usize, min_ms: u64) -> Result<Vec<RequestTrace>, WireError> {
+        let v = self.round_trip(vec![
+            ("op", Value::Str("trace".into())),
+            ("n", Value::int(n as u64)),
+            ("min_ms", Value::int(min_ms)),
+        ])?;
+        let Value::Arr(items) = v.field("traces").map_err(WireError::from)? else {
+            return Err(WireError::new("decode", "`traces` is not an array"));
+        };
+        items.iter().map(|t| decode_trace(t).map_err(WireError::from)).collect()
     }
 
     /// Asks the daemon to shut down (acknowledged before it stops).

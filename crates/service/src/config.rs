@@ -3,6 +3,8 @@
 use std::num::NonZeroU64;
 use std::path::PathBuf;
 
+use hap_telemetry::Clock;
+
 /// When the persistence log fsyncs appended records (`--fsync`).
 ///
 /// The policy trades durability for append latency. A record that was
@@ -105,6 +107,17 @@ pub struct ServiceConfig {
     pub write_buffer_cap: usize,
     /// Chunk payload size for `"stream": true` plan responses.
     pub stream_chunk_bytes: usize,
+    /// Record per-request traces and latency histograms (the `metrics` /
+    /// `trace` verbs). Costs a few relaxed atomics and clock reads per
+    /// request; off, those verbs answer empty.
+    pub telemetry: bool,
+    /// Completed request traces retained for the `trace` verb (a fixed
+    /// ring; the oldest trace is overwritten at capacity).
+    pub trace_ring_capacity: usize,
+    /// The time source behind spans and histograms. Production uses the
+    /// default monotonic clock; tests inject [`Clock::Manual`] or
+    /// [`Clock::Step`] to pin span timelines exactly.
+    pub telemetry_clock: Clock,
 }
 
 impl Default for ServiceConfig {
@@ -124,6 +137,9 @@ impl Default for ServiceConfig {
             max_line_bytes: 64 * 1024 * 1024,
             write_buffer_cap: 4 * 1024 * 1024,
             stream_chunk_bytes: hap_codec::STREAM_CHUNK_BYTES,
+            telemetry: true,
+            trace_ring_capacity: 256,
+            telemetry_clock: Clock::monotonic(),
         }
     }
 }

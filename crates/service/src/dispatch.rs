@@ -18,7 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 
-use hap::{parallelize_with_warm, HapOptions};
+use hap::{parallelize_with_warm_profiled, HapOptions, SynthProfile};
 use hap_cluster::ClusterSpec;
 use hap_codec::{value_fingerprint, Decode, Value, WireError, INTERNAL_KIND};
 use hap_graph::Graph;
@@ -28,6 +28,7 @@ use crate::config::{ServiceConfig, MAX_TTL_MS};
 use crate::faults;
 use crate::stats::Counters;
 use crate::sync::{lock_recover, wait_recover};
+use crate::telemetry::{ProfileIndex, Telemetry};
 
 /// The outcome of one synthesis, shared by every request that attached to
 /// its slot.
@@ -42,12 +43,39 @@ pub(crate) type Subscriber = Box<dyn FnOnce(&PlanResult) + Send>;
 pub(crate) struct SlotState {
     result: Option<PlanResult>,
     subscribers: Vec<Subscriber>,
+    /// Telemetry marks (clock readings, 0 = never happened / telemetry
+    /// off): when the job entered the queue, when a worker picked it up,
+    /// and when its result was published. Consumers turn them into
+    /// `queue_wait` / `synthesis` spans.
+    queued_nanos: u64,
+    started_nanos: u64,
+    resolved_nanos: u64,
 }
 
 pub(crate) type Slot = Arc<(Mutex<SlotState>, Condvar)>;
 
-fn new_slot() -> Slot {
-    Arc::new((Mutex::new(SlotState { result: None, subscribers: Vec::new() }), Condvar::new()))
+fn new_slot(queued_nanos: u64) -> Slot {
+    Arc::new((
+        Mutex::new(SlotState {
+            result: None,
+            subscribers: Vec::new(),
+            queued_nanos,
+            started_nanos: 0,
+            resolved_nanos: 0,
+        }),
+        Condvar::new(),
+    ))
+}
+
+/// Stamps the moment a worker picked the job up.
+fn mark_started(slot: &Slot, now: u64) {
+    lock_recover(&slot.0).started_nanos = now;
+}
+
+/// The slot's telemetry marks: `(queued, started, resolved)`.
+pub(crate) fn slot_marks(slot: &Slot) -> (u64, u64, u64) {
+    let state = lock_recover(&slot.0);
+    (state.queued_nanos, state.started_nanos, state.resolved_nanos)
 }
 
 /// Blocks until the slot resolves (the synchronous consumer path).
@@ -118,6 +146,12 @@ pub(crate) struct Shared {
     /// Request triples of recently planned fingerprints, so a `replan`
     /// can rebuild its prior request (see [`crate::replan`]).
     pub replans: Mutex<crate::replan::ReplanIndex>,
+    /// Traces, latency histograms, and the injected clock.
+    pub telemetry: Arc<Telemetry>,
+    /// Synthesis profiles of recently synthesized fingerprints, so a
+    /// `"profile":true` request answered from the cache can still report
+    /// how its plan was found.
+    pub profiles: Mutex<ProfileIndex>,
 }
 
 /// How a single-flight attach played out.
@@ -150,7 +184,7 @@ pub(crate) fn attach(
         match inflight.get(&fp) {
             Some(slot) => (slot.clone(), false),
             None => {
-                let slot = new_slot();
+                let slot = new_slot(shared.telemetry.now());
                 inflight.insert(fp, slot.clone());
                 (slot, true)
             }
@@ -242,7 +276,8 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>) {
 /// serving. Locks the panicking job held recover via the poison-tolerant
 /// helpers in [`crate::sync`].
 fn execute(shared: &Arc<Shared>, job: &Job) {
-    let result =
+    mark_started(&job.slot, shared.telemetry.now());
+    let outcome =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| synthesize_job(shared, job)))
             .unwrap_or_else(|payload| {
                 shared.counters.panics.fetch_add(1, Ordering::Relaxed);
@@ -251,20 +286,28 @@ fn execute(shared: &Arc<Shared>, job: &Job) {
                     format!("synthesis job panicked: {}", panic_message(payload.as_ref())),
                 ))
             });
-    if let Ok(plan) = &result {
-        shared.counters.synthesized.fetch_add(1, Ordering::Relaxed);
-        let verdict = shared.cache.insert(job.fp, plan.clone());
-        // A plan the admission gate declined is still *returned* (the
-        // requester paid for it); it is just not cached or persisted.
-        if !matches!(verdict, crate::cache::Admission::Rejected { .. }) {
-            if let Some(persist) = &shared.persist {
-                // Degradation is the log's problem, not the request's:
-                // an unacknowledged append flips the log to memory-only
-                // (surfaced in stats) and the response proceeds normally.
-                let _ = persist.append(&shared.cache, job.fp, plan);
+    let result = match outcome {
+        Ok((plan, profile)) => {
+            shared.counters.synthesized.fetch_add(1, Ordering::Relaxed);
+            // Publish the profile before the result: any consumer woken
+            // by `finish` that asks for it must find it recorded.
+            lock_recover(&shared.profiles).record(job.fp, Arc::new(profile));
+            let verdict = shared.cache.insert(job.fp, plan.clone());
+            // A plan the admission gate declined is still *returned* (the
+            // requester paid for it); it is just not cached or persisted.
+            if !matches!(verdict, crate::cache::Admission::Rejected { .. }) {
+                if let Some(persist) = &shared.persist {
+                    // Degradation is the log's problem, not the request's:
+                    // an unacknowledged append flips the log to memory-only
+                    // (surfaced in stats) and the response proceeds
+                    // normally.
+                    let _ = persist.append(&shared.cache, job.fp, plan.as_ref());
+                }
             }
+            Ok(plan)
         }
-    }
+        Err(err) => Err(err),
+    };
     finish(shared, job.fp, &job.slot, result);
 }
 
@@ -288,9 +331,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// completion-queue lock).
 pub(crate) fn finish(shared: &Shared, fp: u64, slot: &Slot, result: PlanResult) {
     lock_recover(&shared.inflight).remove(&fp);
+    let resolved = shared.telemetry.now();
     let subscribers = {
         let (lock, cvar) = &**slot;
         let mut state = lock_recover(lock);
+        state.resolved_nanos = resolved;
         state.result = Some(result.clone());
         cvar.notify_all();
         std::mem::take(&mut state.subscribers)
@@ -303,7 +348,12 @@ pub(crate) fn finish(shared: &Shared, fp: u64, slot: &Slot, result: PlanResult) 
 /// Decode, warm-start lookup, synthesis. The elapsed wall time of the
 /// whole job (decode included — a hit saves that too) becomes the entry's
 /// `synthesis_nanos`, the numerator of the cache's admission density.
-fn synthesize_job(shared: &Shared, job: &Job) -> PlanResult {
+/// Returns the plan together with the search's [`SynthProfile`] (per-wave
+/// A\* counters), which `execute` publishes to the profile index.
+fn synthesize_job(
+    shared: &Shared,
+    job: &Job,
+) -> Result<(Arc<CachedPlan>, SynthProfile), WireError> {
     faults::check_panic(faults::SYNTHESIZE);
     let started = std::time::Instant::now();
     let graph = Graph::decode(&job.graph).map_err(WireError::from)?;
@@ -327,7 +377,7 @@ fn synthesize_job(shared: &Shared, job: &Job) -> PlanResult {
     }
     let warm_program = warm.as_ref().map(|p| &p.program);
 
-    let plan = parallelize_with_warm(&graph, &cluster, &options, warm_program)
+    let (plan, profile) = parallelize_with_warm_profiled(&graph, &cluster, &options, warm_program)
         .map_err(|e| WireError::from(&e))?;
     let mut cached = CachedPlan {
         estimated_time: plan.estimated_time,
@@ -345,5 +395,5 @@ fn synthesize_job(shared: &Shared, job: &Job) -> PlanResult {
         ttl_nanos: job.ttl_ms.map(|ms| ms.min(MAX_TTL_MS).saturating_mul(1_000_000)),
     };
     cached.size_bytes = cached.measure_size();
-    Ok(Arc::new(cached))
+    Ok((Arc::new(cached), profile))
 }

@@ -89,7 +89,31 @@
 //! * **Stats** — a `stats` request exposes hit/miss/coalesced/eviction/
 //!   shed/admission-rejected/expired/in-flight counters plus event-loop
 //!   gauges (open/peak connections, read/write buffer high-water marks,
-//!   idle-swept connections).
+//!   idle-swept connections). Gauges are sampled once, together, so the
+//!   snapshot describes one instant.
+//! * **End-to-end telemetry** — every request is traced through a span
+//!   timeline (`accept → frame → decode → cache_lookup → queue_wait →
+//!   synthesis → encode → flush`) into a fixed-capacity ring, and its
+//!   wire latency feeds constant-size log-bucketed histograms keyed by
+//!   verb × outcome. A `metrics` request returns per-series
+//!   `count/p50/p90/p99/max/sum`; a `trace` request returns the most
+//!   recent completed traces (optionally only the slow ones). Plan
+//!   responses can carry the synthesis profiler's per-wave counters
+//!   (`"profile":true`). The hot path costs a few atomic clock reads;
+//!   `telemetry=false` reduces it to nothing and the verbs report empty
+//!   data ([`ServiceConfig::telemetry`]).
+//!
+//! # Telemetry
+//!
+//! The trace ring holds the last [`ServiceConfig::trace_ring_capacity`]
+//! completed traces (default 256); histograms are mergeable and never
+//! allocate after startup. The event loop stamps `accept`/`frame`/`flush`
+//! spans around the service's own `decode`/`cache_lookup`/`queue_wait`/
+//! `synthesis`/`encode` spans, so a trace covers the full wire-to-wire
+//! path: the `flush` span ends when the response's last byte actually
+//! left the socket, not when it was rendered. `hap-client --prom` renders
+//! `stats` + `metrics` as Prometheus text; `hap-top` is a live terminal
+//! view over the same verbs.
 //! * **Stress tooling** — [`testing`] generates seeded adversarial tenant
 //!   mixes (hot set + one-off flood + duplicate bursts); the overload
 //!   harness (`tests/overload.rs`, CI `service-soak`) drives them over
@@ -104,13 +128,19 @@
 //! {"op":"plan","id":2,"graph":{...},"cluster":{...},"options":{...},"stream":true}
 //! {"op":"replan","id":3,"prior":"0x4fd1...","delta":{"remove_gpus":[[1,1]],...}}
 //! {"op":"stats","id":4}
-//! {"op":"shutdown","id":5}
+//! {"op":"metrics","id":5}
+//! {"op":"trace","id":6,"n":8,"min_ms":50}
+//! {"op":"shutdown","id":7}
 //! ```
 //!
-//! (`ttl_ms` and `stream` are optional, on `replan` too.) Responses carry
+//! (`ttl_ms`, `stream`, and `profile` are optional, on `replan` too;
+//! `trace`'s `n` defaults to 16 and `min_ms` to 0.) Responses carry
 //! the request `id`, `"ok":true|false`, and either a payload (`plan` with
 //! `fingerprint` and `source` — extended with a `replan` diff object for
-//! the replan verb — or `stats`) or an `error` frame
+//! the replan verb, and a `profile` object of synthesis counters when the
+//! request carried `"profile":true` — or `stats`, or `metrics` with
+//! per-verb×outcome latency quantiles, or `traces` with recent span
+//! timelines) or an `error` frame
 //! `{"kind":...,"message":...}`
 //! transporting the daemon-side error — overload sheds as
 //! `{"kind":"busy","message":...,"retry_after_ms":N}`, an over-long line
@@ -153,6 +183,7 @@ mod replan;
 mod service;
 mod stats;
 mod sync;
+mod telemetry;
 pub mod testing;
 
 pub use cache::{
@@ -162,6 +193,10 @@ pub use cache::{
 pub use client::{Client, PlanReply, ReplanReply, RetryPolicy};
 pub use config::{FsyncPolicy, ServiceConfig, DEFAULT_FSYNC_EVERY, MAX_TTL_MS};
 pub use hap_codec::PlanDiff;
+pub use hap_telemetry::{Clock, Histogram, Outcome, RequestTrace, Span, SpanKind, Verb};
 pub use net::event_loop::Server;
 pub use service::{PlanService, PlanSource};
 pub use stats::StatsSnapshot;
+pub use telemetry::{
+    decode_trace, encode_trace, render_prometheus, MetricsSeries, MetricsSnapshot,
+};

@@ -107,7 +107,7 @@ enum OutSlot {
     /// The request is still being answered.
     Waiting(u64),
     /// Rendered response bytes, not yet moved into the write head.
-    Ready(Vec<u8>),
+    Ready(u64, Vec<u8>),
 }
 
 /// The connection's response pipeline: ordered slots feeding a write
@@ -121,6 +121,14 @@ pub(crate) struct OutQueue {
     /// Total unsent bytes across head + ready slots (backpressure gauge).
     queued_bytes: usize,
     write_hwm: usize,
+    /// All-time bytes this connection has flushed to its sink.
+    flushed_bytes: u64,
+    /// `(end_offset, seq)` per response moved into the head: once
+    /// `flushed_bytes` reaches `end_offset`, that response's last byte
+    /// has left the daemon — the moment its request trace's `flush` span
+    /// ends. Offsets are recorded at head refill, when every previously
+    /// queued byte is already flushed, so they are strictly increasing.
+    flush_marks: VecDeque<(u64, u64)>,
 }
 
 /// What one [`OutQueue::write_step`] accomplished.
@@ -141,6 +149,8 @@ impl OutQueue {
             head_pos: 0,
             queued_bytes: 0,
             write_hwm: 0,
+            flushed_bytes: 0,
+            flush_marks: VecDeque::new(),
         }
     }
 
@@ -164,7 +174,7 @@ impl OutQueue {
                 if *s == seq {
                     self.queued_bytes += bytes.len();
                     self.write_hwm = self.write_hwm.max(self.queued_bytes);
-                    *slot = OutSlot::Ready(bytes);
+                    *slot = OutSlot::Ready(seq, bytes);
                     return;
                 }
             }
@@ -172,9 +182,27 @@ impl OutQueue {
     }
 
     /// Reserve + fulfill in one step, for responses computed inline.
-    pub fn push_ready(&mut self, bytes: Vec<u8>) {
+    /// Returns the slot's sequence number (for flush tracking).
+    pub fn push_ready(&mut self, bytes: Vec<u8>) -> u64 {
         let seq = self.reserve();
         self.fulfill(seq, bytes);
+        seq
+    }
+
+    /// Sequence numbers whose responses have fully left the sink since
+    /// the last call, in flush order. The event loop seals those
+    /// requests' traces here — the `flush` span ends at write completion,
+    /// not at render time.
+    pub fn drain_flushed(&mut self) -> Vec<u64> {
+        let mut done = Vec::new();
+        while let Some(&(end, seq)) = self.flush_marks.front() {
+            if end > self.flushed_bytes {
+                break;
+            }
+            self.flush_marks.pop_front();
+            done.push(seq);
+        }
+        done
     }
 
     /// Unsent response bytes queued (excludes slots still waiting).
@@ -189,7 +217,7 @@ impl OutQueue {
 
     /// True when a write could make progress right now.
     pub fn has_flushable(&self) -> bool {
-        self.head_pos < self.head.len() || matches!(self.slots.front(), Some(OutSlot::Ready(_)))
+        self.head_pos < self.head.len() || matches!(self.slots.front(), Some(OutSlot::Ready(..)))
     }
 
     /// True when there are requests still awaiting their response.
@@ -206,12 +234,16 @@ impl OutQueue {
             if self.head_pos >= self.head.len() {
                 self.head.clear();
                 self.head_pos = 0;
-                // Move the contiguous ready prefix into the head.
-                while let Some(OutSlot::Ready(_)) = self.slots.front() {
-                    let Some(OutSlot::Ready(bytes)) = self.slots.pop_front() else {
+                // Move the contiguous ready prefix into the head. The
+                // head is empty here, so every previously queued byte is
+                // already flushed — each response's flush mark is simply
+                // the running total plus the refilled head length so far.
+                while let Some(OutSlot::Ready(..)) = self.slots.front() {
+                    let Some(OutSlot::Ready(seq, bytes)) = self.slots.pop_front() else {
                         unreachable!()
                     };
                     self.head.extend_from_slice(&bytes);
+                    self.flush_marks.push_back((self.flushed_bytes + self.head.len() as u64, seq));
                 }
                 if self.head.is_empty() {
                     return Ok(WriteProgress::Drained);
@@ -224,6 +256,7 @@ impl OutQueue {
                 Ok(n) => {
                     self.head_pos += n;
                     self.queued_bytes -= n;
+                    self.flushed_bytes += n as u64;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     return Ok(WriteProgress::Blocked)
@@ -454,6 +487,38 @@ mod tests {
             prop_assert_eq!(sink.written, expected);
             prop_assert_eq!(out.pending_bytes(), 0);
         }
+    }
+
+    #[test]
+    fn flush_marks_surface_only_after_the_last_byte_leaves() {
+        let mut out = OutQueue::new();
+        let s0 = out.push_ready(b"first\n".to_vec()); // 6 bytes
+        let s1 = out.push_ready(b"second\n".to_vec()); // 7 bytes
+                                                       // Partial writes: after 6 bytes only the first response flushed;
+                                                       // its mark must surface alone even though both share one head.
+        let mut sink = ScriptedSink { script: vec![4, 2, 0], step: 0, written: Vec::new() };
+        assert_eq!(out.write_step(&mut sink).unwrap(), WriteProgress::Blocked);
+        assert_eq!(out.drain_flushed(), vec![s0]);
+        let mut rest = ScriptedSink { script: vec![], step: 0, written: Vec::new() };
+        drive_to_completion(&mut out, &mut rest);
+        assert_eq!(out.drain_flushed(), vec![s1]);
+        assert_eq!(out.drain_flushed(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn flush_marks_follow_request_order_under_out_of_order_fulfillment() {
+        let mut out = OutQueue::new();
+        let s0 = out.reserve();
+        let s1 = out.reserve();
+        out.fulfill(s1, b"late\n".to_vec());
+        let mut sink = ScriptedSink { script: vec![], step: 0, written: Vec::new() };
+        // Nothing flushable until the head of line resolves; no marks.
+        assert_eq!(out.write_step(&mut sink).unwrap(), WriteProgress::Drained);
+        assert_eq!(out.drain_flushed(), Vec::<u64>::new());
+        out.fulfill(s0, b"early\n".to_vec());
+        drive_to_completion(&mut out, &mut sink);
+        assert_eq!(out.drain_flushed(), vec![s0, s1]);
+        assert_eq!(sink.written, b"early\nlate\n");
     }
 
     #[test]

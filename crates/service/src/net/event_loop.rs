@@ -26,12 +26,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hap_codec::WireError;
+use hap_telemetry::{Outcome, SpanKind, Verb};
 use mini_epoll::{Event, Interest, Poller, Waker, WAKE_TOKEN};
 
 use crate::config::ServiceConfig;
 use crate::net::conn::{Conn, Frame, ReadOutcome};
 use crate::service::{PlanService, Submission};
 use crate::stats::NetGauges;
+use crate::telemetry::PendingTrace;
 
 /// Token of the listening socket.
 const LISTEN_TOKEN: u64 = 0;
@@ -43,8 +45,8 @@ const STOP_POLL_MS: u64 = 500;
 const DRAIN_DEADLINE_MS: u64 = 10_000;
 
 /// One response completed by a worker: `(connection token, slot sequence,
-/// rendered bytes)`.
-type Completion = (u64, u64, Vec<u8>);
+/// rendered bytes, request trace awaiting its flush span)`.
+type Completion = (u64, u64, Vec<u8>, Option<PendingTrace>);
 
 /// State shared between the loop thread, the workers' deliver callbacks,
 /// and the [`Server`] handle.
@@ -55,8 +57,8 @@ struct LoopShared {
 }
 
 impl LoopShared {
-    fn deliver(&self, token: u64, seq: u64, bytes: Vec<u8>) {
-        crate::sync::lock_recover(&self.completions).push((token, seq, bytes));
+    fn deliver(&self, token: u64, seq: u64, bytes: Vec<u8>, trace: Option<PendingTrace>) {
+        crate::sync::lock_recover(&self.completions).push((token, seq, bytes, trace));
         self.waker.wake();
     }
 }
@@ -146,6 +148,16 @@ impl Drop for Server {
 struct Entry {
     conn: Conn<TcpStream>,
     armed: Interest,
+    /// When the connection was accepted (telemetry clock; 0 = disabled).
+    accept_nanos: u64,
+    /// Where the next request's `frame` span starts: the accept time for
+    /// the first request, then the end of the previous frame — pipelined
+    /// requests split the wire time between them instead of overlapping.
+    frame_anchor: u64,
+    /// Traces awaiting their `flush` span, keyed by output-slot sequence:
+    /// `(response fulfill time, trace)`. Sealed by `service_conn` when the
+    /// response's last byte leaves; dropped with the connection.
+    traces: HashMap<u64, (u64, PendingTrace)>,
 }
 
 struct EventLoop {
@@ -240,11 +252,15 @@ impl EventLoop {
             std::mem::take(&mut *queue)
         };
         let mut touched: Vec<u64> = Vec::with_capacity(done.len());
-        for (token, seq, bytes) in done {
+        for (token, seq, bytes, trace) in done {
             // The connection may have died while its synthesis ran; its
-            // response is simply dropped.
+            // response (and trace) is simply dropped.
             if let Some(entry) = self.conns.get_mut(&token) {
                 entry.conn.out.fulfill(seq, bytes);
+                if let Some(pt) = trace {
+                    let fulfilled = self.service.telemetry().now();
+                    entry.traces.insert(seq, (fulfilled, pt));
+                }
                 touched.push(token);
             }
         }
@@ -269,9 +285,16 @@ impl EventLoop {
                         continue;
                     }
                     let max_line = self.service.config().max_line_bytes;
+                    let accepted = self.service.telemetry().now();
                     self.conns.insert(
                         token,
-                        Entry { conn: Conn::new(stream, max_line), armed: Interest::READ },
+                        Entry {
+                            conn: Conn::new(stream, max_line),
+                            armed: Interest::READ,
+                            accept_nanos: accepted,
+                            frame_anchor: accepted,
+                            traces: HashMap::new(),
+                        },
                     );
                     let open = self.gauges.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
                     NetGauges::raise(&self.gauges.peak_connections, open);
@@ -317,20 +340,36 @@ impl EventLoop {
     /// Handles one framed request; returns true when it was a `shutdown`.
     fn handle_frame(&mut self, token: u64, frame: Frame) -> bool {
         let Some(entry) = self.conns.get_mut(&token) else { return false };
+        let telemetry = self.service.telemetry().clone();
         match frame {
             Frame::Line(line) => {
                 if line.trim().is_empty() {
                     return false;
                 }
                 entry.conn.last_activity = Instant::now();
+                // Open this request's trace with the transport-side
+                // spans; the service adds the rest and hands the trace
+                // back for sealing once the response flushes.
+                let now = telemetry.now();
+                let mut tb = telemetry.builder();
+                if let Some(tb) = tb.as_mut() {
+                    tb.span(SpanKind::Accept, entry.accept_nanos, entry.accept_nanos);
+                    tb.span(SpanKind::Frame, entry.frame_anchor.min(now), now);
+                }
+                entry.frame_anchor = now;
                 let seq = entry.conn.out.reserve();
                 let shared = self.shared.clone();
-                let deliver = Box::new(move |bytes: Vec<u8>| shared.deliver(token, seq, bytes));
-                match self.service.submit(&line, deliver) {
-                    Submission::Ready { bytes, shutdown } => {
+                let deliver = Box::new(move |bytes: Vec<u8>, trace: Option<PendingTrace>| {
+                    shared.deliver(token, seq, bytes, trace)
+                });
+                match self.service.submit(&line, tb, deliver) {
+                    Submission::Ready { bytes, shutdown, trace } => {
                         // Re-borrow: submit may have run a subscriber.
                         if let Some(entry) = self.conns.get_mut(&token) {
                             entry.conn.out.fulfill(seq, bytes);
+                            if let Some(pt) = trace {
+                                entry.traces.insert(seq, (telemetry.now(), pt));
+                            }
                         }
                         shutdown
                     }
@@ -344,20 +383,34 @@ impl EventLoop {
                     format!("request line exceeds the {limit}-byte limit"),
                 );
                 let bytes = self.service.render_error(0, &err);
-                if let Some(entry) = self.conns.get_mut(&token) {
-                    entry.conn.out.push_ready(bytes);
-                }
+                Self::push_error_frame(entry, &telemetry, bytes);
                 false
             }
             Frame::Malformed => {
                 entry.conn.last_activity = Instant::now();
                 let err = WireError::new("parse", "request line is not valid UTF-8");
                 let bytes = self.service.render_error(0, &err);
-                if let Some(entry) = self.conns.get_mut(&token) {
-                    entry.conn.out.push_ready(bytes);
-                }
+                Self::push_error_frame(entry, &telemetry, bytes);
                 false
             }
+        }
+    }
+
+    /// Queues an error response for a frame that never became a request
+    /// (oversized, malformed), tracing it under the `invalid` verb.
+    fn push_error_frame(
+        entry: &mut Entry,
+        telemetry: &crate::telemetry::Telemetry,
+        bytes: Vec<u8>,
+    ) {
+        let seq = entry.conn.out.push_ready(bytes);
+        if let Some(mut builder) = telemetry.builder() {
+            builder.set_request(0, Verb::Invalid);
+            let now = telemetry.now();
+            builder.span(SpanKind::Frame, entry.frame_anchor.min(now), now);
+            entry.frame_anchor = now;
+            let pending = PendingTrace { builder, outcome: Outcome::Error };
+            entry.traces.insert(seq, (now, pending));
         }
     }
 
@@ -376,6 +429,15 @@ impl EventLoop {
             }
         }
         let entry = self.conns.get_mut(&token).expect("entry still present");
+        // Seal the traces of every response whose last byte just left:
+        // their `flush` span runs from fulfillment to write completion.
+        for seq in entry.conn.out.drain_flushed() {
+            if let Some((fulfilled, mut pending)) = entry.traces.remove(&seq) {
+                let now = self.service.telemetry().now();
+                pending.builder.span(SpanKind::Flush, fulfilled, now);
+                self.service.telemetry().finish_pending(pending);
+            }
+        }
         let cap = self.service.config().write_buffer_cap;
         let pending = entry.conn.out.pending_bytes();
         if entry.conn.paused_reads {

@@ -14,17 +14,25 @@ use hap_codec::{
 };
 use mini_rayon::ThreadPool;
 
+use hap_synthesis::SynthProfile;
+use hap_telemetry::{Outcome, SpanKind, TraceBuilder, Verb};
+
 use crate::cache::{load_cache, CachePolicy, CachedPlan, PersistLog, PlanCache};
 use crate::config::{ServiceConfig, MAX_TTL_MS};
-use crate::dispatch::{self, Attach, PlanResult, QueueState, Shared};
+use crate::dispatch::{self, Attach, PlanResult, QueueState, Shared, Slot};
 use crate::replan::{self, ReplanIndex, RequestTriple};
 use crate::stats::{Counters, NetGauges, StatsSnapshot};
 use crate::sync::lock_recover;
+use crate::telemetry::{
+    encode_profile, encode_trace, outcome_for_error, outcome_for_source, PendingTrace,
+    ProfileIndex, Telemetry,
+};
 
 /// A transport callback receiving rendered response bytes for a request
-/// whose synthesis resolved after [`PlanService::submit`] returned. Runs
-/// on the resolving worker's thread; must be quick (enqueue + wake).
-pub(crate) type Deliver = Box<dyn FnOnce(Vec<u8>) + Send>;
+/// whose synthesis resolved after [`PlanService::submit`] returned, plus
+/// the request's trace (sealed by the transport once the bytes flush).
+/// Runs on the resolving worker's thread; must be quick (enqueue + wake).
+pub(crate) type Deliver = Box<dyn FnOnce(Vec<u8>, Option<PendingTrace>) + Send>;
 
 /// How a plan response was produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,11 +57,75 @@ impl PlanSource {
 
 /// What [`PlanService::submit`] did with a request line.
 pub(crate) enum Submission {
-    /// The response is complete: one or more newline-terminated frames.
-    Ready { bytes: Vec<u8>, shutdown: bool },
+    /// The response is complete: one or more newline-terminated frames,
+    /// plus the request's trace for the transport to seal at flush time.
+    Ready { bytes: Vec<u8>, shutdown: bool, trace: Option<PendingTrace> },
     /// A synthesis is in flight; the `deliver` callback will produce the
-    /// bytes on a worker thread when it resolves.
+    /// bytes (and the trace) on a worker thread when it resolves.
     Pending,
+}
+
+/// Packages a trace builder with its outcome for the transport to seal.
+fn seal(tb: Option<TraceBuilder>, outcome: Outcome) -> Option<PendingTrace> {
+    tb.map(|builder| PendingTrace { builder, outcome })
+}
+
+/// Runs `f` under an `encode` span.
+fn encode_span<T>(tb: &mut Option<TraceBuilder>, f: impl FnOnce() -> T) -> T {
+    if let Some(tb) = tb.as_mut() {
+        tb.begin(SpanKind::Encode);
+    }
+    let out = f();
+    if let Some(tb) = tb.as_mut() {
+        tb.end();
+    }
+    out
+}
+
+/// Everything a successful replan resolves to: where the plan came from,
+/// the rebased fingerprint, the plan itself, the instruction-level diff
+/// against the prior plan, and (when requested) the synthesis profile.
+type ReplanValues = (PlanSource, u64, Arc<CachedPlan>, PlanDiff, Option<Arc<SynthProfile>>);
+
+/// Fetches the recorded synthesis profile for `fp` when anyone wants it:
+/// as the response's `"profile"` field (`want`) and/or folded into the
+/// trace as annotations (`synthesized` — the profile describes work this
+/// very request waited on). Requests that want neither never touch the
+/// profile lock; in particular, telemetry-off cache hits stay lock-free.
+fn profile_for(
+    shared: &Shared,
+    fp: u64,
+    want: bool,
+    synthesized: bool,
+    tb: &mut Option<TraceBuilder>,
+) -> Option<Arc<SynthProfile>> {
+    if !(want || (synthesized && tb.is_some())) {
+        return None;
+    }
+    let profile = lock_recover(&shared.profiles).get(fp)?;
+    if synthesized {
+        if let Some(tb) = tb.as_mut() {
+            for (key, value) in profile.entries() {
+                tb.annotate(key, value);
+            }
+        }
+    }
+    want.then_some(profile)
+}
+
+/// Folds the dispatch slot's timing marks into the trace: the queue wait
+/// and (when a worker actually ran) the synthesis itself. A request that
+/// resolved without a worker — shed, shutdown race, cache race — gets its
+/// whole slot residency as queue wait.
+fn attach_slot_spans(tb: &mut Option<TraceBuilder>, slot: &Slot) {
+    let Some(tb) = tb.as_mut() else { return };
+    let (queued, started, resolved) = dispatch::slot_marks(slot);
+    if started > 0 {
+        tb.span(SpanKind::QueueWait, queued, started);
+        tb.span(SpanKind::Synthesis, started, resolved);
+    } else if resolved > 0 {
+        tb.span(SpanKind::QueueWait, queued, resolved);
+    }
 }
 
 /// The multi-tenant planning service: content-addressed cache,
@@ -94,8 +166,12 @@ impl PlanService {
         }
         // The replan index remembers as many request triples as the cache
         // holds plans: a fingerprint whose plan is still cached should
-        // normally still be replannable.
+        // normally still be replannable. The profile index follows the
+        // same sizing — a cached plan's synthesis profile should still be
+        // reportable.
         let replans = Mutex::new(ReplanIndex::new(config.cache_capacity));
+        let profiles = Mutex::new(ProfileIndex::new(config.cache_capacity));
+        let telemetry = Arc::new(Telemetry::new(&config));
         let shared = Arc::new(Shared {
             config,
             cache,
@@ -107,6 +183,8 @@ impl PlanService {
             ),
             counters: Counters::default(),
             persist,
+            telemetry,
+            profiles,
         });
         let width = ThreadPool::new(shared.config.workers).threads().max(1);
         let workers = (0..width)
@@ -145,38 +223,70 @@ impl PlanService {
     /// This is the synchronous path: a cache miss parks the calling
     /// thread until the synthesis resolves. `"stream": true` is ignored
     /// here — streaming is transport framing, and this entry point *is*
-    /// the canonical unstreamed encoding.
+    /// the canonical unstreamed encoding. The request's trace is sealed
+    /// here too (there is no later flush to wait for).
     pub fn handle_line(&self, line: &str) -> (String, bool) {
-        match self.handle_parsed(line) {
-            Ok((response, shutdown)) => (response.render(), shutdown),
+        let mut tb = self.shared.telemetry.builder();
+        match self.handle_parsed(line, &mut tb) {
+            Ok((response, outcome, shutdown)) => {
+                let rendered = encode_span(&mut tb, || response.render());
+                self.shared.telemetry.finish(tb, outcome);
+                (rendered, shutdown)
+            }
             Err((id, err)) => {
                 self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                (error_frame(id, &err).render(), false)
+                let rendered = encode_span(&mut tb, || error_frame(id, &err).render());
+                self.shared.telemetry.finish(tb, outcome_for_error(&err));
+                (rendered, false)
             }
         }
     }
 
-    fn handle_parsed(&self, line: &str) -> Result<(Value, bool), (u64, WireError)> {
+    fn handle_parsed(
+        &self,
+        line: &str,
+        tb: &mut Option<TraceBuilder>,
+    ) -> Result<(Value, Outcome, bool), (u64, WireError)> {
+        if let Some(tb) = tb.as_mut() {
+            tb.begin(SpanKind::Decode);
+        }
         let req = Request::parse(line)?;
+        if let Some(tb) = tb.as_mut() {
+            tb.set_request(req.id, req.op.verb());
+        }
         match req.op {
             ReqOp::Plan(plan) => {
-                let (source, fp, result) = self.plan_values_with_ttl(
+                let (source, fp, result, profile) = self.plan_values_traced(
                     &plan.graph,
                     &plan.cluster,
                     &plan.options,
                     plan.ttl_ms,
+                    plan.profile,
+                    tb,
                 );
                 let plan_arc = result.map_err(|e| (req.id, e))?;
-                Ok((plan_frame(req.id, fp, source, &plan_arc), false))
+                Ok((
+                    plan_frame_with(req.id, fp, source, &plan_arc, None, profile.as_deref()),
+                    outcome_for_source(source),
+                    false,
+                ))
             }
             ReqOp::Replan(rp) => {
-                let (source, fp, plan, diff) = self
-                    .replan_values_with_ttl(rp.prior, &rp.delta, rp.ttl_ms)
+                let (source, fp, plan, diff, profile) = self
+                    .replan_values_traced(rp.prior, &rp.delta, rp.ttl_ms, rp.profile, tb)
                     .map_err(|e| (req.id, e))?;
-                Ok((plan_frame_with(req.id, fp, source, &plan, Some(&diff)), false))
+                Ok((
+                    plan_frame_with(req.id, fp, source, &plan, Some(&diff), profile.as_deref()),
+                    Outcome::Replan,
+                    false,
+                ))
             }
-            ReqOp::Stats => Ok((self.stats_frame(req.id), false)),
-            ReqOp::Shutdown => Ok((ok_frame(req.id), true)),
+            ReqOp::Stats => Ok((self.stats_frame(req.id), Outcome::Ok, false)),
+            ReqOp::Metrics => Ok((self.metrics_frame(req.id), Outcome::Ok, false)),
+            ReqOp::Trace { n, min_ms } => {
+                Ok((self.trace_frame(req.id, n, min_ms), Outcome::Ok, false))
+            }
+            ReqOp::Shutdown => Ok((ok_frame(req.id), Outcome::Ok, true)),
         }
     }
 
@@ -216,19 +326,60 @@ impl PlanService {
         options: &Value,
         ttl_ms: Option<u64>,
     ) -> (PlanSource, u64, PlanResult) {
+        let (source, fp, result, _) =
+            self.plan_values_traced(graph, cluster, options, ttl_ms, false, &mut None);
+        (source, fp, result)
+    }
+
+    /// The traced planning core: [`PlanService::plan_values_with_ttl`]
+    /// plus span bookkeeping and the optional synthesis profile
+    /// (`want_profile` = the request carried `"profile": true`).
+    fn plan_values_traced(
+        &self,
+        graph: &Value,
+        cluster: &Value,
+        options: &Value,
+        ttl_ms: Option<u64>,
+        want_profile: bool,
+        tb: &mut Option<TraceBuilder>,
+    ) -> (PlanSource, u64, PlanResult, Option<Arc<SynthProfile>>) {
         let shared = &self.shared;
         let fp = request_fingerprint_values(graph, cluster, options);
         self.record_request(fp, graph, cluster, options);
+        if let Some(tb) = tb.as_mut() {
+            tb.begin(SpanKind::CacheLookup);
+        }
         if let Some(plan) = shared.cache.get(fp) {
             shared.counters.hits.fetch_add(1, Ordering::Relaxed);
-            return (PlanSource::Cache, fp, Ok(plan));
+            if let Some(tb) = tb.as_mut() {
+                tb.end();
+            }
+            let profile = profile_for(shared, fp, want_profile, false, tb);
+            return (PlanSource::Cache, fp, Ok(plan), profile);
         }
         shared.counters.misses.fetch_add(1, Ordering::Relaxed);
-        match dispatch::attach(shared, fp, graph, cluster, options, ttl_ms, None) {
-            Attach::Resolved(source, result) => (source, fp, result),
-            Attach::Leader(slot) => (PlanSource::Synthesized, fp, dispatch::wait_sync(&slot)),
-            Attach::Follower(slot) => (PlanSource::Coalesced, fp, dispatch::wait_sync(&slot)),
+        if let Some(tb) = tb.as_mut() {
+            tb.end();
         }
+        let (source, result) =
+            match dispatch::attach(shared, fp, graph, cluster, options, ttl_ms, None) {
+                Attach::Resolved(source, result) => (source, result),
+                Attach::Leader(slot) => {
+                    let result = dispatch::wait_sync(&slot);
+                    attach_slot_spans(tb, &slot);
+                    (PlanSource::Synthesized, result)
+                }
+                Attach::Follower(slot) => {
+                    let result = dispatch::wait_sync(&slot);
+                    attach_slot_spans(tb, &slot);
+                    (PlanSource::Coalesced, result)
+                }
+            };
+        let profile = match &result {
+            Ok(_) => profile_for(shared, fp, want_profile, true, tb),
+            Err(_) => None,
+        };
+        (source, fp, result, profile)
     }
 
     /// Replans a previously planned request after a cluster change: the
@@ -254,15 +405,38 @@ impl PlanService {
         delta: &ClusterDelta,
         ttl_ms: Option<u64>,
     ) -> Result<(PlanSource, u64, Arc<CachedPlan>, PlanDiff), WireError> {
+        self.replan_values_traced(prior_fp, delta, ttl_ms, false, &mut None)
+            .map(|(source, fp, plan, diff, _)| (source, fp, plan, diff))
+    }
+
+    /// The traced replanning core (see [`PlanService::plan_values_traced`]).
+    fn replan_values_traced(
+        &self,
+        prior_fp: u64,
+        delta: &ClusterDelta,
+        ttl_ms: Option<u64>,
+        want_profile: bool,
+        tb: &mut Option<TraceBuilder>,
+    ) -> Result<ReplanValues, WireError> {
         let shared = &self.shared;
         let prep = replan::prepare(shared, prior_fp, delta)?;
+        if let Some(tb) = tb.as_mut() {
+            tb.begin(SpanKind::CacheLookup);
+        }
         if let Some(plan) = shared.cache.get(prep.fp) {
             shared.counters.hits.fetch_add(1, Ordering::Relaxed);
             shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+            if let Some(tb) = tb.as_mut() {
+                tb.end();
+            }
+            let profile = profile_for(shared, prep.fp, want_profile, false, tb);
             let diff = replan_diff(prior_fp, &prep.prior, &plan);
-            return Ok((PlanSource::Cache, prep.fp, plan, diff));
+            return Ok((PlanSource::Cache, prep.fp, plan, diff, profile));
         }
         shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(tb) = tb.as_mut() {
+            tb.end();
+        }
         let (source, result) = match dispatch::attach(
             shared,
             prep.fp,
@@ -273,13 +447,22 @@ impl PlanService {
             Some(prep.prior.clone()),
         ) {
             Attach::Resolved(source, result) => (source, result),
-            Attach::Leader(slot) => (PlanSource::Synthesized, dispatch::wait_sync(&slot)),
-            Attach::Follower(slot) => (PlanSource::Coalesced, dispatch::wait_sync(&slot)),
+            Attach::Leader(slot) => {
+                let result = dispatch::wait_sync(&slot);
+                attach_slot_spans(tb, &slot);
+                (PlanSource::Synthesized, result)
+            }
+            Attach::Follower(slot) => {
+                let result = dispatch::wait_sync(&slot);
+                attach_slot_spans(tb, &slot);
+                (PlanSource::Coalesced, result)
+            }
         };
         let plan = result?;
         shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+        let profile = profile_for(shared, prep.fp, want_profile, true, tb);
         let diff = replan_diff(prior_fp, &prep.prior, &plan);
-        Ok((source, prep.fp, plan, diff))
+        Ok((source, prep.fp, plan, diff, profile))
     }
 
     /// The asynchronous request path used by the event loop: never blocks
@@ -288,34 +471,88 @@ impl PlanService {
     /// [`Submission::Ready`]; a queued or joined synthesis returns
     /// [`Submission::Pending`] and `deliver` later receives the rendered
     /// response bytes on the resolving worker's thread.
-    pub(crate) fn submit(&self, line: &str, deliver: Deliver) -> Submission {
+    ///
+    /// `tb` is the transport's trace builder (already carrying the
+    /// `accept`/`frame` spans); it travels with the request and comes
+    /// back — as [`Submission::Ready::trace`] or through `deliver` — for
+    /// the transport to seal once the bytes flush.
+    pub(crate) fn submit(
+        &self,
+        line: &str,
+        mut tb: Option<TraceBuilder>,
+        deliver: Deliver,
+    ) -> Submission {
+        if let Some(tb) = tb.as_mut() {
+            tb.begin(SpanKind::Decode);
+        }
         let req = match Request::parse(line) {
             Ok(req) => req,
             Err((id, err)) => {
-                return Submission::Ready { bytes: self.render_error(id, &err), shutdown: false }
+                let bytes = encode_span(&mut tb, || self.render_error(id, &err));
+                return Submission::Ready {
+                    bytes,
+                    shutdown: false,
+                    trace: seal(tb, outcome_for_error(&err)),
+                };
             }
         };
         let id = req.id;
+        if let Some(tb) = tb.as_mut() {
+            tb.set_request(id, req.op.verb());
+        }
         match req.op {
             ReqOp::Stats => {
-                Submission::Ready { bytes: frame_bytes(&self.stats_frame(id)), shutdown: false }
+                let bytes = encode_span(&mut tb, || frame_bytes(&self.stats_frame(id)));
+                Submission::Ready { bytes, shutdown: false, trace: seal(tb, Outcome::Ok) }
+            }
+            ReqOp::Metrics => {
+                let bytes = encode_span(&mut tb, || frame_bytes(&self.metrics_frame(id)));
+                Submission::Ready { bytes, shutdown: false, trace: seal(tb, Outcome::Ok) }
+            }
+            ReqOp::Trace { n, min_ms } => {
+                let bytes = encode_span(&mut tb, || frame_bytes(&self.trace_frame(id, n, min_ms)));
+                Submission::Ready { bytes, shutdown: false, trace: seal(tb, Outcome::Ok) }
             }
             ReqOp::Shutdown => {
-                Submission::Ready { bytes: frame_bytes(&ok_frame(id)), shutdown: true }
+                let bytes = encode_span(&mut tb, || frame_bytes(&ok_frame(id)));
+                Submission::Ready { bytes, shutdown: true, trace: seal(tb, Outcome::Ok) }
             }
             ReqOp::Plan(plan) => {
                 let shared = &self.shared;
                 let stream_chunk = plan.stream.then_some(shared.config.stream_chunk_bytes);
+                let want_profile = plan.profile;
                 let fp = request_fingerprint_values(&plan.graph, &plan.cluster, &plan.options);
                 self.record_request(fp, &plan.graph, &plan.cluster, &plan.options);
+                if let Some(tb) = tb.as_mut() {
+                    tb.begin(SpanKind::CacheLookup);
+                }
                 if let Some(cached) = shared.cache.get(fp) {
                     shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tb) = tb.as_mut() {
+                        tb.end();
+                    }
+                    let profile = profile_for(shared, fp, want_profile, false, &mut tb);
+                    let bytes = encode_span(&mut tb, || {
+                        plan_bytes(
+                            id,
+                            fp,
+                            PlanSource::Cache,
+                            &cached,
+                            None,
+                            profile.as_deref(),
+                            stream_chunk,
+                        )
+                    });
                     return Submission::Ready {
-                        bytes: plan_bytes(id, fp, PlanSource::Cache, &cached, None, stream_chunk),
+                        bytes,
                         shutdown: false,
+                        trace: seal(tb, Outcome::Hit),
                     };
                 }
                 shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(tb) = tb.as_mut() {
+                    tb.end();
+                }
                 let attach = dispatch::attach(
                     shared,
                     fp,
@@ -329,16 +566,31 @@ impl PlanService {
                     // A leadership cache race resolves as a hit, exactly
                     // like the sync path's re-probe.
                     Attach::Resolved(source, Ok(cached)) => {
+                        let profile = profile_for(shared, fp, want_profile, false, &mut tb);
+                        let bytes = encode_span(&mut tb, || {
+                            plan_bytes(
+                                id,
+                                fp,
+                                source,
+                                &cached,
+                                None,
+                                profile.as_deref(),
+                                stream_chunk,
+                            )
+                        });
                         return Submission::Ready {
-                            bytes: plan_bytes(id, fp, source, &cached, None, stream_chunk),
+                            bytes,
                             shutdown: false,
-                        }
+                            trace: seal(tb, outcome_for_source(source)),
+                        };
                     }
                     Attach::Resolved(_, Err(err)) => {
+                        let bytes = encode_span(&mut tb, || self.render_error(id, &err));
                         return Submission::Ready {
-                            bytes: self.render_error(id, &err),
+                            bytes,
                             shutdown: false,
-                        }
+                            trace: seal(tb, outcome_for_error(&err)),
+                        };
                     }
                     Attach::Leader(slot) => (slot, PlanSource::Synthesized),
                     Attach::Follower(slot) => (slot, PlanSource::Coalesced),
@@ -346,18 +598,38 @@ impl PlanService {
                 // Subscribe a response renderer: each request renders with
                 // its own id, source, and streaming preference when the
                 // shared synthesis resolves.
-                let counters_shared = self.shared.clone();
+                let sub_shared = self.shared.clone();
+                let sub_slot = slot.clone();
                 dispatch::subscribe(
                     &slot,
                     Box::new(move |result: &PlanResult| {
-                        let bytes = match result {
-                            Ok(plan) => plan_bytes(id, fp, source, plan, None, stream_chunk),
+                        let mut tb = tb;
+                        attach_slot_spans(&mut tb, &sub_slot);
+                        let (bytes, outcome) = match result {
+                            Ok(plan) => {
+                                let profile =
+                                    profile_for(&sub_shared, fp, want_profile, true, &mut tb);
+                                let bytes = encode_span(&mut tb, || {
+                                    plan_bytes(
+                                        id,
+                                        fp,
+                                        source,
+                                        plan,
+                                        None,
+                                        profile.as_deref(),
+                                        stream_chunk,
+                                    )
+                                });
+                                (bytes, outcome_for_source(source))
+                            }
                             Err(err) => {
-                                counters_shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                                frame_bytes(&error_frame(id, err))
+                                sub_shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                                let bytes =
+                                    encode_span(&mut tb, || frame_bytes(&error_frame(id, err)));
+                                (bytes, outcome_for_error(err))
                             }
                         };
-                        deliver(bytes);
+                        deliver(bytes, seal(tb, outcome));
                     }),
                 );
                 Submission::Pending
@@ -365,34 +637,52 @@ impl PlanService {
             ReqOp::Replan(rp) => {
                 let shared = &self.shared;
                 let stream_chunk = rp.stream.then_some(shared.config.stream_chunk_bytes);
+                let want_profile = rp.profile;
                 let prep = match replan::prepare(shared, rp.prior, &rp.delta) {
                     Ok(prep) => prep,
                     Err(err) => {
+                        let bytes = encode_span(&mut tb, || self.render_error(id, &err));
                         return Submission::Ready {
-                            bytes: self.render_error(id, &err),
+                            bytes,
                             shutdown: false,
-                        }
+                            trace: seal(tb, outcome_for_error(&err)),
+                        };
                     }
                 };
                 let prior_fp = rp.prior;
                 let fp = prep.fp;
+                if let Some(tb) = tb.as_mut() {
+                    tb.begin(SpanKind::CacheLookup);
+                }
                 if let Some(cached) = shared.cache.get(fp) {
                     shared.counters.hits.fetch_add(1, Ordering::Relaxed);
                     shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tb) = tb.as_mut() {
+                        tb.end();
+                    }
+                    let profile = profile_for(shared, fp, want_profile, false, &mut tb);
                     let diff = replan_diff(prior_fp, &prep.prior, &cached);
-                    return Submission::Ready {
-                        bytes: plan_bytes(
+                    let bytes = encode_span(&mut tb, || {
+                        plan_bytes(
                             id,
                             fp,
                             PlanSource::Cache,
                             &cached,
                             Some(&diff),
+                            profile.as_deref(),
                             stream_chunk,
-                        ),
+                        )
+                    });
+                    return Submission::Ready {
+                        bytes,
                         shutdown: false,
+                        trace: seal(tb, Outcome::Replan),
                     };
                 }
                 shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(tb) = tb.as_mut() {
+                    tb.end();
+                }
                 let attach = dispatch::attach(
                     shared,
                     fp,
@@ -405,38 +695,71 @@ impl PlanService {
                 let (slot, source) = match attach {
                     Attach::Resolved(source, Ok(cached)) => {
                         shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+                        let profile = profile_for(shared, fp, want_profile, false, &mut tb);
                         let diff = replan_diff(prior_fp, &prep.prior, &cached);
+                        let bytes = encode_span(&mut tb, || {
+                            plan_bytes(
+                                id,
+                                fp,
+                                source,
+                                &cached,
+                                Some(&diff),
+                                profile.as_deref(),
+                                stream_chunk,
+                            )
+                        });
                         return Submission::Ready {
-                            bytes: plan_bytes(id, fp, source, &cached, Some(&diff), stream_chunk),
+                            bytes,
                             shutdown: false,
+                            trace: seal(tb, Outcome::Replan),
                         };
                     }
                     Attach::Resolved(_, Err(err)) => {
+                        let bytes = encode_span(&mut tb, || self.render_error(id, &err));
                         return Submission::Ready {
-                            bytes: self.render_error(id, &err),
+                            bytes,
                             shutdown: false,
-                        }
+                            trace: seal(tb, outcome_for_error(&err)),
+                        };
                     }
                     Attach::Leader(slot) => (slot, PlanSource::Synthesized),
                     Attach::Follower(slot) => (slot, PlanSource::Coalesced),
                 };
-                let counters_shared = self.shared.clone();
+                let sub_shared = self.shared.clone();
+                let sub_slot = slot.clone();
                 let prior_plan = prep.prior.clone();
                 dispatch::subscribe(
                     &slot,
                     Box::new(move |result: &PlanResult| {
-                        let bytes = match result {
+                        let mut tb = tb;
+                        attach_slot_spans(&mut tb, &sub_slot);
+                        let (bytes, outcome) = match result {
                             Ok(plan) => {
-                                counters_shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+                                sub_shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+                                let profile =
+                                    profile_for(&sub_shared, fp, want_profile, true, &mut tb);
                                 let diff = replan_diff(prior_fp, &prior_plan, plan);
-                                plan_bytes(id, fp, source, plan, Some(&diff), stream_chunk)
+                                let bytes = encode_span(&mut tb, || {
+                                    plan_bytes(
+                                        id,
+                                        fp,
+                                        source,
+                                        plan,
+                                        Some(&diff),
+                                        profile.as_deref(),
+                                        stream_chunk,
+                                    )
+                                });
+                                (bytes, Outcome::Replan)
                             }
                             Err(err) => {
-                                counters_shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                                frame_bytes(&error_frame(id, err))
+                                sub_shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                                let bytes =
+                                    encode_span(&mut tb, || frame_bytes(&error_frame(id, err)));
+                                (bytes, outcome_for_error(err))
                             }
                         };
-                        deliver(bytes);
+                        deliver(bytes, seal(tb, outcome));
                     }),
                 );
                 Submission::Pending
@@ -457,22 +780,54 @@ impl PlanService {
         ])
     }
 
-    /// A consistent stats snapshot.
+    /// `{"id":N,"ok":true,"metrics":{...}}` — the latency histograms.
+    fn metrics_frame(&self, id: u64) -> Value {
+        Value::obj(vec![
+            ("id", Value::int(id)),
+            ("ok", Value::Bool(true)),
+            ("metrics", self.shared.telemetry.metrics_snapshot().encode()),
+        ])
+    }
+
+    /// `{"id":N,"ok":true,"traces":[...]}` — the most recent completed
+    /// request traces, newest first.
+    fn trace_frame(&self, id: u64, n: usize, min_ms: u64) -> Value {
+        let traces = self
+            .shared
+            .telemetry
+            .recent_traces(n, min_ms)
+            .iter()
+            .map(|t| encode_trace(t))
+            .collect();
+        Value::obj(vec![
+            ("id", Value::int(id)),
+            ("ok", Value::Bool(true)),
+            ("traces", Value::Arr(traces)),
+        ])
+    }
+
+    /// A consistent stats snapshot: every gauge is sampled exactly once,
+    /// in one pass, so the frame's `entries`/`in_flight`/telemetry totals
+    /// describe the same instant instead of racing each other between
+    /// field reads.
     pub fn stats(&self) -> StatsSnapshot {
         let shared = &self.shared;
+        let (entries, evictions, admission_rejected, expired) = shared.cache.stats_sample();
+        let in_flight = lock_recover(&shared.inflight).len() as u64;
+        let (traces_recorded, metrics_samples) = shared.telemetry.totals();
         StatsSnapshot {
-            entries: shared.cache.len() as u64,
+            entries,
             hits: shared.counters.hits.load(Ordering::Relaxed),
             misses: shared.counters.misses.load(Ordering::Relaxed),
             coalesced: shared.counters.coalesced.load(Ordering::Relaxed),
             synthesized: shared.counters.synthesized.load(Ordering::Relaxed),
-            evictions: shared.cache.evictions(),
+            evictions,
             warm_seeded: shared.counters.warm_seeded.load(Ordering::Relaxed),
             errors: shared.counters.errors.load(Ordering::Relaxed),
-            in_flight: lock_recover(&shared.inflight).len() as u64,
+            in_flight,
             shed: shared.counters.shed.load(Ordering::Relaxed),
-            admission_rejected: shared.cache.rejected(),
-            expired: shared.cache.expired(),
+            admission_rejected,
+            expired,
             replanned: shared.counters.replanned.load(Ordering::Relaxed),
             persist_errors: shared.persist.as_ref().map(PersistLog::errors).unwrap_or(0),
             persistence_degraded: shared.persist.as_ref().is_some_and(PersistLog::degraded) as u64,
@@ -482,7 +837,15 @@ impl PlanService {
             read_buf_hwm: self.gauges.read_buf_hwm.load(Ordering::Relaxed),
             write_buf_hwm: self.gauges.write_buf_hwm.load(Ordering::Relaxed),
             idle_closed: self.gauges.idle_closed.load(Ordering::Relaxed),
+            traces_recorded,
+            metrics_samples,
         }
+    }
+
+    /// The telemetry hub, for the transport's span stamping and trace
+    /// sealing.
+    pub(crate) fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
     }
 
     /// Drains the queue and stops the workers, then flushes any unsynced
@@ -518,6 +881,8 @@ struct PlanRequest {
     options: Value,
     ttl_ms: Option<u64>,
     stream: bool,
+    /// `"profile": true` — include the synthesis profile in the response.
+    profile: bool,
 }
 
 struct ReplanRequest {
@@ -527,13 +892,31 @@ struct ReplanRequest {
     delta: ClusterDelta,
     ttl_ms: Option<u64>,
     stream: bool,
+    /// `"profile": true` — include the synthesis profile in the response.
+    profile: bool,
 }
 
 enum ReqOp {
     Plan(Box<PlanRequest>),
     Replan(Box<ReplanRequest>),
     Stats,
+    Metrics,
+    Trace { n: usize, min_ms: u64 },
     Shutdown,
+}
+
+impl ReqOp {
+    /// The request's verb, for telemetry labeling.
+    fn verb(&self) -> Verb {
+        match self {
+            ReqOp::Plan(_) => Verb::Plan,
+            ReqOp::Replan(_) => Verb::Replan,
+            ReqOp::Stats => Verb::Stats,
+            ReqOp::Metrics => Verb::Metrics,
+            ReqOp::Trace { .. } => Verb::Trace,
+            ReqOp::Shutdown => Verb::Shutdown,
+        }
+    }
 }
 
 struct Request {
@@ -554,7 +937,7 @@ impl Request {
                 let fetch = |key: &str| v.field(key).cloned().map_err(|e| (id, WireError::from(e)));
                 let (graph, cluster, options) =
                     (fetch("graph")?, fetch("cluster")?, fetch("options")?);
-                let (ttl_ms, stream) = parse_ttl_stream(&v, id)?;
+                let (ttl_ms, stream, profile) = parse_ttl_stream(&v, id)?;
                 Ok(Request {
                     id,
                     op: ReqOp::Plan(Box::new(PlanRequest {
@@ -563,6 +946,7 @@ impl Request {
                         options,
                         ttl_ms,
                         stream,
+                        profile,
                     })),
                 })
             }
@@ -577,22 +961,43 @@ impl Request {
                 let delta_value = v.field("delta").map_err(|e| (id, WireError::from(e)))?;
                 let delta =
                     ClusterDelta::decode(delta_value).map_err(|e| (id, WireError::from(e)))?;
-                let (ttl_ms, stream) = parse_ttl_stream(&v, id)?;
+                let (ttl_ms, stream, profile) = parse_ttl_stream(&v, id)?;
                 Ok(Request {
                     id,
-                    op: ReqOp::Replan(Box::new(ReplanRequest { prior, delta, ttl_ms, stream })),
+                    op: ReqOp::Replan(Box::new(ReplanRequest {
+                        prior,
+                        delta,
+                        ttl_ms,
+                        stream,
+                        profile,
+                    })),
                 })
             }
             "stats" => Ok(Request { id, op: ReqOp::Stats }),
+            "metrics" => Ok(Request { id, op: ReqOp::Metrics }),
+            "trace" => {
+                // Both fields optional: `n` caps how many recent traces
+                // come back (default 16), `min_ms` keeps only requests at
+                // least that slow (default 0 = all).
+                let n = match v.get("n") {
+                    None | Some(Value::Null) => 16,
+                    Some(x) => x.as_usize().map_err(|e| (id, WireError::from(e)))?,
+                };
+                let min_ms = match v.get("min_ms") {
+                    None | Some(Value::Null) => 0,
+                    Some(x) => x.as_u64().map_err(|e| (id, WireError::from(e)))?,
+                };
+                Ok(Request { id, op: ReqOp::Trace { n, min_ms } })
+            }
             "shutdown" => Ok(Request { id, op: ReqOp::Shutdown }),
             other => Err((id, WireError::new("decode", format!("unknown op `{other}`")))),
         }
     }
 }
 
-/// The optional `ttl_ms` and `stream` request fields, shared by `plan`
-/// and `replan`.
-fn parse_ttl_stream(v: &Value, id: u64) -> Result<(Option<u64>, bool), (u64, WireError)> {
+/// The optional `ttl_ms`, `stream`, and `profile` request fields, shared
+/// by `plan` and `replan`.
+fn parse_ttl_stream(v: &Value, id: u64) -> Result<(Option<u64>, bool, bool), (u64, WireError)> {
     // Optional cache-lifetime request: how long the synthesized plan
     // should stay valid (a tenant planning for a cluster it is about to
     // decommission bounds its own footprint).
@@ -619,7 +1024,11 @@ fn parse_ttl_stream(v: &Value, id: u64) -> Result<(Option<u64>, bool), (u64, Wir
         None | Some(Value::Null) => false,
         Some(flag) => flag.as_bool().map_err(|e| (id, WireError::from(e)))?,
     };
-    Ok((ttl_ms, stream))
+    let profile = match v.get("profile") {
+        None | Some(Value::Null) => false,
+        Some(flag) => flag.as_bool().map_err(|e| (id, WireError::from(e)))?,
+    };
+    Ok((ttl_ms, stream, profile))
 }
 
 // ---------------------------------------------------------------------------
@@ -649,19 +1058,17 @@ fn replan_diff(prior_fp: u64, prior: &CachedPlan, next: &CachedPlan) -> PlanDiff
     )
 }
 
-/// `{"id":N,"ok":true,"fingerprint":...,"source":...,"plan":{...}}`.
-fn plan_frame(id: u64, fp: u64, source: PlanSource, plan: &CachedPlan) -> Value {
-    plan_frame_with(id, fp, source, plan, None)
-}
-
-/// [`plan_frame`], optionally extended with a `replan` diff field — the
-/// response shape of the `replan` verb.
+/// `{"id":N,"ok":true,"fingerprint":...,"source":...,"plan":{...}}`,
+/// optionally extended with a `replan` diff field (the response shape of
+/// the `replan` verb) and/or a `profile` field (when the request carried
+/// `"profile": true` and the synthesis profile is still indexed).
 fn plan_frame_with(
     id: u64,
     fp: u64,
     source: PlanSource,
     plan: &CachedPlan,
     diff: Option<&PlanDiff>,
+    profile: Option<&SynthProfile>,
 ) -> Value {
     let mut fields = vec![
         ("id", Value::int(id)),
@@ -680,6 +1087,9 @@ fn plan_frame_with(
     ];
     if let Some(diff) = diff {
         fields.push(("replan", diff.encode()));
+    }
+    if let Some(profile) = profile {
+        fields.push(("profile", encode_profile(profile)));
     }
     Value::obj(fields)
 }
@@ -701,9 +1111,10 @@ pub(crate) fn plan_bytes(
     source: PlanSource,
     plan: &CachedPlan,
     diff: Option<&PlanDiff>,
+    profile: Option<&SynthProfile>,
     stream_chunk: Option<usize>,
 ) -> Vec<u8> {
-    let line = plan_frame_with(id, fp, source, plan, diff).render();
+    let line = plan_frame_with(id, fp, source, plan, diff, profile).render();
     match stream_chunk {
         None => {
             let mut bytes = line.into_bytes();

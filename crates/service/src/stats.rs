@@ -56,42 +56,60 @@ pub struct StatsSnapshot {
     /// Synthesis jobs that panicked and were isolated (each one answered
     /// its leader and followers with a typed `internal` error frame).
     pub panics: u64,
+    /// Request traces recorded since boot (all-time, not just the ones the
+    /// trace ring still retains). Zero when telemetry is disabled.
+    pub traces_recorded: u64,
+    /// Latency samples recorded into the `metrics` histograms since boot.
+    /// Zero when telemetry is disabled.
+    pub metrics_samples: u64,
+}
+
+impl StatsSnapshot {
+    /// Every field as a `(wire key, value)` pair, in wire order — the one
+    /// list `encode`, the Prometheus renderer, and `hap-client --assert`
+    /// key validation all share, so a new counter cannot appear in one
+    /// surface and be missing from another.
+    pub fn fields(&self) -> [(&'static str, u64); 23] {
+        [
+            ("entries", self.entries),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("coalesced", self.coalesced),
+            ("synthesized", self.synthesized),
+            ("evictions", self.evictions),
+            ("warm_seeded", self.warm_seeded),
+            ("errors", self.errors),
+            ("in_flight", self.in_flight),
+            ("shed", self.shed),
+            ("admission_rejected", self.admission_rejected),
+            ("expired", self.expired),
+            ("replanned", self.replanned),
+            ("open_connections", self.open_connections),
+            ("peak_connections", self.peak_connections),
+            ("read_buf_hwm", self.read_buf_hwm),
+            ("write_buf_hwm", self.write_buf_hwm),
+            ("idle_closed", self.idle_closed),
+            ("persist_errors", self.persist_errors),
+            ("persistence_degraded", self.persistence_degraded),
+            ("panics", self.panics),
+            ("traces_recorded", self.traces_recorded),
+            ("metrics_samples", self.metrics_samples),
+        ]
+    }
 }
 
 impl Encode for StatsSnapshot {
     fn encode(&self) -> Value {
-        Value::obj(vec![
-            ("entries", Value::int(self.entries)),
-            ("hits", Value::int(self.hits)),
-            ("misses", Value::int(self.misses)),
-            ("coalesced", Value::int(self.coalesced)),
-            ("synthesized", Value::int(self.synthesized)),
-            ("evictions", Value::int(self.evictions)),
-            ("warm_seeded", Value::int(self.warm_seeded)),
-            ("errors", Value::int(self.errors)),
-            ("in_flight", Value::int(self.in_flight)),
-            ("shed", Value::int(self.shed)),
-            ("admission_rejected", Value::int(self.admission_rejected)),
-            ("expired", Value::int(self.expired)),
-            ("replanned", Value::int(self.replanned)),
-            ("open_connections", Value::int(self.open_connections)),
-            ("peak_connections", Value::int(self.peak_connections)),
-            ("read_buf_hwm", Value::int(self.read_buf_hwm)),
-            ("write_buf_hwm", Value::int(self.write_buf_hwm)),
-            ("idle_closed", Value::int(self.idle_closed)),
-            ("persist_errors", Value::int(self.persist_errors)),
-            ("persistence_degraded", Value::int(self.persistence_degraded)),
-            ("panics", Value::int(self.panics)),
-        ])
+        Value::obj(self.fields().into_iter().map(|(k, v)| (k, Value::int(v))).collect())
     }
 }
 
 impl Decode for StatsSnapshot {
     fn decode(v: &Value) -> Result<Self, hap_codec::CodecError> {
         // Keys gained after PR 4 (the overload counters), PR 6 (the
-        // event-loop gauges), and PR 8 (the durability/panic counters)
-        // decode leniently: a stats frame from an older daemon simply
-        // reports them as zero.
+        // event-loop gauges), PR 8 (the durability/panic counters), and
+        // PR 9 (the telemetry totals) decode leniently: a stats frame
+        // from an older daemon simply reports them as zero.
         let lenient = |key: &str| match v.get(key) {
             None => Ok(0),
             Some(x) => x.as_u64(),
@@ -118,6 +136,8 @@ impl Decode for StatsSnapshot {
             persist_errors: lenient("persist_errors")?,
             persistence_degraded: lenient("persistence_degraded")?,
             panics: lenient("panics")?,
+            traces_recorded: lenient("traces_recorded")?,
+            metrics_samples: lenient("metrics_samples")?,
         })
     }
 }
@@ -177,6 +197,8 @@ mod tests {
         assert_eq!(snap.persist_errors, 0);
         assert_eq!(snap.persistence_degraded, 0);
         assert_eq!(snap.panics, 0);
+        assert_eq!(snap.traces_recorded, 0);
+        assert_eq!(snap.metrics_samples, 0);
     }
 
     #[test]
@@ -203,6 +225,8 @@ mod tests {
             persist_errors: 19,
             persistence_degraded: 1,
             panics: 20,
+            traces_recorded: 21,
+            metrics_samples: 22,
         };
         let back = StatsSnapshot::decode(&snap.encode()).unwrap();
         assert_eq!(back, snap);

@@ -445,6 +445,78 @@ impl CostSource<'_> {
     }
 }
 
+/// Per-synthesis search counters, collected by the wave coordinator.
+///
+/// Every counter is maintained in the *sequential* phases of the search —
+/// the wave pop loop and the commit loop — never inside the parallel
+/// `expand` calls, so profiling adds no atomics to the scatter path and
+/// the numbers are bit-identical across thread counts (wave composition
+/// and merge order are already thread-count independent).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SynthProfile {
+    /// Waves popped from the frontier.
+    pub waves: u64,
+    /// States expanded (the budget the search spends).
+    pub expansions: u64,
+    /// Successors produced by expansion, before commit filtering.
+    pub candidates: u64,
+    /// Candidates that survived every bound and entered the frontier.
+    pub committed: u64,
+    /// Times a complete program improved the incumbent.
+    pub improvements: u64,
+    /// Popped entries skipped because a cheaper path to the same property
+    /// set had already been committed (lazy-deletion hits).
+    pub dominance_stale: u64,
+    /// Candidates rejected by the dominance map at commit time.
+    pub dominance_pruned: u64,
+    /// Candidates rejected because their score could not beat the
+    /// incumbent (branch-and-bound prunes).
+    pub incumbent_pruned: u64,
+    /// Largest frontier observed at a wave boundary.
+    pub frontier_peak: u64,
+    /// State boxes retired into the recycling arena.
+    pub recycled: u64,
+    /// 1 if a warm-start program was accepted as the initial incumbent
+    /// (summed across rounds when profiles are merged).
+    pub warm_seeded: u64,
+}
+
+impl SynthProfile {
+    /// Folds another synthesis run (e.g. a later round of the alternating
+    /// optimization) into this profile.
+    pub fn merge(&mut self, other: &SynthProfile) {
+        self.waves += other.waves;
+        self.expansions += other.expansions;
+        self.candidates += other.candidates;
+        self.committed += other.committed;
+        self.improvements += other.improvements;
+        self.dominance_stale += other.dominance_stale;
+        self.dominance_pruned += other.dominance_pruned;
+        self.incumbent_pruned += other.incumbent_pruned;
+        self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
+        self.recycled += other.recycled;
+        self.warm_seeded += other.warm_seeded;
+    }
+
+    /// The counters as `(name, value)` pairs, in a stable order — the
+    /// shape upper layers use for wire encoding and trace annotations.
+    pub fn entries(&self) -> [(&'static str, u64); 11] {
+        [
+            ("waves", self.waves),
+            ("expansions", self.expansions),
+            ("candidates", self.candidates),
+            ("committed", self.committed),
+            ("improvements", self.improvements),
+            ("dominance_stale", self.dominance_stale),
+            ("dominance_pruned", self.dominance_pruned),
+            ("incumbent_pruned", self.incumbent_pruned),
+            ("frontier_peak", self.frontier_peak),
+            ("recycled", self.recycled),
+            ("warm_seeded", self.warm_seeded),
+        ]
+    }
+}
+
 /// The best complete program found so far.
 struct Incumbent {
     cost: f64,
@@ -518,6 +590,42 @@ pub fn synthesize_with_theory_warm(
     config: &SynthConfig,
     warm_start: Option<&DistProgram>,
 ) -> Result<DistProgram, SynthError> {
+    let mut prof = SynthProfile::default();
+    synthesize_core(graph, theory, devices, profile, ratios, config, warm_start, &mut prof)
+}
+
+/// [`synthesize_with_theory_warm`] that also returns the search's
+/// [`SynthProfile`]. Profiling is collected unconditionally (it is a
+/// handful of coordinator-side counter bumps); this variant merely keeps
+/// the counters instead of dropping them, so profiled and unprofiled
+/// calls run the identical search.
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_with_theory_profiled(
+    graph: &Graph,
+    theory: &Theory,
+    devices: &[VirtualDevice],
+    profile: &CommProfile,
+    ratios: &ShardingRatios,
+    config: &SynthConfig,
+    warm_start: Option<&DistProgram>,
+) -> Result<(DistProgram, SynthProfile), SynthError> {
+    let mut prof = SynthProfile::default();
+    let program =
+        synthesize_core(graph, theory, devices, profile, ratios, config, warm_start, &mut prof)?;
+    Ok((program, prof))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn synthesize_core(
+    graph: &Graph,
+    theory: &Theory,
+    devices: &[VirtualDevice],
+    profile: &CommProfile,
+    ratios: &ShardingRatios,
+    config: &SynthConfig,
+    warm_start: Option<&DistProgram>,
+    prof: &mut SynthProfile,
+) -> Result<DistProgram, SynthError> {
     let cm = CostModel::new(graph, devices, profile, ratios);
     let tables = CostTables::build(&cm);
     let costs = CostSource::Tables(&tables);
@@ -563,6 +671,7 @@ pub fn synthesize_with_theory_warm(
         let warm_cost = replay_cost(warm, &costs, m);
         if incumbent.as_ref().is_none_or(|inc| warm_cost < inc.cost - EPS) {
             incumbent = Some(Incumbent { cost: warm_cost, program: ProgChain::from_program(warm) });
+            prof.warm_seeded = 1;
         }
     }
 
@@ -632,7 +741,10 @@ pub fn synthesize_with_theory_warm(
                 }
             }
             match dominance.bound(&entry.state.props) {
-                Some(c) if c < entry.state.cost() - EPS => continue, // stale
+                Some(c) if c < entry.state.cost() - EPS => {
+                    prof.dominance_stale += 1;
+                    continue; // stale
+                }
                 _ => {}
             }
             wave.push(entry.state);
@@ -641,6 +753,8 @@ pub fn synthesize_with_theory_warm(
             break; // frontier exhausted or optimality proven
         }
         expansions += wave.len();
+        prof.waves += 1;
+        prof.expansions += wave.len() as u64;
 
         // Scatter: expand every wave state in parallel. The dominance map
         // and incumbent are frozen for the duration, so workers only do
@@ -666,11 +780,13 @@ pub fn synthesize_with_theory_warm(
             return budget_fallback(incumbent, expansions);
         }
         // The wave is spent: its boxes seed the next wave's successors.
+        prof.recycled += wave.len() as u64;
         recycle.give(&mut wave);
 
         // Gather: merge the wave's candidates in a stable, thread-count
         // independent order before any of them takes effect.
         let mut candidates: Vec<Candidate> = expanded.into_iter().flatten().collect();
+        prof.candidates += candidates.len() as u64;
         candidates.sort_by(|a, b| {
             a.score
                 .total_cmp(&b.score)
@@ -684,6 +800,7 @@ pub fn synthesize_with_theory_warm(
         for cand in candidates {
             if let Some(inc) = &incumbent {
                 if cand.score >= inc.cost - EPS {
+                    prof.incumbent_pruned += 1;
                     retired.push(cand.state); // cannot beat the incumbent
                     continue;
                 }
@@ -698,15 +815,19 @@ pub fn synthesize_with_theory_warm(
                 incumbent = Some(Incumbent { cost: cand.cost, program });
                 retired.push(state);
                 last_improvement = expansions;
+                prof.improvements += 1;
                 continue;
             }
             if !dominance.try_commit(&cand.state.props, cand.cost) {
+                prof.dominance_pruned += 1;
                 retired.push(cand.state);
                 continue;
             }
             frontier.push(Entry { score: cand.score, seq, state: cand.state });
             seq += 1;
+            prof.committed += 1;
         }
+        prof.recycled += retired.len() as u64;
         recycle.give(&mut retired);
 
         if let Some(beam) = config.beam_width {
@@ -714,6 +835,7 @@ pub fn synthesize_with_theory_warm(
                 frontier.prune_to(beam);
             }
         }
+        prof.frontier_peak = prof.frontier_peak.max(frontier.len() as u64);
     }
 
     if std::env::var_os("HAP_SYNTH_DEBUG").is_some() {

@@ -58,8 +58,8 @@ mod property;
 mod theory;
 
 pub use astar::{
-    synthesize, synthesize_with_theory, synthesize_with_theory_warm, HotPathBench, SynthConfig,
-    SynthError,
+    synthesize, synthesize_with_theory, synthesize_with_theory_profiled,
+    synthesize_with_theory_warm, HotPathBench, SynthConfig, SynthError, SynthProfile,
 };
 pub use cost::{CostModel, CostTables, ShardingRatios, LAUNCH_OVERHEAD};
 pub use instr::fingerprint;

@@ -1,0 +1,190 @@
+//! Log-bucketed latency histograms: HDR-style, constant-size, mergeable.
+//!
+//! Values are nanoseconds. Each power-of-two octave splits into
+//! `1 << SUB_BITS` sub-buckets, bounding relative quantile error at
+//! ~`1 / (1 << SUB_BITS)` (6.25%) while keeping the whole histogram a
+//! fixed array of atomics — recording is one relaxed `fetch_add`, so the
+//! hot path pays a few atomics and nothing else.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 16 buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Bucket count covering the full `u64` range: values below `SUB` get
+/// exact unit buckets, then 60 octaves of `SUB` sub-buckets each.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB as usize;
+
+/// The bucket index holding `v`.
+fn index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64;
+        let base = (msb - SUB_BITS as u64 + 1) << SUB_BITS;
+        let sub = (v >> (msb - SUB_BITS as u64)) - SUB;
+        (base + sub) as usize
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `idx`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    let idx = idx as u64;
+    if idx < SUB {
+        (idx, idx)
+    } else {
+        let msb = (idx >> SUB_BITS) + SUB_BITS as u64 - 1;
+        let sub = idx & (SUB - 1);
+        let width = 1u64 << (msb - SUB_BITS as u64);
+        let lo = (SUB + sub) << (msb - SUB_BITS as u64);
+        (lo, lo + (width - 1))
+    }
+}
+
+/// A fixed-size, thread-safe, mergeable latency histogram.
+///
+/// Quantiles are reported as the *upper bound* of the bucket containing
+/// the requested rank, so `quantile(q)` ≥ the true q-quantile and never
+/// exceeds it by more than one sub-bucket width (~6.25% relative).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        // `AtomicU64` is not Copy; build the array through a Vec.
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets = buckets.into_boxed_slice().try_into().expect("length matches NUM_BUCKETS");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. One relaxed `fetch_add` per aggregate — safe
+    /// to call from any thread, never blocks.
+    pub fn record(&self, v: u64) {
+        self.buckets[index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (exact, not bucketed).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the sample of rank `ceil(q · count)`. Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bounds(idx).1;
+            }
+        }
+        // Racing recorders can leave `count` ahead of the bucket sums for
+        // a moment; fall back to the largest non-empty bucket.
+        self.max()
+    }
+
+    /// Folds `other` into `self`. Merging two histograms is exactly
+    /// equivalent to having recorded both sample streams into one.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// The upper bucket bound a raw sample maps to — the value
+    /// `quantile` would report for a rank landing on this sample. Lets a
+    /// reference computation reproduce histogram quantiles exactly.
+    pub fn bucket_upper_bound(v: u64) -> u64 {
+        bucket_bounds(index(v)).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB {
+            assert_eq!(bucket_bounds(index(v)), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        // Adjacent octave boundaries map to adjacent buckets.
+        let mut prev = index(0);
+        for v in 1..4096u64 {
+            let idx = index(v);
+            assert!(idx == prev || idx == prev + 1, "gap at {v}: {prev} -> {idx}");
+            prev = idx;
+        }
+        assert!(index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_of_known_stream() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 100_000);
+        // p50 covers the 50th sample (50_000ns), reported as its bucket's
+        // upper bound.
+        assert_eq!(h.quantile(0.5), Histogram::bucket_upper_bound(50_000));
+        assert_eq!(h.quantile(0.99), Histogram::bucket_upper_bound(99_000));
+        assert_eq!(h.quantile(1.0), Histogram::bucket_upper_bound(100_000));
+        assert_eq!(h.quantile(0.0), Histogram::bucket_upper_bound(1000));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

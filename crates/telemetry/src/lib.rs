@@ -1,0 +1,196 @@
+//! Telemetry primitives for the HAP plan service.
+//!
+//! Dependency-free building blocks the service layer threads through its
+//! request path:
+//!
+//! * [`Clock`] — an injectable nanosecond time source ([`Clock::Manual`]
+//!   and [`Clock::Step`] make span timelines deterministic in tests).
+//! * [`Histogram`] — HDR-style log-bucketed latency histogram: constant
+//!   size, mergeable, one relaxed atomic increment per sample.
+//! * [`HistMatrix`] — a dense verb × outcome grid of histograms backing
+//!   the `metrics` wire verb.
+//! * [`TraceBuilder`] / [`RequestTrace`] / [`TraceRing`] — per-request
+//!   span timelines retained in a fixed-capacity ring for the `trace`
+//!   wire verb.
+//!
+//! The crate knows nothing about the wire protocol or synthesis: traces
+//! carry generic `(name, value)` annotations so upper layers can fold in
+//! their own counters (synthesis profiles) without a dependency edge.
+
+mod clock;
+mod hist;
+mod trace;
+
+pub use clock::Clock;
+pub use hist::{bucket_bounds, Histogram, NUM_BUCKETS};
+pub use trace::{Outcome, RequestTrace, Span, SpanKind, TraceBuilder, TraceRing, Verb};
+
+/// A dense verb × outcome grid of [`Histogram`]s.
+///
+/// Built once at service startup; recording into a cell is one bucket
+/// index computation plus four relaxed atomic adds.
+#[derive(Debug)]
+pub struct HistMatrix {
+    cells: Vec<Histogram>,
+}
+
+impl Default for HistMatrix {
+    fn default() -> Self {
+        HistMatrix::new()
+    }
+}
+
+impl HistMatrix {
+    pub fn new() -> HistMatrix {
+        let cells = (0..Verb::ALL.len() * Outcome::ALL.len()).map(|_| Histogram::new()).collect();
+        HistMatrix { cells }
+    }
+
+    fn cell(&self, verb: Verb, outcome: Outcome) -> &Histogram {
+        &self.cells[verb.index() * Outcome::ALL.len() + outcome.index()]
+    }
+
+    /// Records one request latency under its verb × outcome cell.
+    pub fn record(&self, verb: Verb, outcome: Outcome, nanos: u64) {
+        self.cell(verb, outcome).record(nanos);
+    }
+
+    /// The histogram for one verb × outcome cell.
+    pub fn get(&self, verb: Verb, outcome: Outcome) -> &Histogram {
+        self.cell(verb, outcome)
+    }
+
+    /// Total samples across every cell.
+    pub fn total_count(&self) -> u64 {
+        self.cells.iter().map(|h| h.count()).sum()
+    }
+
+    /// Visits every non-empty cell in deterministic (verb, outcome)
+    /// order.
+    pub fn for_each_nonempty(&self, mut f: impl FnMut(Verb, Outcome, &Histogram)) {
+        for verb in Verb::ALL {
+            for outcome in Outcome::ALL {
+                let h = self.cell(verb, outcome);
+                if h.count() > 0 {
+                    f(verb, outcome, h);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_cells_are_independent() {
+        let m = HistMatrix::new();
+        m.record(Verb::Plan, Outcome::Hit, 100);
+        m.record(Verb::Plan, Outcome::Miss, 2_000);
+        m.record(Verb::Replan, Outcome::Replan, 30_000);
+        assert_eq!(m.get(Verb::Plan, Outcome::Hit).count(), 1);
+        assert_eq!(m.get(Verb::Plan, Outcome::Miss).count(), 1);
+        assert_eq!(m.get(Verb::Plan, Outcome::Shed).count(), 0);
+        assert_eq!(m.total_count(), 3);
+        let mut seen = Vec::new();
+        m.for_each_nonempty(|v, o, h| seen.push((v, o, h.count())));
+        assert_eq!(
+            seen,
+            vec![
+                (Verb::Plan, Outcome::Hit, 1),
+                (Verb::Plan, Outcome::Miss, 1),
+                (Verb::Replan, Outcome::Replan, 1),
+            ]
+        );
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every sample lands in a bucket whose bounds contain it.
+        #[test]
+        fn bucket_bounds_contain_every_sample(v in 0u64..=u64::MAX) {
+            let h = Histogram::new();
+            h.record(v);
+            let upper = Histogram::bucket_upper_bound(v);
+            prop_assert!(upper >= v);
+            // The reported quantile for the single sample is that bound.
+            prop_assert_eq!(h.quantile(1.0), upper);
+            // The bound overshoots by at most one sub-bucket width
+            // (~6.25% relative) above the exact-bucket range.
+            if v >= 16 {
+                prop_assert!(upper - v < v / 8 + 1);
+            } else {
+                prop_assert_eq!(upper, v);
+            }
+        }
+
+        /// Quantiles never decrease as q increases.
+        #[test]
+        fn quantiles_are_monotone(
+            samples in prop::collection::vec(0u64..1 << 40, 1..200),
+            qs in prop::collection::vec(0.0f64..=1.0, 2..8),
+        ) {
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut qs = qs;
+            qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let values: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+            for w in values.windows(2) {
+                prop_assert!(w[0] <= w[1], "quantiles regressed: {:?}", values);
+            }
+        }
+
+        /// Merging two histograms is indistinguishable from recording
+        /// both streams into one.
+        #[test]
+        fn merge_equals_concat(
+            xs in prop::collection::vec(0u64..=u64::MAX, 0..100),
+            ys in prop::collection::vec(0u64..=u64::MAX, 0..100),
+        ) {
+            let a = Histogram::new();
+            let b = Histogram::new();
+            let c = Histogram::new();
+            for &x in &xs {
+                a.record(x);
+                c.record(x);
+            }
+            for &y in &ys {
+                b.record(y);
+                c.record(y);
+            }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), c.count());
+            prop_assert_eq!(a.sum(), c.sum());
+            prop_assert_eq!(a.max(), c.max());
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(a.quantile(q), c.quantile(q));
+            }
+        }
+
+        /// The reported quantile matches a reference computation over the
+        /// raw samples mapped through the same bucket bounds.
+        #[test]
+        fn quantile_matches_reference(
+            samples in prop::collection::vec(0u64..1 << 48, 1..150),
+            q in 0.0f64..=1.0,
+        ) {
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut reference: Vec<u64> =
+                samples.iter().map(|&s| Histogram::bucket_upper_bound(s)).collect();
+            reference.sort_unstable();
+            let rank = ((q * reference.len() as f64).ceil() as usize).clamp(1, reference.len());
+            prop_assert_eq!(h.quantile(q), reference[rank - 1]);
+        }
+    }
+}
