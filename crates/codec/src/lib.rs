@@ -50,19 +50,22 @@
 mod diff;
 mod json;
 mod record;
+mod ring;
 mod stream;
 mod wire;
 
 pub use diff::PlanDiff;
 pub use json::{parse, CodecError, Value};
 pub use record::{
-    parse_persist_line, persist_line, CachedPlan, PERSIST_VERSION, PERSIST_VERSION_COMPAT,
+    parse_persist_line, parse_persist_line_full, persist_line, persist_line_with_req, CachedPlan,
+    PERSIST_VERSION, PERSIST_VERSION_COMPAT,
 };
+pub use ring::RingInfo;
 pub use stream::{
     encode_stream, is_stream_frame, stream_digest, StreamDecoder, StreamEvent, STREAM_CHUNK_BYTES,
 };
 pub use wire::{
     parse_fingerprint, render_fingerprint, request_fingerprint, request_fingerprint_values,
     value_fingerprint, Decode, Encode, WireError, BUSY_KIND, DELTA_KIND, INTERNAL_KIND,
-    UNKNOWN_FINGERPRINT_KIND,
+    NOT_OWNER_KIND, UNKNOWN_FINGERPRINT_KIND,
 };

@@ -149,18 +149,34 @@ impl Decode for CachedPlan {
     }
 }
 
-/// The record body (`{"fp":...,"plan":{...}}`) the v3 checksum covers.
-fn record_body(fp: u64, plan: &CachedPlan) -> Value {
-    Value::obj(vec![("fp", Value::Str(render_fingerprint(fp))), ("plan", plan.encode())])
+/// The record body (`{"fp":...,"plan":{...}}`, optionally followed by a
+/// `"req"` field) the v3 checksum covers.
+fn record_body(fp: u64, plan: &CachedPlan, req: Option<&Value>) -> Value {
+    let mut fields = vec![("fp", Value::Str(render_fingerprint(fp))), ("plan", plan.encode())];
+    if let Some(req) = req {
+        fields.push(("req", req.clone()));
+    }
+    Value::obj(fields)
 }
 
 /// Renders one persisted cache line in the current (versioned, checksummed)
 /// format.
 pub fn persist_line(fp: u64, plan: &CachedPlan) -> String {
-    let body = record_body(fp, plan);
+    persist_line_with_req(fp, plan, None)
+}
+
+/// Renders one persisted cache line, optionally embedding the request that
+/// produced the plan as a `"req"` field (the
+/// `{"graph":...,"cluster":...,"options":...}` triple). The field extends
+/// the v3 format compatibly in both directions: the checksum covers
+/// whichever fields are present, older v3 readers ignore the extra key, and
+/// lines without it still parse here. The replan index is rebuilt from it
+/// at boot, so `replan` keeps answering across daemon restarts.
+pub fn persist_line_with_req(fp: u64, plan: &CachedPlan, req: Option<&Value>) -> String {
+    let body = record_body(fp, plan, req);
     let sum = value_fingerprint(&body);
     // Splicing after the body's opening brace reproduces exactly the
-    // canonical rendering of the four-field object (the body keeps its
+    // canonical rendering of the full object (the body keeps its
     // byte-for-byte form, which is what the checksum covers).
     let rendered = body.render();
     format!("{{\"v\":{PERSIST_VERSION},\"sum\":\"{}\",{}", render_fingerprint(sum), &rendered[1..])
@@ -193,6 +209,15 @@ fn verify_checksum(v: &Value) -> Result<(), CodecError> {
 /// format, neither checksummed). A v3 line whose checksum does not match
 /// its body is rejected as corrupt. Unknown future versions are an error.
 pub fn parse_persist_line(line: &str) -> Result<(u64, CachedPlan), CodecError> {
+    let (fp, plan, _) = parse_persist_line_full(line)?;
+    Ok((fp, plan))
+}
+
+/// Like [`parse_persist_line`] but also surfaces the record's optional
+/// `"req"` field — the request triple that produced the plan, when the
+/// writer embedded one. Lines from writers that never stored it (and all
+/// legacy formats) return `None`.
+pub fn parse_persist_line_full(line: &str) -> Result<(u64, CachedPlan, Option<Value>), CodecError> {
     let v = crate::json::parse(line)?;
     // Only v3 writers emit a checksum. A record that carries one but does
     // not identify as v3 — say a v3 line whose version byte was flipped to
@@ -226,5 +251,6 @@ pub fn parse_persist_line(line: &str) -> Result<(u64, CachedPlan), CodecError> {
     }
     let fp = parse_fingerprint(v.field("fp")?.as_str()?)?;
     let plan = CachedPlan::decode(v.field("plan")?)?;
-    Ok((fp, plan))
+    let req = v.get("req").cloned();
+    Ok((fp, plan, req))
 }

@@ -1,0 +1,108 @@
+//! Wire form of the cluster's consistent-hash ring membership.
+//!
+//! A `hap-cluster` deployment runs N daemons that each own a slice of the
+//! fingerprint space. The ring is fully determined by a small membership
+//! record — the epoch, the member addresses, and the two ring parameters
+//! (vnode count and replication factor) — because every party rebuilds the
+//! token map deterministically from it (FNV-1a over `"{addr}#{vnode}"`, see
+//! `hap_service::ring`). Shipping the membership instead of the expanded
+//! token map keeps `ring` frames small and makes token-map disagreement
+//! impossible: two holders of the same [`RingInfo`] always compute the same
+//! owners for every fingerprint.
+
+use crate::json::{CodecError, Value};
+use crate::wire::{Decode, Encode};
+
+/// One ring-membership record: everything needed to rebuild the token map.
+///
+/// `epoch` totally orders memberships — a daemon installs a new record only
+/// when its epoch exceeds the current one, and clients treat a higher epoch
+/// in a `not_owner` redirect as "refresh your table". Epoch `0` is reserved
+/// for "no ring installed" (single-daemon behavior).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingInfo {
+    /// Monotonic membership version; assigned by whoever drives membership
+    /// changes (an operator or the test harness), never by the daemons.
+    pub epoch: u64,
+    /// Virtual nodes per member: more vnodes, smoother ownership spread.
+    pub vnodes: u32,
+    /// Number of distinct owners each fingerprint replicates to (K).
+    pub replication: u32,
+    /// Member daemon addresses (`host:port`), as clients can reach them.
+    pub members: Vec<String>,
+}
+
+impl RingInfo {
+    /// The empty ring: epoch 0, no members — what an uninstalled daemon
+    /// reports.
+    pub fn empty(vnodes: u32, replication: u32) -> Self {
+        RingInfo { epoch: 0, vnodes, replication, members: Vec::new() }
+    }
+
+    /// True when no membership has been installed.
+    pub fn is_empty(&self) -> bool {
+        self.epoch == 0 || self.members.is_empty()
+    }
+}
+
+impl Encode for RingInfo {
+    fn encode(&self) -> Value {
+        Value::obj(vec![
+            ("epoch", Value::int(self.epoch)),
+            ("vnodes", Value::int(self.vnodes as u64)),
+            ("replication", Value::int(self.replication as u64)),
+            ("members", self.members.encode()),
+        ])
+    }
+}
+
+impl Decode for RingInfo {
+    fn decode(v: &Value) -> Result<Self, CodecError> {
+        let vnodes = v.field("vnodes")?.as_u64()?;
+        let replication = v.field("replication")?.as_u64()?;
+        let narrow = |n: u64, what: &str| -> Result<u32, CodecError> {
+            u32::try_from(n).map_err(|_| CodecError::Decode(format!("{what} out of range: {n}")))
+        };
+        Ok(RingInfo {
+            epoch: v.field("epoch")?.as_u64()?,
+            vnodes: narrow(vnodes, "ring vnodes")?,
+            replication: narrow(replication, "ring replication")?,
+            members: Vec::<String>::decode(v.field("members")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn ring_info_round_trips_canonically() {
+        let info = RingInfo {
+            epoch: 7,
+            vnodes: 64,
+            replication: 2,
+            members: vec!["127.0.0.1:7641".into(), "127.0.0.1:7642".into()],
+        };
+        let text = info.encode().render();
+        let back = RingInfo::decode(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, info);
+        assert_eq!(back.encode().render(), text);
+    }
+
+    #[test]
+    fn empty_ring_reports_uninstalled() {
+        let info = RingInfo::empty(64, 2);
+        assert!(info.is_empty());
+        assert_eq!(info.epoch, 0);
+        let back = RingInfo::decode(&parse(&info.encode().render()).unwrap()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn oversized_ring_parameters_are_rejected() {
+        let line = "{\"epoch\":1,\"vnodes\":4294967296,\"replication\":2,\"members\":[\"a:1\"]}";
+        assert!(RingInfo::decode(&parse(line).unwrap()).is_err());
+    }
+}

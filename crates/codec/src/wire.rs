@@ -869,15 +869,36 @@ pub struct WireError {
     /// Only `busy` frames carry it; absent on every other kind (and on
     /// frames produced by pre-`busy` daemons, which decode fine).
     pub retry_after_ms: Option<u64>,
+    /// Redirect target: the address of the daemon that owns the request's
+    /// fingerprint on the cluster ring. Only `not_owner` frames carry it.
+    pub owner: Option<String>,
+    /// The responding daemon's current ring-membership epoch. Only
+    /// `not_owner` frames carry it; a client holding a smaller epoch should
+    /// refresh its ring table before retrying.
+    pub ring_epoch: Option<u64>,
 }
 
 /// The stable kind tag of an overload (load-shedding) frame.
 pub const BUSY_KIND: &str = "busy";
 
+/// The stable kind tag of a cluster-routing redirect: the responding daemon
+/// does not own the request's fingerprint range and the client's ring table
+/// is stale. The frame names the current `owner` address and the daemon's
+/// `ring_epoch`; clients refresh their ring table and resend to the owner.
+/// The request was never executed, so an identical retry at the owner is
+/// safe.
+pub const NOT_OWNER_KIND: &str = "not_owner";
+
 impl WireError {
     /// Builds a frame from any kind tag and message.
     pub fn new(kind: impl Into<String>, message: impl Into<String>) -> Self {
-        WireError { kind: kind.into(), message: message.into(), retry_after_ms: None }
+        WireError {
+            kind: kind.into(),
+            message: message.into(),
+            retry_after_ms: None,
+            owner: None,
+            ring_epoch: None,
+        }
     }
 
     /// Builds an overload frame: the daemon's synthesis queue is full and
@@ -887,6 +908,21 @@ impl WireError {
             kind: BUSY_KIND.into(),
             message: format!("synthesis queue full ({queue_depth} jobs queued); retry later"),
             retry_after_ms: Some(retry_after_ms),
+            owner: None,
+            ring_epoch: None,
+        }
+    }
+
+    /// Builds a cluster-routing redirect: the request's fingerprint belongs
+    /// to `owner` under the responding daemon's ring at `ring_epoch`.
+    pub fn not_owner(owner: impl Into<String>, ring_epoch: u64) -> Self {
+        let owner = owner.into();
+        WireError {
+            kind: NOT_OWNER_KIND.into(),
+            message: format!("fingerprint is owned by {owner} at ring epoch {ring_epoch}"),
+            retry_after_ms: None,
+            owner: Some(owner),
+            ring_epoch: Some(ring_epoch),
         }
     }
 
@@ -894,6 +930,11 @@ impl WireError {
     /// an identical retry can succeed).
     pub fn is_busy(&self) -> bool {
         self.kind == BUSY_KIND
+    }
+
+    /// True when this frame redirects to the fingerprint's ring owner.
+    pub fn is_not_owner(&self) -> bool {
+        self.kind == NOT_OWNER_KIND
     }
 }
 
@@ -971,6 +1012,14 @@ impl Encode for WireError {
         if let Some(ms) = self.retry_after_ms {
             fields.push(("retry_after_ms", Value::int(ms)));
         }
+        // Same rule for the redirect fields: only `not_owner` frames carry
+        // them, so every pre-cluster frame keeps its canonical bytes.
+        if let Some(owner) = &self.owner {
+            fields.push(("owner", owner.encode()));
+        }
+        if let Some(epoch) = self.ring_epoch {
+            fields.push(("ring_epoch", Value::int(epoch)));
+        }
         Value::obj(fields)
     }
 }
@@ -981,10 +1030,20 @@ impl Decode for WireError {
             None | Some(Value::Null) => None,
             Some(ms) => Some(ms.as_u64()?),
         };
+        let owner = match v.get("owner") {
+            None | Some(Value::Null) => None,
+            Some(addr) => Some(String::decode(addr)?),
+        };
+        let ring_epoch = match v.get("ring_epoch") {
+            None | Some(Value::Null) => None,
+            Some(epoch) => Some(epoch.as_u64()?),
+        };
         Ok(WireError {
             kind: String::decode(v.field("kind")?)?,
             message: String::decode(v.field("message")?)?,
             retry_after_ms,
+            owner,
+            ring_epoch,
         })
     }
 }

@@ -86,15 +86,32 @@ impl Assertion {
         Some(Assertion { key: key.into(), bound: v.parse().ok()?, op: AssertOp::Exact })
     }
 
-    fn check(&self, stats: &hap_service::StatsSnapshot) -> Result<(), String> {
+    fn check(
+        &self,
+        stats: &hap_service::StatsSnapshot,
+        raw: &hap_codec::Value,
+    ) -> Result<(), String> {
         // One source of truth for valid keys: the snapshot's own wire
         // field list (new counters become assertable automatically).
-        let actual = stats
-            .fields()
-            .into_iter()
-            .find(|(k, _)| *k == self.key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("unknown stats key `{}`", self.key))?;
+        if !stats.fields().into_iter().any(|(k, _)| k == self.key) {
+            return Err(format!("unknown stats key `{}`", self.key));
+        }
+        // Assert against the daemon's actual reply, not the lenient
+        // decode: a daemon that predates this key never sent it, and the
+        // decoder's absent-reads-as-0 would make `key<=N` pass — and
+        // `key>=N` fail with a bogus "is 0" — against a daemon that
+        // cannot count it at all.
+        let actual = match raw.get(&self.key) {
+            Some(v) => {
+                v.as_u64().map_err(|e| format!("stats key `{}` is not a counter: {e}", self.key))?
+            }
+            None => {
+                return Err(format!(
+                    "the daemon's stats reply carries no `{}` (daemon predates this key?)",
+                    self.key
+                ))
+            }
+        };
         let ok = match self.op {
             AssertOp::Exact => actual == self.bound,
             AssertOp::AtLeast => actual >= self.bound,
@@ -296,8 +313,8 @@ fn main() -> ExitCode {
         }
     };
     if show_stats || !assertions.is_empty() {
-        let stats = match client.stats() {
-            Ok(s) => s,
+        let (stats, raw) = match client.stats_with_raw() {
+            Ok(pair) => pair,
             Err(e) => {
                 eprintln!("hap-client: stats: {e}");
                 return ExitCode::FAILURE;
@@ -305,7 +322,7 @@ fn main() -> ExitCode {
         };
         println!("hap-client: stats {stats:?}");
         for a in &assertions {
-            if let Err(msg) = a.check(&stats) {
+            if let Err(msg) = a.check(&stats, &raw) {
                 eprintln!("hap-client: assertion failed: {msg}");
                 return ExitCode::FAILURE;
             }
@@ -337,10 +354,23 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hap_codec::{Encode, Value};
     use hap_service::StatsSnapshot;
 
     fn parsed(text: &str) -> Assertion {
         Assertion::parse(text).unwrap_or_else(|| panic!("`{text}` should parse"))
+    }
+
+    /// The raw wire frame a current daemon would send for `stats`.
+    fn raw_of(stats: &StatsSnapshot) -> Value {
+        stats.encode()
+    }
+
+    /// The raw wire frame of an old daemon that predates `keys`: the
+    /// current encoding with those keys stripped.
+    fn old_daemon_frame(stats: &StatsSnapshot, missing: &[&str]) -> Value {
+        let Value::Obj(fields) = stats.encode() else { panic!("stats encodes as an object") };
+        Value::Obj(fields.into_iter().filter(|(k, _)| !missing.contains(&k.as_str())).collect())
     }
 
     #[test]
@@ -359,21 +389,51 @@ mod tests {
     #[test]
     fn at_most_checks_the_upper_bound() {
         let stats = StatsSnapshot { errors: 2, ..StatsSnapshot::default() };
-        assert!(parsed("errors<=2").check(&stats).is_ok());
-        assert!(parsed("errors<=1").check(&stats).is_err());
-        assert!(parsed("errors>=2").check(&stats).is_ok());
-        assert!(parsed("errors=2").check(&stats).is_ok());
+        let raw = raw_of(&stats);
+        assert!(parsed("errors<=2").check(&stats, &raw).is_ok());
+        assert!(parsed("errors<=1").check(&stats, &raw).is_err());
+        assert!(parsed("errors>=2").check(&stats, &raw).is_ok());
+        assert!(parsed("errors=2").check(&stats, &raw).is_ok());
     }
 
     #[test]
     fn every_wire_field_is_an_assertable_key() {
         let stats = StatsSnapshot::default();
+        let raw = raw_of(&stats);
         for (key, _) in stats.fields() {
             assert!(
-                parsed(&format!("{key}=0")).check(&stats).is_ok(),
+                parsed(&format!("{key}=0")).check(&stats, &raw).is_ok(),
                 "key `{key}` should be assertable"
             );
         }
-        assert!(parsed("bogus=0").check(&stats).is_err());
+        assert!(parsed("bogus=0").check(&stats, &raw).is_err());
+    }
+
+    #[test]
+    fn absent_keys_fail_clearly_instead_of_reading_zero() {
+        // An old daemon never sent the cluster counters; the lenient
+        // snapshot decode reads them as 0. Every operator — including the
+        // ones 0 would satisfy — must fail with an "absent" diagnostic,
+        // not silently compare against the decoder's filler.
+        let stats = StatsSnapshot::default();
+        let raw = old_daemon_frame(&stats, &["proxied", "redirected", "ring_epoch"]);
+        for assertion in ["proxied<=0", "proxied>=0", "proxied=0", "redirected<=5", "ring_epoch>=1"]
+        {
+            let err = parsed(assertion)
+                .check(&stats, &raw)
+                .expect_err("assertion on an absent key must fail");
+            assert!(
+                err.contains("carries no"),
+                "`{assertion}` should report the key as absent, got: {err}"
+            );
+        }
+        // Keys the old daemon *did* send keep working, both directions.
+        let stats = StatsSnapshot { hits: 7, ..StatsSnapshot::default() };
+        let raw = old_daemon_frame(&stats, &["proxied"]);
+        assert!(parsed("hits>=7").check(&stats, &raw).is_ok());
+        assert!(parsed("hits<=7").check(&stats, &raw).is_ok());
+        assert!(parsed("hits>=8").check(&stats, &raw).is_err());
+        // A typo is still "unknown", not "absent".
+        assert!(parsed("bogus=0").check(&stats, &raw).unwrap_err().contains("unknown"));
     }
 }

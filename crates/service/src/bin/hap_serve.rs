@@ -9,6 +9,7 @@
 //!           [--idle-timeout-ms N] [--max-line-bytes N]
 //!           [--write-buffer-cap N] [--no-telemetry]
 //!           [--trace-ring-capacity N]
+//!           [--ring-vnodes N] [--replication K]
 //! ```
 //!
 //! Prints one `hap-serve: listening on <addr>` line once the socket is
@@ -26,7 +27,8 @@ fn usage() -> ExitCode {
          [--fsync always|every-n[=K]|never] [--no-warm-start] \
          [--no-admission] [--default-ttl-ms N] [--max-queue-depth N] \
          [--busy-retry-ms N] [--idle-timeout-ms N] [--max-line-bytes N] \
-         [--write-buffer-cap N] [--no-telemetry] [--trace-ring-capacity N]"
+         [--write-buffer-cap N] [--no-telemetry] [--trace-ring-capacity N] \
+         [--ring-vnodes N] [--replication K]"
     );
     ExitCode::FAILURE
 }
@@ -109,6 +111,18 @@ fn main() -> ExitCode {
                 Err(()) => return usage(),
             },
             "--no-telemetry" => config.telemetry = false,
+            "--ring-vnodes" => match value("--ring-vnodes")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad vnode count: {e}")))
+            {
+                Ok(n) => config.ring_vnodes = n,
+                Err(()) => return usage(),
+            },
+            "--replication" => match value("--replication")
+                .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad replication: {e}")))
+            {
+                Ok(k) => config.ring_replication = k,
+                Err(()) => return usage(),
+            },
             "--trace-ring-capacity" => match value("--trace-ring-capacity")
                 .and_then(|v| v.parse().map_err(|e| eprintln!("hap-serve: bad capacity: {e}")))
             {

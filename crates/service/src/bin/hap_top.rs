@@ -171,3 +171,50 @@ fn main() -> ExitCode {
         std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Zero-sample regression: a fresh or `--no-telemetry` daemon yields
+    /// an empty metrics snapshot, and the screen must say so instead of
+    /// fabricating a latency row (p50/p99 of nothing) or dividing by a
+    /// zero sample count.
+    #[test]
+    fn zero_sample_screen_renders_placeholders_not_bogus_quantiles() {
+        let screen = render(&StatsSnapshot::default(), &MetricsSnapshot::default(), &[]);
+        assert!(screen.contains("latency (0 samples recorded):"));
+        assert!(screen.contains("(no samples — telemetry disabled or no requests yet)"));
+        assert!(screen.contains("(none)"), "the empty trace pane says so");
+        assert!(!screen.contains("NaN") && !screen.contains("inf"), "{screen}");
+        // The latency table holds exactly its header and the placeholder —
+        // no data row was invented for a series that never recorded.
+        let table: Vec<&str> = screen
+            .lines()
+            .skip_while(|l| !l.starts_with("latency ("))
+            .take_while(|l| !l.is_empty())
+            .collect();
+        assert_eq!(table.len(), 3, "header line, column line, placeholder: {table:?}");
+    }
+
+    #[test]
+    fn populated_series_render_one_row_each() {
+        let metrics = MetricsSnapshot {
+            traces_recorded: 2,
+            series: vec![hap_service::MetricsSeries {
+                verb: "plan".into(),
+                outcome: "hit".into(),
+                count: 2,
+                p50_ns: 1_500_000,
+                p90_ns: 2_000_000,
+                p99_ns: 2_000_000,
+                max_ns: 2_000_000,
+                sum_ns: 3_500_000,
+            }],
+        };
+        let screen = render(&StatsSnapshot::default(), &metrics, &[]);
+        assert!(screen.contains("latency (2 samples recorded):"));
+        assert!(screen.contains("plan") && screen.contains("1.500"));
+        assert!(!screen.contains("no samples"));
+    }
+}

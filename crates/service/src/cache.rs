@@ -48,11 +48,12 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use hap_cluster::{ClusterSpec, Granularity};
-use hap_codec::CodecError;
-pub use hap_codec::{parse_persist_line, persist_line, CachedPlan};
+pub use hap_codec::CachedPlan;
+use hap_codec::{parse_persist_line_full, persist_line_with_req, CodecError, Value};
 
 use crate::config::FsyncPolicy;
 use crate::faults::{self, Fault};
+use crate::replan::ReplanIndex;
 use crate::sync::lock_recover;
 
 /// Cache shards. A power of two so the fingerprint masks cleanly; 16 keeps
@@ -416,6 +417,18 @@ pub struct LoadOutcome {
 /// before appending again — [`PersistLog::start`] does — so a later
 /// append can never concatenate onto a partial line.
 pub fn load_cache(cache: &PlanCache, path: &Path) -> Result<LoadOutcome, CodecError> {
+    load_cache_with_requests(cache, path, &mut |_, _| {})
+}
+
+/// [`load_cache`] plus request-triple recovery: records that embed a
+/// `"req"` field (see [`hap_codec::persist_line_with_req`]) surface it
+/// through `on_request`, which the service uses to rebuild the replan
+/// index at boot — `replan` then keeps answering across restarts.
+pub(crate) fn load_cache_with_requests(
+    cache: &PlanCache,
+    path: &Path,
+    on_request: &mut dyn FnMut(u64, Value),
+) -> Result<LoadOutcome, CodecError> {
     let data = match std::fs::read(path) {
         Ok(d) => d,
         // A missing file is simply an empty cache (first boot).
@@ -436,13 +449,16 @@ pub fn load_cache(cache: &PlanCache, path: &Path) -> Result<LoadOutcome, CodecEr
                 if line.trim().is_empty() {
                     Ok(None)
                 } else {
-                    parse_persist_line(line).map(Some)
+                    parse_persist_line_full(line).map(Some)
                 }
             });
         match parsed {
             Ok(None) => {}
-            Ok(Some((fp, plan))) => {
+            Ok(Some((fp, plan, req))) => {
                 cache.insert(fp, Arc::new(plan));
+                if let Some(req) = req {
+                    on_request(fp, req);
+                }
                 loaded += 1;
             }
             Err(_) if !terminated => {
@@ -499,14 +515,18 @@ fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
 /// new one — never a mix, never nothing (the failure mode of the
 /// PR-4-era `File::create` rewrite, which zeroed the live log before
 /// writing a byte).
-fn write_log_atomic(path: &Path, entries: &[(u64, Arc<CachedPlan>)]) -> std::io::Result<()> {
+fn write_log_atomic(
+    path: &Path,
+    entries: &[(u64, Arc<CachedPlan>)],
+    req_for: &dyn Fn(u64) -> Option<Value>,
+) -> std::io::Result<()> {
     let tmp = tmp_sibling(path);
     if let Some(fault) = faults::hit(faults::COMPACT_CREATE) {
         return Err(fault.into_io_error());
     }
     let mut out = File::create(&tmp)?;
     for (fp, plan) in entries {
-        let line = persist_line(*fp, plan);
+        let line = persist_line_with_req(*fp, plan, req_for(*fp).as_ref());
         match faults::hit(faults::COMPACT_WRITE) {
             Some(Fault::ShortWrite(n)) => {
                 let cut = n.min(line.len());
@@ -544,9 +564,21 @@ fn write_log_atomic(path: &Path, entries: &[(u64, Arc<CachedPlan>)]) -> std::io:
 /// `.tmp` sibling is left behind, and the next successful compaction
 /// replaces it.
 pub fn compact_log(cache: &PlanCache, path: &Path) -> std::io::Result<()> {
+    compact_log_with(cache, path, &|_| None)
+}
+
+/// [`compact_log`] plus request-triple preservation: entries whose
+/// fingerprint `req_for` can resolve (normally from the live replan
+/// index) are rewritten with their `"req"` field, so compaction never
+/// strips the restart-recovery data an append stored.
+pub(crate) fn compact_log_with(
+    cache: &PlanCache,
+    path: &Path,
+    req_for: &dyn Fn(u64) -> Option<Value>,
+) -> std::io::Result<()> {
     let mut entries = cache.snapshot();
     entries.sort_by_key(|(fp, _)| *fp);
-    write_log_atomic(path, &entries)
+    write_log_atomic(path, &entries, req_for)
 }
 
 // ---------------------------------------------------------------------------
@@ -581,6 +613,10 @@ pub struct PersistLog {
     state: Mutex<PersistState>,
     degraded: AtomicBool,
     errors: AtomicU64,
+    /// The live replan index, when the service shares it: compactions
+    /// (boot, degraded-mode re-probes) then re-embed each entry's request
+    /// triple instead of stripping it.
+    replans: Option<Arc<Mutex<ReplanIndex>>>,
 }
 
 impl PersistLog {
@@ -588,12 +624,33 @@ impl PersistLog {
     /// An I/O failure does not refuse to start: the log begins degraded
     /// (memory-only) and re-probes on later appends.
     pub fn start(cache: &PlanCache, path: PathBuf, policy: FsyncPolicy) -> PersistLog {
+        Self::build(cache, path, policy, None)
+    }
+
+    /// [`PersistLog::start`] wired to the service's replan index, so
+    /// compactions preserve the `"req"` fields the index is rebuilt from.
+    pub(crate) fn start_with_index(
+        cache: &PlanCache,
+        path: PathBuf,
+        policy: FsyncPolicy,
+        replans: Arc<Mutex<ReplanIndex>>,
+    ) -> PersistLog {
+        Self::build(cache, path, policy, Some(replans))
+    }
+
+    fn build(
+        cache: &PlanCache,
+        path: PathBuf,
+        policy: FsyncPolicy,
+        replans: Option<Arc<Mutex<ReplanIndex>>>,
+    ) -> PersistLog {
         let log = PersistLog {
             path,
             policy,
             state: Mutex::new(PersistState { file: None, unsynced: 0 }),
             degraded: AtomicBool::new(false),
             errors: AtomicU64::new(0),
+            replans,
         };
         let mut state = lock_recover(&log.state);
         if !log.reopen(&mut state, cache) {
@@ -602,6 +659,14 @@ impl PersistLog {
         }
         drop(state);
         log
+    }
+
+    /// The request triple recorded for `fp`, in the persist-record `"req"`
+    /// form, when an index is attached and still remembers it.
+    fn req_for(&self, fp: u64) -> Option<Value> {
+        let replans = self.replans.as_ref()?;
+        let triple = lock_recover(replans).get(fp)?;
+        Some(triple.encode_req())
     }
 
     /// The log file path.
@@ -626,11 +691,24 @@ impl PersistLog {
     /// degraded this is the re-probe: it attempts a full atomic rewrite
     /// from `cache`, resuming normal appends on success.
     pub fn append(&self, cache: &PlanCache, fp: u64, plan: &CachedPlan) -> bool {
+        self.append_with_req(cache, fp, plan, None)
+    }
+
+    /// [`PersistLog::append`] with the request triple embedded in the
+    /// record's `"req"` field, making the entry replan-recoverable after
+    /// a restart. `None` writes a plain (still fully valid) record.
+    pub(crate) fn append_with_req(
+        &self,
+        cache: &PlanCache,
+        fp: u64,
+        plan: &CachedPlan,
+        req: Option<&Value>,
+    ) -> bool {
         let mut state = lock_recover(&self.state);
         if state.file.is_none() {
             return self.try_resume(&mut state, cache);
         }
-        let line = persist_line(fp, plan);
+        let line = persist_line_with_req(fp, plan, req);
         let result = {
             let PersistState { file, unsynced } = &mut *state;
             let file = file.as_mut().expect("checked above");
@@ -717,7 +795,7 @@ impl PersistLog {
     }
 
     fn reopen(&self, state: &mut PersistState, cache: &PlanCache) -> bool {
-        let opened = compact_log(cache, &self.path)
+        let opened = compact_log_with(cache, &self.path, &|fp| self.req_for(fp))
             .and_then(|()| OpenOptions::new().append(true).open(&self.path));
         match opened {
             Ok(file) => {

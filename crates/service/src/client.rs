@@ -1,17 +1,21 @@
-//! A blocking line-protocol client for the planning daemon.
+//! A blocking line-protocol client for the planning daemon, plus the
+//! ring-aware [`ClusterClient`] that routes requests across a cluster of
+//! daemons by fingerprint ownership.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 use hap::HapOptions;
 use hap_cluster::{ClusterDelta, ClusterSpec};
 use hap_codec::{
-    is_stream_frame, parse, parse_fingerprint, render_fingerprint, Decode, Encode, PlanDiff,
-    StreamDecoder, StreamEvent, Value, WireError,
+    is_stream_frame, parse, parse_fingerprint, render_fingerprint, request_fingerprint_values,
+    Decode, Encode, PlanDiff, RingInfo, StreamDecoder, StreamEvent, Value, WireError,
 };
 use hap_graph::Graph;
 use hap_synthesis::{DistProgram, ShardingRatios};
 
+use crate::ring::Ring;
 use crate::stats::StatsSnapshot;
 use crate::telemetry::{decode_trace, MetricsSnapshot};
 use hap_telemetry::RequestTrace;
@@ -120,6 +124,11 @@ pub struct Client {
     io_retries: u64,
     /// Stream chunk frames reassembled so far.
     stream_chunks: u64,
+    /// The membership epoch stamped onto plan/replan requests (`None` =
+    /// unstamped). A stamp tells the daemon "I routed with this ring":
+    /// at a different epoch than the daemon's own, the daemon answers
+    /// with a `not_owner` redirect instead of proxying.
+    ring_epoch: Option<u64>,
 }
 
 impl Client {
@@ -139,7 +148,15 @@ impl Client {
             busy_retries: 0,
             io_retries: 0,
             stream_chunks: 0,
+            ring_epoch: None,
         })
+    }
+
+    /// Sets (or clears) the membership epoch stamped onto plan/replan
+    /// requests. Used by [`ClusterClient`]; plain single-daemon clients
+    /// leave requests unstamped.
+    pub fn set_ring_epoch(&mut self, epoch: Option<u64>) {
+        self.ring_epoch = epoch;
     }
 
     /// Replaces a dead connection with a fresh one to the same daemon.
@@ -295,6 +312,9 @@ impl Client {
         if stream {
             fields.push(("stream", Value::Bool(true)));
         }
+        if let Some(epoch) = self.ring_epoch {
+            fields.push(("epoch", Value::int(epoch)));
+        }
         let v = self.round_trip(fields)?;
         decode_plan_reply(&v)
     }
@@ -333,6 +353,9 @@ impl Client {
         }
         if stream {
             fields.push(("stream", Value::Bool(true)));
+        }
+        if let Some(epoch) = self.ring_epoch {
+            fields.push(("epoch", Value::int(epoch)));
         }
         let v = self.round_trip(fields)?;
         let plan = decode_plan_reply(&v)?;
@@ -434,8 +457,39 @@ impl Client {
 
     /// Fetches the daemon's counters.
     pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
+        self.stats_with_raw().map(|(snapshot, _)| snapshot)
+    }
+
+    /// [`Client::stats`] plus the raw `stats` object from the wire.
+    /// [`StatsSnapshot::decode`] is deliberately lenient — a key a daemon
+    /// predates reads as 0 — so callers asserting on specific keys (the
+    /// CLI's `--assert`) consult the raw frame to distinguish "absent"
+    /// from "zero".
+    pub fn stats_with_raw(&mut self) -> Result<(StatsSnapshot, Value), WireError> {
         let v = self.round_trip(vec![("op", Value::Str("stats".into()))])?;
-        StatsSnapshot::decode(v.field("stats").map_err(WireError::from)?).map_err(WireError::from)
+        let raw = v.field("stats").map_err(WireError::from)?.clone();
+        let snapshot = StatsSnapshot::decode(&raw).map_err(WireError::from)?;
+        Ok((snapshot, raw))
+    }
+
+    /// Fetches the daemon's ring view: the membership record (empty at
+    /// epoch 0 when none is installed), the address the daemon occupies
+    /// on it, and `false` for `installed` (nothing was sent to install).
+    pub fn ring(&mut self) -> Result<(RingInfo, String, bool), WireError> {
+        let v = self.round_trip(vec![("op", Value::Str("ring".into()))])?;
+        decode_ring_reply(&v)
+    }
+
+    /// Installs a membership record on the daemon, telling it which ring
+    /// address is its own. Returns whether the daemon adopted the record
+    /// (only a strictly newer epoch replaces the current ring).
+    pub fn install_ring(&mut self, info: &RingInfo, self_addr: &str) -> Result<bool, WireError> {
+        let v = self.round_trip(vec![
+            ("op", Value::Str("ring".into())),
+            ("ring", info.encode()),
+            ("self", Value::Str(self_addr.into())),
+        ])?;
+        decode_ring_reply(&v).map(|(_, _, installed)| installed)
     }
 
     /// Fetches the daemon's latency histograms: one series of
@@ -465,6 +519,231 @@ impl Client {
     /// Asks the daemon to shut down (acknowledged before it stops).
     pub fn shutdown(&mut self) -> Result<(), WireError> {
         self.round_trip(vec![("op", Value::Str("shutdown".into()))]).map(|_| ())
+    }
+}
+
+/// Decodes a `ring` response: `(membership, daemon's own ring address,
+/// whether an install was adopted)`.
+fn decode_ring_reply(v: &Value) -> Result<(RingInfo, String, bool), WireError> {
+    let info =
+        RingInfo::decode(v.field("ring").map_err(WireError::from)?).map_err(WireError::from)?;
+    let self_addr = v.field("self").and_then(|x| x.as_str()).map_err(WireError::from)?.to_string();
+    let installed = v.field("installed").and_then(|x| x.as_bool()).map_err(WireError::from)?;
+    Ok((info, self_addr, installed))
+}
+
+/// How many routing attempts (redirect follows + failovers) a
+/// [`ClusterClient`] request makes before surfacing the last error.
+const MAX_ROUTE_ATTEMPTS: usize = 4;
+
+/// A ring-aware client for a cluster of planning daemons.
+///
+/// Routes each request to the fingerprint's ring owner locally (the same
+/// consistent hash the daemons use), stamping the membership epoch it
+/// routed with. A daemon whose ring view disagrees answers with a typed
+/// `not_owner` redirect carrying the owner it believes in — the client
+/// follows the redirect, refreshes its membership from the new daemon,
+/// and re-sends, bounded by [`MAX_ROUTE_ATTEMPTS`]. A dead daemon fails
+/// over to the fingerprint's next replica owner. With no ring installed
+/// anywhere the client degrades to seed-list routing, which a
+/// single-daemon deployment makes exact.
+pub struct ClusterClient {
+    /// Daemon addresses given at connect time — membership bootstrap and
+    /// the routing fallback when no ring is installed.
+    seeds: Vec<String>,
+    /// The latest membership this client has learned, as a built ring.
+    ring: Option<Ring>,
+    /// One pooled connection per daemon address.
+    conns: HashMap<String, Client>,
+    /// `not_owner` redirects followed (observability for tests).
+    redirects_followed: u64,
+    /// Dead-daemon failovers performed (observability for tests).
+    failovers: u64,
+}
+
+impl ClusterClient {
+    /// Connects to a cluster by its seed addresses and learns the current
+    /// membership from whichever seeds answer. Unreachable seeds are
+    /// tolerated — they may be the daemons a later ring epoch removed.
+    pub fn connect(seeds: &[String]) -> Result<ClusterClient, WireError> {
+        if seeds.is_empty() {
+            return Err(WireError::new("decode", "cluster client needs at least one seed address"));
+        }
+        let mut client = ClusterClient {
+            seeds: seeds.to_vec(),
+            ring: None,
+            conns: HashMap::new(),
+            redirects_followed: 0,
+            failovers: 0,
+        };
+        client.refresh_ring();
+        Ok(client)
+    }
+
+    /// Re-learns the membership from every reachable seed, keeping the
+    /// highest epoch seen. Best-effort: with nothing reachable the
+    /// current view (possibly none) stands.
+    pub fn refresh_ring(&mut self) {
+        for addr in self.seeds.clone() {
+            self.refresh_ring_from(&addr);
+        }
+    }
+
+    /// Asks one daemon for its membership and adopts it if newer.
+    fn refresh_ring_from(&mut self, addr: &str) {
+        let fetched = match self.client_for(addr) {
+            Ok(client) => client.ring(),
+            Err(_) => return,
+        };
+        match fetched {
+            Ok((info, _, _)) => self.adopt(info),
+            // A failed ring query means a dead pooled connection as often
+            // as a dead daemon; drop it so the next use reconnects.
+            Err(_) => {
+                self.conns.remove(addr);
+            }
+        }
+    }
+
+    fn adopt(&mut self, info: RingInfo) {
+        if info.is_empty() {
+            return;
+        }
+        if self.ring.as_ref().is_none_or(|r| info.epoch > r.epoch()) {
+            self.ring = Some(Ring::build(info));
+        }
+    }
+
+    /// The membership epoch this client routes with (0 = none learned).
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring.as_ref().map_or(0, Ring::epoch)
+    }
+
+    /// `not_owner` redirects this client has followed.
+    pub fn redirects_followed(&self) -> u64 {
+        self.redirects_followed
+    }
+
+    /// Dead-daemon failovers this client has performed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    fn client_for(&mut self, addr: &str) -> Result<&mut Client, WireError> {
+        use std::collections::hash_map::Entry;
+        match self.conns.entry(addr.to_string()) {
+            Entry::Occupied(entry) => Ok(entry.into_mut()),
+            Entry::Vacant(entry) => {
+                let client =
+                    Client::connect(addr).map_err(|e| WireError::new("io", e.to_string()))?;
+                Ok(entry.insert(client))
+            }
+        }
+    }
+
+    /// Where a fingerprint's request goes: its ring owner, else (no ring)
+    /// a deterministic seed.
+    fn route(&self, fp: u64) -> String {
+        if let Some(ring) = &self.ring {
+            if let Some(primary) = ring.primary(fp) {
+                return primary.to_string();
+            }
+        }
+        self.seeds[(fp % self.seeds.len() as u64) as usize].clone()
+    }
+
+    /// The next address to try after `dead` failed: the fingerprint's
+    /// next replica owner, else the next seed.
+    fn failover_target(&self, dead: &str, fp: u64) -> String {
+        if let Some(ring) = &self.ring {
+            if let Some(next) = ring.owners(fp).into_iter().find(|o| *o != dead) {
+                return next.to_string();
+            }
+        }
+        let next =
+            self.seeds.iter().position(|s| s == dead).map_or(0, |i| (i + 1) % self.seeds.len());
+        self.seeds[next].clone()
+    }
+
+    /// Routes one already-fingerprinted request, following redirects and
+    /// failing over dead daemons, bounded by [`MAX_ROUTE_ATTEMPTS`].
+    fn route_request<T>(
+        &mut self,
+        fp: u64,
+        mut send: impl FnMut(&mut Client) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let mut target = self.route(fp);
+        let mut last_err = WireError::new("io", "cluster routing made no attempts");
+        for _ in 0..MAX_ROUTE_ATTEMPTS {
+            let epoch = self.ring_epoch();
+            let client = match self.client_for(&target) {
+                Ok(client) => client,
+                Err(err) => {
+                    self.failovers += 1;
+                    last_err = err;
+                    target = self.failover_target(&target, fp);
+                    continue;
+                }
+            };
+            client.set_ring_epoch((epoch > 0).then_some(epoch));
+            match send(client) {
+                Err(err) if err.is_not_owner() => {
+                    self.redirects_followed += 1;
+                    // The daemon told us who owns the fingerprint on its
+                    // (different-epoch) ring: go there, and learn that
+                    // ring so later requests route correctly first try.
+                    if let Some(owner) = err.owner.clone() {
+                        target = owner;
+                        self.refresh_ring_from(&target);
+                    } else {
+                        self.refresh_ring();
+                        target = self.route(fp);
+                    }
+                    last_err = err;
+                }
+                Err(err) if err.kind == "io" => {
+                    self.conns.remove(&target);
+                    self.failovers += 1;
+                    last_err = err;
+                    // The daemon may be dead for good: learn the epoch that
+                    // removed it (survivors hold it) so later requests stop
+                    // routing here, then fail over for this one.
+                    self.refresh_ring();
+                    let rerouted = self.route(fp);
+                    target = if rerouted == target {
+                        self.failover_target(&target, fp)
+                    } else {
+                        rerouted
+                    };
+                }
+                other => return other,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Requests a plan, routed to the request fingerprint's ring owner.
+    pub fn plan(
+        &mut self,
+        graph: &Graph,
+        cluster: &ClusterSpec,
+        options: &HapOptions,
+    ) -> Result<PlanReply, WireError> {
+        let fp = request_fingerprint_values(&graph.encode(), &cluster.encode(), &options.encode());
+        self.route_request(fp, |client| client.plan(graph, cluster, options))
+    }
+
+    /// Replans after a cluster change, routed to the *prior* fingerprint's
+    /// ring owner (which holds the prior request and plan). A typed
+    /// `unknown_fingerprint` error passes through — fall back to
+    /// [`ClusterClient::plan`] exactly as with a single daemon.
+    pub fn replan(&mut self, prior: u64, delta: &ClusterDelta) -> Result<ReplanReply, WireError> {
+        self.route_request(prior, |client| client.replan(prior, delta))
+    }
+
+    /// Fetches one daemon's counters (cluster stats are per-daemon).
+    pub fn stats_of(&mut self, addr: &str) -> Result<StatsSnapshot, WireError> {
+        self.client_for(addr)?.stats()
     }
 }
 

@@ -118,6 +118,14 @@ pub struct ServiceConfig {
     /// default monotonic clock; tests inject [`Clock::Manual`] or
     /// [`Clock::Step`] to pin span timelines exactly.
     pub telemetry_clock: Clock,
+    /// Virtual nodes per member when this daemon reports or installs a
+    /// cluster ring (`hap-cluster` mode). Only the default for rings the
+    /// daemon *originates*; an installed [`hap_codec::RingInfo`] carries
+    /// its own value.
+    pub ring_vnodes: u32,
+    /// Default replication factor K for cluster rings this daemon
+    /// originates (distinct owners per fingerprint).
+    pub ring_replication: u32,
 }
 
 impl Default for ServiceConfig {
@@ -140,6 +148,8 @@ impl Default for ServiceConfig {
             telemetry: true,
             trace_ring_capacity: 256,
             telemetry_clock: Clock::monotonic(),
+            ring_vnodes: 64,
+            ring_replication: 2,
         }
     }
 }

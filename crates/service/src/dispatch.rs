@@ -20,12 +20,15 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use hap::{parallelize_with_warm_profiled, HapOptions, SynthProfile};
 use hap_cluster::ClusterSpec;
-use hap_codec::{value_fingerprint, Decode, Value, WireError, INTERNAL_KIND};
+use hap_codec::{
+    render_fingerprint, value_fingerprint, Decode, Encode, Value, WireError, INTERNAL_KIND,
+};
 use hap_graph::Graph;
 
 use crate::cache::{cluster_features, CachedPlan, PersistLog, PlanCache};
 use crate::config::{ServiceConfig, MAX_TTL_MS};
 use crate::faults;
+use crate::peer::ClusterState;
 use crate::stats::Counters;
 use crate::sync::{lock_recover, wait_recover};
 use crate::telemetry::{ProfileIndex, Telemetry};
@@ -144,8 +147,12 @@ pub(crate) struct Shared {
     pub counters: Counters,
     pub persist: Option<PersistLog>,
     /// Request triples of recently planned fingerprints, so a `replan`
-    /// can rebuild its prior request (see [`crate::replan`]).
-    pub replans: Mutex<crate::replan::ReplanIndex>,
+    /// can rebuild its prior request (see [`crate::replan`]). Shared
+    /// (`Arc`) with the persist log, which re-embeds the triples at
+    /// compaction.
+    pub replans: Arc<Mutex<crate::replan::ReplanIndex>>,
+    /// Cluster-mode state: the installed ring (if any) and the peer pool.
+    pub cluster: ClusterState,
     /// Traces, latency histograms, and the injected clock.
     pub telemetry: Arc<Telemetry>,
     /// Synthesis profiles of recently synthesized fingerprints, so a
@@ -296,19 +303,70 @@ fn execute(shared: &Arc<Shared>, job: &Job) {
             // A plan the admission gate declined is still *returned* (the
             // requester paid for it); it is just not cached or persisted.
             if !matches!(verdict, crate::cache::Admission::Rejected { .. }) {
+                let req = crate::replan::RequestTriple {
+                    graph: job.graph.clone(),
+                    cluster: job.cluster.clone(),
+                    options: job.options.clone(),
+                }
+                .encode_req();
                 if let Some(persist) = &shared.persist {
                     // Degradation is the log's problem, not the request's:
                     // an unacknowledged append flips the log to memory-only
                     // (surfaced in stats) and the response proceeds
                     // normally.
-                    let _ = persist.append(&shared.cache, job.fp, plan.as_ref());
+                    let _ =
+                        persist.append_with_req(&shared.cache, job.fp, plan.as_ref(), Some(&req));
                 }
+                // Replicate to the fingerprint's other ring owners *before*
+                // publishing the result: an acknowledged plan then survives
+                // the synthesizing owner's death.
+                replicate_plan(shared, job.fp, plan.as_ref(), &req);
             }
             Ok(plan)
         }
         Err(err) => Err(err),
     };
     finish(shared, job.fp, &job.slot, result);
+}
+
+/// Pushes a freshly synthesized plan to the fingerprint's other ring
+/// owners (K-way replication, synchronous). No-op without an installed
+/// ring. Runs on the worker thread before the slot resolves, so by the
+/// time any client sees the acknowledgment every reachable owner holds
+/// the plan — a mid-traffic owner kill then loses nothing acknowledged.
+/// Replication is still best-effort per peer: an unreachable owner is
+/// skipped (availability over strict K), surfaced by `replicated_out`
+/// falling short.
+fn replicate_plan(shared: &Arc<Shared>, fp: u64, plan: &CachedPlan, req: &Value) {
+    let Some((ring, self_addr)) = shared.cluster.current() else {
+        return;
+    };
+    let owners: Vec<String> =
+        ring.owners(fp).into_iter().filter(|o| *o != self_addr).map(String::from).collect();
+    if owners.is_empty() {
+        return;
+    }
+    let frame = Value::obj(vec![
+        ("op", Value::Str("replicate".into())),
+        ("id", Value::int(0)),
+        ("fp", Value::Str(render_fingerprint(fp))),
+        ("plan", plan.encode()),
+        ("req", req.clone()),
+    ])
+    .render();
+    for owner in owners {
+        let acked = shared
+            .cluster
+            .peers
+            .call(&owner, &frame)
+            .ok()
+            .and_then(|resp| hap_codec::parse(&resp).ok())
+            .and_then(|v| v.get("ok").cloned())
+            .is_some_and(|ok| matches!(ok, Value::Bool(true)));
+        if acked {
+            shared.counters.replicated_out.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Best-effort text of a panic payload (`panic!` with a string or a

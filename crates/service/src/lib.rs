@@ -48,9 +48,29 @@
 //!   from the cache when that cluster was already planned, and otherwise
 //!   synthesizes with the prior program seeding the A\* incumbent; the
 //!   response adds a machine-readable [`PlanDiff`]. Invalid deltas fail
-//!   with a typed `delta` frame, forgotten priors with
-//!   `unknown_fingerprint` (the replan index is memory-only — clients
-//!   fall back to a cold `plan` after a daemon restart).
+//!   with a typed `delta` frame, truly unknown priors with
+//!   `unknown_fingerprint`. The replan index is rebuilt from the
+//!   persistence log at boot (request triples ride along with persisted
+//!   plans and are verified against their fingerprints before being
+//!   trusted), so a restarted daemon keeps answering `replan` for every
+//!   plan it had persisted; in cluster mode an unknown prior is proxied
+//!   to its ring owner before the error is returned.
+//! * **Cluster mode** — N daemons share the plan cache across a
+//!   consistent-hash ring ([`Ring`]): each member takes `ring_vnodes`
+//!   token positions, a fingerprint is owned by the first
+//!   `ring_replication` distinct members clockwise, and the ring is a
+//!   pure function of the [`RingInfo`] membership record, so every
+//!   holder of the record computes identical owners. Misses at a
+//!   non-owner are proxied to the primary (single-flight becomes
+//!   ring-wide: the owner is the synthesis leader for its range); a
+//!   freshly synthesized plan is replicated synchronously to the other
+//!   owners before the client sees the ack, so an owner crash loses no
+//!   acknowledged plan. [`ClusterClient`] learns the ring via the `ring`
+//!   verb, routes requests to owners locally, and follows typed
+//!   `not_owner` redirects (stale-epoch requests are redirected, not
+//!   proxied, so clients converge on the new membership). Membership
+//!   changes are installed by an operator bumping the epoch; installs
+//!   are monotonic and idempotent.
 //! * **Cost-aware cache admission** — entries carry their measured
 //!   synthesis time and canonical size; a full shard only admits a
 //!   candidate whose synthesis-seconds-saved-per-byte density is at least
@@ -130,11 +150,21 @@
 //! {"op":"stats","id":4}
 //! {"op":"metrics","id":5}
 //! {"op":"trace","id":6,"n":8,"min_ms":50}
-//! {"op":"shutdown","id":7}
+//! {"op":"ring","id":7}
+//! {"op":"ring","id":8,"ring":{"epoch":2,"vnodes":64,"replication":2,"members":[...]},"self":"10.0.0.1:7641"}
+//! {"op":"replicate","id":0,"fingerprint":"0x4fd1...","plan":{...},"req":{...}}
+//! {"op":"shutdown","id":9}
 //! ```
 //!
 //! (`ttl_ms`, `stream`, and `profile` are optional, on `replan` too;
-//! `trace`'s `n` defaults to 16 and `min_ms` to 0.) Responses carry
+//! `trace`'s `n` defaults to 16 and `min_ms` to 0. `plan`/`replan` may
+//! carry an optional `epoch` — the ring epoch the client routed under.
+//! A bare `ring` queries; `ring` + `self` installs that membership
+//! record, and the response `{"id":N,"ok":true,"ring":{...},"self":...,
+//! "installed":bool}` always reports the ring the daemon actually holds
+//! — only a strictly newer epoch replaces the current one. `replicate`
+//! is the peer-to-peer push of a freshly synthesized plan to a fellow
+//! owner; it answers a bare ok frame.) Responses carry
 //! the request `id`, `"ok":true|false`, and either a payload (`plan` with
 //! `fingerprint` and `source` — extended with a `replan` diff object for
 //! the replan verb, and a `profile` object of synthesis counters when the
@@ -146,7 +176,14 @@
 //! `{"kind":"busy","message":...,"retry_after_ms":N}`, an over-long line
 //! as `{"kind":"oversize",...}`, and a synthesis job that panicked as
 //! `{"kind":"internal",...}` (the daemon survives; the request did not
-//! complete and may be retried). The `stats` payload includes the
+//! complete and may be retried). In cluster mode a request stamped with
+//! a ring `epoch` different from the daemon's own, arriving at a
+//! non-owner, fails with
+//! `{"kind":"not_owner","owner":"host:port","ring_epoch":E,...}` — the
+//! request was never executed; the client refreshes its ring at epoch
+//! `E` and resends to `owner`. (Same-epoch and unstamped misses are
+//! proxied to the owner instead, so ring-naive clients still get full
+//! answers.) The `stats` payload includes the
 //! durability keys `persist_errors` (failed persistence operations),
 //! `persistence_degraded` (0/1 gauge: cache is memory-only until the disk
 //! heals), and `panics` (isolated synthesis panics). With
@@ -179,7 +216,9 @@ mod config;
 mod dispatch;
 pub mod faults;
 mod net;
+mod peer;
 mod replan;
+mod ring;
 mod service;
 mod stats;
 mod sync;
@@ -190,11 +229,12 @@ pub use cache::{
     cluster_features, compact_log, load_cache, Admission, CachePolicy, CachedPlan, LoadOutcome,
     PersistLog, PlanCache,
 };
-pub use client::{Client, PlanReply, ReplanReply, RetryPolicy};
+pub use client::{Client, ClusterClient, PlanReply, ReplanReply, RetryPolicy};
 pub use config::{FsyncPolicy, ServiceConfig, DEFAULT_FSYNC_EVERY, MAX_TTL_MS};
-pub use hap_codec::PlanDiff;
+pub use hap_codec::{PlanDiff, RingInfo};
 pub use hap_telemetry::{Clock, Histogram, Outcome, RequestTrace, Span, SpanKind, Verb};
 pub use net::event_loop::Server;
+pub use ring::Ring;
 pub use service::{PlanService, PlanSource};
 pub use stats::StatsSnapshot;
 pub use telemetry::{

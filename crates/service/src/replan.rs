@@ -9,9 +9,13 @@
 //! [`ReplanIndex`]. A replan needs both halves: the triple to rebuild the
 //! request on the post-delta cluster, and the cached plan to seed
 //! synthesis warm and to diff against. Either half missing — never
-//! planned, expired, evicted, or lost across a daemon restart (the index
-//! is memory-only) — answers with a typed `unknown_fingerprint` frame, and
-//! clients fall back to a cold `plan`.
+//! planned, expired, or evicted — answers with a typed
+//! `unknown_fingerprint` frame, and clients fall back to a cold `plan`.
+//!
+//! The index survives restarts: every persisted cache record embeds the
+//! request triple as a `"req"` field ([`hap_codec::persist_line_with_req`])
+//! and boot rebuilds the index from the log, verifying each recovered
+//! triple actually fingerprints to its record's key before trusting it.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -29,6 +33,28 @@ pub(crate) struct RequestTriple {
     pub graph: Value,
     pub cluster: Value,
     pub options: Value,
+}
+
+impl RequestTriple {
+    /// The triple in its wire/persist object form — a cache record's
+    /// `"req"` field and a `replicate` frame's `"req"` field alike.
+    pub(crate) fn encode_req(&self) -> Value {
+        Value::obj(vec![
+            ("graph", self.graph.clone()),
+            ("cluster", self.cluster.clone()),
+            ("options", self.options.clone()),
+        ])
+    }
+
+    /// Decodes the object form back into a triple. Returns `None` when a
+    /// field is missing — callers treat a malformed triple as absent.
+    pub(crate) fn decode_req(v: &Value) -> Option<RequestTriple> {
+        Some(RequestTriple {
+            graph: v.get("graph")?.clone(),
+            cluster: v.get("cluster")?.clone(),
+            options: v.get("options")?.clone(),
+        })
+    }
 }
 
 /// A bounded FIFO map from request fingerprint to its request triple.

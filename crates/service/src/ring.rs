@@ -1,0 +1,302 @@
+//! The consistent-hash ring that assigns plan fingerprints to daemons.
+//!
+//! A `hap-cluster` deployment places every member daemon on a hash circle
+//! at `vnodes` points (tokens); a fingerprint is owned by the first
+//! `replication` *distinct* members clockwise from the fingerprint's own
+//! point. Both hashes reuse the codec's FNV-1a primitive — the same one
+//! that content-addresses requests — finished with a splitmix64
+//! avalanche (see [`mix64`]) so near-identical member strings still land
+//! well-spread tokens.
+//!
+//! The ring is a pure function of a [`RingInfo`] membership record: every
+//! holder of the same record (daemons, clients, tests) expands it to the
+//! same token map and therefore computes the same owners for every
+//! fingerprint. Only the membership travels on the wire.
+//!
+//! Consistency property (pinned by the proptests below): adding one member
+//! only moves fingerprints *to* the new member, and removing one only moves
+//! the fingerprints it owned — unrelated fingerprints never change primary
+//! owner. That bounds the cache churn of a join/leave to the joining or
+//! leaving node's share of the keyspace.
+
+use hap_codec::RingInfo;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over raw bytes — the same digest `hap_codec` uses for content
+/// fingerprints, inlined here so the ring never drifts from it.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Finalizing avalanche (splitmix64's mixer). FNV-1a diffuses
+/// trailing-byte differences into the low-order bits only, and ring
+/// positions compare on the *high* bits — without this, two members
+/// differing just in the port ("host:7641" vs "host:7642", the normal
+/// co-hosted deployment) land near-adjacent tokens, a rejoined daemon
+/// inherits its predecessor's arcs almost verbatim, and the ownership
+/// spread skews far off 1/N.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The point on the circle where a fingerprint lives.
+fn key_point(fp: u64) -> u64 {
+    mix64(fnv1a64(&fp.to_le_bytes()))
+}
+
+/// The token of one virtual node of one member.
+fn vnode_token(addr: &str, vnode: u32) -> u64 {
+    let mut bytes = Vec::with_capacity(addr.len() + 12);
+    bytes.extend_from_slice(addr.as_bytes());
+    bytes.push(b'#');
+    bytes.extend_from_slice(vnode.to_string().as_bytes());
+    mix64(fnv1a64(&bytes))
+}
+
+/// An expanded consistent-hash ring: the sorted token map plus the
+/// membership record it was built from.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    info: RingInfo,
+    /// `(token, member index)`, sorted by token (ties broken by index so
+    /// the expansion is deterministic even on token collisions).
+    tokens: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// Expands a membership record into a ring. An empty membership yields
+    /// a ring that owns nothing (`owners` returns no members).
+    pub fn build(info: RingInfo) -> Ring {
+        let vnodes = info.vnodes.max(1);
+        let mut tokens = Vec::with_capacity(info.members.len() * vnodes as usize);
+        for (idx, addr) in info.members.iter().enumerate() {
+            for vnode in 0..vnodes {
+                tokens.push((vnode_token(addr, vnode), idx as u32));
+            }
+        }
+        tokens.sort_unstable();
+        Ring { info, tokens }
+    }
+
+    /// The membership record this ring expands.
+    pub fn info(&self) -> &RingInfo {
+        &self.info
+    }
+
+    /// The membership epoch (0 = no ring installed).
+    pub fn epoch(&self) -> u64 {
+        self.info.epoch
+    }
+
+    /// The first `min(replication, members)` distinct members clockwise
+    /// from the fingerprint's point: its owners, primary first.
+    pub fn owners(&self, fp: u64) -> Vec<&str> {
+        self.owners_k(fp, self.info.replication.max(1) as usize)
+    }
+
+    /// Like [`Ring::owners`] with an explicit owner count.
+    pub fn owners_k(&self, fp: u64, k: usize) -> Vec<&str> {
+        let members = self.info.members.len();
+        let want = k.min(members);
+        let mut out: Vec<&str> = Vec::with_capacity(want);
+        if want == 0 {
+            return out;
+        }
+        let point = key_point(fp);
+        let start = self.tokens.partition_point(|&(token, _)| token < point);
+        let mut picked = vec![false; members];
+        for step in 0..self.tokens.len() {
+            let (_, idx) = self.tokens[(start + step) % self.tokens.len()];
+            if !picked[idx as usize] {
+                picked[idx as usize] = true;
+                out.push(self.info.members[idx as usize].as_str());
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The fingerprint's primary owner — the ring-wide single-flight
+    /// leader. `None` only on an empty ring.
+    pub fn primary(&self, fp: u64) -> Option<&str> {
+        let point = key_point(fp);
+        if self.tokens.is_empty() {
+            return None;
+        }
+        let start = self.tokens.partition_point(|&(token, _)| token < point);
+        let (_, idx) = self.tokens[start % self.tokens.len()];
+        Some(self.info.members[idx as usize].as_str())
+    }
+
+    /// True when `addr` is among the fingerprint's owners.
+    pub fn is_owner(&self, fp: u64, addr: &str) -> bool {
+        self.owners(fp).contains(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn info(n: usize, vnodes: u32, replication: u32) -> RingInfo {
+        RingInfo {
+            epoch: 1,
+            vnodes,
+            replication,
+            members: (0..n).map(|i| format!("10.0.0.{i}:7641")).collect(),
+        }
+    }
+
+    #[test]
+    fn owners_are_distinct_and_primary_first() {
+        let ring = Ring::build(info(5, 64, 3));
+        for fp in 0..256u64 {
+            let owners = ring.owners(fp);
+            assert_eq!(owners.len(), 3);
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "owners must be distinct members");
+            assert_eq!(ring.primary(fp), Some(owners[0]));
+            assert!(ring.is_owner(fp, owners[2]));
+        }
+    }
+
+    #[test]
+    fn replication_clamps_to_membership() {
+        let ring = Ring::build(info(2, 64, 3));
+        assert_eq!(ring.owners(42).len(), 2);
+        let empty = Ring::build(RingInfo::empty(64, 2));
+        assert!(empty.owners(42).is_empty());
+        assert_eq!(empty.primary(42), None);
+    }
+
+    #[test]
+    fn same_membership_same_owners() {
+        // Two independent expansions of one record agree everywhere — the
+        // property that lets clients route without asking the daemons.
+        let a = Ring::build(info(4, 64, 2));
+        let b = Ring::build(info(4, 64, 2));
+        for fp in 0..512u64 {
+            assert_eq!(a.owners(fp), b.owners(fp));
+        }
+    }
+
+    #[test]
+    fn co_hosted_members_spread_fairly() {
+        // Members differing only in the port (one host, many daemons) must
+        // still split the keyspace near 1/N — this is the deployment the
+        // mix64 finalizer exists for, and the geometry behind the churn
+        // tests in tests/cluster.rs.
+        for trial in 0..10u32 {
+            let base = 40_000 + trial * 7;
+            let members: Vec<String> = (0..2).map(|i| format!("127.0.0.1:{}", base + i)).collect();
+            let ring = Ring::build(RingInfo {
+                epoch: 1,
+                vnodes: 64,
+                replication: 1,
+                members: members.clone(),
+            });
+            let first =
+                (0..256u64).filter(|&fp| ring.primary(fp) == Some(members[0].as_str())).count();
+            assert!(
+                (64..=192).contains(&first),
+                "co-hosted 2-member ring splits 256 fps {first}/{} (fair 128)",
+                256 - first
+            );
+        }
+    }
+
+    proptest! {
+        /// Ownership spread: with 64 vnodes, every member's share of random
+        /// fingerprints stays within generous bounds of the fair 1/N.
+        #[test]
+        fn ownership_spread_is_bounded(
+            n in 2usize..=6,
+            fps in proptest::collection::vec(0u64..u64::MAX, 512),
+        ) {
+            let ring = Ring::build(info(n, 64, 1));
+            let mut counts = vec![0usize; n];
+            for &fp in &fps {
+                let primary = ring.primary(fp).unwrap();
+                let idx = ring.info().members.iter().position(|m| m == primary).unwrap();
+                counts[idx] += 1;
+            }
+            let fair = fps.len() as f64 / n as f64;
+            for (idx, &count) in counts.iter().enumerate() {
+                prop_assert!(
+                    (count as f64) < fair * 3.0,
+                    "member {idx} owns {count}/{} fingerprints (fair share {fair:.0})",
+                    fps.len()
+                );
+                prop_assert!(
+                    (count as f64) > fair / 8.0,
+                    "member {idx} owns only {count}/{} fingerprints (fair share {fair:.0})",
+                    fps.len()
+                );
+            }
+        }
+
+        /// Join moves keys only *to* the new member; every fingerprint whose
+        /// owner changed is now owned by the joiner.
+        #[test]
+        fn join_moves_only_minimal_ranges(
+            n in 2usize..=5,
+            fps in proptest::collection::vec(0u64..u64::MAX, 256),
+        ) {
+            let before = Ring::build(info(n, 64, 1));
+            let mut grown = info(n, 64, 1);
+            grown.members.push("10.0.1.99:7641".into());
+            grown.epoch = 2;
+            let after = Ring::build(grown);
+            for &fp in &fps {
+                let old = before.primary(fp).unwrap();
+                let new = after.primary(fp).unwrap();
+                prop_assert!(
+                    new == old || new == "10.0.1.99:7641",
+                    "fingerprint {fp:#x} moved {old} -> {new} on an unrelated join"
+                );
+            }
+        }
+
+        /// Leave moves only the leaver's keys; fingerprints the leaver did
+        /// not own keep their primary.
+        #[test]
+        fn leave_moves_only_the_leavers_keys(
+            n in 3usize..=6,
+            leaver in 0usize..3,
+            fps in proptest::collection::vec(0u64..u64::MAX, 256),
+        ) {
+            let before = Ring::build(info(n, 64, 1));
+            let gone = before.info().members[leaver % n].clone();
+            let mut shrunk = info(n, 64, 1);
+            shrunk.members.retain(|m| *m != gone);
+            shrunk.epoch = 2;
+            let after = Ring::build(shrunk);
+            for &fp in &fps {
+                let old = before.primary(fp).unwrap();
+                if old != gone {
+                    prop_assert_eq!(
+                        after.primary(fp).unwrap(), old,
+                        "fingerprint {:#x} changed owner though {} never owned it", fp, gone
+                    );
+                }
+            }
+        }
+    }
+}

@@ -10,16 +10,17 @@ use std::thread::JoinHandle;
 use hap_cluster::ClusterDelta;
 use hap_codec::{
     encode_stream, parse, parse_fingerprint, render_fingerprint, request_fingerprint_values,
-    Decode, Encode, PlanDiff, Value, WireError,
+    Decode, Encode, PlanDiff, RingInfo, Value, WireError, UNKNOWN_FINGERPRINT_KIND,
 };
 use mini_rayon::ThreadPool;
 
 use hap_synthesis::SynthProfile;
 use hap_telemetry::{Outcome, SpanKind, TraceBuilder, Verb};
 
-use crate::cache::{load_cache, CachePolicy, CachedPlan, PersistLog, PlanCache};
+use crate::cache::{load_cache_with_requests, CachePolicy, CachedPlan, PersistLog, PlanCache};
 use crate::config::{ServiceConfig, MAX_TTL_MS};
 use crate::dispatch::{self, Attach, PlanResult, QueueState, Shared, Slot};
+use crate::peer::ClusterState;
 use crate::replan::{self, ReplanIndex, RequestTriple};
 use crate::stats::{Counters, NetGauges, StatsSnapshot};
 use crate::sync::lock_recover;
@@ -159,23 +160,40 @@ impl PlanService {
             default_ttl: config.default_ttl_ms.map(std::time::Duration::from_millis),
         };
         let cache = PlanCache::with_policy(config.cache_capacity, policy);
-        let mut persist = None;
-        if let Some(path) = &config.cache_path {
-            load_cache(&cache, path).map_err(WireError::from)?;
-            persist = Some(PersistLog::start(&cache, path.clone(), config.fsync));
-        }
         // The replan index remembers as many request triples as the cache
         // holds plans: a fingerprint whose plan is still cached should
         // normally still be replannable. The profile index follows the
         // same sizing — a cached plan's synthesis profile should still be
         // reportable.
-        let replans = Mutex::new(ReplanIndex::new(config.cache_capacity));
+        let replans = Arc::new(Mutex::new(ReplanIndex::new(config.cache_capacity)));
+        let mut persist = None;
+        if let Some(path) = &config.cache_path {
+            // Rebuild the replan index alongside the cache: each record's
+            // embedded request triple is trusted only if it fingerprints
+            // back to the record's own key (a mismatched triple would make
+            // a later replan rebase the wrong request).
+            load_cache_with_requests(&cache, path, &mut |fp, req| {
+                let Some(triple) = RequestTriple::decode_req(&req) else { return };
+                if request_fingerprint_values(&triple.graph, &triple.cluster, &triple.options) == fp
+                {
+                    lock_recover(&replans).record(fp, Arc::new(triple));
+                }
+            })
+            .map_err(WireError::from)?;
+            persist = Some(PersistLog::start_with_index(
+                &cache,
+                path.clone(),
+                config.fsync,
+                replans.clone(),
+            ));
+        }
         let profiles = Mutex::new(ProfileIndex::new(config.cache_capacity));
         let telemetry = Arc::new(Telemetry::new(&config));
         let shared = Arc::new(Shared {
             config,
             cache,
             replans,
+            cluster: ClusterState::new(),
             inflight: Mutex::new(HashMap::new()),
             queue: (
                 Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
@@ -286,6 +304,8 @@ impl PlanService {
             ReqOp::Trace { n, min_ms } => {
                 Ok((self.trace_frame(req.id, n, min_ms), Outcome::Ok, false))
             }
+            ReqOp::Ring(install) => Ok((self.ring_frame(req.id, install), Outcome::Ok, false)),
+            ReqOp::Replicate(rep) => Ok((self.replicate_frame(req.id, *rep), Outcome::Ok, false)),
             ReqOp::Shutdown => Ok((ok_frame(req.id), Outcome::Ok, true)),
         }
     }
@@ -513,6 +533,14 @@ impl PlanService {
                 let bytes = encode_span(&mut tb, || frame_bytes(&self.trace_frame(id, n, min_ms)));
                 Submission::Ready { bytes, shutdown: false, trace: seal(tb, Outcome::Ok) }
             }
+            ReqOp::Ring(install) => {
+                let bytes = encode_span(&mut tb, || frame_bytes(&self.ring_frame(id, install)));
+                Submission::Ready { bytes, shutdown: false, trace: seal(tb, Outcome::Ok) }
+            }
+            ReqOp::Replicate(rep) => {
+                let bytes = encode_span(&mut tb, || frame_bytes(&self.replicate_frame(id, *rep)));
+                Submission::Ready { bytes, shutdown: false, trace: seal(tb, Outcome::Ok) }
+            }
             ReqOp::Shutdown => {
                 let bytes = encode_span(&mut tb, || frame_bytes(&ok_frame(id)));
                 Submission::Ready { bytes, shutdown: true, trace: seal(tb, Outcome::Ok) }
@@ -552,6 +580,42 @@ impl PlanService {
                 shared.counters.misses.fetch_add(1, Ordering::Relaxed);
                 if let Some(tb) = tb.as_mut() {
                     tb.end();
+                }
+                // Cluster routing: a miss on a fingerprint another daemon
+                // owns is proxied to that owner (ring-wide single-flight:
+                // only the owner synthesizes). A request stamped with a
+                // *different* membership epoch than ours gets a typed
+                // `not_owner` redirect instead — routing disagreements
+                // bounce back to the client rather than chaining
+                // daemon-to-daemon forwards.
+                if let Some((ring, self_addr)) = shared.cluster.current() {
+                    if let Some(owner) =
+                        ring.primary(fp).filter(|p| *p != self_addr).map(str::to_string)
+                    {
+                        if plan.epoch.is_some_and(|stamp| stamp != ring.epoch()) {
+                            shared.counters.redirected.fetch_add(1, Ordering::Relaxed);
+                            let err = WireError::not_owner(owner, ring.epoch());
+                            let bytes =
+                                encode_span(&mut tb, || frame_bytes(&error_frame(id, &err)));
+                            return Submission::Ready {
+                                bytes,
+                                shutdown: false,
+                                trace: seal(tb, outcome_for_error(&err)),
+                            };
+                        }
+                        shared.counters.proxied.fetch_add(1, Ordering::Relaxed);
+                        self.proxy_plan(
+                            id,
+                            fp,
+                            plan,
+                            owner,
+                            ring.epoch(),
+                            stream_chunk,
+                            tb,
+                            deliver,
+                        );
+                        return Submission::Pending;
+                    }
                 }
                 let attach = dispatch::attach(
                     shared,
@@ -638,9 +702,47 @@ impl PlanService {
                 let shared = &self.shared;
                 let stream_chunk = rp.stream.then_some(shared.config.stream_chunk_bytes);
                 let want_profile = rp.profile;
+                // Cluster routing keys on the *prior* fingerprint: its
+                // ring owner holds the request triple and plan (pushed
+                // along with every replication), so the rebase runs there.
+                let route = shared.cluster.current().and_then(|(ring, self_addr)| {
+                    ring.primary(rp.prior)
+                        .filter(|p| *p != self_addr)
+                        .map(|owner| (owner.to_string(), ring.epoch()))
+                });
+                if let Some((owner, ring_epoch)) = &route {
+                    if rp.epoch.is_some_and(|stamp| stamp != *ring_epoch) {
+                        shared.counters.redirected.fetch_add(1, Ordering::Relaxed);
+                        let err = WireError::not_owner(owner.clone(), *ring_epoch);
+                        let bytes = encode_span(&mut tb, || frame_bytes(&error_frame(id, &err)));
+                        return Submission::Ready {
+                            bytes,
+                            shutdown: false,
+                            trace: seal(tb, outcome_for_error(&err)),
+                        };
+                    }
+                }
                 let prep = match replan::prepare(shared, rp.prior, &rp.delta) {
                     Ok(prep) => prep,
                     Err(err) => {
+                        // A fingerprint this daemon never saw (or let
+                        // expire) may still live at its ring owner.
+                        if err.kind == UNKNOWN_FINGERPRINT_KIND {
+                            if let Some((owner, ring_epoch)) = route {
+                                shared.counters.proxied.fetch_add(1, Ordering::Relaxed);
+                                self.proxy_replan(
+                                    id,
+                                    rp,
+                                    owner,
+                                    ring_epoch,
+                                    stream_chunk,
+                                    None,
+                                    tb,
+                                    deliver,
+                                );
+                                return Submission::Pending;
+                            }
+                        }
                         let bytes = encode_span(&mut tb, || self.render_error(id, &err));
                         return Submission::Ready {
                             bytes,
@@ -682,6 +784,24 @@ impl PlanService {
                 shared.counters.misses.fetch_add(1, Ordering::Relaxed);
                 if let Some(tb) = tb.as_mut() {
                     tb.end();
+                }
+                // The rebased plan is not cached here and the prior's ring
+                // owner is another daemon: the synthesis belongs to the
+                // owner (ring-wide single-flight). The local preparation
+                // rides along as the fallback if the owner is unreachable.
+                if let Some((owner, ring_epoch)) = route {
+                    shared.counters.proxied.fetch_add(1, Ordering::Relaxed);
+                    self.proxy_replan(
+                        id,
+                        rp,
+                        owner,
+                        ring_epoch,
+                        stream_chunk,
+                        Some(prep),
+                        tb,
+                        deliver,
+                    );
+                    return Submission::Pending;
                 }
                 let attach = dispatch::attach(
                     shared,
@@ -806,6 +926,214 @@ impl PlanService {
         ])
     }
 
+    /// `{"id":N,"ok":true,"ring":{...},"self":...,"installed":...}` — the
+    /// daemon's current ring view, after applying an install if the
+    /// request carried one. Installs are idempotent and monotonic: only a
+    /// strictly newer membership epoch replaces the current ring, and the
+    /// response always reports the ring the daemon actually holds.
+    fn ring_frame(&self, id: u64, install: Option<Box<RingInstall>>) -> Value {
+        let shared = &self.shared;
+        let installed = match install {
+            None => false,
+            Some(ri) => shared.cluster.install(ri.info, ri.self_addr),
+        };
+        let (ring, self_addr) = match shared.cluster.current() {
+            Some((ring, addr)) => (ring.info().clone(), addr),
+            None => (
+                RingInfo::empty(shared.config.ring_vnodes, shared.config.ring_replication),
+                String::new(),
+            ),
+        };
+        Value::obj(vec![
+            ("id", Value::int(id)),
+            ("ok", Value::Bool(true)),
+            ("ring", ring.encode()),
+            ("self", Value::Str(self_addr)),
+            ("installed", Value::Bool(installed)),
+        ])
+    }
+
+    /// Stores a peer-replicated plan: cache insert, replan-index record
+    /// (when the pushed triple verifies against the fingerprint), and a
+    /// persistence append — an acknowledged replica survives this
+    /// daemon's restart too. Never counts as a synthesis: replication
+    /// moves plans, it does not create them.
+    fn replicate_frame(&self, id: u64, rep: ReplicateRequest) -> Value {
+        let shared = &self.shared;
+        shared.counters.replicated_in.fetch_add(1, Ordering::Relaxed);
+        // Trust the pushed triple only if it fingerprints back to the
+        // record's key — the same rule boot recovery applies to the log.
+        let req = rep.req.filter(|req| {
+            RequestTriple::decode_req(req).is_some_and(|t| {
+                request_fingerprint_values(&t.graph, &t.cluster, &t.options) == rep.fp
+            })
+        });
+        if let Some(req) = &req {
+            if let Some(triple) = RequestTriple::decode_req(req) {
+                lock_recover(&shared.replans).record(rep.fp, Arc::new(triple));
+            }
+        }
+        let plan = Arc::new(rep.plan);
+        let verdict = shared.cache.insert(rep.fp, plan.clone());
+        if !matches!(verdict, crate::cache::Admission::Rejected { .. }) {
+            if let Some(persist) = &shared.persist {
+                let _ = persist.append_with_req(&shared.cache, rep.fp, plan.as_ref(), req.as_ref());
+            }
+        }
+        ok_frame(id)
+    }
+
+    /// Forwards a missed `plan` to the fingerprint's ring owner on a peer
+    /// thread. The owner's canonical response line is relayed unchanged
+    /// (re-chunked locally when the client streams); an unreachable or
+    /// ownership-denying owner falls back to local synthesis — a routing
+    /// failure degrades to single-daemon behavior, never to an error.
+    #[allow(clippy::too_many_arguments)]
+    fn proxy_plan(
+        &self,
+        id: u64,
+        fp: u64,
+        plan: Box<PlanRequest>,
+        owner: String,
+        epoch: u64,
+        stream_chunk: Option<usize>,
+        tb: Option<TraceBuilder>,
+        deliver: Deliver,
+    ) {
+        let shared = self.shared.clone();
+        // The forward is the same request stamped with our ring epoch and
+        // never streamed — streaming is client-transport framing, applied
+        // locally to the owner's canonical line.
+        let mut fields = vec![
+            ("op", Value::Str("plan".into())),
+            ("id", Value::int(id)),
+            ("graph", plan.graph.clone()),
+            ("cluster", plan.cluster.clone()),
+            ("options", plan.options.clone()),
+        ];
+        if let Some(ttl) = plan.ttl_ms {
+            fields.push(("ttl_ms", Value::int(ttl)));
+        }
+        if plan.profile {
+            fields.push(("profile", Value::Bool(true)));
+        }
+        fields.push(("epoch", Value::int(epoch)));
+        let line = Value::obj(fields).render();
+        self.shared.cluster.peers.spawn(Box::new(move || {
+            let reply = shared
+                .cluster
+                .peers
+                .call(&owner, &line)
+                .ok()
+                .and_then(|resp| classify_proxy_reply(&resp).map(|r| (resp, r)));
+            match reply {
+                Some((resp, ProxyReply::Pass { outcome, is_plan })) => {
+                    let mut tb = tb;
+                    let bytes =
+                        encode_span(&mut tb, || proxied_bytes(id, resp, is_plan, stream_chunk));
+                    deliver(bytes, seal(tb, outcome));
+                }
+                // The owner denied ownership, was unreachable, or answered
+                // garbage: synthesize locally.
+                _ => plan_attach_deliver(
+                    &shared,
+                    id,
+                    fp,
+                    &plan.graph,
+                    &plan.cluster,
+                    &plan.options,
+                    plan.ttl_ms,
+                    plan.profile,
+                    stream_chunk,
+                    None,
+                    tb,
+                    deliver,
+                ),
+            }
+        }));
+    }
+
+    /// Forwards a `replan` to the prior fingerprint's ring owner, exactly
+    /// as [`PlanService::proxy_plan`] forwards a `plan`. When this daemon
+    /// could prepare the rebase locally (`fallback`), an unreachable owner
+    /// degrades to a local warm-seeded synthesis; otherwise the request
+    /// fails with the `unknown_fingerprint` it would have failed with on
+    /// a single daemon.
+    #[allow(clippy::too_many_arguments)]
+    fn proxy_replan(
+        &self,
+        id: u64,
+        rp: Box<ReplanRequest>,
+        owner: String,
+        epoch: u64,
+        stream_chunk: Option<usize>,
+        fallback: Option<replan::PreparedReplan>,
+        tb: Option<TraceBuilder>,
+        deliver: Deliver,
+    ) {
+        let shared = self.shared.clone();
+        let mut fields = vec![
+            ("op", Value::Str("replan".into())),
+            ("id", Value::int(id)),
+            ("prior", Value::Str(render_fingerprint(rp.prior))),
+            ("delta", rp.delta.encode()),
+        ];
+        if let Some(ttl) = rp.ttl_ms {
+            fields.push(("ttl_ms", Value::int(ttl)));
+        }
+        if rp.profile {
+            fields.push(("profile", Value::Bool(true)));
+        }
+        fields.push(("epoch", Value::int(epoch)));
+        let line = Value::obj(fields).render();
+        self.shared.cluster.peers.spawn(Box::new(move || {
+            let reply = shared
+                .cluster
+                .peers
+                .call(&owner, &line)
+                .ok()
+                .and_then(|resp| classify_proxy_reply(&resp).map(|r| (resp, r)));
+            match reply {
+                Some((resp, ProxyReply::Pass { outcome, is_plan })) => {
+                    let mut tb = tb;
+                    let bytes =
+                        encode_span(&mut tb, || proxied_bytes(id, resp, is_plan, stream_chunk));
+                    deliver(bytes, seal(tb, outcome));
+                }
+                _ => match fallback {
+                    Some(prep) => plan_attach_deliver(
+                        &shared,
+                        id,
+                        prep.fp,
+                        &prep.triple.graph,
+                        &prep.triple.cluster,
+                        &prep.triple.options,
+                        rp.ttl_ms,
+                        rp.profile,
+                        stream_chunk,
+                        Some((rp.prior, prep.prior.clone())),
+                        tb,
+                        deliver,
+                    ),
+                    None => {
+                        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        let err = WireError::new(
+                            UNKNOWN_FINGERPRINT_KIND,
+                            format!(
+                                "no request recorded for {} here and its ring owner is \
+                                 unreachable; plan it cold first",
+                                render_fingerprint(rp.prior)
+                            ),
+                        );
+                        let mut tb = tb;
+                        let bytes = encode_span(&mut tb, || frame_bytes(&error_frame(id, &err)));
+                        deliver(bytes, seal(tb, outcome_for_error(&err)));
+                    }
+                },
+            }
+        }));
+    }
+
     /// A consistent stats snapshot: every gauge is sampled exactly once,
     /// in one pass, so the frame's `entries`/`in_flight`/telemetry totals
     /// describe the same instant instead of racing each other between
@@ -839,6 +1167,11 @@ impl PlanService {
             idle_closed: self.gauges.idle_closed.load(Ordering::Relaxed),
             traces_recorded,
             metrics_samples,
+            proxied: shared.counters.proxied.load(Ordering::Relaxed),
+            redirected: shared.counters.redirected.load(Ordering::Relaxed),
+            replicated_in: shared.counters.replicated_in.load(Ordering::Relaxed),
+            replicated_out: shared.counters.replicated_out.load(Ordering::Relaxed),
+            ring_epoch: shared.cluster.epoch(),
         }
     }
 
@@ -859,6 +1192,7 @@ impl PlanService {
         for handle in lock_recover(&self.workers).drain(..) {
             let _ = handle.join();
         }
+        self.shared.cluster.peers.stop();
         if let Some(persist) = &self.shared.persist {
             persist.sync();
         }
@@ -883,6 +1217,12 @@ struct PlanRequest {
     stream: bool,
     /// `"profile": true` — include the synthesis profile in the response.
     profile: bool,
+    /// The ring epoch the sender routed with, if it routed at all. A
+    /// stamp at a different epoch than this daemon's means the sender's
+    /// ring view is inconsistent with ours — answered with a `not_owner`
+    /// redirect instead of a proxy, so ownership disagreements never
+    /// chain daemon-to-daemon forwards.
+    epoch: Option<u64>,
 }
 
 struct ReplanRequest {
@@ -894,6 +1234,26 @@ struct ReplanRequest {
     stream: bool,
     /// `"profile": true` — include the synthesis profile in the response.
     profile: bool,
+    /// See [`PlanRequest::epoch`]. A replan routes by `prior` — the
+    /// daemon owning the prior fingerprint holds its triple and plan.
+    epoch: Option<u64>,
+}
+
+/// A `ring` request carrying a membership record to install.
+struct RingInstall {
+    info: RingInfo,
+    /// The address this daemon occupies on that ring (daemons do not
+    /// guess their own externally-routable address).
+    self_addr: String,
+}
+
+/// A peer's `replicate` push: store this plan under this fingerprint.
+struct ReplicateRequest {
+    fp: u64,
+    plan: CachedPlan,
+    /// The request triple behind `fp`, when the sender still had it —
+    /// lets the replica answer replans against the fingerprint too.
+    req: Option<Value>,
 }
 
 enum ReqOp {
@@ -901,7 +1261,14 @@ enum ReqOp {
     Replan(Box<ReplanRequest>),
     Stats,
     Metrics,
-    Trace { n: usize, min_ms: u64 },
+    Trace {
+        n: usize,
+        min_ms: u64,
+    },
+    /// Query (`None`) or install (`Some`) the cluster membership ring.
+    Ring(Option<Box<RingInstall>>),
+    /// A peer replicating a freshly synthesized plan to this daemon.
+    Replicate(Box<ReplicateRequest>),
     Shutdown,
 }
 
@@ -914,6 +1281,8 @@ impl ReqOp {
             ReqOp::Stats => Verb::Stats,
             ReqOp::Metrics => Verb::Metrics,
             ReqOp::Trace { .. } => Verb::Trace,
+            ReqOp::Ring(_) => Verb::Ring,
+            ReqOp::Replicate(_) => Verb::Replicate,
             ReqOp::Shutdown => Verb::Shutdown,
         }
     }
@@ -937,7 +1306,7 @@ impl Request {
                 let fetch = |key: &str| v.field(key).cloned().map_err(|e| (id, WireError::from(e)));
                 let (graph, cluster, options) =
                     (fetch("graph")?, fetch("cluster")?, fetch("options")?);
-                let (ttl_ms, stream, profile) = parse_ttl_stream(&v, id)?;
+                let (ttl_ms, stream, profile, epoch) = parse_ttl_stream(&v, id)?;
                 Ok(Request {
                     id,
                     op: ReqOp::Plan(Box::new(PlanRequest {
@@ -947,6 +1316,7 @@ impl Request {
                         ttl_ms,
                         stream,
                         profile,
+                        epoch,
                     })),
                 })
             }
@@ -961,7 +1331,7 @@ impl Request {
                 let delta_value = v.field("delta").map_err(|e| (id, WireError::from(e)))?;
                 let delta =
                     ClusterDelta::decode(delta_value).map_err(|e| (id, WireError::from(e)))?;
-                let (ttl_ms, stream, profile) = parse_ttl_stream(&v, id)?;
+                let (ttl_ms, stream, profile, epoch) = parse_ttl_stream(&v, id)?;
                 Ok(Request {
                     id,
                     op: ReqOp::Replan(Box::new(ReplanRequest {
@@ -970,7 +1340,42 @@ impl Request {
                         ttl_ms,
                         stream,
                         profile,
+                        epoch,
                     })),
+                })
+            }
+            "ring" => {
+                // `{"op":"ring"}` queries; adding `"ring"` + `"self"`
+                // installs that membership record on this daemon.
+                let install = match v.get("ring") {
+                    None | Some(Value::Null) => None,
+                    Some(ring) => {
+                        let info = RingInfo::decode(ring).map_err(|e| (id, WireError::from(e)))?;
+                        let self_addr = v
+                            .field("self")
+                            .and_then(|x| x.as_str())
+                            .map_err(|e| (id, WireError::from(e)))?
+                            .to_string();
+                        Some(Box::new(RingInstall { info, self_addr }))
+                    }
+                };
+                Ok(Request { id, op: ReqOp::Ring(install) })
+            }
+            "replicate" => {
+                let fp = v
+                    .field("fp")
+                    .and_then(|x| x.as_str())
+                    .and_then(parse_fingerprint)
+                    .map_err(|e| (id, WireError::from(e)))?;
+                let plan_value = v.field("plan").map_err(|e| (id, WireError::from(e)))?;
+                let plan = CachedPlan::decode(plan_value).map_err(|e| (id, WireError::from(e)))?;
+                let req = match v.get("req") {
+                    None | Some(Value::Null) => None,
+                    Some(req) => Some(req.clone()),
+                };
+                Ok(Request {
+                    id,
+                    op: ReqOp::Replicate(Box::new(ReplicateRequest { fp, plan, req })),
                 })
             }
             "stats" => Ok(Request { id, op: ReqOp::Stats }),
@@ -995,9 +1400,13 @@ impl Request {
     }
 }
 
-/// The optional `ttl_ms`, `stream`, and `profile` request fields, shared
-/// by `plan` and `replan`.
-fn parse_ttl_stream(v: &Value, id: u64) -> Result<(Option<u64>, bool, bool), (u64, WireError)> {
+/// The optional `ttl_ms`, `stream`, `profile`, and `epoch` request
+/// fields, shared by `plan` and `replan`.
+#[allow(clippy::type_complexity)]
+fn parse_ttl_stream(
+    v: &Value,
+    id: u64,
+) -> Result<(Option<u64>, bool, bool, Option<u64>), (u64, WireError)> {
     // Optional cache-lifetime request: how long the synthesized plan
     // should stay valid (a tenant planning for a cluster it is about to
     // decommission bounds its own footprint).
@@ -1028,7 +1437,184 @@ fn parse_ttl_stream(v: &Value, id: u64) -> Result<(Option<u64>, bool, bool), (u6
         None | Some(Value::Null) => false,
         Some(flag) => flag.as_bool().map_err(|e| (id, WireError::from(e)))?,
     };
-    Ok((ttl_ms, stream, profile))
+    // The sender's ring epoch, stamped by ring-routing clients and by
+    // daemon-to-daemon proxy forwards.
+    let epoch = match v.get("epoch") {
+        None | Some(Value::Null) => None,
+        Some(e) => Some(e.as_u64().map_err(|e| (id, WireError::from(e)))?),
+    };
+    Ok((ttl_ms, stream, profile, epoch))
+}
+
+// ---------------------------------------------------------------------------
+// Cluster proxying
+// ---------------------------------------------------------------------------
+
+/// What a proxied owner's response line means for the local request.
+enum ProxyReply {
+    /// Relay the line to the client.
+    Pass {
+        outcome: Outcome,
+        /// A successful plan-bearing frame — the only shape that streams.
+        is_plan: bool,
+    },
+    /// The peer denies owning the fingerprint (our ring view is stale, or
+    /// its is): fall back rather than relay the denial.
+    NotOwner,
+}
+
+/// Classifies the owner's response line. `None` — unparseable or not a
+/// response frame — is treated like an I/O failure by callers.
+fn classify_proxy_reply(resp: &str) -> Option<ProxyReply> {
+    let v = parse(resp).ok()?;
+    let ok = v.get("ok")?.as_bool().ok()?;
+    if !ok {
+        let err = WireError::decode(v.get("error")?).ok()?;
+        if err.is_not_owner() {
+            return Some(ProxyReply::NotOwner);
+        }
+        return Some(ProxyReply::Pass { outcome: outcome_for_error(&err), is_plan: false });
+    }
+    let outcome = if v.get("replan").is_some() {
+        Outcome::Replan
+    } else {
+        match v.get("source").and_then(|s| s.as_str().ok()) {
+            Some("cache") => Outcome::Hit,
+            Some("coalesced") => Outcome::Coalesced,
+            _ => Outcome::Miss,
+        }
+    };
+    Some(ProxyReply::Pass { outcome, is_plan: v.get("plan").is_some() })
+}
+
+/// The wire bytes relayed for a proxied response: the owner's canonical
+/// line as-is — or, when the client asked to stream and the line is a
+/// successful plan frame, its locally chunked encoding. Canonical JSON
+/// makes the relay byte-identical to a locally rendered response.
+fn proxied_bytes(id: u64, line: String, is_plan: bool, stream_chunk: Option<usize>) -> Vec<u8> {
+    match stream_chunk {
+        Some(chunk) if is_plan => {
+            let mut bytes = Vec::with_capacity(line.len() + line.len() / 8);
+            for frame in encode_stream(id, &line, chunk) {
+                bytes.extend_from_slice(frame.as_bytes());
+                bytes.push(b'\n');
+            }
+            bytes
+        }
+        _ => {
+            let mut bytes = line.into_bytes();
+            bytes.push(b'\n');
+            bytes
+        }
+    }
+}
+
+/// The local-resolution tail shared by every proxy fallback: re-probe the
+/// cache (the plan may have arrived — replication, a raced request —
+/// since the routing decision), then attach to the single-flight dispatch
+/// and deliver the rendered response when it resolves. `prior` carries a
+/// replan's prior plan: it seeds the synthesis warm and produces the
+/// response's `replan` diff.
+#[allow(clippy::too_many_arguments)]
+fn plan_attach_deliver(
+    shared: &Arc<Shared>,
+    id: u64,
+    fp: u64,
+    graph: &Value,
+    cluster: &Value,
+    options: &Value,
+    ttl_ms: Option<u64>,
+    want_profile: bool,
+    stream_chunk: Option<usize>,
+    prior: Option<(u64, Arc<CachedPlan>)>,
+    mut tb: Option<TraceBuilder>,
+    deliver: Deliver,
+) {
+    if let Some(cached) = shared.cache.get(fp) {
+        shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+        if prior.is_some() {
+            shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+        }
+        let profile = profile_for(shared, fp, want_profile, false, &mut tb);
+        let diff = prior.as_ref().map(|(pfp, pplan)| replan_diff(*pfp, pplan, &cached));
+        let outcome = if prior.is_some() { Outcome::Replan } else { Outcome::Hit };
+        let bytes = encode_span(&mut tb, || {
+            plan_bytes(
+                id,
+                fp,
+                PlanSource::Cache,
+                &cached,
+                diff.as_ref(),
+                profile.as_deref(),
+                stream_chunk,
+            )
+        });
+        deliver(bytes, seal(tb, outcome));
+        return;
+    }
+    let warm = prior.as_ref().map(|(_, plan)| plan.clone());
+    let (slot, source) = match dispatch::attach(shared, fp, graph, cluster, options, ttl_ms, warm) {
+        Attach::Resolved(source, Ok(cached)) => {
+            if prior.is_some() {
+                shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+            }
+            let profile = profile_for(shared, fp, want_profile, false, &mut tb);
+            let diff = prior.as_ref().map(|(pfp, pplan)| replan_diff(*pfp, pplan, &cached));
+            let outcome =
+                if prior.is_some() { Outcome::Replan } else { outcome_for_source(source) };
+            let bytes = encode_span(&mut tb, || {
+                plan_bytes(id, fp, source, &cached, diff.as_ref(), profile.as_deref(), stream_chunk)
+            });
+            deliver(bytes, seal(tb, outcome));
+            return;
+        }
+        Attach::Resolved(_, Err(err)) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let bytes = encode_span(&mut tb, || frame_bytes(&error_frame(id, &err)));
+            deliver(bytes, seal(tb, outcome_for_error(&err)));
+            return;
+        }
+        Attach::Leader(slot) => (slot, PlanSource::Synthesized),
+        Attach::Follower(slot) => (slot, PlanSource::Coalesced),
+    };
+    let sub_shared = shared.clone();
+    let sub_slot = slot.clone();
+    dispatch::subscribe(
+        &slot,
+        Box::new(move |result: &PlanResult| {
+            let mut tb = tb;
+            attach_slot_spans(&mut tb, &sub_slot);
+            let (bytes, outcome) = match result {
+                Ok(plan) => {
+                    if prior.is_some() {
+                        sub_shared.counters.replanned.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let profile = profile_for(&sub_shared, fp, want_profile, true, &mut tb);
+                    let diff = prior.as_ref().map(|(pfp, pplan)| replan_diff(*pfp, pplan, plan));
+                    let outcome =
+                        if prior.is_some() { Outcome::Replan } else { outcome_for_source(source) };
+                    let bytes = encode_span(&mut tb, || {
+                        plan_bytes(
+                            id,
+                            fp,
+                            source,
+                            plan,
+                            diff.as_ref(),
+                            profile.as_deref(),
+                            stream_chunk,
+                        )
+                    });
+                    (bytes, outcome)
+                }
+                Err(err) => {
+                    sub_shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let bytes = encode_span(&mut tb, || frame_bytes(&error_frame(id, err)));
+                    (bytes, outcome_for_error(err))
+                }
+            };
+            deliver(bytes, seal(tb, outcome));
+        }),
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -62,6 +62,20 @@ pub struct StatsSnapshot {
     /// Latency samples recorded into the `metrics` histograms since boot.
     /// Zero when telemetry is disabled.
     pub metrics_samples: u64,
+    /// Plan/replan misses forwarded to the fingerprint's ring owner
+    /// (`hap-cluster` mode; the owner is the ring-wide single-flight
+    /// leader).
+    pub proxied: u64,
+    /// Requests answered with a typed `not_owner` redirect because the
+    /// client routed on a stale ring epoch.
+    pub redirected: u64,
+    /// Plans received from peers via the `replicate` verb.
+    pub replicated_in: u64,
+    /// Plans this daemon pushed to peer owners after synthesis.
+    pub replicated_out: u64,
+    /// Gauge: the installed ring's membership epoch (0 = no ring,
+    /// single-daemon behavior).
+    pub ring_epoch: u64,
 }
 
 impl StatsSnapshot {
@@ -69,7 +83,7 @@ impl StatsSnapshot {
     /// list `encode`, the Prometheus renderer, and `hap-client --assert`
     /// key validation all share, so a new counter cannot appear in one
     /// surface and be missing from another.
-    pub fn fields(&self) -> [(&'static str, u64); 23] {
+    pub fn fields(&self) -> [(&'static str, u64); 28] {
         [
             ("entries", self.entries),
             ("hits", self.hits),
@@ -94,6 +108,11 @@ impl StatsSnapshot {
             ("panics", self.panics),
             ("traces_recorded", self.traces_recorded),
             ("metrics_samples", self.metrics_samples),
+            ("proxied", self.proxied),
+            ("redirected", self.redirected),
+            ("replicated_in", self.replicated_in),
+            ("replicated_out", self.replicated_out),
+            ("ring_epoch", self.ring_epoch),
         ]
     }
 }
@@ -107,9 +126,10 @@ impl Encode for StatsSnapshot {
 impl Decode for StatsSnapshot {
     fn decode(v: &Value) -> Result<Self, hap_codec::CodecError> {
         // Keys gained after PR 4 (the overload counters), PR 6 (the
-        // event-loop gauges), PR 8 (the durability/panic counters), and
-        // PR 9 (the telemetry totals) decode leniently: a stats frame
-        // from an older daemon simply reports them as zero.
+        // event-loop gauges), PR 8 (the durability/panic counters), PR 9
+        // (the telemetry totals), and PR 10 (the cluster counters) decode
+        // leniently: a stats frame from an older daemon simply reports
+        // them as zero.
         let lenient = |key: &str| match v.get(key) {
             None => Ok(0),
             Some(x) => x.as_u64(),
@@ -138,6 +158,11 @@ impl Decode for StatsSnapshot {
             panics: lenient("panics")?,
             traces_recorded: lenient("traces_recorded")?,
             metrics_samples: lenient("metrics_samples")?,
+            proxied: lenient("proxied")?,
+            redirected: lenient("redirected")?,
+            replicated_in: lenient("replicated_in")?,
+            replicated_out: lenient("replicated_out")?,
+            ring_epoch: lenient("ring_epoch")?,
         })
     }
 }
@@ -156,6 +181,14 @@ pub(crate) struct Counters {
     pub replanned: AtomicU64,
     /// Synthesis jobs caught panicking by dispatch's `catch_unwind`.
     pub panics: AtomicU64,
+    /// Misses forwarded to their ring owner (`hap-cluster` mode).
+    pub proxied: AtomicU64,
+    /// Stale-epoch requests answered with a `not_owner` redirect.
+    pub redirected: AtomicU64,
+    /// Plans accepted from peers via the `replicate` verb.
+    pub replicated_in: AtomicU64,
+    /// Plans pushed to peer owners after local synthesis.
+    pub replicated_out: AtomicU64,
 }
 
 /// Event-loop gauges, owned by the service so `stats` works both with and
@@ -199,6 +232,9 @@ mod tests {
         assert_eq!(snap.panics, 0);
         assert_eq!(snap.traces_recorded, 0);
         assert_eq!(snap.metrics_samples, 0);
+        assert_eq!(snap.proxied, 0);
+        assert_eq!(snap.redirected, 0);
+        assert_eq!(snap.ring_epoch, 0);
     }
 
     #[test]
@@ -227,6 +263,11 @@ mod tests {
             panics: 20,
             traces_recorded: 21,
             metrics_samples: 22,
+            proxied: 23,
+            redirected: 24,
+            replicated_in: 25,
+            replicated_out: 26,
+            ring_epoch: 27,
         };
         let back = StatsSnapshot::decode(&snap.encode()).unwrap();
         assert_eq!(back, snap);

@@ -361,6 +361,12 @@ pub fn render_prometheus(stats: &StatsSnapshot, metrics: &MetricsSnapshot) -> St
     for (name, value) in stats.fields() {
         out.push_str(&format!("hap_stat{{name=\"{name}\"}} {value}\n"));
     }
+    // A zero-sample daemon (fresh boot, or telemetry off) has no series:
+    // emit nothing for the metric rather than an empty HELP/TYPE stanza,
+    // so scrapers never see a summary with fabricated quantiles.
+    if metrics.series.is_empty() {
+        return out;
+    }
     out.push_str(
         "# HELP hap_request_latency_seconds Request latency by verb and outcome \
          (log-bucketed quantiles).\n",

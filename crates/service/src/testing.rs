@@ -37,7 +37,11 @@ use hap_graph::{Graph, GraphBuilder};
 use hap_models::{mlp, MlpConfig};
 use hap_synthesis::SynthConfig;
 
-use crate::{Client, PlanCache, PlanReply, RetryPolicy};
+use crate::ring::Ring;
+use crate::{
+    Client, ClusterClient, PlanCache, PlanReply, PlanService, RetryPolicy, RingInfo, Server,
+    ServiceConfig, StatsSnapshot,
+};
 
 /// One fully-formed planning request.
 pub struct StressRequest {
@@ -274,6 +278,7 @@ impl ReplyBits {
 }
 
 /// The outcome of one schedule step.
+#[derive(Clone)]
 pub struct StepOutcome {
     /// The step that ran.
     pub op: StressOp,
@@ -361,6 +366,235 @@ pub fn hot_hit_rate(outcomes: &[StepOutcome]) -> f64 {
         return 0.0;
     }
     hot.iter().filter(|o| o.source == "cache").count() as f64 / hot.len() as f64
+}
+
+// ---------------------------------------------------------------------------
+// Multi-daemon cluster topology
+// ---------------------------------------------------------------------------
+
+/// An in-process `hap-cluster`: N loopback daemons sharing one
+/// consistent-hash ring, with kill/rejoin chaos for the cluster soak
+/// (`tests/cluster.rs`, CI's `cluster-soak` job).
+///
+/// The harness plays the operator: it assigns membership epochs, expands
+/// the same [`Ring`] the daemons and clients expand, and pushes each new
+/// membership record to every live daemon over the `ring` verb. Killing a
+/// node removes it from the next epoch; rejoining restarts it (on a fresh
+/// port, with its original config — including any cache file) and adds it
+/// back. Node indices are stable across kill/rejoin, so tests can follow
+/// one daemon through its death and return.
+pub struct StressCluster {
+    vnodes: u32,
+    replication: u32,
+    epoch: u64,
+    nodes: Vec<ClusterNode>,
+}
+
+struct ClusterNode {
+    addr: String,
+    config: ServiceConfig,
+    server: Option<Server>,
+    /// Final counters of each earlier incarnation of this node (captured
+    /// at kill time), so cluster-wide totals stay monotone across chaos.
+    retired: Vec<StatsSnapshot>,
+}
+
+impl StressCluster {
+    /// Starts `n` daemons on ephemeral loopback ports with `replication`-way
+    /// plan replication and installs membership epoch 1 on all of them.
+    /// `configure` tweaks each daemon's config (cache files, queue depths)
+    /// before it starts.
+    pub fn start(
+        n: usize,
+        replication: u32,
+        configure: impl Fn(usize, &mut ServiceConfig),
+    ) -> StressCluster {
+        assert!(n > 0, "a cluster needs at least one daemon");
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut config = ServiceConfig {
+                addr: "127.0.0.1:0".into(),
+                ring_replication: replication,
+                ..ServiceConfig::default()
+            };
+            configure(i, &mut config);
+            let server = Server::start(config.clone()).expect("cluster daemon start");
+            nodes.push(ClusterNode {
+                addr: server.addr().to_string(),
+                config,
+                server: Some(server),
+                retired: Vec::new(),
+            });
+        }
+        let vnodes = nodes[0].config.ring_vnodes;
+        let mut cluster = StressCluster { vnodes, replication, epoch: 0, nodes };
+        cluster.push_ring();
+        cluster
+    }
+
+    /// Live member addresses in node-index order — [`ClusterClient`] seeds.
+    pub fn addrs(&self) -> Vec<String> {
+        self.nodes.iter().filter(|n| n.server.is_some()).map(|n| n.addr.clone()).collect()
+    }
+
+    /// Node `i`'s current address (changes when it rejoins).
+    pub fn addr(&self, i: usize) -> &str {
+        &self.nodes[i].addr
+    }
+
+    /// The membership epoch the harness last installed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current ring, expanded exactly as the daemons and clients
+    /// expand it.
+    pub fn ring(&self) -> Ring {
+        Ring::build(RingInfo {
+            epoch: self.epoch,
+            vnodes: self.vnodes,
+            replication: self.replication,
+            members: self.addrs(),
+        })
+    }
+
+    /// The node index of `fp`'s primary owner on the current ring.
+    pub fn primary_index(&self, fp: u64) -> usize {
+        let ring = self.ring();
+        let primary = ring.primary(fp).expect("cluster has live members").to_string();
+        self.nodes.iter().position(|n| n.addr == primary).expect("primary is a cluster node")
+    }
+
+    /// True when node `i` is live and among `fp`'s ring owners.
+    pub fn is_owner(&self, i: usize, fp: u64) -> bool {
+        self.nodes[i].server.is_some() && self.ring().is_owner(fp, &self.nodes[i].addr)
+    }
+
+    /// Direct access to a live daemon's in-process service (stats).
+    pub fn service(&self, i: usize) -> &PlanService {
+        self.nodes[i].server.as_ref().expect("node is live").service()
+    }
+
+    /// One counter summed across every daemon that ever ran: the live
+    /// ones now plus the final snapshot of every killed incarnation.
+    /// Monotone across kill/rejoin chaos.
+    pub fn total(&self, field: impl Fn(&StatsSnapshot) -> u64) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| {
+                n.retired.iter().cloned().chain(n.server.as_ref().map(|s| s.service().stats()))
+            })
+            .map(|stats| field(&stats))
+            .sum()
+    }
+
+    /// Kills node `i` (full daemon shutdown) and installs the shrunk
+    /// membership on the survivors.
+    pub fn kill(&mut self, i: usize) {
+        let mut server = self.nodes[i].server.take().expect("node already dead");
+        let last_words = server.service().stats();
+        server.shutdown();
+        self.nodes[i].retired.push(last_words);
+        self.push_ring();
+    }
+
+    /// Restarts a killed node `i` on a fresh port with its original config
+    /// (same cache file, if any) and installs the grown membership on
+    /// every live daemon, the rejoiner included.
+    pub fn rejoin(&mut self, i: usize) {
+        assert!(self.nodes[i].server.is_none(), "node {i} is still alive");
+        let mut config = self.nodes[i].config.clone();
+        config.addr = "127.0.0.1:0".into();
+        let server = Server::start(config).expect("cluster daemon rejoin");
+        self.nodes[i].addr = server.addr().to_string();
+        self.nodes[i].server = Some(server);
+        self.push_ring();
+    }
+
+    /// Shuts every live daemon down. Also runs on drop.
+    pub fn shutdown(&mut self) {
+        for node in &mut self.nodes {
+            if let Some(mut server) = node.server.take() {
+                server.shutdown();
+            }
+        }
+    }
+
+    /// Installs the next membership epoch on every live daemon.
+    fn push_ring(&mut self) {
+        self.epoch += 1;
+        let info = RingInfo {
+            epoch: self.epoch,
+            vnodes: self.vnodes,
+            replication: self.replication,
+            members: self.addrs(),
+        };
+        for node in self.nodes.iter().filter(|n| n.server.is_some()) {
+            let mut client = Client::connect(&*node.addr).expect("ring install connect");
+            let installed = client.install_ring(&info, &node.addr).expect("ring install");
+            assert!(installed, "daemon {} rejected membership epoch {}", node.addr, info.epoch);
+        }
+    }
+}
+
+impl Drop for StressCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Drives a schedule sequentially through one ring-aware [`ClusterClient`]
+/// (deterministic order), retrying through busy frames and falling back to
+/// a cold plan when a replan's prior is unknown cluster-wide. Panics on
+/// any other error — stress traffic is all well-formed.
+pub fn drive_cluster(seeds: &[String], ops: &[StressOp], retry: &RetryPolicy) -> Vec<StepOutcome> {
+    let mut client = ClusterClient::connect(seeds).expect("cluster client connect");
+    ops.iter().map(|&op| cluster_step(&mut client, op, retry)).collect()
+}
+
+fn cluster_step(client: &mut ClusterClient, op: StressOp, retry: &RetryPolicy) -> StepOutcome {
+    for attempt in 0..retry.max_attempts.max(1) {
+        let result = match op {
+            StressOp::Hot(i) => {
+                let req = hot_request(i);
+                client.plan(&req.graph, &req.cluster, &req.options)
+            }
+            StressOp::OneOff(i) => {
+                let req = one_off_request(i);
+                client.plan(&req.graph, &req.cluster, &req.options)
+            }
+            StressOp::Replan(i) => {
+                let req = hot_request(i);
+                let delta = replan_delta(i);
+                match client.replan(req.fingerprint(), &delta) {
+                    Ok(reply) => Ok(reply.plan),
+                    // No daemon holds the prior: cold fallback on the
+                    // post-delta cluster, as with a single daemon.
+                    Err(e) if e.kind == "unknown_fingerprint" => {
+                        let cluster = delta.apply(&req.cluster).expect("chaos delta is valid");
+                        client.plan(&req.graph, &cluster, &req.options)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        match result {
+            Ok(reply) => {
+                return StepOutcome {
+                    op,
+                    source: reply.source.clone(),
+                    bits: ReplyBits::of(&reply),
+                }
+            }
+            Err(e) if e.is_busy() && attempt + 1 < retry.max_attempts => {
+                std::thread::sleep(std::time::Duration::from_millis(
+                    retry.delay_ms(attempt, e.retry_after_ms),
+                ));
+            }
+            Err(e) => panic!("cluster {op:?}: {e}"),
+        }
+    }
+    unreachable!("the loop returns or panics within max_attempts")
 }
 
 /// The canonical request line for a stress request (the service-level

@@ -341,6 +341,42 @@ fn chaos_device_loss_replans_mid_traffic_keep_every_invariant() {
     assert_eq!(stats.errors, 0, "no unknown_fingerprint fallbacks expected: {stats:?}");
 }
 
+/// Regression: the replan index used to be memory-only, so a `replan`
+/// against a prior planned before a daemon restart answered
+/// `unknown_fingerprint` even though the plan itself had been persisted.
+/// The index now rebuilds from the request triples in the v3 log at boot:
+/// a restarted daemon must answer the replan, bit-identically to cold
+/// synthesis on the post-delta cluster.
+#[test]
+fn replan_answers_after_a_restart_from_the_rebuilt_index() {
+    let path = temp_path("replan-restart");
+    let config = || ServiceConfig { cache_path: Some(path.clone()), ..ServiceConfig::default() };
+    let req = hot_request(0);
+    let delta = testing::replan_delta(0);
+
+    {
+        let server = Server::start(config()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let cold = client.plan(&req.graph, &req.cluster, &req.options).unwrap();
+        assert_eq!(cold.source, "synthesized");
+        // Server drops: queue drains, log is flushed.
+    }
+
+    let server = Server::start(config()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client
+        .replan(req.fingerprint(), &delta)
+        .expect("a restarted daemon must rebuild its replan index from the log");
+    let cluster = delta.apply(&req.cluster).unwrap();
+    let expected = hap::parallelize(&req.graph, &cluster, &req.options).unwrap();
+    assert_eq!(reply.plan.program.fingerprint(), expected.program.fingerprint());
+    assert_eq!(reply.plan.estimated_time.to_bits(), expected.estimated_time.to_bits());
+    let stats = server.service().stats();
+    assert_eq!(stats.replanned, 1, "the replan verb served it: {stats:?}");
+    assert_eq!(stats.errors, 0, "no unknown_fingerprint after restart: {stats:?}");
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
 #[test]
 fn plans_stay_bit_identical_across_a_persisted_restart() {
     let path = temp_path("restart");

@@ -329,6 +329,52 @@ fn disabled_telemetry_answers_empty_and_records_nothing() {
     assert_eq!(stat("hits"), 1);
 }
 
+/// Zero-sample regression: a fresh daemon (telemetry on, nothing served
+/// yet) and a `--no-telemetry` daemon that *has* served requests must
+/// both render empty latency series — no fabricated p50/p99 rows, no
+/// NaN/inf from dividing by a zero count — through the exact code path
+/// `hap-client --prom` prints.
+#[test]
+fn zero_sample_telemetry_renders_empty_series_not_bogus_quantiles() {
+    use hap_codec::Decode;
+    use hap_service::{render_prometheus, StatsSnapshot};
+
+    let fetch_stats = |service: &PlanService, id: u64| {
+        let v = ok_response(service, &verb_line("stats", id, Vec::new()));
+        StatsSnapshot::decode(v.field("stats").unwrap()).expect("stats decode")
+    };
+
+    // Fresh daemon: zero requests, zero series.
+    let fresh = step_service(1_000);
+    let metrics = fetch_metrics(&fresh, 1);
+    assert!(metrics.series.is_empty(), "an idle daemon has no latency series");
+    let prom = render_prometheus(&fetch_stats(&fresh, 2), &metrics);
+    assert!(prom.contains("hap_stat{name=\"hits\"} 0\n"), "stats gauges still render:\n{prom}");
+    assert!(
+        !prom.contains("hap_request_latency_seconds"),
+        "no latency samples may be fabricated for an idle daemon:\n{prom}"
+    );
+    assert!(!prom.contains("NaN") && !prom.contains("inf"), "zero-sample math leaked:\n{prom}");
+
+    // `--no-telemetry` daemon that served real traffic: still empty.
+    let disabled = PlanService::new(ServiceConfig {
+        workers: 1,
+        telemetry: false,
+        ..ServiceConfig::default()
+    })
+    .expect("service boots");
+    ok_response(&disabled, &testing::request_line(&testing::hot_request(0), 1));
+    ok_response(&disabled, &testing::request_line(&testing::hot_request(0), 2));
+    let metrics = fetch_metrics(&disabled, 3);
+    assert!(metrics.series.is_empty());
+    let stats = fetch_stats(&disabled, 4);
+    assert_eq!(stats.hits, 1, "the daemon served traffic, it just did not measure it");
+    let prom = render_prometheus(&stats, &metrics);
+    assert!(prom.contains("hap_stat{name=\"hits\"} 1\n"));
+    assert!(!prom.contains("hap_request_latency_seconds"), "{prom}");
+    assert!(!prom.contains("NaN") && !prom.contains("inf"), "{prom}");
+}
+
 /// An old daemon's `metrics` frame, committed verbatim: it predates the
 /// `traces_recorded`, `max_ns`, and `sum_ns` fields. A newer client must
 /// decode it to zeros for the missing fields, not error.

@@ -67,18 +67,24 @@ pub enum Verb {
     Stats,
     Metrics,
     Trace,
+    /// Cluster ring membership: query or install (`hap-cluster` mode).
+    Ring,
+    /// Peer-to-peer plan replication in `hap-cluster` mode.
+    Replicate,
     Shutdown,
     /// The line failed to parse far enough to name a verb.
     Invalid,
 }
 
 impl Verb {
-    pub const ALL: [Verb; 7] = [
+    pub const ALL: [Verb; 9] = [
         Verb::Plan,
         Verb::Replan,
         Verb::Stats,
         Verb::Metrics,
         Verb::Trace,
+        Verb::Ring,
+        Verb::Replicate,
         Verb::Shutdown,
         Verb::Invalid,
     ];
@@ -90,6 +96,8 @@ impl Verb {
             Verb::Stats => "stats",
             Verb::Metrics => "metrics",
             Verb::Trace => "trace",
+            Verb::Ring => "ring",
+            Verb::Replicate => "replicate",
             Verb::Shutdown => "shutdown",
             Verb::Invalid => "invalid",
         }
